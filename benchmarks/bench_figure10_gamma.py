@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 10 (online accuracy vs γ)."""
+
+import numpy as np
+
+from repro.experiments.reporting import write_result
+from repro.experiments.sweeps import format_sweep, run_gamma_sweep
+
+
+def test_figure10_gamma_sweep(benchmark, config):
+    sweep = benchmark.pedantic(
+        run_gamma_sweep, args=(config,), rounds=1, iterations=1
+    )
+    text = format_sweep(sweep, "Figure 10: online accuracy vs gamma, prop30")
+    path = write_result("figure10_gamma", text)
+    print(f"\n{text}\nwritten: {path}")
+
+    # Paper: gamma barely moves tweet-level accuracy (it only smooths the
+    # user factor), while user-level accuracy responds to it.
+    tweet_accs = np.array([p.tweet_accuracy for p in sweep.points])
+    assert tweet_accs.max() - tweet_accs.min() <= 0.10

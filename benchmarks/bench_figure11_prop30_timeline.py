@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 11 (online vs batch timelines, Prop 30)."""
+
+from repro.experiments.online_timeline import format_timeline, run_timeline
+from repro.experiments.reporting import write_result
+
+
+def test_figure11_prop30_timeline(benchmark, config):
+    result = benchmark.pedantic(
+        run_timeline, args=(config, "prop30"), rounds=1, iterations=1
+    )
+    text = format_timeline(result)
+    path = write_result("figure11_prop30_timeline", text)
+    print(f"\n{text}\nwritten: {path}")
+
+    # Paper shapes: full-batch runtime dominates and grows; the online
+    # algorithm's total runtime is far below full-batch; online tweet
+    # accuracy is competitive with full-batch and above mini-batch.
+    assert result.total_runtime("full_batch") > result.total_runtime("online")
+    late = result.full_batch[-1].runtime_seconds
+    early = result.full_batch[0].runtime_seconds
+    assert late > early
+    assert (
+        result.mean_accuracy("online")
+        >= result.mean_accuracy("mini_batch") - 0.05
+    )

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 12 (online vs batch timelines, Prop 37)."""
+
+from repro.experiments.online_timeline import format_timeline, run_timeline
+from repro.experiments.reporting import write_result
+
+
+def test_figure12_prop37_timeline(benchmark, config):
+    result = benchmark.pedantic(
+        run_timeline, args=(config, "prop37"), rounds=1, iterations=1
+    )
+    text = format_timeline(result)
+    path = write_result("figure12_prop37_timeline", text)
+    print(f"\n{text}\nwritten: {path}")
+
+    assert result.total_runtime("full_batch") > result.total_runtime("online")
+    assert (
+        result.mean_accuracy("online")
+        >= result.mean_accuracy("mini_batch") - 0.05
+    )
+    # Prop 37's stream is heavier than Prop 30's (more tweets per day);
+    # the volume series should reflect the burst days.
+    volumes = [p.num_new_tweets for p in result.online]
+    assert max(volumes) > 2 * (sum(volumes) / len(volumes))

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 4 (feature-frequency evolution)."""
+
+from repro.experiments.figure4 import format_figure4, run_figure4
+from repro.experiments.reporting import write_result
+
+
+def test_figure4_feature_evolution(benchmark, config):
+    evolution = benchmark.pedantic(
+        run_figure4, args=(config,), rounds=1, iterations=1
+    )
+    text = format_figure4(evolution)
+    path = write_result("figure4_feature_evolution", text)
+    print(f"\n{text}\nwritten: {path}")
+
+    # Observation 1's two halves: frequency distributions drift between
+    # periods (imperfect rank correlation) while head-word polarity is
+    # stable across periods.
+    assert evolution.spearman < 0.9
+    assert evolution.head_polarity_stable >= 0.9
+    assert len(evolution.feature_names) > 50

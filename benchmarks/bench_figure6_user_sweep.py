@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 6 (user-level quality vs α, β)."""
+
+from conftest import cached_alpha_beta_sweep
+
+from repro.experiments.reporting import write_result
+from repro.experiments.sweeps import format_sweep
+
+
+def test_figure6_user_alpha_beta_sweep(benchmark, config):
+    sweep = benchmark.pedantic(
+        cached_alpha_beta_sweep, args=(config,), rounds=1, iterations=1
+    )
+    text = format_sweep(
+        sweep, "Figure 6: user-level quality vs (alpha, beta), prop30"
+    )
+    path = write_result("figure6_user_sweep", text)
+    print(f"\n{text}\nwritten: {path}")
+
+    best = sweep.best_by("user_accuracy")
+    # Paper: the best user-level region prefers small alpha (lexicon
+    # regularization is inessential at the user level).
+    assert best.first <= 0.5
+    # The sweep covers the full grid.
+    assert len(sweep.points) >= 25

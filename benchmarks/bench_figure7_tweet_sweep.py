@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 7 (tweet-level quality vs α, β)."""
+
+import numpy as np
+from conftest import cached_alpha_beta_sweep
+
+from repro.experiments.reporting import write_result
+from repro.experiments.sweeps import format_sweep
+
+
+def test_figure7_tweet_alpha_beta_sweep(benchmark, config):
+    sweep = benchmark.pedantic(
+        cached_alpha_beta_sweep, args=(config,), rounds=1, iterations=1
+    )
+    text = format_sweep(
+        sweep, "Figure 7: tweet-level quality vs (alpha, beta), prop30"
+    )
+    path = write_result("figure7_tweet_sweep", text)
+    print(f"\n{text}\nwritten: {path}")
+
+    # Paper: tweet-level accuracy is much less parameter-sensitive than
+    # user-level accuracy (Fig. 7 spans ~1 point, Fig. 6 spans ~12).
+    tweet_accs = np.array([p.tweet_accuracy for p in sweep.points])
+    user_accs = np.array([p.user_accuracy for p in sweep.points])
+    assert tweet_accs.std() <= user_accs.std() + 0.02

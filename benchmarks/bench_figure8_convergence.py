@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 8 (offline convergence traces)."""
+
+from repro.experiments.figure8 import format_figure8, run_figure8
+from repro.experiments.reporting import write_result
+
+
+def test_figure8_convergence(benchmark, config):
+    traces = benchmark.pedantic(
+        run_figure8, args=(config,), kwargs={"iterations": 100},
+        rounds=1, iterations=1,
+    )
+    text = format_figure8(traces)
+    path = write_result("figure8_convergence", text)
+    print(f"\n{text}\nwritten: {path}")
+
+    # Paper's Figure 8 shape: the total objective is (near) monotone and
+    # most of the reduction happens in the first dozens of iterations.
+    assert traces.totals[-1] <= traces.totals[0]
+    assert traces.near_convergence_iteration <= 60
+    # The component losses trade against each other after the initial
+    # drop (the algorithm balances all five terms), so we only require
+    # boundedness for them.
+    assert max(traces.tweet_losses) < 2 * traces.tweet_losses[0] + 1e-9

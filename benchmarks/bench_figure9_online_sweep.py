@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 9 (online accuracy vs α, τ)."""
+
+from repro.experiments.reporting import write_result
+from repro.experiments.sweeps import format_sweep, run_alpha_tau_sweep
+
+
+def test_figure9_online_alpha_tau_sweep(benchmark, config):
+    sweep = benchmark.pedantic(
+        run_alpha_tau_sweep, args=(config,), rounds=1, iterations=1
+    )
+    text = format_sweep(
+        sweep, "Figure 9: online accuracy vs (alpha, tau), prop30"
+    )
+    path = write_result("figure9_online_sweep", text)
+    print(f"\n{text}\nwritten: {path}")
+
+    assert len(sweep.points) == 9
+    for point in sweep.points:
+        assert 0.0 <= point.tweet_accuracy <= 1.0
+        assert 0.0 <= point.user_accuracy <= 1.0

@@ -1,0 +1,77 @@
+"""Scalability benchmark — the complexity claim of Section 3.2.
+
+The paper bounds one offline sweep by ``O(k(nl + ml + nm + m²))``; with
+sparse data the effective cost is ``O(nnz·k)`` per sweep.  This bench
+measures wall-clock per sweep across growing dataset scales and checks
+the growth is near-linear in total nonzeros (far below the dense
+worst-case).
+"""
+
+import time
+
+from repro.core.offline import OfflineTriClustering
+from repro.data.synthetic import BallotDatasetGenerator, prop30_config
+from repro.experiments.reporting import format_table, write_result
+from repro.graph.tripartite import build_tripartite_graph
+
+SCALES = (0.02, 0.04, 0.08)
+SWEEPS = 20
+
+
+def measure(scale: float, seed: int = 7) -> dict:
+    generator = BallotDatasetGenerator(prop30_config(scale=scale), seed=seed)
+    corpus = generator.generate()
+    graph = build_tripartite_graph(corpus, lexicon=generator.lexicon(seed=11))
+    solver = OfflineTriClustering(
+        max_iterations=SWEEPS, tolerance=0.0, seed=seed, track_history=False
+    )
+    start = time.perf_counter()
+    solver.fit(graph)
+    elapsed = time.perf_counter() - start
+    nnz = graph.xp.nnz + graph.xu.nnz + graph.xr.nnz
+    return dict(
+        scale=scale,
+        tweets=graph.num_tweets,
+        users=graph.num_users,
+        features=graph.num_features,
+        nnz=nnz,
+        seconds_per_sweep=elapsed / SWEEPS,
+    )
+
+
+def run_scalability():
+    return [measure(scale) for scale in SCALES]
+
+
+def test_scalability(benchmark):
+    points = benchmark.pedantic(run_scalability, rounds=1, iterations=1)
+    rows = [
+        [
+            p["scale"],
+            p["tweets"],
+            p["users"],
+            p["features"],
+            p["nnz"],
+            round(p["seconds_per_sweep"] * 1000, 3),
+        ]
+        for p in points
+    ]
+    text = format_table(
+        ["Scale", "Tweets", "Users", "Features", "nnz", "ms/sweep"],
+        rows,
+        title="Scalability: offline sweep cost vs dataset size (prop30)",
+    )
+    path = write_result("scalability", text)
+    print(f"\n{text}\nwritten: {path}")
+
+    # Near-linear in nnz: quadrupling the data must not cost more than
+    # ~3x the per-nnz proportional increase (generous slack for constant
+    # overheads at tiny sizes).
+    first, last = points[0], points[-1]
+    nnz_ratio = last["nnz"] / first["nnz"]
+    time_ratio = last["seconds_per_sweep"] / max(
+        first["seconds_per_sweep"], 1e-9
+    )
+    assert time_ratio < 3.0 * nnz_ratio
+    # And monotone in size.
+    assert last["nnz"] > first["nnz"]

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Table 2 (top words per sentiment class)."""
+
+from repro.experiments.reporting import write_result
+from repro.experiments.table2 import format_table2, run_table2
+
+
+def test_table2_top_words(benchmark, config):
+    top = benchmark.pedantic(run_table2, args=(config,), rounds=1, iterations=1)
+    text = format_table2(top)
+    path = write_result("table2_top_words", text)
+    print(f"\n{text}\nwritten: {path}")
+
+    # The seeded head words must surface at the top of their class, and
+    # class heads must be non-empty — the minimal Table 2 shape.
+    positive_words = [w for w, _ in top.positive]
+    assert positive_words, "no positive head words"
+    assert top.negative, "no negative head words"
+    assert "yeson37" in positive_words[:3]

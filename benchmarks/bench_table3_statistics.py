@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Table 3 (dataset statistics vs scaled targets)."""
+
+from repro.experiments.reporting import write_result
+from repro.experiments.table3 import expected_rows, format_table3, run_table3
+
+
+def test_table3_statistics(benchmark, config):
+    measured = benchmark.pedantic(
+        run_table3, args=(config,), rounds=1, iterations=1
+    )
+    targets = expected_rows(config)
+    text = format_table3(measured, targets)
+    path = write_result("table3_statistics", text)
+    print(f"\n{text}\nwritten: {path}")
+
+    for got, want in zip(measured, targets):
+        # Original labeled tweet counts are quota-driven: exact match.
+        assert got.tweet_pos == want.tweet_pos
+        assert got.tweet_neg == want.tweet_neg
+        assert got.user_pos == want.user_pos
+        assert got.user_neg == want.user_neg
+        assert got.user_neu == want.user_neu
+        assert got.user_unlabeled == want.user_unlabeled
+    # The paper's skew shape: Prop 37 is far more positive-heavy.
+    ratio30 = measured[0].tweet_pos / max(measured[0].tweet_neg, 1)
+    ratio37 = measured[1].tweet_pos / max(measured[1].tweet_neg, 1)
+    assert ratio37 > ratio30

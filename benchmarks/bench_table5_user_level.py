@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Table 5 (user-level method comparison)."""
+
+from conftest import cached_table4
+
+from repro.experiments.reporting import write_result
+from repro.experiments.table5 import format_table5, run_table5
+
+
+def test_table5_user_level(benchmark, config):
+    table4_result = cached_table4(config)
+    result = benchmark.pedantic(
+        run_table5,
+        args=(config,),
+        kwargs={"table4_result": table4_result},
+        rounds=1,
+        iterations=1,
+    )
+    text = format_table5(result)
+    path = write_result("table5_user_level", text)
+    print(f"\n{text}\nwritten: {path}")
+
+    for dataset in ("prop30", "prop37"):
+        scores = {s.method: s for s in result.scores[dataset]}
+        # Tri-clustering beats BACG, the other unsupervised user method
+        # (paper: significantly better; allow noise at reduced scale).
+        assert (
+            scores["Tri-clustering"].accuracy
+            >= scores["BACG"].accuracy - 0.10
+        )
+        # Unsupervised rows report NMI.
+        assert scores["Tri-clustering"].nmi is not None
+        assert scores["BACG"].nmi is not None

@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Table 6 (method capability matrix)."""
+
+from repro.experiments.reporting import write_result
+from repro.experiments.table6 import format_table6, run_table6
+
+
+def test_table6_capabilities(benchmark):
+    rows = benchmark.pedantic(run_table6, rounds=1, iterations=1)
+    text = format_table6(rows)
+    path = write_result("table6_capabilities", text)
+    print(f"\n{text}\nwritten: {path}")
+
+    this_work = next(r for r in rows if "this work" in r.method)
+    # The paper's claim: only tri-clustering covers every column.
+    assert this_work.tweet_level and this_work.user_level
+    assert this_work.supervision == "USL"
+    assert this_work.dynamic
+    others_full = [
+        r
+        for r in rows
+        if r is not this_work
+        and r.tweet_level
+        and r.user_level
+        and r.supervision == "USL"
+        and r.dynamic
+    ]
+    assert not others_full

@@ -1,0 +1,35 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Each benchmark regenerates one paper table/figure and writes its output
+to ``benchmarks/results/<name>.txt``.  Heavy runners that several benches
+share (the Table 4 method comparison, the (α,β) sweep) are cached per
+process so the suite's wall-clock stays proportional to distinct work.
+
+Scale is controlled by ``REPRO_SCALE`` (default 0.08; ``full`` = the
+paper's dataset sizes).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import pytest
+
+from repro.experiments.configs import ExperimentConfig, bench_config
+from repro.experiments.sweeps import SweepResult, run_alpha_beta_sweep
+from repro.experiments.table4 import ComparisonResult, run_table4
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    return bench_config()
+
+
+@lru_cache(maxsize=2)
+def cached_table4(config: ExperimentConfig) -> ComparisonResult:
+    return run_table4(config)
+
+
+@lru_cache(maxsize=2)
+def cached_alpha_beta_sweep(config: ExperimentConfig) -> SweepResult:
+    return run_alpha_beta_sweep(config)

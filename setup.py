@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP-517 editable installs fail with ``invalid command 'bdist_wheel'``.
+Keeping a ``setup.py`` lets ``pip install -e . --no-use-pep517
+--no-build-isolation`` take the legacy develop path, which needs no wheel.
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

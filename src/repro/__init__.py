@@ -1,0 +1,91 @@
+"""repro — Tripartite graph co-clustering for dynamic sentiment analysis.
+
+A faithful, self-contained reproduction of
+
+    Linhong Zhu, Aram Galstyan, James Cheng, Kristina Lerman.
+    "Tripartite Graph Clustering for Dynamic Sentiment Analysis on
+    Social Media." SIGMOD 2014 (arXiv:1402.6010).
+
+Quickstart::
+
+    from repro import (
+        BallotDatasetGenerator, prop30_config,
+        build_tripartite_graph, OfflineTriClustering,
+        clustering_accuracy, align_clusters,
+    )
+
+    generator = BallotDatasetGenerator(prop30_config(scale=0.05), seed=7)
+    corpus = generator.generate()
+    graph = build_tripartite_graph(corpus, lexicon=generator.lexicon())
+    result = OfflineTriClustering(seed=7).fit(graph)
+    predicted = result.tweet_sentiments()
+    print(clustering_accuracy(predicted, corpus.tweet_labels()))
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for the
+paper-versus-measured reproduction record.
+"""
+
+from repro.core import (
+    FactorSet,
+    OfflineTriClustering,
+    OnlineStepResult,
+    OnlineTriClustering,
+    TriClusteringResult,
+)
+from repro.data import (
+    BallotDatasetConfig,
+    BallotDatasetGenerator,
+    Sentiment,
+    Snapshot,
+    SnapshotStream,
+    Tweet,
+    TweetCorpus,
+    UserProfile,
+    prop30_config,
+    prop37_config,
+)
+from repro.eval import (
+    align_clusters,
+    clustering_accuracy,
+    normalized_mutual_information,
+)
+from repro.graph import TripartiteGraph, build_tripartite_graph
+from repro.text import (
+    CountVectorizer,
+    SentimentLexicon,
+    TfidfVectorizer,
+    TweetTokenizer,
+    Vocabulary,
+    build_sf0,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BallotDatasetConfig",
+    "BallotDatasetGenerator",
+    "CountVectorizer",
+    "FactorSet",
+    "OfflineTriClustering",
+    "OnlineStepResult",
+    "OnlineTriClustering",
+    "Sentiment",
+    "SentimentLexicon",
+    "Snapshot",
+    "SnapshotStream",
+    "TfidfVectorizer",
+    "TriClusteringResult",
+    "TripartiteGraph",
+    "Tweet",
+    "TweetCorpus",
+    "TweetTokenizer",
+    "UserProfile",
+    "Vocabulary",
+    "align_clusters",
+    "build_sf0",
+    "build_tripartite_graph",
+    "clustering_accuracy",
+    "normalized_mutual_information",
+    "prop30_config",
+    "prop37_config",
+]

@@ -1,0 +1,38 @@
+"""Comparison methods of Section 5 (Tables 4 and 5).
+
+Supervised:        :class:`MultinomialNaiveBayes`, :class:`LinearSVM`
+Semi-supervised:   :class:`LabelPropagation` (LP-5 / LP-10),
+                   :class:`UserReg` (UserReg-10)
+Unsupervised:      :class:`ESSA`, :class:`BACG`, :class:`ONMTF`,
+                   :class:`LexiconClassifier`
+Online baselines:  :class:`MiniBatchTriClustering`,
+                   :class:`FullBatchTriClustering`
+User aggregation:  :func:`aggregate_user_sentiments` (the Smith/Deng
+                   "user = average of their tweets" estimator)
+"""
+
+from repro.baselines.aggregation import aggregate_user_sentiments
+from repro.baselines.bacg import BACG
+from repro.baselines.batch import FullBatchTriClustering, MiniBatchTriClustering
+from repro.baselines.essa import ESSA
+from repro.baselines.label_propagation import LabelPropagation, knn_affinity
+from repro.baselines.lexicon_baseline import LexiconClassifier
+from repro.baselines.naive_bayes import MultinomialNaiveBayes
+from repro.baselines.onmtf import ONMTF
+from repro.baselines.svm import LinearSVM
+from repro.baselines.userreg import UserReg
+
+__all__ = [
+    "BACG",
+    "ESSA",
+    "FullBatchTriClustering",
+    "LabelPropagation",
+    "LexiconClassifier",
+    "LinearSVM",
+    "MiniBatchTriClustering",
+    "MultinomialNaiveBayes",
+    "ONMTF",
+    "UserReg",
+    "aggregate_user_sentiments",
+    "knn_affinity",
+]

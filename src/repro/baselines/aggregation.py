@@ -1,0 +1,69 @@
+"""User sentiment by aggregating tweet sentiments (Smith [28], Deng [7]).
+
+The baseline assumption the reproduced paper argues *against*: a user's
+sentiment is the aggregate of their tweets' sentiments.  Used both as a
+standalone estimator and inside :class:`~repro.baselines.userreg.UserReg`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+
+def aggregate_user_sentiments(
+    xr: sp.spmatrix,
+    tweet_sentiments: np.ndarray,
+    num_classes: int = 3,
+    default_class: int = 2,
+) -> np.ndarray:
+    """Majority-vote a user's tweets into a user sentiment.
+
+    Parameters
+    ----------
+    xr:
+        User-tweet incidence matrix (``m×n``); any positive entry counts
+        the tweet toward the user.
+    tweet_sentiments:
+        Class id per tweet; entries ``< 0`` (unknown) are skipped.
+    default_class:
+        Class assigned to users with no classified tweets (the paper's
+        setting would leave them neutral).
+    """
+    tweet_sentiments = np.asarray(tweet_sentiments, dtype=np.int64)
+    m, n = xr.shape
+    if tweet_sentiments.shape[0] != n:
+        raise ValueError(
+            f"xr has {n} tweet columns but got {tweet_sentiments.shape[0]} labels"
+        )
+    if not (0 <= default_class < num_classes):
+        raise ValueError(
+            f"default_class must be in [0, {num_classes}), got {default_class}"
+        )
+    votes = np.zeros((m, num_classes), dtype=np.float64)
+    incidence = sp.csr_matrix(xr)
+    valid = tweet_sentiments >= 0
+    for klass in range(num_classes):
+        column_mask = valid & (tweet_sentiments == klass)
+        votes[:, klass] = np.asarray(
+            incidence[:, np.flatnonzero(column_mask)].sum(axis=1)
+        ).ravel()
+    predictions = np.argmax(votes, axis=1)
+    predictions[votes.sum(axis=1) == 0.0] = default_class
+    return predictions
+
+
+def soft_aggregate_user_sentiments(
+    xr: sp.spmatrix,
+    tweet_memberships: np.ndarray,
+) -> np.ndarray:
+    """Average soft tweet memberships per user (rows normalized to sum 1)."""
+    memberships = np.asarray(tweet_memberships, dtype=np.float64)
+    if memberships.ndim != 2 or memberships.shape[0] != xr.shape[1]:
+        raise ValueError(
+            f"memberships shape {memberships.shape} inconsistent with xr {xr.shape}"
+        )
+    totals = np.asarray(sp.csr_matrix(xr).sum(axis=1)).ravel()
+    totals[totals == 0.0] = 1.0
+    summed = np.asarray(xr @ memberships)
+    return summed / totals[:, None]

@@ -1,0 +1,139 @@
+"""BACG — attributed-graph clustering of users [34].
+
+Xu et al. (SIGMOD 2012) cluster an attributed graph using both structure
+(edges) and content (node attributes).  The reproduced paper applies BACG
+to the user-user retweeting graph with tf-idf user features as attributes
+and uses the resulting clusters as an unsupervised user-level baseline
+(Table 5).
+
+The original is a Bayesian model-based method; this reimplementation
+keeps the identical problem shape — joint structure + content user
+clustering — as a graph-regularized NMF:
+
+    min ||Xu − Su·Hu·Vᵀ||² + β·tr(Suᵀ·Lu·Su),   Su, Hu, V ≥ 0
+
+which is the standard matrix-factorization formulation of attributed
+graph clustering and exercises the same comparison axis (DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graph.usergraph import UserGraph
+from repro.utils.matrices import hard_assignments, safe_sqrt_ratio
+from repro.utils.rng import RandomState, spawn_rng
+
+MatrixLike = np.ndarray | sp.spmatrix
+
+
+@dataclass
+class BACGResult:
+    """User clusters from one BACG run."""
+
+    user_factor: np.ndarray      # Su, m×k
+    association: np.ndarray      # Hu, k×k
+    attribute_factor: np.ndarray  # V, l×k
+    losses: list[float]
+
+    def user_sentiments(self) -> np.ndarray:
+        return hard_assignments(self.user_factor)
+
+
+class BACG:
+    """Structure + content user clustering via graph-regularized NMF."""
+
+    def __init__(
+        self,
+        num_classes: int = 3,
+        structure_weight: float = 0.3,
+        max_iterations: int = 100,
+        tolerance: float = 1e-5,
+        seed: RandomState = None,
+        normalize_attributes: bool = True,
+    ) -> None:
+        if structure_weight < 0:
+            raise ValueError(
+                f"structure_weight must be >= 0, got {structure_weight}"
+            )
+        self.num_classes = num_classes
+        self.structure_weight = structure_weight
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.seed = seed
+        self.normalize_attributes = normalize_attributes
+
+    def fit(self, xu: MatrixLike, user_graph: UserGraph) -> BACGResult:
+        """Cluster users from attributes ``xu`` and the retweet graph."""
+        rng = spawn_rng(self.seed)
+        if self.normalize_attributes:
+            # Unit-L2 attribute rows keep prolific users from dominating
+            # the content term, mirroring the original model's per-node
+            # attribute distributions.
+            xu = sp.csr_matrix(xu, dtype=np.float64)
+            norms = np.sqrt(np.asarray(xu.multiply(xu).sum(axis=1)).ravel())
+            norms[norms == 0.0] = 1.0
+            xu = sp.diags(1.0 / norms) @ xu
+        m, l = xu.shape
+        if user_graph.num_users != m:
+            raise ValueError(
+                f"user graph has {user_graph.num_users} nodes, xu has {m} rows"
+            )
+        k = self.num_classes
+        beta = self.structure_weight
+        gu = user_graph.adjacency
+        du = user_graph.degree_matrix
+        laplacian = user_graph.laplacian
+
+        su = rng.uniform(0.01, 1.0, size=(m, k))
+        hu = rng.uniform(0.01, 1.0, size=(k, k))
+        v = rng.uniform(0.01, 1.0, size=(l, k))
+
+        losses: list[float] = []
+        for _ in range(self.max_iterations):
+            xv = np.asarray(xu @ v)                    # m×k
+            su_num = xv @ hu.T + beta * np.asarray(gu @ su)
+            su_den = su @ (su.T @ (xv @ hu.T)) + beta * np.asarray(du @ su)
+            su = su * safe_sqrt_ratio(su_num, su_den)
+
+            xtsu = np.asarray(xu.T @ su)               # l×k
+            v_num = xtsu @ hu
+            v = v * safe_sqrt_ratio(v_num, v @ (v.T @ v_num))
+
+            h_num = su.T @ np.asarray(xu @ v)
+            h_den = (su.T @ su) @ hu @ (v.T @ v)
+            hu = hu * safe_sqrt_ratio(h_num, h_den)
+
+            losses.append(self._loss(xu, su, hu, v, laplacian, beta))
+            if (
+                len(losses) >= 2
+                and abs(losses[-2] - losses[-1])
+                < self.tolerance * max(abs(losses[-2]), 1e-30)
+            ):
+                break
+        return BACGResult(
+            user_factor=su, association=hu, attribute_factor=v, losses=losses
+        )
+
+    @staticmethod
+    def _loss(
+        xu: MatrixLike,
+        su: np.ndarray,
+        hu: np.ndarray,
+        v: np.ndarray,
+        laplacian: MatrixLike,
+        beta: float,
+    ) -> float:
+        sh = su @ hu
+        cross = float(np.sum(np.asarray(xu.T @ sh) * v))
+        x_sq = (
+            float(xu.multiply(xu).sum())
+            if sp.issparse(xu)
+            else float(np.sum(np.asarray(xu) ** 2))
+        )
+        gram = float(np.trace((v.T @ v) @ (sh.T @ sh)))
+        smooth = float(np.sum(su * np.asarray(laplacian @ su)))
+        return max(x_sq - 2.0 * cross + gram, 0.0) + beta * max(smooth, 0.0)

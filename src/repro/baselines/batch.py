@@ -1,0 +1,136 @@
+"""Mini-batch and full-batch online baselines (Section 5.2).
+
+The paper frames its online algorithm as the middle ground between two
+extremes:
+
+- **mini-batch** — run the *offline* tri-clustering solver independently
+  on each snapshot's new data (fast, no history, poor quality);
+- **full-batch** — rerun the offline solver on *all data so far* at every
+  snapshot (best quality, cost grows with the stream).
+
+Both wrappers expose the same per-snapshot interface as
+:class:`~repro.core.online.OnlineTriClustering` so the timeline harness
+(Figures 11/12) can drive the three interchangeably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.offline import OfflineTriClustering, TriClusteringResult
+from repro.data.corpus import TweetCorpus, concatenate_corpora
+from repro.graph.tripartite import build_tripartite_graph
+from repro.text.lexicon import SentimentLexicon
+from repro.text.vectorizer import CountVectorizer
+from repro.utils.matrices import hard_assignments
+from repro.utils.rng import RandomState
+
+
+@dataclass
+class BatchStepResult:
+    """Per-snapshot output of a batch baseline."""
+
+    snapshot_index: int
+    inner: TriClusteringResult
+    tweet_ids: list[int]
+    user_ids: list[int]
+
+    def tweet_sentiments(self) -> np.ndarray:
+        return self.inner.tweet_sentiments()
+
+    def user_sentiments(self) -> np.ndarray:
+        return self.inner.user_sentiments()
+
+
+class _BatchBase:
+    """Shared plumbing for the two batch baselines."""
+
+    def __init__(
+        self,
+        vectorizer: CountVectorizer,
+        lexicon: SentimentLexicon | None = None,
+        num_classes: int = 3,
+        alpha: float = 0.05,
+        beta: float = 0.8,
+        max_iterations: int = 100,
+        seed: RandomState = None,
+    ) -> None:
+        self.vectorizer = vectorizer
+        self.lexicon = lexicon
+        self.num_classes = num_classes
+        self.solver = OfflineTriClustering(
+            num_classes=num_classes,
+            alpha=alpha,
+            beta=beta,
+            max_iterations=max_iterations,
+            seed=seed,
+            track_history=False,
+        )
+        self._steps = 0
+        self._user_state: dict[int, int] = {}
+
+    def _run(self, corpus: TweetCorpus) -> TriClusteringResult:
+        graph = build_tripartite_graph(
+            corpus,
+            vectorizer=self.vectorizer,
+            lexicon=self.lexicon,
+            num_classes=self.num_classes,
+        )
+        return self.solver.fit(graph)
+
+    def _commit(
+        self, corpus: TweetCorpus, result: TriClusteringResult
+    ) -> BatchStepResult:
+        step = BatchStepResult(
+            snapshot_index=self._steps,
+            inner=result,
+            tweet_ids=[t.tweet_id for t in corpus.tweets],
+            user_ids=corpus.user_ids,
+        )
+        labels = hard_assignments(result.factors.su)
+        for row, uid in enumerate(corpus.user_ids):
+            self._user_state[uid] = int(labels[row])
+        self._steps += 1
+        return step
+
+    def user_sentiment_labels(self) -> dict[int, int]:
+        """Latest hard sentiment per user seen so far."""
+        return dict(self._user_state)
+
+
+class MiniBatchTriClustering(_BatchBase):
+    """Offline tri-clustering applied to each snapshot in isolation."""
+
+    def partial_fit(self, snapshot_corpus: TweetCorpus) -> BatchStepResult:
+        result = self._run(snapshot_corpus)
+        return self._commit(snapshot_corpus, result)
+
+
+class FullBatchTriClustering(_BatchBase):
+    """Offline tri-clustering re-run on the accumulated stream.
+
+    Note the per-snapshot result covers *all* tweets so far; the timeline
+    harness slices out the current snapshot's tweets for like-for-like
+    accuracy comparison.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._accumulated: TweetCorpus | None = None
+
+    def partial_fit(self, snapshot_corpus: TweetCorpus) -> BatchStepResult:
+        if self._accumulated is None:
+            self._accumulated = snapshot_corpus
+        else:
+            self._accumulated = concatenate_corpora(
+                [self._accumulated, snapshot_corpus],
+                name=f"fullbatch[{self._steps}]",
+            )
+        result = self._run(self._accumulated)
+        return self._commit(self._accumulated, result)
+
+    @property
+    def accumulated_corpus(self) -> TweetCorpus | None:
+        return self._accumulated

@@ -1,0 +1,86 @@
+"""ESSA — unsupervised sentiment analysis with emotional signals [15].
+
+Hu et al. (WWW 2013) factorize the tweet-term matrix with orthogonal NMTF
+while regularizing the term factor toward *emotional signals* (a sentiment
+lexicon and emoticon indicators).  The paper under reproduction compares
+against ESSA as the state-of-the-art unsupervised tweet-level method and
+reports that tri-clustering consistently beats it on both accuracy and
+NMI (Table 4).
+
+This implementation captures the signal ESSA actually adds over plain
+ONMTF — the emotion prior on the word factor — without the tweet-tweet /
+word-word similarity graphs, which the reproduced paper explicitly calls
+out as "very time consuming" and does not credit for the quality gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.baselines.onmtf import ONMTF, ONMTFResult
+from repro.utils.rng import RandomState
+
+MatrixLike = np.ndarray | sp.spmatrix
+
+
+@dataclass
+class ESSAResult:
+    """Tweet- and word-level sentiment clusters from one ESSA run."""
+
+    inner: ONMTFResult
+
+    def tweet_sentiments(self) -> np.ndarray:
+        return self.inner.document_clusters()
+
+    def word_sentiments(self) -> np.ndarray:
+        return self.inner.term_clusters()
+
+
+class ESSA:
+    """Emotional-signal-regularized orthogonal NMTF.
+
+    Parameters
+    ----------
+    num_classes:
+        Number of sentiment classes.
+    emotion_weight:
+        Weight of the emotional-signal regularization ``||G − Sf0||²``
+        (ESSA's λ; 0 reduces to plain ONMTF).
+    """
+
+    def __init__(
+        self,
+        num_classes: int = 3,
+        emotion_weight: float = 0.5,
+        max_iterations: int = 100,
+        tolerance: float = 1e-5,
+        seed: RandomState = None,
+    ) -> None:
+        if emotion_weight < 0:
+            raise ValueError(
+                f"emotion_weight must be >= 0, got {emotion_weight}"
+            )
+        self.emotion_weight = emotion_weight
+        self._solver = ONMTF(
+            num_clusters=num_classes,
+            max_iterations=max_iterations,
+            tolerance=tolerance,
+            seed=seed,
+        )
+
+    def fit(self, xp: MatrixLike, sf0: np.ndarray | None) -> ESSAResult:
+        """Cluster tweets from the tweet-feature matrix ``xp``.
+
+        ``sf0`` is the emotional-signal prior over words (built from the
+        sentiment lexicon via :func:`repro.text.lexicon.build_sf0`); when
+        ``None``, ESSA degrades to plain ONMTF.
+        """
+        result = self._solver.fit(
+            xp,
+            term_prior=sf0,
+            prior_weight=self.emotion_weight if sf0 is not None else 0.0,
+        )
+        return ESSAResult(inner=result)

@@ -1,0 +1,49 @@
+"""Lexicon-matching classifier (MPQA-style baseline [33]).
+
+Classifies a tweet by the signed sum of lexicon polarities of its tokens:
+positive sum → positive, negative → negative, zero → neutral.  The
+weakest baseline family in the paper's related work; useful as a sanity
+floor for every other method.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.text.lexicon import SentimentLexicon
+from repro.text.tokenizer import TweetTokenizer
+
+
+class LexiconClassifier:
+    """Rule-based polarity classifier over a sentiment lexicon."""
+
+    def __init__(
+        self,
+        lexicon: SentimentLexicon,
+        tokenizer: TweetTokenizer | None = None,
+        neutral_band: float = 0.0,
+    ) -> None:
+        if neutral_band < 0:
+            raise ValueError(f"neutral_band must be >= 0, got {neutral_band}")
+        self.lexicon = lexicon
+        self.tokenizer = tokenizer or TweetTokenizer()
+        self.neutral_band = neutral_band
+
+    def score(self, text: str) -> float:
+        """Signed lexicon score of one tweet."""
+        return self.lexicon.score_tokens(self.tokenizer(text))
+
+    def predict_one(self, text: str) -> int:
+        """Class id for one tweet (0 pos / 1 neg / 2 neu)."""
+        value = self.score(text)
+        if value > self.neutral_band:
+            return 0
+        if value < -self.neutral_band:
+            return 1
+        return 2
+
+    def predict(self, texts: Sequence[str]) -> np.ndarray:
+        """Class ids for a batch of tweets."""
+        return np.array([self.predict_one(t) for t in texts], dtype=np.int64)

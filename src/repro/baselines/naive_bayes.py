@@ -1,0 +1,75 @@
+"""Multinomial Naive Bayes with Laplace smoothing (Go et al. [11]).
+
+The classic distant-supervision Twitter sentiment classifier: bag-of-words
+multinomial NB.  Works directly on sparse count or tf-idf matrices
+(tf-idf weights act as fractional counts, the standard relaxation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+MatrixLike = np.ndarray | sp.spmatrix
+
+
+class MultinomialNaiveBayes:
+    """Multinomial NB over non-negative feature matrices.
+
+    Parameters
+    ----------
+    smoothing:
+        Additive (Laplace/Lidstone) smoothing pseudo-count per feature.
+    """
+
+    def __init__(self, smoothing: float = 1.0) -> None:
+        if smoothing <= 0:
+            raise ValueError(f"smoothing must be > 0, got {smoothing}")
+        self.smoothing = smoothing
+        self._log_prior: np.ndarray | None = None
+        self._log_likelihood: np.ndarray | None = None
+        self._classes: np.ndarray | None = None
+
+    def fit(self, x: MatrixLike, y: np.ndarray) -> "MultinomialNaiveBayes":
+        """Fit on rows of ``x`` with integer labels ``y`` (−1 rows ignored)."""
+        y = np.asarray(y, dtype=np.int64)
+        if x.shape[0] != y.shape[0]:
+            raise ValueError(
+                f"x has {x.shape[0]} rows but y has {y.shape[0]} labels"
+            )
+        mask = y >= 0
+        if not mask.any():
+            raise ValueError("no labeled rows to fit on")
+        x_fit = x[np.flatnonzero(mask)]
+        y_fit = y[mask]
+        self._classes = np.unique(y_fit)
+        num_classes = self._classes.size
+        num_features = x.shape[1]
+
+        counts = np.zeros((num_classes, num_features), dtype=np.float64)
+        priors = np.zeros(num_classes, dtype=np.float64)
+        for index, klass in enumerate(self._classes):
+            rows = np.flatnonzero(y_fit == klass)
+            block = x_fit[rows]
+            summed = np.asarray(block.sum(axis=0)).ravel()
+            counts[index] = summed
+            priors[index] = rows.size
+        smoothed = counts + self.smoothing
+        self._log_likelihood = np.log(
+            smoothed / smoothed.sum(axis=1, keepdims=True)
+        )
+        self._log_prior = np.log(priors / priors.sum())
+        return self
+
+    def predict_log_proba(self, x: MatrixLike) -> np.ndarray:
+        """Unnormalized class log-scores for each row of ``x``."""
+        if self._log_likelihood is None or self._log_prior is None:
+            raise RuntimeError("classifier must be fitted before predicting")
+        scores = np.asarray(x @ self._log_likelihood.T)
+        return scores + self._log_prior
+
+    def predict(self, x: MatrixLike) -> np.ndarray:
+        """Most likely class id per row."""
+        scores = self.predict_log_proba(x)  # raises RuntimeError unfitted
+        assert self._classes is not None
+        return self._classes[np.argmax(scores, axis=1)]

@@ -1,0 +1,123 @@
+"""Linear one-vs-rest SVM trained with Pegasos-style SGD (Smith et al. [28]).
+
+[28] classify ballot-initiative tweets with a linear SVM over tf-idf
+features.  Offline environments have no sklearn, so the trainer here is
+the standard Pegasos stochastic sub-gradient solver for the L2-regularized
+hinge loss, run per class in one-vs-rest fashion with deterministic seeded
+shuffling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.utils.rng import RandomState, spawn_rng
+
+MatrixLike = np.ndarray | sp.spmatrix
+
+
+class LinearSVM:
+    """One-vs-rest L2-regularized hinge-loss classifier.
+
+    Parameters
+    ----------
+    regularization:
+        Pegasos λ (weight of ``λ/2·||w||²``).
+    epochs:
+        Full passes over the training set.
+    batch_size:
+        Mini-batch size for the sub-gradient step.
+    """
+
+    def __init__(
+        self,
+        regularization: float = 1e-4,
+        epochs: int = 30,
+        batch_size: int = 64,
+        seed: RandomState = None,
+    ) -> None:
+        if regularization <= 0:
+            raise ValueError(
+                f"regularization must be > 0, got {regularization}"
+            )
+        if epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {epochs}")
+        self.regularization = regularization
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.seed = seed
+        self._weights: np.ndarray | None = None  # (k, l)
+        self._bias: np.ndarray | None = None     # (k,)
+        self._classes: np.ndarray | None = None
+
+    def fit(self, x: MatrixLike, y: np.ndarray) -> "LinearSVM":
+        """Train on labeled rows (label −1 rows are ignored)."""
+        y = np.asarray(y, dtype=np.int64)
+        if x.shape[0] != y.shape[0]:
+            raise ValueError(
+                f"x has {x.shape[0]} rows but y has {y.shape[0]} labels"
+            )
+        mask = y >= 0
+        if not mask.any():
+            raise ValueError("no labeled rows to fit on")
+        x_fit = sp.csr_matrix(x)[np.flatnonzero(mask)]
+        y_fit = y[mask]
+        self._classes = np.unique(y_fit)
+        num_features = x.shape[1]
+        rng = spawn_rng(self.seed)
+
+        weights = np.zeros((self._classes.size, num_features))
+        biases = np.zeros(self._classes.size)
+        for row, klass in enumerate(self._classes):
+            binary = np.where(y_fit == klass, 1.0, -1.0)
+            weights[row], biases[row] = self._pegasos(x_fit, binary, rng)
+        self._weights = weights
+        self._bias = biases
+        return self
+
+    def _pegasos(
+        self, x: sp.csr_matrix, y: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, float]:
+        """Mini-batch Pegasos for one binary problem."""
+        n, l = x.shape
+        w = np.zeros(l)
+        b = 0.0
+        step = 0
+        lam = self.regularization
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                step += 1
+                eta = 1.0 / (lam * step)
+                batch = order[start : start + self.batch_size]
+                xb = x[batch]
+                yb = y[batch]
+                margins = yb * (np.asarray(xb @ w) + b)
+                violators = margins < 1.0
+                w *= 1.0 - eta * lam
+                if violators.any():
+                    grad = np.asarray(
+                        xb[violators].T @ yb[violators]
+                    ).ravel()
+                    scale = eta / batch.size
+                    w += scale * grad
+                    b += scale * float(yb[violators].sum())
+                # Pegasos projection onto the ||w|| <= 1/sqrt(lam) ball.
+                norm = np.linalg.norm(w)
+                radius = 1.0 / np.sqrt(lam)
+                if norm > radius:
+                    w *= radius / norm
+        return w, b
+
+    def decision_function(self, x: MatrixLike) -> np.ndarray:
+        """Per-class margins, shape ``(rows, num_classes)``."""
+        if self._weights is None or self._bias is None:
+            raise RuntimeError("classifier must be fitted before predicting")
+        return np.asarray(x @ self._weights.T) + self._bias
+
+    def predict(self, x: MatrixLike) -> np.ndarray:
+        """Highest-margin class id per row."""
+        margins = self.decision_function(x)  # raises RuntimeError unfitted
+        assert self._classes is not None
+        return self._classes[np.argmax(margins, axis=1)]

@@ -1,0 +1,120 @@
+"""UserReg — semi-supervised sentiment with user-consistency (Deng et al. [7]).
+
+Deng et al. (SDM 2013) train a tweet classifier from partial labels while
+regularizing predictions of tweets by the same user (and by pseudo-friend
+users) to agree; user sentiment is then the aggregation of the user's
+tweet sentiments.  The reproduced paper runs UserReg with 10% labels
+(UserReg-10).
+
+Reimplementation: clamped propagation over a composite tweet graph
+blending (i) lexical kNN similarity, (ii) same-author co-membership and
+(iii) retweet-neighbour co-membership — the three consistency terms of
+the original objective — followed by majority aggregation for users.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.baselines.aggregation import aggregate_user_sentiments
+from repro.baselines.label_propagation import LabelPropagation, knn_affinity
+
+MatrixLike = np.ndarray | sp.spmatrix
+
+
+class UserReg:
+    """Semi-supervised tweet + user classification with user consistency.
+
+    Parameters
+    ----------
+    lexical_weight / author_weight / social_weight:
+        Blend weights of the three consistency graphs.
+    num_neighbors:
+        kNN size for the lexical graph.
+    """
+
+    def __init__(
+        self,
+        num_classes: int = 3,
+        lexical_weight: float = 1.0,
+        author_weight: float = 1.0,
+        social_weight: float = 0.5,
+        num_neighbors: int = 10,
+        max_iterations: int = 200,
+    ) -> None:
+        self.num_classes = num_classes
+        self.lexical_weight = lexical_weight
+        self.author_weight = author_weight
+        self.social_weight = social_weight
+        self.num_neighbors = num_neighbors
+        self.max_iterations = max_iterations
+        self._tweet_predictions: np.ndarray | None = None
+
+    def fit_predict_tweets(
+        self,
+        xp: sp.csr_matrix,
+        xr: sp.spmatrix,
+        user_adjacency: sp.spmatrix,
+        labels: np.ndarray,
+        seed_indices: np.ndarray,
+    ) -> np.ndarray:
+        """Predict a class for every tweet from the seeded labels."""
+        graph = self._composite_graph(xp, xr, user_adjacency)
+        propagator = LabelPropagation(
+            num_classes=self.num_classes, max_iterations=self.max_iterations
+        )
+        predictions = propagator.fit_predict(graph, labels, seed_indices)
+        self._tweet_predictions = predictions
+        return predictions
+
+    def predict_users(self, xr: sp.spmatrix) -> np.ndarray:
+        """Aggregate the fitted tweet predictions per user (Deng's readout)."""
+        if self._tweet_predictions is None:
+            raise RuntimeError("call fit_predict_tweets before predict_users")
+        return aggregate_user_sentiments(
+            xr, self._tweet_predictions, num_classes=self.num_classes
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def _composite_graph(
+        self,
+        xp: sp.csr_matrix,
+        xr: sp.spmatrix,
+        user_adjacency: sp.spmatrix,
+    ) -> sp.csr_matrix:
+        """Blend lexical, same-author and social tweet-tweet affinities."""
+        parts: list[sp.csr_matrix] = []
+        if self.lexical_weight > 0:
+            parts.append(
+                self.lexical_weight
+                * knn_affinity(xp, num_neighbors=self.num_neighbors)
+            )
+        incidence = sp.csr_matrix(xr, dtype=np.float64)
+        if self.author_weight > 0:
+            # Tweets sharing an author: XrᵀXr has a positive entry for each
+            # co-authored pair.  Normalize by author volume so prolific
+            # users do not produce cliques that swamp the lexical signal.
+            user_volume = np.asarray(incidence.sum(axis=1)).ravel()
+            user_volume[user_volume == 0.0] = 1.0
+            scaled = sp.diags(1.0 / user_volume) @ incidence
+            coauthor = (incidence.T @ scaled).tocsr()
+            coauthor.setdiag(0.0)
+            coauthor.eliminate_zeros()
+            parts.append(self.author_weight * coauthor)
+        if self.social_weight > 0:
+            # Tweets of socially connected users.
+            social = (incidence.T @ (user_adjacency @ incidence)).tocsr()
+            social.setdiag(0.0)
+            social.eliminate_zeros()
+            volume = social.sum()
+            if volume > 0:
+                social = social * (incidence.shape[1] / volume)
+            parts.append(self.social_weight * social)
+        if not parts:
+            raise ValueError("all graph weights are zero")
+        graph = parts[0]
+        for part in parts[1:]:
+            graph = (graph + part).tocsr()
+        return graph

@@ -1,0 +1,89 @@
+"""Per-iteration loss tracking and convergence detection.
+
+The paper's Figure 8 plots the Frobenius loss of Eq. (2) (tweet-feature
+approximation), Eq. (3) (user-feature approximation) and the total
+objective of Eq. (1) against iterations; :class:`ConvergenceHistory`
+records exactly those traces so the figure can be regenerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.objective import ObjectiveValue
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """Objective snapshot after one full update sweep."""
+
+    iteration: int
+    objective: ObjectiveValue
+
+    @property
+    def total(self) -> float:
+        return self.objective.total
+
+    @property
+    def tweet_loss(self) -> float:
+        return self.objective.tweet_loss
+
+    @property
+    def user_loss(self) -> float:
+        return self.objective.user_loss
+
+
+@dataclass
+class ConvergenceHistory:
+    """Loss traces over the optimization run."""
+
+    records: list[IterationRecord] = field(default_factory=list)
+
+    def append(self, objective: ObjectiveValue) -> None:
+        self.records.append(
+            IterationRecord(iteration=len(self.records), objective=objective)
+        )
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __bool__(self) -> bool:
+        # A history object is truthy even before any record lands.
+        return True
+
+    @property
+    def totals(self) -> list[float]:
+        """Total-objective trace (Figure 8c)."""
+        return [record.total for record in self.records]
+
+    @property
+    def tweet_losses(self) -> list[float]:
+        """Eq. (2) trace (Figure 8a)."""
+        return [record.tweet_loss for record in self.records]
+
+    @property
+    def user_losses(self) -> list[float]:
+        """Eq. (3) trace (Figure 8b)."""
+        return [record.user_loss for record in self.records]
+
+    @property
+    def final(self) -> IterationRecord:
+        if not self.records:
+            raise ValueError("no iterations recorded")
+        return self.records[-1]
+
+    def converged(self, tolerance: float, window: int = 1) -> bool:
+        """Relative-change convergence test on the total objective.
+
+        True when the total objective changed by less than ``tolerance``
+        (relatively) over each of the last ``window`` iterations.
+        """
+        if len(self.records) < window + 1:
+            return False
+        for offset in range(window):
+            current = self.records[-1 - offset].total
+            previous = self.records[-2 - offset].total
+            denom = max(abs(previous), 1e-30)
+            if abs(previous - current) / denom >= tolerance:
+                return False
+        return True

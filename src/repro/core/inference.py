@@ -1,0 +1,138 @@
+"""Fold-in inference: classify unseen tweets/users with fitted factors.
+
+The solvers cluster the tweets they were fitted on; a deployed system
+also needs to score *new* content without refitting (e.g. classify the
+next tweet as it arrives, between online snapshots).  Fold-in is the
+standard NMF answer: hold the learned ``Sf``/``Hp``/``Hu`` (and, for
+users, ``Sp``) fixed and run the multiplicative update only on the new
+rows — each new row's membership converges independently because the
+fixed factors fully determine its attraction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.state import FactorSet
+from repro.utils.matrices import hard_assignments, row_normalize, safe_sqrt_ratio
+from repro.utils.rng import RandomState, spawn_rng
+
+MatrixLike = np.ndarray | sp.spmatrix
+
+
+def _fold_in(
+    attraction: np.ndarray,
+    num_classes: int,
+    iterations: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Iterate ``S ← S ∘ sqrt(N / S·Sᵀ·N)`` with fixed attraction ``N``."""
+    rows = attraction.shape[0]
+    memberships = rng.uniform(0.01, 1.0, size=(rows, num_classes))
+    for _ in range(iterations):
+        denominator = memberships @ (memberships.T @ attraction)
+        memberships = memberships * safe_sqrt_ratio(attraction, denominator)
+    return memberships
+
+
+def infer_tweet_memberships(
+    xp_new: MatrixLike,
+    factors: FactorSet,
+    iterations: int = 25,
+    seed: RandomState = 0,
+) -> np.ndarray:
+    """Soft sentiment memberships for unseen tweet feature rows.
+
+    Parameters
+    ----------
+    xp_new:
+        ``(rows, l)`` feature matrix of the new tweets, vectorized with
+        the *training* vocabulary.
+    factors:
+        A fitted :class:`~repro.core.state.FactorSet` (``sf``/``hp`` are
+        used; the tweets the model was fitted on are irrelevant here).
+
+    Returns row-normalized memberships, shape ``(rows, k)``.
+    """
+    if xp_new.shape[1] != factors.num_features:
+        raise ValueError(
+            f"xp_new has {xp_new.shape[1]} features; model expects "
+            f"{factors.num_features}"
+        )
+    if iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+    attraction = np.asarray(xp_new @ factors.sf) @ factors.hp.T
+    memberships = _fold_in(
+        attraction, factors.num_classes, iterations, spawn_rng(seed)
+    )
+    return row_normalize(memberships)
+
+
+def infer_tweet_sentiments(
+    xp_new: MatrixLike,
+    factors: FactorSet,
+    iterations: int = 25,
+    seed: RandomState = 0,
+) -> np.ndarray:
+    """Hard sentiment class per unseen tweet row."""
+    return hard_assignments(
+        infer_tweet_memberships(xp_new, factors, iterations, seed)
+    )
+
+
+def infer_user_memberships(
+    xu_new: MatrixLike,
+    factors: FactorSet,
+    xr_new: MatrixLike | None = None,
+    iterations: int = 25,
+    seed: RandomState = 0,
+) -> np.ndarray:
+    """Soft sentiment memberships for unseen users.
+
+    Parameters
+    ----------
+    xu_new:
+        ``(rows, l)`` aggregated feature rows of the new users.
+    xr_new:
+        Optional ``(rows, n)`` incidence against the *fitted* tweets
+        (columns must align with ``factors.sp``); adds the retweet
+        attraction ``Xr·Sp`` of Eq. (4).
+    """
+    if xu_new.shape[1] != factors.num_features:
+        raise ValueError(
+            f"xu_new has {xu_new.shape[1]} features; model expects "
+            f"{factors.num_features}"
+        )
+    if iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+    attraction = np.asarray(xu_new @ factors.sf) @ factors.hu.T
+    if xr_new is not None:
+        if xr_new.shape[1] != factors.num_tweets:
+            raise ValueError(
+                f"xr_new has {xr_new.shape[1]} tweet columns; model has "
+                f"{factors.num_tweets}"
+            )
+        if xr_new.shape[0] != xu_new.shape[0]:
+            raise ValueError(
+                f"xr_new has {xr_new.shape[0]} rows but xu_new has "
+                f"{xu_new.shape[0]}"
+            )
+        attraction = attraction + np.asarray(xr_new @ factors.sp)
+    memberships = _fold_in(
+        attraction, factors.num_classes, iterations, spawn_rng(seed)
+    )
+    return row_normalize(memberships)
+
+
+def infer_user_sentiments(
+    xu_new: MatrixLike,
+    factors: FactorSet,
+    xr_new: MatrixLike | None = None,
+    iterations: int = 25,
+    seed: RandomState = 0,
+) -> np.ndarray:
+    """Hard sentiment class per unseen user row."""
+    return hard_assignments(
+        infer_user_memberships(xu_new, factors, xr_new, iterations, seed)
+    )

@@ -1,0 +1,116 @@
+"""Factor initialization strategies.
+
+Algorithm 1 initializes all factors non-negatively at random; the online
+Algorithm 2 warm-starts ``Sf(t)`` and evolving-user rows of ``Su(t)`` from
+decayed previous results (line 1) and randomizes the rest.  When a lexicon
+prior ``Sf0`` is available, seeding ``Sf`` from it anchors cluster columns
+to sentiment classes from the first iteration, which is what makes the
+unsupervised clusters interpretable as pos/neg/neu.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.state import FactorSet
+from repro.utils.rng import RandomState, spawn_rng
+
+#: Floor applied to warm-started factors.  Multiplicative updates cannot
+#: move an exactly-zero entry, so warm starts must stay strictly positive.
+_WARM_FLOOR = 1e-6
+
+
+def random_factors(
+    num_tweets: int,
+    num_users: int,
+    num_features: int,
+    num_classes: int,
+    seed: RandomState = None,
+) -> FactorSet:
+    """Uniform-random strictly positive factors (Algorithm 1, line 1)."""
+    rng = spawn_rng(seed)
+
+    def uniform(rows: int, cols: int) -> np.ndarray:
+        return rng.uniform(0.01, 1.0, size=(rows, cols))
+
+    return FactorSet(
+        sf=uniform(num_features, num_classes),
+        sp=uniform(num_tweets, num_classes),
+        su=uniform(num_users, num_classes),
+        hp=uniform(num_classes, num_classes),
+        hu=uniform(num_classes, num_classes),
+    )
+
+
+def _near_identity(num_classes: int, rng: np.random.Generator) -> np.ndarray:
+    """Identity plus small positive noise.
+
+    Seeding the association matrices near the identity anchors the
+    *column semantics* of ``Sp``/``Su`` to those of ``Sf``: since ``Hp``
+    and ``Hu`` sit between the entity factors and the feature factor,
+    a random ``H`` lets the solver absorb an arbitrary column
+    permutation, after which cluster ids carry no class identity.  With
+    ``Sf`` seeded from the lexicon and ``H ≈ I``, cluster column ``j``
+    *is* sentiment class ``j`` across all three factors.
+    """
+    return np.eye(num_classes) + 0.05 * rng.uniform(
+        size=(num_classes, num_classes)
+    )
+
+
+def lexicon_seeded_factors(
+    num_tweets: int,
+    num_users: int,
+    sf0: np.ndarray,
+    seed: RandomState = None,
+    jitter: float = 0.01,
+) -> FactorSet:
+    """Random factors with ``Sf`` seeded from the lexicon prior ``Sf0``.
+
+    The association matrices start near the identity (see
+    :func:`_near_identity`) so cluster columns inherit the prior's class
+    semantics.  A small positive ``jitter`` keeps every ``Sf`` entry
+    strictly positive so the multiplicative updates can move it in
+    either direction.
+    """
+    rng = spawn_rng(seed)
+    num_features, num_classes = sf0.shape
+    factors = random_factors(
+        num_tweets, num_users, num_features, num_classes, seed=rng
+    )
+    factors.sf = np.maximum(sf0, 0.0) + jitter * rng.uniform(
+        0.0, 1.0, size=sf0.shape
+    )
+    factors.hp = _near_identity(num_classes, rng)
+    factors.hu = _near_identity(num_classes, rng)
+    return factors
+
+
+def warm_started_factors(
+    num_tweets: int,
+    num_users: int,
+    sf_init: np.ndarray,
+    su_init: np.ndarray | None = None,
+    seed: RandomState = None,
+) -> FactorSet:
+    """Online warm start (Algorithm 2, lines 1-2).
+
+    ``Sf(t)`` starts from the decayed aggregate ``Sfw(t)``; user rows with
+    history start from ``Suw(t)`` (callers pass ``su_init`` with random
+    rows already in place for new users); ``Sp, Hp, Hu`` are random.
+    """
+    rng = spawn_rng(seed)
+    num_classes = sf_init.shape[1]
+    factors = random_factors(
+        num_tweets, num_users, sf_init.shape[0], num_classes, seed=rng
+    )
+    factors.sf = np.maximum(sf_init, _WARM_FLOOR)
+    factors.hp = _near_identity(num_classes, rng)
+    factors.hu = _near_identity(num_classes, rng)
+    if su_init is not None:
+        if su_init.shape != (num_users, num_classes):
+            raise ValueError(
+                f"su_init shape {su_init.shape} != ({num_users}, {num_classes})"
+            )
+        factors.su = np.maximum(su_init, _WARM_FLOOR)
+    return factors

@@ -1,0 +1,49 @@
+"""Mapping cluster columns to sentiment classes without ground truth.
+
+The factorization is invariant to column permutations: nothing forces
+cluster column 0 to be the *positive* class.  Evaluation against ground
+truth uses majority-vote alignment (Section 5), but applications that
+need class *identity* — "what share of users is positive?" — must not
+touch labels.  The unsupervised answer is the sentiment lexicon: compare
+the learned feature factor ``Sf`` with the prior ``Sf0`` and assign each
+cluster column to the sentiment class it loads the lexicon words of.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+from repro.utils.matrices import EPS
+
+
+def lexicon_column_alignment(sf: np.ndarray, sf0: np.ndarray) -> np.ndarray:
+    """Permutation ``perm`` with ``perm[cluster] = sentiment class``.
+
+    Solves the assignment maximizing ``Σ_f Sf[f, cluster]·Sf0[f, class]``
+    over one-to-one cluster→class maps (Hungarian).  Columns of ``Sf``
+    are max-normalized first so a large-scale column cannot buy every
+    class.
+    """
+    if sf.shape != sf0.shape:
+        raise ValueError(f"shape mismatch: sf {sf.shape} vs sf0 {sf0.shape}")
+    normalized = sf / np.maximum(sf.max(axis=0, keepdims=True), EPS)
+    # Subtract each feature's mean prior so uniform (out-of-lexicon) rows
+    # contribute nothing to the affinity.
+    centered_prior = sf0 - sf0.mean(axis=1, keepdims=True)
+    affinity = normalized.T @ centered_prior        # clusters × classes
+    rows, cols = linear_sum_assignment(-affinity)
+    perm = np.empty(sf.shape[1], dtype=np.int64)
+    perm[rows] = cols
+    return perm
+
+
+def apply_alignment(labels: np.ndarray, perm: np.ndarray) -> np.ndarray:
+    """Relabel cluster ids into class ids via ``perm``."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.size and (labels.min() < 0 or labels.max() >= perm.size):
+        raise ValueError(
+            f"labels outside [0, {perm.size}): "
+            f"[{labels.min()}, {labels.max()}]"
+        )
+    return perm[labels]

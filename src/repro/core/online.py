@@ -1,0 +1,400 @@
+"""Online tri-clustering — Algorithm 2.
+
+Processes temporal snapshots one at a time, warm-starting from decayed
+previous results instead of re-factorizing history:
+
+- ``Sfw(t) = Σ_{i=1..w-1} τⁱ·Sf(t−i)`` regularizes and initializes the
+  feature factor (Observation 1: word sentiment evolves slowly).
+- ``Suw(t)`` does the same for *evolving* users (Observation 2: most users
+  rarely change their mind quickly); *new* users are initialized randomly
+  and follow the offline-style update Eq. (24); *disappeared* users keep
+  their carried-forward sentiment.
+
+The solver is matrix-level: callers hand it one
+:class:`~repro.graph.tripartite.TripartiteGraph` per snapshot, built
+against a **shared vocabulary** so that feature rows align across time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.convergence import ConvergenceHistory
+from repro.core.initialization import warm_started_factors
+from repro.core.objective import ObjectiveWeights, compute_objective
+from repro.core.state import FactorSet
+from repro.core.updates import (
+    update_hp,
+    update_hu,
+    update_sf,
+    update_sp,
+    update_su_online,
+)
+from repro.graph.tripartite import TripartiteGraph
+from repro.utils.logging import get_logger
+from repro.utils.matrices import hard_assignments
+from repro.utils.rng import RandomState, spawn_rng
+
+logger = get_logger("core.online")
+
+
+@dataclass
+class OnlineStepResult:
+    """Output of one ``partial_fit`` call (one snapshot)."""
+
+    snapshot_index: int
+    factors: FactorSet
+    history: ConvergenceHistory
+    converged: bool
+    iterations: int
+    user_ids: list[int]
+    new_user_rows: np.ndarray
+    evolving_user_rows: np.ndarray
+
+    def tweet_sentiments(self) -> np.ndarray:
+        return self.factors.tweet_clusters()
+
+    def user_sentiments(self) -> np.ndarray:
+        return self.factors.user_clusters()
+
+
+class OnlineTriClustering:
+    """Algorithm 2: streaming tri-clustering with temporal regularization.
+
+    Parameters
+    ----------
+    alpha:
+        Temporal feature-smoothness weight (paper's online best: 0.9).
+    beta:
+        User-graph smoothness weight (0.8, as offline).
+    gamma:
+        Evolving-user temporal weight (paper's best: 0.2).
+    tau:
+        Exponential decay of past results within the window (0.9).
+    window:
+        Time-window size ``w``; ``w=2`` (the paper's setting) uses only
+        the previous snapshot.
+    state_smoothing:
+        Weight of the *previous* carried estimate when blending a user's
+        new snapshot estimate into the global per-user state (evaluation
+        readout and fallback prior).  0 reproduces plain overwriting.
+    """
+
+    def __init__(
+        self,
+        num_classes: int = 3,
+        alpha: float = 0.9,
+        beta: float = 0.8,
+        gamma: float = 0.2,
+        tau: float = 0.9,
+        window: int = 2,
+        max_iterations: int = 100,
+        tolerance: float = 1e-5,
+        patience: int = 3,
+        seed: RandomState = None,
+        track_history: bool = False,
+        update_style: str = "projector",
+        state_smoothing: float = 0.8,
+    ) -> None:
+        if num_classes < 2:
+            raise ValueError(f"num_classes must be >= 2, got {num_classes}")
+        if not (0.0 < tau <= 1.0):
+            raise ValueError(f"tau must be in (0, 1], got {tau}")
+        if window < 2:
+            raise ValueError(f"window must be >= 2, got {window}")
+        if not (0.0 <= state_smoothing < 1.0):
+            raise ValueError(
+                f"state_smoothing must be in [0, 1), got {state_smoothing}"
+            )
+        self.state_smoothing = state_smoothing
+        self.num_classes = num_classes
+        self.weights = ObjectiveWeights(alpha=alpha, beta=beta, gamma=gamma)
+        self.tau = tau
+        self.window = window
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.patience = patience
+        self.track_history = track_history
+        if update_style not in ("projector", "lagrangian"):
+            raise ValueError(f"unknown update_style: {update_style!r}")
+        self.update_style = update_style
+        self._rng = spawn_rng(seed)
+
+        self._sf_history: deque[np.ndarray] = deque(maxlen=window - 1)
+        self._su_history: deque[dict[int, np.ndarray]] = deque(maxlen=window - 1)
+        self._user_state: dict[int, np.ndarray] = {}
+        self._seen_users: set[int] = set()
+        self._steps = 0
+
+    # ------------------------------------------------------------------ #
+    # Temporal aggregates
+    # ------------------------------------------------------------------ #
+
+    def feature_prior(self, num_features: int) -> np.ndarray | None:
+        """``Sfw(t) = Σ_{i=1..w-1} τⁱ·Sf(t−i)``; ``None`` before any step."""
+        if not self._sf_history:
+            return None
+        aggregate = np.zeros((num_features, self.num_classes))
+        # history[-1] is Sf(t-1), history[-2] is Sf(t-2), ...
+        for lag, sf_past in enumerate(reversed(self._sf_history), start=1):
+            if sf_past.shape[0] != num_features:
+                raise ValueError(
+                    "feature dimension changed across snapshots "
+                    f"({sf_past.shape[0]} -> {num_features}); online mode "
+                    "requires a shared vocabulary"
+                )
+            aggregate += (self.tau ** lag) * sf_past
+        return aggregate
+
+    def user_prior(self, user_id: int) -> np.ndarray | None:
+        """``Suw(t)`` row for one user, or ``None`` without history.
+
+        Falls back to the decayed carried-forward estimate when the user
+        was seen before the current window (still an "evolving" user).
+        """
+        aggregate = np.zeros(self.num_classes)
+        found = False
+        for lag, su_past in enumerate(reversed(self._su_history), start=1):
+            row = su_past.get(user_id)
+            if row is not None:
+                aggregate += (self.tau ** lag) * row
+                found = True
+        if found:
+            return aggregate
+        carried = self._user_state.get(user_id)
+        if carried is not None:
+            return self.tau * carried
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Streaming API
+    # ------------------------------------------------------------------ #
+
+    def partial_fit(self, graph: TripartiteGraph) -> OnlineStepResult:
+        """Process one snapshot; updates the internal temporal state."""
+        corpus = graph.corpus
+        user_ids = corpus.user_ids
+        current = set(user_ids)
+        new_rows = np.array(
+            [i for i, uid in enumerate(user_ids) if uid not in self._seen_users],
+            dtype=np.int64,
+        )
+        evolving_rows = np.array(
+            [i for i, uid in enumerate(user_ids) if uid in self._seen_users],
+            dtype=np.int64,
+        )
+
+        # --- warm starts (Algorithm 2, lines 1-2) ---
+        sfw = self.feature_prior(graph.num_features)
+        sf_init = sfw if sfw is not None else graph.sf0
+        if sf_init is None:
+            sf_init = self._rng.uniform(
+                0.01, 1.0, size=(graph.num_features, self.num_classes)
+            )
+
+        su_prior_rows: list[np.ndarray] = []
+        su_init = self._rng.uniform(
+            0.01, 1.0, size=(graph.num_users, self.num_classes)
+        )
+        kept_evolving: list[int] = []
+        for row in evolving_rows:
+            prior = self.user_prior(user_ids[int(row)])
+            if prior is not None:
+                su_init[int(row)] = np.maximum(prior, 1e-6)
+                su_prior_rows.append(prior)
+                kept_evolving.append(int(row))
+        evolving_rows = np.array(kept_evolving, dtype=np.int64)
+        su_prior = (
+            np.vstack(su_prior_rows) if su_prior_rows else None
+        )
+
+        factors = warm_started_factors(
+            graph.num_tweets,
+            graph.num_users,
+            sf_init,
+            su_init=su_init,
+            seed=self._rng,
+        )
+
+        result = self._optimize(
+            graph, factors, sfw, su_prior, evolving_rows
+        )
+
+        # --- commit temporal state ---
+        self._sf_history.append(result.factors.sf.copy())
+        su_snapshot = {
+            uid: result.factors.su[i].copy() for i, uid in enumerate(user_ids)
+        }
+        self._su_history.append(su_snapshot)
+        # The carried per-user state is an exponentially smoothed average of
+        # row-normalized snapshot estimates.  A single snapshot sees few
+        # tweets per user, so overwriting would make the global user
+        # readout as noisy as the mini-batch baseline; smoothing implements
+        # Observation 2 (user sentiment is stable over short horizons).
+        for uid, row in su_snapshot.items():
+            total = row.sum()
+            normalized = row / total if total > 0 else row
+            previous = self._user_state.get(uid)
+            if previous is None:
+                self._user_state[uid] = normalized
+            else:
+                self._user_state[uid] = (
+                    self.state_smoothing * previous
+                    + (1.0 - self.state_smoothing) * normalized
+                )
+        self._seen_users |= current
+        self._steps += 1
+
+        return OnlineStepResult(
+            snapshot_index=self._steps - 1,
+            factors=result.factors,
+            history=result.history,
+            converged=result.converged,
+            iterations=result.iterations,
+            user_ids=user_ids,
+            new_user_rows=new_rows,
+            evolving_user_rows=evolving_rows,
+        )
+
+    # ------------------------------------------------------------------ #
+
+    @dataclass
+    class _OptimizeOutput:
+        factors: FactorSet
+        history: ConvergenceHistory
+        converged: bool
+        iterations: int
+
+    def _optimize(
+        self,
+        graph: TripartiteGraph,
+        factors: FactorSet,
+        sfw: np.ndarray | None,
+        su_prior: np.ndarray | None,
+        evolving_rows: np.ndarray,
+    ) -> "_OptimizeOutput":
+        """Algorithm 2 inner loop (lines 3-8)."""
+        xp, xu, xr = graph.xp, graph.xu, graph.xr
+        gu = graph.user_graph.adjacency
+        du = graph.user_graph.degree_matrix
+        laplacian = graph.user_graph.laplacian
+        sf_prior = sfw if sfw is not None else graph.sf0
+
+        history = ConvergenceHistory()
+        converged = False
+        iterations_run = 0
+        for iteration in range(self.max_iterations):
+            factors.sf = update_sf(
+                factors.sf,
+                factors.sp,
+                factors.hp,
+                factors.su,
+                factors.hu,
+                xp,
+                xu,
+                sf_prior,
+                self.weights.alpha,
+                style=self.update_style,
+            )
+            factors.sp = update_sp(
+                factors.sp, factors.sf, factors.hp, factors.su, xp, xr,
+                style=self.update_style,
+            )
+            factors.hp = update_hp(factors.hp, factors.sp, factors.sf, xp)
+            factors.hu = update_hu(factors.hu, factors.su, factors.sf, xu)
+            factors.su = update_su_online(
+                factors.su,
+                factors.sf,
+                factors.hu,
+                factors.sp,
+                xu,
+                xr,
+                gu,
+                du,
+                self.weights.beta,
+                self.weights.gamma,
+                su_prior,
+                evolving_rows,
+                style=self.update_style,
+            )
+            iterations_run = iteration + 1
+
+            if self.track_history or self.tolerance > 0:
+                objective = compute_objective(
+                    factors,
+                    xp,
+                    xu,
+                    xr,
+                    laplacian,
+                    self.weights,
+                    sf_prior=sf_prior,
+                    su_prior=su_prior,
+                    su_prior_rows=evolving_rows if su_prior is not None else None,
+                )
+                history.append(objective)
+                if history.converged(self.tolerance, window=self.patience):
+                    converged = True
+                    break
+
+        if not history.records:
+            history.append(
+                compute_objective(
+                    factors,
+                    xp,
+                    xu,
+                    xr,
+                    laplacian,
+                    self.weights,
+                    sf_prior=sf_prior,
+                    su_prior=su_prior,
+                    su_prior_rows=evolving_rows if su_prior is not None else None,
+                )
+            )
+        return self._OptimizeOutput(
+            factors=factors,
+            history=history,
+            converged=converged,
+            iterations=iterations_run,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Global readouts
+    # ------------------------------------------------------------------ #
+
+    @property
+    def current_feature_factor(self) -> np.ndarray | None:
+        """The most recent ``Sf(t)`` (None before the first snapshot).
+
+        Useful with
+        :func:`repro.core.labeling.lexicon_column_alignment` to map
+        cluster columns onto sentiment classes without ground truth.
+        """
+        if not self._sf_history:
+            return None
+        return self._sf_history[-1].copy()
+
+    @property
+    def seen_users(self) -> set[int]:
+        """All user ids observed in any processed snapshot (a copy)."""
+        return set(self._seen_users)
+
+    @property
+    def steps(self) -> int:
+        """Number of snapshots processed."""
+        return self._steps
+
+    def user_sentiment_rows(self) -> dict[int, np.ndarray]:
+        """Latest sentiment vector per user (disappeared users included)."""
+        return {uid: row.copy() for uid, row in self._user_state.items()}
+
+    def user_sentiment_labels(self) -> dict[int, int]:
+        """Latest hard sentiment class per user ever seen."""
+        if not self._user_state:
+            return {}
+        uids = sorted(self._user_state)
+        matrix = np.vstack([self._user_state[uid] for uid in uids])
+        labels = hard_assignments(matrix)
+        return {uid: int(label) for uid, label in zip(uids, labels)}

@@ -1,0 +1,106 @@
+"""Factor state for the tri-clustering objective.
+
+One :class:`FactorSet` bundles the five factor matrices of Eq. (1):
+
+- ``sf (l×k)`` feature-cluster memberships,
+- ``sp (n×k)`` tweet-cluster memberships,
+- ``su (m×k)`` user-cluster memberships,
+- ``hp (k×k)`` feature-to-tweet-class association,
+- ``hu (k×k)`` feature-to-user-class association.
+
+All matrices are dense ``float64`` and element-wise non-negative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.matrices import hard_assignments, is_nonnegative, row_normalize
+
+
+@dataclass
+class FactorSet:
+    """The five non-negative factors of the tri-clustering model."""
+
+    sf: np.ndarray
+    sp: np.ndarray
+    su: np.ndarray
+    hp: np.ndarray
+    hu: np.ndarray
+
+    def __post_init__(self) -> None:
+        k = self.sf.shape[1]
+        for name in ("sf", "sp", "su"):
+            matrix = getattr(self, name)
+            if matrix.ndim != 2 or matrix.shape[1] != k:
+                raise ValueError(
+                    f"{name} must have {k} columns, got shape {matrix.shape}"
+                )
+        for name in ("hp", "hu"):
+            matrix = getattr(self, name)
+            if matrix.shape != (k, k):
+                raise ValueError(
+                    f"{name} must be {k}x{k}, got shape {matrix.shape}"
+                )
+        for name in ("sf", "sp", "su", "hp", "hu"):
+            if not is_nonnegative(getattr(self, name), tolerance=1e-12):
+                raise ValueError(f"{name} must be non-negative")
+
+    # ------------------------------------------------------------------ #
+    # Shapes
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_features(self) -> int:
+        return self.sf.shape[0]
+
+    @property
+    def num_tweets(self) -> int:
+        return self.sp.shape[0]
+
+    @property
+    def num_users(self) -> int:
+        return self.su.shape[0]
+
+    @property
+    def num_classes(self) -> int:
+        return self.sf.shape[1]
+
+    # ------------------------------------------------------------------ #
+    # Readouts
+    # ------------------------------------------------------------------ #
+
+    def tweet_clusters(self) -> np.ndarray:
+        """Hard tweet cluster ids (argmax over ``sp`` rows)."""
+        return hard_assignments(self.sp)
+
+    def user_clusters(self) -> np.ndarray:
+        """Hard user cluster ids (argmax over ``su`` rows)."""
+        return hard_assignments(self.su)
+
+    def feature_clusters(self) -> np.ndarray:
+        """Hard feature cluster ids (argmax over ``sf`` rows)."""
+        return hard_assignments(self.sf)
+
+    def tweet_memberships(self) -> np.ndarray:
+        """Row-normalized soft tweet memberships (rows sum to 1)."""
+        return row_normalize(self.sp)
+
+    def user_memberships(self) -> np.ndarray:
+        """Row-normalized soft user memberships (rows sum to 1)."""
+        return row_normalize(self.su)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def copy(self) -> "FactorSet":
+        return FactorSet(
+            sf=self.sf.copy(),
+            sp=self.sp.copy(),
+            su=self.su.copy(),
+            hp=self.hp.copy(),
+            hu=self.hu.copy(),
+        )

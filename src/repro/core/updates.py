@@ -1,0 +1,314 @@
+"""Multiplicative update kernels (Section 3.1 and Section 4.1).
+
+Every rule has the shape ``S ← S ∘ sqrt(numerator / denominator)`` where
+the numerator collects the negative part of the KKT gradient and the
+denominator the positive part.
+
+Two equivalent-at-stationarity formulations are provided for the
+orthogonality-constrained factors (``Sf``, ``Sp``, ``Su``):
+
+- ``"projector"`` (default) — the closed form of Ding et al. [9], the
+  source the paper cites for its rules ("following the updating rules
+  proposed and proved in [9]").  The Lagrangian ``Δ`` is absorbed via
+  ``S·Δ + S·(gram) = S·Sᵀ·N``, yielding all-non-negative numerators and
+  denominators and stable iterations.  Graph-regularization terms stay
+  explicit with the standard ``Du``/``Gu`` split (provably monotone for
+  GNMF-style objectives).
+- ``"lagrangian"`` — the literal ``Δ = Δ⁺ − Δ⁻`` split as printed in the
+  paper's derivation (Eqs. 7, 9, 11, 24, 26).  This transcription is the
+  intermediate proof form; iterated verbatim it is only locally stable
+  (it can blow up once a factor column collapses), so it is exposed for
+  fidelity ablation, guarded by a per-step ratio clip.
+
+``Hp``/``Hu`` (Eqs. 12, 13) are the plain, provably non-increasing NMF
+updates in both styles.
+
+Sparse data matrices are consumed as ``scipy.sparse`` and only multiplied
+against ``k``-column dense factors; the projector ``S·Sᵀ·N`` is evaluated
+as ``S·(Sᵀ·N)`` so every update is ``O(nnz·k + rows·k²)``.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.utils.matrices import nonneg_split, safe_sqrt_ratio
+
+#: Per-iteration bound on the multiplicative step, used by the
+#: ``"lagrangian"`` style (see :func:`repro.utils.matrices.safe_sqrt_ratio`).
+MAX_UPDATE_RATIO = 4.0
+
+MatrixLike = np.ndarray | sp.spmatrix
+UpdateStyle = Literal["projector", "lagrangian"]
+
+
+def _dot(x: MatrixLike, dense: np.ndarray) -> np.ndarray:
+    """``x @ dense`` returning a plain ndarray for sparse or dense ``x``."""
+    return np.asarray(x @ dense)
+
+
+def _project(s: np.ndarray, n: np.ndarray) -> np.ndarray:
+    """``S·Sᵀ·N`` computed as ``S·(Sᵀ·N)`` — O(rows·k²)."""
+    return s @ (s.T @ n)
+
+
+# --------------------------------------------------------------------- #
+# Association factors (plain NMF updates)
+# --------------------------------------------------------------------- #
+
+
+def update_hp(
+    hp: np.ndarray,
+    sp_factor: np.ndarray,
+    sf: np.ndarray,
+    xp: MatrixLike,
+) -> np.ndarray:
+    """Eq. (12): ``Hp ← Hp ∘ sqrt(SpᵀXpSf / SpᵀSpHpSfᵀSf)``."""
+    numerator = sp_factor.T @ _dot(xp, sf)
+    denominator = (sp_factor.T @ sp_factor) @ hp @ (sf.T @ sf)
+    return hp * safe_sqrt_ratio(numerator, denominator)
+
+
+def update_hu(
+    hu: np.ndarray,
+    su: np.ndarray,
+    sf: np.ndarray,
+    xu: MatrixLike,
+) -> np.ndarray:
+    """Eq. (13): ``Hu ← Hu ∘ sqrt(SuᵀXuSf / SuᵀSuHuSfᵀSf)``."""
+    numerator = su.T @ _dot(xu, sf)
+    denominator = (su.T @ su) @ hu @ (sf.T @ sf)
+    return hu * safe_sqrt_ratio(numerator, denominator)
+
+
+# --------------------------------------------------------------------- #
+# Tweet factor
+# --------------------------------------------------------------------- #
+
+
+def update_sp(
+    sp_factor: np.ndarray,
+    sf: np.ndarray,
+    hp: np.ndarray,
+    su: np.ndarray,
+    xp: MatrixLike,
+    xr: MatrixLike,
+    style: UpdateStyle = "projector",
+) -> np.ndarray:
+    """Eq. (9) — tweet factor update.
+
+    Attraction ``N = XpSfHpᵀ + XrᵀSu`` (how strongly tweet *i* matches
+    class *j* through its words and its retweeters); the orthogonality
+    projector ``Sp·Spᵀ·N`` is the repulsion.
+    """
+    xp_sf_hpT = _dot(xp, sf) @ hp.T                    # n×k
+    xrT_su = _dot(xr.T, su)                            # n×k
+    attraction = xp_sf_hpT + xrT_su
+
+    if style == "projector":
+        denominator = _project(sp_factor, attraction)
+        return sp_factor * safe_sqrt_ratio(attraction, denominator)
+
+    sfT_sf = sf.T @ sf
+    suT_su = su.T @ su
+    hp_gram = hp @ sfT_sf @ hp.T
+    delta = sp_factor.T @ attraction - hp_gram - suT_su
+    delta_plus, delta_minus = nonneg_split(delta)
+    numerator = attraction + sp_factor @ delta_minus
+    denominator = (
+        sp_factor @ hp_gram + sp_factor @ suT_su + sp_factor @ delta_plus
+    )
+    return sp_factor * safe_sqrt_ratio(numerator, denominator, MAX_UPDATE_RATIO)
+
+
+# --------------------------------------------------------------------- #
+# User factor
+# --------------------------------------------------------------------- #
+
+
+def update_su(
+    su: np.ndarray,
+    sf: np.ndarray,
+    hu: np.ndarray,
+    sp_factor: np.ndarray,
+    xu: MatrixLike,
+    xr: MatrixLike,
+    gu: MatrixLike,
+    du: MatrixLike,
+    beta: float,
+    style: UpdateStyle = "projector",
+) -> np.ndarray:
+    """Eq. (11) — user factor update with graph regularization.
+
+    Attraction ``N = XuSfHuᵀ + XrSp + β·GuSu`` (words, posted/retweeted
+    tweets, and neighbours' sentiments pull a user toward a class);
+    repulsion is the projector on the factorization part plus the degree
+    term ``β·DuSu`` of the Laplacian split.
+    """
+    xu_sf_huT = _dot(xu, sf) @ hu.T                    # m×k
+    xr_sp = _dot(xr, sp_factor)                        # m×k
+    gu_su = _dot(gu, su)
+    du_su = _dot(du, su)
+    factor_attraction = xu_sf_huT + xr_sp
+
+    if style == "projector":
+        numerator = factor_attraction + beta * gu_su
+        denominator = _project(su, factor_attraction) + beta * du_su
+        return su * safe_sqrt_ratio(numerator, denominator)
+
+    sfT_sf = sf.T @ sf
+    spT_sp = sp_factor.T @ sp_factor
+    hu_gram = hu @ sfT_sf @ hu.T
+    delta = (
+        su.T @ factor_attraction
+        - hu_gram
+        - spT_sp
+        - beta * (su.T @ (du_su - gu_su))
+    )
+    delta_plus, delta_minus = nonneg_split(delta)
+    numerator = factor_attraction + beta * gu_su + su @ delta_minus
+    denominator = (
+        su @ hu_gram + su @ spT_sp + beta * du_su + su @ delta_plus
+    )
+    return su * safe_sqrt_ratio(numerator, denominator, MAX_UPDATE_RATIO)
+
+
+# --------------------------------------------------------------------- #
+# Feature factor
+# --------------------------------------------------------------------- #
+
+
+def update_sf(
+    sf: np.ndarray,
+    sp_factor: np.ndarray,
+    hp: np.ndarray,
+    su: np.ndarray,
+    hu: np.ndarray,
+    xp: MatrixLike,
+    xu: MatrixLike,
+    sf_prior: np.ndarray | None,
+    alpha: float,
+    style: UpdateStyle = "projector",
+) -> np.ndarray:
+    """Eq. (7) offline / Eq. (23) online — feature factor update.
+
+    ``sf_prior`` is ``Sf0`` (offline) or the decayed aggregate ``Sfw(t)``
+    (online); the two rules are otherwise identical.  The α prior enters
+    the numerator as ``α·Sf0`` (pull toward the lexicon) and the
+    denominator as ``α·Sf``.
+    """
+    xuT_su_hu = _dot(xu.T, su) @ hu                    # l×k
+    xpT_sp_hp = _dot(xp.T, sp_factor) @ hp             # l×k
+    factor_attraction = xuT_su_hu + xpT_sp_hp
+
+    if sf_prior is None or alpha == 0.0:
+        prior_numerator = 0.0
+        prior_denominator = 0.0
+    else:
+        prior_numerator = alpha * sf_prior
+        prior_denominator = alpha * sf
+
+    if style == "projector":
+        numerator = factor_attraction + prior_numerator
+        denominator = _project(sf, factor_attraction) + prior_denominator
+        return sf * safe_sqrt_ratio(numerator, denominator)
+
+    hu_gram = hu.T @ (su.T @ su) @ hu
+    hp_gram = hp.T @ (sp_factor.T @ sp_factor) @ hp
+    prior_delta = (
+        np.zeros((sf.shape[1], sf.shape[1]))
+        if sf_prior is None or alpha == 0.0
+        else alpha * (sf.T @ (sf - sf_prior))
+    )
+    delta = (
+        sf.T @ factor_attraction - hu_gram - hp_gram - prior_delta
+    )
+    delta_plus, delta_minus = nonneg_split(delta)
+    numerator = factor_attraction + prior_numerator + sf @ delta_minus
+    denominator = (
+        sf @ hu_gram + sf @ hp_gram + prior_denominator + sf @ delta_plus
+    )
+    return sf * safe_sqrt_ratio(numerator, denominator, MAX_UPDATE_RATIO)
+
+
+# --------------------------------------------------------------------- #
+# Online user factor (Eqs. 24 + 26)
+# --------------------------------------------------------------------- #
+
+
+def update_su_online(
+    su: np.ndarray,
+    sf: np.ndarray,
+    hu: np.ndarray,
+    sp_factor: np.ndarray,
+    xu: MatrixLike,
+    xr: MatrixLike,
+    gu: MatrixLike,
+    du: MatrixLike,
+    beta: float,
+    gamma: float,
+    su_prior: np.ndarray | None,
+    evolving_rows: np.ndarray | None,
+    style: UpdateStyle = "projector",
+) -> np.ndarray:
+    """Eqs. (24)+(26) — online user update with row-wise temporal terms.
+
+    New-user rows follow Eq. (24) (identical to the offline Eq. (11));
+    evolving-user rows follow Eq. (26), which adds ``γ·Suw`` to the
+    numerator and ``γ·Su`` to the denominator, pulling those rows toward
+    their decayed history.
+
+    Parameters
+    ----------
+    su_prior:
+        ``Suw(t)`` rows for evolving users, aligned with ``evolving_rows``.
+    evolving_rows:
+        Row indices of evolving users within ``su``.
+    """
+    xu_sf_huT = _dot(xu, sf) @ hu.T
+    xr_sp = _dot(xr, sp_factor)
+    gu_su = _dot(gu, su)
+    du_su = _dot(du, su)
+    factor_attraction = xu_sf_huT + xr_sp
+
+    has_temporal = (
+        su_prior is not None
+        and evolving_rows is not None
+        and evolving_rows.size > 0
+        and gamma > 0.0
+    )
+
+    if style == "projector":
+        numerator = factor_attraction + beta * gu_su
+        denominator = _project(su, factor_attraction) + beta * du_su
+        if has_temporal:
+            numerator[evolving_rows] += gamma * su_prior
+            denominator[evolving_rows] += gamma * su[evolving_rows]
+        return su * safe_sqrt_ratio(numerator, denominator)
+
+    sfT_sf = sf.T @ sf
+    spT_sp = sp_factor.T @ sp_factor
+    hu_gram = hu @ sfT_sf @ hu.T
+    temporal_delta = np.zeros((su.shape[1], su.shape[1]))
+    if has_temporal:
+        su_evolving = su[evolving_rows]
+        temporal_delta = gamma * (su_evolving.T @ (su_evolving - su_prior))
+    delta = (
+        su.T @ factor_attraction
+        - hu_gram
+        - spT_sp
+        - beta * (su.T @ (du_su - gu_su))
+        - temporal_delta
+    )
+    delta_plus, delta_minus = nonneg_split(delta)
+    numerator = factor_attraction + beta * gu_su + su @ delta_minus
+    denominator = (
+        su @ hu_gram + su @ spT_sp + beta * du_su + su @ delta_plus
+    )
+    if has_temporal:
+        numerator[evolving_rows] += gamma * su_prior
+        denominator[evolving_rows] += gamma * su[evolving_rows]
+    return su * safe_sqrt_ratio(numerator, denominator, MAX_UPDATE_RATIO)

@@ -1,0 +1,35 @@
+"""Data model and dataset substrate.
+
+- :mod:`repro.data.tweet` — ``Sentiment``, ``Tweet``, ``UserProfile``.
+- :mod:`repro.data.corpus` — ``TweetCorpus`` container with temporal
+  slicing and label access.
+- :mod:`repro.data.synthetic` — the synthetic California-ballot dataset
+  generator substituting the paper's Twitter crawl (see DESIGN.md §2).
+- :mod:`repro.data.stream` — snapshot streaming for the online framework.
+"""
+
+from repro.data.corpus import TweetCorpus
+from repro.data.io import load_corpus_jsonl, save_corpus_jsonl
+from repro.data.stream import Snapshot, SnapshotStream
+from repro.data.synthetic import (
+    BallotDatasetConfig,
+    BallotDatasetGenerator,
+    prop30_config,
+    prop37_config,
+)
+from repro.data.tweet import Sentiment, Tweet, UserProfile
+
+__all__ = [
+    "BallotDatasetConfig",
+    "BallotDatasetGenerator",
+    "Sentiment",
+    "Snapshot",
+    "SnapshotStream",
+    "Tweet",
+    "TweetCorpus",
+    "UserProfile",
+    "load_corpus_jsonl",
+    "prop30_config",
+    "prop37_config",
+    "save_corpus_jsonl",
+]

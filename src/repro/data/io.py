@@ -1,0 +1,139 @@
+"""Corpus persistence and ingestion (JSON-lines).
+
+Lets downstream users bring their own tweet data: one JSON object per
+line, ``{"kind": "user", ...}`` or ``{"kind": "tweet", ...}``.  The schema
+mirrors the public data model:
+
+.. code-block:: json
+
+    {"kind": "user", "user_id": 7, "stance": "pos", "labeled": true,
+     "stance_changes": {"50": "neg"}}
+    {"kind": "tweet", "tweet_id": 1, "user_id": 7, "text": "yes on 30!",
+     "day": 12, "sentiment": "pos", "retweet_of": null}
+
+``sentiment``/``stance`` accept the labels of
+:meth:`repro.data.tweet.Sentiment.from_label`; ``null``/absent means
+unlabeled.  Round-tripping a corpus through save/load is exact.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.data.corpus import TweetCorpus
+from repro.data.tweet import Sentiment, Tweet, UserProfile
+
+
+def _sentiment_to_json(value: Sentiment | None) -> str | None:
+    return value.short_name if value is not None else None
+
+
+def _sentiment_from_json(value: str | None) -> Sentiment | None:
+    return Sentiment.from_label(value) if value is not None else None
+
+
+def save_corpus_jsonl(corpus: TweetCorpus, path: str | Path) -> Path:
+    """Write ``corpus`` to ``path`` in JSON-lines format."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        for uid in corpus.user_ids:
+            user = corpus.users[uid]
+            record = {
+                "kind": "user",
+                "user_id": user.user_id,
+                "stance": _sentiment_to_json(user.base_stance),
+                "labeled": user.labeled,
+                "stance_changes": {
+                    str(day): stance.short_name
+                    for day, stance in sorted(user.stance_changes.items())
+                },
+            }
+            handle.write(json.dumps(record) + "\n")
+        for tweet in corpus.tweets:
+            record = {
+                "kind": "tweet",
+                "tweet_id": tweet.tweet_id,
+                "user_id": tweet.user_id,
+                "text": tweet.text,
+                "day": tweet.day,
+                "sentiment": _sentiment_to_json(tweet.sentiment),
+                "retweet_of": tweet.retweet_of,
+            }
+            handle.write(json.dumps(record) + "\n")
+    return path
+
+
+def load_corpus_jsonl(path: str | Path, name: str | None = None) -> TweetCorpus:
+    """Load a corpus written by :func:`save_corpus_jsonl` (or hand-made).
+
+    Tweets referencing users that have no ``user`` record get an
+    unlabeled profile synthesized, so minimal tweet-only files load too.
+    """
+    path = Path(path)
+    users: dict[int, UserProfile] = {}
+    tweets: list[Tweet] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{path}:{line_number}: invalid JSON: {error}"
+                ) from error
+            kind = record.get("kind")
+            if kind == "user":
+                profile = _parse_user(record, path, line_number)
+                users[profile.user_id] = profile
+            elif kind == "tweet":
+                tweets.append(_parse_tweet(record, path, line_number))
+            else:
+                raise ValueError(
+                    f"{path}:{line_number}: unknown record kind {kind!r}"
+                )
+    for tweet in tweets:
+        if tweet.user_id not in users:
+            users[tweet.user_id] = UserProfile(
+                user_id=tweet.user_id, base_stance=None, labeled=False
+            )
+    return TweetCorpus(
+        tweets=tweets, users=users, name=name or path.stem
+    )
+
+
+def _parse_user(record: dict, path: Path, line_number: int) -> UserProfile:
+    try:
+        changes = {
+            int(day): Sentiment.from_label(label)
+            for day, label in (record.get("stance_changes") or {}).items()
+        }
+        return UserProfile(
+            user_id=int(record["user_id"]),
+            base_stance=_sentiment_from_json(record.get("stance")),
+            labeled=bool(record.get("labeled", True)),
+            stance_changes=changes,
+        )
+    except (KeyError, ValueError, TypeError) as error:
+        raise ValueError(
+            f"{path}:{line_number}: bad user record: {error}"
+        ) from error
+
+
+def _parse_tweet(record: dict, path: Path, line_number: int) -> Tweet:
+    try:
+        retweet_of = record.get("retweet_of")
+        return Tweet(
+            tweet_id=int(record["tweet_id"]),
+            user_id=int(record["user_id"]),
+            text=str(record["text"]),
+            day=int(record.get("day", 0)),
+            sentiment=_sentiment_from_json(record.get("sentiment")),
+            retweet_of=int(retweet_of) if retweet_of is not None else None,
+        )
+    except (KeyError, ValueError, TypeError) as error:
+        raise ValueError(
+            f"{path}:{line_number}: bad tweet record: {error}"
+        ) from error

@@ -1,0 +1,98 @@
+"""Snapshot streaming for the online framework (Section 4).
+
+The online algorithm consumes the corpus as a sequence of temporal
+snapshots (per-day in the paper's experiments).  Each
+:class:`Snapshot` carries the sub-corpus for its interval plus the user
+categorization relative to the previous snapshot — **new**, **evolving**
+(present before and now) and **disappeared** (present before, absent now)
+— which drives the choice between update rules Eq. (24) and Eq. (26).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.data.corpus import TweetCorpus
+
+
+@dataclass
+class Snapshot:
+    """One temporal snapshot of the stream."""
+
+    index: int
+    start_day: int
+    end_day: int
+    corpus: TweetCorpus
+    new_users: list[int] = field(default_factory=list)
+    evolving_users: list[int] = field(default_factory=list)
+    disappeared_users: list[int] = field(default_factory=list)
+
+    @property
+    def num_tweets(self) -> int:
+        return self.corpus.num_tweets
+
+    @property
+    def num_users(self) -> int:
+        return self.corpus.num_users
+
+
+class SnapshotStream:
+    """Iterate a corpus as fixed-width temporal snapshots.
+
+    Parameters
+    ----------
+    corpus:
+        The full temporal corpus.
+    interval_days:
+        Snapshot width; 1 reproduces the paper's per-day setting.
+    drop_empty:
+        Skip intervals with no tweets (default ``True``; the online solver
+        has nothing to factorize for them).
+    """
+
+    def __init__(
+        self,
+        corpus: TweetCorpus,
+        interval_days: int = 1,
+        drop_empty: bool = True,
+    ) -> None:
+        if interval_days < 1:
+            raise ValueError(f"interval_days must be >= 1, got {interval_days}")
+        self.corpus = corpus
+        self.interval_days = interval_days
+        self.drop_empty = drop_empty
+
+    def __iter__(self) -> Iterator[Snapshot]:
+        first_day, last_day = self.corpus.day_range
+        if last_day < first_day:
+            return
+        seen_users: set[int] = set()
+        previous_users: set[int] = set()
+        index = 0
+        start = first_day
+        while start <= last_day:
+            end = min(start + self.interval_days - 1, last_day)
+            window = self.corpus.window(start, end)
+            if window.num_tweets == 0 and self.drop_empty:
+                start = end + 1
+                continue
+            current_users = set(window.user_ids)
+            snapshot = Snapshot(
+                index=index,
+                start_day=start,
+                end_day=end,
+                corpus=window,
+                new_users=sorted(current_users - seen_users),
+                evolving_users=sorted(current_users & seen_users),
+                disappeared_users=sorted(previous_users - current_users),
+            )
+            yield snapshot
+            seen_users |= current_users
+            previous_users = current_users
+            index += 1
+            start = end + 1
+
+    def snapshots(self) -> list[Snapshot]:
+        """Materialize the stream as a list."""
+        return list(self)

@@ -1,0 +1,619 @@
+"""Synthetic California-ballot Twitter dataset generator.
+
+The paper evaluates on a private crawl of tweets about the November-2012
+California ballot initiatives (Propositions 30 and 37, Table 3).  That crawl
+is not public, so this module generates a statistically matched substitute
+that preserves every property the algorithms actually exploit:
+
+1. **Sentiment-correlated word usage** — each stance has its own word
+   distribution (Zipfian), with configurable *noise*: tweets occasionally
+   use words from the opposite camp (the "Monsanto is pure evil" problem
+   motivating joint user/tweet inference).
+2. **Retweet homophily** — users predominantly retweet same-stance authors
+   (Smith et al. report strong sentiment correlation along retweet edges;
+   this is what the β graph-regularization term exploits).
+3. **Long-tail user activity** — tweet volume per user follows a Zipf law,
+   so aggregate volume is dominated by few super-active users (the paper's
+   argument for user-level rather than volume-level dynamics).
+4. **Temporal volume profile with bursts** — a ramp toward election day
+   plus burst days (the Sep-1 spike and the election spike visible in
+   Figures 11a/12a).
+5. **Vocabulary drift with stable word sentiment** — word popularity
+   changes across periods while each word's class association is fixed
+   (Observation 1 / Figure 4 / Table 2).
+6. **Stance switching** — a small fraction of users flip stance mid-stream
+   (Observation 2 holds: the majority do not), giving the online framework
+   evolving-user dynamics to track.
+
+Label counts (Table 3) are hit exactly at ``scale=1.0`` and proportionally
+at smaller scales (used by tests and benches for runtime).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.corpus import TweetCorpus
+from repro.data.tweet import Sentiment, Tweet, UserProfile
+from repro.text.lexicon import SentimentLexicon
+from repro.utils.rng import RandomState, spawn_rng
+
+#: Top words of Table 2 (Prop 37); used as the head of the class vocabularies
+#: so the Table 2 reproduction surfaces recognizable tokens.
+PROP37_POSITIVE_SEEDS = (
+    "yeson37", "labelgmo", "monsanto", "stopmonsanto",
+    "carighttoknow", "health", "safe", "cancer",
+)
+PROP37_NEGATIVE_SEEDS = (
+    "corn", "farmer", "noprop37", "crop",
+    "million", "feed", "india", "seed",
+)
+PROP30_POSITIVE_SEEDS = (
+    "yeson30", "fundeducation", "schools", "teachers",
+    "students", "protectschools", "education", "classrooms",
+)
+PROP30_NEGATIVE_SEEDS = (
+    "noprop30", "taxes", "spending", "sacramento",
+    "waste", "payroll", "budget", "politicians",
+)
+
+_SYLLABLES = (
+    "ba be bi bo bu ca ce ci co cu da de di do du fa fe fi fo fu "
+    "ga ge gi go gu ka ke ki ko ku la le li lo lu ma me mi mo mu "
+    "na ne ni no nu pa pe pi po pu ra re ri ro ru sa se si so su "
+    "ta te ti to tu va ve vi vo vu"
+).split()
+
+
+@dataclass
+class BallotDatasetConfig:
+    """Generation parameters for one proposition dataset.
+
+    Count fields are the *full-scale* values; ``scale`` multiplies them.
+    """
+
+    name: str
+    scale: float = 1.0
+    # ----- Table 3 label counts (full scale) -----
+    pos_tweets: int = 8777
+    neg_tweets: int = 5014
+    unlabeled_tweets: int = 3000
+    pos_users: int = 146
+    neg_users: int = 100
+    neu_users: int = 98
+    unlabeled_users: int = 493
+    # ----- timeline -----
+    num_days: int = 122          # Aug 1 .. Dec 1
+    election_day: int = 97       # Nov 6
+    burst_days: dict[int, float] = field(
+        default_factory=lambda: {31: 4.0, 97: 6.0, 98: 3.0}
+    )
+    ramp_strength: float = 1.0   # linear volume growth toward the election
+    num_periods: int = 8         # vocabulary-drift granularity
+    # ----- vocabulary -----
+    positive_seeds: tuple[str, ...] = PROP37_POSITIVE_SEEDS
+    negative_seeds: tuple[str, ...] = PROP37_NEGATIVE_SEEDS
+    num_positive_words: int = 120
+    num_negative_words: int = 120
+    num_topic_words: int = 220
+    num_filler_words: int = 540
+    zipf_exponent: float = 1.1
+    drift_sigma: float = 0.9     # log-normal spread of per-period popularity
+    # ----- tweet text -----
+    mean_tweet_length: int = 11
+    min_tweet_length: int = 4
+    max_tweet_length: int = 24
+    sentiment_word_rate: float = 0.38
+    topic_word_rate: float = 0.38
+    crosstalk_rate: float = 0.08  # P(sentiment word from the opposite camp)
+    # ----- relations -----
+    retweet_fraction: float = 0.30
+    retweet_homophily: float = 0.85
+    author_fidelity: float = 0.92  # P(labeled tweet authored by same-stance user)
+    # ----- dynamics -----
+    stance_switch_fraction: float = 0.06
+    switch_day_range: tuple[int, int] = (40, 90)
+
+    def scaled(self, value: int, minimum: int = 0) -> int:
+        """Apply ``scale`` to a count, with a floor."""
+        return max(minimum, int(round(value * self.scale)))
+
+    @property
+    def total_users(self) -> int:
+        return (
+            self.scaled(self.pos_users, 2)
+            + self.scaled(self.neg_users, 2)
+            + self.scaled(self.neu_users, 1)
+            + self.scaled(self.unlabeled_users, 2)
+        )
+
+
+def prop30_config(scale: float = 1.0, **overrides) -> BallotDatasetConfig:
+    """Proposition 30 (Temporary Taxes to Fund Education) analogue."""
+    config = BallotDatasetConfig(
+        name="prop30",
+        scale=scale,
+        pos_tweets=8777,
+        neg_tweets=5014,
+        unlabeled_tweets=3000,
+        pos_users=146,
+        neg_users=100,
+        neu_users=98,
+        unlabeled_users=493,
+        positive_seeds=PROP30_POSITIVE_SEEDS,
+        negative_seeds=PROP30_NEGATIVE_SEEDS,
+    )
+    for key, value in overrides.items():
+        setattr(config, key, value)
+    return config
+
+
+def prop37_config(scale: float = 1.0, **overrides) -> BallotDatasetConfig:
+    """Proposition 37 (Genetically Engineered Foods, Labeling) analogue.
+
+    Prop 37 is far more skewed than Prop 30 (34789 pos vs 2587 neg tweets,
+    294/61/8 labeled users with 1564 unlabeled), which is why several
+    methods behave differently across the two datasets in Tables 4/5.
+    """
+    config = BallotDatasetConfig(
+        name="prop37",
+        scale=scale,
+        pos_tweets=34789,
+        neg_tweets=2587,
+        unlabeled_tweets=8000,
+        pos_users=294,
+        neg_users=61,
+        neu_users=8,
+        unlabeled_users=1564,
+        positive_seeds=PROP37_POSITIVE_SEEDS,
+        negative_seeds=PROP37_NEGATIVE_SEEDS,
+    )
+    for key, value in overrides.items():
+        setattr(config, key, value)
+    return config
+
+
+class BallotDatasetGenerator:
+    """Generates a :class:`~repro.data.corpus.TweetCorpus` from a config."""
+
+    def __init__(self, config: BallotDatasetConfig, seed: RandomState = 7) -> None:
+        self.config = config
+        self._rng = spawn_rng(seed)
+        self._build_vocabularies()
+        self._build_drift()
+
+    # ------------------------------------------------------------------ #
+    # Vocabulary construction
+    # ------------------------------------------------------------------ #
+
+    def _build_vocabularies(self) -> None:
+        cfg = self.config
+        generator = self._word_factory(
+            exclude=set(cfg.positive_seeds) | set(cfg.negative_seeds)
+        )
+        self.positive_words = list(cfg.positive_seeds) + [
+            next(generator) for _ in range(max(0, cfg.num_positive_words - len(cfg.positive_seeds)))
+        ]
+        self.negative_words = list(cfg.negative_seeds) + [
+            next(generator) for _ in range(max(0, cfg.num_negative_words - len(cfg.negative_seeds)))
+        ]
+        self.topic_words = [next(generator) for _ in range(cfg.num_topic_words)]
+        self.filler_words = [next(generator) for _ in range(cfg.num_filler_words)]
+
+    def _word_factory(self, exclude: set[str]):
+        """Yield unique pronounceable pseudo-words."""
+        rng = self._rng
+        seen = set(exclude)
+        while True:
+            length = int(rng.integers(2, 5))
+            word = "".join(rng.choice(_SYLLABLES) for _ in range(length))
+            if word not in seen and len(word) >= 4:
+                seen.add(word)
+                yield word
+
+    def _zipf_weights(self, count: int) -> np.ndarray:
+        ranks = np.arange(1, count + 1, dtype=np.float64)
+        weights = ranks ** (-self.config.zipf_exponent)
+        return weights / weights.sum()
+
+    def _build_drift(self) -> None:
+        """Per-period popularity multipliers (Observation 1).
+
+        Each word's *popularity* follows an independent log-normal
+        multiplier per period while its class membership never changes.
+        """
+        cfg = self.config
+        rng = self._rng
+        self._drift: dict[str, np.ndarray] = {}
+        for list_name, words in (
+            ("pos", self.positive_words),
+            ("neg", self.negative_words),
+            ("topic", self.topic_words),
+            ("filler", self.filler_words),
+        ):
+            base = self._zipf_weights(len(words))
+            multipliers = rng.lognormal(
+                mean=0.0, sigma=cfg.drift_sigma, size=(cfg.num_periods, len(words))
+            )
+            # Seed words keep stable high popularity (Table 2: head words are
+            # popular through the whole collection window).
+            stable_head = min(8, len(words))
+            multipliers[:, :stable_head] = 1.0
+            weights = base[None, :] * multipliers
+            weights /= weights.sum(axis=1, keepdims=True)
+            self._drift[list_name] = weights
+
+    def _period_of(self, day: int) -> int:
+        cfg = self.config
+        period = day * cfg.num_periods // max(cfg.num_days, 1)
+        return min(max(period, 0), cfg.num_periods - 1)
+
+    def _draw_word(self, list_name: str, day: int) -> str:
+        words = {
+            "pos": self.positive_words,
+            "neg": self.negative_words,
+            "topic": self.topic_words,
+            "filler": self.filler_words,
+        }[list_name]
+        weights = self._drift[list_name][self._period_of(day)]
+        return words[int(self._rng.choice(len(words), p=weights))]
+
+    # ------------------------------------------------------------------ #
+    # User construction
+    # ------------------------------------------------------------------ #
+
+    def _build_users(self) -> dict[int, UserProfile]:
+        cfg = self.config
+        rng = self._rng
+        users: dict[int, UserProfile] = {}
+        next_id = itertools.count()
+
+        def add_group(count: int, stance: Sentiment | None, labeled: bool) -> None:
+            for _ in range(count):
+                uid = next(next_id)
+                if stance is None:
+                    # Latent stance of an unlabeled user follows the labeled
+                    # stance distribution so relations stay informative.
+                    latent = rng.choice(
+                        [Sentiment.POSITIVE, Sentiment.NEGATIVE, Sentiment.NEUTRAL],
+                        p=self._latent_stance_distribution(),
+                    )
+                    users[uid] = UserProfile(uid, Sentiment(latent), labeled=False)
+                else:
+                    users[uid] = UserProfile(uid, stance, labeled=labeled)
+
+        add_group(cfg.scaled(cfg.pos_users, 2), Sentiment.POSITIVE, True)
+        add_group(cfg.scaled(cfg.neg_users, 2), Sentiment.NEGATIVE, True)
+        add_group(cfg.scaled(cfg.neu_users, 1), Sentiment.NEUTRAL, True)
+        add_group(cfg.scaled(cfg.unlabeled_users, 2), None, False)
+
+        self._assign_switchers(users)
+        return users
+
+    def _latent_stance_distribution(self) -> np.ndarray:
+        cfg = self.config
+        counts = np.array(
+            [cfg.pos_users, cfg.neg_users, max(cfg.neu_users, 1)], dtype=float
+        )
+        return counts / counts.sum()
+
+    def _assign_switchers(self, users: dict[int, UserProfile]) -> None:
+        """Give a small fraction of pos/neg users one mid-stream flip."""
+        cfg = self.config
+        rng = self._rng
+        candidates = [
+            u for u in users.values()
+            if u.base_stance in (Sentiment.POSITIVE, Sentiment.NEGATIVE)
+        ]
+        num_switchers = int(round(len(candidates) * cfg.stance_switch_fraction))
+        if num_switchers == 0:
+            return
+        chosen = rng.choice(len(candidates), size=num_switchers, replace=False)
+        low, high = cfg.switch_day_range
+        for index in chosen:
+            user = candidates[int(index)]
+            flip = (
+                Sentiment.NEGATIVE
+                if user.base_stance == Sentiment.POSITIVE
+                else Sentiment.POSITIVE
+            )
+            user.stance_changes[int(rng.integers(low, high + 1))] = flip
+
+    def _activity_weights(self, num_users: int) -> np.ndarray:
+        """Zipf-distributed activity — the long tail of Section 1."""
+        weights = self._zipf_weights(num_users)
+        return weights[self._rng.permutation(num_users)]
+
+    # ------------------------------------------------------------------ #
+    # Timeline
+    # ------------------------------------------------------------------ #
+
+    def day_volume_profile(self) -> np.ndarray:
+        """Unnormalized expected tweet volume per day (ramp + bursts)."""
+        cfg = self.config
+        days = np.arange(cfg.num_days, dtype=np.float64)
+        profile = 1.0 + cfg.ramp_strength * days / max(cfg.num_days - 1, 1)
+        for day, boost in cfg.burst_days.items():
+            if 0 <= day < cfg.num_days:
+                profile[day] *= boost
+        # Volume collapses after the election (no more campaigning).
+        after = days > cfg.election_day + 1
+        profile[after] *= 0.3
+        return profile
+
+    def _sample_days(self, count: int) -> np.ndarray:
+        profile = self.day_volume_profile()
+        probabilities = profile / profile.sum()
+        return self._rng.choice(self.config.num_days, size=count, p=probabilities)
+
+    # ------------------------------------------------------------------ #
+    # Tweet text
+    # ------------------------------------------------------------------ #
+
+    def _compose_text(self, stance: Sentiment | None, day: int) -> str:
+        cfg = self.config
+        rng = self._rng
+        length = int(
+            np.clip(
+                rng.poisson(cfg.mean_tweet_length),
+                cfg.min_tweet_length,
+                cfg.max_tweet_length,
+            )
+        )
+        tokens: list[str] = []
+        for _ in range(length):
+            roll = rng.random()
+            if stance in (Sentiment.POSITIVE, Sentiment.NEGATIVE) and roll < cfg.sentiment_word_rate:
+                own = "pos" if stance == Sentiment.POSITIVE else "neg"
+                other = "neg" if own == "pos" else "pos"
+                source = other if rng.random() < cfg.crosstalk_rate else own
+                tokens.append(self._draw_word(source, day))
+            elif roll < cfg.sentiment_word_rate + cfg.topic_word_rate:
+                tokens.append(self._draw_word("topic", day))
+            else:
+                tokens.append(self._draw_word("filler", day))
+        if stance == Sentiment.NEUTRAL or stance is None:
+            # Neutral text may still mention either camp's vocabulary rarely.
+            if rng.random() < 0.15:
+                side = "pos" if rng.random() < 0.5 else "neg"
+                tokens.append(self._draw_word(side, day))
+        return " ".join(tokens)
+
+    # ------------------------------------------------------------------ #
+    # Generation
+    # ------------------------------------------------------------------ #
+
+    def generate(self) -> TweetCorpus:
+        """Generate the full corpus (tweets, users, retweet relations)."""
+        cfg = self.config
+        rng = self._rng
+        users = self._build_users()
+        user_ids = sorted(users)
+        activity = self._activity_weights(len(user_ids))
+
+        stance_members: dict[Sentiment, list[int]] = {s: [] for s in Sentiment}
+        for uid in user_ids:
+            stance_members[users[uid].base_stance].append(uid)
+
+        tweets: list[Tweet] = []
+        tweet_id = itertools.count()
+        position = {uid: i for i, uid in enumerate(user_ids)}
+
+        # Day-aware stance pools: a user who switches stance mid-stream
+        # must author tweets of the *new* stance afterwards, so pools are
+        # built from stance_at(day) over all users (memoized per day).
+        pool_cache: dict[tuple[Sentiment, int], tuple[list[int], np.ndarray]] = {}
+
+        def stance_pool(stance: Sentiment, day: int) -> tuple[list[int], np.ndarray]:
+            key = (stance, day)
+            cached = pool_cache.get(key)
+            if cached is not None:
+                return cached
+            members = [
+                uid for uid in user_ids if users[uid].stance_at(day) == stance
+            ]
+            if not members:
+                members = stance_members[stance] or user_ids
+            weights = activity[[position[uid] for uid in members]]
+            weights = weights / weights.sum()
+            pool_cache[key] = (members, weights)
+            return members, weights
+
+        def author_for(stance: Sentiment, day: int) -> int:
+            """Pick an author whose stance at ``day`` matches (usually)."""
+            if rng.random() >= cfg.author_fidelity:
+                return int(rng.choice(user_ids, p=activity / activity.sum()))
+            pool, weights = stance_pool(stance, day)
+            return int(rng.choice(pool, p=weights))
+
+        # Generation stance of every tweet (including unlabeled ones);
+        # drives retweet homophily without leaking labels to evaluation.
+        self._tweet_stance: dict[int, Sentiment] = {}
+
+        # --- labeled tweets (pos, then neg), matching Table 3 counts ---
+        for stance, quota in (
+            (Sentiment.POSITIVE, cfg.scaled(cfg.pos_tweets, 4)),
+            (Sentiment.NEGATIVE, cfg.scaled(cfg.neg_tweets, 4)),
+        ):
+            days = self._sample_days(quota)
+            for day in days:
+                uid = author_for(stance, int(day))
+                tid = next(tweet_id)
+                self._tweet_stance[tid] = stance
+                tweets.append(
+                    Tweet(
+                        tweet_id=tid,
+                        user_id=uid,
+                        text=self._compose_text(stance, int(day)),
+                        day=int(day),
+                        sentiment=stance,
+                    )
+                )
+
+        # --- unlabeled tweets (mostly neutral chatter) ---
+        quota = cfg.scaled(cfg.unlabeled_tweets, 2)
+        days = self._sample_days(quota)
+        neutral_pool = stance_members[Sentiment.NEUTRAL] or user_ids
+        unlabeled_pool = [uid for uid in user_ids if not users[uid].labeled]
+        for day in days:
+            if unlabeled_pool and rng.random() < 0.7:
+                pool = unlabeled_pool
+            else:
+                pool = neutral_pool
+            weights = activity[[position[uid] for uid in pool]]
+            weights = weights / weights.sum()
+            uid = int(rng.choice(pool, p=weights))
+            latent = users[uid].stance_at(int(day))
+            text_stance = latent if rng.random() < 0.6 else Sentiment.NEUTRAL
+            # These tweets stay unlabeled so the labeled pos/neg counts
+            # match the Table 3 quotas exactly.
+            label = None
+            tid = next(tweet_id)
+            # NOTE: Sentiment.POSITIVE == 0 is falsy; guard with `is None`.
+            self._tweet_stance[tid] = (
+                text_stance if text_stance is not None else Sentiment.NEUTRAL
+            )
+            tweets.append(
+                Tweet(
+                    tweet_id=tid,
+                    user_id=uid,
+                    text=self._compose_text(text_stance, int(day)),
+                    day=int(day),
+                    sentiment=label,
+                )
+            )
+
+        tweets.sort(key=lambda t: (t.day, t.tweet_id))
+        tweets = self._add_retweets(tweets, users, user_ids, activity, position)
+        tweets.sort(key=lambda t: (t.day, t.tweet_id))
+        return TweetCorpus(tweets=tweets, users=users, name=cfg.name)
+
+    def _add_retweets(
+        self,
+        tweets: list[Tweet],
+        users: dict[int, UserProfile],
+        user_ids: list[int],
+        activity: np.ndarray,
+        position: dict[int, int],
+    ) -> list[Tweet]:
+        """Append retweet entries with stance homophily."""
+        cfg = self.config
+        rng = self._rng
+        num_retweets = int(round(len(tweets) * cfg.retweet_fraction))
+        if num_retweets == 0 or not tweets:
+            return tweets
+
+        by_stance: dict[Sentiment, list[Tweet]] = {s: [] for s in Sentiment}
+        full_pool: list[Tweet] = []
+        stance_table = getattr(self, "_tweet_stance", {})
+        for tweet in tweets:
+            stance = stance_table.get(tweet.tweet_id, tweet.sentiment)
+            if stance is None:
+                stance = Sentiment.NEUTRAL
+            by_stance[stance].append(tweet)
+            full_pool.append(tweet)
+        if not full_pool:
+            return tweets
+
+        next_id = itertools.count(max(t.tweet_id for t in tweets) + 1)
+        result = list(tweets)
+        for _ in range(num_retweets):
+            # Retweeter sampled by activity; homophily follows the
+            # retweeter's stance *at the time of the retweet*, so stance
+            # switchers start amplifying their new camp's content.
+            retweeter = int(rng.choice(user_ids, p=activity / activity.sum()))
+            candidate = full_pool[int(rng.integers(len(full_pool)))]
+            stance = users[retweeter].stance_at(candidate.day)
+            if stance is None:
+                stance = Sentiment.NEUTRAL
+            if rng.random() < cfg.retweet_homophily and by_stance.get(stance):
+                source = by_stance[stance][int(rng.integers(len(by_stance[stance])))]
+            else:
+                source = candidate
+            day = int(
+                np.clip(
+                    source.day + rng.integers(0, 3),
+                    source.day,
+                    cfg.num_days - 1,
+                )
+            )
+            result.append(
+                Tweet(
+                    tweet_id=next(next_id),
+                    user_id=retweeter,
+                    text=source.text,
+                    day=day,
+                    sentiment=source.sentiment,
+                    retweet_of=source.tweet_id,
+                )
+            )
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Lexicon
+    # ------------------------------------------------------------------ #
+
+    def lexicon(
+        self,
+        coverage: float = 0.6,
+        noise: float = 0.05,
+        seed: RandomState = None,
+    ) -> SentimentLexicon:
+        """Build a noisy seed lexicon from the ground-truth word lists.
+
+        Mirrors the automatically built "Yes"/"No" lists of [28]: only a
+        ``coverage`` fraction of the true sentiment vocabulary is known,
+        and a ``noise`` fraction of those entries carry the wrong polarity.
+        """
+        if not (0.0 < coverage <= 1.0):
+            raise ValueError(f"coverage must be in (0, 1], got {coverage}")
+        if not (0.0 <= noise < 0.5):
+            raise ValueError(f"noise must be in [0, 0.5), got {noise}")
+        rng = spawn_rng(seed) if seed is not None else self._rng
+        positive: dict[str, float] = {}
+        negative: dict[str, float] = {}
+        for word in self.positive_words:
+            if rng.random() < coverage:
+                (negative if rng.random() < noise else positive)[word] = 1.0
+        for word in self.negative_words:
+            if rng.random() < coverage:
+                (positive if rng.random() < noise else negative)[word] = 1.0
+        for word in list(positive):
+            if word in negative:
+                del positive[word]
+        return SentimentLexicon(positive=positive, negative=negative)
+
+    # ------------------------------------------------------------------ #
+    # Ground truth accessors (for diagnostics, never for training)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def word_polarity(self) -> dict[str, Sentiment]:
+        """True class of every sentiment-bearing word."""
+        table = {w: Sentiment.POSITIVE for w in self.positive_words}
+        table.update({w: Sentiment.NEGATIVE for w in self.negative_words})
+        return table
+
+
+def generate_pair(
+    scale: float = 0.05, seed: int = 7
+) -> tuple[TweetCorpus, TweetCorpus]:
+    """Generate scaled Prop-30 and Prop-37 corpora (convenience for tests)."""
+    prop30 = BallotDatasetGenerator(prop30_config(scale), seed=seed).generate()
+    prop37 = BallotDatasetGenerator(prop37_config(scale), seed=seed + 1).generate()
+    return prop30, prop37
+
+
+def expected_table3_counts(config: BallotDatasetConfig) -> dict[str, int]:
+    """The Table-3 row this config should reproduce (scaled)."""
+    return {
+        "tweet_pos": config.scaled(config.pos_tweets, 4),
+        "tweet_neg": config.scaled(config.neg_tweets, 4),
+        "user_pos": config.scaled(config.pos_users, 2),
+        "user_neg": config.scaled(config.neg_users, 2),
+        "user_neu": config.scaled(config.neu_users, 1),
+        "user_unlabeled": config.scaled(config.unlabeled_users, 2),
+    }

@@ -1,0 +1,116 @@
+"""Core data types: sentiments, tweets and user profiles.
+
+A tweet is the paper's triple ``p = <x, u, t>`` — feature vector (derived
+from ``text``), author, timestamp — plus an optional ground-truth sentiment
+and an optional retweet source.  Users carry a *stance timeline* so that the
+dynamic experiments can model users who change their mind (the "Adam"
+example of Figure 1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Sentiment(enum.IntEnum):
+    """Sentiment classes in the canonical column order pos/neg/neu."""
+
+    POSITIVE = 0
+    NEGATIVE = 1
+    NEUTRAL = 2
+
+    @classmethod
+    def from_label(cls, label: str) -> "Sentiment":
+        """Parse common textual labels ("pos", "positive", "+", ...)."""
+        normalized = label.strip().lower()
+        table = {
+            "pos": cls.POSITIVE,
+            "positive": cls.POSITIVE,
+            "+": cls.POSITIVE,
+            "yes": cls.POSITIVE,
+            "neg": cls.NEGATIVE,
+            "negative": cls.NEGATIVE,
+            "-": cls.NEGATIVE,
+            "no": cls.NEGATIVE,
+            "neu": cls.NEUTRAL,
+            "neutral": cls.NEUTRAL,
+            "0": cls.NEUTRAL,
+        }
+        if normalized not in table:
+            raise ValueError(f"unknown sentiment label: {label!r}")
+        return table[normalized]
+
+    @property
+    def short_name(self) -> str:
+        return ("pos", "neg", "neu")[int(self)]
+
+
+@dataclass(frozen=True, slots=True)
+class Tweet:
+    """One tweet.
+
+    Attributes
+    ----------
+    tweet_id:
+        Unique id within its corpus.
+    user_id:
+        Author id.
+    text:
+        Raw tweet text (the tokenizer/vectorizer derive features from it).
+    day:
+        Integer day offset from the start of the collection window; the
+        paper uses per-day snapshots for the online experiments.
+    sentiment:
+        Ground-truth tweet sentiment, or ``None`` for unlabeled tweets.
+    retweet_of:
+        ``tweet_id`` of the source tweet when this entry records a retweet.
+    """
+
+    tweet_id: int
+    user_id: int
+    text: str
+    day: int = 0
+    sentiment: Sentiment | None = None
+    retweet_of: int | None = None
+
+    @property
+    def is_retweet(self) -> bool:
+        return self.retweet_of is not None
+
+
+@dataclass(slots=True)
+class UserProfile:
+    """One user with a (possibly evolving) stance.
+
+    ``stance_changes`` maps a day to the stance adopted from that day
+    onward; ``base_stance`` applies before the first change.  A user whose
+    ground truth should stay hidden (the "unlabeled" rows of Table 3) has
+    ``labeled=False`` — the latent stance still drives the synthetic
+    generator but evaluation code must not see it.
+    """
+
+    user_id: int
+    base_stance: Sentiment | None = None
+    labeled: bool = True
+    stance_changes: dict[int, Sentiment] = field(default_factory=dict)
+
+    def stance_at(self, day: int) -> Sentiment | None:
+        """Ground-truth stance on ``day`` (falls back to ``base_stance``)."""
+        stance = self.base_stance
+        if not self.stance_changes:
+            return stance
+        for change_day in sorted(self.stance_changes):
+            if change_day <= day:
+                stance = self.stance_changes[change_day]
+        return stance
+
+    def label_at(self, day: int) -> Sentiment | None:
+        """Stance visible to evaluation code (``None`` when unlabeled)."""
+        if not self.labeled:
+            return None
+        return self.stance_at(day)
+
+    @property
+    def ever_switches(self) -> bool:
+        return bool(self.stance_changes)

@@ -1,0 +1,39 @@
+"""Evaluation substrate: clustering metrics and experiment protocols.
+
+Implements the paper's two quality measures (Section 5) —
+
+- **Clustering accuracy** ``A(C,G)``: majority-vote assignment of output
+  clusters to ground-truth classes, then fraction correct.
+- **NMI**: ``2·I(C;G) / (H(C) + H(G))``.
+
+— plus Hungarian-aligned accuracy, purity, confusion matrices, and the
+label-sampling protocols used by the semi-supervised baselines (LP-5,
+LP-10, UserReg-10).
+"""
+
+from repro.eval.alignment import align_clusters, hungarian_accuracy, majority_vote_map
+from repro.eval.metrics import (
+    clustering_accuracy,
+    confusion_matrix,
+    entropy,
+    mutual_information,
+    normalized_mutual_information,
+    purity,
+)
+from repro.eval.protocol import sample_labeled_indices, train_test_split_indices
+from repro.eval.timing import Stopwatch
+
+__all__ = [
+    "Stopwatch",
+    "align_clusters",
+    "clustering_accuracy",
+    "confusion_matrix",
+    "entropy",
+    "hungarian_accuracy",
+    "majority_vote_map",
+    "mutual_information",
+    "normalized_mutual_information",
+    "purity",
+    "sample_labeled_indices",
+    "train_test_split_indices",
+]

@@ -1,0 +1,90 @@
+"""Cluster-to-class alignment utilities.
+
+Unsupervised methods emit arbitrary cluster ids; evaluation needs a map to
+sentiment classes.  Two standard strategies are provided:
+
+- **Majority vote** (the paper's choice for ``A(C,G)``): each cluster maps
+  to its most frequent ground-truth class.  Several clusters may map to
+  the same class.
+- **Hungarian**: optimal one-to-one assignment maximizing total overlap
+  (``scipy.optimize.linear_sum_assignment``), the stricter convention.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+
+def majority_vote_map(
+    predicted_clusters: np.ndarray, truth: np.ndarray
+) -> dict[int, int]:
+    """Map each output cluster id to its majority ground-truth class.
+
+    Unlabeled entries (truth ``-1``) are ignored; clusters containing only
+    unlabeled samples map to class 0.
+    """
+    predicted = np.asarray(predicted_clusters, dtype=np.int64)
+    actual = np.asarray(truth, dtype=np.int64)
+    mapping: dict[int, int] = {}
+    for cluster in np.unique(predicted):
+        members = actual[(predicted == cluster) & (actual >= 0)]
+        if members.size == 0:
+            mapping[int(cluster)] = 0
+        else:
+            mapping[int(cluster)] = int(np.bincount(members).argmax())
+    return mapping
+
+
+def align_clusters(
+    predicted_clusters: np.ndarray,
+    truth: np.ndarray,
+    strategy: str = "majority",
+) -> np.ndarray:
+    """Relabel ``predicted_clusters`` into ground-truth class ids.
+
+    ``strategy`` is ``"majority"`` (paper convention) or ``"hungarian"``.
+    """
+    predicted = np.asarray(predicted_clusters, dtype=np.int64)
+    if strategy == "majority":
+        mapping = majority_vote_map(predicted, truth)
+    elif strategy == "hungarian":
+        mapping = _hungarian_map(predicted, truth)
+    else:
+        raise ValueError(f"unknown alignment strategy: {strategy!r}")
+    return np.array([mapping.get(int(c), 0) for c in predicted], dtype=np.int64)
+
+
+def _hungarian_map(predicted: np.ndarray, truth: np.ndarray) -> dict[int, int]:
+    """One-to-one cluster->class map maximizing total overlap."""
+    actual = np.asarray(truth, dtype=np.int64)
+    mask = actual >= 0
+    pred = predicted[mask]
+    act = actual[mask]
+    clusters = np.unique(pred)
+    classes = np.unique(act)
+    if clusters.size == 0 or classes.size == 0:
+        return {}
+    overlap = np.zeros((clusters.size, classes.size), dtype=np.int64)
+    for i, cluster in enumerate(clusters):
+        cluster_mask = pred == cluster
+        for j, klass in enumerate(classes):
+            overlap[i, j] = np.sum(cluster_mask & (act == klass))
+    row, col = linear_sum_assignment(-overlap)
+    mapping = {int(clusters[i]): int(classes[j]) for i, j in zip(row, col)}
+    # Clusters left unmatched (more clusters than classes) fall back to
+    # their majority class.
+    fallback = majority_vote_map(predicted, truth)
+    for cluster in clusters:
+        mapping.setdefault(int(cluster), fallback[int(cluster)])
+    return mapping
+
+
+def hungarian_accuracy(predicted_clusters: np.ndarray, truth: np.ndarray) -> float:
+    """Accuracy under the optimal one-to-one cluster->class assignment."""
+    aligned = align_clusters(predicted_clusters, truth, strategy="hungarian")
+    actual = np.asarray(truth, dtype=np.int64)
+    mask = actual >= 0
+    if not mask.any():
+        return 0.0
+    return float(np.mean(aligned[mask] == actual[mask]))

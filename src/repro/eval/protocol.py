@@ -1,0 +1,106 @@
+"""Label-sampling protocols for supervised / semi-supervised baselines.
+
+The paper compares against LP with 5% / 10% seed labels and UserReg with
+10% labels; supervised baselines use train/test splits.  These helpers
+sample the index sets reproducibly and class-stratified (so that tiny
+classes — e.g. Prop 37's 8 neutral users — are represented whenever
+possible).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import RandomState, spawn_rng
+
+
+def sample_labeled_indices(
+    labels: np.ndarray,
+    fraction: float,
+    seed: RandomState = None,
+    stratified: bool = True,
+    minimum_per_class: int = 1,
+) -> np.ndarray:
+    """Sample a fraction of the *labeled* entries as seeds.
+
+    Returns positions into ``labels``; entries with label ``-1`` are never
+    sampled.  With ``stratified=True`` each class contributes
+    proportionally, with at least ``minimum_per_class`` seeds when the
+    class has that many members.
+    """
+    if not (0.0 < fraction <= 1.0):
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    labels = np.asarray(labels, dtype=np.int64)
+    rng = spawn_rng(seed)
+    labeled = np.flatnonzero(labels >= 0)
+    if labeled.size == 0:
+        return labeled
+    if not stratified:
+        count = max(1, int(round(labeled.size * fraction)))
+        return np.sort(rng.choice(labeled, size=count, replace=False))
+    chosen: list[np.ndarray] = []
+    for klass in np.unique(labels[labeled]):
+        members = labeled[labels[labeled] == klass]
+        count = int(round(members.size * fraction))
+        count = max(min(minimum_per_class, members.size), count)
+        count = min(count, members.size)
+        chosen.append(rng.choice(members, size=count, replace=False))
+    return np.sort(np.concatenate(chosen))
+
+
+def train_test_split_indices(
+    labels: np.ndarray,
+    train_fraction: float = 0.8,
+    seed: RandomState = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Stratified train/test split over labeled entries.
+
+    Returns ``(train_positions, test_positions)``.  Unlabeled entries
+    appear in neither set.
+    """
+    if not (0.0 < train_fraction < 1.0):
+        raise ValueError(
+            f"train_fraction must be in (0, 1), got {train_fraction}"
+        )
+    labels = np.asarray(labels, dtype=np.int64)
+    rng = spawn_rng(seed)
+    train_parts: list[np.ndarray] = []
+    test_parts: list[np.ndarray] = []
+    labeled = np.flatnonzero(labels >= 0)
+    for klass in np.unique(labels[labeled]):
+        members = labeled[labels[labeled] == klass]
+        permuted = rng.permutation(members)
+        cut = int(round(members.size * train_fraction))
+        cut = min(max(cut, 1), members.size - 1) if members.size > 1 else 1
+        train_parts.append(permuted[:cut])
+        test_parts.append(permuted[cut:])
+    train = np.sort(np.concatenate(train_parts)) if train_parts else labeled
+    test = np.sort(np.concatenate(test_parts)) if test_parts else labeled[:0]
+    return train, test
+
+
+def cross_validation_folds(
+    labels: np.ndarray,
+    num_folds: int = 5,
+    seed: RandomState = None,
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Stratified k-fold splits over labeled entries.
+
+    Returns a list of ``(train_positions, test_positions)`` pairs.
+    """
+    if num_folds < 2:
+        raise ValueError(f"num_folds must be >= 2, got {num_folds}")
+    labels = np.asarray(labels, dtype=np.int64)
+    rng = spawn_rng(seed)
+    labeled = np.flatnonzero(labels >= 0)
+    fold_of = np.full(labels.shape, -1, dtype=np.int64)
+    for klass in np.unique(labels[labeled]):
+        members = rng.permutation(labeled[labels[labeled] == klass])
+        for position, index in enumerate(members):
+            fold_of[index] = position % num_folds
+    folds = []
+    for fold in range(num_folds):
+        test = np.flatnonzero(fold_of == fold)
+        train = np.flatnonzero((fold_of >= 0) & (fold_of != fold))
+        folds.append((train, test))
+    return folds

@@ -1,0 +1,42 @@
+"""Wall-clock measurement for the runtime comparisons (Figures 11a/12a)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch usable as a context manager.
+
+    ``with watch: ...`` adds the elapsed time of the block to ``total``;
+    ``laps`` records each block separately, which the online-timeline
+    experiment uses to report per-snapshot runtimes.
+    """
+
+    total: float = 0.0
+    laps: list[float] = field(default_factory=list)
+    _started: float | None = None
+
+    def __enter__(self) -> "Stopwatch":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._started is None:
+            raise RuntimeError("Stopwatch exited without entering")
+        elapsed = time.perf_counter() - self._started
+        self._started = None
+        self.laps.append(elapsed)
+        self.total += elapsed
+
+    @property
+    def last(self) -> float:
+        """Duration of the most recent lap (0.0 before any lap)."""
+        return self.laps[-1] if self.laps else 0.0
+
+    def reset(self) -> None:
+        self.total = 0.0
+        self.laps.clear()
+        self._started = None

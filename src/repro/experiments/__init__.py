@@ -1,0 +1,21 @@
+"""Experiment runners — one module per paper table/figure.
+
+Every runner returns a plain dataclass of rows/series plus a
+``format_*`` helper producing the text table the matching benchmark
+writes to ``benchmarks/results/``.  See DESIGN.md §4 for the
+per-experiment index.
+"""
+
+from repro.experiments.configs import ExperimentConfig, bench_config, smoke_config
+from repro.experiments.datasets import DatasetBundle, load_dataset
+from repro.experiments.reporting import format_table, write_result
+
+__all__ = [
+    "DatasetBundle",
+    "ExperimentConfig",
+    "bench_config",
+    "format_table",
+    "load_dataset",
+    "smoke_config",
+    "write_result",
+]

@@ -1,0 +1,162 @@
+"""Command-line interface for the experiment runners.
+
+Usage::
+
+    python -m repro list
+    python -m repro table4 --scale 0.05
+    python -m repro figure8 --scale 0.08 --save
+
+Each experiment prints the same table its benchmark writes; ``--save``
+additionally persists it under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections.abc import Callable, Sequence
+
+from repro.experiments.configs import ExperimentConfig, bench_config
+from repro.experiments.figure4 import format_figure4, run_figure4
+from repro.experiments.figure8 import format_figure8, run_figure8
+from repro.experiments.online_timeline import format_timeline, run_timeline
+from repro.experiments.reporting import write_result
+from repro.experiments.sweeps import (
+    format_sweep,
+    run_alpha_beta_sweep,
+    run_alpha_tau_sweep,
+    run_gamma_sweep,
+)
+from repro.experiments.table2 import format_table2, run_table2
+from repro.experiments.table3 import expected_rows, format_table3, run_table3
+from repro.experiments.table4 import format_table4, run_table4
+from repro.experiments.table5 import format_table5, run_table5
+from repro.experiments.table6 import format_table6, run_table6
+
+Runner = Callable[[ExperimentConfig], str]
+
+
+def _table2(config: ExperimentConfig) -> str:
+    return format_table2(run_table2(config))
+
+
+def _table3(config: ExperimentConfig) -> str:
+    return format_table3(run_table3(config), expected_rows(config))
+
+
+def _table4(config: ExperimentConfig) -> str:
+    return format_table4(run_table4(config))
+
+
+def _table5(config: ExperimentConfig) -> str:
+    return format_table5(run_table5(config))
+
+
+def _table6(config: ExperimentConfig) -> str:
+    del config  # static matrix
+    return format_table6(run_table6())
+
+
+def _figure4(config: ExperimentConfig) -> str:
+    return format_figure4(run_figure4(config))
+
+
+def _figure6(config: ExperimentConfig) -> str:
+    return format_sweep(
+        run_alpha_beta_sweep(config),
+        "Figures 6/7: offline quality vs (alpha, beta), prop30",
+    )
+
+
+def _figure8(config: ExperimentConfig) -> str:
+    return format_figure8(run_figure8(config))
+
+
+def _figure9(config: ExperimentConfig) -> str:
+    return format_sweep(
+        run_alpha_tau_sweep(config),
+        "Figure 9: online accuracy vs (alpha, tau), prop30",
+    )
+
+
+def _figure10(config: ExperimentConfig) -> str:
+    return format_sweep(
+        run_gamma_sweep(config), "Figure 10: online accuracy vs gamma, prop30"
+    )
+
+
+def _figure11(config: ExperimentConfig) -> str:
+    return format_timeline(run_timeline(config, "prop30"))
+
+
+def _figure12(config: ExperimentConfig) -> str:
+    return format_timeline(run_timeline(config, "prop37"))
+
+
+EXPERIMENTS: dict[str, tuple[Runner, str]] = {
+    "table2": (_table2, "top words per sentiment class"),
+    "table3": (_table3, "dataset statistics vs scaled targets"),
+    "table4": (_table4, "tweet-level method comparison"),
+    "table5": (_table5, "user-level method comparison"),
+    "table6": (_table6, "method capability matrix"),
+    "figure4": (_figure4, "feature-frequency evolution"),
+    "figure6": (_figure6, "offline (alpha, beta) sweep [also figure7]"),
+    "figure8": (_figure8, "offline convergence traces"),
+    "figure9": (_figure9, "online (alpha, tau) sweep"),
+    "figure10": (_figure10, "online gamma sweep"),
+    "figure11": (_figure11, "online vs batch timeline, prop30"),
+    "figure12": (_figure12, "online vs batch timeline, prop37"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Regenerate tables/figures of 'Tripartite Graph Clustering for "
+            "Dynamic Sentiment Analysis on Social Media' (SIGMOD 2014)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=["list", *EXPERIMENTS],
+        help="experiment id, or 'list' to enumerate them",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="dataset scale in (0, 1]; default follows REPRO_SCALE / 0.08",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="override the experiment seed"
+    )
+    parser.add_argument(
+        "--save",
+        action="store_true",
+        help="also write the output under benchmarks/results/",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        width = max(len(name) for name in EXPERIMENTS)
+        for name, (_, description) in EXPERIMENTS.items():
+            print(f"{name.ljust(width)}  {description}")
+        return 0
+
+    overrides = {}
+    if args.scale is not None:
+        overrides["scale"] = args.scale
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    config = bench_config(**overrides)
+
+    runner, _ = EXPERIMENTS[args.experiment]
+    text = runner(config)
+    print(text)
+    if args.save:
+        path = write_result(args.experiment, text)
+        print(f"\nwritten: {path}")
+    return 0

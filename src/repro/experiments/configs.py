@@ -1,0 +1,54 @@
+"""Experiment scaling presets.
+
+The paper's datasets are ~14k (Prop 30) and ~45k (Prop 37) tweets; the
+generator reproduces them proportionally via ``scale``.  Three presets:
+
+- ``smoke``  — tiny, for unit/integration tests (seconds),
+- ``bench``  — the default for ``pytest benchmarks/`` (tens of seconds),
+- ``full``   — the paper's full-scale counts (minutes; opt-in via the
+  ``REPRO_SCALE=full`` environment variable).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Scaling and seeding shared by the experiment runners."""
+
+    scale: float
+    seed: int = 7
+    lexicon_seed: int = 11
+    solver_seed: int = 7
+    max_iterations: int = 200
+    online_interval_days: int = 7
+    online_max_iterations: int = 60
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.scale <= 1.0):
+            raise ValueError(f"scale must be in (0, 1], got {self.scale}")
+
+
+def smoke_config(**overrides) -> ExperimentConfig:
+    """Tiny preset for tests."""
+    defaults = dict(scale=0.04, max_iterations=60, online_max_iterations=30)
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+def bench_config(**overrides) -> ExperimentConfig:
+    """Benchmark preset; ``REPRO_SCALE`` overrides the scale.
+
+    ``REPRO_SCALE`` accepts a float (e.g. ``0.2``) or the literal
+    ``full`` (= 1.0).
+    """
+    scale = 0.08
+    raw = os.environ.get("REPRO_SCALE")
+    if raw:
+        scale = 1.0 if raw.strip().lower() == "full" else float(raw)
+    defaults = dict(scale=scale)
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)

@@ -1,0 +1,71 @@
+"""Shared dataset construction (with per-process caching).
+
+Several benchmarks consume the same generated corpus; building it once
+per (name, scale, seed) keeps the benchmark suite fast without hiding
+the construction cost inside timed regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.data.corpus import TweetCorpus
+from repro.data.synthetic import (
+    BallotDatasetGenerator,
+    prop30_config,
+    prop37_config,
+)
+from repro.experiments.configs import ExperimentConfig
+from repro.graph.tripartite import TripartiteGraph, build_tripartite_graph
+from repro.text.lexicon import SentimentLexicon
+from repro.text.vectorizer import TfidfVectorizer
+
+
+@dataclass
+class DatasetBundle:
+    """Everything the runners need for one proposition dataset."""
+
+    name: str
+    generator: BallotDatasetGenerator
+    corpus: TweetCorpus
+    lexicon: SentimentLexicon
+    vectorizer: TfidfVectorizer
+    graph: TripartiteGraph
+
+
+_FACTORIES = {
+    "prop30": prop30_config,
+    "prop37": prop37_config,
+}
+
+
+@lru_cache(maxsize=8)
+def _load(name: str, scale: float, seed: int, lexicon_seed: int) -> DatasetBundle:
+    factory = _FACTORIES.get(name)
+    if factory is None:
+        raise ValueError(
+            f"unknown dataset {name!r}; expected one of {sorted(_FACTORIES)}"
+        )
+    generator = BallotDatasetGenerator(factory(scale=scale), seed=seed)
+    corpus = generator.generate()
+    lexicon = generator.lexicon(seed=lexicon_seed)
+    vectorizer = TfidfVectorizer(min_document_frequency=2)
+    vectorizer.fit(corpus.texts())
+    graph = build_tripartite_graph(
+        corpus, vectorizer=vectorizer, lexicon=lexicon
+    )
+    return DatasetBundle(
+        name=name,
+        generator=generator,
+        corpus=corpus,
+        lexicon=lexicon,
+        vectorizer=vectorizer,
+        graph=graph,
+    )
+
+
+def load_dataset(name: str, config: ExperimentConfig) -> DatasetBundle:
+    """Build (or fetch the cached) dataset bundle for a config."""
+    seed = config.seed if name == "prop30" else config.seed + 1
+    return _load(name, config.scale, seed, config.lexicon_seed)

@@ -1,0 +1,126 @@
+"""Figure 4 — the evolution of features.
+
+The paper plots per-feature usage frequency in two different periods
+(Aug 1-2 vs Sep 30-Oct 1) and observes that the *frequency distribution*
+changes sharply while the *sentiment* of the head words stays put
+(Table 2).  This runner measures exactly that on the generated data:
+
+- frequency vectors of the same feature set in two windows,
+- their rank correlation (low → distribution drifts),
+- the overlap and polarity-stability of the top-k words per class
+  across the windows (high → word sentiment is stable).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from repro.experiments.configs import ExperimentConfig, bench_config
+from repro.experiments.datasets import DatasetBundle, load_dataset
+from repro.experiments.reporting import format_table
+from repro.experiments.table2 import top_words_by_class
+from repro.text.tokenizer import TweetTokenizer
+
+
+@dataclass
+class FeatureEvolution:
+    """Frequency series for two windows plus summary statistics."""
+
+    feature_names: list[str]
+    early_counts: np.ndarray
+    late_counts: np.ndarray
+    spearman: float
+    head_overlap: float          # fraction of early top words still top later
+    head_polarity_stable: float  # fraction keeping their class
+
+
+def _window_counts(
+    bundle: DatasetBundle, start: int, end: int
+) -> Counter[str]:
+    tokenizer = TweetTokenizer()
+    counts: Counter[str] = Counter()
+    for tweet in bundle.corpus.tweets:
+        if start <= tweet.day <= end:
+            counts.update(tokenizer(tweet.text))
+    return counts
+
+
+def run_figure4(
+    config: ExperimentConfig | None = None,
+    dataset: str = "prop37",
+    early_window: tuple[int, int] = (0, 14),
+    late_window: tuple[int, int] = (60, 74),
+    head_size: int = 8,
+) -> FeatureEvolution:
+    """Measure feature-frequency drift between two periods."""
+    config = config or bench_config()
+    bundle = load_dataset(dataset, config)
+    early = _window_counts(bundle, *early_window)
+    late = _window_counts(bundle, *late_window)
+
+    names = sorted(set(early) | set(late))
+    early_vector = np.array([early.get(w, 0) for w in names], dtype=float)
+    late_vector = np.array([late.get(w, 0) for w in names], dtype=float)
+    if names:
+        rho = stats.spearmanr(early_vector, late_vector).statistic
+        spearman = float(rho) if np.isfinite(rho) else 0.0
+    else:
+        spearman = 0.0
+
+    early_top = top_words_by_class(bundle, count=head_size, day_range=early_window)
+    late_top = top_words_by_class(bundle, count=head_size, day_range=late_window)
+
+    early_head = {w for w, _ in early_top.positive} | {
+        w for w, _ in early_top.negative
+    }
+    late_head = {w for w, _ in late_top.positive} | {
+        w for w, _ in late_top.negative
+    }
+    overlap = (
+        len(early_head & late_head) / len(early_head) if early_head else 0.0
+    )
+    # A head word "flips" when it sits in one class's top list early and
+    # the opposite class's top list late; stability is 1 − flip rate over
+    # the words present in both heads (Observation 1: sentiment of words
+    # does not change even though their frequency does).
+    early_pos = {w for w, _ in early_top.positive}
+    early_neg = {w for w, _ in early_top.negative}
+    late_pos = {w for w, _ in late_top.positive}
+    late_neg = {w for w, _ in late_top.negative}
+    shared = early_head & late_head
+    flips = sum(
+        1
+        for w in shared
+        if (w in early_pos and w not in early_neg and w in late_neg and w not in late_pos)
+        or (w in early_neg and w not in early_pos and w in late_pos and w not in late_neg)
+    )
+    polarity_stable = 1.0 - flips / len(shared) if shared else 1.0
+    return FeatureEvolution(
+        feature_names=names,
+        early_counts=early_vector,
+        late_counts=late_vector,
+        spearman=spearman,
+        head_overlap=overlap,
+        head_polarity_stable=polarity_stable,
+    )
+
+
+def format_figure4(evolution: FeatureEvolution) -> str:
+    """Render the Figure 4 summary statistics."""
+    rows = [
+        ["features observed", len(evolution.feature_names)],
+        ["spearman(early, late)", round(evolution.spearman, 4)],
+        ["head-word overlap", evolution.head_overlap],
+        ["head polarity stable", evolution.head_polarity_stable],
+        ["early volume", int(evolution.early_counts.sum())],
+        ["late volume", int(evolution.late_counts.sum())],
+    ]
+    return format_table(
+        ["Statistic", "Value"],
+        rows,
+        title="Figure 4: feature-frequency evolution across periods",
+    )

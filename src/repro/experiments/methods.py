@@ -1,0 +1,265 @@
+"""Method runners shared by the Table 4/5 comparisons.
+
+Each runner takes a :class:`~repro.experiments.datasets.DatasetBundle`
+and an :class:`~repro.experiments.configs.ExperimentConfig` and returns a
+:class:`MethodScore`.  Supervised methods use a stratified 80/20 split;
+semi-supervised methods use 5%/10% stratified seeds and are evaluated on
+the remaining labeled entries; unsupervised methods are evaluated on all
+labeled entries with majority-vote cluster alignment (the paper's
+protocol, Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines import (
+    BACG,
+    ESSA,
+    LabelPropagation,
+    LinearSVM,
+    MultinomialNaiveBayes,
+    UserReg,
+    knn_affinity,
+)
+from repro.core.offline import OfflineTriClustering
+from repro.eval.metrics import clustering_accuracy, normalized_mutual_information
+from repro.eval.protocol import sample_labeled_indices, train_test_split_indices
+from repro.experiments.configs import ExperimentConfig
+from repro.experiments.datasets import DatasetBundle
+from repro.experiments.online_runner import run_online_stream
+
+
+@dataclass(frozen=True)
+class MethodScore:
+    """One method's result on one dataset at one level."""
+
+    method: str
+    category: str          # "supervised" | "semi-supervised" | "unsupervised"
+    accuracy: float
+    nmi: float | None      # reported for unsupervised methods only (paper)
+
+
+def _supervised_eval(
+    predictions: np.ndarray, truth: np.ndarray, test: np.ndarray
+) -> float:
+    return float(np.mean(predictions == truth[test]))
+
+
+# --------------------------------------------------------------------- #
+# Tweet level (Table 4)
+# --------------------------------------------------------------------- #
+
+
+def tweet_svm(bundle: DatasetBundle, config: ExperimentConfig) -> MethodScore:
+    truth = bundle.corpus.tweet_labels()
+    train, test = train_test_split_indices(truth, 0.8, seed=config.seed)
+    model = LinearSVM(seed=config.seed).fit(bundle.graph.xp[train], truth[train])
+    accuracy = _supervised_eval(
+        model.predict(bundle.graph.xp[test]), truth, test
+    )
+    return MethodScore("SVM", "supervised", accuracy, None)
+
+
+def tweet_naive_bayes(
+    bundle: DatasetBundle, config: ExperimentConfig
+) -> MethodScore:
+    truth = bundle.corpus.tweet_labels()
+    train, test = train_test_split_indices(truth, 0.8, seed=config.seed)
+    model = MultinomialNaiveBayes().fit(bundle.graph.xp[train], truth[train])
+    accuracy = _supervised_eval(
+        model.predict(bundle.graph.xp[test]), truth, test
+    )
+    return MethodScore("NB", "supervised", accuracy, None)
+
+
+def tweet_label_propagation(
+    bundle: DatasetBundle, config: ExperimentConfig, fraction: float
+) -> MethodScore:
+    truth = bundle.corpus.tweet_labels()
+    seeds = sample_labeled_indices(truth, fraction, seed=config.seed)
+    affinity = knn_affinity(bundle.graph.xp, num_neighbors=10)
+    predictions = LabelPropagation().fit_predict(affinity, truth, seeds)
+    mask = truth >= 0
+    mask[seeds] = False
+    accuracy = float(np.mean(predictions[mask] == truth[mask]))
+    return MethodScore(
+        f"LP-{int(fraction * 100)}", "semi-supervised", accuracy, None
+    )
+
+
+def tweet_userreg(
+    bundle: DatasetBundle, config: ExperimentConfig, fraction: float = 0.10
+) -> tuple[MethodScore, UserReg]:
+    """UserReg tweet-level score plus the fitted model (for Table 5)."""
+    truth = bundle.corpus.tweet_labels()
+    seeds = sample_labeled_indices(truth, fraction, seed=config.seed)
+    model = UserReg()
+    predictions = model.fit_predict_tweets(
+        bundle.graph.xp,
+        bundle.graph.xr,
+        bundle.graph.user_graph.adjacency,
+        truth,
+        seeds,
+    )
+    mask = truth >= 0
+    mask[seeds] = False
+    accuracy = float(np.mean(predictions[mask] == truth[mask]))
+    score = MethodScore(
+        f"UserReg-{int(fraction * 100)}", "semi-supervised", accuracy, None
+    )
+    return score, model
+
+
+def tweet_essa(bundle: DatasetBundle, config: ExperimentConfig) -> MethodScore:
+    truth = bundle.corpus.tweet_labels()
+    result = ESSA(seed=config.solver_seed).fit(bundle.graph.xp, bundle.graph.sf0)
+    predictions = result.tweet_sentiments()
+    return MethodScore(
+        "ESSA",
+        "unsupervised",
+        clustering_accuracy(predictions, truth),
+        normalized_mutual_information(predictions, truth),
+    )
+
+
+def fit_offline(bundle: DatasetBundle, config: ExperimentConfig, **overrides):
+    """Fit the offline tri-clustering solver with experiment defaults."""
+    kwargs: dict[str, object] = dict(
+        alpha=0.05,
+        beta=0.8,
+        max_iterations=config.max_iterations,
+        seed=config.solver_seed,
+    )
+    kwargs.update(overrides)
+    solver = OfflineTriClustering(**kwargs)
+    return solver.fit(bundle.graph)
+
+
+def tweet_triclustering(
+    bundle: DatasetBundle, config: ExperimentConfig
+) -> tuple[MethodScore, object]:
+    """Offline tri-clustering tweet score plus the result (for Table 5)."""
+    truth = bundle.corpus.tweet_labels()
+    result = fit_offline(bundle, config)
+    predictions = result.tweet_sentiments()
+    score = MethodScore(
+        "Tri-clustering",
+        "unsupervised",
+        clustering_accuracy(predictions, truth),
+        normalized_mutual_information(predictions, truth),
+    )
+    return score, result
+
+
+def tweet_online_triclustering(
+    bundle: DatasetBundle, config: ExperimentConfig
+) -> tuple[MethodScore, object]:
+    """Online tri-clustering tweet score plus the run (for Table 5)."""
+    run = run_online_stream(bundle, config)
+    score = MethodScore(
+        "Online tri-clustering",
+        "unsupervised",
+        run.tweet_accuracy,
+        run.tweet_nmi,
+    )
+    return score, run
+
+
+# --------------------------------------------------------------------- #
+# User level (Table 5)
+# --------------------------------------------------------------------- #
+
+
+def user_svm(bundle: DatasetBundle, config: ExperimentConfig) -> MethodScore:
+    truth = bundle.corpus.user_labels()
+    train, test = train_test_split_indices(truth, 0.8, seed=config.seed)
+    model = LinearSVM(seed=config.seed).fit(bundle.graph.xu[train], truth[train])
+    accuracy = _supervised_eval(
+        model.predict(bundle.graph.xu[test]), truth, test
+    )
+    return MethodScore("SVM", "supervised", accuracy, None)
+
+
+def user_naive_bayes(
+    bundle: DatasetBundle, config: ExperimentConfig
+) -> MethodScore:
+    truth = bundle.corpus.user_labels()
+    train, test = train_test_split_indices(truth, 0.8, seed=config.seed)
+    model = MultinomialNaiveBayes().fit(bundle.graph.xu[train], truth[train])
+    accuracy = _supervised_eval(
+        model.predict(bundle.graph.xu[test]), truth, test
+    )
+    return MethodScore("NB", "supervised", accuracy, None)
+
+
+def user_label_propagation(
+    bundle: DatasetBundle, config: ExperimentConfig, fraction: float
+) -> MethodScore:
+    truth = bundle.corpus.user_labels()
+    seeds = sample_labeled_indices(truth, fraction, seed=config.seed)
+    predictions = LabelPropagation().fit_predict(
+        bundle.graph.user_graph.adjacency, truth, seeds
+    )
+    mask = truth >= 0
+    mask[seeds] = False
+    if not mask.any():  # degenerate tiny datasets: evaluate on seeds too
+        mask = truth >= 0
+    accuracy = float(np.mean(predictions[mask] == truth[mask]))
+    return MethodScore(
+        f"LP-{int(fraction * 100)}", "semi-supervised", accuracy, None
+    )
+
+
+def user_userreg(
+    bundle: DatasetBundle, config: ExperimentConfig, model: UserReg
+) -> MethodScore:
+    """User-level UserReg readout (tweet aggregation, Deng's protocol)."""
+    truth = bundle.corpus.user_labels()
+    predictions = model.predict_users(bundle.graph.xr)
+    return MethodScore(
+        "UserReg-10",
+        "semi-supervised",
+        clustering_accuracy(predictions, truth),
+        None,
+    )
+
+
+def user_bacg(bundle: DatasetBundle, config: ExperimentConfig) -> MethodScore:
+    truth = bundle.corpus.user_labels()
+    result = BACG(seed=config.solver_seed).fit(
+        bundle.graph.xu, bundle.graph.user_graph
+    )
+    predictions = result.user_sentiments()
+    return MethodScore(
+        "BACG",
+        "unsupervised",
+        clustering_accuracy(predictions, truth),
+        normalized_mutual_information(predictions, truth),
+    )
+
+
+def user_triclustering(
+    bundle: DatasetBundle, config: ExperimentConfig, offline_result
+) -> MethodScore:
+    truth = bundle.corpus.user_labels()
+    predictions = offline_result.user_sentiments()
+    return MethodScore(
+        "Tri-clustering",
+        "unsupervised",
+        clustering_accuracy(predictions, truth),
+        normalized_mutual_information(predictions, truth),
+    )
+
+
+def user_online_triclustering(
+    bundle: DatasetBundle, config: ExperimentConfig, online_run
+) -> MethodScore:
+    return MethodScore(
+        "Online tri-clustering",
+        "unsupervised",
+        online_run.user_accuracy,
+        online_run.user_nmi,
+    )

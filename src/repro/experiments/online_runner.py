@@ -1,0 +1,167 @@
+"""Shared online-stream execution for the online experiments.
+
+Runs :class:`~repro.core.online.OnlineTriClustering` over a corpus
+snapshot stream and collects per-snapshot predictions, ground truth and
+wall-clock runtimes — the raw material for Table 4/5's online rows and
+Figures 9-12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.online import OnlineTriClustering
+from repro.data.stream import SnapshotStream
+from repro.eval.metrics import clustering_accuracy, normalized_mutual_information
+from repro.eval.timing import Stopwatch
+from repro.experiments.configs import ExperimentConfig
+from repro.experiments.datasets import DatasetBundle
+from repro.graph.tripartite import build_tripartite_graph
+
+
+@dataclass
+class SnapshotOutcome:
+    """Per-snapshot evaluation record."""
+
+    index: int
+    start_day: int
+    end_day: int
+    num_tweets: int
+    num_users: int
+    runtime_seconds: float
+    tweet_accuracy: float
+    user_accuracy: float
+
+
+@dataclass
+class OnlineRunResult:
+    """Aggregated outcome of one full stream run."""
+
+    snapshots: list[SnapshotOutcome] = field(default_factory=list)
+    tweet_predictions: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+    tweet_truth: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+    user_predictions: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+    user_truth: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+    total_runtime: float = 0.0
+
+    @property
+    def tweet_accuracy(self) -> float:
+        return clustering_accuracy(self.tweet_predictions, self.tweet_truth)
+
+    @property
+    def tweet_nmi(self) -> float:
+        return normalized_mutual_information(
+            self.tweet_predictions, self.tweet_truth
+        )
+
+    @property
+    def user_accuracy(self) -> float:
+        return clustering_accuracy(self.user_predictions, self.user_truth)
+
+    @property
+    def user_nmi(self) -> float:
+        return normalized_mutual_information(
+            self.user_predictions, self.user_truth
+        )
+
+
+def run_online_stream(
+    bundle: DatasetBundle,
+    config: ExperimentConfig,
+    **solver_overrides: object,
+) -> OnlineRunResult:
+    """Stream the bundle's corpus through the online solver.
+
+    ``solver_overrides`` are passed to
+    :class:`~repro.core.online.OnlineTriClustering` (used by the
+    parameter-sweep experiments for α/τ/γ/w).
+    """
+    solver_kwargs: dict[str, object] = dict(
+        max_iterations=config.online_max_iterations,
+        seed=config.solver_seed,
+    )
+    solver_kwargs.update(solver_overrides)
+    solver = OnlineTriClustering(**solver_kwargs)
+
+    result = OnlineRunResult()
+    tweet_preds: list[np.ndarray] = []
+    tweet_truths: list[np.ndarray] = []
+    watch = Stopwatch()
+    stream = SnapshotStream(
+        bundle.corpus, interval_days=config.online_interval_days
+    )
+    for snapshot in stream:
+        graph = build_tripartite_graph(
+            snapshot.corpus,
+            vectorizer=bundle.vectorizer,
+            lexicon=bundle.lexicon,
+        )
+        with watch:
+            step = solver.partial_fit(graph)
+        tweet_pred = step.tweet_sentiments()
+        tweet_truth = snapshot.corpus.tweet_labels()
+        tweet_preds.append(tweet_pred)
+        tweet_truths.append(tweet_truth)
+
+        # User accuracy at this point in time, over every user seen so
+        # far (the paper's per-timestamp user-level readout).
+        user_pred, user_truth = _user_arrays(
+            solver, bundle, day=snapshot.end_day
+        )
+        result.snapshots.append(
+            SnapshotOutcome(
+                index=snapshot.index,
+                start_day=snapshot.start_day,
+                end_day=snapshot.end_day,
+                num_tweets=snapshot.num_tweets,
+                num_users=snapshot.num_users,
+                runtime_seconds=watch.last,
+                tweet_accuracy=clustering_accuracy(tweet_pred, tweet_truth),
+                user_accuracy=clustering_accuracy(user_pred, user_truth),
+            )
+        )
+
+    result.tweet_predictions = (
+        np.concatenate(tweet_preds) if tweet_preds else np.empty(0, np.int64)
+    )
+    result.tweet_truth = (
+        np.concatenate(tweet_truths) if tweet_truths else np.empty(0, np.int64)
+    )
+    final_day = bundle.corpus.day_range[1]
+    result.user_predictions, result.user_truth = _user_arrays(
+        solver, bundle, day=final_day
+    )
+    result.total_runtime = watch.total
+    return result
+
+
+def _user_arrays(
+    solver: OnlineTriClustering,
+    bundle: DatasetBundle,
+    day: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Predictions + ground truth for all users the solver has seen."""
+    labels = solver.user_sentiment_labels()
+    if not labels:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    uids = sorted(labels)
+    predictions = np.array([labels[u] for u in uids], dtype=np.int64)
+    truth = np.array(
+        [
+            int(label) if (label := bundle.corpus.users[u].label_at(day)) is not None else -1
+            for u in uids
+        ],
+        dtype=np.int64,
+    )
+    return predictions, truth

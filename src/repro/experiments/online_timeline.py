@@ -1,0 +1,206 @@
+"""Figures 11 and 12 — online vs mini-batch vs full-batch over time.
+
+For each snapshot of the stream the three algorithms report wall-clock
+runtime, tweet-level accuracy on the snapshot's new tweets, and
+user-level accuracy over all users seen so far.  Expected shapes
+(Section 5.2): the online algorithm's accuracy tracks full-batch while
+its runtime tracks mini-batch; mini-batch accuracy is the lowest and the
+most burst-sensitive; full-batch runtime grows with the stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.batch import FullBatchTriClustering, MiniBatchTriClustering
+from repro.data.stream import SnapshotStream
+from repro.eval.metrics import clustering_accuracy
+from repro.eval.timing import Stopwatch
+from repro.experiments.configs import ExperimentConfig, bench_config
+from repro.experiments.datasets import DatasetBundle, load_dataset
+from repro.experiments.online_runner import run_online_stream
+from repro.experiments.reporting import format_table
+
+
+@dataclass
+class TimelinePoint:
+    """One algorithm's measurements at one snapshot."""
+
+    index: int
+    end_day: int
+    num_new_tweets: int
+    runtime_seconds: float
+    tweet_accuracy: float
+    user_accuracy: float
+
+
+@dataclass
+class TimelineResult:
+    """Per-snapshot series for the three algorithms."""
+
+    dataset: str
+    online: list[TimelinePoint] = field(default_factory=list)
+    mini_batch: list[TimelinePoint] = field(default_factory=list)
+    full_batch: list[TimelinePoint] = field(default_factory=list)
+
+    def mean_accuracy(self, series: str, level: str = "tweet") -> float:
+        points: list[TimelinePoint] = getattr(self, series)
+        attr = f"{level}_accuracy"
+        values = [getattr(p, attr) for p in points]
+        return float(np.mean(values)) if values else 0.0
+
+    def total_runtime(self, series: str) -> float:
+        points: list[TimelinePoint] = getattr(self, series)
+        return float(sum(p.runtime_seconds for p in points))
+
+
+def _user_accuracy_from_labels(
+    labels: dict[int, int], bundle: DatasetBundle, day: int
+) -> float:
+    if not labels:
+        return 0.0
+    uids = sorted(labels)
+    predictions = np.array([labels[u] for u in uids], dtype=np.int64)
+    truth = np.array(
+        [
+            int(lab) if (lab := bundle.corpus.users[u].label_at(day)) is not None else -1
+            for u in uids
+        ],
+        dtype=np.int64,
+    )
+    return clustering_accuracy(predictions, truth)
+
+
+def run_timeline(
+    config: ExperimentConfig | None = None,
+    dataset: str = "prop30",
+) -> TimelineResult:
+    """Run all three algorithms over the same snapshot stream."""
+    config = config or bench_config()
+    bundle = load_dataset(dataset, config)
+    result = TimelineResult(dataset=dataset)
+
+    # --- online (reuses the shared runner, which already times steps) ---
+    online_run = run_online_stream(bundle, config)
+    for outcome in online_run.snapshots:
+        result.online.append(
+            TimelinePoint(
+                index=outcome.index,
+                end_day=outcome.end_day,
+                num_new_tweets=outcome.num_tweets,
+                runtime_seconds=outcome.runtime_seconds,
+                tweet_accuracy=outcome.tweet_accuracy,
+                user_accuracy=outcome.user_accuracy,
+            )
+        )
+
+    # --- batch baselines ---
+    for series_name, algorithm in (
+        (
+            "mini_batch",
+            MiniBatchTriClustering(
+                vectorizer=bundle.vectorizer,
+                lexicon=bundle.lexicon,
+                max_iterations=config.online_max_iterations,
+                seed=config.solver_seed,
+            ),
+        ),
+        (
+            "full_batch",
+            FullBatchTriClustering(
+                vectorizer=bundle.vectorizer,
+                lexicon=bundle.lexicon,
+                max_iterations=config.online_max_iterations,
+                seed=config.solver_seed,
+            ),
+        ),
+    ):
+        series: list[TimelinePoint] = getattr(result, series_name)
+        watch = Stopwatch()
+        stream = SnapshotStream(
+            bundle.corpus, interval_days=config.online_interval_days
+        )
+        for snapshot in stream:
+            with watch:
+                step = algorithm.partial_fit(snapshot.corpus)
+            # Tweet accuracy on this snapshot's new tweets only (full-batch
+            # results cover all tweets so far; slice out the new ones).
+            snapshot_ids = {t.tweet_id for t in snapshot.corpus.tweets}
+            positions = [
+                i for i, tid in enumerate(step.tweet_ids) if tid in snapshot_ids
+            ]
+            tweet_pred = step.tweet_sentiments()[positions]
+            tweet_truth = np.array(
+                [
+                    int(t.sentiment) if t.sentiment is not None else -1
+                    for t in snapshot.corpus.tweets
+                ],
+                dtype=np.int64,
+            )
+            series.append(
+                TimelinePoint(
+                    index=snapshot.index,
+                    end_day=snapshot.end_day,
+                    num_new_tweets=snapshot.num_tweets,
+                    runtime_seconds=watch.last,
+                    tweet_accuracy=clustering_accuracy(tweet_pred, tweet_truth),
+                    user_accuracy=_user_accuracy_from_labels(
+                        algorithm.user_sentiment_labels(),
+                        bundle,
+                        snapshot.end_day,
+                    ),
+                )
+            )
+    return result
+
+
+def format_timeline(result: TimelineResult) -> str:
+    """Render per-snapshot series plus the aggregate comparison."""
+    headers = [
+        "Snap", "Day", "n(t)",
+        "t_on", "t_mini", "t_full",
+        "tweetA_on", "tweetA_mini", "tweetA_full",
+        "userA_on", "userA_mini", "userA_full",
+    ]
+    rows = []
+    for on, mini, full in zip(
+        result.online, result.mini_batch, result.full_batch
+    ):
+        rows.append(
+            [
+                on.index,
+                on.end_day,
+                on.num_new_tweets,
+                round(on.runtime_seconds, 3),
+                round(mini.runtime_seconds, 3),
+                round(full.runtime_seconds, 3),
+                on.tweet_accuracy,
+                mini.tweet_accuracy,
+                full.tweet_accuracy,
+                on.user_accuracy,
+                mini.user_accuracy,
+                full.user_accuracy,
+            ]
+        )
+    table = format_table(
+        headers,
+        rows,
+        title=(
+            f"Figures 11/12: online vs mini-batch vs full-batch "
+            f"({result.dataset})"
+        ),
+    )
+    summary = (
+        f"\nmean tweet accuracy: online={result.mean_accuracy('online'):.4f} "
+        f"mini={result.mean_accuracy('mini_batch'):.4f} "
+        f"full={result.mean_accuracy('full_batch'):.4f}"
+        f"\nmean user accuracy:  online={result.mean_accuracy('online', 'user'):.4f} "
+        f"mini={result.mean_accuracy('mini_batch', 'user'):.4f} "
+        f"full={result.mean_accuracy('full_batch', 'user'):.4f}"
+        f"\ntotal runtime (s):   online={result.total_runtime('online'):.2f} "
+        f"mini={result.total_runtime('mini_batch'):.2f} "
+        f"full={result.total_runtime('full_batch'):.2f}"
+    )
+    return table + summary

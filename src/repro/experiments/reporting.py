@@ -1,0 +1,61 @@
+"""Plain-text table formatting and result persistence.
+
+Benchmarks write their reproduced tables to ``benchmarks/results/`` (or
+``$REPRO_RESULTS_DIR``) so EXPERIMENTS.md can point at concrete artefacts.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Sequence
+from pathlib import Path
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned plain-text table.
+
+    Floats are shown with 2 decimals (4 for values in [0, 1], which are
+    metric scores); everything else via ``str``.
+    """
+
+    def render(value: object) -> str:
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            if 0.0 <= value <= 1.0:
+                return f"{value:.4f}"
+            return f"{value:.2f}"
+        return str(value)
+
+    text_rows = [[render(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in text_rows)) if text_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def results_dir() -> Path:
+    """Directory for benchmark result artefacts (created on demand)."""
+    root = os.environ.get("REPRO_RESULTS_DIR")
+    path = Path(root) if root else Path("benchmarks") / "results"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def write_result(name: str, text: str) -> Path:
+    """Persist one experiment's text output; returns the file path."""
+    path = results_dir() / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    return path

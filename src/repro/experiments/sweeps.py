@@ -1,0 +1,162 @@
+"""Parameter-sweep experiments — Figures 6, 7, 9 and 10.
+
+- Figures 6/7: offline user-/tweet-level quality over an (α, β) grid.
+- Figure 9: online user-/tweet-level accuracy over an (α, τ) grid.
+- Figure 10: online accuracy as γ varies with everything else fixed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.eval.metrics import clustering_accuracy, normalized_mutual_information
+from repro.experiments.configs import ExperimentConfig, bench_config
+from repro.experiments.datasets import load_dataset
+from repro.experiments.methods import fit_offline
+from repro.experiments.online_runner import run_online_stream
+from repro.experiments.reporting import format_table
+
+DEFAULT_GRID = (0.0, 0.2, 0.5, 0.8, 1.0)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Quality at one parameter combination."""
+
+    first: float    # α
+    second: float   # β (offline) or τ (online)
+    tweet_accuracy: float
+    tweet_nmi: float
+    user_accuracy: float
+    user_nmi: float
+
+
+@dataclass
+class SweepResult:
+    """All grid points of one sweep."""
+
+    first_name: str
+    second_name: str
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def best_by(self, metric: str) -> SweepPoint:
+        """Grid point maximizing ``metric`` (an attribute name)."""
+        if not self.points:
+            raise ValueError("sweep has no points")
+        return max(self.points, key=lambda p: getattr(p, metric))
+
+
+def run_alpha_beta_sweep(
+    config: ExperimentConfig | None = None,
+    dataset: str = "prop30",
+    alphas: tuple[float, ...] = DEFAULT_GRID,
+    betas: tuple[float, ...] = DEFAULT_GRID,
+) -> SweepResult:
+    """Figures 6 and 7: offline quality over the (α, β) grid."""
+    config = config or bench_config()
+    bundle = load_dataset(dataset, config)
+    tweet_truth = bundle.corpus.tweet_labels()
+    user_truth = bundle.corpus.user_labels()
+    sweep = SweepResult(first_name="alpha", second_name="beta")
+    for alpha in alphas:
+        for beta in betas:
+            result = fit_offline(bundle, config, alpha=alpha, beta=beta)
+            tweet_pred = result.tweet_sentiments()
+            user_pred = result.user_sentiments()
+            sweep.points.append(
+                SweepPoint(
+                    first=alpha,
+                    second=beta,
+                    tweet_accuracy=clustering_accuracy(tweet_pred, tweet_truth),
+                    tweet_nmi=normalized_mutual_information(
+                        tweet_pred, tweet_truth
+                    ),
+                    user_accuracy=clustering_accuracy(user_pred, user_truth),
+                    user_nmi=normalized_mutual_information(
+                        user_pred, user_truth
+                    ),
+                )
+            )
+    return sweep
+
+
+def run_alpha_tau_sweep(
+    config: ExperimentConfig | None = None,
+    dataset: str = "prop30",
+    alphas: tuple[float, ...] = (0.0, 0.5, 0.9),
+    taus: tuple[float, ...] = (0.1, 0.5, 0.9),
+) -> SweepResult:
+    """Figure 9: online accuracy over the (α, τ) grid."""
+    config = config or bench_config()
+    bundle = load_dataset(dataset, config)
+    sweep = SweepResult(first_name="alpha", second_name="tau")
+    for alpha in alphas:
+        for tau in taus:
+            run = run_online_stream(bundle, config, alpha=alpha, tau=tau)
+            sweep.points.append(
+                SweepPoint(
+                    first=alpha,
+                    second=tau,
+                    tweet_accuracy=run.tweet_accuracy,
+                    tweet_nmi=run.tweet_nmi,
+                    user_accuracy=run.user_accuracy,
+                    user_nmi=run.user_nmi,
+                )
+            )
+    return sweep
+
+
+def run_gamma_sweep(
+    config: ExperimentConfig | None = None,
+    dataset: str = "prop30",
+    gammas: tuple[float, ...] = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0),
+) -> SweepResult:
+    """Figure 10: online accuracy as γ varies."""
+    config = config or bench_config()
+    bundle = load_dataset(dataset, config)
+    sweep = SweepResult(first_name="gamma", second_name="gamma")
+    for gamma in gammas:
+        run = run_online_stream(bundle, config, gamma=gamma)
+        sweep.points.append(
+            SweepPoint(
+                first=gamma,
+                second=gamma,
+                tweet_accuracy=run.tweet_accuracy,
+                tweet_nmi=run.tweet_nmi,
+                user_accuracy=run.user_accuracy,
+                user_nmi=run.user_nmi,
+            )
+        )
+    return sweep
+
+
+def format_sweep(sweep: SweepResult, title: str) -> str:
+    """Render a sweep as a flat table of grid points."""
+    headers = [
+        sweep.first_name,
+        sweep.second_name,
+        "tweet acc",
+        "tweet NMI",
+        "user acc",
+        "user NMI",
+    ]
+    rows = [
+        [
+            point.first,
+            point.second,
+            point.tweet_accuracy,
+            point.tweet_nmi,
+            point.user_accuracy,
+            point.user_nmi,
+        ]
+        for point in sweep.points
+    ]
+    best_user = sweep.best_by("user_accuracy")
+    best_tweet = sweep.best_by("tweet_accuracy")
+    summary = (
+        f"\nbest user acc at {sweep.first_name}={best_user.first}, "
+        f"{sweep.second_name}={best_user.second} ({best_user.user_accuracy:.4f})"
+        f"\nbest tweet acc at {sweep.first_name}={best_tweet.first}, "
+        f"{sweep.second_name}={best_tweet.second} ({best_tweet.tweet_accuracy:.4f})"
+    )
+    return format_table(headers, rows, title=title) + summary

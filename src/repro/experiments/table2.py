@@ -1,0 +1,78 @@
+"""Table 2 — top-8 words with highest frequency per sentiment class.
+
+Counts token frequencies over labeled tweets of the Prop-37 analogue,
+split by class, reproducing the "head words stay popular and keep their
+polarity" observation that motivates the temporal feature regularizer.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.data.tweet import Sentiment
+from repro.experiments.configs import ExperimentConfig, bench_config
+from repro.experiments.datasets import DatasetBundle, load_dataset
+from repro.experiments.reporting import format_table
+from repro.text.tokenizer import TweetTokenizer
+
+
+@dataclass(frozen=True)
+class TopWords:
+    """Ranked (word, count) lists per class."""
+
+    positive: list[tuple[str, int]]
+    negative: list[tuple[str, int]]
+
+
+def top_words_by_class(
+    bundle: DatasetBundle,
+    count: int = 8,
+    day_range: tuple[int, int] | None = None,
+) -> TopWords:
+    """Most frequent tokens in labeled pos/neg tweets.
+
+    ``day_range`` restricts the computation to a time window, which the
+    stability check uses to verify head words persist across periods.
+    """
+    tokenizer = TweetTokenizer()
+    counters = {
+        Sentiment.POSITIVE: Counter(),
+        Sentiment.NEGATIVE: Counter(),
+    }
+    for tweet in bundle.corpus.tweets:
+        if tweet.sentiment not in counters:
+            continue
+        if day_range is not None and not (
+            day_range[0] <= tweet.day <= day_range[1]
+        ):
+            continue
+        counters[tweet.sentiment].update(tokenizer(tweet.text))
+    return TopWords(
+        positive=counters[Sentiment.POSITIVE].most_common(count),
+        negative=counters[Sentiment.NEGATIVE].most_common(count),
+    )
+
+
+def run_table2(
+    config: ExperimentConfig | None = None, count: int = 8
+) -> TopWords:
+    """Top words on the Prop-37 analogue (the paper's Table 2 dataset)."""
+    config = config or bench_config()
+    bundle = load_dataset("prop37", config)
+    return top_words_by_class(bundle, count=count)
+
+
+def format_table2(top: TopWords) -> str:
+    """Render the Table 2 layout."""
+    size = max(len(top.positive), len(top.negative))
+    rows = []
+    for i in range(size):
+        pos = f"{top.positive[i][0]} ({top.positive[i][1]})" if i < len(top.positive) else ""
+        neg = f"{top.negative[i][0]} ({top.negative[i][1]})" if i < len(top.negative) else ""
+        rows.append([i + 1, pos, neg])
+    return format_table(
+        ["Rank", "Pos", "Neg"],
+        rows,
+        title="Table 2: top words with highest frequency (prop37 analogue)",
+    )

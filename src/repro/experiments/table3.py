@@ -1,0 +1,100 @@
+"""Table 3 — statistics of tweets and users.
+
+Reports the labeled tweet counts (pos/neg) and user counts
+(pos/neg/neu/unlabeled) of both generated datasets, next to the scaled
+targets derived from the paper's Table 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.synthetic import expected_table3_counts
+from repro.experiments.configs import ExperimentConfig, bench_config
+from repro.experiments.datasets import load_dataset
+from repro.experiments.reporting import format_table
+
+DATASETS = ("prop30", "prop37")
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    """One dataset's statistics."""
+
+    dataset: str
+    tweet_pos: int
+    tweet_neg: int
+    user_pos: int
+    user_neg: int
+    user_neu: int
+    user_unlabeled: int
+
+
+def run_table3(config: ExperimentConfig | None = None) -> list[Table3Row]:
+    """Measure label statistics of both generated corpora."""
+    config = config or bench_config()
+    rows = []
+    for name in DATASETS:
+        bundle = load_dataset(name, config)
+        tweet_counts = bundle.corpus.tweet_label_counts(include_retweets=False)
+        user_counts = bundle.corpus.user_label_counts(day=0)
+        rows.append(
+            Table3Row(
+                dataset=name,
+                tweet_pos=tweet_counts.get("pos", 0),
+                tweet_neg=tweet_counts.get("neg", 0),
+                user_pos=user_counts.get("pos", 0),
+                user_neg=user_counts.get("neg", 0),
+                user_neu=user_counts.get("neu", 0),
+                user_unlabeled=user_counts.get("unlabeled", 0),
+            )
+        )
+    return rows
+
+
+def expected_rows(config: ExperimentConfig | None = None) -> list[Table3Row]:
+    """Scaled Table-3 targets for comparison."""
+    config = config or bench_config()
+    rows = []
+    for name in DATASETS:
+        bundle = load_dataset(name, config)
+        expected = expected_table3_counts(bundle.generator.config)
+        rows.append(
+            Table3Row(
+                dataset=f"{name} (target)",
+                tweet_pos=expected["tweet_pos"],
+                tweet_neg=expected["tweet_neg"],
+                user_pos=expected["user_pos"],
+                user_neg=expected["user_neg"],
+                user_neu=expected["user_neu"],
+                user_unlabeled=expected["user_unlabeled"],
+            )
+        )
+    return rows
+
+
+def format_table3(
+    measured: list[Table3Row], expected: list[Table3Row]
+) -> str:
+    """Render measured statistics next to the scaled paper targets."""
+    headers = [
+        "Dataset", "Tweet+", "Tweet-", "User+", "User-", "UserN", "UserU",
+    ]
+    rows = []
+    for row in [*measured, *expected]:
+        rows.append(
+            [
+                row.dataset,
+                row.tweet_pos,
+                row.tweet_neg,
+                row.user_pos,
+                row.user_neg,
+                row.user_neu,
+                row.user_unlabeled,
+            ]
+        )
+    return format_table(
+        headers,
+        rows,
+        title="Table 3: statistics of tweets and users (measured vs target)",
+    )

@@ -1,0 +1,86 @@
+"""Table 4 — tweet-level sentiment analysis comparison.
+
+Reproduces the paper's comparison of supervised (SVM, NB),
+semi-supervised (LP-5, LP-10, UserReg-10) and unsupervised (ESSA,
+tri-clustering, online tri-clustering) methods on both proposition
+datasets, reporting accuracy for all and NMI for the unsupervised ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments import methods
+from repro.experiments.configs import ExperimentConfig, bench_config
+from repro.experiments.datasets import load_dataset
+from repro.experiments.methods import MethodScore
+from repro.experiments.reporting import format_table
+
+DATASETS = ("prop30", "prop37")
+
+
+@dataclass
+class ComparisonResult:
+    """Scores per dataset, plus fitted artefacts reused by Table 5."""
+
+    scores: dict[str, list[MethodScore]] = field(default_factory=dict)
+    userreg_models: dict[str, object] = field(default_factory=dict)
+    offline_results: dict[str, object] = field(default_factory=dict)
+    online_runs: dict[str, object] = field(default_factory=dict)
+
+    def score_of(self, dataset: str, method: str) -> MethodScore:
+        for score in self.scores[dataset]:
+            if score.method == method:
+                return score
+        raise KeyError(f"no score for {method!r} on {dataset!r}")
+
+
+def run_table4(config: ExperimentConfig | None = None) -> ComparisonResult:
+    """Run every tweet-level method on both datasets."""
+    config = config or bench_config()
+    result = ComparisonResult()
+    for name in DATASETS:
+        bundle = load_dataset(name, config)
+        scores: list[MethodScore] = []
+        scores.append(methods.tweet_svm(bundle, config))
+        scores.append(methods.tweet_naive_bayes(bundle, config))
+        scores.append(methods.tweet_label_propagation(bundle, config, 0.05))
+        scores.append(methods.tweet_label_propagation(bundle, config, 0.10))
+        userreg_score, userreg_model = methods.tweet_userreg(bundle, config)
+        scores.append(userreg_score)
+        scores.append(methods.tweet_essa(bundle, config))
+        tri_score, offline_result = methods.tweet_triclustering(bundle, config)
+        scores.append(tri_score)
+        online_score, online_run = methods.tweet_online_triclustering(
+            bundle, config
+        )
+        scores.append(online_score)
+
+        result.scores[name] = scores
+        result.userreg_models[name] = userreg_model
+        result.offline_results[name] = offline_result
+        result.online_runs[name] = online_run
+    return result
+
+
+def format_table4(result: ComparisonResult) -> str:
+    """Render the Table 4 layout (accuracy and NMI per dataset)."""
+    headers = ["Method", "Category", "Acc(30)", "Acc(37)", "NMI(30)", "NMI(37)"]
+    rows = []
+    method_names = [s.method for s in result.scores[DATASETS[0]]]
+    for method in method_names:
+        s30 = result.score_of("prop30", method)
+        s37 = result.score_of("prop37", method)
+        rows.append(
+            [
+                method,
+                s30.category,
+                s30.accuracy,
+                s37.accuracy,
+                s30.nmi if s30.nmi is not None else "-",
+                s37.nmi if s37.nmi is not None else "-",
+            ]
+        )
+    return format_table(
+        headers, rows, title="Table 4: tweet-level sentiment comparison"
+    )

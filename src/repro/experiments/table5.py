@@ -1,0 +1,79 @@
+"""Table 5 — user-level sentiment analysis comparison.
+
+Same method families as Table 4 but at the user level: SVM/NB on
+user-feature rows, LP on the user-user retweeting graph, UserReg via
+tweet aggregation, BACG, and the tri-clustering user factors.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import methods
+from repro.experiments.configs import ExperimentConfig, bench_config
+from repro.experiments.datasets import load_dataset
+from repro.experiments.methods import MethodScore
+from repro.experiments.reporting import format_table
+from repro.experiments.table4 import DATASETS, ComparisonResult, run_table4
+
+
+def run_table5(
+    config: ExperimentConfig | None = None,
+    table4_result: ComparisonResult | None = None,
+) -> ComparisonResult:
+    """Run every user-level method on both datasets.
+
+    Passing the Table 4 result reuses its fitted UserReg models and
+    tri-clustering factors (matching the paper: one fit serves both
+    evaluation levels).
+    """
+    config = config or bench_config()
+    if table4_result is None:
+        table4_result = run_table4(config)
+    result = ComparisonResult()
+    for name in DATASETS:
+        bundle = load_dataset(name, config)
+        scores: list[MethodScore] = []
+        scores.append(methods.user_svm(bundle, config))
+        scores.append(methods.user_naive_bayes(bundle, config))
+        scores.append(methods.user_label_propagation(bundle, config, 0.05))
+        scores.append(methods.user_label_propagation(bundle, config, 0.10))
+        scores.append(
+            methods.user_userreg(
+                bundle, config, table4_result.userreg_models[name]
+            )
+        )
+        scores.append(methods.user_bacg(bundle, config))
+        scores.append(
+            methods.user_triclustering(
+                bundle, config, table4_result.offline_results[name]
+            )
+        )
+        scores.append(
+            methods.user_online_triclustering(
+                bundle, config, table4_result.online_runs[name]
+            )
+        )
+        result.scores[name] = scores
+    return result
+
+
+def format_table5(result: ComparisonResult) -> str:
+    """Render the Table 5 layout."""
+    headers = ["Method", "Category", "Acc(30)", "Acc(37)", "NMI(30)", "NMI(37)"]
+    rows = []
+    method_names = [s.method for s in result.scores[DATASETS[0]]]
+    for method in method_names:
+        s30 = result.score_of("prop30", method)
+        s37 = result.score_of("prop37", method)
+        rows.append(
+            [
+                method,
+                s30.category,
+                s30.accuracy,
+                s37.accuracy,
+                s30.nmi if s30.nmi is not None else "-",
+                s37.nmi if s37.nmi is not None else "-",
+            ]
+        )
+    return format_table(
+        headers, rows, title="Table 5: user-level sentiment comparison"
+    )

@@ -1,0 +1,64 @@
+"""Table 6 — capability matrix of sentiment-analysis methods.
+
+A static summary (the paper's related-work table): which levels each
+method family covers (tweet/user), its supervision regime, and whether it
+handles dynamics.  Generated from the same registry the comparison
+tables use, so the matrix stays consistent with what this repository
+actually implements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.reporting import format_table
+
+
+@dataclass(frozen=True)
+class MethodCapability:
+    """One method family's capability row."""
+
+    method: str
+    tweet_level: bool
+    user_level: bool
+    supervision: str       # "SL" | "SSL" | "USL"
+    dynamic: bool
+    implemented_as: str    # module in this repository
+
+
+CAPABILITIES: tuple[MethodCapability, ...] = (
+    MethodCapability("SVM [28]", True, True, "SL", False, "repro.baselines.svm"),
+    MethodCapability("Naive Bayes [11]", True, True, "SL", False, "repro.baselines.naive_bayes"),
+    MethodCapability("Label propagation [12,29,30]", True, True, "SSL", False, "repro.baselines.label_propagation"),
+    MethodCapability("UserReg [7]", True, True, "SSL", False, "repro.baselines.userreg"),
+    MethodCapability("Lexicon/MPQA [33]", True, False, "USL", False, "repro.baselines.lexicon_baseline"),
+    MethodCapability("ONMTF [9]", True, False, "USL", False, "repro.baselines.onmtf"),
+    MethodCapability("ESSA [15]", True, False, "USL", False, "repro.baselines.essa"),
+    MethodCapability("BACG [34]", False, True, "USL", False, "repro.baselines.bacg"),
+    MethodCapability("Volume dynamics [5,25]", True, False, "SL", True, "repro.experiments.online_timeline"),
+    MethodCapability("Tri-clustering (this work)", True, True, "USL", True, "repro.core"),
+)
+
+
+def run_table6() -> list[MethodCapability]:
+    """Return the capability matrix rows."""
+    return list(CAPABILITIES)
+
+
+def format_table6(rows: list[MethodCapability]) -> str:
+    """Render the Table 6 layout."""
+    headers = ["Method", "Tweet", "User", "Supervision", "Dynamic", "Module"]
+    table_rows = [
+        [
+            row.method,
+            row.tweet_level,
+            row.user_level,
+            row.supervision,
+            row.dynamic,
+            row.implemented_as,
+        ]
+        for row in rows
+    ]
+    return format_table(
+        headers, table_rows, title="Table 6: methods for sentiment analysis"
+    )

@@ -1,0 +1,32 @@
+"""Tweet text-processing substrate.
+
+Turns raw tweet text into the sparse non-negative matrices the
+tri-clustering framework consumes:
+
+- :mod:`repro.text.tokenizer` — Twitter-aware tokenization (hashtags,
+  @-mentions, URLs, emoticons, elongation squashing, negation marking).
+- :mod:`repro.text.stopwords` — a compact English stopword list.
+- :mod:`repro.text.vocabulary` — document-frequency-pruned vocabulary.
+- :mod:`repro.text.vectorizer` — count / tf-idf vectorizers producing
+  ``scipy.sparse`` matrices (``Xp``, ``Xu``).
+- :mod:`repro.text.lexicon` — sentiment lexicon and the ``Sf0`` feature
+  prior matrix of Eq. (5).
+"""
+
+from repro.text.lexicon import SentimentLexicon, build_sf0
+from repro.text.stopwords import ENGLISH_STOPWORDS, is_stopword
+from repro.text.tokenizer import TweetTokenizer, tokenize
+from repro.text.vectorizer import CountVectorizer, TfidfVectorizer
+from repro.text.vocabulary import Vocabulary
+
+__all__ = [
+    "ENGLISH_STOPWORDS",
+    "CountVectorizer",
+    "SentimentLexicon",
+    "TfidfVectorizer",
+    "TweetTokenizer",
+    "Vocabulary",
+    "build_sf0",
+    "is_stopword",
+    "tokenize",
+]

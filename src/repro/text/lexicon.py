@@ -1,0 +1,143 @@
+"""Sentiment lexicon and the ``Sf0`` feature prior of Eq. (5).
+
+The paper initializes the feature-cluster prior ``Sf0`` from automatically
+built "Yes"/"No" word lists [28]: ``Sf0[i, j]`` is the prior probability
+that feature *i* belongs to sentiment class *j*.  Here a
+:class:`SentimentLexicon` holds positive/negative word sets (with optional
+per-word strength), and :func:`build_sf0` projects it onto a vocabulary.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+import numpy as np
+
+from repro.text.tokenizer import NEGATION_SUFFIX
+from repro.text.vocabulary import Vocabulary
+
+#: Canonical class order used across the library.
+CLASS_ORDER: tuple[str, ...] = ("pos", "neg", "neu")
+
+POSITIVE_CLASS = 0
+NEGATIVE_CLASS = 1
+NEUTRAL_CLASS = 2
+
+
+class SentimentLexicon:
+    """Positive/negative word lists with optional per-word strengths.
+
+    Parameters
+    ----------
+    positive / negative:
+        Iterables of words, or mappings ``word -> strength`` with strengths
+        in ``(0, 1]``.  Plain iterables get strength 1.0.
+    """
+
+    def __init__(
+        self,
+        positive: Iterable[str] | Mapping[str, float] = (),
+        negative: Iterable[str] | Mapping[str, float] = (),
+    ) -> None:
+        self._positive = self._normalize(positive, "positive")
+        self._negative = self._normalize(negative, "negative")
+        overlap = set(self._positive) & set(self._negative)
+        if overlap:
+            raise ValueError(
+                f"words appear in both polarity lists: {sorted(overlap)[:5]}"
+            )
+
+    @staticmethod
+    def _normalize(
+        words: Iterable[str] | Mapping[str, float], name: str
+    ) -> dict[str, float]:
+        if isinstance(words, Mapping):
+            table = {str(w): float(s) for w, s in words.items()}
+        else:
+            table = {str(w): 1.0 for w in words}
+        for word, strength in table.items():
+            if not (0.0 < strength <= 1.0):
+                raise ValueError(
+                    f"{name} strength for {word!r} must be in (0, 1], "
+                    f"got {strength}"
+                )
+        return table
+
+    @property
+    def positive_words(self) -> frozenset[str]:
+        return frozenset(self._positive)
+
+    @property
+    def negative_words(self) -> frozenset[str]:
+        return frozenset(self._negative)
+
+    def __len__(self) -> int:
+        return len(self._positive) + len(self._negative)
+
+    def __contains__(self, word: str) -> bool:
+        return word in self._positive or word in self._negative
+
+    def polarity(self, word: str) -> float:
+        """Signed polarity of ``word``: positive strength minus negative.
+
+        Words marked with the negation suffix flip their polarity; unknown
+        words return 0.
+        """
+        if word.endswith(NEGATION_SUFFIX):
+            return -self.polarity(word.removesuffix(NEGATION_SUFFIX))
+        return self._positive.get(word, 0.0) - self._negative.get(word, 0.0)
+
+    def score_tokens(self, tokens: Iterable[str]) -> float:
+        """Sum of signed polarities over ``tokens``."""
+        return float(sum(self.polarity(token) for token in tokens))
+
+    def merged_with(self, other: "SentimentLexicon") -> "SentimentLexicon":
+        """Union of two lexicons; ``other`` wins on strength conflicts.
+
+        A word may not switch polarity between the two lexicons.
+        """
+        positive = {**self._positive, **other._positive}
+        negative = {**self._negative, **other._negative}
+        return SentimentLexicon(positive=positive, negative=negative)
+
+
+def build_sf0(
+    vocabulary: Vocabulary,
+    lexicon: SentimentLexicon,
+    num_classes: int = 3,
+    neutral_mass: float = 0.34,
+) -> np.ndarray:
+    """Build the ``(l, k)`` feature sentiment prior matrix ``Sf0``.
+
+    For a word in the lexicon, its prior mass concentrates on the matching
+    sentiment column (scaled by the word's strength); out-of-lexicon words
+    receive a uniform prior.  Rows sum to 1, matching the probabilistic
+    reading of ``Sf0`` in the paper.
+
+    Parameters
+    ----------
+    num_classes:
+        2 (pos/neg) or 3 (pos/neg/neu), matching ``k`` in the framework.
+    neutral_mass:
+        Residual probability spread over the non-matching classes for
+        in-lexicon words, modelling lexicon noise.
+    """
+    if num_classes not in (2, 3):
+        raise ValueError(f"num_classes must be 2 or 3, got {num_classes}")
+    if not (0.0 <= neutral_mass < 1.0):
+        raise ValueError(f"neutral_mass must be in [0, 1), got {neutral_mass}")
+
+    size = len(vocabulary)
+    sf0 = np.full((size, num_classes), 1.0 / num_classes, dtype=np.float64)
+    spread = neutral_mass / max(num_classes - 1, 1)
+    for feature_id, token in enumerate(vocabulary.tokens):
+        signed = lexicon.polarity(token)
+        if signed == 0.0:
+            continue
+        strength = abs(signed)
+        target = POSITIVE_CLASS if signed > 0 else NEGATIVE_CLASS
+        row = np.full(num_classes, spread, dtype=np.float64)
+        row[target] = 1.0 - neutral_mass
+        uniform = np.full(num_classes, 1.0 / num_classes)
+        sf0[feature_id] = strength * row + (1.0 - strength) * uniform
+    return sf0

@@ -1,0 +1,30 @@
+"""A compact English stopword list tuned for tweet text.
+
+The list follows the classic SMART/NLTK core with a handful of
+Twitter-specific function words ("rt", "via", "amp").  Negation words
+("not", "no", "never", "nor") are deliberately *excluded* because the
+tokenizer uses them for negation scope marking, and because they carry
+sentiment signal that the lexicon prior exploits.
+"""
+
+from __future__ import annotations
+
+ENGLISH_STOPWORDS: frozenset[str] = frozenset(
+    """
+    a about above after again against all am an and any are as at be because
+    been before being below between both but by could did do does doing down
+    during each few for from further had has have having he her here hers
+    herself him himself his how i if in into is it its itself just me more
+    most my myself of off on once only or other our ours ourselves out over
+    own same she should so some such than that the their theirs them
+    themselves then there these they this those through to too under until
+    up very was we were what when where which while who whom why will with
+    you your yours yourself yourselves
+    rt via amp u ur im dont cant wont isnt arent didnt doesnt
+    """.split()
+)
+
+
+def is_stopword(token: str) -> bool:
+    """Return ``True`` when ``token`` (case-insensitive) is a stopword."""
+    return token.lower() in ENGLISH_STOPWORDS

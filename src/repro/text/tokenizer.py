@@ -1,0 +1,166 @@
+"""Twitter-aware tokenizer.
+
+Tweets are short, noisy documents: hashtags and @-mentions are meaningful
+units, URLs are noise, emoticons carry strong sentiment signal, and
+character elongation ("soooo goooood") is common emphasis.  This tokenizer
+handles each of those cases and optionally applies *negation scope
+marking* ("not good" -> ``good_NEG``), the standard trick from Pang et al.
+that lets bag-of-words models distinguish negated sentiment.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+_URL_RE = re.compile(r"https?://\S+|www\.\S+", re.IGNORECASE)
+_MENTION_RE = re.compile(r"@\w+")
+_HASHTAG_RE = re.compile(r"#(\w+)")
+_ELONGATION_RE = re.compile(r"(.)\1{2,}")
+_TOKEN_RE = re.compile(r"[a-z0-9_#@']+")
+
+#: Western-style emoticons mapped to canonical tokens.  Canonical tokens are
+#: plain identifiers so they survive the word regex downstream.
+EMOTICONS: dict[str, str] = {
+    ":)": "emo_smile",
+    ":-)": "emo_smile",
+    ":d": "emo_laugh",
+    ":-d": "emo_laugh",
+    ";)": "emo_wink",
+    ";-)": "emo_wink",
+    "<3": "emo_heart",
+    ":(": "emo_frown",
+    ":-(": "emo_frown",
+    ":'(": "emo_cry",
+    ":/": "emo_skeptic",
+    ":-/": "emo_skeptic",
+    ">:(": "emo_angry",
+}
+
+#: Words that flip the polarity of the tokens that follow them.
+NEGATION_WORDS: frozenset[str] = frozenset(
+    {"not", "no", "never", "nor", "cannot", "n't", "without"}
+)
+
+#: Punctuation that terminates a negation scope.
+_CLAUSE_BREAK_RE = re.compile(r"[.,;:!?]")
+
+NEGATION_SUFFIX = "_NEG"
+
+
+@dataclass
+class TweetTokenizer:
+    """Configurable tweet tokenizer.
+
+    Parameters
+    ----------
+    lowercase:
+        Fold tokens to lower case (default ``True``).
+    strip_urls:
+        Drop URLs entirely (default ``True``).
+    keep_mentions:
+        Keep ``@user`` mentions as tokens (default ``False``; mentions are
+        user identity, not sentiment-bearing vocabulary).
+    keep_hashtags:
+        Keep hashtags, with the leading ``#`` stripped so that ``#prop37``
+        and ``prop37`` share a feature (default ``True``).
+    mark_negation:
+        Append ``_NEG`` to tokens inside a negation scope (default ``True``).
+    squash_elongation:
+        Reduce runs of 3+ identical characters to 2 (default ``True``).
+    min_token_length:
+        Drop tokens shorter than this after processing (default 2).
+    """
+
+    lowercase: bool = True
+    strip_urls: bool = True
+    keep_mentions: bool = False
+    keep_hashtags: bool = True
+    mark_negation: bool = True
+    squash_elongation: bool = True
+    min_token_length: int = 2
+    extra_emoticons: dict[str, str] = field(default_factory=dict)
+
+    def tokenize(self, text: str) -> list[str]:
+        """Tokenize ``text`` into a list of normalized tokens."""
+        if not isinstance(text, str):
+            raise TypeError(f"expected str, got {type(text).__name__}")
+        working = text.lower() if self.lowercase else text
+
+        if self.strip_urls:
+            working = _URL_RE.sub(" ", working)
+
+        working, emoticon_tokens = self._extract_emoticons(working)
+
+        if not self.keep_mentions:
+            working = _MENTION_RE.sub(" ", working)
+        if self.keep_hashtags:
+            working = _HASHTAG_RE.sub(r" \1 ", working)
+
+        if self.squash_elongation:
+            working = _ELONGATION_RE.sub(r"\1\1", working)
+
+        tokens = self._split(working)
+        if self.mark_negation:
+            tokens = self._apply_negation(tokens, working)
+        tokens.extend(emoticon_tokens)
+        return [
+            token
+            for token in tokens
+            if len(token.removesuffix(NEGATION_SUFFIX)) >= self.min_token_length
+        ]
+
+    __call__ = tokenize
+
+    def _extract_emoticons(self, text: str) -> tuple[str, list[str]]:
+        """Replace emoticons with spaces, returning their canonical tokens."""
+        table = {**EMOTICONS, **self.extra_emoticons}
+        found: list[str] = []
+        working = text
+        for raw, canonical in table.items():
+            count = working.count(raw)
+            if count:
+                found.extend([canonical] * count)
+                working = working.replace(raw, " ")
+        return working, found
+
+    def _split(self, text: str) -> list[str]:
+        """Split cleaned text into raw word tokens."""
+        tokens = []
+        for match in _TOKEN_RE.finditer(text):
+            token = match.group().strip("'_")
+            if token:
+                tokens.append(token)
+        return tokens
+
+    def _apply_negation(self, tokens: list[str], original: str) -> list[str]:
+        """Append ``_NEG`` to tokens following a negation word.
+
+        The scope runs until the next clause-breaking punctuation in the
+        original text, approximated here as a window of up to three tokens
+        (tweet clauses are short; a fixed window matches common practice
+        and avoids re-aligning tokens to character offsets).
+        """
+        del original  # scope approximation does not need character offsets
+        result: list[str] = []
+        scope_remaining = 0
+        for token in tokens:
+            bare = token.rstrip("'")
+            if bare in NEGATION_WORDS or bare.endswith("n't"):
+                result.append(bare)
+                scope_remaining = 3
+                continue
+            if scope_remaining > 0:
+                result.append(token + NEGATION_SUFFIX)
+                scope_remaining -= 1
+            else:
+                result.append(token)
+        return result
+
+
+_DEFAULT_TOKENIZER = TweetTokenizer()
+
+
+def tokenize(text: str) -> list[str]:
+    """Tokenize ``text`` with the default :class:`TweetTokenizer` settings."""
+    return _DEFAULT_TOKENIZER.tokenize(text)

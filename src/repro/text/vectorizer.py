@@ -1,0 +1,184 @@
+"""Count and tf-idf vectorizers producing sparse non-negative matrices.
+
+These build the ``Xp`` (tweet-feature) and ``Xu`` (user-feature) matrices
+of the tri-clustering framework.  Both vectorizers follow the familiar
+fit/transform protocol and emit ``scipy.sparse.csr_matrix`` with
+non-negative ``float64`` data, which is what the multiplicative-update
+solver expects.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Callable, Iterable, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.text.tokenizer import TweetTokenizer
+from repro.text.vocabulary import Vocabulary
+
+Analyzer = Callable[[str], list[str]]
+
+
+class CountVectorizer:
+    """Bag-of-words vectorizer over a (optionally pre-built) vocabulary.
+
+    Parameters
+    ----------
+    analyzer:
+        Callable mapping a document string to a token list.  Defaults to a
+        :class:`~repro.text.tokenizer.TweetTokenizer`.
+    vocabulary:
+        A pre-built :class:`~repro.text.vocabulary.Vocabulary`.  When given,
+        ``fit`` keeps it frozen (tokens outside it are dropped), which is
+        how online snapshots are vectorized against the training lexicon.
+    min_document_frequency / max_document_ratio / max_features:
+        Vocabulary pruning applied during ``fit`` (ignored when a
+        vocabulary is supplied).
+    binary:
+        Emit 0/1 indicators instead of counts.
+    """
+
+    def __init__(
+        self,
+        analyzer: Analyzer | None = None,
+        vocabulary: Vocabulary | None = None,
+        min_document_frequency: int = 1,
+        max_document_ratio: float = 1.0,
+        max_features: int | None = None,
+        binary: bool = False,
+    ) -> None:
+        self.analyzer: Analyzer = analyzer or TweetTokenizer()
+        self.vocabulary = vocabulary
+        self.min_document_frequency = min_document_frequency
+        self.max_document_ratio = max_document_ratio
+        self.max_features = max_features
+        self.binary = binary
+        self._fitted = vocabulary is not None
+
+    def fit(self, documents: Iterable[str]) -> "CountVectorizer":
+        """Learn the vocabulary from ``documents``."""
+        if self.vocabulary is not None:
+            self._fitted = True
+            return self
+        vocab = Vocabulary()
+        for document in documents:
+            vocab.add_document(self.analyzer(document))
+        needs_pruning = (
+            self.min_document_frequency > 1
+            or self.max_document_ratio < 1.0
+            or self.max_features is not None
+        )
+        if needs_pruning:
+            vocab = vocab.pruned(
+                min_document_frequency=self.min_document_frequency,
+                max_document_ratio=self.max_document_ratio,
+                max_features=self.max_features,
+            )
+        vocab.freeze()
+        self.vocabulary = vocab
+        self._fitted = True
+        return self
+
+    def transform(self, documents: Sequence[str]) -> sp.csr_matrix:
+        """Vectorize ``documents`` into an ``(n_docs, n_features)`` matrix."""
+        if not self._fitted or self.vocabulary is None:
+            raise RuntimeError("vectorizer must be fitted before transform")
+        vocab = self.vocabulary
+        indptr = [0]
+        indices: list[int] = []
+        data: list[float] = []
+        for document in documents:
+            counts: Counter[int] = Counter()
+            for token in self.analyzer(document):
+                feature_id = vocab.get(token)
+                if feature_id is not None:
+                    counts[feature_id] += 1
+            for feature_id in sorted(counts):
+                indices.append(feature_id)
+                value = 1.0 if self.binary else float(counts[feature_id])
+                data.append(value)
+            indptr.append(len(indices))
+        matrix = sp.csr_matrix(
+            (np.asarray(data), np.asarray(indices, dtype=np.int32), indptr),
+            shape=(len(documents), len(vocab)),
+            dtype=np.float64,
+        )
+        return matrix
+
+    def fit_transform(self, documents: Sequence[str]) -> sp.csr_matrix:
+        """``fit`` then ``transform`` on the same documents."""
+        return self.fit(documents).transform(documents)
+
+
+class TfidfVectorizer(CountVectorizer):
+    """Tf-idf variant of :class:`CountVectorizer`.
+
+    Uses smoothed idf ``log((1 + N) / (1 + df)) + 1`` (always positive, so
+    the output stays non-negative) and optional L2 row normalization.
+    """
+
+    def __init__(
+        self,
+        analyzer: Analyzer | None = None,
+        vocabulary: Vocabulary | None = None,
+        min_document_frequency: int = 1,
+        max_document_ratio: float = 1.0,
+        max_features: int | None = None,
+        sublinear_tf: bool = False,
+        normalize: bool = True,
+    ) -> None:
+        super().__init__(
+            analyzer=analyzer,
+            vocabulary=vocabulary,
+            min_document_frequency=min_document_frequency,
+            max_document_ratio=max_document_ratio,
+            max_features=max_features,
+            binary=False,
+        )
+        self.sublinear_tf = sublinear_tf
+        self.normalize = normalize
+        self._idf: np.ndarray | None = None
+
+    def fit(self, documents: Iterable[str]) -> "TfidfVectorizer":
+        documents = list(documents)
+        super().fit(documents)
+        assert self.vocabulary is not None
+        num_docs = max(self.vocabulary.num_documents, len(documents), 1)
+        df = np.array(
+            [
+                self.vocabulary.document_frequency(token)
+                for token in self.vocabulary.tokens
+            ],
+            dtype=np.float64,
+        )
+        self._idf = np.log((1.0 + num_docs) / (1.0 + df)) + 1.0
+        return self
+
+    def transform(self, documents: Sequence[str]) -> sp.csr_matrix:
+        counts = super().transform(documents)
+        if self._idf is None:
+            # Vocabulary was injected without a fit pass: fall back to
+            # document frequencies accumulated in the vocabulary itself.
+            assert self.vocabulary is not None
+            num_docs = max(self.vocabulary.num_documents, 1)
+            df = np.array(
+                [
+                    max(self.vocabulary.document_frequency(token), 1)
+                    for token in self.vocabulary.tokens
+                ],
+                dtype=np.float64,
+            )
+            self._idf = np.log((1.0 + num_docs) / (1.0 + df)) + 1.0
+        tf = counts.copy().astype(np.float64)
+        if self.sublinear_tf:
+            tf.data = 1.0 + np.log(tf.data)
+        weighted = tf.multiply(sp.csr_matrix(self._idf)).tocsr()
+        if self.normalize:
+            norms = np.sqrt(weighted.multiply(weighted).sum(axis=1))
+            norms = np.asarray(norms).ravel()
+            norms[norms == 0.0] = 1.0
+            scale = sp.diags(1.0 / norms)
+            weighted = (scale @ weighted).tocsr()
+        return weighted

@@ -1,0 +1,161 @@
+"""Vocabulary: the feature set ``F`` of the tripartite graph.
+
+A :class:`Vocabulary` maps tokens to contiguous integer feature ids and
+tracks corpus statistics (term frequency, document frequency) that the
+vectorizers and the synthetic-data diagnostics (Figure 4, Table 2) need.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Iterator
+
+
+class Vocabulary:
+    """Mutable token <-> feature-id mapping with frequency statistics."""
+
+    def __init__(self) -> None:
+        self._token_to_id: dict[str, int] = {}
+        self._id_to_token: list[str] = []
+        self._term_frequency: Counter[str] = Counter()
+        self._document_frequency: Counter[str] = Counter()
+        self._num_documents = 0
+        self._frozen = False
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    def add_document(self, tokens: Iterable[str]) -> list[int]:
+        """Register one document's tokens; return their feature ids.
+
+        Unknown tokens are added unless the vocabulary is frozen, in which
+        case they are silently dropped (the online setting: new snapshots
+        are vectorized against the training vocabulary).
+        """
+        token_list = list(tokens)
+        self._num_documents += 1
+        ids: list[int] = []
+        for token in token_list:
+            feature_id = self._intern(token)
+            if feature_id is not None:
+                ids.append(feature_id)
+        for token in set(token_list):
+            if token in self._token_to_id:
+                self._document_frequency[token] += 1
+        for token in token_list:
+            if token in self._token_to_id:
+                self._term_frequency[token] += 1
+        return ids
+
+    def _intern(self, token: str) -> int | None:
+        """Return the id for ``token``, creating it if allowed."""
+        existing = self._token_to_id.get(token)
+        if existing is not None:
+            return existing
+        if self._frozen:
+            return None
+        feature_id = len(self._id_to_token)
+        self._token_to_id[token] = feature_id
+        self._id_to_token.append(token)
+        return feature_id
+
+    def freeze(self) -> None:
+        """Stop admitting new tokens (used for online snapshots)."""
+        self._frozen = True
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._id_to_token)
+
+    def id_of(self, token: str) -> int:
+        """Return the feature id of ``token`` (raises ``KeyError`` if absent)."""
+        return self._token_to_id[token]
+
+    def get(self, token: str, default: int | None = None) -> int | None:
+        return self._token_to_id.get(token, default)
+
+    def token_of(self, feature_id: int) -> str:
+        """Return the token for ``feature_id``."""
+        return self._id_to_token[feature_id]
+
+    @property
+    def tokens(self) -> list[str]:
+        """All tokens in id order (a copy)."""
+        return list(self._id_to_token)
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_documents(self) -> int:
+        return self._num_documents
+
+    def term_frequency(self, token: str) -> int:
+        """Total corpus occurrences of ``token``."""
+        return self._term_frequency[token]
+
+    def document_frequency(self, token: str) -> int:
+        """Number of documents containing ``token``."""
+        return self._document_frequency[token]
+
+    def most_common(self, count: int) -> list[tuple[str, int]]:
+        """The ``count`` highest term-frequency tokens."""
+        return self._term_frequency.most_common(count)
+
+    # ------------------------------------------------------------------ #
+    # Pruning
+    # ------------------------------------------------------------------ #
+
+    def pruned(
+        self,
+        min_document_frequency: int = 1,
+        max_document_ratio: float = 1.0,
+        max_features: int | None = None,
+    ) -> "Vocabulary":
+        """Return a new vocabulary with rare/ubiquitous tokens removed.
+
+        Tokens with document frequency below ``min_document_frequency`` or
+        above ``max_document_ratio * num_documents`` are dropped; if
+        ``max_features`` is given, the highest-frequency survivors are
+        kept.  Ids are re-assigned contiguously in frequency order so the
+        result is independent of the insertion order of the source.
+        """
+        if min_document_frequency < 1:
+            raise ValueError("min_document_frequency must be >= 1")
+        if not (0.0 < max_document_ratio <= 1.0):
+            raise ValueError("max_document_ratio must be in (0, 1]")
+        ceiling = max_document_ratio * max(self._num_documents, 1)
+        survivors = [
+            token
+            for token in self._id_to_token
+            if min_document_frequency
+            <= self._document_frequency[token]
+            <= ceiling
+        ]
+        survivors.sort(key=lambda t: (-self._term_frequency[t], t))
+        if max_features is not None:
+            survivors = survivors[:max_features]
+
+        pruned = Vocabulary()
+        pruned._num_documents = self._num_documents
+        for token in survivors:
+            pruned._token_to_id[token] = len(pruned._id_to_token)
+            pruned._id_to_token.append(token)
+            pruned._term_frequency[token] = self._term_frequency[token]
+            pruned._document_frequency[token] = self._document_frequency[token]
+        return pruned

@@ -1,0 +1,51 @@
+"""Shared numerical and infrastructure utilities.
+
+This package holds the low-level helpers that every other subsystem relies
+on: seeded random-number management (:mod:`repro.utils.rng`), non-negative
+matrix kernels (:mod:`repro.utils.matrices`), argument validation
+(:mod:`repro.utils.validation`) and a tiny structured logger
+(:mod:`repro.utils.logging`).
+"""
+
+from repro.utils.logging import get_logger
+from repro.utils.matrices import (
+    EPS,
+    column_normalize,
+    frobenius_sq,
+    hard_assignments,
+    is_nonnegative,
+    nonneg_split,
+    row_normalize,
+    safe_divide,
+    safe_sqrt_ratio,
+    trace_quadratic,
+)
+from repro.utils.rng import RandomState, spawn_rng
+from repro.utils.validation import (
+    check_probability,
+    check_shape,
+    require_in_range,
+    require_nonnegative_matrix,
+    require_positive,
+)
+
+__all__ = [
+    "EPS",
+    "RandomState",
+    "check_probability",
+    "check_shape",
+    "column_normalize",
+    "frobenius_sq",
+    "get_logger",
+    "hard_assignments",
+    "is_nonnegative",
+    "nonneg_split",
+    "require_in_range",
+    "require_nonnegative_matrix",
+    "require_positive",
+    "row_normalize",
+    "safe_divide",
+    "safe_sqrt_ratio",
+    "spawn_rng",
+    "trace_quadratic",
+]

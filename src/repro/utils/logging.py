@@ -1,0 +1,49 @@
+"""Library logging configuration.
+
+The library never configures the root logger; it exposes namespaced loggers
+under ``repro.*`` that applications can route as they wish.  A module-level
+null handler keeps the library silent by default, per standard library
+packaging practice.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_ROOT_NAME = "repro"
+
+logging.getLogger(_ROOT_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return a logger in the ``repro`` namespace.
+
+    ``get_logger("core.offline")`` returns ``repro.core.offline``; with no
+    argument the package root logger is returned.
+    """
+    if name is None:
+        return logging.getLogger(_ROOT_NAME)
+    if name.startswith(_ROOT_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def enable_console_logging(level: int = logging.INFO) -> None:
+    """Attach a simple console handler to the package root logger.
+
+    Intended for examples and benchmarks; libraries embedding ``repro``
+    should configure logging themselves instead of calling this.
+    """
+    logger = logging.getLogger(_ROOT_NAME)
+    has_stream = any(
+        isinstance(handler, logging.StreamHandler)
+        and not isinstance(handler, logging.NullHandler)
+        for handler in logger.handlers
+    )
+    if not has_stream:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+        )
+        logger.addHandler(handler)
+    logger.setLevel(level)

@@ -1,0 +1,41 @@
+"""Seeded random-number helpers.
+
+Every stochastic component in the library (synthetic data generation, factor
+initialization, SGD baselines, label sampling) accepts either an integer
+seed or a :class:`numpy.random.Generator`.  Routing everything through
+:func:`spawn_rng` keeps experiments reproducible: a single top-level seed
+deterministically derives independent child generators for each subsystem.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RandomState = int | np.random.Generator | None
+
+
+def spawn_rng(seed: RandomState = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Accepts ``None`` (fresh OS entropy), an ``int`` seed, or an existing
+    generator (returned unchanged so that callers can thread one generator
+    through a pipeline).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def child_seeds(seed: RandomState, count: int) -> list[int]:
+    """Derive ``count`` independent integer seeds from ``seed``.
+
+    Uses :class:`numpy.random.SeedSequence` spawning, so the children are
+    statistically independent yet fully determined by the parent seed.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    if isinstance(seed, np.random.Generator):
+        # Derive from the generator's own bit stream.
+        return [int(seed.integers(0, 2**63 - 1)) for _ in range(count)]
+    sequence = np.random.SeedSequence(seed)
+    return [int(child.generate_state(1)[0]) for child in sequence.spawn(count)]

@@ -1,0 +1,64 @@
+"""Argument validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+import numbers
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.utils.matrices import is_nonnegative
+
+
+def require_positive(value: float, name: str) -> float:
+    """Raise ``ValueError`` unless ``value > 0``; return the value."""
+    if not isinstance(value, numbers.Real) or not value > 0:
+        raise ValueError(f"{name} must be a positive number, got {value!r}")
+    return float(value)
+
+
+def require_in_range(
+    value: float, name: str, low: float, high: float
+) -> float:
+    """Raise ``ValueError`` unless ``low <= value <= high``."""
+    if not isinstance(value, numbers.Real):
+        raise ValueError(f"{name} must be a number, got {value!r}")
+    if not (low <= value <= high):
+        raise ValueError(
+            f"{name} must be in [{low}, {high}], got {value!r}"
+        )
+    return float(value)
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate a probability-like parameter in ``[0, 1]``."""
+    return require_in_range(value, name, 0.0, 1.0)
+
+
+def check_shape(
+    matrix: np.ndarray | sp.spmatrix,
+    expected: tuple[int | None, int | None],
+    name: str,
+) -> None:
+    """Raise ``ValueError`` unless ``matrix.shape`` matches ``expected``.
+
+    ``None`` entries in ``expected`` act as wildcards.
+    """
+    shape = matrix.shape
+    if len(shape) != len(expected):
+        raise ValueError(
+            f"{name} must be {len(expected)}-dimensional, got shape {shape}"
+        )
+    for axis, (actual, want) in enumerate(zip(shape, expected)):
+        if want is not None and actual != want:
+            raise ValueError(
+                f"{name} has shape {shape}; expected axis {axis} to be {want}"
+            )
+
+
+def require_nonnegative_matrix(
+    matrix: np.ndarray | sp.spmatrix, name: str, tolerance: float = 0.0
+) -> None:
+    """Raise ``ValueError`` if ``matrix`` contains entries below ``-tolerance``."""
+    if not is_nonnegative(matrix, tolerance=tolerance):
+        raise ValueError(f"{name} must be element-wise non-negative")

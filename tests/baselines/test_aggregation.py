@@ -1,0 +1,70 @@
+"""Tests for user sentiment aggregation."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.baselines.aggregation import (
+    aggregate_user_sentiments,
+    soft_aggregate_user_sentiments,
+)
+
+
+def incidence():
+    """Three users; user 0 wrote tweets 0-2, user 1 tweets 3-4, user 2 none."""
+    matrix = np.zeros((3, 5))
+    matrix[0, [0, 1, 2]] = 1.0
+    matrix[1, [3, 4]] = 1.0
+    return sp.csr_matrix(matrix)
+
+
+class TestMajorityAggregation:
+    def test_majority_wins(self):
+        tweets = np.array([0, 0, 1, 1, 1])
+        users = aggregate_user_sentiments(incidence(), tweets)
+        assert users[0] == 0  # two pos, one neg
+        assert users[1] == 1
+
+    def test_default_class_for_silent_users(self):
+        tweets = np.array([0, 0, 1, 1, 1])
+        users = aggregate_user_sentiments(incidence(), tweets, default_class=2)
+        assert users[2] == 2
+
+    def test_unknown_tweets_skipped(self):
+        tweets = np.array([0, -1, -1, 1, -1])
+        users = aggregate_user_sentiments(incidence(), tweets)
+        assert users[0] == 0
+        assert users[1] == 1
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            aggregate_user_sentiments(incidence(), np.array([0, 1]))
+
+    def test_bad_default_class(self):
+        with pytest.raises(ValueError):
+            aggregate_user_sentiments(
+                incidence(), np.zeros(5, dtype=np.int64), default_class=7
+            )
+
+    def test_noisy_minority_overruled(self):
+        """The Figure-1 motivation: one misclassified tweet must not flip
+        a user with consistent other tweets."""
+        tweets = np.array([0, 0, 1, 1, 1])  # tweet 2 "wrong" for user 0
+        users = aggregate_user_sentiments(incidence(), tweets)
+        assert users[0] == 0
+
+
+class TestSoftAggregation:
+    def test_averages_memberships(self):
+        memberships = np.zeros((5, 3))
+        memberships[[0, 1], 0] = 1.0
+        memberships[2, 1] = 1.0
+        memberships[[3, 4], 1] = 1.0
+        out = soft_aggregate_user_sentiments(incidence(), memberships)
+        assert out.shape == (3, 3)
+        assert out[0, 0] == pytest.approx(2 / 3)
+        assert out[1, 1] == pytest.approx(1.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            soft_aggregate_user_sentiments(incidence(), np.zeros((4, 3)))

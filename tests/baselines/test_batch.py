@@ -1,0 +1,78 @@
+"""Tests for the mini-batch / full-batch online baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.batch import FullBatchTriClustering, MiniBatchTriClustering
+from repro.data.stream import SnapshotStream
+
+
+@pytest.fixture()
+def snapshots(corpus):
+    return SnapshotStream(corpus, interval_days=30).snapshots()
+
+
+class TestMiniBatch:
+    def test_steps_cover_snapshot_tweets(self, snapshots, shared_vectorizer, lexicon):
+        algorithm = MiniBatchTriClustering(
+            vectorizer=shared_vectorizer,
+            lexicon=lexicon,
+            max_iterations=15,
+            seed=3,
+        )
+        for snapshot in snapshots:
+            step = algorithm.partial_fit(snapshot.corpus)
+            assert step.tweet_ids == [t.tweet_id for t in snapshot.corpus.tweets]
+            assert step.tweet_sentiments().shape == (snapshot.num_tweets,)
+
+    def test_user_state_accumulates(self, snapshots, shared_vectorizer, lexicon):
+        algorithm = MiniBatchTriClustering(
+            vectorizer=shared_vectorizer,
+            lexicon=lexicon,
+            max_iterations=10,
+            seed=3,
+        )
+        seen: set[int] = set()
+        for snapshot in snapshots:
+            algorithm.partial_fit(snapshot.corpus)
+            seen |= set(snapshot.corpus.user_ids)
+            assert set(algorithm.user_sentiment_labels()) == seen
+
+
+class TestFullBatch:
+    def test_accumulates_corpus(self, snapshots, shared_vectorizer, lexicon):
+        algorithm = FullBatchTriClustering(
+            vectorizer=shared_vectorizer,
+            lexicon=lexicon,
+            max_iterations=10,
+            seed=3,
+        )
+        total = 0
+        for snapshot in snapshots:
+            step = algorithm.partial_fit(snapshot.corpus)
+            total += snapshot.num_tweets
+            assert algorithm.accumulated_corpus.num_tweets == total
+            assert len(step.tweet_ids) == total
+
+    def test_full_batch_covers_past_tweets(self, snapshots, shared_vectorizer, lexicon):
+        algorithm = FullBatchTriClustering(
+            vectorizer=shared_vectorizer,
+            lexicon=lexicon,
+            max_iterations=10,
+            seed=3,
+        )
+        first_ids = {t.tweet_id for t in snapshots[0].corpus.tweets}
+        algorithm.partial_fit(snapshots[0].corpus)
+        step = algorithm.partial_fit(snapshots[1].corpus)
+        assert first_ids <= set(step.tweet_ids)
+
+    def test_labels_valid(self, snapshots, shared_vectorizer, lexicon):
+        algorithm = FullBatchTriClustering(
+            vectorizer=shared_vectorizer,
+            lexicon=lexicon,
+            max_iterations=10,
+            seed=3,
+        )
+        algorithm.partial_fit(snapshots[0].corpus)
+        labels = algorithm.user_sentiment_labels()
+        assert set(labels.values()) <= {0, 1, 2}

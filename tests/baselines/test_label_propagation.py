@@ -1,0 +1,106 @@
+"""Tests for kNN affinity construction and label propagation."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.baselines.label_propagation import LabelPropagation, knn_affinity
+
+
+def two_blobs(n=30, seed=0):
+    rng = np.random.default_rng(seed)
+    half = n // 2
+    a = np.abs(rng.normal([3, 0], 0.3, size=(half, 2)))
+    b = np.abs(rng.normal([0, 3], 0.3, size=(half, 2)))
+    x = sp.csr_matrix(np.vstack([a, b]))
+    y = np.array([0] * half + [1] * half)
+    return x, y
+
+
+class TestKnnAffinity:
+    def test_symmetric(self):
+        x, _ = two_blobs()
+        affinity = knn_affinity(x, num_neighbors=5)
+        assert (affinity != affinity.T).nnz == 0
+
+    def test_no_self_loops(self):
+        x, _ = two_blobs()
+        affinity = knn_affinity(x, num_neighbors=5)
+        assert affinity.diagonal().sum() == 0.0
+
+    def test_neighbors_within_blob(self):
+        x, y = two_blobs()
+        affinity = knn_affinity(x, num_neighbors=3)
+        coo = affinity.tocoo()
+        same_blob = np.mean(y[coo.row] == y[coo.col])
+        assert same_blob > 0.95
+
+    def test_chunking_consistent(self):
+        x, _ = two_blobs(40)
+        a = knn_affinity(x, num_neighbors=4, chunk_size=7)
+        b = knn_affinity(x, num_neighbors=4, chunk_size=1000)
+        assert np.allclose(a.toarray(), b.toarray())
+
+    def test_bad_neighbors(self):
+        x, _ = two_blobs()
+        with pytest.raises(ValueError):
+            knn_affinity(x, num_neighbors=0)
+
+    def test_weights_are_cosines(self):
+        x, _ = two_blobs()
+        affinity = knn_affinity(x, num_neighbors=3)
+        assert affinity.data.max() <= 1.0 + 1e-9
+        assert affinity.data.min() > 0.0
+
+
+class TestLabelPropagation:
+    def test_propagates_in_blobs(self):
+        x, y = two_blobs()
+        affinity = knn_affinity(x, num_neighbors=5)
+        seeds = np.array([0, 15])  # one per blob
+        predictions = LabelPropagation(num_classes=2).fit_predict(
+            affinity, y, seeds
+        )
+        assert float(np.mean(predictions == y)) > 0.9
+
+    def test_seeds_keep_labels(self):
+        x, y = two_blobs()
+        affinity = knn_affinity(x, num_neighbors=5)
+        seeds = np.array([0, 1, 15, 16])
+        predictions = LabelPropagation(num_classes=2).fit_predict(
+            affinity, y, seeds
+        )
+        assert np.array_equal(predictions[seeds], y[seeds])
+
+    def test_disconnected_nodes_get_majority(self):
+        affinity = sp.csr_matrix((4, 4))  # no edges at all
+        labels = np.array([1, 1, -1, -1])
+        predictions = LabelPropagation(num_classes=2).fit_predict(
+            affinity, labels, np.array([0, 1])
+        )
+        assert predictions.tolist() == [1, 1, 1, 1]
+
+    def test_requires_seeds(self):
+        affinity = sp.eye(3).tocsr()
+        with pytest.raises(ValueError, match="seed"):
+            LabelPropagation().fit_predict(
+                affinity, np.array([0, 1, 2]), np.array([], dtype=int)
+            )
+
+    def test_rejects_unlabeled_seed(self):
+        affinity = sp.eye(3).tocsr()
+        with pytest.raises(ValueError, match="non-negative"):
+            LabelPropagation().fit_predict(
+                affinity, np.array([-1, 1, 2]), np.array([0])
+            )
+
+    def test_rejects_size_mismatch(self):
+        affinity = sp.eye(3).tocsr()
+        with pytest.raises(ValueError, match="length"):
+            LabelPropagation().fit_predict(
+                affinity, np.array([0, 1]), np.array([0])
+            )
+
+    def test_bad_num_classes(self):
+        with pytest.raises(ValueError):
+            LabelPropagation(num_classes=1)

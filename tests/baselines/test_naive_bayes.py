@@ -1,0 +1,93 @@
+"""Tests for multinomial Naive Bayes."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.baselines.naive_bayes import MultinomialNaiveBayes
+
+
+def toy_problem():
+    """Linearly separable bag-of-words: class 0 uses cols 0-1, class 1 cols 2-3."""
+    x = sp.csr_matrix(
+        np.array(
+            [
+                [3, 1, 0, 0],
+                [2, 2, 0, 0],
+                [4, 1, 0, 1],
+                [0, 0, 3, 2],
+                [0, 1, 2, 3],
+                [1, 0, 4, 2],
+            ],
+            dtype=float,
+        )
+    )
+    y = np.array([0, 0, 0, 1, 1, 1])
+    return x, y
+
+
+class TestFitPredict:
+    def test_separable_data(self):
+        x, y = toy_problem()
+        model = MultinomialNaiveBayes().fit(x, y)
+        assert np.array_equal(model.predict(x), y)
+
+    def test_predict_unseen(self):
+        x, y = toy_problem()
+        model = MultinomialNaiveBayes().fit(x, y)
+        fresh = sp.csr_matrix(np.array([[5, 2, 0, 0], [0, 0, 5, 5]], dtype=float))
+        assert model.predict(fresh).tolist() == [0, 1]
+
+    def test_unlabeled_rows_ignored(self):
+        x, y = toy_problem()
+        y = y.copy()
+        y[0] = -1
+        model = MultinomialNaiveBayes().fit(x, y)
+        assert set(model.predict(x)) <= {0, 1}
+
+    def test_class_ids_preserved(self):
+        x, _ = toy_problem()
+        y = np.array([2, 2, 2, 5, 5, 5])
+        model = MultinomialNaiveBayes().fit(x, y)
+        assert set(model.predict(x)) <= {2, 5}
+
+    def test_dense_input(self):
+        x, y = toy_problem()
+        model = MultinomialNaiveBayes().fit(x.toarray(), y)
+        assert np.array_equal(model.predict(x.toarray()), y)
+
+
+class TestValidation:
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            MultinomialNaiveBayes().predict(sp.csr_matrix((1, 4)))
+
+    def test_no_labels(self):
+        x, _ = toy_problem()
+        with pytest.raises(ValueError):
+            MultinomialNaiveBayes().fit(x, np.full(6, -1))
+
+    def test_shape_mismatch(self):
+        x, _ = toy_problem()
+        with pytest.raises(ValueError):
+            MultinomialNaiveBayes().fit(x, np.array([0, 1]))
+
+    def test_bad_smoothing(self):
+        with pytest.raises(ValueError):
+            MultinomialNaiveBayes(smoothing=0.0)
+
+
+class TestProbabilities:
+    def test_log_proba_shape(self):
+        x, y = toy_problem()
+        model = MultinomialNaiveBayes().fit(x, y)
+        scores = model.predict_log_proba(x)
+        assert scores.shape == (6, 2)
+
+    def test_prior_shift(self):
+        """Class priors matter: skewed training shifts ambiguous predictions."""
+        x = sp.csr_matrix(np.ones((10, 2)))
+        y = np.array([0] * 9 + [1])
+        model = MultinomialNaiveBayes().fit(x, y)
+        ambiguous = sp.csr_matrix(np.ones((1, 2)))
+        assert model.predict(ambiguous)[0] == 0

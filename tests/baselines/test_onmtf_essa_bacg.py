@@ -1,0 +1,151 @@
+"""Tests for the NMF-family baselines: ONMTF, ESSA, BACG."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.baselines.bacg import BACG
+from repro.baselines.essa import ESSA
+from repro.baselines.onmtf import ONMTF
+from repro.eval.metrics import clustering_accuracy
+from repro.graph.usergraph import UserGraph
+
+
+def block_matrix(rows_per_block=10, cols_per_block=8, blocks=3, seed=0):
+    """Block-diagonal document-term matrix: ground truth co-clusters."""
+    rng = np.random.default_rng(seed)
+    n = rows_per_block * blocks
+    l = cols_per_block * blocks
+    x = rng.uniform(0.0, 0.05, size=(n, l))
+    for b in range(blocks):
+        rows = slice(b * rows_per_block, (b + 1) * rows_per_block)
+        cols = slice(b * cols_per_block, (b + 1) * cols_per_block)
+        x[rows, cols] += rng.uniform(0.5, 1.0, size=(rows_per_block, cols_per_block))
+    labels = np.repeat(np.arange(blocks), rows_per_block)
+    term_labels = np.repeat(np.arange(blocks), cols_per_block)
+    return sp.csr_matrix(x), labels, term_labels
+
+
+class TestONMTF:
+    def test_recovers_block_structure(self):
+        x, labels, term_labels = block_matrix()
+        result = ONMTF(num_clusters=3, seed=1).fit(x)
+        assert clustering_accuracy(result.document_clusters(), labels) > 0.9
+        assert clustering_accuracy(result.term_clusters(), term_labels) > 0.9
+
+    def test_loss_decreases(self):
+        x, _, _ = block_matrix()
+        result = ONMTF(num_clusters=3, seed=1).fit(x)
+        assert result.losses[-1] <= result.losses[0]
+
+    def test_factors_nonnegative(self):
+        x, _, _ = block_matrix()
+        result = ONMTF(num_clusters=3, seed=1).fit(x)
+        assert result.document_factor.min() >= 0.0
+        assert result.term_factor.min() >= 0.0
+        assert result.association.min() >= 0.0
+
+    def test_prior_shape_checked(self):
+        x, _, _ = block_matrix()
+        with pytest.raises(ValueError):
+            ONMTF(num_clusters=3).fit(x, term_prior=np.ones((2, 3)))
+
+    def test_bad_cluster_count(self):
+        with pytest.raises(ValueError):
+            ONMTF(num_clusters=1)
+
+
+class TestESSA:
+    def test_prior_anchors_columns(self):
+        x, labels, term_labels = block_matrix(seed=2)
+        prior = np.full((x.shape[1], 3), 0.2)
+        for term, klass in enumerate(term_labels):
+            prior[term, klass] = 0.6
+        result = ESSA(emotion_weight=1.0, seed=3).fit(x, prior)
+        predictions = result.tweet_sentiments()
+        # With an anchored prior, cluster id should equal class id for
+        # most documents (no alignment needed).
+        assert float(np.mean(predictions == labels)) > 0.8
+
+    def test_runs_without_prior(self):
+        # Unsupervised NMF without the anchoring prior can land in a
+        # cluster-merging local optimum; require clearly-above-chance.
+        x, labels, _ = block_matrix(seed=2)
+        result = ESSA(seed=1).fit(x, None)
+        assert clustering_accuracy(result.tweet_sentiments(), labels) > 0.6
+
+    def test_word_sentiments_shape(self):
+        x, _, _ = block_matrix()
+        result = ESSA(seed=3).fit(x, None)
+        assert result.word_sentiments().shape == (x.shape[1],)
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(ValueError):
+            ESSA(emotion_weight=-0.5)
+
+    def test_on_real_graph(self, graph, corpus):
+        result = ESSA(seed=7).fit(graph.xp, graph.sf0)
+        accuracy = clustering_accuracy(
+            result.tweet_sentiments(), corpus.tweet_labels()
+        )
+        assert accuracy > 0.55
+
+
+class TestBACG:
+    def _user_graph(self, labels, seed=0, homophily=0.9):
+        rng = np.random.default_rng(seed)
+        m = labels.size
+        adjacency = np.zeros((m, m))
+        for _ in range(m * 4):
+            i = int(rng.integers(m))
+            same = np.flatnonzero(labels == labels[i])
+            other = np.flatnonzero(labels != labels[i])
+            pool = same if rng.random() < homophily else other
+            j = int(rng.choice(pool))
+            if i != j:
+                adjacency[i, j] += 1
+                adjacency[j, i] += 1
+        return UserGraph(adjacency=sp.csr_matrix(adjacency))
+
+    def test_recovers_user_blocks(self):
+        x, labels, _ = block_matrix(rows_per_block=12, seed=4)
+        user_graph = self._user_graph(labels, seed=4)
+        result = BACG(num_classes=3, seed=5).fit(x, user_graph)
+        assert clustering_accuracy(result.user_sentiments(), labels) > 0.8
+
+    def test_structure_only_helps(self):
+        """With pure-noise attributes, the graph term carries the signal."""
+        rng = np.random.default_rng(6)
+        labels = np.repeat(np.arange(2), 15)
+        noise = sp.csr_matrix(rng.uniform(size=(30, 10)))
+        user_graph = self._user_graph(labels, seed=6, homophily=0.95)
+        structural = clustering_accuracy(
+            BACG(num_classes=2, structure_weight=1.0, seed=5)
+            .fit(noise, user_graph)
+            .user_sentiments(),
+            labels,
+        )
+        content_only = clustering_accuracy(
+            BACG(num_classes=2, structure_weight=0.0, seed=5)
+            .fit(noise, user_graph)
+            .user_sentiments(),
+            labels,
+        )
+        assert structural > 0.7
+        assert structural >= content_only
+
+    def test_size_mismatch_rejected(self):
+        x, labels, _ = block_matrix()
+        wrong = UserGraph(adjacency=sp.csr_matrix((5, 5)))
+        with pytest.raises(ValueError):
+            BACG().fit(x, wrong)
+
+    def test_loss_decreases(self):
+        x, labels, _ = block_matrix()
+        user_graph = self._user_graph(labels)
+        result = BACG(seed=1).fit(x, user_graph)
+        assert result.losses[-1] <= result.losses[0]
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(ValueError):
+            BACG(structure_weight=-1.0)

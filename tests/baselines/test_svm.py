@@ -1,0 +1,78 @@
+"""Tests for the Pegasos linear SVM."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.baselines.svm import LinearSVM
+
+
+def separable_problem(n=60, seed=0):
+    rng = np.random.default_rng(seed)
+    half = n // 2
+    a = rng.normal(loc=[2.0, 0.0], scale=0.3, size=(half, 2))
+    b = rng.normal(loc=[0.0, 2.0], scale=0.3, size=(half, 2))
+    x = sp.csr_matrix(np.abs(np.vstack([a, b])))
+    y = np.array([0] * half + [1] * half)
+    return x, y
+
+
+class TestFitPredict:
+    def test_separable_two_class(self):
+        x, y = separable_problem()
+        model = LinearSVM(epochs=40, seed=1).fit(x, y)
+        accuracy = float(np.mean(model.predict(x) == y))
+        assert accuracy > 0.95
+
+    def test_three_class_one_vs_rest(self):
+        rng = np.random.default_rng(1)
+        centers = np.array([[3, 0, 0], [0, 3, 0], [0, 0, 3]], dtype=float)
+        x = np.abs(
+            np.vstack(
+                [rng.normal(c, 0.3, size=(30, 3)) for c in centers]
+            )
+        )
+        y = np.repeat([0, 1, 2], 30)
+        model = LinearSVM(epochs=40, seed=1).fit(sp.csr_matrix(x), y)
+        accuracy = float(np.mean(model.predict(sp.csr_matrix(x)) == y))
+        assert accuracy > 0.9
+
+    def test_unlabeled_ignored(self):
+        x, y = separable_problem()
+        y = y.copy()
+        y[:5] = -1
+        model = LinearSVM(epochs=20, seed=1).fit(x, y)
+        assert set(model.predict(x)) <= {0, 1}
+
+    def test_deterministic(self):
+        x, y = separable_problem()
+        a = LinearSVM(epochs=10, seed=5).fit(x, y).predict(x)
+        b = LinearSVM(epochs=10, seed=5).fit(x, y).predict(x)
+        assert np.array_equal(a, b)
+
+    def test_decision_function_shape(self):
+        x, y = separable_problem()
+        model = LinearSVM(epochs=5, seed=1).fit(x, y)
+        assert model.decision_function(x).shape == (x.shape[0], 2)
+
+
+class TestValidation:
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            LinearSVM().predict(sp.csr_matrix((1, 2)))
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            LinearSVM(regularization=0.0)
+        with pytest.raises(ValueError):
+            LinearSVM(epochs=0)
+
+    def test_no_labels(self):
+        x, _ = separable_problem()
+        with pytest.raises(ValueError):
+            LinearSVM().fit(x, np.full(x.shape[0], -1))
+
+    def test_shape_mismatch(self):
+        x, _ = separable_problem()
+        with pytest.raises(ValueError):
+            LinearSVM().fit(x, np.array([0, 1]))

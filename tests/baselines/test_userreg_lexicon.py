@@ -1,0 +1,109 @@
+"""Tests for UserReg and the lexicon classifier."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.lexicon_baseline import LexiconClassifier
+from repro.baselines.userreg import UserReg
+from repro.eval.protocol import sample_labeled_indices
+from repro.text.lexicon import SentimentLexicon
+
+
+class TestUserReg:
+    def test_fit_predict_tweets(self, graph, corpus):
+        truth = corpus.tweet_labels()
+        seeds = sample_labeled_indices(truth, 0.10, seed=3)
+        model = UserReg()
+        predictions = model.fit_predict_tweets(
+            graph.xp, graph.xr, graph.user_graph.adjacency, truth, seeds
+        )
+        assert predictions.shape == (graph.num_tweets,)
+        mask = truth >= 0
+        mask[seeds] = False
+        accuracy = float(np.mean(predictions[mask] == truth[mask]))
+        assert accuracy > 0.5
+
+    def test_user_readout_requires_fit(self, graph):
+        with pytest.raises(RuntimeError):
+            UserReg().predict_users(graph.xr)
+
+    def test_user_readout_shape(self, graph, corpus):
+        truth = corpus.tweet_labels()
+        seeds = sample_labeled_indices(truth, 0.10, seed=3)
+        model = UserReg()
+        model.fit_predict_tweets(
+            graph.xp, graph.xr, graph.user_graph.adjacency, truth, seeds
+        )
+        users = model.predict_users(graph.xr)
+        assert users.shape == (graph.num_users,)
+        assert set(np.unique(users)) <= {0, 1, 2}
+
+    def test_all_zero_weights_rejected(self, graph, corpus):
+        truth = corpus.tweet_labels()
+        seeds = sample_labeled_indices(truth, 0.10, seed=3)
+        model = UserReg(lexical_weight=0, author_weight=0, social_weight=0)
+        with pytest.raises(ValueError):
+            model.fit_predict_tweets(
+                graph.xp, graph.xr, graph.user_graph.adjacency, truth, seeds
+            )
+
+    def test_author_consistency_improves_over_lexical_only(self, graph, corpus):
+        """The user-consistency terms are UserReg's contribution [7]."""
+        truth = corpus.tweet_labels()
+        seeds = sample_labeled_indices(truth, 0.05, seed=5)
+        mask = truth >= 0
+        mask[seeds] = False
+
+        lexical_only = UserReg(author_weight=0, social_weight=0)
+        base = lexical_only.fit_predict_tweets(
+            graph.xp, graph.xr, graph.user_graph.adjacency, truth, seeds
+        )
+        full = UserReg()
+        combined = full.fit_predict_tweets(
+            graph.xp, graph.xr, graph.user_graph.adjacency, truth, seeds
+        )
+        base_acc = float(np.mean(base[mask] == truth[mask]))
+        full_acc = float(np.mean(combined[mask] == truth[mask]))
+        assert full_acc >= base_acc - 0.05
+
+
+class TestLexiconClassifier:
+    @pytest.fixture()
+    def classifier(self):
+        lexicon = SentimentLexicon(
+            positive=["love", "great"], negative=["hate", "awful"]
+        )
+        return LexiconClassifier(lexicon)
+
+    def test_positive(self, classifier):
+        assert classifier.predict_one("i love this great day") == 0
+
+    def test_negative(self, classifier):
+        assert classifier.predict_one("i hate this awful day") == 1
+
+    def test_neutral_when_balanced(self, classifier):
+        assert classifier.predict_one("love and hate") == 2
+        assert classifier.predict_one("nothing to say") == 2
+
+    def test_negation_flips(self, classifier):
+        assert classifier.predict_one("not great at all") == 1
+
+    def test_batch(self, classifier):
+        out = classifier.predict(["love it", "hate it", "meh"])
+        assert out.tolist() == [0, 1, 2]
+
+    def test_neutral_band(self):
+        lexicon = SentimentLexicon(positive=["ok"], negative=[])
+        classifier = LexiconClassifier(lexicon, neutral_band=1.5)
+        assert classifier.predict_one("ok") == 2  # |1.0| <= band
+
+    def test_bad_band(self, classifier):
+        with pytest.raises(ValueError):
+            LexiconClassifier(classifier.lexicon, neutral_band=-1.0)
+
+    def test_beats_chance_on_corpus(self, corpus, lexicon):
+        classifier = LexiconClassifier(lexicon)
+        truth = corpus.tweet_labels()
+        predictions = classifier.predict(corpus.texts())
+        mask = truth >= 0
+        assert float(np.mean(predictions[mask] == truth[mask])) > 0.5

@@ -1,0 +1,51 @@
+"""Shared fixtures: one small generated dataset reused across the suite.
+
+Session-scoped so the corpus/graph construction cost is paid once; tests
+must not mutate these objects (build private copies when needed).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import BallotDatasetGenerator, prop30_config
+from repro.graph.tripartite import build_tripartite_graph
+from repro.text.vectorizer import TfidfVectorizer
+
+TEST_SCALE = 0.04
+TEST_SEED = 7
+
+
+@pytest.fixture(scope="session")
+def generator() -> BallotDatasetGenerator:
+    return BallotDatasetGenerator(prop30_config(scale=TEST_SCALE), seed=TEST_SEED)
+
+
+@pytest.fixture(scope="session")
+def corpus(generator):
+    return generator.generate()
+
+
+@pytest.fixture(scope="session")
+def lexicon(generator):
+    return generator.lexicon(coverage=0.6, noise=0.05, seed=11)
+
+
+@pytest.fixture(scope="session")
+def shared_vectorizer(corpus):
+    vectorizer = TfidfVectorizer(min_document_frequency=2)
+    vectorizer.fit(corpus.texts())
+    return vectorizer
+
+
+@pytest.fixture(scope="session")
+def graph(corpus, shared_vectorizer, lexicon):
+    return build_tripartite_graph(
+        corpus, vectorizer=shared_vectorizer, lexicon=lexicon
+    )
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(123)

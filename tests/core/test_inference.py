@@ -1,0 +1,120 @@
+"""Tests for fold-in inference on unseen tweets/users."""
+
+import numpy as np
+import pytest
+
+from repro.core.inference import (
+    infer_tweet_memberships,
+    infer_tweet_sentiments,
+    infer_user_memberships,
+    infer_user_sentiments,
+)
+from repro.core.offline import OfflineTriClustering
+from repro.data.synthetic import BallotDatasetGenerator, prop30_config
+from repro.eval.metrics import clustering_accuracy
+from repro.graph.bipartite import build_tweet_feature_matrix
+from repro.graph.tripartite import build_tripartite_graph
+
+
+@pytest.fixture(scope="module")
+def model(corpus, shared_vectorizer, lexicon, graph):
+    result = OfflineTriClustering(
+        alpha=0.05, beta=0.8, max_iterations=100, seed=7
+    ).fit(graph)
+    return result.factors
+
+
+@pytest.fixture(scope="module")
+def fresh_tweets(generator, shared_vectorizer):
+    """A *different* generated corpus sharing the vocabulary."""
+    fresh = BallotDatasetGenerator(
+        prop30_config(scale=0.03), seed=99
+    ).generate()
+    xp = build_tweet_feature_matrix(fresh, shared_vectorizer)
+    return fresh, xp
+
+
+class TestTweetFoldIn:
+    def test_membership_contract(self, model, fresh_tweets):
+        _, xp = fresh_tweets
+        memberships = infer_tweet_memberships(xp, model)
+        assert memberships.shape == (xp.shape[0], 3)
+        assert np.all(memberships >= 0.0)
+        sums = memberships.sum(axis=1)
+        assert np.all((np.isclose(sums, 1.0)) | (sums == 0.0))
+
+    def test_accuracy_on_unseen_corpus(self, model, fresh_tweets):
+        fresh, xp = fresh_tweets
+        predictions = infer_tweet_sentiments(xp, model)
+        accuracy = clustering_accuracy(predictions, fresh.tweet_labels())
+        assert accuracy > 0.7
+
+    def test_feature_mismatch_rejected(self, model):
+        with pytest.raises(ValueError, match="features"):
+            infer_tweet_memberships(np.ones((2, 5)), model)
+
+    def test_bad_iterations(self, model, fresh_tweets):
+        _, xp = fresh_tweets
+        with pytest.raises(ValueError, match="iterations"):
+            infer_tweet_memberships(xp, model, iterations=0)
+
+    def test_deterministic_given_seed(self, model, fresh_tweets):
+        _, xp = fresh_tweets
+        a = infer_tweet_sentiments(xp, model, seed=3)
+        b = infer_tweet_sentiments(xp, model, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_matches_in_sample_clusters(self, model, graph, corpus):
+        """Fold-in on the training tweets reproduces the fitted clusters
+        for the vast majority of rows."""
+        refolded = infer_tweet_sentiments(graph.xp, model)
+        fitted = model.tweet_clusters()
+        agreement = float(np.mean(refolded == fitted))
+        assert agreement > 0.8
+
+
+class TestUserFoldIn:
+    def test_membership_contract(self, model, fresh_tweets, shared_vectorizer):
+        fresh, xp = fresh_tweets
+        fresh_graph = build_tripartite_graph(
+            fresh, vectorizer=shared_vectorizer
+        )
+        memberships = infer_user_memberships(fresh_graph.xu, model)
+        assert memberships.shape == (fresh.num_users, 3)
+        assert np.all(memberships >= 0.0)
+
+    def test_accuracy_on_unseen_users(self, model, fresh_tweets, shared_vectorizer):
+        fresh, _ = fresh_tweets
+        fresh_graph = build_tripartite_graph(
+            fresh, vectorizer=shared_vectorizer
+        )
+        predictions = infer_user_sentiments(fresh_graph.xu, model)
+        accuracy = clustering_accuracy(predictions, fresh.user_labels())
+        assert accuracy > 0.5
+
+    def test_retweet_attraction_validated(self, model, fresh_tweets, shared_vectorizer):
+        fresh, _ = fresh_tweets
+        fresh_graph = build_tripartite_graph(
+            fresh, vectorizer=shared_vectorizer
+        )
+        with pytest.raises(ValueError, match="tweet columns"):
+            infer_user_memberships(
+                fresh_graph.xu, model, xr_new=np.ones((fresh.num_users, 3))
+            )
+        with pytest.raises(ValueError, match="rows"):
+            infer_user_memberships(
+                fresh_graph.xu,
+                model,
+                xr_new=np.ones((fresh.num_users + 1, model.num_tweets)),
+            )
+
+    def test_retweet_signal_incorporated(self, model, graph):
+        """A user whose only signal is retweeting cluster-0 tweets should
+        land in cluster 0."""
+        target = 0
+        cluster0 = np.flatnonzero(model.tweet_clusters() == target)[:10]
+        xr_new = np.zeros((1, model.num_tweets))
+        xr_new[0, cluster0] = 1.0
+        xu_new = np.zeros((1, model.num_features))
+        prediction = infer_user_sentiments(xu_new, model, xr_new=xr_new)
+        assert prediction[0] == target

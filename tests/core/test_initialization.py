@@ -1,0 +1,82 @@
+"""Tests for factor initialization strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core.initialization import (
+    lexicon_seeded_factors,
+    random_factors,
+    warm_started_factors,
+)
+
+
+class TestRandomFactors:
+    def test_shapes(self):
+        factors = random_factors(10, 5, 20, 3, seed=1)
+        assert factors.sp.shape == (10, 3)
+        assert factors.su.shape == (5, 3)
+        assert factors.sf.shape == (20, 3)
+        assert factors.hp.shape == (3, 3)
+
+    def test_strictly_positive(self):
+        factors = random_factors(10, 5, 20, 3, seed=1)
+        for name in ("sf", "sp", "su", "hp", "hu"):
+            assert getattr(factors, name).min() > 0.0
+
+    def test_deterministic(self):
+        a = random_factors(4, 3, 5, 2, seed=9)
+        b = random_factors(4, 3, 5, 2, seed=9)
+        assert np.array_equal(a.sp, b.sp)
+
+
+class TestLexiconSeeded:
+    def _sf0(self):
+        sf0 = np.full((6, 3), 1.0 / 3.0)
+        sf0[0] = [0.8, 0.1, 0.1]
+        return sf0
+
+    def test_sf_close_to_prior(self):
+        sf0 = self._sf0()
+        factors = lexicon_seeded_factors(5, 4, sf0, seed=1, jitter=0.01)
+        assert np.allclose(factors.sf, sf0, atol=0.02)
+
+    def test_sf_strictly_positive(self):
+        sf0 = self._sf0()
+        sf0[1] = [1.0, 0.0, 0.0]  # hard zero in the prior
+        factors = lexicon_seeded_factors(5, 4, sf0, seed=1)
+        assert factors.sf.min() > 0.0
+
+    def test_associations_near_identity(self):
+        factors = lexicon_seeded_factors(5, 4, self._sf0(), seed=1)
+        for h in (factors.hp, factors.hu):
+            assert np.all(np.diag(h) > 0.9)
+            off_diagonal = h - np.diag(np.diag(h))
+            assert off_diagonal.max() < 0.2
+
+
+class TestWarmStarted:
+    def test_sf_taken_from_init(self):
+        sf_init = np.full((6, 3), 0.5)
+        factors = warm_started_factors(4, 3, sf_init, seed=1)
+        assert np.allclose(factors.sf, 0.5)
+
+    def test_zero_entries_floored(self):
+        sf_init = np.zeros((6, 3))
+        factors = warm_started_factors(4, 3, sf_init, seed=1)
+        assert factors.sf.min() > 0.0
+
+    def test_su_init_applied(self):
+        sf_init = np.full((6, 3), 0.5)
+        su_init = np.full((3, 3), 0.25)
+        factors = warm_started_factors(4, 3, sf_init, su_init=su_init, seed=1)
+        assert np.allclose(factors.su, 0.25)
+
+    def test_su_shape_checked(self):
+        with pytest.raises(ValueError):
+            warm_started_factors(
+                4, 3, np.full((6, 3), 0.5), su_init=np.ones((2, 3)), seed=1
+            )
+
+    def test_associations_near_identity(self):
+        factors = warm_started_factors(4, 3, np.full((6, 3), 0.5), seed=1)
+        assert np.all(np.diag(factors.hp) > 0.9)

@@ -1,0 +1,81 @@
+"""Tests for lexicon-based cluster-to-class alignment."""
+
+import numpy as np
+import pytest
+
+from repro.core.labeling import apply_alignment, lexicon_column_alignment
+
+
+def make_prior(l=9, k=3):
+    """A prior with three words anchored per class."""
+    sf0 = np.full((l, k), 1.0 / k)
+    for klass in range(k):
+        for row in range(klass * 3, klass * 3 + 3):
+            sf0[row] = 0.1
+            sf0[row, klass] = 0.8
+    return sf0
+
+
+class TestLexiconColumnAlignment:
+    def test_identity_when_sf_matches_prior(self):
+        sf0 = make_prior()
+        perm = lexicon_column_alignment(sf0.copy(), sf0)
+        assert perm.tolist() == [0, 1, 2]
+
+    def test_recovers_permutation(self):
+        sf0 = make_prior()
+        shuffled = sf0[:, [2, 0, 1]]  # column j of shuffled = class order
+        perm = lexicon_column_alignment(shuffled, sf0)
+        assert perm.tolist() == [2, 0, 1]
+
+    def test_scale_invariance(self):
+        sf0 = make_prior()
+        scaled = sf0[:, [1, 2, 0]] * np.array([100.0, 0.01, 1.0])
+        perm = lexicon_column_alignment(scaled, sf0)
+        assert perm.tolist() == [1, 2, 0]
+
+    def test_one_to_one(self):
+        rng = np.random.default_rng(0)
+        sf0 = make_prior()
+        sf = rng.random(sf0.shape)
+        perm = lexicon_column_alignment(sf, sf0)
+        assert sorted(perm.tolist()) == [0, 1, 2]
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            lexicon_column_alignment(np.ones((4, 3)), np.ones((5, 3)))
+
+
+class TestApplyAlignment:
+    def test_relabels(self):
+        perm = np.array([2, 0, 1])
+        labels = np.array([0, 1, 2, 0])
+        assert apply_alignment(labels, perm).tolist() == [2, 0, 1, 2]
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            apply_alignment(np.array([3]), np.array([0, 1, 2]))
+        with pytest.raises(ValueError):
+            apply_alignment(np.array([-1]), np.array([0, 1, 2]))
+
+    def test_empty(self):
+        out = apply_alignment(np.array([], dtype=np.int64), np.array([0, 1]))
+        assert out.size == 0
+
+
+class TestEndToEndIdentity:
+    def test_offline_fit_columns_match_classes(self, graph, corpus):
+        """With lexicon seeding + near-identity H, cluster id == class id."""
+        from repro.core.offline import OfflineTriClustering
+
+        result = OfflineTriClustering(
+            alpha=0.05, beta=0.8, max_iterations=80, seed=7
+        ).fit(graph)
+        perm = lexicon_column_alignment(result.factors.sf, graph.sf0)
+        assert perm.tolist() == [0, 1, 2]
+        # identity readout is usable without ground truth
+        truth = corpus.tweet_labels()
+        predictions = result.tweet_sentiments()
+        mask = truth >= 0
+        identity_accuracy = float(np.mean(predictions[mask] == truth[mask]))
+        assert identity_accuracy > 0.6

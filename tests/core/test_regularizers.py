@@ -1,0 +1,183 @@
+"""Tests for the pluggable regularizers (Section 7 framework)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.regularizers import (
+    Diversity,
+    GraphSmoothness,
+    GuidedLabels,
+    PriorCloseness,
+    Sparsity,
+)
+from repro.core.state import FactorSet
+
+
+@pytest.fixture()
+def factors(rng):
+    return FactorSet(
+        sf=rng.uniform(0.1, 1.0, (8, 3)),
+        sp=rng.uniform(0.1, 1.0, (6, 3)),
+        su=rng.uniform(0.1, 1.0, (5, 3)),
+        hp=rng.uniform(0.1, 1.0, (3, 3)),
+        hu=rng.uniform(0.1, 1.0, (3, 3)),
+    )
+
+
+class TestBaseValidation:
+    def test_bad_target(self):
+        with pytest.raises(ValueError, match="target"):
+            Sparsity("hp", 0.1)
+
+    def test_negative_weight(self):
+        with pytest.raises(ValueError, match="weight"):
+            Sparsity("sf", -0.1)
+
+
+class TestPriorCloseness:
+    def test_objective_zero_at_prior(self, factors):
+        reg = PriorCloseness("sf", factors.sf.copy(), 1.0)
+        assert reg.objective(factors) == pytest.approx(0.0)
+
+    def test_objective_matches_frobenius(self, factors):
+        prior = np.full_like(factors.sf, 0.5)
+        reg = PriorCloseness("sf", prior, 2.0)
+        expected = 2.0 * float(np.sum((factors.sf - prior) ** 2))
+        assert reg.objective(factors) == pytest.approx(expected)
+
+    def test_update_terms_shapes(self, factors):
+        prior = np.full_like(factors.su, 0.5)
+        numerator, denominator = PriorCloseness("su", prior, 1.0).update_terms(
+            factors
+        )
+        assert numerator.shape == factors.su.shape
+        assert np.allclose(numerator, prior)
+        assert np.allclose(denominator, factors.su)
+
+    def test_row_masked(self, factors):
+        rows = np.array([0, 2])
+        prior = np.full((2, 3), 0.9)
+        reg = PriorCloseness("su", prior, 1.0, rows=rows)
+        numerator, denominator = reg.update_terms(factors)
+        assert np.allclose(numerator[rows], 0.9)
+        assert np.allclose(numerator[[1, 3, 4]], 0.0)
+        expected = float(np.sum((factors.su[rows] - prior) ** 2))
+        assert reg.objective(factors) == pytest.approx(expected)
+
+    def test_rejects_negative_prior(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            PriorCloseness("sf", -np.ones((3, 3)), 1.0)
+
+    def test_rejects_row_mismatch(self):
+        with pytest.raises(ValueError, match="rows"):
+            PriorCloseness(
+                "su", np.ones((3, 3)), 1.0, rows=np.array([0, 1])
+            )
+
+
+class TestGraphSmoothness:
+    def _graph(self, m=5):
+        adjacency = np.zeros((m, m))
+        adjacency[0, 1] = adjacency[1, 0] = 2.0
+        adjacency[2, 3] = adjacency[3, 2] = 1.0
+        return sp.csr_matrix(adjacency)
+
+    def test_objective_zero_for_constant(self, factors):
+        reg = GraphSmoothness("su", self._graph(), 1.0)
+        constant = factors.copy()
+        constant.su = np.ones_like(constant.su)
+        assert reg.objective(constant) == pytest.approx(0.0)
+
+    def test_update_terms_attract_neighbours(self, factors):
+        reg = GraphSmoothness("su", self._graph(), 1.0)
+        numerator, denominator = reg.update_terms(factors)
+        # node 4 is isolated: no graph force on it
+        assert np.allclose(numerator[4], 0.0)
+        assert np.allclose(denominator[4], 0.0)
+        # node 0 attracted toward node 1's memberships
+        assert np.allclose(numerator[0], 2.0 * factors.su[1])
+
+    def test_rejects_asymmetric(self):
+        bad = sp.csr_matrix(np.array([[0.0, 1.0], [0.0, 0.0]]))
+        with pytest.raises(ValueError, match="symmetric"):
+            GraphSmoothness("su", bad, 1.0)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError, match="square"):
+            GraphSmoothness("su", sp.csr_matrix((2, 3)), 1.0)
+
+    def test_size_mismatch_detected_at_objective(self, factors):
+        reg = GraphSmoothness("su", self._graph(m=7), 1.0)
+        with pytest.raises(ValueError, match="nodes"):
+            reg.objective(factors)
+
+
+class TestSparsity:
+    def test_objective_is_weighted_l1(self, factors):
+        reg = Sparsity("sp", 0.5)
+        assert reg.objective(factors) == pytest.approx(
+            0.5 * factors.sp.sum()
+        )
+
+    def test_update_shrinks_only(self, factors):
+        numerator, denominator = Sparsity("sp", 0.5).update_terms(factors)
+        assert np.all(numerator == 0.0)
+        assert np.all(denominator == 0.5)
+
+
+class TestDiversity:
+    def test_objective_zero_for_orthogonal_columns(self):
+        su = np.zeros((4, 2))
+        su[:2, 0] = 1.0
+        su[2:, 1] = 1.0
+        factors = FactorSet(
+            sf=np.ones((3, 2)), sp=np.ones((3, 2)), su=su,
+            hp=np.ones((2, 2)), hu=np.ones((2, 2)),
+        )
+        assert Diversity("su", 1.0).objective(factors) == pytest.approx(0.0)
+
+    def test_objective_positive_for_correlated_columns(self, factors):
+        assert Diversity("sf", 1.0).objective(factors) > 0.0
+
+    def test_update_repels_shared_support(self, factors):
+        numerator, denominator = Diversity("sf", 1.0).update_terms(factors)
+        assert np.all(numerator == 0.0)
+        assert np.all(denominator >= 0.0)
+        assert denominator.max() > 0.0
+
+
+class TestGuidedLabels:
+    def test_objective_zero_at_onehot(self):
+        su = np.zeros((3, 3))
+        su[0, 1] = 1.0
+        factors = FactorSet(
+            sf=np.ones((2, 3)), sp=np.ones((2, 3)), su=su,
+            hp=np.ones((3, 3)), hu=np.ones((3, 3)),
+        )
+        reg = GuidedLabels(
+            "su", np.array([0]), np.array([1]), num_classes=3, weight=1.0
+        )
+        assert reg.objective(factors) == pytest.approx(0.0)
+
+    def test_update_pulls_to_label(self, factors):
+        reg = GuidedLabels(
+            "su", np.array([2]), np.array([0]), num_classes=3, weight=3.0
+        )
+        numerator, denominator = reg.update_terms(factors)
+        assert numerator[2, 0] == pytest.approx(3.0)
+        assert numerator[2, 1] == 0.0
+        assert np.allclose(numerator[[0, 1, 3, 4]], 0.0)
+
+    def test_rejects_bad_labels(self):
+        with pytest.raises(ValueError, match="num_classes"):
+            GuidedLabels(
+                "su", np.array([0]), np.array([5]), num_classes=3, weight=1.0
+            )
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="labels"):
+            GuidedLabels(
+                "su", np.array([0, 1]), np.array([0]), num_classes=3,
+                weight=1.0,
+            )

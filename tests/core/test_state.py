@@ -1,0 +1,85 @@
+"""Tests for the factor state bundle."""
+
+import numpy as np
+import pytest
+
+from repro.core.state import FactorSet
+
+
+def make_factors(n=4, m=3, l=5, k=3):
+    rng = np.random.default_rng(0)
+    return FactorSet(
+        sf=rng.random((l, k)),
+        sp=rng.random((n, k)),
+        su=rng.random((m, k)),
+        hp=rng.random((k, k)),
+        hu=rng.random((k, k)),
+    )
+
+
+class TestValidation:
+    def test_valid_construction(self):
+        factors = make_factors()
+        assert factors.num_tweets == 4
+        assert factors.num_users == 3
+        assert factors.num_features == 5
+        assert factors.num_classes == 3
+
+    def test_rejects_column_mismatch(self):
+        factors = make_factors()
+        with pytest.raises(ValueError, match="sp"):
+            FactorSet(
+                sf=factors.sf,
+                sp=np.ones((4, 2)),
+                su=factors.su,
+                hp=factors.hp,
+                hu=factors.hu,
+            )
+
+    def test_rejects_non_square_association(self):
+        factors = make_factors()
+        with pytest.raises(ValueError, match="hp"):
+            FactorSet(
+                sf=factors.sf,
+                sp=factors.sp,
+                su=factors.su,
+                hp=np.ones((3, 2)),
+                hu=factors.hu,
+            )
+
+    def test_rejects_negative_entries(self):
+        factors = make_factors()
+        bad = factors.sf.copy()
+        bad[0, 0] = -0.5
+        with pytest.raises(ValueError, match="non-negative"):
+            FactorSet(
+                sf=bad, sp=factors.sp, su=factors.su,
+                hp=factors.hp, hu=factors.hu,
+            )
+
+
+class TestReadouts:
+    def test_hard_assignments_shapes(self):
+        factors = make_factors()
+        assert factors.tweet_clusters().shape == (4,)
+        assert factors.user_clusters().shape == (3,)
+        assert factors.feature_clusters().shape == (5,)
+
+    def test_memberships_row_normalized(self):
+        factors = make_factors()
+        assert np.allclose(factors.tweet_memberships().sum(axis=1), 1.0)
+        assert np.allclose(factors.user_memberships().sum(axis=1), 1.0)
+
+    def test_argmax_consistency(self):
+        factors = make_factors()
+        assert np.array_equal(
+            factors.tweet_clusters(), np.argmax(factors.sp, axis=1)
+        )
+
+
+class TestCopy:
+    def test_deep_copy(self):
+        factors = make_factors()
+        clone = factors.copy()
+        clone.sf[0, 0] = 99.0
+        assert factors.sf[0, 0] != 99.0

@@ -1,0 +1,137 @@
+"""Tests for the unified tri-clustering solver."""
+
+import numpy as np
+import pytest
+
+from repro.core.offline import OfflineTriClustering
+from repro.core.regularizers import (
+    Diversity,
+    GraphSmoothness,
+    GuidedLabels,
+    PriorCloseness,
+    Sparsity,
+)
+from repro.core.unified import UnifiedTriClustering
+from repro.eval.metrics import clustering_accuracy
+
+
+def base_regularizers(graph):
+    return [
+        PriorCloseness("sf", graph.sf0, 0.05),
+        GraphSmoothness("su", graph.user_graph.adjacency, 0.8),
+    ]
+
+
+@pytest.fixture(scope="module")
+def unified_fit(graph):
+    solver = UnifiedTriClustering(
+        regularizers=base_regularizers(graph), max_iterations=100, seed=7
+    )
+    return solver.fit(graph)
+
+
+class TestParameters:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            UnifiedTriClustering(num_classes=1)
+        with pytest.raises(ValueError):
+            UnifiedTriClustering(max_iterations=0)
+
+
+class TestEquivalenceWithAlgorithm1:
+    def test_matches_offline_quality(self, graph, corpus, unified_fit):
+        """Lexicon prior + graph smoothness reproduces Algorithm 1."""
+        offline = OfflineTriClustering(
+            alpha=0.05, beta=0.8, max_iterations=100, seed=7
+        ).fit(graph)
+        truth = corpus.tweet_labels()
+        unified_accuracy = clustering_accuracy(
+            unified_fit.tweet_sentiments(), truth
+        )
+        offline_accuracy = clustering_accuracy(
+            offline.tweet_sentiments(), truth
+        )
+        assert abs(unified_accuracy - offline_accuracy) < 0.08
+
+
+class TestMechanics:
+    def test_objective_decreases(self, unified_fit):
+        assert unified_fit.totals[-1] <= unified_fit.totals[0]
+
+    def test_factors_valid(self, unified_fit):
+        for name in ("sf", "sp", "su", "hp", "hu"):
+            matrix = getattr(unified_fit.factors, name)
+            assert np.all(matrix >= 0.0)
+            assert np.all(np.isfinite(matrix))
+
+    def test_regularizer_values_tracked(self, unified_fit):
+        assert len(unified_fit.regularizer_values) == len(unified_fit.totals)
+        last = unified_fit.regularizer_values[-1]
+        assert len(last) == 2
+        assert all(v >= 0.0 for v in last.values())
+
+    def test_no_regularizers_runs(self, graph):
+        solver = UnifiedTriClustering(max_iterations=15, seed=3)
+        result = solver.fit(graph)
+        assert result.iterations == 15 or result.converged
+
+    def test_deterministic(self, graph):
+        runs = [
+            UnifiedTriClustering(
+                regularizers=base_regularizers(graph),
+                max_iterations=10,
+                seed=5,
+            ).fit(graph)
+            for _ in range(2)
+        ]
+        assert np.array_equal(
+            runs[0].tweet_sentiments(), runs[1].tweet_sentiments()
+        )
+
+
+class TestExtendedRegularizers:
+    def test_sparsity_reduces_mass(self, graph):
+        plain = UnifiedTriClustering(
+            regularizers=base_regularizers(graph), max_iterations=30, seed=7
+        ).fit(graph)
+        sparse = UnifiedTriClustering(
+            regularizers=[*base_regularizers(graph), Sparsity("sp", 0.05)],
+            max_iterations=30,
+            seed=7,
+        ).fit(graph)
+        assert sparse.factors.sp.sum() < plain.factors.sp.sum()
+
+    def test_diversity_decorrelates_columns(self, graph):
+        def off_diagonal_mass(matrix):
+            gram = matrix.T @ matrix
+            return float(gram.sum() - np.trace(gram)) / max(
+                float(np.trace(gram)), 1e-12
+            )
+
+        plain = UnifiedTriClustering(
+            regularizers=base_regularizers(graph), max_iterations=30, seed=7
+        ).fit(graph)
+        diverse = UnifiedTriClustering(
+            regularizers=[*base_regularizers(graph), Diversity("sf", 0.5)],
+            max_iterations=30,
+            seed=7,
+        ).fit(graph)
+        assert off_diagonal_mass(diverse.factors.sf) <= off_diagonal_mass(
+            plain.factors.sf
+        ) * 1.05
+
+    def test_guided_labels_respected(self, graph, corpus):
+        truth = corpus.user_labels()
+        rows = np.flatnonzero(truth >= 0)
+        guided = UnifiedTriClustering(
+            regularizers=[
+                *base_regularizers(graph),
+                GuidedLabels("su", rows, truth[rows], 3, weight=10.0),
+            ],
+            max_iterations=60,
+            seed=7,
+        ).fit(graph)
+        predictions = guided.user_sentiments()
+        # Strong guidance must make the seeded rows follow their labels.
+        agreement = float(np.mean(predictions[rows] == truth[rows]))
+        assert agreement > 0.9

@@ -1,0 +1,141 @@
+"""Tests for the corpus container."""
+
+import numpy as np
+import pytest
+
+from repro.data.corpus import TweetCorpus, concatenate_corpora
+from repro.data.tweet import Sentiment, Tweet, UserProfile
+
+
+def make_corpus():
+    users = {
+        1: UserProfile(1, Sentiment.POSITIVE),
+        2: UserProfile(2, Sentiment.NEGATIVE),
+        3: UserProfile(3, None, labeled=False),
+    }
+    tweets = [
+        Tweet(10, 1, "yes great", day=0, sentiment=Sentiment.POSITIVE),
+        Tweet(11, 2, "no bad", day=1, sentiment=Sentiment.NEGATIVE),
+        Tweet(12, 3, "whatever", day=2),
+        Tweet(13, 2, "yes great", day=3, sentiment=Sentiment.POSITIVE, retweet_of=10),
+    ]
+    return TweetCorpus(tweets=tweets, users=users, name="t")
+
+
+class TestIndexing:
+    def test_sizes(self):
+        corpus = make_corpus()
+        assert corpus.num_tweets == 4
+        assert corpus.num_users == 3
+        assert len(corpus) == 4
+
+    def test_positions_are_stable(self):
+        corpus = make_corpus()
+        assert corpus.tweet_position(10) == 0
+        assert corpus.tweet_position(13) == 3
+        assert corpus.user_position(1) == 0
+        assert corpus.user_position(3) == 2
+
+    def test_duplicate_tweet_ids_rejected(self):
+        users = {1: UserProfile(1)}
+        tweets = [Tweet(1, 1, "a"), Tweet(1, 1, "b")]
+        with pytest.raises(ValueError, match="duplicate"):
+            TweetCorpus(tweets=tweets, users=users)
+
+    def test_unknown_user_rejected(self):
+        with pytest.raises(ValueError, match="unknown users"):
+            TweetCorpus(tweets=[Tweet(1, 99, "a")], users={})
+
+
+class TestLabels:
+    def test_tweet_labels(self):
+        labels = make_corpus().tweet_labels()
+        assert labels.tolist() == [0, 1, -1, 0]
+
+    def test_user_labels(self):
+        labels = make_corpus().user_labels()
+        assert labels.tolist() == [0, 1, -1]
+
+    def test_labeled_indices(self):
+        corpus = make_corpus()
+        assert corpus.labeled_tweet_indices().tolist() == [0, 1, 3]
+        assert corpus.labeled_user_indices().tolist() == [0, 1]
+
+    def test_label_counts(self):
+        corpus = make_corpus()
+        counts = corpus.tweet_label_counts()
+        assert counts["pos"] == 2 and counts["neg"] == 1
+        assert counts["unlabeled"] == 1
+        originals = corpus.tweet_label_counts(include_retweets=False)
+        assert originals["pos"] == 1
+
+    def test_user_label_counts(self):
+        counts = make_corpus().user_label_counts()
+        assert counts == {"pos": 1, "neg": 1, "unlabeled": 1}
+
+
+class TestWindows:
+    def test_day_range(self):
+        assert make_corpus().day_range == (0, 3)
+
+    def test_empty_day_range(self):
+        assert TweetCorpus().day_range == (0, -1)
+
+    def test_window_selects_days(self):
+        window = make_corpus().window(1, 2)
+        assert [t.tweet_id for t in window.tweets] == [11, 12]
+
+    def test_window_includes_retweet_source_author(self):
+        window = make_corpus().window(3, 3)
+        # tweet 13 is user 2 retweeting user 1's tweet 10: user 1 must be
+        # in the window's user set even without a tweet there.
+        assert set(window.user_ids) == {1, 2}
+
+    def test_tweets_by_day(self):
+        grouped = make_corpus().tweets_by_day()
+        assert sorted(grouped) == [0, 1, 2, 3]
+        assert len(grouped[0]) == 1
+
+
+class TestRetweets:
+    def test_retweet_edges(self):
+        edges = make_corpus().retweet_edges()
+        assert edges == [(2, 10)]
+
+    def test_edges_skip_out_of_corpus_sources(self):
+        users = {1: UserProfile(1)}
+        tweets = [Tweet(1, 1, "a", retweet_of=999)]
+        corpus = TweetCorpus(tweets=tweets, users=users)
+        assert corpus.retweet_edges() == []
+
+
+class TestConstruction:
+    def test_from_tweets_synthesizes_profiles(self):
+        corpus = TweetCorpus.from_tweets([Tweet(1, 42, "hi")])
+        assert 42 in corpus.users
+        assert not corpus.users[42].labeled
+
+    def test_merge(self):
+        a = make_corpus()
+        b = TweetCorpus(
+            tweets=[Tweet(99, 5, "new", day=9)],
+            users={5: UserProfile(5)},
+            name="b",
+        )
+        merged = a.merged_with(b)
+        assert merged.num_tweets == 5
+        assert merged.num_users == 4
+
+    def test_concatenate(self):
+        a = make_corpus()
+        b = TweetCorpus(
+            tweets=[Tweet(99, 5, "new", day=9)], users={5: UserProfile(5)}
+        )
+        merged = concatenate_corpora([a, b], "all")
+        assert merged.num_tweets == 5
+        assert merged.name == "all"
+
+    def test_texts_order(self):
+        corpus = make_corpus()
+        assert corpus.texts()[0] == "yes great"
+        assert len(corpus.texts()) == corpus.num_tweets

@@ -1,0 +1,117 @@
+"""Tests for corpus JSONL persistence."""
+
+import json
+
+import pytest
+
+from repro.data.io import load_corpus_jsonl, save_corpus_jsonl
+from repro.data.tweet import Sentiment
+
+
+class TestRoundTrip:
+    def test_exact_roundtrip(self, corpus, tmp_path):
+        path = save_corpus_jsonl(corpus, tmp_path / "corpus.jsonl")
+        loaded = load_corpus_jsonl(path)
+        assert loaded.num_tweets == corpus.num_tweets
+        assert loaded.num_users == corpus.num_users
+        for original, restored in zip(corpus.tweets, loaded.tweets):
+            assert original == restored
+        for uid in corpus.user_ids:
+            a, b = corpus.users[uid], loaded.users[uid]
+            assert a.base_stance == b.base_stance
+            assert a.labeled == b.labeled
+            assert a.stance_changes == b.stance_changes
+
+    def test_labels_preserved(self, corpus, tmp_path):
+        path = save_corpus_jsonl(corpus, tmp_path / "c.jsonl")
+        loaded = load_corpus_jsonl(path)
+        assert (loaded.tweet_labels() == corpus.tweet_labels()).all()
+        assert (loaded.user_labels() == corpus.user_labels()).all()
+
+    def test_name_defaults_to_stem(self, corpus, tmp_path):
+        path = save_corpus_jsonl(corpus, tmp_path / "mydata.jsonl")
+        assert load_corpus_jsonl(path).name == "mydata"
+
+
+class TestIngestion:
+    def test_tweet_only_file(self, tmp_path):
+        path = tmp_path / "minimal.jsonl"
+        path.write_text(
+            json.dumps(
+                {"kind": "tweet", "tweet_id": 1, "user_id": 9,
+                 "text": "hello world", "sentiment": "pos"}
+            )
+            + "\n"
+        )
+        corpus = load_corpus_jsonl(path)
+        assert corpus.num_tweets == 1
+        assert corpus.tweets[0].sentiment == Sentiment.POSITIVE
+        assert not corpus.users[9].labeled  # synthesized profile
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        path.write_text(
+            "\n"
+            + json.dumps(
+                {"kind": "tweet", "tweet_id": 1, "user_id": 1, "text": "x"}
+            )
+            + "\n\n"
+        )
+        assert load_corpus_jsonl(path).num_tweets == 1
+
+    def test_stance_changes_parsed(self, tmp_path):
+        path = tmp_path / "switch.jsonl"
+        path.write_text(
+            json.dumps(
+                {"kind": "user", "user_id": 1, "stance": "pos",
+                 "stance_changes": {"40": "neg"}}
+            )
+            + "\n"
+            + json.dumps(
+                {"kind": "tweet", "tweet_id": 1, "user_id": 1, "text": "x"}
+            )
+            + "\n"
+        )
+        corpus = load_corpus_jsonl(path)
+        assert corpus.users[1].stance_at(39) == Sentiment.POSITIVE
+        assert corpus.users[1].stance_at(41) == Sentiment.NEGATIVE
+
+
+class TestErrors:
+    def test_invalid_json_reports_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json}\n")
+        with pytest.raises(ValueError, match="bad.jsonl:1"):
+            load_corpus_jsonl(path)
+
+    def test_unknown_kind(self, tmp_path):
+        path = tmp_path / "kind.jsonl"
+        path.write_text(json.dumps({"kind": "meme"}) + "\n")
+        with pytest.raises(ValueError, match="unknown record kind"):
+            load_corpus_jsonl(path)
+
+    def test_bad_tweet_record(self, tmp_path):
+        path = tmp_path / "tweet.jsonl"
+        path.write_text(json.dumps({"kind": "tweet", "text": "x"}) + "\n")
+        with pytest.raises(ValueError, match="bad tweet record"):
+            load_corpus_jsonl(path)
+
+    def test_bad_user_record(self, tmp_path):
+        path = tmp_path / "user.jsonl"
+        path.write_text(
+            json.dumps({"kind": "user", "stance": "pos"}) + "\n"
+        )
+        with pytest.raises(ValueError, match="bad user record"):
+            load_corpus_jsonl(path)
+
+    def test_bad_sentiment_label(self, tmp_path):
+        path = tmp_path / "label.jsonl"
+        path.write_text(
+            json.dumps(
+                {"kind": "tweet", "tweet_id": 1, "user_id": 1,
+                 "text": "x", "sentiment": "meh"}
+            )
+            + "\n"
+        )
+        with pytest.raises(ValueError, match="bad tweet record"):
+            load_corpus_jsonl(path)

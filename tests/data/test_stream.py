@@ -1,0 +1,60 @@
+"""Tests for the snapshot stream."""
+
+import pytest
+
+from repro.data.stream import SnapshotStream
+
+
+class TestSnapshotStream:
+    def test_rejects_bad_interval(self, corpus):
+        with pytest.raises(ValueError):
+            SnapshotStream(corpus, interval_days=0)
+
+    def test_partitions_all_tweets(self, corpus):
+        snapshots = SnapshotStream(corpus, interval_days=7).snapshots()
+        total = sum(s.num_tweets for s in snapshots)
+        assert total == corpus.num_tweets
+
+    def test_intervals_do_not_overlap(self, corpus):
+        snapshots = SnapshotStream(corpus, interval_days=7).snapshots()
+        for earlier, later in zip(snapshots, snapshots[1:]):
+            assert later.start_day > earlier.end_day
+
+    def test_indices_are_sequential(self, corpus):
+        snapshots = SnapshotStream(corpus, interval_days=7).snapshots()
+        assert [s.index for s in snapshots] == list(range(len(snapshots)))
+
+    def test_first_snapshot_all_users_new(self, corpus):
+        first = next(iter(SnapshotStream(corpus, interval_days=7)))
+        assert set(first.new_users) == set(first.corpus.user_ids)
+        assert first.evolving_users == []
+
+    def test_user_categorization_is_consistent(self, corpus):
+        seen: set[int] = set()
+        for snapshot in SnapshotStream(corpus, interval_days=7):
+            current = set(snapshot.corpus.user_ids)
+            assert set(snapshot.new_users) == current - seen
+            assert set(snapshot.evolving_users) == current & seen
+            # disjoint and complete
+            assert not set(snapshot.new_users) & set(snapshot.evolving_users)
+            assert (
+                set(snapshot.new_users) | set(snapshot.evolving_users)
+                == current
+            )
+            seen |= current
+
+    def test_disappeared_users_relative_to_previous(self, corpus):
+        previous: set[int] = set()
+        for snapshot in SnapshotStream(corpus, interval_days=7):
+            current = set(snapshot.corpus.user_ids)
+            assert set(snapshot.disappeared_users) == previous - current
+            previous = current
+
+    def test_daily_interval(self, corpus):
+        snapshots = SnapshotStream(corpus, interval_days=1).snapshots()
+        assert all(s.start_day == s.end_day for s in snapshots)
+
+    def test_empty_corpus_yields_nothing(self):
+        from repro.data.corpus import TweetCorpus
+
+        assert SnapshotStream(TweetCorpus()).snapshots() == []

@@ -1,0 +1,184 @@
+"""Tests for the synthetic ballot dataset generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    BallotDatasetGenerator,
+    expected_table3_counts,
+    prop30_config,
+    prop37_config,
+)
+from repro.data.tweet import Sentiment
+
+
+class TestConfigs:
+    def test_prop30_full_scale_counts(self):
+        config = prop30_config()
+        assert config.pos_tweets == 8777
+        assert config.neg_tweets == 5014
+        assert (config.pos_users, config.neg_users, config.neu_users) == (
+            146, 100, 98,
+        )
+
+    def test_prop37_full_scale_counts(self):
+        config = prop37_config()
+        assert config.pos_tweets == 34789
+        assert config.unlabeled_users == 1564
+
+    def test_overrides(self):
+        config = prop30_config(scale=0.1, retweet_fraction=0.5)
+        assert config.retweet_fraction == 0.5
+
+    def test_scaled_floor(self):
+        config = prop30_config(scale=0.001)
+        assert config.scaled(config.neu_users, 1) >= 1
+
+
+class TestGeneratedCorpus:
+    def test_label_counts_match_quota(self, generator, corpus):
+        expected = expected_table3_counts(generator.config)
+        counts = corpus.tweet_label_counts(include_retweets=False)
+        assert counts["pos"] == expected["tweet_pos"]
+        assert counts["neg"] == expected["tweet_neg"]
+        users = corpus.user_label_counts(day=0)
+        assert users["pos"] == expected["user_pos"]
+        assert users["neg"] == expected["user_neg"]
+        assert users["neu"] == expected["user_neu"]
+        assert users["unlabeled"] == expected["user_unlabeled"]
+
+    def test_deterministic_given_seed(self):
+        a = BallotDatasetGenerator(prop30_config(scale=0.02), seed=5).generate()
+        b = BallotDatasetGenerator(prop30_config(scale=0.02), seed=5).generate()
+        assert [t.text for t in a.tweets] == [t.text for t in b.tweets]
+
+    def test_different_seeds_differ(self):
+        a = BallotDatasetGenerator(prop30_config(scale=0.02), seed=5).generate()
+        b = BallotDatasetGenerator(prop30_config(scale=0.02), seed=6).generate()
+        assert [t.text for t in a.tweets] != [t.text for t in b.tweets]
+
+    def test_days_within_range(self, corpus, generator):
+        first, last = corpus.day_range
+        assert first >= 0
+        assert last < generator.config.num_days
+
+    def test_has_retweets(self, corpus):
+        retweets = [t for t in corpus.tweets if t.is_retweet]
+        assert retweets
+        by_id = {t.tweet_id: t for t in corpus.tweets}
+        for retweet in retweets:
+            source = by_id[retweet.retweet_of]
+            assert retweet.day >= source.day
+            assert retweet.text == source.text
+
+    def test_retweet_homophily_present(self, corpus):
+        """Most retweets connect same-stance users (the β-term's signal)."""
+        by_id = {t.tweet_id: t for t in corpus.tweets}
+        same = 0
+        total = 0
+        for retweet in corpus.tweets:
+            if not retweet.is_retweet:
+                continue
+            source = by_id[retweet.retweet_of]
+            a = corpus.users[retweet.user_id].base_stance
+            b = corpus.users[source.user_id].base_stance
+            if a is None or b is None:
+                continue
+            total += 1
+            same += a == b
+        assert total > 0
+        assert same / total > 0.5
+
+    def test_long_tail_activity(self, corpus):
+        """Top-10% users produce a disproportionate share of tweets."""
+        from collections import Counter
+
+        volumes = Counter(t.user_id for t in corpus.tweets)
+        counts = sorted(volumes.values(), reverse=True)
+        top = max(1, len(counts) // 10)
+        share = sum(counts[:top]) / sum(counts)
+        assert share > 0.25
+
+    def test_stance_correlated_vocabulary(self, generator, corpus):
+        """Positive tweets use positive words far more than negative ones."""
+        pos_words = set(generator.positive_words)
+        neg_words = set(generator.negative_words)
+        pos_hits = neg_hits = 0
+        for tweet in corpus.tweets:
+            if tweet.sentiment != Sentiment.POSITIVE or tweet.is_retweet:
+                continue
+            tokens = tweet.text.split()
+            pos_hits += sum(t in pos_words for t in tokens)
+            neg_hits += sum(t in neg_words for t in tokens)
+        assert pos_hits > 3 * neg_hits
+
+    def test_switchers_author_new_stance(self):
+        config = prop30_config(
+            scale=0.05, stance_switch_fraction=0.3, switch_day_range=(30, 50)
+        )
+        corpus = BallotDatasetGenerator(config, seed=3).generate()
+        switchers = [
+            u for u in corpus.users.values() if u.ever_switches
+        ]
+        assert switchers
+        authored_after = 0
+        for user in switchers:
+            switch_day = min(user.stance_changes)
+            post = [
+                t for t in corpus.tweets
+                if t.user_id == user.user_id
+                and t.day >= switch_day
+                and not t.is_retweet
+                and t.sentiment is not None
+            ]
+            authored_after += sum(
+                t.sentiment == user.stance_at(t.day) for t in post
+            )
+        assert authored_after > 0
+
+    def test_burst_days_have_higher_volume(self, generator):
+        profile = generator.day_volume_profile()
+        election = generator.config.election_day
+        neighbours = (profile[election - 2] + profile[election + 3]) / 2
+        assert profile[election] > 2 * neighbours
+
+
+class TestLexicon:
+    def test_coverage_controls_size(self, generator):
+        small = generator.lexicon(coverage=0.2, noise=0.0, seed=1)
+        large = generator.lexicon(coverage=0.9, noise=0.0, seed=1)
+        assert len(large) > len(small)
+
+    def test_zero_noise_is_clean(self, generator):
+        lexicon = generator.lexicon(coverage=0.8, noise=0.0, seed=1)
+        polarity = generator.word_polarity
+        for word in lexicon.positive_words:
+            assert polarity[word] == Sentiment.POSITIVE
+        for word in lexicon.negative_words:
+            assert polarity[word] == Sentiment.NEGATIVE
+
+    def test_invalid_parameters(self, generator):
+        with pytest.raises(ValueError):
+            generator.lexicon(coverage=0.0)
+        with pytest.raises(ValueError):
+            generator.lexicon(noise=0.7)
+
+    def test_word_polarity_covers_both_lists(self, generator):
+        polarity = generator.word_polarity
+        assert set(generator.positive_words) <= set(polarity)
+        assert set(generator.negative_words) <= set(polarity)
+
+
+class TestDrift:
+    def test_word_popularity_changes_across_periods(self, generator):
+        """Observation 1, first half: frequency distributions drift."""
+        drift = generator._drift["topic"]
+        # At least two periods must differ materially for some word.
+        spread = drift.max(axis=0) / np.maximum(drift.min(axis=0), 1e-12)
+        assert np.median(spread) > 1.5
+
+    def test_head_words_are_stable(self, generator):
+        """Observation 1, second half: seed head words stay popular."""
+        drift = generator._drift["pos"]
+        head = drift[:, :4]
+        assert np.all(head.std(axis=0) / head.mean(axis=0) < 0.5)

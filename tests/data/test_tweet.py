@@ -1,0 +1,89 @@
+"""Tests for the core data types."""
+
+import pytest
+
+from repro.data.tweet import Sentiment, Tweet, UserProfile
+
+
+class TestSentiment:
+    def test_canonical_order(self):
+        assert int(Sentiment.POSITIVE) == 0
+        assert int(Sentiment.NEGATIVE) == 1
+        assert int(Sentiment.NEUTRAL) == 2
+
+    @pytest.mark.parametrize(
+        "label,expected",
+        [
+            ("pos", Sentiment.POSITIVE),
+            ("Positive", Sentiment.POSITIVE),
+            ("yes", Sentiment.POSITIVE),
+            ("neg", Sentiment.NEGATIVE),
+            ("NO", Sentiment.NEGATIVE),
+            ("neutral", Sentiment.NEUTRAL),
+            ("0", Sentiment.NEUTRAL),
+        ],
+    )
+    def test_from_label(self, label, expected):
+        assert Sentiment.from_label(label) == expected
+
+    def test_from_label_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            Sentiment.from_label("meh")
+
+    def test_short_names(self):
+        assert Sentiment.POSITIVE.short_name == "pos"
+        assert Sentiment.NEGATIVE.short_name == "neg"
+        assert Sentiment.NEUTRAL.short_name == "neu"
+
+
+class TestTweet:
+    def test_is_retweet(self):
+        original = Tweet(tweet_id=1, user_id=1, text="hi")
+        retweet = Tweet(tweet_id=2, user_id=2, text="hi", retweet_of=1)
+        assert not original.is_retweet
+        assert retweet.is_retweet
+
+    def test_frozen(self):
+        tweet = Tweet(tweet_id=1, user_id=1, text="hi")
+        with pytest.raises(AttributeError):
+            tweet.text = "bye"
+
+
+class TestUserProfile:
+    def test_static_stance(self):
+        user = UserProfile(user_id=1, base_stance=Sentiment.POSITIVE)
+        assert user.stance_at(0) == Sentiment.POSITIVE
+        assert user.stance_at(100) == Sentiment.POSITIVE
+        assert not user.ever_switches
+
+    def test_switch_applies_from_day(self):
+        user = UserProfile(
+            user_id=1,
+            base_stance=Sentiment.POSITIVE,
+            stance_changes={50: Sentiment.NEGATIVE},
+        )
+        assert user.stance_at(49) == Sentiment.POSITIVE
+        assert user.stance_at(50) == Sentiment.NEGATIVE
+        assert user.stance_at(120) == Sentiment.NEGATIVE
+        assert user.ever_switches
+
+    def test_multiple_switches_ordered(self):
+        user = UserProfile(
+            user_id=1,
+            base_stance=Sentiment.NEUTRAL,
+            stance_changes={30: Sentiment.POSITIVE, 60: Sentiment.NEGATIVE},
+        )
+        assert user.stance_at(10) == Sentiment.NEUTRAL
+        assert user.stance_at(45) == Sentiment.POSITIVE
+        assert user.stance_at(90) == Sentiment.NEGATIVE
+
+    def test_unlabeled_hides_stance(self):
+        user = UserProfile(
+            user_id=1, base_stance=Sentiment.POSITIVE, labeled=False
+        )
+        assert user.label_at(10) is None
+        assert user.stance_at(10) == Sentiment.POSITIVE  # latent stays
+
+    def test_labeled_exposes_stance(self):
+        user = UserProfile(user_id=1, base_stance=Sentiment.NEGATIVE)
+        assert user.label_at(10) == Sentiment.NEGATIVE

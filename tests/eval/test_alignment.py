@@ -1,0 +1,88 @@
+"""Tests for cluster-class alignment."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.eval.alignment import (
+    align_clusters,
+    hungarian_accuracy,
+    majority_vote_map,
+)
+
+label_arrays = arrays(
+    dtype=np.int64, shape=st.integers(1, 30), elements=st.integers(0, 3)
+)
+
+
+class TestMajorityVoteMap:
+    def test_basic_mapping(self):
+        predicted = np.array([0, 0, 0, 1, 1])
+        truth = np.array([2, 2, 0, 1, 1])
+        mapping = majority_vote_map(predicted, truth)
+        assert mapping == {0: 2, 1: 1}
+
+    def test_unlabeled_ignored(self):
+        predicted = np.array([0, 0, 0])
+        truth = np.array([1, -1, -1])
+        assert majority_vote_map(predicted, truth) == {0: 1}
+
+    def test_fully_unlabeled_cluster_maps_to_zero(self):
+        predicted = np.array([0, 1])
+        truth = np.array([2, -1])
+        assert majority_vote_map(predicted, truth)[1] == 0
+
+
+class TestAlignClusters:
+    def test_majority_alignment(self):
+        predicted = np.array([0, 0, 1, 1])
+        truth = np.array([1, 1, 0, 0])
+        aligned = align_clusters(predicted, truth)
+        assert aligned.tolist() == [1, 1, 0, 0]
+
+    def test_hungarian_alignment_one_to_one(self):
+        # Majority vote would map both clusters to class 0; Hungarian
+        # must keep the assignment one-to-one.
+        predicted = np.array([0, 0, 0, 1, 1, 1])
+        truth = np.array([0, 0, 1, 0, 0, 1])
+        aligned = align_clusters(predicted, truth, strategy="hungarian")
+        assert set(aligned) == {0, 1}
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            align_clusters(np.array([0]), np.array([0]), strategy="best")
+
+    @given(label_arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_aligned_labels_are_valid_classes(self, labels):
+        predicted = (labels * 7 + 1) % 4
+        aligned = align_clusters(predicted, labels)
+        assert np.all(aligned >= 0)
+
+
+class TestHungarianAccuracy:
+    def test_perfect(self):
+        labels = np.array([0, 1, 2, 0, 1, 2])
+        assert hungarian_accuracy(labels, labels) == 1.0
+
+    def test_permuted_perfect(self):
+        truth = np.array([0, 0, 1, 1, 2, 2])
+        predicted = np.array([2, 2, 0, 0, 1, 1])
+        assert hungarian_accuracy(predicted, truth) == 1.0
+
+    def test_never_exceeds_majority_accuracy(self):
+        from repro.eval.metrics import clustering_accuracy
+
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            truth = rng.integers(0, 3, size=30)
+            predicted = rng.integers(0, 3, size=30)
+            assert (
+                hungarian_accuracy(predicted, truth)
+                <= clustering_accuracy(predicted, truth) + 1e-12
+            )
+
+    def test_all_unlabeled(self):
+        assert hungarian_accuracy(np.array([0]), np.array([-1])) == 0.0

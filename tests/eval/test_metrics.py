@@ -1,0 +1,160 @@
+"""Unit + property tests for the clustering metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.eval.metrics import (
+    clustering_accuracy,
+    confusion_matrix,
+    entropy,
+    mutual_information,
+    normalized_mutual_information,
+    purity,
+)
+
+label_arrays = arrays(
+    dtype=np.int64,
+    shape=st.integers(1, 40),
+    elements=st.integers(0, 3),
+)
+
+
+class TestClusteringAccuracy:
+    def test_perfect_clustering(self):
+        truth = np.array([0, 0, 1, 1, 2])
+        assert clustering_accuracy(truth, truth) == 1.0
+
+    def test_permuted_clusters_still_perfect(self):
+        truth = np.array([0, 0, 1, 1])
+        predicted = np.array([1, 1, 0, 0])
+        assert clustering_accuracy(predicted, truth) == 1.0
+
+    def test_single_cluster_gives_majority_share(self):
+        truth = np.array([0, 0, 0, 1])
+        predicted = np.zeros(4, dtype=np.int64)
+        assert clustering_accuracy(predicted, truth) == pytest.approx(0.75)
+
+    def test_unlabeled_excluded(self):
+        truth = np.array([0, 1, -1, -1])
+        predicted = np.array([0, 1, 0, 1])
+        assert clustering_accuracy(predicted, truth) == 1.0
+
+    def test_all_unlabeled(self):
+        assert clustering_accuracy(np.array([0]), np.array([-1])) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            clustering_accuracy(np.array([0]), np.array([0, 1]))
+
+    @given(label_arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_bounds(self, labels):
+        predicted = (labels + 1) % 4
+        value = clustering_accuracy(predicted, labels)
+        assert 0.0 <= value <= 1.0
+
+    @given(label_arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_self_accuracy_is_one(self, labels):
+        assert clustering_accuracy(labels, labels) == 1.0
+
+    def test_purity_alias(self):
+        truth = np.array([0, 0, 1])
+        predicted = np.array([0, 1, 1])
+        assert purity(predicted, truth) == clustering_accuracy(predicted, truth)
+
+
+class TestEntropy:
+    def test_uniform_two_classes(self):
+        assert entropy(np.array([0, 1])) == pytest.approx(np.log(2))
+
+    def test_single_class_zero(self):
+        assert entropy(np.zeros(5, dtype=np.int64)) == 0.0
+
+    def test_ignores_unlabeled(self):
+        assert entropy(np.array([0, 0, -1])) == 0.0
+
+    @given(label_arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_nonnegative(self, labels):
+        assert entropy(labels) >= 0.0
+
+
+class TestMutualInformation:
+    def test_identical_labelings(self):
+        labels = np.array([0, 0, 1, 1, 2, 2])
+        assert mutual_information(labels, labels) == pytest.approx(
+            entropy(labels)
+        )
+
+    def test_independent_labelings(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([0, 1, 0, 1])
+        assert mutual_information(a, b) == pytest.approx(0.0, abs=1e-12)
+
+    @given(label_arrays, label_arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_symmetry(self, a, b):
+        if a.shape != b.shape:
+            return
+        assert mutual_information(a, b) == pytest.approx(
+            mutual_information(b, a)
+        )
+
+
+class TestNMI:
+    def test_perfect(self):
+        labels = np.array([0, 0, 1, 1])
+        assert normalized_mutual_information(labels, labels) == pytest.approx(1.0)
+
+    def test_permutation_invariant(self):
+        truth = np.array([0, 0, 1, 1])
+        predicted = np.array([1, 1, 0, 0])
+        assert normalized_mutual_information(predicted, truth) == pytest.approx(1.0)
+
+    def test_independent_is_zero(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([0, 1, 0, 1])
+        assert normalized_mutual_information(a, b) == pytest.approx(0.0, abs=1e-12)
+
+    def test_degenerate_both_single_cluster(self):
+        a = np.zeros(4, dtype=np.int64)
+        assert normalized_mutual_information(a, a) == 0.0
+
+    @given(label_arrays, label_arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_bounds(self, a, b):
+        if a.shape != b.shape:
+            return
+        value = normalized_mutual_information(a, b)
+        assert -1e-9 <= value <= 1.0 + 1e-9
+
+    @given(label_arrays, label_arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_symmetry(self, a, b):
+        if a.shape != b.shape:
+            return
+        assert normalized_mutual_information(a, b) == pytest.approx(
+            normalized_mutual_information(b, a)
+        )
+
+
+class TestConfusionMatrix:
+    def test_counts(self):
+        predicted = np.array([0, 0, 1, 1])
+        truth = np.array([0, 1, 1, 1])
+        matrix = confusion_matrix(predicted, truth, num_classes=2)
+        assert matrix.tolist() == [[1, 1], [0, 2]]
+
+    def test_unlabeled_excluded(self):
+        predicted = np.array([0, 1])
+        truth = np.array([0, -1])
+        matrix = confusion_matrix(predicted, truth, num_classes=2)
+        assert matrix.sum() == 1
+
+    def test_inferred_size(self):
+        matrix = confusion_matrix(np.array([2]), np.array([1]))
+        assert matrix.shape == (3, 3)

@@ -1,0 +1,92 @@
+"""Tests for label-sampling protocols."""
+
+import numpy as np
+import pytest
+
+from repro.eval.protocol import (
+    cross_validation_folds,
+    sample_labeled_indices,
+    train_test_split_indices,
+)
+
+
+@pytest.fixture()
+def labels():
+    rng = np.random.default_rng(0)
+    values = rng.integers(0, 3, size=100)
+    values[rng.random(100) < 0.3] = -1
+    return values
+
+
+class TestSampleLabeledIndices:
+    def test_fraction_respected(self, labels):
+        seeds = sample_labeled_indices(labels, 0.1, seed=1)
+        labeled_total = int((labels >= 0).sum())
+        assert 0 < seeds.size <= max(labeled_total // 5, 6)
+
+    def test_never_samples_unlabeled(self, labels):
+        seeds = sample_labeled_indices(labels, 0.2, seed=1)
+        assert np.all(labels[seeds] >= 0)
+
+    def test_stratified_covers_all_classes(self, labels):
+        seeds = sample_labeled_indices(labels, 0.05, seed=1)
+        assert set(np.unique(labels[seeds])) == set(
+            np.unique(labels[labels >= 0])
+        )
+
+    def test_deterministic(self, labels):
+        a = sample_labeled_indices(labels, 0.1, seed=3)
+        b = sample_labeled_indices(labels, 0.1, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_invalid_fraction(self, labels):
+        with pytest.raises(ValueError):
+            sample_labeled_indices(labels, 0.0)
+        with pytest.raises(ValueError):
+            sample_labeled_indices(labels, 1.5)
+
+    def test_no_labeled_entries(self):
+        seeds = sample_labeled_indices(np.full(5, -1), 0.1)
+        assert seeds.size == 0
+
+    def test_unstratified(self, labels):
+        seeds = sample_labeled_indices(labels, 0.5, seed=1, stratified=False)
+        assert np.all(labels[seeds] >= 0)
+
+
+class TestTrainTestSplit:
+    def test_disjoint_and_labeled(self, labels):
+        train, test = train_test_split_indices(labels, 0.8, seed=1)
+        assert not set(train) & set(test)
+        assert np.all(labels[train] >= 0)
+        assert np.all(labels[test] >= 0)
+
+    def test_covers_all_labeled(self, labels):
+        train, test = train_test_split_indices(labels, 0.8, seed=1)
+        assert set(train) | set(test) == set(np.flatnonzero(labels >= 0))
+
+    def test_both_sides_nonempty_per_class(self, labels):
+        train, test = train_test_split_indices(labels, 0.8, seed=1)
+        for klass in np.unique(labels[labels >= 0]):
+            assert np.any(labels[train] == klass)
+            assert np.any(labels[test] == klass)
+
+    def test_invalid_fraction(self, labels):
+        with pytest.raises(ValueError):
+            train_test_split_indices(labels, 1.0)
+
+
+class TestCrossValidation:
+    def test_folds_partition_labeled(self, labels):
+        folds = cross_validation_folds(labels, num_folds=5, seed=1)
+        assert len(folds) == 5
+        all_test = np.concatenate([test for _, test in folds])
+        assert sorted(all_test) == sorted(np.flatnonzero(labels >= 0))
+
+    def test_train_test_disjoint_each_fold(self, labels):
+        for train, test in cross_validation_folds(labels, 4, seed=1):
+            assert not set(train) & set(test)
+
+    def test_invalid_folds(self, labels):
+        with pytest.raises(ValueError):
+            cross_validation_folds(labels, 1)

@@ -1,0 +1,34 @@
+"""Tests for the stopwatch."""
+
+import time
+
+import pytest
+
+from repro.eval.timing import Stopwatch
+
+
+class TestStopwatch:
+    def test_accumulates(self):
+        watch = Stopwatch()
+        with watch:
+            time.sleep(0.01)
+        with watch:
+            time.sleep(0.01)
+        assert watch.total >= 0.02
+        assert len(watch.laps) == 2
+        assert watch.last == watch.laps[-1]
+
+    def test_last_before_any_lap(self):
+        assert Stopwatch().last == 0.0
+
+    def test_reset(self):
+        watch = Stopwatch()
+        with watch:
+            pass
+        watch.reset()
+        assert watch.total == 0.0
+        assert watch.laps == []
+
+    def test_exit_without_enter(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().__exit__(None, None, None)

@@ -1,0 +1,47 @@
+"""Tests for the experiment CLI."""
+
+import pytest
+
+from repro.experiments.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_lists_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tableX"])
+
+    def test_parses_options(self):
+        args = build_parser().parse_args(
+            ["table3", "--scale", "0.05", "--seed", "3", "--save"]
+        )
+        assert args.experiment == "table3"
+        assert args.scale == pytest.approx(0.05)
+        assert args.seed == 3
+        assert args.save
+
+
+class TestExecution:
+    def test_table6_runs_without_data(self, capsys):
+        assert main(["table6"]) == 0
+        out = capsys.readouterr().out
+        assert "Tri-clustering" in out
+
+    def test_table3_tiny_scale(self, capsys):
+        assert main(["table3", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "prop30" in out and "prop37" in out
+
+    def test_save_writes_file(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        assert main(["table6", "--save"]) == 0
+        assert (tmp_path / "table6.txt").exists()
+
+    def test_figure4_tiny_scale(self, capsys):
+        assert main(["figure4", "--scale", "0.02"]) == 0
+        assert "spearman" in capsys.readouterr().out

@@ -1,0 +1,57 @@
+"""Tests for experiment configs and reporting."""
+
+import pytest
+
+from repro.experiments.configs import ExperimentConfig, bench_config, smoke_config
+from repro.experiments.reporting import format_table, results_dir, write_result
+
+
+class TestConfigs:
+    def test_smoke_is_small(self):
+        config = smoke_config()
+        assert config.scale <= 0.05
+
+    def test_bench_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert bench_config().scale == pytest.approx(0.08)
+
+    def test_bench_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.25")
+        assert bench_config().scale == pytest.approx(0.25)
+
+    def test_bench_full_keyword(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "full")
+        assert bench_config().scale == 1.0
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(scale=0.0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(scale=1.5)
+
+    def test_hashable_for_caching(self):
+        assert hash(smoke_config()) == hash(smoke_config())
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["Name", "Score"],
+            [["alpha", 0.5], ["b", 12.345]],
+            title="Demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert "Name" in lines[1]
+        assert "0.5000" in text  # metric formatting
+        assert "12.35" in text   # plain float formatting
+
+    def test_format_table_bools(self):
+        text = format_table(["X"], [[True], [False]])
+        assert "yes" in text and "no" in text
+
+    def test_write_result(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "out"))
+        path = write_result("demo", "hello")
+        assert path.read_text() == "hello\n"
+        assert results_dir() == tmp_path / "out"

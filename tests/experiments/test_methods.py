@@ -1,0 +1,125 @@
+"""Tests for the Table-4/5 method runners and sweeps at micro scale."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import methods
+from repro.experiments.configs import ExperimentConfig
+from repro.experiments.datasets import load_dataset
+from repro.experiments.sweeps import (
+    SweepResult,
+    format_sweep,
+    run_alpha_beta_sweep,
+    run_gamma_sweep,
+)
+
+MICRO = ExperimentConfig(
+    scale=0.03,
+    max_iterations=30,
+    online_max_iterations=15,
+    online_interval_days=40,
+)
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return load_dataset("prop30", MICRO)
+
+
+class TestTweetMethods:
+    def test_svm(self, bundle):
+        score = methods.tweet_svm(bundle, MICRO)
+        assert score.method == "SVM"
+        assert score.category == "supervised"
+        assert score.nmi is None
+        assert 0.5 <= score.accuracy <= 1.0
+
+    def test_naive_bayes(self, bundle):
+        score = methods.tweet_naive_bayes(bundle, MICRO)
+        assert 0.5 <= score.accuracy <= 1.0
+
+    def test_label_propagation_fraction_in_name(self, bundle):
+        score = methods.tweet_label_propagation(bundle, MICRO, 0.05)
+        assert score.method == "LP-5"
+        assert score.category == "semi-supervised"
+        assert 0.0 <= score.accuracy <= 1.0
+
+    def test_userreg_returns_model(self, bundle):
+        score, model = methods.tweet_userreg(bundle, MICRO)
+        assert score.method == "UserReg-10"
+        users = model.predict_users(bundle.graph.xr)
+        assert users.shape == (bundle.graph.num_users,)
+
+    def test_essa_reports_nmi(self, bundle):
+        score = methods.tweet_essa(bundle, MICRO)
+        assert score.category == "unsupervised"
+        assert score.nmi is not None
+
+    def test_triclustering_returns_result(self, bundle):
+        score, result = methods.tweet_triclustering(bundle, MICRO)
+        assert score.method == "Tri-clustering"
+        assert result.factors.sp.shape[0] == bundle.graph.num_tweets
+
+    def test_online_returns_run(self, bundle):
+        score, run = methods.tweet_online_triclustering(bundle, MICRO)
+        assert score.method == "Online tri-clustering"
+        assert run.tweet_predictions.size == bundle.corpus.num_tweets
+
+
+class TestUserMethods:
+    def test_user_svm_and_nb(self, bundle):
+        for runner in (methods.user_svm, methods.user_naive_bayes):
+            score = runner(bundle, MICRO)
+            assert 0.0 <= score.accuracy <= 1.0
+
+    def test_user_label_propagation(self, bundle):
+        score = methods.user_label_propagation(bundle, MICRO, 0.10)
+        assert score.method == "LP-10"
+
+    def test_user_bacg(self, bundle):
+        score = methods.user_bacg(bundle, MICRO)
+        assert score.nmi is not None
+
+    def test_user_readouts_reuse_fits(self, bundle):
+        _, offline_result = methods.tweet_triclustering(bundle, MICRO)
+        score = methods.user_triclustering(bundle, MICRO, offline_result)
+        assert 0.0 <= score.accuracy <= 1.0
+        _, online_run = methods.tweet_online_triclustering(bundle, MICRO)
+        online_score = methods.user_online_triclustering(
+            bundle, MICRO, online_run
+        )
+        assert 0.0 <= online_score.accuracy <= 1.0
+
+
+class TestSweeps:
+    def test_alpha_beta_grid_size(self):
+        sweep = run_alpha_beta_sweep(
+            MICRO, alphas=(0.0, 0.5), betas=(0.0, 0.8)
+        )
+        assert len(sweep.points) == 4
+        assert {(p.first, p.second) for p in sweep.points} == {
+            (0.0, 0.0), (0.0, 0.8), (0.5, 0.0), (0.5, 0.8),
+        }
+
+    def test_gamma_sweep(self):
+        sweep = run_gamma_sweep(MICRO, gammas=(0.0, 0.2))
+        assert len(sweep.points) == 2
+        for point in sweep.points:
+            assert 0.0 <= point.user_accuracy <= 1.0
+
+    def test_best_by(self):
+        sweep = run_alpha_beta_sweep(MICRO, alphas=(0.0,), betas=(0.0, 0.8))
+        best = sweep.best_by("user_accuracy")
+        assert best.user_accuracy == max(
+            p.user_accuracy for p in sweep.points
+        )
+
+    def test_best_by_empty_raises(self):
+        with pytest.raises(ValueError):
+            SweepResult("a", "b").best_by("user_accuracy")
+
+    def test_format_sweep_mentions_best(self):
+        sweep = run_alpha_beta_sweep(MICRO, alphas=(0.0,), betas=(0.8,))
+        text = format_sweep(sweep, "demo")
+        assert "best user acc" in text
+        assert "demo" in text

@@ -1,0 +1,137 @@
+"""Tests for the experiment runners (at tiny scale).
+
+The heavy comparisons (Tables 4/5, timelines, sweeps) run as benchmarks;
+these tests verify the runners' mechanics and output contracts at a
+minimal scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.configs import ExperimentConfig
+from repro.experiments.datasets import load_dataset
+from repro.experiments.figure4 import format_figure4, run_figure4
+from repro.experiments.figure8 import (
+    format_figure8,
+    monotonicity_violations,
+    run_figure8,
+)
+from repro.experiments.online_runner import run_online_stream
+from repro.experiments.table2 import format_table2, run_table2
+from repro.experiments.table3 import expected_rows, format_table3, run_table3
+from repro.experiments.table6 import format_table6, run_table6
+
+TINY = ExperimentConfig(
+    scale=0.03,
+    max_iterations=40,
+    online_max_iterations=20,
+    online_interval_days=30,
+)
+
+
+class TestDatasets:
+    def test_load_both(self):
+        for name in ("prop30", "prop37"):
+            bundle = load_dataset(name, TINY)
+            assert bundle.corpus.num_tweets > 0
+            assert bundle.graph.sf0 is not None
+
+    def test_cache_returns_same_object(self):
+        a = load_dataset("prop30", TINY)
+        b = load_dataset("prop30", TINY)
+        assert a is b
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            load_dataset("prop99", TINY)
+
+
+class TestTable2:
+    def test_head_words_present(self):
+        top = run_table2(TINY)
+        positive = [w for w, _ in top.positive]
+        assert "yeson37" in positive[:3]
+        text = format_table2(top)
+        assert "yeson37" in text
+
+    def test_counts_descending(self):
+        top = run_table2(TINY)
+        counts = [c for _, c in top.positive]
+        assert counts == sorted(counts, reverse=True)
+
+
+class TestTable3:
+    def test_measured_matches_targets(self):
+        measured = run_table3(TINY)
+        targets = expected_rows(TINY)
+        for got, want in zip(measured, targets):
+            assert got.tweet_pos == want.tweet_pos
+            assert got.user_unlabeled == want.user_unlabeled
+        assert "prop37" in format_table3(measured, targets)
+
+
+class TestTable6:
+    def test_only_this_work_is_complete(self):
+        rows = run_table6()
+        complete = [
+            r for r in rows
+            if r.tweet_level and r.user_level and r.dynamic
+            and r.supervision == "USL"
+        ]
+        assert len(complete) == 1
+        assert "this work" in complete[0].method
+        assert "Tri-clustering" in format_table6(rows)
+
+
+class TestFigure4:
+    def test_drift_with_stable_polarity(self):
+        evolution = run_figure4(TINY)
+        assert evolution.spearman < 0.95
+        assert evolution.head_polarity_stable >= 0.8
+        assert "spearman" in format_figure4(evolution)
+
+    def test_window_volumes_positive(self):
+        evolution = run_figure4(TINY)
+        assert evolution.early_counts.sum() > 0
+        assert evolution.late_counts.sum() > 0
+
+
+class TestFigure8:
+    def test_traces_recorded_every_iteration(self):
+        traces = run_figure8(TINY, iterations=25)
+        assert len(traces.totals) == 25
+        assert len(traces.tweet_losses) == 25
+
+    def test_total_objective_mostly_decreases(self):
+        traces = run_figure8(TINY, iterations=25)
+        assert traces.totals[-1] <= traces.totals[0]
+        # near-monotone: a few numerical wiggles at most
+        assert monotonicity_violations(traces.totals, 1e-6) <= 5
+
+    def test_format_contains_summary(self):
+        traces = run_figure8(TINY, iterations=10)
+        text = format_figure8(traces)
+        assert "near-convergence" in text
+
+
+class TestOnlineRunner:
+    def test_stream_outputs(self):
+        bundle = load_dataset("prop30", TINY)
+        run = run_online_stream(bundle, TINY)
+        assert run.tweet_predictions.shape == run.tweet_truth.shape
+        assert run.tweet_predictions.size == bundle.corpus.num_tweets
+        assert len(run.snapshots) >= 2
+        assert run.total_runtime > 0.0
+        assert 0.0 <= run.tweet_accuracy <= 1.0
+        assert 0.0 <= run.user_accuracy <= 1.0
+
+    def test_user_arrays_cover_seen_users(self):
+        bundle = load_dataset("prop30", TINY)
+        run = run_online_stream(bundle, TINY)
+        assert run.user_predictions.size == bundle.corpus.num_users
+
+    def test_solver_overrides_change_results(self):
+        bundle = load_dataset("prop30", TINY)
+        a = run_online_stream(bundle, TINY, gamma=0.0)
+        b = run_online_stream(bundle, TINY, gamma=0.9)
+        assert a.snapshots[0].num_tweets == b.snapshots[0].num_tweets

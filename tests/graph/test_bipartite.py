@@ -1,0 +1,100 @@
+"""Tests for the bipartite matrix builders."""
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.data.corpus import TweetCorpus
+from repro.data.tweet import Sentiment, Tweet, UserProfile
+from repro.graph.bipartite import (
+    build_tweet_feature_matrix,
+    build_user_feature_matrix,
+    build_user_tweet_matrix,
+)
+from repro.text.vectorizer import CountVectorizer
+
+
+def small_corpus():
+    users = {
+        1: UserProfile(1, Sentiment.POSITIVE),
+        2: UserProfile(2, Sentiment.NEGATIVE),
+    }
+    tweets = [
+        Tweet(0, 1, "good schools win", day=0, sentiment=Sentiment.POSITIVE),
+        Tweet(1, 2, "bad taxes lose", day=0, sentiment=Sentiment.NEGATIVE),
+        Tweet(2, 2, "good schools win", day=1, retweet_of=0),
+    ]
+    return TweetCorpus(tweets=tweets, users=users)
+
+
+class TestTweetFeatureMatrix:
+    def test_shape_and_content(self):
+        corpus = small_corpus()
+        vectorizer = CountVectorizer()
+        vectorizer.fit(corpus.texts())
+        xp = build_tweet_feature_matrix(corpus, vectorizer)
+        assert xp.shape == (3, len(vectorizer.vocabulary))
+        good = vectorizer.vocabulary.id_of("good")
+        assert xp[0, good] == 1.0
+        assert xp[1, good] == 0.0
+
+
+class TestUserTweetMatrix:
+    def test_authorship_edges(self):
+        corpus = small_corpus()
+        xr = build_user_tweet_matrix(corpus)
+        assert xr.shape == (2, 3)
+        assert xr[corpus.user_position(1), 0] == 1.0
+        assert xr[corpus.user_position(2), 1] == 1.0
+
+    def test_retweet_connects_to_source(self):
+        corpus = small_corpus()
+        xr = build_user_tweet_matrix(corpus)
+        # user 2 retweeted tweet 0: incidence with the source column too
+        assert xr[corpus.user_position(2), 0] == 1.0
+
+    def test_binary_entries(self):
+        xr = build_user_tweet_matrix(small_corpus())
+        assert set(np.unique(xr.toarray())) <= {0.0, 1.0}
+
+    def test_retweets_excludable(self):
+        corpus = small_corpus()
+        xr = build_user_tweet_matrix(corpus, include_retweets=False)
+        assert xr[corpus.user_position(2), 0] == 0.0
+
+
+class TestUserFeatureMatrix:
+    def test_aggregates_tweets(self):
+        corpus = small_corpus()
+        vectorizer = CountVectorizer()
+        vectorizer.fit(corpus.texts())
+        xp = build_tweet_feature_matrix(corpus, vectorizer)
+        xr = build_user_tweet_matrix(corpus)
+        xu = build_user_feature_matrix(xp, xr, normalize=False)
+        assert xu.shape == (2, xp.shape[1])
+        good = vectorizer.vocabulary.id_of("good")
+        # user 2 touches "good" through the retweet (source + copy)
+        assert xu[corpus.user_position(2), good] >= 1.0
+
+    def test_normalization_divides_by_volume(self):
+        corpus = small_corpus()
+        vectorizer = CountVectorizer()
+        vectorizer.fit(corpus.texts())
+        xp = build_tweet_feature_matrix(corpus, vectorizer)
+        xr = build_user_tweet_matrix(corpus)
+        raw = build_user_feature_matrix(xp, xr, normalize=False)
+        normalized = build_user_feature_matrix(xp, xr, normalize=True)
+        row = corpus.user_position(2)
+        volume = xr[row].sum()
+        assert np.allclose(
+            normalized[row].toarray(), raw[row].toarray() / volume
+        )
+
+    def test_output_sparse_nonnegative(self):
+        corpus = small_corpus()
+        vectorizer = CountVectorizer()
+        vectorizer.fit(corpus.texts())
+        xp = build_tweet_feature_matrix(corpus, vectorizer)
+        xr = build_user_tweet_matrix(corpus)
+        xu = build_user_feature_matrix(xp, xr)
+        assert sp.issparse(xu)
+        assert xu.min() >= 0.0

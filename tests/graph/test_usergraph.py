@@ -1,0 +1,96 @@
+"""Tests for the user-user retweet graph and its Laplacian."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.data.corpus import TweetCorpus
+from repro.data.tweet import Sentiment, Tweet, UserProfile
+from repro.graph.usergraph import UserGraph, build_user_graph
+
+
+def retweet_corpus():
+    users = {i: UserProfile(i, Sentiment.POSITIVE) for i in range(1, 5)}
+    tweets = [
+        Tweet(0, 1, "a", day=0),
+        Tweet(1, 2, "a", day=1, retweet_of=0),   # 2 -> 1
+        Tweet(2, 3, "a", day=1, retweet_of=0),   # 3 -> 1
+        Tweet(3, 2, "a", day=2, retweet_of=0),   # 2 -> 1 again
+        Tweet(4, 4, "b", day=2),
+        Tweet(5, 4, "b2", day=3, retweet_of=4),  # self-retweet: ignored
+    ]
+    return TweetCorpus(tweets=tweets, users=users)
+
+
+class TestBuildUserGraph:
+    def test_symmetry(self):
+        graph = build_user_graph(retweet_corpus())
+        dense = graph.adjacency.toarray()
+        assert np.array_equal(dense, dense.T)
+
+    def test_weights_accumulate(self):
+        corpus = retweet_corpus()
+        graph = build_user_graph(corpus)
+        i, j = corpus.user_position(1), corpus.user_position(2)
+        assert graph.adjacency[i, j] == 2.0
+
+    def test_self_retweets_ignored(self):
+        corpus = retweet_corpus()
+        graph = build_user_graph(corpus)
+        assert graph.adjacency.diagonal().sum() == 0.0
+
+    def test_isolated_user(self):
+        corpus = retweet_corpus()
+        graph = build_user_graph(corpus)
+        row = corpus.user_position(4)
+        assert graph.adjacency[row].sum() == 0.0
+
+
+class TestUserGraphSpectral:
+    def test_laplacian_rows_sum_to_zero(self):
+        graph = build_user_graph(retweet_corpus())
+        sums = np.asarray(graph.laplacian.sum(axis=1)).ravel()
+        assert np.allclose(sums, 0.0)
+
+    def test_laplacian_psd(self, rng):
+        graph = build_user_graph(retweet_corpus())
+        laplacian = graph.laplacian.toarray()
+        eigenvalues = np.linalg.eigvalsh(laplacian)
+        assert eigenvalues.min() > -1e-10
+
+    def test_smoothness_zero_for_constant_membership(self):
+        graph = build_user_graph(retweet_corpus())
+        constant = np.ones((graph.num_users, 3))
+        assert graph.smoothness_penalty(constant) == pytest.approx(0.0)
+
+    def test_smoothness_positive_for_disagreement(self):
+        corpus = retweet_corpus()
+        graph = build_user_graph(corpus)
+        membership = np.zeros((graph.num_users, 2))
+        membership[corpus.user_position(1), 0] = 1.0
+        membership[corpus.user_position(2), 1] = 1.0
+        assert graph.smoothness_penalty(membership) > 0.0
+
+    def test_degree_matrix(self):
+        corpus = retweet_corpus()
+        graph = build_user_graph(corpus)
+        degrees = graph.degree_matrix.diagonal()
+        assert degrees[corpus.user_position(1)] == 3.0  # 2 + 1
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            UserGraph(adjacency=sp.csr_matrix((2, 3)))
+
+
+class TestNetworkxInterop:
+    def test_roundtrip_node_count(self):
+        graph = build_user_graph(retweet_corpus())
+        nx_graph = graph.to_networkx()
+        assert nx_graph.number_of_nodes() == graph.num_users
+
+    def test_connected_components(self):
+        corpus = retweet_corpus()
+        graph = build_user_graph(corpus)
+        components = graph.connected_components()
+        sizes = sorted(len(c) for c in components)
+        assert sizes == [1, 3]  # {1,2,3} connected, {4} isolated

@@ -1,0 +1,103 @@
+"""End-to-end integration tests across the whole public API."""
+
+import numpy as np
+
+from repro import (
+    BallotDatasetGenerator,
+    OfflineTriClustering,
+    OnlineTriClustering,
+    SnapshotStream,
+    TfidfVectorizer,
+    build_tripartite_graph,
+    clustering_accuracy,
+    normalized_mutual_information,
+    prop37_config,
+)
+
+
+class TestOfflinePipeline:
+    def test_prop37_skewed_dataset(self):
+        """The full pipeline on the skewed Prop-37 analogue."""
+        generator = BallotDatasetGenerator(prop37_config(scale=0.02), seed=9)
+        corpus = generator.generate()
+        graph = build_tripartite_graph(
+            corpus, lexicon=generator.lexicon(seed=1)
+        )
+        result = OfflineTriClustering(
+            alpha=0.05, beta=0.8, max_iterations=80, seed=9
+        ).fit(graph)
+        truth = corpus.tweet_labels()
+        accuracy = clustering_accuracy(result.tweet_sentiments(), truth)
+        labeled = truth[truth >= 0]
+        majority = np.bincount(labeled).max() / labeled.size
+        # On a 93%-positive dataset the bar is the majority share.
+        assert accuracy >= majority - 0.02
+
+    def test_two_class_mode(self, corpus, shared_vectorizer, lexicon):
+        """k=2 (pos/neg only), as the paper's complexity note allows."""
+        from repro.text.lexicon import build_sf0
+
+        vocab = shared_vectorizer.vocabulary
+        sf0 = build_sf0(vocab, lexicon, num_classes=2)
+        graph = build_tripartite_graph(
+            corpus, vectorizer=shared_vectorizer, lexicon=lexicon,
+            num_classes=2,
+        )
+        assert graph.sf0.shape[1] == 2
+        result = OfflineTriClustering(
+            num_classes=2, max_iterations=40, seed=2
+        ).fit(graph)
+        assert set(np.unique(result.tweet_sentiments())) <= {0, 1}
+        del sf0
+
+
+class TestOnlineVsOffline:
+    def test_online_competitive_with_offline(self, corpus, shared_vectorizer, lexicon, graph):
+        offline = OfflineTriClustering(
+            alpha=0.05, beta=0.8, max_iterations=100, seed=7
+        ).fit(graph)
+        offline_accuracy = clustering_accuracy(
+            offline.tweet_sentiments(), corpus.tweet_labels()
+        )
+
+        online = OnlineTriClustering(max_iterations=40, seed=7)
+        predictions, truths = [], []
+        for snapshot in SnapshotStream(corpus, interval_days=14):
+            snap_graph = build_tripartite_graph(
+                snapshot.corpus, vectorizer=shared_vectorizer, lexicon=lexicon
+            )
+            step = online.partial_fit(snap_graph)
+            predictions.append(step.tweet_sentiments())
+            truths.append(snapshot.corpus.tweet_labels())
+        online_accuracy = clustering_accuracy(
+            np.concatenate(predictions), np.concatenate(truths)
+        )
+        # Paper: online matches or beats offline; tolerate small-scale noise.
+        assert online_accuracy >= offline_accuracy - 0.10
+
+    def test_nmi_consistency(self, corpus, graph):
+        result = OfflineTriClustering(max_iterations=60, seed=7).fit(graph)
+        truth = corpus.tweet_labels()
+        nmi = normalized_mutual_information(result.tweet_sentiments(), truth)
+        assert 0.0 <= nmi <= 1.0
+
+
+class TestVocabularySharing:
+    def test_online_requires_consistent_features(self, corpus, lexicon):
+        """Fitting each snapshot with its own vocabulary must fail fast."""
+        import pytest
+
+        online = OnlineTriClustering(max_iterations=5, seed=1)
+        snapshots = SnapshotStream(corpus, interval_days=30).snapshots()
+        first = build_tripartite_graph(snapshots[0].corpus, lexicon=lexicon)
+        online.partial_fit(first)
+        second = build_tripartite_graph(snapshots[1].corpus, lexicon=lexicon)
+        if second.num_features != first.num_features:
+            with pytest.raises(ValueError, match="shared vocabulary"):
+                online.partial_fit(second)
+
+    def test_shared_vectorizer_is_stable(self, corpus, shared_vectorizer):
+        expected = len(shared_vectorizer.vocabulary)
+        for snapshot in SnapshotStream(corpus, interval_days=30):
+            matrix = shared_vectorizer.transform(snapshot.corpus.texts())
+            assert matrix.shape[1] == expected

@@ -1,0 +1,158 @@
+"""Failure-injection and degenerate-input tests across the stack."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.offline import OfflineTriClustering
+from repro.core.online import OnlineTriClustering
+from repro.data.corpus import TweetCorpus
+from repro.data.tweet import Sentiment, Tweet, UserProfile
+from repro.graph.tripartite import build_tripartite_graph
+from repro.text.vectorizer import TfidfVectorizer
+
+
+def tiny_corpus(num_tweets=12, num_users=4, with_labels=True):
+    users = {
+        i: UserProfile(
+            i,
+            Sentiment.POSITIVE if i % 2 == 0 else Sentiment.NEGATIVE,
+            labeled=with_labels,
+        )
+        for i in range(num_users)
+    }
+    words = {
+        Sentiment.POSITIVE: "great win happy",
+        Sentiment.NEGATIVE: "bad lose angry",
+    }
+    tweets = []
+    for t in range(num_tweets):
+        uid = t % num_users
+        stance = users[uid].base_stance
+        tweets.append(
+            Tweet(
+                t, uid, f"{words[stance]} ballot measure", day=t % 3,
+                sentiment=stance if with_labels else None,
+            )
+        )
+    return TweetCorpus(tweets=tweets, users=users)
+
+
+class TestDegenerateGraphs:
+    def test_no_retweets_at_all(self):
+        """β-term is a no-op on an empty user graph; solver still runs."""
+        corpus = tiny_corpus()
+        graph = build_tripartite_graph(corpus, min_document_frequency=1)
+        assert graph.user_graph.adjacency.nnz == 0
+        result = OfflineTriClustering(max_iterations=10, seed=1).fit(graph)
+        assert np.all(np.isfinite(result.factors.su))
+
+    def test_single_user(self):
+        users = {0: UserProfile(0, Sentiment.POSITIVE)}
+        tweets = [
+            Tweet(i, 0, "good ballot yes", day=0, sentiment=Sentiment.POSITIVE)
+            for i in range(5)
+        ]
+        corpus = TweetCorpus(tweets=tweets, users=users)
+        graph = build_tripartite_graph(corpus, min_document_frequency=1)
+        result = OfflineTriClustering(max_iterations=5, seed=1).fit(graph)
+        assert result.factors.su.shape[0] == 1
+
+    def test_tweet_with_no_invocabulary_tokens(self):
+        corpus = tiny_corpus()
+        # One tweet of pure out-of-vocabulary noise.
+        extra = Tweet(
+            99, 0, "zzzqqq xxyyy", day=0, sentiment=Sentiment.POSITIVE
+        )
+        corpus = TweetCorpus(
+            tweets=[*corpus.tweets, extra], users=corpus.users
+        )
+        vectorizer = TfidfVectorizer(min_document_frequency=2)
+        vectorizer.fit([t.text for t in corpus.tweets])
+        graph = build_tripartite_graph(corpus, vectorizer=vectorizer)
+        row = graph.xp[corpus.tweet_position(99)]
+        assert row.nnz == 0  # empty feature row
+        result = OfflineTriClustering(max_iterations=10, seed=1).fit(graph)
+        assert np.all(np.isfinite(result.factors.sp))
+
+    def test_all_tweets_identical(self):
+        users = {0: UserProfile(0, Sentiment.POSITIVE),
+                 1: UserProfile(1, Sentiment.POSITIVE)}
+        tweets = [
+            Tweet(i, i % 2, "same words every time", day=0,
+                  sentiment=Sentiment.POSITIVE)
+            for i in range(6)
+        ]
+        corpus = TweetCorpus(tweets=tweets, users=users)
+        graph = build_tripartite_graph(corpus, min_document_frequency=1)
+        result = OfflineTriClustering(max_iterations=10, seed=1).fit(graph)
+        assert np.all(np.isfinite(result.factors.sp))
+
+
+class TestOnlineEdgeCases:
+    def test_single_snapshot_stream(self):
+        corpus = tiny_corpus()
+        vectorizer = TfidfVectorizer(min_document_frequency=1)
+        vectorizer.fit(corpus.texts())
+        graph = build_tripartite_graph(corpus, vectorizer=vectorizer)
+        solver = OnlineTriClustering(max_iterations=10, seed=1)
+        step = solver.partial_fit(graph)
+        assert step.snapshot_index == 0
+        assert solver.steps == 1
+
+    def test_same_snapshot_twice_users_all_evolving(self):
+        corpus = tiny_corpus()
+        vectorizer = TfidfVectorizer(min_document_frequency=1)
+        vectorizer.fit(corpus.texts())
+        graph = build_tripartite_graph(corpus, vectorizer=vectorizer)
+        solver = OnlineTriClustering(max_iterations=10, seed=1)
+        solver.partial_fit(graph)
+        second = solver.partial_fit(graph)
+        assert second.new_user_rows.size == 0
+        assert second.evolving_user_rows.size == corpus.num_users
+
+    def test_window_three_aggregates_two_steps(self):
+        corpus = tiny_corpus()
+        vectorizer = TfidfVectorizer(min_document_frequency=1)
+        vectorizer.fit(corpus.texts())
+        graph = build_tripartite_graph(corpus, vectorizer=vectorizer)
+        solver = OnlineTriClustering(
+            max_iterations=5, seed=1, window=3, tau=0.5
+        )
+        first = solver.partial_fit(graph)
+        second = solver.partial_fit(graph)
+        prior = solver.feature_prior(graph.num_features)
+        expected = 0.5 * second.factors.sf + 0.25 * first.factors.sf
+        assert np.allclose(prior, expected)
+
+
+class TestLabelEdgeCases:
+    def test_fully_unlabeled_corpus_evaluates_to_zero(self):
+        corpus = tiny_corpus(with_labels=False)
+        from repro.eval.metrics import clustering_accuracy
+
+        truth = corpus.tweet_labels()
+        assert np.all(truth == -1)
+        assert clustering_accuracy(np.zeros(len(truth), np.int64), truth) == 0.0
+
+    def test_solver_runs_on_unlabeled_corpus(self):
+        corpus = tiny_corpus(with_labels=False)
+        graph = build_tripartite_graph(corpus, min_document_frequency=1)
+        result = OfflineTriClustering(max_iterations=8, seed=1).fit(graph)
+        assert result.factors.sp.shape[0] == corpus.num_tweets
+
+
+class TestSparseDtypes:
+    def test_float32_inputs_upcast_cleanly(self):
+        corpus = tiny_corpus()
+        graph = build_tripartite_graph(corpus, min_document_frequency=1)
+        graph.xp = graph.xp.astype(np.float32)
+        result = OfflineTriClustering(max_iterations=5, seed=1).fit(graph)
+        assert np.all(np.isfinite(result.factors.sp))
+
+    def test_coo_inputs_accepted(self):
+        corpus = tiny_corpus()
+        graph = build_tripartite_graph(corpus, min_document_frequency=1)
+        graph.xp = sp.coo_matrix(graph.xp)
+        result = OfflineTriClustering(max_iterations=5, seed=1).fit(graph)
+        assert np.all(np.isfinite(result.factors.sp))

@@ -1,0 +1,113 @@
+"""Tests for the sentiment lexicon and Sf0 construction."""
+
+import numpy as np
+import pytest
+
+from repro.text.lexicon import (
+    NEGATIVE_CLASS,
+    POSITIVE_CLASS,
+    SentimentLexicon,
+    build_sf0,
+)
+from repro.text.tokenizer import NEGATION_SUFFIX
+from repro.text.vocabulary import Vocabulary
+
+
+@pytest.fixture()
+def lexicon():
+    return SentimentLexicon(
+        positive={"love": 1.0, "good": 0.5},
+        negative={"hate": 1.0, "evil": 0.8},
+    )
+
+
+class TestSentimentLexicon:
+    def test_membership(self, lexicon):
+        assert "love" in lexicon
+        assert "hate" in lexicon
+        assert "table" not in lexicon
+        assert len(lexicon) == 4
+
+    def test_polarity_signs(self, lexicon):
+        assert lexicon.polarity("love") == 1.0
+        assert lexicon.polarity("good") == 0.5
+        assert lexicon.polarity("hate") == -1.0
+        assert lexicon.polarity("table") == 0.0
+
+    def test_negation_flips_polarity(self, lexicon):
+        assert lexicon.polarity(f"love{NEGATION_SUFFIX}") == -1.0
+        assert lexicon.polarity(f"hate{NEGATION_SUFFIX}") == 1.0
+
+    def test_score_tokens(self, lexicon):
+        assert lexicon.score_tokens(["love", "hate"]) == 0.0
+        assert lexicon.score_tokens(["love", "good"]) == 1.5
+
+    def test_rejects_overlap(self):
+        with pytest.raises(ValueError, match="both polarity"):
+            SentimentLexicon(positive=["war"], negative=["war"])
+
+    def test_rejects_bad_strength(self):
+        with pytest.raises(ValueError):
+            SentimentLexicon(positive={"x": 0.0})
+        with pytest.raises(ValueError):
+            SentimentLexicon(negative={"x": 1.5})
+
+    def test_merge(self, lexicon):
+        other = SentimentLexicon(positive=["great"], negative=["bad"])
+        merged = lexicon.merged_with(other)
+        assert "great" in merged.positive_words
+        assert "bad" in merged.negative_words
+        assert "love" in merged.positive_words
+
+    def test_iterable_inputs_get_unit_strength(self):
+        lex = SentimentLexicon(positive=["up"], negative=["down"])
+        assert lex.polarity("up") == 1.0
+        assert lex.polarity("down") == -1.0
+
+
+class TestBuildSf0:
+    def _vocab(self):
+        vocab = Vocabulary()
+        vocab.add_document(["love", "hate", "table", "good"])
+        return vocab
+
+    def test_shape_and_row_sums(self, lexicon):
+        sf0 = build_sf0(self._vocab(), lexicon, num_classes=3)
+        assert sf0.shape == (4, 3)
+        assert np.allclose(sf0.sum(axis=1), 1.0)
+
+    def test_positive_word_mass(self, lexicon):
+        vocab = self._vocab()
+        sf0 = build_sf0(vocab, lexicon, num_classes=3)
+        row = sf0[vocab.id_of("love")]
+        assert row.argmax() == POSITIVE_CLASS
+
+    def test_negative_word_mass(self, lexicon):
+        vocab = self._vocab()
+        sf0 = build_sf0(vocab, lexicon, num_classes=3)
+        row = sf0[vocab.id_of("hate")]
+        assert row.argmax() == NEGATIVE_CLASS
+
+    def test_unknown_word_uniform(self, lexicon):
+        vocab = self._vocab()
+        sf0 = build_sf0(vocab, lexicon, num_classes=3)
+        row = sf0[vocab.id_of("table")]
+        assert np.allclose(row, 1.0 / 3.0)
+
+    def test_weak_word_closer_to_uniform(self, lexicon):
+        vocab = self._vocab()
+        sf0 = build_sf0(vocab, lexicon, num_classes=3)
+        strong = sf0[vocab.id_of("love")][POSITIVE_CLASS]
+        weak = sf0[vocab.id_of("good")][POSITIVE_CLASS]
+        assert strong > weak > 1.0 / 3.0
+
+    def test_two_class_mode(self, lexicon):
+        sf0 = build_sf0(self._vocab(), lexicon, num_classes=2)
+        assert sf0.shape[1] == 2
+        assert np.allclose(sf0.sum(axis=1), 1.0)
+
+    def test_invalid_parameters(self, lexicon):
+        with pytest.raises(ValueError):
+            build_sf0(self._vocab(), lexicon, num_classes=4)
+        with pytest.raises(ValueError):
+            build_sf0(self._vocab(), lexicon, neutral_mass=1.0)

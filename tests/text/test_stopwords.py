@@ -1,0 +1,25 @@
+"""Tests for the stopword list."""
+
+from repro.text.stopwords import ENGLISH_STOPWORDS, is_stopword
+
+
+class TestStopwords:
+    def test_common_words_included(self):
+        for word in ("the", "and", "is", "rt", "via"):
+            assert is_stopword(word)
+
+    def test_case_insensitive(self):
+        assert is_stopword("The")
+        assert is_stopword("AND")
+
+    def test_negations_excluded(self):
+        # Negation words carry sentiment signal and must survive.
+        for word in ("not", "no", "never", "nor"):
+            assert not is_stopword(word)
+
+    def test_content_words_excluded(self):
+        for word in ("monsanto", "tax", "love", "evil"):
+            assert not is_stopword(word)
+
+    def test_frozen(self):
+        assert isinstance(ENGLISH_STOPWORDS, frozenset)

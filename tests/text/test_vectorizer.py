@@ -1,0 +1,98 @@
+"""Tests for the count / tf-idf vectorizers."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.text.vectorizer import CountVectorizer, TfidfVectorizer
+from repro.text.vocabulary import Vocabulary
+
+DOCS = [
+    "education funds schools education",
+    "taxes hurt schools",
+    "schools need funds",
+]
+
+
+class TestCountVectorizer:
+    def test_shape_and_counts(self):
+        vectorizer = CountVectorizer()
+        matrix = vectorizer.fit_transform(DOCS)
+        assert matrix.shape == (3, len(vectorizer.vocabulary))
+        education = vectorizer.vocabulary.id_of("education")
+        assert matrix[0, education] == 2.0
+
+    def test_output_is_sparse_nonnegative(self):
+        matrix = CountVectorizer().fit_transform(DOCS)
+        assert sp.issparse(matrix)
+        assert matrix.min() >= 0.0
+
+    def test_binary_mode(self):
+        vectorizer = CountVectorizer(binary=True)
+        matrix = vectorizer.fit_transform(DOCS)
+        assert set(np.unique(matrix.toarray())) <= {0.0, 1.0}
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            CountVectorizer().transform(DOCS)
+
+    def test_unknown_tokens_dropped(self):
+        vectorizer = CountVectorizer()
+        vectorizer.fit(DOCS)
+        out = vectorizer.transform(["quantum flux"])
+        assert out.nnz == 0
+
+    def test_injected_vocabulary(self):
+        vocab = Vocabulary()
+        vocab.add_document(["schools", "taxes"])
+        vocab.freeze()
+        vectorizer = CountVectorizer(vocabulary=vocab)
+        matrix = vectorizer.transform(DOCS)
+        assert matrix.shape == (3, 2)
+
+    def test_min_document_frequency_pruning(self):
+        vectorizer = CountVectorizer(min_document_frequency=2)
+        vectorizer.fit(DOCS)
+        assert "schools" in vectorizer.vocabulary   # df = 3
+        assert "taxes" not in vectorizer.vocabulary  # df = 1
+
+    def test_max_features(self):
+        vectorizer = CountVectorizer(max_features=2)
+        vectorizer.fit(DOCS)
+        assert len(vectorizer.vocabulary) == 2
+
+
+class TestTfidfVectorizer:
+    def test_rows_unit_norm(self):
+        matrix = TfidfVectorizer().fit_transform(DOCS)
+        norms = np.sqrt(np.asarray(matrix.multiply(matrix).sum(axis=1))).ravel()
+        assert np.allclose(norms[norms > 0], 1.0)
+
+    def test_nonnegative(self):
+        matrix = TfidfVectorizer().fit_transform(DOCS)
+        assert matrix.min() >= 0.0
+
+    def test_rare_terms_weighted_higher(self):
+        vectorizer = TfidfVectorizer(normalize=False)
+        matrix = vectorizer.fit_transform(DOCS).toarray()
+        common = vectorizer.vocabulary.id_of("schools")  # df = 3
+        rare = vectorizer.vocabulary.id_of("taxes")      # df = 1
+        # Row 1 contains both exactly once: rare idf must exceed common.
+        assert matrix[1, rare] > matrix[1, common]
+
+    def test_sublinear_tf(self):
+        plain = TfidfVectorizer(normalize=False).fit_transform(DOCS).toarray()
+        sub = TfidfVectorizer(
+            normalize=False, sublinear_tf=True
+        ).fit_transform(DOCS).toarray()
+        # repeated term ("education" twice) shrinks under sublinear tf
+        assert sub[0].max() < plain[0].max()
+
+    def test_transform_with_injected_vocabulary_without_fit(self):
+        vocab = Vocabulary()
+        vocab.add_document(["schools", "taxes"])
+        vocab.freeze()
+        vectorizer = TfidfVectorizer(vocabulary=vocab)
+        matrix = vectorizer.transform(DOCS)
+        assert matrix.shape == (3, 2)
+        assert np.all(np.isfinite(matrix.toarray()))

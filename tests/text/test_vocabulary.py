@@ -1,0 +1,103 @@
+"""Unit + property tests for the vocabulary."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text.vocabulary import Vocabulary
+
+token_lists = st.lists(
+    st.text(alphabet="abcdef", min_size=1, max_size=5), max_size=20
+)
+
+
+class TestConstruction:
+    def test_ids_are_contiguous(self):
+        vocab = Vocabulary()
+        vocab.add_document(["a", "b", "a", "c"])
+        assert [vocab.id_of(t) for t in ("a", "b", "c")] == [0, 1, 2]
+
+    def test_counts(self):
+        vocab = Vocabulary()
+        vocab.add_document(["a", "b", "a"])
+        vocab.add_document(["a"])
+        assert vocab.term_frequency("a") == 3
+        assert vocab.document_frequency("a") == 2
+        assert vocab.term_frequency("b") == 1
+        assert vocab.num_documents == 2
+
+    def test_frozen_drops_unknowns(self):
+        vocab = Vocabulary()
+        vocab.add_document(["a"])
+        vocab.freeze()
+        ids = vocab.add_document(["a", "zzz"])
+        assert ids == [vocab.id_of("a")]
+        assert "zzz" not in vocab
+
+    def test_lookup_helpers(self):
+        vocab = Vocabulary()
+        vocab.add_document(["x"])
+        assert vocab.get("x") == 0
+        assert vocab.get("y") is None
+        assert vocab.token_of(0) == "x"
+        assert "x" in vocab
+        assert list(vocab) == ["x"]
+        with pytest.raises(KeyError):
+            vocab.id_of("y")
+
+
+class TestPruning:
+    def _build(self):
+        vocab = Vocabulary()
+        vocab.add_document(["common", "rare"])
+        vocab.add_document(["common", "everywhere"])
+        vocab.add_document(["common", "everywhere"])
+        return vocab
+
+    def test_min_document_frequency(self):
+        pruned = self._build().pruned(min_document_frequency=2)
+        assert "rare" not in pruned
+        assert "common" in pruned
+
+    def test_max_document_ratio(self):
+        pruned = self._build().pruned(max_document_ratio=0.9)
+        assert "common" not in pruned  # appears in 100% of documents
+        assert "everywhere" in pruned
+
+    def test_max_features_keeps_most_frequent(self):
+        pruned = self._build().pruned(max_features=1)
+        assert len(pruned) == 1
+        assert "common" in pruned
+
+    def test_invalid_parameters(self):
+        vocab = self._build()
+        with pytest.raises(ValueError):
+            vocab.pruned(min_document_frequency=0)
+        with pytest.raises(ValueError):
+            vocab.pruned(max_document_ratio=0.0)
+
+    def test_pruned_preserves_statistics(self):
+        pruned = self._build().pruned(min_document_frequency=1)
+        assert pruned.term_frequency("common") == 3
+        assert pruned.document_frequency("everywhere") == 2
+
+
+class TestProperties:
+    @given(st.lists(token_lists, max_size=10))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_token_id(self, documents):
+        vocab = Vocabulary()
+        for doc in documents:
+            vocab.add_document(doc)
+        for token in vocab.tokens:
+            assert vocab.token_of(vocab.id_of(token)) == token
+
+    @given(st.lists(token_lists, min_size=1, max_size=10))
+    @settings(max_examples=50, deadline=None)
+    def test_document_frequency_bounded_by_documents(self, documents):
+        vocab = Vocabulary()
+        for doc in documents:
+            vocab.add_document(doc)
+        for token in vocab.tokens:
+            assert 1 <= vocab.document_frequency(token) <= len(documents)
+            assert vocab.term_frequency(token) >= vocab.document_frequency(token)

@@ -1,0 +1,37 @@
+"""Tests for the namespaced logging helpers."""
+
+import logging
+
+from repro.utils.logging import enable_console_logging, get_logger
+
+
+class TestGetLogger:
+    def test_root_logger(self):
+        assert get_logger().name == "repro"
+
+    def test_namespacing(self):
+        assert get_logger("core.offline").name == "repro.core.offline"
+
+    def test_already_namespaced(self):
+        assert get_logger("repro.data").name == "repro.data"
+
+    def test_root_has_null_handler(self):
+        handlers = logging.getLogger("repro").handlers
+        assert any(isinstance(h, logging.NullHandler) for h in handlers)
+
+
+class TestConsoleLogging:
+    def test_idempotent(self):
+        logger = logging.getLogger("repro")
+        before = list(logger.handlers)
+        enable_console_logging()
+        enable_console_logging()
+        stream_handlers = [
+            h
+            for h in logger.handlers
+            if isinstance(h, logging.StreamHandler)
+            and not isinstance(h, logging.NullHandler)
+        ]
+        assert len(stream_handlers) == 1
+        # restore
+        logger.handlers = before

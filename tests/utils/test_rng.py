@@ -1,0 +1,47 @@
+"""Tests for seeded RNG helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import child_seeds, spawn_rng
+
+
+class TestSpawnRng:
+    def test_int_seed_is_deterministic(self):
+        a = spawn_rng(42).random(5)
+        b = spawn_rng(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = spawn_rng(1).random(5)
+        b = spawn_rng(2).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert spawn_rng(generator) is generator
+
+    def test_none_gives_generator(self):
+        assert isinstance(spawn_rng(None), np.random.Generator)
+
+
+class TestChildSeeds:
+    def test_deterministic_from_parent(self):
+        assert child_seeds(7, 4) == child_seeds(7, 4)
+
+    def test_children_are_distinct(self):
+        seeds = child_seeds(7, 8)
+        assert len(set(seeds)) == 8
+
+    def test_count_zero(self):
+        assert child_seeds(7, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            child_seeds(7, -1)
+
+    def test_from_generator(self):
+        generator = np.random.default_rng(3)
+        seeds = child_seeds(generator, 3)
+        assert len(seeds) == 3
+        assert all(isinstance(s, int) for s in seeds)

@@ -1,0 +1,75 @@
+"""Tests for argument validation helpers."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.utils.validation import (
+    check_probability,
+    check_shape,
+    require_in_range,
+    require_nonnegative_matrix,
+    require_positive,
+)
+
+
+class TestRequirePositive:
+    def test_accepts_positive(self):
+        assert require_positive(0.5, "x") == 0.5
+
+    @pytest.mark.parametrize("value", [0, -1, -0.001])
+    def test_rejects_nonpositive(self, value):
+        with pytest.raises(ValueError, match="x"):
+            require_positive(value, "x")
+
+    def test_rejects_non_number(self):
+        with pytest.raises(ValueError):
+            require_positive("one", "x")
+
+
+class TestRequireInRange:
+    def test_bounds_inclusive(self):
+        assert require_in_range(0.0, "x", 0.0, 1.0) == 0.0
+        assert require_in_range(1.0, "x", 0.0, 1.0) == 1.0
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01])
+    def test_rejects_outside(self, value):
+        with pytest.raises(ValueError):
+            require_in_range(value, "x", 0.0, 1.0)
+
+
+class TestCheckProbability:
+    def test_valid(self):
+        assert check_probability(0.3, "p") == 0.3
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            check_probability(1.5, "p")
+
+
+class TestCheckShape:
+    def test_exact_match(self):
+        check_shape(np.zeros((2, 3)), (2, 3), "m")
+
+    def test_wildcard(self):
+        check_shape(np.zeros((2, 3)), (None, 3), "m")
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError, match="2-dimensional"):
+            check_shape(np.zeros(3), (2, 3), "m")
+
+    def test_axis_mismatch(self):
+        with pytest.raises(ValueError, match="axis 1"):
+            check_shape(np.zeros((2, 4)), (2, 3), "m")
+
+
+class TestRequireNonnegativeMatrix:
+    def test_accepts_nonnegative(self):
+        require_nonnegative_matrix(np.ones((2, 2)), "m")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="m"):
+            require_nonnegative_matrix(np.array([[1.0, -1.0]]), "m")
+
+    def test_sparse(self):
+        require_nonnegative_matrix(sp.eye(3).tocsr(), "m")
