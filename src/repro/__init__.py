@@ -44,6 +44,7 @@ from repro.data import (
     prop30_config,
     prop37_config,
 )
+from repro.engine import FoldInCache, SnapshotReport, StreamingSentimentEngine
 from repro.eval import (
     align_clusters,
     clustering_accuracy,
@@ -59,20 +60,23 @@ from repro.text import (
     build_sf0,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BallotDatasetConfig",
     "BallotDatasetGenerator",
     "CountVectorizer",
     "FactorSet",
+    "FoldInCache",
     "OfflineTriClustering",
     "OnlineStepResult",
     "OnlineTriClustering",
     "Sentiment",
     "SentimentLexicon",
     "Snapshot",
+    "SnapshotReport",
     "SnapshotStream",
+    "StreamingSentimentEngine",
     "TfidfVectorizer",
     "TriClusteringResult",
     "TripartiteGraph",

@@ -6,6 +6,8 @@
 - :mod:`repro.core.objective` — the loss components of Eq. (1)/(19).
 - :mod:`repro.core.updates` — multiplicative update kernels
   (Eqs. 7, 9, 11, 12, 13 and online variants 20-26).
+- :mod:`repro.core.sweepcache` — per-sweep memoization of the shared
+  products the update kernels would otherwise recompute.
 - :mod:`repro.core.convergence` — per-iteration loss tracking (Figure 8).
 - :mod:`repro.core.offline` — Algorithm 1 (:class:`OfflineTriClustering`).
 - :mod:`repro.core.online` — Algorithm 2 (:class:`OnlineTriClustering`).
@@ -31,6 +33,7 @@ from repro.core.regularizers import (
     Sparsity,
 )
 from repro.core.state import FactorSet
+from repro.core.sweepcache import SweepCache
 from repro.core.unified import UnifiedResult, UnifiedTriClustering
 
 __all__ = [
@@ -41,6 +44,7 @@ __all__ = [
     "PriorCloseness",
     "Regularizer",
     "Sparsity",
+    "SweepCache",
     "UnifiedResult",
     "UnifiedTriClustering",
     "FactorSet",

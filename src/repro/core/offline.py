@@ -16,6 +16,7 @@ from repro.core.convergence import ConvergenceHistory
 from repro.core.initialization import lexicon_seeded_factors, random_factors
 from repro.core.objective import ObjectiveWeights, compute_objective
 from repro.core.state import FactorSet
+from repro.core.sweepcache import SweepCache
 from repro.core.updates import (
     update_hp,
     update_hu,
@@ -151,13 +152,16 @@ class OfflineTriClustering:
         history = ConvergenceHistory()
         converged = False
         iterations_run = 0
+        cache = SweepCache(xp, xu)
         for iteration in range(self.max_iterations):
             # Algorithm 1 order: Sp, Hp, Su, Hu, Sf.
             factors.sp = update_sp(
                 factors.sp, factors.sf, factors.hp, factors.su, xp, xr,
-                style=self.update_style,
+                style=self.update_style, cache=cache,
             )
-            factors.hp = update_hp(factors.hp, factors.sp, factors.sf, xp)
+            factors.hp = update_hp(
+                factors.hp, factors.sp, factors.sf, xp, cache=cache
+            )
             factors.su = update_su(
                 factors.su,
                 factors.sf,
@@ -169,8 +173,11 @@ class OfflineTriClustering:
                 du,
                 self.weights.beta,
                 style=self.update_style,
+                cache=cache,
             )
-            factors.hu = update_hu(factors.hu, factors.su, factors.sf, xu)
+            factors.hu = update_hu(
+                factors.hu, factors.su, factors.sf, xu, cache=cache
+            )
             factors.sf = update_sf(
                 factors.sf,
                 factors.sp,
@@ -182,6 +189,7 @@ class OfflineTriClustering:
                 sf0,
                 self.weights.alpha,
                 style=self.update_style,
+                cache=cache,
             )
             iterations_run = iteration + 1
 

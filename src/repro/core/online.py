@@ -26,6 +26,7 @@ from repro.core.convergence import ConvergenceHistory
 from repro.core.initialization import warm_started_factors
 from repro.core.objective import ObjectiveWeights, compute_objective
 from repro.core.state import FactorSet
+from repro.core.sweepcache import SweepCache
 from repro.core.updates import (
     update_hp,
     update_hu,
@@ -128,25 +129,33 @@ class OnlineTriClustering:
         self._user_state: dict[int, np.ndarray] = {}
         self._seen_users: set[int] = set()
         self._steps = 0
+        self._vocabulary_ref: object | None = None
 
     # ------------------------------------------------------------------ #
     # Temporal aggregates
     # ------------------------------------------------------------------ #
 
     def feature_prior(self, num_features: int) -> np.ndarray | None:
-        """``Sfw(t) = Σ_{i=1..w-1} τⁱ·Sf(t−i)``; ``None`` before any step."""
+        """``Sfw(t) = Σ_{i=1..w-1} τⁱ·Sf(t−i)``; ``None`` before any step.
+
+        The feature dimension may *grow* between snapshots (the streaming
+        engine's vocabulary is append-only, so feature row ``i`` always
+        denotes the same word): past factors are zero-padded and words
+        with no history get an all-zero prior row.  Shrinking would
+        re-map rows and is rejected.
+        """
         if not self._sf_history:
             return None
         aggregate = np.zeros((num_features, self.num_classes))
         # history[-1] is Sf(t-1), history[-2] is Sf(t-2), ...
         for lag, sf_past in enumerate(reversed(self._sf_history), start=1):
-            if sf_past.shape[0] != num_features:
+            if sf_past.shape[0] > num_features:
                 raise ValueError(
-                    "feature dimension changed across snapshots "
+                    "feature dimension shrank across snapshots "
                     f"({sf_past.shape[0]} -> {num_features}); online mode "
-                    "requires a shared vocabulary"
+                    "requires an append-only shared vocabulary"
                 )
-            aggregate += (self.tau ** lag) * sf_past
+            aggregate[: sf_past.shape[0]] += (self.tau ** lag) * sf_past
         return aggregate
 
     def user_prior(self, user_id: int) -> np.ndarray | None:
@@ -169,12 +178,37 @@ class OnlineTriClustering:
             return self.tau * carried
         return None
 
+    def _check_vocabulary(self, graph: TripartiteGraph) -> None:
+        """Fail fast when feature rows cannot align across snapshots.
+
+        A *grown* feature dimension is only meaningful when the snapshot
+        was vectorized against the same append-only vocabulary as the
+        previous ones (row ``i`` keeps denoting the same word).  A larger
+        dimension coming from an independently fitted vocabulary would
+        silently add decayed history rows onto unrelated words, so it is
+        rejected; equal dimensions keep the legacy shared-vectorizer
+        contract (shrinks are rejected in :meth:`feature_prior`).
+        """
+        vocabulary = graph.vectorizer.vocabulary
+        if (
+            self._sf_history
+            and graph.num_features > self._sf_history[-1].shape[0]
+            and vocabulary is not self._vocabulary_ref
+        ):
+            raise ValueError(
+                "feature dimension grew but the snapshot was built against "
+                "a different vocabulary object; online mode requires an "
+                "append-only shared vocabulary across snapshots"
+            )
+        self._vocabulary_ref = vocabulary
+
     # ------------------------------------------------------------------ #
     # Streaming API
     # ------------------------------------------------------------------ #
 
     def partial_fit(self, graph: TripartiteGraph) -> OnlineStepResult:
         """Process one snapshot; updates the internal temporal state."""
+        self._check_vocabulary(graph)
         corpus = graph.corpus
         user_ids = corpus.user_ids
         current = set(user_ids)
@@ -194,6 +228,14 @@ class OnlineTriClustering:
             sf_init = self._rng.uniform(
                 0.01, 1.0, size=(graph.num_features, self.num_classes)
             )
+        elif sfw is not None and graph.sf0 is not None:
+            # Words that appeared after the last snapshot have an all-zero
+            # history row; seed them from the lexicon prior instead so the
+            # warm start carries class semantics for them too.
+            fresh_rows = ~sfw.any(axis=1)
+            if fresh_rows.any():
+                sf_init = sfw.copy()
+                sf_init[fresh_rows] = graph.sf0[fresh_rows]
 
         su_prior_rows: list[np.ndarray] = []
         su_init = self._rng.uniform(
@@ -286,6 +328,7 @@ class OnlineTriClustering:
         history = ConvergenceHistory()
         converged = False
         iterations_run = 0
+        cache = SweepCache(xp, xu)
         for iteration in range(self.max_iterations):
             factors.sf = update_sf(
                 factors.sf,
@@ -298,13 +341,18 @@ class OnlineTriClustering:
                 sf_prior,
                 self.weights.alpha,
                 style=self.update_style,
+                cache=cache,
             )
             factors.sp = update_sp(
                 factors.sp, factors.sf, factors.hp, factors.su, xp, xr,
-                style=self.update_style,
+                style=self.update_style, cache=cache,
             )
-            factors.hp = update_hp(factors.hp, factors.sp, factors.sf, xp)
-            factors.hu = update_hu(factors.hu, factors.su, factors.sf, xu)
+            factors.hp = update_hp(
+                factors.hp, factors.sp, factors.sf, xp, cache=cache
+            )
+            factors.hu = update_hu(
+                factors.hu, factors.su, factors.sf, xu, cache=cache
+            )
             factors.su = update_su_online(
                 factors.su,
                 factors.sf,
@@ -319,6 +367,7 @@ class OnlineTriClustering:
                 su_prior,
                 evolving_rows,
                 style=self.update_style,
+                cache=cache,
             )
             iterations_run = iteration + 1
 

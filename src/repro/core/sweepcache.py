@@ -1,0 +1,128 @@
+"""Per-sweep memoization of shared matrix products.
+
+One cyclic sweep of the multiplicative updates (Algorithm 1 order
+``Sp, Hp, Su, Hu, Sf``; Algorithm 2 order ``Sf, Sp, Hp, Hu, Su``)
+recomputes several products whose inputs have not changed between the
+individual update calls:
+
+- ``Xp·Sf`` appears in both the ``Sp`` and ``Hp`` updates,
+- ``Xu·Sf`` appears in both the ``Su`` and ``Hu`` updates,
+- ``Sfᵀ·Sf`` appears in the ``Hp`` and ``Hu`` denominators (and in
+  every Lagrangian-style ``Δ`` assembly),
+- the factor grams ``Spᵀ·Sp`` / ``Suᵀ·Su`` and the association grams
+  ``H·(SfᵀSf)·Hᵀ`` recur across the Lagrangian-style updates.
+
+The sparse-dense products dominate the sweep cost (``O(nnz·k)`` each),
+so computing each of them once per sweep instead of twice is a direct
+hot-path win without changing a single floating-point operation: the
+cache returns the *same* array the uncached code path would have
+computed, so solver trajectories are bit-identical.
+
+A :class:`SweepCache` is keyed by *object identity* of the dependency
+factors.  Every update rule returns a freshly allocated array, so a
+factor that changed between two lookups never aliases its predecessor;
+holding a reference to the dependency inside the memo keeps ``is``
+comparisons sound (the id cannot be recycled while the entry lives).
+Solvers create one cache per fit/partial_fit and simply pass it into
+every update call — invalidation is automatic.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+import scipy.sparse as sp
+
+MatrixLike = np.ndarray | sp.spmatrix
+
+
+def _dot(x: MatrixLike, dense: np.ndarray) -> np.ndarray:
+    """``x @ dense`` returning a plain ndarray for sparse or dense ``x``."""
+    return np.asarray(x @ dense)
+
+
+class SweepCache:
+    """Identity-memoized shared products for one solver run.
+
+    Parameters
+    ----------
+    xp, xu:
+        The (fixed) data matrices whose products are memoized.  ``Xr``
+        is not held here: its products (``Xrᵀ·Su``, ``Xr·Sp``) each
+        occur once per sweep, so there is nothing to reuse.
+    """
+
+    def __init__(self, xp: MatrixLike, xu: MatrixLike) -> None:
+        self.xp = xp
+        self.xu = xu
+        self._memo: dict[str, tuple[tuple[np.ndarray, ...], np.ndarray]] = {}
+        self._hits = 0
+        self._misses = 0
+
+    # ------------------------------------------------------------------ #
+    # Memoization machinery
+    # ------------------------------------------------------------------ #
+
+    def _get(
+        self,
+        key: str,
+        deps: tuple[np.ndarray, ...],
+        compute: Callable[[], np.ndarray],
+    ) -> np.ndarray:
+        entry = self._memo.get(key)
+        if entry is not None:
+            cached_deps, value = entry
+            if all(a is b for a, b in zip(cached_deps, deps)):
+                self._hits += 1
+                return value
+        value = compute()
+        self._memo[key] = (deps, value)
+        self._misses += 1
+        return value
+
+    @property
+    def hits(self) -> int:
+        """Lookups answered from the memo (telemetry for benches/tests)."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Lookups that had to compute (first use or stale dependency)."""
+        return self._misses
+
+    # ------------------------------------------------------------------ #
+    # Sparse-dense products (the expensive ones)
+    # ------------------------------------------------------------------ #
+
+    def xp_sf(self, sf: np.ndarray) -> np.ndarray:
+        """``Xp·Sf`` — shared by the ``Sp`` and ``Hp`` updates."""
+        return self._get("xp_sf", (sf,), lambda: _dot(self.xp, sf))
+
+    def xu_sf(self, sf: np.ndarray) -> np.ndarray:
+        """``Xu·Sf`` — shared by the ``Su`` and ``Hu`` updates."""
+        return self._get("xu_sf", (sf,), lambda: _dot(self.xu, sf))
+
+    # ------------------------------------------------------------------ #
+    # Dense grams
+    # ------------------------------------------------------------------ #
+
+    def gram(self, name: str, factor: np.ndarray) -> np.ndarray:
+        """``factorᵀ·factor`` memoized under slot ``name`` (sf/sp/su).
+
+        The slot name only namespaces the memo entry; staleness is
+        decided by the identity of ``factor`` itself.
+        """
+        return self._get(f"gram:{name}", (factor,), lambda: factor.T @ factor)
+
+    def hp_gram(self, hp: np.ndarray, sf: np.ndarray) -> np.ndarray:
+        """``Hp·(SfᵀSf)·Hpᵀ`` (Lagrangian-style ``Sp`` denominators)."""
+        return self._get(
+            "hp_gram", (hp, sf), lambda: hp @ self.gram("sf", sf) @ hp.T
+        )
+
+    def hu_gram(self, hu: np.ndarray, sf: np.ndarray) -> np.ndarray:
+        """``Hu·(SfᵀSf)·Huᵀ`` (Lagrangian-style ``Su`` denominators)."""
+        return self._get(
+            "hu_gram", (hu, sf), lambda: hu @ self.gram("sf", sf) @ hu.T
+        )

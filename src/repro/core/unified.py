@@ -20,6 +20,7 @@ from repro.core.initialization import lexicon_seeded_factors, random_factors
 from repro.core.objective import bifactor_loss, trifactor_loss
 from repro.core.regularizers import Regularizer
 from repro.core.state import FactorSet
+from repro.core.sweepcache import SweepCache
 from repro.core.updates import _dot, _project, update_hp, update_hu
 from repro.graph.tripartite import TripartiteGraph
 from repro.utils.matrices import safe_sqrt_ratio
@@ -99,8 +100,9 @@ class UnifiedTriClustering:
         regularizer_values: list[dict[str, float]] = []
         converged = False
         iterations_run = 0
+        cache = SweepCache(xp, xu)
         for iteration in range(self.max_iterations):
-            self._sweep(factors, xp, xu, xr)
+            self._sweep(factors, xp, xu, xr, cache)
             iterations_run = iteration + 1
 
             total, values = self._objective(factors, xp, xu, xr)
@@ -120,10 +122,12 @@ class UnifiedTriClustering:
 
     # ------------------------------------------------------------------ #
 
-    def _sweep(self, factors: FactorSet, xp, xu, xr) -> None:
+    def _sweep(
+        self, factors: FactorSet, xp, xu, xr, cache: SweepCache
+    ) -> None:
         """One full update sweep in Algorithm 1's order."""
         # Sp: attraction from words and retweeters.
-        attraction = _dot(xp, factors.sf) @ factors.hp.T + _dot(
+        attraction = cache.xp_sf(factors.sf) @ factors.hp.T + _dot(
             xr.T, factors.su
         )
         numerator, denominator = self._regularized(
@@ -131,10 +135,12 @@ class UnifiedTriClustering:
         )
         factors.sp = factors.sp * safe_sqrt_ratio(numerator, denominator)
 
-        factors.hp = update_hp(factors.hp, factors.sp, factors.sf, xp)
+        factors.hp = update_hp(
+            factors.hp, factors.sp, factors.sf, xp, cache=cache
+        )
 
         # Su: attraction from words and posted/retweeted tweets.
-        attraction = _dot(xu, factors.sf) @ factors.hu.T + _dot(
+        attraction = cache.xu_sf(factors.sf) @ factors.hu.T + _dot(
             xr, factors.sp
         )
         numerator, denominator = self._regularized(
@@ -142,7 +148,9 @@ class UnifiedTriClustering:
         )
         factors.su = factors.su * safe_sqrt_ratio(numerator, denominator)
 
-        factors.hu = update_hu(factors.hu, factors.su, factors.sf, xu)
+        factors.hu = update_hu(
+            factors.hu, factors.su, factors.sf, xu, cache=cache
+        )
 
         # Sf: attraction from tweet and user usage.
         attraction = _dot(xp.T, factors.sp) @ factors.hp + _dot(

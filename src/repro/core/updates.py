@@ -26,6 +26,12 @@ updates in both styles.
 Sparse data matrices are consumed as ``scipy.sparse`` and only multiplied
 against ``k``-column dense factors; the projector ``S·Sᵀ·N`` is evaluated
 as ``S·(Sᵀ·N)`` so every update is ``O(nnz·k + rows·k²)``.
+
+Every rule accepts an optional :class:`~repro.core.sweepcache.SweepCache`;
+when provided, products whose inputs are unchanged since an earlier update
+in the same sweep (``Xp·Sf``, ``Xu·Sf``, the factor grams) are reused
+instead of recomputed.  The cached path evaluates the exact same
+expressions, so results are bit-identical to the uncached path.
 """
 
 from __future__ import annotations
@@ -35,6 +41,7 @@ from typing import Literal
 import numpy as np
 import scipy.sparse as sp
 
+from repro.core.sweepcache import SweepCache
 from repro.utils.matrices import nonneg_split, safe_sqrt_ratio
 
 #: Per-iteration bound on the multiplicative step, used by the
@@ -65,10 +72,18 @@ def update_hp(
     sp_factor: np.ndarray,
     sf: np.ndarray,
     xp: MatrixLike,
+    cache: SweepCache | None = None,
 ) -> np.ndarray:
     """Eq. (12): ``Hp ← Hp ∘ sqrt(SpᵀXpSf / SpᵀSpHpSfᵀSf)``."""
-    numerator = sp_factor.T @ _dot(xp, sf)
-    denominator = (sp_factor.T @ sp_factor) @ hp @ (sf.T @ sf)
+    xp_sf = cache.xp_sf(sf) if cache is not None else _dot(xp, sf)
+    sfT_sf = cache.gram("sf", sf) if cache is not None else sf.T @ sf
+    spT_sp = (
+        cache.gram("sp", sp_factor)
+        if cache is not None
+        else sp_factor.T @ sp_factor
+    )
+    numerator = sp_factor.T @ xp_sf
+    denominator = spT_sp @ hp @ sfT_sf
     return hp * safe_sqrt_ratio(numerator, denominator)
 
 
@@ -77,10 +92,14 @@ def update_hu(
     su: np.ndarray,
     sf: np.ndarray,
     xu: MatrixLike,
+    cache: SweepCache | None = None,
 ) -> np.ndarray:
     """Eq. (13): ``Hu ← Hu ∘ sqrt(SuᵀXuSf / SuᵀSuHuSfᵀSf)``."""
-    numerator = su.T @ _dot(xu, sf)
-    denominator = (su.T @ su) @ hu @ (sf.T @ sf)
+    xu_sf = cache.xu_sf(sf) if cache is not None else _dot(xu, sf)
+    sfT_sf = cache.gram("sf", sf) if cache is not None else sf.T @ sf
+    suT_su = cache.gram("su", su) if cache is not None else su.T @ su
+    numerator = su.T @ xu_sf
+    denominator = suT_su @ hu @ sfT_sf
     return hu * safe_sqrt_ratio(numerator, denominator)
 
 
@@ -97,6 +116,7 @@ def update_sp(
     xp: MatrixLike,
     xr: MatrixLike,
     style: UpdateStyle = "projector",
+    cache: SweepCache | None = None,
 ) -> np.ndarray:
     """Eq. (9) — tweet factor update.
 
@@ -104,7 +124,8 @@ def update_sp(
     class *j* through its words and its retweeters); the orthogonality
     projector ``Sp·Spᵀ·N`` is the repulsion.
     """
-    xp_sf_hpT = _dot(xp, sf) @ hp.T                    # n×k
+    xp_sf = cache.xp_sf(sf) if cache is not None else _dot(xp, sf)
+    xp_sf_hpT = xp_sf @ hp.T                           # n×k
     xrT_su = _dot(xr.T, su)                            # n×k
     attraction = xp_sf_hpT + xrT_su
 
@@ -112,9 +133,12 @@ def update_sp(
         denominator = _project(sp_factor, attraction)
         return sp_factor * safe_sqrt_ratio(attraction, denominator)
 
-    sfT_sf = sf.T @ sf
-    suT_su = su.T @ su
-    hp_gram = hp @ sfT_sf @ hp.T
+    suT_su = cache.gram("su", su) if cache is not None else su.T @ su
+    hp_gram = (
+        cache.hp_gram(hp, sf)
+        if cache is not None
+        else hp @ (sf.T @ sf) @ hp.T
+    )
     delta = sp_factor.T @ attraction - hp_gram - suT_su
     delta_plus, delta_minus = nonneg_split(delta)
     numerator = attraction + sp_factor @ delta_minus
@@ -140,6 +164,7 @@ def update_su(
     du: MatrixLike,
     beta: float,
     style: UpdateStyle = "projector",
+    cache: SweepCache | None = None,
 ) -> np.ndarray:
     """Eq. (11) — user factor update with graph regularization.
 
@@ -148,7 +173,8 @@ def update_su(
     repulsion is the projector on the factorization part plus the degree
     term ``β·DuSu`` of the Laplacian split.
     """
-    xu_sf_huT = _dot(xu, sf) @ hu.T                    # m×k
+    xu_sf = cache.xu_sf(sf) if cache is not None else _dot(xu, sf)
+    xu_sf_huT = xu_sf @ hu.T                           # m×k
     xr_sp = _dot(xr, sp_factor)                        # m×k
     gu_su = _dot(gu, su)
     du_su = _dot(du, su)
@@ -159,9 +185,16 @@ def update_su(
         denominator = _project(su, factor_attraction) + beta * du_su
         return su * safe_sqrt_ratio(numerator, denominator)
 
-    sfT_sf = sf.T @ sf
-    spT_sp = sp_factor.T @ sp_factor
-    hu_gram = hu @ sfT_sf @ hu.T
+    spT_sp = (
+        cache.gram("sp", sp_factor)
+        if cache is not None
+        else sp_factor.T @ sp_factor
+    )
+    hu_gram = (
+        cache.hu_gram(hu, sf)
+        if cache is not None
+        else hu @ (sf.T @ sf) @ hu.T
+    )
     delta = (
         su.T @ factor_attraction
         - hu_gram
@@ -192,6 +225,7 @@ def update_sf(
     sf_prior: np.ndarray | None,
     alpha: float,
     style: UpdateStyle = "projector",
+    cache: SweepCache | None = None,
 ) -> np.ndarray:
     """Eq. (7) offline / Eq. (23) online — feature factor update.
 
@@ -216,8 +250,14 @@ def update_sf(
         denominator = _project(sf, factor_attraction) + prior_denominator
         return sf * safe_sqrt_ratio(numerator, denominator)
 
-    hu_gram = hu.T @ (su.T @ su) @ hu
-    hp_gram = hp.T @ (sp_factor.T @ sp_factor) @ hp
+    suT_su = cache.gram("su", su) if cache is not None else su.T @ su
+    spT_sp = (
+        cache.gram("sp", sp_factor)
+        if cache is not None
+        else sp_factor.T @ sp_factor
+    )
+    hu_gram = hu.T @ suT_su @ hu
+    hp_gram = hp.T @ spT_sp @ hp
     prior_delta = (
         np.zeros((sf.shape[1], sf.shape[1]))
         if sf_prior is None or alpha == 0.0
@@ -253,6 +293,7 @@ def update_su_online(
     su_prior: np.ndarray | None,
     evolving_rows: np.ndarray | None,
     style: UpdateStyle = "projector",
+    cache: SweepCache | None = None,
 ) -> np.ndarray:
     """Eqs. (24)+(26) — online user update with row-wise temporal terms.
 
@@ -268,7 +309,8 @@ def update_su_online(
     evolving_rows:
         Row indices of evolving users within ``su``.
     """
-    xu_sf_huT = _dot(xu, sf) @ hu.T
+    xu_sf = cache.xu_sf(sf) if cache is not None else _dot(xu, sf)
+    xu_sf_huT = xu_sf @ hu.T
     xr_sp = _dot(xr, sp_factor)
     gu_su = _dot(gu, su)
     du_su = _dot(du, su)
@@ -289,9 +331,16 @@ def update_su_online(
             denominator[evolving_rows] += gamma * su[evolving_rows]
         return su * safe_sqrt_ratio(numerator, denominator)
 
-    sfT_sf = sf.T @ sf
-    spT_sp = sp_factor.T @ sp_factor
-    hu_gram = hu @ sfT_sf @ hu.T
+    spT_sp = (
+        cache.gram("sp", sp_factor)
+        if cache is not None
+        else sp_factor.T @ sp_factor
+    )
+    hu_gram = (
+        cache.hu_gram(hu, sf)
+        if cache is not None
+        else hu @ (sf.T @ sf) @ hu.T
+    )
     temporal_delta = np.zeros((su.shape[1], su.shape[1]))
     if has_temporal:
         su_evolving = su[evolving_rows]

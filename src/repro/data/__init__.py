@@ -10,7 +10,7 @@
 
 from repro.data.corpus import TweetCorpus
 from repro.data.io import load_corpus_jsonl, save_corpus_jsonl
-from repro.data.stream import Snapshot, SnapshotStream
+from repro.data.stream import Snapshot, SnapshotStream, iter_tweet_batches
 from repro.data.synthetic import (
     BallotDatasetConfig,
     BallotDatasetGenerator,
@@ -28,6 +28,7 @@ __all__ = [
     "Tweet",
     "TweetCorpus",
     "UserProfile",
+    "iter_tweet_batches",
     "load_corpus_jsonl",
     "prop30_config",
     "prop37_config",

@@ -195,6 +195,16 @@ class TweetCorpus:
         """All tweet texts in matrix-row order."""
         return [t.text for t in self.tweets]
 
+    def profiles_for(self, tweets: Iterable[Tweet]) -> list[UserProfile]:
+        """Profiles of the authors of ``tweets``, in user-id order.
+
+        The companion of streaming ingestion: feeding these alongside a
+        tweet delta keeps ground-truth labels attached to the engine's
+        per-snapshot corpora (otherwise unknown authors are synthesized
+        as unlabeled and user-level evaluation silently degrades).
+        """
+        return [self.users[uid] for uid in sorted({t.user_id for t in tweets})]
+
     # ------------------------------------------------------------------ #
     # Construction helpers
     # ------------------------------------------------------------------ #

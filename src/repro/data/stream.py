@@ -14,6 +14,7 @@ from collections.abc import Iterator
 from dataclasses import dataclass, field
 
 from repro.data.corpus import TweetCorpus
+from repro.data.tweet import Tweet
 
 
 @dataclass
@@ -96,3 +97,35 @@ class SnapshotStream:
     def snapshots(self) -> list[Snapshot]:
         """Materialize the stream as a list."""
         return list(self)
+
+
+def iter_tweet_batches(
+    corpus: TweetCorpus,
+    interval_days: int = 1,
+    drop_empty: bool = True,
+) -> Iterator[tuple[int, int, list[Tweet]]]:
+    """Yield ``(start_day, end_day, tweets)`` deltas for a streaming run.
+
+    The raw-delta counterpart of :class:`SnapshotStream`: instead of
+    materializing a sub-:class:`TweetCorpus` per interval (each
+    ``window`` call scans the whole history), the corpus is bucketed by
+    day **once** and each interval yields just its list of tweets — the
+    shape :class:`~repro.engine.StreamingSentimentEngine.ingest`
+    consumes.  Interval boundaries match ``SnapshotStream`` with the
+    same ``interval_days``/``drop_empty``.
+    """
+    if interval_days < 1:
+        raise ValueError(f"interval_days must be >= 1, got {interval_days}")
+    first_day, last_day = corpus.day_range
+    if last_day < first_day:
+        return
+    by_day = corpus.tweets_by_day()
+    start = first_day
+    while start <= last_day:
+        end = min(start + interval_days - 1, last_day)
+        batch: list[Tweet] = []
+        for day in range(start, end + 1):
+            batch.extend(by_day.get(day, ()))
+        if batch or not drop_empty:
+            yield start, end, batch
+        start = end + 1

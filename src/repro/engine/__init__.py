@@ -1,0 +1,17 @@
+"""Serving-oriented streaming pipeline layer.
+
+- :mod:`repro.engine.streaming` — :class:`StreamingSentimentEngine`, the
+  ingestion → incremental graph construction → online solver → fold-in
+  serving pipeline behind one API.
+- :mod:`repro.engine.cache` — :class:`FoldInCache`, the LRU absorbing
+  repeated classify queries (retweets, slogans).
+"""
+
+from repro.engine.cache import FoldInCache
+from repro.engine.streaming import SnapshotReport, StreamingSentimentEngine
+
+__all__ = [
+    "FoldInCache",
+    "SnapshotReport",
+    "StreamingSentimentEngine",
+]

@@ -1,0 +1,84 @@
+"""LRU cache of fold-in classification results.
+
+Social-media traffic is heavy-tailed: retweets, quoted campaign slogans
+and bot floods mean the *same* text arrives at ``classify`` over and
+over.  Fold-in costs ``O(nnz·k)`` sparse work plus an iterative
+membership solve per row, so memoizing the per-text result turns the
+common case into a dictionary hit.
+
+The cache maps a text key to the membership row computed for it by the
+current model.  It must be cleared whenever the model changes (the
+engine does this on every ``advance_snapshot``) — entries are only
+valid for the factor set they were computed against.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+
+class FoldInCache:
+    """Bounded LRU mapping ``text -> membership row``.
+
+    Parameters
+    ----------
+    maxsize:
+        Entry bound; the least-recently-used entry is evicted when full.
+        ``0`` disables caching entirely (every lookup misses).
+    """
+
+    def __init__(self, maxsize: int = 4096) -> None:
+        if maxsize < 0:
+            raise ValueError(f"maxsize must be >= 0, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries: OrderedDict[str, np.ndarray] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    def get(self, key: str) -> np.ndarray | None:
+        """Cached membership row for ``key``, or ``None``; refreshes LRU."""
+        row = self._entries.get(key)
+        if row is None:
+            self._misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self._hits += 1
+        return row
+
+    def put(self, key: str, row: np.ndarray) -> None:
+        """Store ``row`` under ``key``, evicting the LRU entry when full."""
+        if self.maxsize == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = row
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry (the model the rows were computed for changed)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    @property
+    def hits(self) -> int:
+        """Lookups answered from the cache."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Lookups that required a fold-in computation."""
+        return self._misses
+
+    @property
+    def hit_rate(self) -> float:
+        """``hits / (hits + misses)``; 0.0 before any lookup."""
+        total = self._hits + self._misses
+        return self._hits / total if total else 0.0

@@ -1,0 +1,373 @@
+"""The serving-oriented streaming pipeline.
+
+:class:`StreamingSentimentEngine` wires the layers below it into one
+ingestion-to-inference API whose per-step cost scales with the delta,
+not the history:
+
+- **ingest(tweets)** buffers raw tweets into the
+  :class:`~repro.graph.incremental.IncrementalTripartiteBuilder`, which
+  tokenizes each text exactly once and grows the shared vocabulary
+  append-only;
+- **advance_snapshot()** assembles the buffered delta into a
+  :class:`~repro.graph.tripartite.TripartiteGraph` (single COO→CSR
+  conversion per matrix) and runs one
+  :class:`~repro.core.online.OnlineTriClustering` step (Algorithm 2,
+  warm-started from decayed history, shared-product
+  :class:`~repro.core.sweepcache.SweepCache` inside);
+- **classify(texts)** scores arbitrary texts between snapshots via
+  micro-batched fold-in against the latest factors, with an LRU cache
+  (:class:`~repro.engine.cache.FoldInCache`) absorbing repeated queries
+  — retweets and slogans dominate real traffic.
+
+Cluster columns are mapped to sentiment classes with the lexicon
+alignment of :mod:`repro.core.labeling` after every snapshot, so
+``classify`` returns actual :class:`~repro.data.tweet.Sentiment` ids,
+not anonymous cluster ids.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.inference import infer_tweet_memberships
+from repro.core.labeling import apply_alignment, lexicon_column_alignment
+from repro.core.online import OnlineStepResult, OnlineTriClustering
+from repro.core.state import FactorSet
+from repro.data.tweet import Tweet, UserProfile
+from repro.engine.cache import FoldInCache
+from repro.graph.incremental import IncrementalTripartiteBuilder
+from repro.graph.tripartite import TripartiteGraph
+from repro.text.lexicon import SentimentLexicon
+from repro.text.vectorizer import CountVectorizer
+from repro.utils.logging import get_logger
+
+logger = get_logger("engine.streaming")
+
+
+@dataclass
+class SnapshotReport:
+    """What one ``advance_snapshot`` call did, for telemetry/benchmarks."""
+
+    index: int
+    num_tweets: int
+    num_users: int
+    num_features: int
+    iterations: int
+    converged: bool
+    build_seconds: float
+    solve_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.build_seconds + self.solve_seconds
+
+
+class StreamingSentimentEngine:
+    """End-to-end streaming sentiment service over Algorithm 2.
+
+    Parameters
+    ----------
+    lexicon:
+        Seed sentiment lexicon.  Enables the ``Sf0`` prior per snapshot
+        and the cluster-column → sentiment-class alignment; without it,
+        ``classify`` returns raw cluster ids.
+    vectorizer:
+        Shared vectorizer whose vocabulary grows across snapshots
+        (default: a fresh :class:`~repro.text.vectorizer.TfidfVectorizer`
+        in incremental mode).
+    solver:
+        A pre-configured :class:`~repro.core.online.OnlineTriClustering`;
+        when ``None`` one is built from ``num_classes``/``seed`` and
+        ``solver_kwargs``.
+    classify_iterations / classify_batch_size:
+        Fold-in iterations per query row, and the micro-batch width used
+        to chunk large ``classify`` calls (keeps peak memory flat under
+        heavy traffic).
+    cache_size:
+        LRU entries for repeated-query fold-in results (0 disables).
+    cross_snapshot_edges:
+        Forwarded to the incremental builder: let retweets of earlier
+        snapshots' tweets contribute user-user edges.
+    """
+
+    def __init__(
+        self,
+        lexicon: SentimentLexicon | None = None,
+        num_classes: int = 3,
+        vectorizer: CountVectorizer | None = None,
+        solver: OnlineTriClustering | None = None,
+        classify_iterations: int = 25,
+        classify_batch_size: int = 256,
+        cache_size: int = 4096,
+        cross_snapshot_edges: bool = False,
+        seed: int | None = 0,
+        **solver_kwargs: object,
+    ) -> None:
+        if classify_batch_size < 1:
+            raise ValueError(
+                f"classify_batch_size must be >= 1, got {classify_batch_size}"
+            )
+        if classify_iterations < 1:
+            raise ValueError(
+                f"classify_iterations must be >= 1, got {classify_iterations}"
+            )
+        if solver is not None and solver_kwargs:
+            raise ValueError(
+                "pass either a solver instance or solver kwargs, not both"
+            )
+        self.builder = IncrementalTripartiteBuilder(
+            vectorizer=vectorizer,
+            lexicon=lexicon,
+            num_classes=num_classes,
+            cross_snapshot_edges=cross_snapshot_edges,
+        )
+        self.solver = solver or OnlineTriClustering(
+            num_classes=num_classes, seed=seed, **solver_kwargs
+        )
+        if self.solver.num_classes != num_classes:
+            raise ValueError(
+                f"solver has num_classes={self.solver.num_classes} but the "
+                f"engine was configured with num_classes={num_classes}; "
+                "pass matching values"
+            )
+        self.cache = FoldInCache(maxsize=cache_size)
+        self.classify_iterations = classify_iterations
+        self.classify_batch_size = classify_batch_size
+        self._classify_seed = 0 if seed is None else int(seed)
+        self._factors: FactorSet | None = None
+        self._alignment: np.ndarray | None = None
+        self._tweet_gram: np.ndarray | None = None
+        self._last_step: OnlineStepResult | None = None
+        self._last_graph: TripartiteGraph | None = None
+        self._reports: list[SnapshotReport] = []
+
+    # ------------------------------------------------------------------ #
+    # Ingestion → model
+    # ------------------------------------------------------------------ #
+
+    def ingest(
+        self,
+        tweets: Iterable[Tweet],
+        users: Iterable[UserProfile] | None = None,
+    ) -> int:
+        """Buffer tweets for the next snapshot; returns the pending count.
+
+        If ingestion grows the vocabulary, the classify cache is dropped:
+        classify-time transforms of *known* words re-weight against the
+        refreshed idf, so rows cached before the growth would disagree
+        with rows computed after it.
+        """
+        width_before = self.builder.num_features
+        pending = self.builder.ingest(tweets, users=users)
+        if self.builder.num_features != width_before:
+            self.cache.clear()
+        return pending
+
+    def advance_snapshot(self, name: str | None = None) -> SnapshotReport:
+        """Fold the buffered delta into the model (one Algorithm 2 step).
+
+        Raises :class:`ValueError` when nothing was ingested since the
+        previous snapshot.  Invalidates the classify cache — cached
+        fold-in rows belong to the superseded factors.
+        """
+        started = time.perf_counter()
+        graph = self.builder.build_snapshot(name=name)
+        built = time.perf_counter()
+        step = self.solver.partial_fit(graph)
+        solved = time.perf_counter()
+
+        self._factors = step.factors
+        self._last_step = step
+        self._last_graph = graph
+        previous_alignment = self._alignment
+        if graph.sf0 is not None:
+            self._alignment = lexicon_column_alignment(
+                step.factors.sf, graph.sf0
+            )
+        else:
+            self._alignment = np.arange(step.factors.num_classes)
+        if previous_alignment is not None and not np.array_equal(
+            previous_alignment, self._alignment
+        ):
+            # Warm starts keep cluster columns sticky across snapshots;
+            # a permutation flip means the solver's carried user state
+            # (blended in raw cluster space) straddles two semantics.
+            logger.warning(
+                "cluster-to-class alignment changed at snapshot %d "
+                "(%s -> %s); user_sentiments() for users absent from "
+                "recent snapshots may be relabeled inconsistently",
+                step.snapshot_index,
+                previous_alignment.tolist(),
+                self._alignment.tolist(),
+            )
+        # The serving gram Hp·(SfᵀSf)·Hpᵀ is fixed until the next
+        # snapshot; computing it once here keeps the O(l·k²) reduction
+        # out of every classify micro-batch.
+        self._tweet_gram = step.factors.hp @ (
+            step.factors.sf.T @ step.factors.sf
+        ) @ step.factors.hp.T
+        self.cache.clear()
+
+        report = SnapshotReport(
+            index=step.snapshot_index,
+            num_tweets=graph.num_tweets,
+            num_users=graph.num_users,
+            num_features=graph.num_features,
+            iterations=step.iterations,
+            converged=step.converged,
+            build_seconds=built - started,
+            solve_seconds=solved - built,
+        )
+        self._reports.append(report)
+        logger.debug(
+            "snapshot %d: %d tweets / %d users / %d features, "
+            "build %.3fs solve %.3fs",
+            report.index, report.num_tweets, report.num_users,
+            report.num_features, report.build_seconds, report.solve_seconds,
+        )
+        return report
+
+    # ------------------------------------------------------------------ #
+    # Serving
+    # ------------------------------------------------------------------ #
+
+    def classify_memberships(self, texts: Sequence[str]) -> np.ndarray:
+        """Soft class memberships for ``texts``, shape ``(len(texts), k)``.
+
+        Columns are in sentiment-class order (pos/neg/neu) when a lexicon
+        is configured.  A text with no in-vocabulary words yields an
+        all-zero row — "no evidence", distinguishable from a confident
+        neutral.  Repeated texts are answered from the LRU cache;
+        uncached ones are vectorized and folded in per micro-batch.
+        """
+        factors = self._require_model()
+        assert self._alignment is not None
+        results: dict[str, np.ndarray] = {}
+        uncached: list[str] = []
+        for text in dict.fromkeys(texts):  # unique, first-seen order
+            row = self.cache.get(text)
+            if row is not None:
+                results[text] = row
+            else:
+                uncached.append(text)
+
+        batch = self.classify_batch_size
+        for offset in range(0, len(uncached), batch):
+            chunk = uncached[offset : offset + batch]
+            matrix = self.builder.vectorizer.transform(chunk)
+            if matrix.shape[1] > factors.num_features:
+                # Vocabulary grew after the last snapshot (ingest without
+                # advance); append-only growth makes the learned factors a
+                # row-aligned prefix, so the extra columns carry no model
+                # weight and are dropped.
+                matrix = matrix[:, : factors.num_features].tocsr()
+            memberships = infer_tweet_memberships(
+                matrix,
+                factors,
+                iterations=self.classify_iterations,
+                seed=self._classify_seed,
+                gram=self._tweet_gram,
+            )
+            aligned = np.empty_like(memberships)
+            aligned[:, self._alignment] = memberships
+            for text, row in zip(chunk, aligned):
+                self.cache.put(text, row)
+                results[text] = row
+
+        if not texts:
+            return np.empty((0, factors.num_classes))
+        return np.vstack([results[text] for text in texts])
+
+    def classify(self, texts: Sequence[str]) -> np.ndarray:
+        """Hard sentiment id per text (``Sentiment`` order with a lexicon).
+
+        Texts with no in-vocabulary evidence get ``-1``.
+        """
+        memberships = self.classify_memberships(texts)
+        labels = np.argmax(memberships, axis=1).astype(np.int64)
+        labels[~memberships.any(axis=1)] = -1
+        return labels
+
+    def user_sentiments(self) -> dict[int, int]:
+        """Latest aligned sentiment class per user ever seen.
+
+        Relabels the solver's carried per-user state with the *latest*
+        snapshot's cluster-to-class alignment.  Warm starts keep that
+        alignment stable in practice; if it ever flips, the engine logs
+        a warning at ``advance_snapshot`` time (rows carried from
+        earlier snapshots would straddle the old and new semantics).
+        """
+        self._require_model()
+        assert self._alignment is not None
+        raw = self.solver.user_sentiment_labels()
+        if not raw:
+            return {}
+        uids = list(raw)
+        aligned = apply_alignment(
+            np.array([raw[uid] for uid in uids]), self._alignment
+        )
+        return {uid: int(label) for uid, label in zip(uids, aligned)}
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def _require_model(self) -> FactorSet:
+        if self._factors is None:
+            raise RuntimeError(
+                "no snapshot has been processed yet; call ingest() then "
+                "advance_snapshot() before classify()"
+            )
+        return self._factors
+
+    @property
+    def is_ready(self) -> bool:
+        """Whether at least one snapshot has been folded into the model."""
+        return self._factors is not None
+
+    @property
+    def vectorizer(self) -> CountVectorizer:
+        return self.builder.vectorizer
+
+    @property
+    def factors(self) -> FactorSet | None:
+        """The latest fitted factor set (None before the first snapshot)."""
+        return self._factors
+
+    @property
+    def alignment(self) -> np.ndarray | None:
+        """``perm[cluster] = sentiment class`` for the latest factors."""
+        return None if self._alignment is None else self._alignment.copy()
+
+    @property
+    def last_step(self) -> OnlineStepResult | None:
+        """The latest raw solver step (cluster ids, per-row bookkeeping)."""
+        return self._last_step
+
+    @property
+    def last_graph(self) -> TripartiteGraph | None:
+        """The latest snapshot graph (for evaluation/debugging)."""
+        return self._last_graph
+
+    @property
+    def reports(self) -> list[SnapshotReport]:
+        """Per-snapshot telemetry, in processing order (a copy)."""
+        return list(self._reports)
+
+    @property
+    def pending(self) -> int:
+        """Tweets buffered since the last snapshot."""
+        return self.builder.pending
+
+    @property
+    def snapshots_processed(self) -> int:
+        return self.builder.snapshots_built
+
+    @property
+    def num_features(self) -> int:
+        """Current (grown) vocabulary size."""
+        return self.builder.num_features

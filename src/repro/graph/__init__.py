@@ -9,6 +9,8 @@ the tri-clustering framework factorizes:
   degree matrix ``Du`` and Laplacian ``Lu`` (Eq. 6).
 - :mod:`repro.graph.tripartite` — the :class:`TripartiteGraph` bundle tying
   a corpus, a vocabulary and all matrices together.
+- :mod:`repro.graph.incremental` — per-snapshot delta assembly for the
+  streaming pipeline (tokenize once, single COO→CSR conversion).
 """
 
 from repro.graph.bipartite import (
@@ -16,10 +18,12 @@ from repro.graph.bipartite import (
     build_user_feature_matrix,
     build_user_tweet_matrix,
 )
+from repro.graph.incremental import IncrementalTripartiteBuilder
 from repro.graph.tripartite import TripartiteGraph, build_tripartite_graph
 from repro.graph.usergraph import UserGraph, build_user_graph
 
 __all__ = [
+    "IncrementalTripartiteBuilder",
     "TripartiteGraph",
     "UserGraph",
     "build_tripartite_graph",

@@ -8,6 +8,7 @@ sentiment disagreement between retweet-connected users.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass
 
 import networkx as nx
@@ -56,6 +57,29 @@ class UserGraph:
         return [set(component) for component in nx.connected_components(graph)]
 
 
+def assemble_adjacency(
+    pairs: Iterable[tuple[int, int]], size: int
+) -> sp.csr_matrix:
+    """Symmetric, zero-diagonal weighted adjacency from interaction pairs.
+
+    Each ``(i, j)`` pair contributes weight 1 in both directions; weights
+    accumulate over repeated pairs.  Shared by the offline corpus builder
+    and the incremental streaming builder so the ``Gu`` invariants
+    (symmetry, zero diagonal, count weights) live in one place.
+    """
+    rows: list[int] = []
+    cols: list[int] = []
+    for i, j in pairs:
+        rows.extend((i, j))
+        cols.extend((j, i))
+    data = np.ones(len(rows), dtype=np.float64)
+    adjacency = sp.csr_matrix((data, (rows, cols)), shape=(size, size))
+    adjacency.sum_duplicates()
+    adjacency.setdiag(0.0)
+    adjacency.eliminate_zeros()
+    return adjacency
+
+
 def build_user_graph(corpus: TweetCorpus) -> UserGraph:
     """Build ``Gu`` from a corpus' retweet relations.
 
@@ -65,20 +89,12 @@ def build_user_graph(corpus: TweetCorpus) -> UserGraph:
     (they carry no cross-user sentiment signal).
     """
     author_of = {t.tweet_id: t.user_id for t in corpus.tweets}
-    rows: list[int] = []
-    cols: list[int] = []
+    pairs: list[tuple[int, int]] = []
     for retweeter, source_tweet in corpus.retweet_edges():
         author = author_of.get(source_tweet)
         if author is None or author == retweeter:
             continue
-        i = corpus.user_position(retweeter)
-        j = corpus.user_position(author)
-        rows.extend((i, j))
-        cols.extend((j, i))
-    size = corpus.num_users
-    data = np.ones(len(rows), dtype=np.float64)
-    adjacency = sp.csr_matrix((data, (rows, cols)), shape=(size, size))
-    adjacency.sum_duplicates()
-    adjacency.setdiag(0.0)
-    adjacency.eliminate_zeros()
-    return UserGraph(adjacency=adjacency)
+        pairs.append(
+            (corpus.user_position(retweeter), corpus.user_position(author))
+        )
+    return UserGraph(adjacency=assemble_adjacency(pairs, corpus.num_users))

@@ -13,7 +13,7 @@ tri-clustering framework consumes:
   prior matrix of Eq. (5).
 """
 
-from repro.text.lexicon import SentimentLexicon, build_sf0
+from repro.text.lexicon import SentimentLexicon, build_sf0, build_sf0_rows
 from repro.text.stopwords import ENGLISH_STOPWORDS, is_stopword
 from repro.text.tokenizer import TweetTokenizer, tokenize
 from repro.text.vectorizer import CountVectorizer, TfidfVectorizer
@@ -27,6 +27,7 @@ __all__ = [
     "TweetTokenizer",
     "Vocabulary",
     "build_sf0",
+    "build_sf0_rows",
     "is_stopword",
     "tokenize",
 ]

@@ -9,7 +9,7 @@ per-word strength), and :func:`build_sf0` projects it onto a vocabulary.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Mapping
+from collections.abc import Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -101,6 +101,41 @@ class SentimentLexicon:
         return SentimentLexicon(positive=positive, negative=negative)
 
 
+def build_sf0_rows(
+    tokens: Sequence[str],
+    lexicon: SentimentLexicon,
+    num_classes: int = 3,
+    neutral_mass: float = 0.34,
+) -> np.ndarray:
+    """``Sf0`` rows for an explicit token sequence, in the given order.
+
+    The row formula of :func:`build_sf0`, exposed separately so the
+    incremental graph builder can compute rows only for tokens *added*
+    since the previous snapshot (a token's prior row depends on nothing
+    but the token itself, so earlier rows never change).
+    """
+    if num_classes not in (2, 3):
+        raise ValueError(f"num_classes must be 2 or 3, got {num_classes}")
+    if not (0.0 <= neutral_mass < 1.0):
+        raise ValueError(f"neutral_mass must be in [0, 1), got {neutral_mass}")
+
+    sf0 = np.full(
+        (len(tokens), num_classes), 1.0 / num_classes, dtype=np.float64
+    )
+    spread = neutral_mass / max(num_classes - 1, 1)
+    for feature_id, token in enumerate(tokens):
+        signed = lexicon.polarity(token)
+        if signed == 0.0:
+            continue
+        strength = abs(signed)
+        target = POSITIVE_CLASS if signed > 0 else NEGATIVE_CLASS
+        row = np.full(num_classes, spread, dtype=np.float64)
+        row[target] = 1.0 - neutral_mass
+        uniform = np.full(num_classes, 1.0 / num_classes)
+        sf0[feature_id] = strength * row + (1.0 - strength) * uniform
+    return sf0
+
+
 def build_sf0(
     vocabulary: Vocabulary,
     lexicon: SentimentLexicon,
@@ -122,22 +157,7 @@ def build_sf0(
         Residual probability spread over the non-matching classes for
         in-lexicon words, modelling lexicon noise.
     """
-    if num_classes not in (2, 3):
-        raise ValueError(f"num_classes must be 2 or 3, got {num_classes}")
-    if not (0.0 <= neutral_mass < 1.0):
-        raise ValueError(f"neutral_mass must be in [0, 1), got {neutral_mass}")
-
-    size = len(vocabulary)
-    sf0 = np.full((size, num_classes), 1.0 / num_classes, dtype=np.float64)
-    spread = neutral_mass / max(num_classes - 1, 1)
-    for feature_id, token in enumerate(vocabulary.tokens):
-        signed = lexicon.polarity(token)
-        if signed == 0.0:
-            continue
-        strength = abs(signed)
-        target = POSITIVE_CLASS if signed > 0 else NEGATIVE_CLASS
-        row = np.full(num_classes, spread, dtype=np.float64)
-        row[target] = 1.0 - neutral_mass
-        uniform = np.full(num_classes, 1.0 / num_classes)
-        sf0[feature_id] = strength * row + (1.0 - strength) * uniform
-    return sf0
+    return build_sf0_rows(
+        vocabulary.tokens, lexicon, num_classes=num_classes,
+        neutral_mass=neutral_mass,
+    )

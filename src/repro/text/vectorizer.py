@@ -81,6 +81,29 @@ class CountVectorizer:
         self._fitted = True
         return self
 
+    def partial_fit(self, documents: Iterable[str]) -> "CountVectorizer":
+        """Grow the vocabulary incrementally with ``documents``.
+
+        The streaming counterpart of ``fit``: new tokens are appended to
+        the existing vocabulary (which is created on first call and
+        thawed if frozen) and frequency statistics accumulate across
+        calls.  Growth is strictly append-only — ids assigned earlier
+        never change — so matrices vectorized before a ``partial_fit``
+        stay column-aligned prefixes of matrices vectorized after it.
+
+        Pruning options (``min_document_frequency`` etc.) are **not**
+        applied here: dropping a token retroactively would reassign ids
+        and break cross-snapshot alignment.
+        """
+        if self.vocabulary is None:
+            self.vocabulary = Vocabulary()
+        if self.vocabulary.frozen:
+            self.vocabulary.thaw()
+        for document in documents:
+            self.vocabulary.add_document(self.analyzer(document))
+        self._fitted = True
+        return self
+
     def transform(self, documents: Sequence[str]) -> sp.csr_matrix:
         """Vectorize ``documents`` into an ``(n_docs, n_features)`` matrix."""
         if not self._fitted or self.vocabulary is None:
@@ -106,6 +129,20 @@ class CountVectorizer:
             dtype=np.float64,
         )
         return matrix
+
+    def transform_counts(self, counts: sp.csr_matrix) -> sp.csr_matrix:
+        """Apply this vectorizer's weighting to a prebuilt count matrix.
+
+        The incremental graph builders assemble raw count matrices from
+        token ids directly (tokenizing each document exactly once, at
+        ingest); this hook applies the same weighting ``transform`` would
+        have applied, without re-tokenizing.
+        """
+        if self.binary:
+            indicator = counts.copy()
+            indicator.data = np.minimum(indicator.data, 1.0)
+            return indicator
+        return counts
 
     def fit_transform(self, documents: Sequence[str]) -> sp.csr_matrix:
         """``fit`` then ``transform`` on the same documents."""
@@ -156,22 +193,45 @@ class TfidfVectorizer(CountVectorizer):
         self._idf = np.log((1.0 + num_docs) / (1.0 + df)) + 1.0
         return self
 
+    def partial_fit(self, documents: Iterable[str]) -> "TfidfVectorizer":
+        """Grow the vocabulary incrementally and refresh the idf weights."""
+        super().partial_fit(documents)
+        self.refresh_idf()
+        return self
+
+    def refresh_idf(self) -> np.ndarray:
+        """Recompute idf from the vocabulary's accumulated statistics.
+
+        Needed after the vocabulary grew (``partial_fit`` calls this
+        automatically; callers mutating the vocabulary directly — e.g.
+        the incremental graph builder — invoke it before weighting).
+        """
+        if self.vocabulary is None:
+            raise RuntimeError("vectorizer has no vocabulary to refresh from")
+        num_docs = max(self.vocabulary.num_documents, 1)
+        df = np.maximum(self.vocabulary.document_frequency_array(), 1.0)
+        self._idf = np.log((1.0 + num_docs) / (1.0 + df)) + 1.0
+        return self._idf
+
     def transform(self, documents: Sequence[str]) -> sp.csr_matrix:
-        counts = super().transform(documents)
-        if self._idf is None:
-            # Vocabulary was injected without a fit pass: fall back to
-            # document frequencies accumulated in the vocabulary itself.
-            assert self.vocabulary is not None
-            num_docs = max(self.vocabulary.num_documents, 1)
-            df = np.array(
-                [
-                    max(self.vocabulary.document_frequency(token), 1)
-                    for token in self.vocabulary.tokens
-                ],
-                dtype=np.float64,
-            )
-            self._idf = np.log((1.0 + num_docs) / (1.0 + df)) + 1.0
+        counts = CountVectorizer.transform(self, documents)
+        return self.transform_counts(counts)
+
+    def transform_counts(self, counts: sp.csr_matrix) -> sp.csr_matrix:
+        """Apply tf-idf weighting + L2 normalization to a count matrix."""
+        if self._idf is None or self._idf.shape[0] != counts.shape[1]:
+            # Either the vocabulary was injected without a fit pass, or it
+            # grew (append-only) since the last idf refresh; recompute from
+            # the document frequencies accumulated in the vocabulary.
+            self.refresh_idf()
+            if self._idf.shape[0] != counts.shape[1]:
+                raise ValueError(
+                    f"count matrix has {counts.shape[1]} columns but the "
+                    f"vocabulary has {self._idf.shape[0]} tokens"
+                )
         tf = counts.copy().astype(np.float64)
+        if self.binary:
+            tf.data = np.minimum(tf.data, 1.0)
         if self.sublinear_tf:
             tf.data = 1.0 + np.log(tf.data)
         weighted = tf.multiply(sp.csr_matrix(self._idf)).tocsr()

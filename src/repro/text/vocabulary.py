@@ -10,6 +10,8 @@ from __future__ import annotations
 from collections import Counter
 from collections.abc import Iterable, Iterator
 
+import numpy as np
+
 
 class Vocabulary:
     """Mutable token <-> feature-id mapping with frequency statistics."""
@@ -64,6 +66,15 @@ class Vocabulary:
         """Stop admitting new tokens (used for online snapshots)."""
         self._frozen = True
 
+    def thaw(self) -> None:
+        """Re-admit new tokens (the incremental/streaming mode).
+
+        Existing feature ids are never reassigned — growth is strictly
+        append-only, so matrices built against the old vocabulary remain
+        column-aligned prefixes of matrices built after further growth.
+        """
+        self._frozen = False
+
     @property
     def frozen(self) -> bool:
         return self._frozen
@@ -112,6 +123,21 @@ class Vocabulary:
     def document_frequency(self, token: str) -> int:
         """Number of documents containing ``token``."""
         return self._document_frequency[token]
+
+    def document_frequency_array(self) -> np.ndarray:
+        """Per-feature document frequencies in id order.
+
+        The vectorized input to idf computation: one array build instead
+        of a per-token lookup loop, which matters on the streaming path
+        where the idf is refreshed every snapshot over a growing
+        vocabulary.
+        """
+        df = self._document_frequency
+        return np.fromiter(
+            (df[token] for token in self._id_to_token),
+            dtype=np.float64,
+            count=len(self._id_to_token),
+        )
 
     def most_common(self, count: int) -> list[tuple[str, int]]:
         """The ``count`` highest term-frequency tokens."""

@@ -2,6 +2,7 @@
 
 import numpy as np
 import pytest
+import scipy.sparse as sp
 
 from repro.core.inference import (
     infer_tweet_memberships,
@@ -108,6 +109,13 @@ class TestUserFoldIn:
                 xr_new=np.ones((fresh.num_users + 1, model.num_tweets)),
             )
 
+    def test_all_zero_user_row(self, model):
+        """A user with no feature evidence folds to an all-zero row."""
+        memberships = infer_user_memberships(
+            np.zeros((1, model.num_features)), model
+        )
+        np.testing.assert_array_equal(memberships, np.zeros((1, 3)))
+
     def test_retweet_signal_incorporated(self, model, graph):
         """A user whose only signal is retweeting cluster-0 tweets should
         land in cluster 0."""
@@ -118,3 +126,69 @@ class TestUserFoldIn:
         xu_new = np.zeros((1, model.num_features))
         prediction = infer_user_sentiments(xu_new, model, xr_new=xr_new)
         assert prediction[0] == target
+
+
+class TestFoldInEdgeCases:
+    """Serving-path edge cases: empty evidence, tiny batches, determinism."""
+
+    def test_all_zero_tweet_row_yields_zero_membership(self, model):
+        """A tweet with no in-vocabulary words has zero attraction; the
+        multiplicative fold-in collapses its row to exact zeros instead
+        of emitting an arbitrary confident class."""
+        xp = sp.csr_matrix((3, model.num_features))
+        memberships = infer_tweet_memberships(xp, model, seed=5)
+        np.testing.assert_array_equal(memberships, np.zeros((3, 3)))
+
+    def test_zero_rows_do_not_perturb_nonzero_rows(self, model, fresh_tweets):
+        """Rows are coupled through a k×k aggregate; zero-attraction rows
+        contribute nothing to it, so real rows keep valid memberships."""
+        _, xp = fresh_tweets
+        evidenced = np.flatnonzero(np.diff(xp.indptr) > 0)[:4]
+        mixed = sp.vstack(
+            [xp[evidenced], sp.csr_matrix((2, model.num_features))]
+        ).tocsr()
+        memberships = infer_tweet_memberships(mixed, model, seed=5)
+        np.testing.assert_array_equal(memberships[4:], np.zeros((2, 3)))
+        sums = memberships[:4].sum(axis=1)
+        np.testing.assert_allclose(sums, np.ones(4))
+
+    def test_single_tweet_batch(self, model, fresh_tweets):
+        _, xp = fresh_tweets
+        memberships = infer_tweet_memberships(xp[:1], model)
+        assert memberships.shape == (1, 3)
+        assert np.all(np.isfinite(memberships))
+        assert np.isclose(memberships.sum(), 1.0)
+        label = infer_tweet_sentiments(xp[:1], model)
+        assert label.shape == (1,)
+        assert 0 <= label[0] <= 2
+
+    def test_single_user_batch(self, model, fresh_tweets, shared_vectorizer):
+        fresh, _ = fresh_tweets
+        fresh_graph = build_tripartite_graph(fresh, vectorizer=shared_vectorizer)
+        memberships = infer_user_memberships(fresh_graph.xu[:1], model)
+        assert memberships.shape == (1, 3)
+        labels = infer_user_sentiments(fresh_graph.xu[:1], model)
+        assert labels.shape == (1,)
+
+    def test_memberships_deterministic_under_fixed_seed(
+        self, model, fresh_tweets
+    ):
+        _, xp = fresh_tweets
+        a = infer_tweet_memberships(xp[:16], model, seed=42)
+        b = infer_tweet_memberships(xp[:16], model, seed=42)
+        np.testing.assert_array_equal(a, b)
+        c = infer_user_memberships(xp[:16], model, seed=42)
+        d = infer_user_memberships(xp[:16], model, seed=42)
+        np.testing.assert_array_equal(c, d)
+
+    def test_seed_never_affects_results(self, model, fresh_tweets):
+        """The NNLS fold-in is deterministic: the (API-stability) seed
+        parameter has no effect, whatever form it takes."""
+        _, xp = fresh_tweets
+        a = infer_tweet_memberships(xp[:8], model, seed=9)
+        b = infer_tweet_memberships(xp[:8], model, seed=1234)
+        c = infer_tweet_memberships(
+            xp[:8], model, seed=np.random.default_rng(5)
+        )
+        np.testing.assert_array_equal(a, b)
+        np.testing.assert_array_equal(a, c)

@@ -110,12 +110,27 @@ class TestTemporalState:
         solver = OnlineTriClustering()
         assert solver.feature_prior(10) is None
 
-    def test_feature_dimension_change_rejected(self, corpus, shared_vectorizer, lexicon):
+    def test_feature_dimension_shrink_rejected(self, corpus, shared_vectorizer, lexicon):
         solver = OnlineTriClustering(max_iterations=5, seed=1)
         graphs = list(stream_graphs(corpus, shared_vectorizer, lexicon, 30))
         solver.partial_fit(graphs[0][1])
         with pytest.raises(ValueError, match="shared vocabulary"):
-            solver.feature_prior(graphs[0][1].num_features + 1)
+            solver.feature_prior(graphs[0][1].num_features - 1)
+
+    def test_feature_dimension_growth_zero_padded(
+        self, corpus, shared_vectorizer, lexicon
+    ):
+        """Append-only vocabulary growth: new words get a zero prior row
+        while rows for known words keep their decayed history."""
+        solver = OnlineTriClustering(max_iterations=5, seed=1)
+        graphs = list(stream_graphs(corpus, shared_vectorizer, lexicon, 30))
+        solver.partial_fit(graphs[0][1])
+        old_width = graphs[0][1].num_features
+        unpadded = solver.feature_prior(old_width)
+        grown = solver.feature_prior(old_width + 3)
+        assert grown.shape == (old_width + 3, 3)
+        np.testing.assert_allclose(grown[:old_width], unpadded)
+        np.testing.assert_array_equal(grown[old_width:], np.zeros((3, 3)))
 
     def test_user_prior_reflects_history(self, run):
         solver, steps = run
@@ -173,3 +188,34 @@ class TestDeterminism:
                 solver.partial_fit(graph)
             outputs.append(solver.user_sentiment_labels())
         assert outputs[0] == outputs[1]
+
+
+class TestVocabularyGuard:
+    def test_growth_from_foreign_vocabulary_rejected(
+        self, corpus, shared_vectorizer, lexicon
+    ):
+        """A larger snapshot built with an independently fitted vocabulary
+        must fail fast — zero-padding only makes sense append-only."""
+        solver = OnlineTriClustering(max_iterations=5, seed=1)
+        snapshots = SnapshotStream(corpus, interval_days=30).snapshots()
+        small = build_tripartite_graph(snapshots[1].corpus, lexicon=lexicon)
+        solver.partial_fit(small)
+        bigger = build_tripartite_graph(corpus, lexicon=lexicon)
+        assert bigger.num_features > small.num_features
+        with pytest.raises(ValueError, match="different vocabulary"):
+            solver.partial_fit(bigger)
+
+    def test_growth_from_shared_vocabulary_accepted(self, corpus, lexicon):
+        """The same growing vocabulary object is the legal growth path."""
+        from repro.text.vectorizer import TfidfVectorizer
+
+        vectorizer = TfidfVectorizer()
+        solver = OnlineTriClustering(max_iterations=5, seed=1)
+        snapshots = SnapshotStream(corpus, interval_days=30).snapshots()
+        for snapshot in snapshots[:2]:
+            vectorizer.partial_fit(snapshot.corpus.texts())
+            graph = build_tripartite_graph(
+                snapshot.corpus, vectorizer=vectorizer, lexicon=lexicon
+            )
+            step = solver.partial_fit(graph)
+            assert step.factors.num_features == len(vectorizer.vocabulary)

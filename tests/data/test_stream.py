@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.data.stream import SnapshotStream
+from repro.data.stream import SnapshotStream, iter_tweet_batches
 
 
 class TestSnapshotStream:
@@ -58,3 +58,42 @@ class TestSnapshotStream:
         from repro.data.corpus import TweetCorpus
 
         assert SnapshotStream(TweetCorpus()).snapshots() == []
+
+
+class TestIterTweetBatches:
+    def test_rejects_bad_interval(self, corpus):
+        with pytest.raises(ValueError):
+            list(iter_tweet_batches(corpus, interval_days=0))
+
+    def test_covers_every_tweet_once(self, corpus):
+        batches = list(iter_tweet_batches(corpus, interval_days=7))
+        seen = [t.tweet_id for _, _, tweets in batches for t in tweets]
+        assert sorted(seen) == sorted(t.tweet_id for t in corpus.tweets)
+        assert len(seen) == len(set(seen))
+
+    def test_boundaries_match_snapshot_stream(self, corpus):
+        """Same intervals and same tweet sets as the window-slicing path."""
+        snapshots = SnapshotStream(corpus, interval_days=7).snapshots()
+        batches = list(iter_tweet_batches(corpus, interval_days=7))
+        assert len(batches) == len(snapshots)
+        for snapshot, (start, end, tweets) in zip(snapshots, batches):
+            assert (start, end) == (snapshot.start_day, snapshot.end_day)
+            assert [t.tweet_id for t in tweets] == [
+                t.tweet_id for t in snapshot.corpus.tweets
+            ]
+
+    def test_days_stay_inside_interval(self, corpus):
+        for start, end, tweets in iter_tweet_batches(corpus, interval_days=7):
+            assert all(start <= t.day <= end for t in tweets)
+
+    def test_drop_empty_false_yields_contiguous_intervals(self, corpus):
+        batches = list(
+            iter_tweet_batches(corpus, interval_days=7, drop_empty=False)
+        )
+        for (_, prev_end, _), (start, _, _) in zip(batches, batches[1:]):
+            assert start == prev_end + 1
+
+    def test_empty_corpus(self):
+        from repro.data.corpus import TweetCorpus
+
+        assert list(iter_tweet_batches(TweetCorpus())) == []

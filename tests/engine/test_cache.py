@@ -1,0 +1,62 @@
+"""FoldInCache LRU semantics."""
+
+import numpy as np
+import pytest
+
+from repro.engine.cache import FoldInCache
+
+
+def row(value: float) -> np.ndarray:
+    return np.full(3, value)
+
+
+class TestFoldInCache:
+    def test_get_put_roundtrip(self):
+        cache = FoldInCache(maxsize=4)
+        assert cache.get("a") is None
+        cache.put("a", row(1.0))
+        np.testing.assert_array_equal(cache.get("a"), row(1.0))
+        assert cache.hits == 1 and cache.misses == 1
+        assert "a" in cache and len(cache) == 1
+
+    def test_lru_eviction_order(self):
+        cache = FoldInCache(maxsize=2)
+        cache.put("a", row(1.0))
+        cache.put("b", row(2.0))
+        cache.get("a")  # refresh "a": "b" is now least recently used
+        cache.put("c", row(3.0))
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+
+    def test_put_existing_key_updates(self):
+        cache = FoldInCache(maxsize=2)
+        cache.put("a", row(1.0))
+        cache.put("a", row(9.0))
+        assert len(cache) == 1
+        np.testing.assert_array_equal(cache.get("a"), row(9.0))
+
+    def test_clear(self):
+        cache = FoldInCache(maxsize=4)
+        cache.put("a", row(1.0))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get("a") is None
+
+    def test_zero_maxsize_disables(self):
+        cache = FoldInCache(maxsize=0)
+        cache.put("a", row(1.0))
+        assert len(cache) == 0
+        assert cache.get("a") is None
+
+    def test_hit_rate(self):
+        cache = FoldInCache(maxsize=4)
+        assert cache.hit_rate == 0.0
+        cache.put("a", row(1.0))
+        cache.get("a")
+        cache.get("b")
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_negative_maxsize_rejected(self):
+        with pytest.raises(ValueError, match="maxsize"):
+            FoldInCache(maxsize=-1)

@@ -135,3 +135,32 @@ class TestOnlineRunner:
         a = run_online_stream(bundle, TINY, gamma=0.0)
         b = run_online_stream(bundle, TINY, gamma=0.9)
         assert a.snapshots[0].num_tweets == b.snapshots[0].num_tweets
+
+
+class TestEngineRunner:
+    def test_engine_stream_contract(self):
+        from repro.experiments.online_runner import run_engine_stream
+
+        bundle = load_dataset("prop30", TINY)
+        run = run_engine_stream(bundle, TINY)
+        assert run.tweet_predictions.shape == run.tweet_truth.shape
+        assert run.tweet_predictions.size == bundle.corpus.num_tweets
+        assert len(run.snapshots) >= 2
+        assert run.total_runtime > 0.0
+        assert 0.0 <= run.tweet_accuracy <= 1.0
+        assert 0.0 <= run.user_accuracy <= 1.0
+        assert run.user_predictions.size == bundle.corpus.num_users
+
+    def test_same_snapshot_boundaries_as_rebuild_path(self):
+        from repro.experiments.online_runner import run_engine_stream
+
+        bundle = load_dataset("prop30", TINY)
+        rebuild = run_online_stream(bundle, TINY)
+        engine = run_engine_stream(bundle, TINY)
+        assert [
+            (s.start_day, s.end_day, s.num_tweets, s.num_users)
+            for s in engine.snapshots
+        ] == [
+            (s.start_day, s.end_day, s.num_tweets, s.num_users)
+            for s in rebuild.snapshots
+        ]

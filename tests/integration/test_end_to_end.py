@@ -83,18 +83,20 @@ class TestOnlineVsOffline:
 
 
 class TestVocabularySharing:
-    def test_online_requires_consistent_features(self, corpus, lexicon):
-        """Fitting each snapshot with its own vocabulary must fail fast."""
+    def test_online_rejects_shrinking_features(self, corpus, graph, lexicon):
+        """A snapshot refit with its own (smaller) vocabulary must fail
+        fast: feature rows may only ever be appended, never re-mapped.
+        (Growth is legal — the streaming engine's vocabulary is
+        append-only — and is covered in tests/core/test_online.py.)"""
         import pytest
 
         online = OnlineTriClustering(max_iterations=5, seed=1)
+        online.partial_fit(graph)  # full shared vocabulary
         snapshots = SnapshotStream(corpus, interval_days=30).snapshots()
-        first = build_tripartite_graph(snapshots[0].corpus, lexicon=lexicon)
-        online.partial_fit(first)
         second = build_tripartite_graph(snapshots[1].corpus, lexicon=lexicon)
-        if second.num_features != first.num_features:
-            with pytest.raises(ValueError, match="shared vocabulary"):
-                online.partial_fit(second)
+        assert second.num_features < graph.num_features
+        with pytest.raises(ValueError, match="shared vocabulary"):
+            online.partial_fit(second)
 
     def test_shared_vectorizer_is_stable(self, corpus, shared_vectorizer):
         expected = len(shared_vectorizer.vocabulary)

@@ -96,3 +96,72 @@ class TestTfidfVectorizer:
         matrix = vectorizer.transform(DOCS)
         assert matrix.shape == (3, 2)
         assert np.all(np.isfinite(matrix.toarray()))
+
+
+class TestPartialFit:
+    def test_partial_fit_from_scratch_matches_fit(self):
+        """Without pruning, incremental fitting sees the same vocabulary."""
+        full = CountVectorizer().fit(DOCS)
+        incremental = CountVectorizer()
+        for doc in DOCS:
+            incremental.partial_fit([doc])
+        assert incremental.vocabulary.tokens == full.vocabulary.tokens
+        np.testing.assert_allclose(
+            incremental.transform(DOCS).toarray(),
+            full.transform(DOCS).toarray(),
+        )
+
+    def test_partial_fit_grows_append_only(self):
+        vectorizer = CountVectorizer()
+        vectorizer.partial_fit(DOCS[:2])
+        before = vectorizer.vocabulary.tokens
+        old = vectorizer.transform(DOCS[:2])
+        vectorizer.partial_fit(["entirely new words arrive"])
+        after = vectorizer.vocabulary.tokens
+        assert after[: len(before)] == before
+        assert len(after) > len(before)
+        # Old rows re-vectorized against the grown vocabulary are
+        # column-aligned prefixes of the new feature space.
+        new = vectorizer.transform(DOCS[:2])
+        assert new.shape[1] > old.shape[1]
+        np.testing.assert_allclose(
+            new.toarray()[:, : old.shape[1]], old.toarray()
+        )
+
+    def test_partial_fit_thaws_frozen_vocabulary(self):
+        vectorizer = CountVectorizer().fit(DOCS)
+        assert vectorizer.vocabulary.frozen
+        vectorizer.partial_fit(["brand new token"])
+        assert "brand" in vectorizer.vocabulary
+
+    def test_tfidf_partial_fit_refreshes_idf(self):
+        vectorizer = TfidfVectorizer()
+        vectorizer.partial_fit(DOCS)
+        matrix = vectorizer.transform(DOCS)
+        assert matrix.shape == (3, len(vectorizer.vocabulary))
+        vectorizer.partial_fit(["schools schools schools"])
+        wider = vectorizer.transform(DOCS)
+        assert wider.shape[1] == len(vectorizer.vocabulary)
+        # idf covers every (possibly new) feature.
+        assert vectorizer.refresh_idf().shape == (len(vectorizer.vocabulary),)
+
+
+class TestTransformCounts:
+    def test_count_vectorizer_passthrough_and_binary(self):
+        vectorizer = CountVectorizer().fit(DOCS)
+        counts = vectorizer.transform(DOCS)
+        assert vectorizer.transform_counts(counts) is counts
+        binary = CountVectorizer(binary=True).fit(DOCS)
+        indic = binary.transform_counts(counts)
+        assert indic.max() == 1.0
+        assert indic.nnz == counts.nnz
+
+    def test_tfidf_transform_counts_matches_transform(self):
+        vectorizer = TfidfVectorizer().fit(DOCS)
+        plain_counts = CountVectorizer(
+            vocabulary=vectorizer.vocabulary
+        ).transform(DOCS)
+        np.testing.assert_allclose(
+            vectorizer.transform_counts(plain_counts).toarray(),
+            vectorizer.transform(DOCS).toarray(),
+        )

@@ -101,3 +101,27 @@ class TestProperties:
         for token in vocab.tokens:
             assert 1 <= vocab.document_frequency(token) <= len(documents)
             assert vocab.term_frequency(token) >= vocab.document_frequency(token)
+
+
+class TestThaw:
+    def test_thaw_readmits_new_tokens(self):
+        vocab = Vocabulary()
+        vocab.add_document(["a"])
+        vocab.freeze()
+        vocab.thaw()
+        ids = vocab.add_document(["a", "zzz"])
+        assert ids == [vocab.id_of("a"), vocab.id_of("zzz")]
+        assert not vocab.frozen
+
+    def test_growth_is_append_only(self):
+        """Ids assigned before a thaw never change afterwards."""
+        vocab = Vocabulary()
+        vocab.add_document(["a", "b"])
+        before = {t: vocab.id_of(t) for t in vocab.tokens}
+        vocab.freeze()
+        vocab.thaw()
+        vocab.add_document(["c", "a", "d"])
+        for token, feature_id in before.items():
+            assert vocab.id_of(token) == feature_id
+        assert vocab.id_of("c") == 2
+        assert vocab.id_of("d") == 3
