@@ -30,6 +30,8 @@ from repro.core import (
     OfflineTriClustering,
     OnlineStepResult,
     OnlineTriClustering,
+    ShardedOnlineTriClustering,
+    ShardedTriClustering,
     TriClusteringResult,
 )
 from repro.data import (
@@ -73,6 +75,8 @@ __all__ = [
     "OnlineTriClustering",
     "Sentiment",
     "SentimentLexicon",
+    "ShardedOnlineTriClustering",
+    "ShardedTriClustering",
     "Snapshot",
     "SnapshotReport",
     "SnapshotStream",

@@ -11,6 +11,8 @@
 - :mod:`repro.core.convergence` — per-iteration loss tracking (Figure 8).
 - :mod:`repro.core.offline` — Algorithm 1 (:class:`OfflineTriClustering`).
 - :mod:`repro.core.online` — Algorithm 2 (:class:`OnlineTriClustering`).
+- :mod:`repro.core.sharded` — user-partition sharded variants of both
+  (:class:`ShardedTriClustering`, :class:`ShardedOnlineTriClustering`).
 """
 
 from repro.core.convergence import ConvergenceHistory, IterationRecord
@@ -32,6 +34,11 @@ from repro.core.regularizers import (
     Regularizer,
     Sparsity,
 )
+from repro.core.sharded import (
+    ShardedOnlineTriClustering,
+    ShardedSolver,
+    ShardedTriClustering,
+)
 from repro.core.state import FactorSet
 from repro.core.sweepcache import SweepCache
 from repro.core.unified import UnifiedResult, UnifiedTriClustering
@@ -43,6 +50,9 @@ __all__ = [
     "GuidedLabels",
     "PriorCloseness",
     "Regularizer",
+    "ShardedOnlineTriClustering",
+    "ShardedSolver",
+    "ShardedTriClustering",
     "Sparsity",
     "SweepCache",
     "UnifiedResult",

@@ -62,25 +62,74 @@ class ObjectiveValue:
         )
 
 
+@dataclass(frozen=True)
+class ObjectiveStatics:
+    """Per-matrix constants reused across objective evaluations.
+
+    ``||X||²`` and the CSR-materialized transposes depend only on the
+    data matrices, which are fixed for a whole fit — but the objective
+    is evaluated every sweep, and recomputing them dominates the
+    evaluation cost on small shard blocks.  CSR-transposing changes
+    neither values nor accumulation order, so evaluations through a
+    statics bundle are bit-identical to the lazy path (tested).
+    """
+
+    xp_sq: float
+    xu_sq: float
+    xr_sq: float
+    xp_T: MatrixLike
+    xu_T: MatrixLike
+
+    @classmethod
+    def from_matrices(
+        cls, xp: MatrixLike, xu: MatrixLike, xr: MatrixLike
+    ) -> "ObjectiveStatics":
+        return cls(
+            xp_sq=frobenius_sq(xp),
+            xu_sq=frobenius_sq(xu),
+            xr_sq=frobenius_sq(xr),
+            xp_T=xp.T.tocsr() if sp.issparse(xp) else np.asarray(xp).T,
+            xu_T=xu.T.tocsr() if sp.issparse(xu) else np.asarray(xu).T,
+        )
+
+
 def trifactor_loss(
-    x: MatrixLike, a: np.ndarray, h: np.ndarray, b: np.ndarray
+    x: MatrixLike,
+    a: np.ndarray,
+    h: np.ndarray,
+    b: np.ndarray,
+    x_sq: float | None = None,
+    x_T: MatrixLike | None = None,
 ) -> float:
-    """``||X − A·H·Bᵀ||²`` without densifying ``X``."""
+    """``||X − A·H·Bᵀ||²`` without densifying ``X``.
+
+    ``x_sq``/``x_T`` optionally supply the precomputed ``||X||²`` and
+    transpose (see :class:`ObjectiveStatics`).
+    """
     ah = a @ h
-    cross = float(np.sum((x.T @ ah) * b)) if sp.issparse(x) else float(
-        np.sum((np.asarray(x).T @ ah) * b)
-    )
+    if x_T is None:
+        x_T = x.T if sp.issparse(x) else np.asarray(x).T
+    cross = float(np.sum((x_T @ ah) * b))
     gram = (b.T @ b) @ (h.T @ (a.T @ a) @ h)
-    return max(frobenius_sq(x) - 2.0 * cross + float(np.trace(gram)), 0.0)
+    if x_sq is None:
+        x_sq = frobenius_sq(x)
+    return max(x_sq - 2.0 * cross + float(np.trace(gram)), 0.0)
 
 
-def bifactor_loss(x: MatrixLike, a: np.ndarray, b: np.ndarray) -> float:
+def bifactor_loss(
+    x: MatrixLike,
+    a: np.ndarray,
+    b: np.ndarray,
+    x_sq: float | None = None,
+) -> float:
     """``||X − A·Bᵀ||²`` without densifying ``X``."""
     cross = float(np.sum((x @ b) * a)) if sp.issparse(x) else float(
         np.sum((np.asarray(x) @ b) * a)
     )
     gram = (a.T @ a) @ (b.T @ b)
-    return max(frobenius_sq(x) - 2.0 * cross + float(np.trace(gram)), 0.0)
+    if x_sq is None:
+        x_sq = frobenius_sq(x)
+    return max(x_sq - 2.0 * cross + float(np.trace(gram)), 0.0)
 
 
 def graph_penalty(su: np.ndarray, laplacian: MatrixLike) -> float:
@@ -98,6 +147,7 @@ def compute_objective(
     sf_prior: np.ndarray | None = None,
     su_prior: np.ndarray | None = None,
     su_prior_rows: np.ndarray | None = None,
+    statics: ObjectiveStatics | None = None,
 ) -> ObjectiveValue:
     """Evaluate every component of the (offline or online) objective.
 
@@ -108,10 +158,27 @@ def compute_objective(
     su_prior / su_prior_rows:
         Online only: decayed user history ``Suw(t)`` and the row indices
         (evolving users) it constrains.  ``None`` drops the γ term.
+    statics:
+        Optional precomputed data-matrix constants; evaluations with and
+        without them are bit-identical (the sharded solver evaluates the
+        objective once per shard per sweep and amortizes these).
     """
-    tweet_loss = trifactor_loss(xp, factors.sp, factors.hp, factors.sf)
-    user_loss = trifactor_loss(xu, factors.su, factors.hu, factors.sf)
-    retweet_loss = bifactor_loss(xr, factors.su, factors.sp)
+    if statics is None:
+        tweet_loss = trifactor_loss(xp, factors.sp, factors.hp, factors.sf)
+        user_loss = trifactor_loss(xu, factors.su, factors.hu, factors.sf)
+        retweet_loss = bifactor_loss(xr, factors.su, factors.sp)
+    else:
+        tweet_loss = trifactor_loss(
+            xp, factors.sp, factors.hp, factors.sf,
+            x_sq=statics.xp_sq, x_T=statics.xp_T,
+        )
+        user_loss = trifactor_loss(
+            xu, factors.su, factors.hu, factors.sf,
+            x_sq=statics.xu_sq, x_T=statics.xu_T,
+        )
+        retweet_loss = bifactor_loss(
+            xr, factors.su, factors.sp, x_sq=statics.xr_sq
+        )
 
     lexicon_loss = 0.0
     if sf_prior is not None and weights.alpha > 0:

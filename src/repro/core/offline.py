@@ -115,6 +115,42 @@ class OfflineTriClustering:
 
     # ------------------------------------------------------------------ #
 
+    def _validate_prior(self, graph: TripartiteGraph) -> None:
+        sf0 = graph.sf0
+        if sf0 is not None and sf0.shape[1] != self.num_classes:
+            raise ValueError(
+                f"Sf0 has {sf0.shape[1]} classes, solver expects "
+                f"{self.num_classes}"
+            )
+
+    def _initial_factors(
+        self,
+        graph: TripartiteGraph,
+        rng: np.random.Generator,
+        initial_factors: FactorSet | None,
+    ) -> FactorSet:
+        """Algorithm 1 line 1, shared by the plain and sharded solvers.
+
+        The sharded solver initializes *globally* through this exact
+        code path (then scatters rows to shards), so its draw sequence —
+        and therefore its 1-shard trajectory — matches the plain solver
+        bit for bit, and its multi-shard start is independent of the
+        partition.
+        """
+        if initial_factors is not None:
+            return initial_factors.copy()
+        if graph.sf0 is not None:
+            return lexicon_seeded_factors(
+                graph.num_tweets, graph.num_users, graph.sf0, seed=rng
+            )
+        return random_factors(
+            graph.num_tweets,
+            graph.num_users,
+            graph.num_features,
+            self.num_classes,
+            seed=rng,
+        )
+
     def fit(
         self,
         graph: TripartiteGraph,
@@ -128,26 +164,8 @@ class OfflineTriClustering:
         laplacian = graph.user_graph.laplacian
         sf0 = graph.sf0
 
-        if sf0 is not None and sf0.shape[1] != self.num_classes:
-            raise ValueError(
-                f"Sf0 has {sf0.shape[1]} classes, solver expects "
-                f"{self.num_classes}"
-            )
-
-        if initial_factors is not None:
-            factors = initial_factors.copy()
-        elif sf0 is not None:
-            factors = lexicon_seeded_factors(
-                graph.num_tweets, graph.num_users, sf0, seed=rng
-            )
-        else:
-            factors = random_factors(
-                graph.num_tweets,
-                graph.num_users,
-                graph.num_features,
-                self.num_classes,
-                seed=rng,
-            )
+        self._validate_prior(graph)
+        factors = self._initial_factors(graph, rng, initial_factors)
 
         history = ConvergenceHistory()
         converged = False

@@ -214,6 +214,57 @@ def update_su(
 # --------------------------------------------------------------------- #
 
 
+def sf_sweep_contribution(
+    sp_factor: np.ndarray,
+    hp: np.ndarray,
+    su: np.ndarray,
+    hu: np.ndarray,
+    xp: MatrixLike,
+    xu: MatrixLike,
+    xp_T: MatrixLike | None = None,
+    xu_T: MatrixLike | None = None,
+) -> np.ndarray:
+    """One block's additive attraction to the ``Sf`` update (Eq. 7).
+
+    The numerator term ``XuᵀSuHu + XpᵀSpHp`` sums over user and tweet
+    *rows*, so a user-partitioned model computes it per shard and adds
+    the ``l×k`` pieces — the separable half of the sharded ``Sf`` sweep.
+    The unsharded :func:`update_sf` evaluates exactly this expression,
+    so a single-block contribution reproduces it bit for bit.
+
+    ``xp_T``/``xu_T`` optionally supply CSR-materialized transposes
+    (the sharded solver precomputes them per snapshot); sparse products
+    through them accumulate in the same order as through the lazy
+    ``.T`` views, so the result is unchanged bitwise.
+    """
+    xuT_su_hu = _dot(xu.T if xu_T is None else xu_T, su) @ hu      # l×k
+    xpT_sp_hp = _dot(xp.T if xp_T is None else xp_T, sp_factor) @ hp
+    return xuT_su_hu + xpT_sp_hp
+
+
+def apply_sf_update(
+    sf: np.ndarray,
+    factor_attraction: np.ndarray,
+    sf_prior: np.ndarray | None,
+    alpha: float,
+) -> np.ndarray:
+    """Projector-style ``Sf`` step from a reduced attraction.
+
+    The non-separable half of the sharded sweep: the orthogonality
+    projector ``Sf·Sfᵀ·N`` and the α prior act on the *global* ``Sf``
+    once per sweep, after the per-shard attractions have been summed.
+    """
+    if sf_prior is None or alpha == 0.0:
+        prior_numerator: np.ndarray | float = 0.0
+        prior_denominator: np.ndarray | float = 0.0
+    else:
+        prior_numerator = alpha * sf_prior
+        prior_denominator = alpha * sf
+    numerator = factor_attraction + prior_numerator
+    denominator = _project(sf, factor_attraction) + prior_denominator
+    return sf * safe_sqrt_ratio(numerator, denominator)
+
+
 def update_sf(
     sf: np.ndarray,
     sp_factor: np.ndarray,
@@ -234,9 +285,10 @@ def update_sf(
     the numerator as ``α·Sf0`` (pull toward the lexicon) and the
     denominator as ``α·Sf``.
     """
-    xuT_su_hu = _dot(xu.T, su) @ hu                    # l×k
-    xpT_sp_hp = _dot(xp.T, sp_factor) @ hp             # l×k
-    factor_attraction = xuT_su_hu + xpT_sp_hp
+    factor_attraction = sf_sweep_contribution(sp_factor, hp, su, hu, xp, xu)
+
+    if style == "projector":
+        return apply_sf_update(sf, factor_attraction, sf_prior, alpha)
 
     if sf_prior is None or alpha == 0.0:
         prior_numerator = 0.0
@@ -244,11 +296,6 @@ def update_sf(
     else:
         prior_numerator = alpha * sf_prior
         prior_denominator = alpha * sf
-
-    if style == "projector":
-        numerator = factor_attraction + prior_numerator
-        denominator = _project(sf, factor_attraction) + prior_denominator
-        return sf * safe_sqrt_ratio(numerator, denominator)
 
     suT_su = cache.gram("su", su) if cache is not None else su.T @ su
     spT_sp = (

@@ -3,15 +3,20 @@
 - :mod:`repro.engine.streaming` — :class:`StreamingSentimentEngine`, the
   ingestion → incremental graph construction → online solver → fold-in
   serving pipeline behind one API.
-- :mod:`repro.engine.cache` — :class:`FoldInCache`, the LRU absorbing
-  repeated classify queries (retweets, slogans).
+- :mod:`repro.engine.cache` — :class:`FoldInCache`, the thread-safe LRU
+  absorbing repeated classify queries (retweets, slogans).
+- :mod:`repro.engine.persistence` — engine checkpointing (npz + JSON)
+  for warm restarts of serving processes.
 """
 
 from repro.engine.cache import FoldInCache
+from repro.engine.persistence import load_engine, save_engine
 from repro.engine.streaming import SnapshotReport, StreamingSentimentEngine
 
 __all__ = [
     "FoldInCache",
     "SnapshotReport",
     "StreamingSentimentEngine",
+    "load_engine",
+    "save_engine",
 ]

@@ -10,17 +10,25 @@ The cache maps a text key to the membership row computed for it by the
 current model.  It must be cleared whenever the model changes (the
 engine does this on every ``advance_snapshot``) — entries are only
 valid for the factor set they were computed against.
+
+All operations are thread-safe: the serving layer fans classify
+micro-batches across a worker pool, and callers may hit one engine from
+several request threads, so ``get``/``put``/``clear`` and the hit/miss
+counters are guarded by one lock.  The critical sections are dictionary
+operations only (never a fold-in computation), so contention stays
+negligible next to the solve work the cache fronts.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 import numpy as np
 
 
 class FoldInCache:
-    """Bounded LRU mapping ``text -> membership row``.
+    """Bounded, thread-safe LRU mapping ``text -> membership row``.
 
     Parameters
     ----------
@@ -34,51 +42,60 @@ class FoldInCache:
             raise ValueError(f"maxsize must be >= 0, got {maxsize}")
         self.maxsize = maxsize
         self._entries: OrderedDict[str, np.ndarray] = OrderedDict()
+        self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
 
     def get(self, key: str) -> np.ndarray | None:
         """Cached membership row for ``key``, or ``None``; refreshes LRU."""
-        row = self._entries.get(key)
-        if row is None:
-            self._misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self._hits += 1
-        return row
+        with self._lock:
+            row = self._entries.get(key)
+            if row is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return row
 
     def put(self, key: str, row: np.ndarray) -> None:
         """Store ``row`` under ``key``, evicting the LRU entry when full."""
         if self.maxsize == 0:
             return
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = row
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = row
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
 
     def clear(self) -> None:
         """Drop every entry (the model the rows were computed for changed)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     @property
     def hits(self) -> int:
         """Lookups answered from the cache."""
-        return self._hits
+        with self._lock:
+            return self._hits
 
     @property
     def misses(self) -> int:
         """Lookups that required a fold-in computation."""
-        return self._misses
+        with self._lock:
+            return self._misses
 
     @property
     def hit_rate(self) -> float:
         """``hits / (hits + misses)``; 0.0 before any lookup."""
-        total = self._hits + self._misses
-        return self._hits / total if total else 0.0
+        with self._lock:
+            total = self._hits + self._misses
+            return self._hits / total if total else 0.0

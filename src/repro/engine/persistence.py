@@ -1,0 +1,334 @@
+"""Engine checkpointing: warm-restart a serving process from disk.
+
+A long-running :class:`~repro.engine.streaming.StreamingSentimentEngine`
+accumulates state that is expensive or impossible to rebuild by
+replaying the stream: the fitted factors, the append-only vocabulary
+with its idf statistics, the cluster→class alignment, and the online
+solver's temporal priors (decayed ``Sf``/``Su`` history, carried
+per-user sentiment, RNG position).  ``save`` writes all of it to a
+directory — numeric arrays in one ``arrays.npz``, structured metadata
+in one ``state.json`` — and ``load`` reconstructs an engine that
+continues the stream *bit-for-bit* where the saved one stopped
+(round-trip and continuation are regression-tested).
+
+Not persisted (by design): pending un-snapshotted tweets (``save``
+refuses them — advance or discard first), the bounded tokenization
+memo, telemetry reports, and the classify LRU (recomputed on demand).
+Custom vectorizer analyzers and callable partitioners cannot be
+serialized; engines using them are rejected with a clear error.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.online import OnlineTriClustering
+from repro.core.sharded import ShardedOnlineTriClustering
+from repro.core.state import FactorSet
+from repro.data.tweet import Sentiment, UserProfile
+from repro.text.lexicon import SentimentLexicon
+from repro.text.tokenizer import TweetTokenizer
+from repro.text.vectorizer import CountVectorizer, TfidfVectorizer
+from repro.text.vocabulary import Vocabulary
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.streaming import StreamingSentimentEngine
+
+FORMAT_VERSION = 1
+ARRAYS_FILE = "arrays.npz"
+STATE_FILE = "state.json"
+
+_FACTOR_NAMES = ("sf", "sp", "su", "hp", "hu")
+
+
+def _sentiment_to_json(value: Sentiment | None) -> str | None:
+    return value.short_name if value is not None else None
+
+
+def _sentiment_from_json(value: str | None) -> Sentiment | None:
+    return Sentiment.from_label(value) if value is not None else None
+
+
+def _profile_to_json(profile: UserProfile) -> dict:
+    return {
+        "user_id": profile.user_id,
+        "stance": _sentiment_to_json(profile.base_stance),
+        "labeled": profile.labeled,
+        "stance_changes": {
+            str(day): stance.short_name
+            for day, stance in sorted(profile.stance_changes.items())
+        },
+    }
+
+
+def _profile_from_json(record: dict) -> UserProfile:
+    return UserProfile(
+        user_id=int(record["user_id"]),
+        base_stance=_sentiment_from_json(record.get("stance")),
+        labeled=bool(record.get("labeled", True)),
+        stance_changes={
+            int(day): Sentiment.from_label(label)
+            for day, label in (record.get("stance_changes") or {}).items()
+        },
+    )
+
+
+def _solver_state(solver: OnlineTriClustering) -> dict:
+    if isinstance(solver, ShardedOnlineTriClustering):
+        kind = "sharded"
+        if not isinstance(solver.partitioner, str):
+            raise ValueError(
+                "cannot persist an engine whose solver uses a callable "
+                "partitioner; use a named strategy ('hash'/'greedy')"
+            )
+        extras = {
+            "n_shards": solver.n_shards,
+            "partitioner": solver.partitioner,
+            "max_workers": solver.max_workers,
+            "consensus_iterations": solver.consensus_iterations,
+        }
+    elif type(solver) is OnlineTriClustering:
+        kind = "online"
+        extras = {}
+    else:
+        raise ValueError(
+            f"cannot persist solver of type {type(solver).__name__}; "
+            "only OnlineTriClustering and ShardedOnlineTriClustering "
+            "checkpoints are supported"
+        )
+    return {
+        "kind": kind,
+        "params": {
+            "num_classes": solver.num_classes,
+            "alpha": solver.weights.alpha,
+            "beta": solver.weights.beta,
+            "gamma": solver.weights.gamma,
+            "tau": solver.tau,
+            "window": solver.window,
+            "max_iterations": solver.max_iterations,
+            "tolerance": solver.tolerance,
+            "patience": solver.patience,
+            "track_history": solver.track_history,
+            "update_style": solver.update_style,
+            "state_smoothing": solver.state_smoothing,
+            **extras,
+        },
+        "steps": solver.steps,
+        "seen_users": sorted(solver.seen_users),
+        "rng": solver._rng.bit_generator.state,
+    }
+
+
+def _rebuild_solver(state: dict) -> OnlineTriClustering:
+    params = dict(state["params"])
+    if state["kind"] == "sharded":
+        solver = ShardedOnlineTriClustering(**params)
+    else:
+        solver = OnlineTriClustering(**params)
+    solver._steps = int(state["steps"])
+    solver._seen_users = set(int(uid) for uid in state["seen_users"])
+    solver._rng.bit_generator.state = state["rng"]
+    return solver
+
+
+def _vectorizer_state(vectorizer: CountVectorizer) -> dict:
+    if type(vectorizer.analyzer) is not TweetTokenizer:
+        raise ValueError(
+            "cannot persist an engine with a custom analyzer; only the "
+            "default TweetTokenizer is reconstructible from a checkpoint"
+        )
+    if type(vectorizer) is TfidfVectorizer:
+        return {
+            "kind": "tfidf",
+            "sublinear_tf": vectorizer.sublinear_tf,
+            "normalize": vectorizer.normalize,
+        }
+    if type(vectorizer) is CountVectorizer:
+        return {"kind": "count", "binary": vectorizer.binary}
+    raise ValueError(
+        f"cannot persist vectorizer of type {type(vectorizer).__name__}"
+    )
+
+
+def _rebuild_vectorizer(state: dict, vocabulary: Vocabulary) -> CountVectorizer:
+    if state["kind"] == "tfidf":
+        vectorizer = TfidfVectorizer(
+            vocabulary=vocabulary,
+            sublinear_tf=state["sublinear_tf"],
+            normalize=state["normalize"],
+        )
+        vectorizer.refresh_idf()
+        return vectorizer
+    return CountVectorizer(vocabulary=vocabulary, binary=state["binary"])
+
+
+def save_engine(engine: "StreamingSentimentEngine", path: str | Path) -> Path:
+    """Write ``engine`` to the directory ``path`` (created if missing)."""
+    if not engine.is_ready:
+        raise RuntimeError(
+            "nothing to save: no snapshot has been processed yet"
+        )
+    if engine.pending:
+        raise ValueError(
+            f"{engine.pending} ingested tweets are pending; call "
+            "advance_snapshot() before save() (pending deltas are not "
+            "persisted)"
+        )
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    builder = engine.builder
+    solver = engine.solver
+    factors = engine.factors
+    assert factors is not None and engine.alignment is not None
+
+    arrays: dict[str, np.ndarray] = {
+        f"factors_{name}": getattr(factors, name) for name in _FACTOR_NAMES
+    }
+    arrays["alignment"] = engine.alignment
+    for lag, sf_past in enumerate(solver._sf_history):
+        arrays[f"sf_history_{lag}"] = sf_past
+    for lag, su_past in enumerate(solver._su_history):
+        uids = sorted(su_past)
+        arrays[f"su_history_{lag}_uids"] = np.array(uids, dtype=np.int64)
+        arrays[f"su_history_{lag}_rows"] = (
+            np.vstack([su_past[uid] for uid in uids])
+            if uids
+            else np.empty((0, solver.num_classes))
+        )
+    user_state = solver.user_sentiment_rows()
+    state_uids = sorted(user_state)
+    arrays["user_state_uids"] = np.array(state_uids, dtype=np.int64)
+    arrays["user_state_rows"] = (
+        np.vstack([user_state[uid] for uid in state_uids])
+        if state_uids
+        else np.empty((0, solver.num_classes))
+    )
+    author_items = sorted(builder._author_of.items())
+    arrays["author_tweet_ids"] = np.array(
+        [t for t, _ in author_items], dtype=np.int64
+    )
+    arrays["author_user_ids"] = np.array(
+        [u for _, u in author_items], dtype=np.int64
+    )
+    np.savez_compressed(path / ARRAYS_FILE, **arrays)
+
+    lexicon = builder.lexicon
+    state = {
+        "version": FORMAT_VERSION,
+        "engine": {
+            "num_classes": builder.num_classes,
+            "classify_iterations": engine.classify_iterations,
+            "classify_batch_size": engine.classify_batch_size,
+            "cache_size": engine.cache.maxsize,
+            "cross_snapshot_edges": builder.cross_snapshot_edges,
+            "classify_seed": engine._classify_seed,
+            "n_shards": engine.n_shards,
+            "max_workers": engine.max_workers,
+            "partitioner": engine.partitioner,
+        },
+        "solver": _solver_state(solver),
+        "vectorizer": _vectorizer_state(builder.vectorizer),
+        "vocabulary": builder.vectorizer.vocabulary.to_state(),
+        "lexicon": (
+            None
+            if lexicon is None
+            else {
+                "positive": dict(lexicon._positive),
+                "negative": dict(lexicon._negative),
+            }
+        ),
+        "builder": {
+            "snapshots_built": builder.snapshots_built,
+            "profiles": [
+                _profile_to_json(p) for _, p in sorted(builder._profiles.items())
+            ],
+        },
+        "sf_history_len": len(solver._sf_history),
+        "su_history_len": len(solver._su_history),
+    }
+    (path / STATE_FILE).write_text(
+        json.dumps(state, indent=2) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+def load_engine(path: str | Path) -> "StreamingSentimentEngine":
+    """Rebuild an engine saved by :func:`save_engine`."""
+    from repro.engine.streaming import StreamingSentimentEngine
+
+    path = Path(path)
+    state = json.loads((path / STATE_FILE).read_text(encoding="utf-8"))
+    if state.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported checkpoint version {state.get('version')!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    with np.load(path / ARRAYS_FILE) as handle:
+        arrays = {key: handle[key] for key in handle.files}
+
+    vocabulary = Vocabulary.from_state(state["vocabulary"])
+    vectorizer = _rebuild_vectorizer(state["vectorizer"], vocabulary)
+    lexicon_state = state["lexicon"]
+    lexicon = (
+        None
+        if lexicon_state is None
+        else SentimentLexicon(
+            positive=lexicon_state["positive"],
+            negative=lexicon_state["negative"],
+        )
+    )
+    solver = _rebuild_solver(state["solver"])
+
+    engine_state = state["engine"]
+    engine = StreamingSentimentEngine(
+        lexicon=lexicon,
+        num_classes=engine_state["num_classes"],
+        vectorizer=vectorizer,
+        solver=solver,
+        classify_iterations=engine_state["classify_iterations"],
+        classify_batch_size=engine_state["classify_batch_size"],
+        cache_size=engine_state["cache_size"],
+        cross_snapshot_edges=engine_state["cross_snapshot_edges"],
+        max_workers=engine_state["max_workers"],
+    )
+    engine._classify_seed = int(engine_state["classify_seed"])
+
+    # --- solver temporal state ---
+    for lag in range(int(state["sf_history_len"])):
+        solver._sf_history.append(arrays[f"sf_history_{lag}"])
+    for lag in range(int(state["su_history_len"])):
+        uids = arrays[f"su_history_{lag}_uids"]
+        rows = arrays[f"su_history_{lag}_rows"]
+        solver._su_history.append(
+            {int(uid): row for uid, row in zip(uids, rows)}
+        )
+    solver._user_state = {
+        int(uid): row
+        for uid, row in zip(arrays["user_state_uids"], arrays["user_state_rows"])
+    }
+    solver._vocabulary_ref = vocabulary
+
+    # --- builder bookkeeping ---
+    builder = engine.builder
+    builder._author_of = {
+        int(t): int(u)
+        for t, u in zip(arrays["author_tweet_ids"], arrays["author_user_ids"])
+    }
+    builder._profiles = {
+        p.user_id: p
+        for p in (_profile_from_json(r) for r in state["builder"]["profiles"])
+    }
+    builder._snapshots_built = int(state["builder"]["snapshots_built"])
+
+    # --- serving state ---
+    factors = FactorSet(
+        **{name: arrays[f"factors_{name}"] for name in _FACTOR_NAMES}
+    )
+    engine._factors = factors
+    engine._alignment = arrays["alignment"]
+    engine._tweet_gram = factors.hp @ (factors.sf.T @ factors.sf) @ factors.hp.T
+    return engine

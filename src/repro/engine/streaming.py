@@ -13,7 +13,11 @@ not the history:
   conversion per matrix) and runs one
   :class:`~repro.core.online.OnlineTriClustering` step (Algorithm 2,
   warm-started from decayed history, shared-product
-  :class:`~repro.core.sweepcache.SweepCache` inside);
+  :class:`~repro.core.sweepcache.SweepCache` inside) — or, with
+  ``n_shards > 1``, a :class:`~repro.core.sharded.
+  ShardedOnlineTriClustering` step that routes each snapshot's users
+  and tweets onto user-partition shards, sweeps them on a worker pool,
+  and merges the per-shard user sentiments back into one model;
 - **classify(texts)** scores arbitrary texts between snapshots via
   micro-batched fold-in against the latest factors, with an LRU cache
   (:class:`~repro.engine.cache.FoldInCache`) absorbing repeated queries
@@ -30,19 +34,22 @@ from __future__ import annotations
 import time
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
 from repro.core.inference import infer_tweet_memberships
 from repro.core.labeling import apply_alignment, lexicon_column_alignment
 from repro.core.online import OnlineStepResult, OnlineTriClustering
+from repro.core.sharded import ShardedOnlineTriClustering
 from repro.core.state import FactorSet
 from repro.data.tweet import Tweet, UserProfile
 from repro.engine.cache import FoldInCache
 from repro.graph.incremental import IncrementalTripartiteBuilder
 from repro.graph.tripartite import TripartiteGraph
 from repro.text.lexicon import SentimentLexicon
-from repro.text.vectorizer import CountVectorizer
+from repro.text.vectorizer import CountVectorizer, TfidfVectorizer
+from repro.utils.executor import WorkerPool
 from repro.utils.logging import get_logger
 
 logger = get_logger("engine.streaming")
@@ -86,12 +93,27 @@ class StreamingSentimentEngine:
     classify_iterations / classify_batch_size:
         Fold-in iterations per query row, and the micro-batch width used
         to chunk large ``classify`` calls (keeps peak memory flat under
-        heavy traffic).
+        heavy traffic and is the unit of classify parallelism).
     cache_size:
         LRU entries for repeated-query fold-in results (0 disables).
     cross_snapshot_edges:
         Forwarded to the incremental builder: let retweets of earlier
         snapshots' tweets contribute user-user edges.
+    n_shards / partitioner:
+        User-partition sharding of the solve (see
+        :class:`~repro.core.sharded.ShardedOnlineTriClustering`).
+        ``n_shards=1`` (default) runs the plain online solver —
+        bit-identical to pre-sharding engines.  When a ``solver``
+        instance is passed, configure sharding on it instead (the
+        engine adopts its settings).
+    max_workers:
+        Size of the engine's one worker pool, shared by classify
+        micro-batching and the sharded solve (solvers the engine builds
+        always run on it; a user-supplied sharded solver joins it
+        unless it pinned its own ``max_workers``).  ``None``
+        auto-selects: serial for 1-shard engines (the historical
+        behaviour), CPU count otherwise.  ``close()`` (or using the
+        engine as a context manager) releases the threads.
     """
 
     def __init__(
@@ -105,6 +127,9 @@ class StreamingSentimentEngine:
         cache_size: int = 4096,
         cross_snapshot_edges: bool = False,
         seed: int | None = 0,
+        n_shards: int = 1,
+        max_workers: int | None = None,
+        partitioner: str = "hash",
         **solver_kwargs: object,
     ) -> None:
         if classify_batch_size < 1:
@@ -115,9 +140,16 @@ class StreamingSentimentEngine:
             raise ValueError(
                 f"classify_iterations must be >= 1, got {classify_iterations}"
             )
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
         if solver is not None and solver_kwargs:
             raise ValueError(
                 "pass either a solver instance or solver kwargs, not both"
+            )
+        if solver is not None and n_shards != 1:
+            raise ValueError(
+                "pass either a solver instance or n_shards, not both "
+                "(configure sharding on the solver)"
             )
         self.builder = IncrementalTripartiteBuilder(
             vectorizer=vectorizer,
@@ -125,15 +157,44 @@ class StreamingSentimentEngine:
             num_classes=num_classes,
             cross_snapshot_edges=cross_snapshot_edges,
         )
-        self.solver = solver or OnlineTriClustering(
-            num_classes=num_classes, seed=seed, **solver_kwargs
-        )
+        if solver is not None:
+            self.solver = solver
+        elif n_shards == 1:
+            self.solver = OnlineTriClustering(
+                num_classes=num_classes, seed=seed, **solver_kwargs
+            )
+        else:
+            self.solver = ShardedOnlineTriClustering(
+                num_classes=num_classes,
+                seed=seed,
+                n_shards=n_shards,
+                partitioner=partitioner,
+                max_workers=max_workers,
+                **solver_kwargs,
+            )
         if self.solver.num_classes != num_classes:
             raise ValueError(
                 f"solver has num_classes={self.solver.num_classes} but the "
                 f"engine was configured with num_classes={num_classes}; "
                 "pass matching values"
             )
+        self.n_shards = getattr(self.solver, "n_shards", 1)
+        self.partitioner = getattr(self.solver, "partitioner", partitioner)
+        self.max_workers = max_workers
+        classify_workers = (
+            max_workers
+            if max_workers is not None
+            else (1 if self.n_shards == 1 else None)
+        )
+        self._pool = WorkerPool(classify_workers)
+        if isinstance(self.solver, ShardedOnlineTriClustering):
+            # One pool serves both solve and classify.  An engine-built
+            # solver always joins it; a user-supplied one only when it
+            # didn't pin its own worker count (respect explicit config).
+            if self.solver.pool is None and (
+                solver is None or self.solver.max_workers is None
+            ):
+                self.solver.pool = self._pool
         self.cache = FoldInCache(maxsize=cache_size)
         self.classify_iterations = classify_iterations
         self.classify_batch_size = classify_batch_size
@@ -242,10 +303,14 @@ class StreamingSentimentEngine:
         is configured.  A text with no in-vocabulary words yields an
         all-zero row — "no evidence", distinguishable from a confident
         neutral.  Repeated texts are answered from the LRU cache;
-        uncached ones are vectorized and folded in per micro-batch.
+        uncached ones are vectorized and folded in per micro-batch, with
+        the micro-batches fanned across the engine's worker pool.  Rows
+        are batch-invariant (fold-in is row-independent), so the result
+        is identical at any pool width.
         """
         factors = self._require_model()
-        assert self._alignment is not None
+        alignment = self._alignment
+        assert alignment is not None
         results: dict[str, np.ndarray] = {}
         uncached: list[str] = []
         for text in dict.fromkeys(texts):  # unique, first-seen order
@@ -255,10 +320,17 @@ class StreamingSentimentEngine:
             else:
                 uncached.append(text)
 
-        batch = self.classify_batch_size
-        for offset in range(0, len(uncached), batch):
-            chunk = uncached[offset : offset + batch]
-            matrix = self.builder.vectorizer.transform(chunk)
+        vectorizer = self.builder.vectorizer
+        if (
+            isinstance(vectorizer, TfidfVectorizer)
+            and vectorizer.idf_size != self.num_features
+        ):
+            # Refresh once, serially: transform would otherwise refresh
+            # lazily inside every worker, racing on the shared idf.
+            vectorizer.refresh_idf()
+
+        def fold_in(chunk: list[str]) -> np.ndarray:
+            matrix = vectorizer.transform(chunk)
             if matrix.shape[1] > factors.num_features:
                 # Vocabulary grew after the last snapshot (ingest without
                 # advance); append-only growth makes the learned factors a
@@ -273,7 +345,15 @@ class StreamingSentimentEngine:
                 gram=self._tweet_gram,
             )
             aligned = np.empty_like(memberships)
-            aligned[:, self._alignment] = memberships
+            aligned[:, alignment] = memberships
+            return aligned
+
+        batch = self.classify_batch_size
+        chunks = [
+            uncached[offset : offset + batch]
+            for offset in range(0, len(uncached), batch)
+        ]
+        for chunk, aligned in zip(chunks, self._pool.map(fold_in, chunks)):
             for text, row in zip(chunk, aligned):
                 self.cache.put(text, row)
                 results[text] = row
@@ -311,6 +391,50 @@ class StreamingSentimentEngine:
             np.array([raw[uid] for uid in uids]), self._alignment
         )
         return {uid: int(label) for uid, label in zip(uids, aligned)}
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Release the worker pool's threads (idempotent).
+
+        The engine stays usable — the pool re-materializes lazily on
+        the next parallel call — but long-lived processes that retire
+        an engine should close it rather than hold idle threads.
+        """
+        self._pool.shutdown()
+
+    def __enter__(self) -> "StreamingSentimentEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+
+    def save(self, path) -> "Path":
+        """Checkpoint the engine to directory ``path`` for warm restarts.
+
+        Persists factors, vocabulary (with idf statistics), alignment,
+        and the solver's temporal/user-prior state via npz + JSON so a
+        serving process can resume the stream bit-for-bit instead of
+        replaying it.  Pending (un-snapshotted) tweets are rejected —
+        call :meth:`advance_snapshot` first.  See
+        :mod:`repro.engine.persistence` for the format.
+        """
+        from repro.engine.persistence import save_engine
+
+        return save_engine(self, path)
+
+    @classmethod
+    def load(cls, path) -> "StreamingSentimentEngine":
+        """Rebuild an engine checkpointed by :meth:`save`."""
+        from repro.engine.persistence import load_engine
+
+        return load_engine(path)
 
     # ------------------------------------------------------------------ #
     # Introspection

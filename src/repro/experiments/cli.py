@@ -5,9 +5,13 @@ Usage::
     python -m repro list
     python -m repro table4 --scale 0.05
     python -m repro figure8 --scale 0.08 --save
+    python -m repro stream tweets.jsonl --n-shards 4 --checkpoint ckpt/
 
 Each experiment prints the same table its benchmark writes; ``--save``
-additionally persists it under ``benchmarks/results/``.
+additionally persists it under ``benchmarks/results/``.  The ``stream``
+subcommand (see :mod:`repro.experiments.stream_cli`) has its own flags:
+it feeds a JSONL tweet file through the serving engine instead of
+regenerating a paper artifact.
 """
 
 from __future__ import annotations
@@ -139,11 +143,26 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    import sys
+
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "stream":
+        # The stream subcommand has its own flag set (input file,
+        # sharding, checkpointing) and bypasses the experiment parser.
+        from repro.experiments.stream_cli import stream_main
+
+        return stream_main(argv[1:])
+
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         width = max(len(name) for name in EXPERIMENTS)
         for name, (_, description) in EXPERIMENTS.items():
             print(f"{name.ljust(width)}  {description}")
+        print(
+            f"{'stream'.ljust(width)}  "
+            "feed a JSONL tweet file through the serving engine "
+            "(python -m repro stream --help)"
+        )
         return 0
 
     overrides = {}

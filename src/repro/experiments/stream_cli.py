@@ -1,0 +1,200 @@
+"""``python -m repro stream`` — run the serving engine over a JSONL file.
+
+Feeds a JSON-lines tweet corpus (the :mod:`repro.data.io` schema)
+through the :class:`~repro.engine.StreamingSentimentEngine` in
+fixed-size snapshots and prints one sentiment summary per snapshot —
+the smallest end-to-end path from "a file of tweets" to "a live sharded
+model", and the operational face of the checkpoint format: pass
+``--checkpoint`` to save after every snapshot and to warm-restart from
+the same directory on the next invocation instead of replaying the
+stream.
+
+Usage::
+
+    python -m repro stream tweets.jsonl --snapshot-size 500 \
+        --n-shards 4 --checkpoint /var/lib/repro/engine
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from collections.abc import Sequence
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.labeling import apply_alignment
+from repro.data.io import load_corpus_jsonl
+from repro.data.tweet import Sentiment
+from repro.engine import StreamingSentimentEngine
+from repro.engine.persistence import STATE_FILE
+from repro.text.lexicon import SentimentLexicon
+
+
+def build_stream_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro stream",
+        description=(
+            "Feed a JSONL tweet file through the streaming sentiment "
+            "engine and print per-snapshot sentiment summaries."
+        ),
+    )
+    parser.add_argument(
+        "input", help="JSON-lines corpus file (schema of repro.data.io)"
+    )
+    parser.add_argument(
+        "--snapshot-size",
+        type=int,
+        default=500,
+        help="tweets folded into the model per snapshot (default 500)",
+    )
+    parser.add_argument(
+        "--n-shards",
+        type=int,
+        default=1,
+        help="user-partition shards for the solve (default 1 = unsharded)",
+    )
+    parser.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        help="worker threads for sharded solve/classify (default: auto)",
+    )
+    parser.add_argument(
+        "--partitioner",
+        choices=["hash", "greedy"],
+        default="hash",
+        help="shard routing strategy (default hash)",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        help=(
+            "checkpoint directory: warm-restart from it when it exists, "
+            "save after every snapshot"
+        ),
+    )
+    parser.add_argument(
+        "--lexicon",
+        default=None,
+        help=(
+            "JSON file with 'positive'/'negative' word lists (or "
+            "word->strength maps) enabling the Sf0 prior and pos/neg/neu "
+            "column alignment"
+        ),
+    )
+    parser.add_argument("--num-classes", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--max-iterations",
+        type=int,
+        default=30,
+        help="solver sweeps per snapshot (default 30)",
+    )
+    return parser
+
+
+def _load_lexicon(path: str | None) -> SentimentLexicon | None:
+    if path is None:
+        return None
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    return SentimentLexicon(
+        positive=payload.get("positive", ()),
+        negative=payload.get("negative", ()),
+    )
+
+
+def _class_names(engine: StreamingSentimentEngine, num_classes: int) -> list[str]:
+    if engine.builder.lexicon is not None and num_classes <= 3:
+        return [Sentiment(i).short_name for i in range(num_classes)]
+    return [f"c{i}" for i in range(num_classes)]
+
+
+def _snapshot_summary(engine: StreamingSentimentEngine) -> np.ndarray:
+    """Aligned per-class tweet counts for the latest snapshot."""
+    step = engine.last_step
+    alignment = engine.alignment
+    assert step is not None and alignment is not None
+    labels = apply_alignment(step.tweet_sentiments(), alignment)
+    return np.bincount(labels, minlength=alignment.size)
+
+
+def run_stream(args: argparse.Namespace) -> int:
+    corpus = load_corpus_jsonl(args.input)
+    checkpoint = Path(args.checkpoint) if args.checkpoint else None
+
+    if checkpoint is not None and (checkpoint / STATE_FILE).exists():
+        engine = StreamingSentimentEngine.load(checkpoint)
+        print(
+            f"warm restart from {checkpoint} "
+            f"({engine.snapshots_processed} snapshots already folded in; "
+            "engine flags come from the checkpoint)"
+        )
+    else:
+        engine = StreamingSentimentEngine(
+            lexicon=_load_lexicon(args.lexicon),
+            num_classes=args.num_classes,
+            seed=args.seed,
+            n_shards=args.n_shards,
+            max_workers=args.max_workers,
+            partitioner=args.partitioner,
+            max_iterations=args.max_iterations,
+        )
+
+    names = _class_names(engine, engine.builder.num_classes)
+    if args.snapshot_size < 1:
+        raise SystemExit("--snapshot-size must be >= 1")
+    tweets = corpus.tweets
+    if not tweets:
+        print("input contains no tweets")
+        return 0
+
+    # A warm-restarted engine has already folded part (or all) of this
+    # file in; re-ingesting those tweets would double-count them in the
+    # temporal state, so they are skipped by id.
+    already = [t for t in tweets if engine.builder.has_ingested(t.tweet_id)]
+    if already:
+        print(f"skipping {len(already)} already-ingested tweets")
+        tweets = [t for t in tweets if not engine.builder.has_ingested(t.tweet_id)]
+    if not tweets:
+        print("nothing new to fold in; model unchanged")
+
+    for offset in range(0, len(tweets), args.snapshot_size):
+        batch = tweets[offset : offset + args.snapshot_size]
+        engine.ingest(batch, users=corpus.profiles_for(batch))
+        started = time.perf_counter()
+        report = engine.advance_snapshot()
+        elapsed = time.perf_counter() - started
+        counts = _snapshot_summary(engine)
+        summary = " ".join(
+            f"{name} {count}" for name, count in zip(names, counts)
+        )
+        print(
+            f"snapshot {report.index}: {report.num_tweets} tweets, "
+            f"{report.num_users} users, {report.num_features} features, "
+            f"{report.iterations} iters, {elapsed:.2f}s | {summary}"
+        )
+        if checkpoint is not None:
+            engine.save(checkpoint)
+
+    user_labels = engine.user_sentiments()
+    user_counts = np.bincount(
+        np.array(list(user_labels.values()), dtype=np.int64),
+        minlength=len(names),
+    )
+    user_summary = " ".join(
+        f"{name} {count}" for name, count in zip(names, user_counts)
+    )
+    print(
+        f"done: {engine.snapshots_processed} snapshots, "
+        f"{len(user_labels)} users tracked | users: {user_summary}"
+    )
+    if checkpoint is not None:
+        print(f"checkpoint: {checkpoint}")
+    return 0
+
+
+def stream_main(argv: Sequence[str] | None = None) -> int:
+    return run_stream(build_stream_parser().parse_args(argv))

@@ -151,6 +151,15 @@ class IncrementalTripartiteBuilder:
         """Number of tweets buffered for the next snapshot."""
         return len(self._pending)
 
+    def has_ingested(self, tweet_id: int) -> bool:
+        """Whether ``tweet_id`` was ever ingested (including pending).
+
+        The author map this reads survives engine checkpoints, so a
+        warm-restarted stream can skip tweets it already folded in
+        instead of double-counting them.
+        """
+        return tweet_id in self._author_of
+
     @property
     def num_features(self) -> int:
         """Current (grown) vocabulary size."""

@@ -199,6 +199,16 @@ class TfidfVectorizer(CountVectorizer):
         self.refresh_idf()
         return self
 
+    @property
+    def idf_size(self) -> int:
+        """Features covered by the current idf vector (0 before any fit).
+
+        The serving layer compares this against the vocabulary size to
+        refresh the idf *once* before fanning transforms across worker
+        threads (``refresh_idf`` mutates shared state and must not race).
+        """
+        return 0 if self._idf is None else int(self._idf.shape[0])
+
     def refresh_idf(self) -> np.ndarray:
         """Recompute idf from the vocabulary's accumulated statistics.
 

@@ -144,6 +144,47 @@ class Vocabulary:
         return self._term_frequency.most_common(count)
 
     # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+
+    def to_state(self) -> dict:
+        """JSON-serializable snapshot of the full vocabulary state.
+
+        Captures everything idf computation and append-only growth need:
+        tokens in id order, per-token term/document frequencies, the
+        document count and the frozen flag.  The companion of
+        :meth:`from_state` for engine checkpoints.
+        """
+        return {
+            "tokens": list(self._id_to_token),
+            "term_frequency": [
+                self._term_frequency[t] for t in self._id_to_token
+            ],
+            "document_frequency": [
+                self._document_frequency[t] for t in self._id_to_token
+            ],
+            "num_documents": self._num_documents,
+            "frozen": self._frozen,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Vocabulary":
+        """Rebuild a vocabulary saved by :meth:`to_state` (exact ids)."""
+        vocabulary = cls()
+        for feature_id, token in enumerate(state["tokens"]):
+            vocabulary._token_to_id[token] = feature_id
+            vocabulary._id_to_token.append(token)
+        vocabulary._term_frequency = Counter(
+            dict(zip(state["tokens"], state["term_frequency"]))
+        )
+        vocabulary._document_frequency = Counter(
+            dict(zip(state["tokens"], state["document_frequency"]))
+        )
+        vocabulary._num_documents = int(state["num_documents"])
+        vocabulary._frozen = bool(state["frozen"])
+        return vocabulary
+
+    # ------------------------------------------------------------------ #
     # Pruning
     # ------------------------------------------------------------------ #
 

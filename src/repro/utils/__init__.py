@@ -3,10 +3,12 @@
 This package holds the low-level helpers that every other subsystem relies
 on: seeded random-number management (:mod:`repro.utils.rng`), non-negative
 matrix kernels (:mod:`repro.utils.matrices`), argument validation
-(:mod:`repro.utils.validation`) and a tiny structured logger
-(:mod:`repro.utils.logging`).
+(:mod:`repro.utils.validation`), a tiny structured logger
+(:mod:`repro.utils.logging`) and the ordered worker-pool abstraction
+behind shard-parallel sweeps (:mod:`repro.utils.executor`).
 """
 
+from repro.utils.executor import WorkerPool, default_worker_count
 from repro.utils.logging import get_logger
 from repro.utils.matrices import (
     EPS,
@@ -32,6 +34,8 @@ from repro.utils.validation import (
 __all__ = [
     "EPS",
     "RandomState",
+    "WorkerPool",
+    "default_worker_count",
     "check_probability",
     "check_shape",
     "column_normalize",

@@ -1,0 +1,86 @@
+"""Worker-pool abstraction for shard-parallel work.
+
+The sharded solver and the serving layer both fan identical work items
+(per-shard sweep passes, classify micro-batches) across a pool and need
+the results back *in input order* so that reductions stay deterministic
+no matter how the OS schedules the workers.  :class:`WorkerPool` wraps
+:class:`concurrent.futures.ThreadPoolExecutor` behind that contract and
+degrades to a plain serial loop when parallelism cannot help (one
+worker, one item) — the serial path allocates no threads at all, so a
+1-shard solver pays nothing for the abstraction.
+
+Threads, not processes: the hot per-shard work is sparse·dense and
+dense matrix products, and both scipy's sparsetools and numpy's BLAS
+release the GIL, so shards genuinely overlap on a multi-core machine
+while sharing the factor arrays zero-copy.  The Python-level
+bookkeeping between products is tiny at any realistic shard size.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Sequence
+from concurrent.futures import ThreadPoolExecutor
+from typing import TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def default_worker_count() -> int:
+    """CPU count visible to this process (affinity-aware when possible)."""
+    if hasattr(os, "sched_getaffinity"):
+        return max(len(os.sched_getaffinity(0)), 1)
+    return max(os.cpu_count() or 1, 1)
+
+
+class WorkerPool:
+    """Ordered ``map`` over a thread pool with a serial fallback.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker thread bound.  ``None`` uses the machine's CPU count;
+        ``1`` (or a single-item workload) runs serially on the calling
+        thread.  Values below 1 are rejected.
+    """
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = (
+            default_worker_count() if max_workers is None else max_workers
+        )
+        self._pool: ThreadPoolExecutor | None = None
+
+    @property
+    def parallel(self) -> bool:
+        """Whether this pool can actually overlap work."""
+        return self.max_workers > 1
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        """Apply ``fn`` to every item; results come back in input order.
+
+        A worker exception propagates to the caller (remaining items may
+        or may not have run — the pool is not transactional).
+        """
+        if not self.parallel or len(items) <= 1:
+            return [fn(item) for item in items]
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.max_workers,
+                thread_name_prefix="repro-worker",
+            )
+        return list(self._pool.map(fn, items))
+
+    def shutdown(self) -> None:
+        """Release the underlying threads (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()

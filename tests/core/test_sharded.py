@@ -1,0 +1,224 @@
+"""Sharding invariants: 1-shard bit-identity, determinism, merge, edges."""
+
+import numpy as np
+import pytest
+
+from repro.core.objective import compute_objective
+from repro.core.offline import OfflineTriClustering
+from repro.core.online import OnlineTriClustering
+from repro.core.sharded import (
+    ShardedOnlineTriClustering,
+    ShardedTriClustering,
+)
+from repro.data.stream import SnapshotStream
+from repro.graph.tripartite import build_tripartite_graph
+from repro.utils.matrices import hard_assignments
+
+FACTOR_NAMES = ("sf", "sp", "su", "hp", "hu")
+MAX_ITER = 20
+
+
+def assert_factors_equal(a, b):
+    for name in FACTOR_NAMES:
+        np.testing.assert_array_equal(
+            getattr(a, name), getattr(b, name), err_msg=name
+        )
+
+
+class TestOfflineBitIdentity:
+    def test_one_shard_reproduces_plain_solver_bitwise(self, graph):
+        plain = OfflineTriClustering(seed=7, max_iterations=MAX_ITER).fit(graph)
+        sharded = ShardedTriClustering(
+            seed=7, max_iterations=MAX_ITER, n_shards=1
+        ).fit(graph)
+        assert_factors_equal(plain.factors, sharded.factors)
+        assert plain.history.totals == sharded.history.totals
+        assert plain.iterations == sharded.iterations
+        assert plain.converged == sharded.converged
+
+    def test_one_shard_identity_without_prior(self, corpus):
+        graph = build_tripartite_graph(corpus)  # no lexicon -> no Sf0
+        plain = OfflineTriClustering(seed=3, max_iterations=8).fit(graph)
+        sharded = ShardedTriClustering(
+            seed=3, max_iterations=8, n_shards=1
+        ).fit(graph)
+        assert_factors_equal(plain.factors, sharded.factors)
+        assert plain.history.totals == sharded.history.totals
+
+    def test_one_shard_identity_with_worker_pool(self, graph):
+        """Threaded execution must not change the numbers."""
+        serial = ShardedTriClustering(
+            seed=7, max_iterations=8, n_shards=1, max_workers=1
+        ).fit(graph)
+        threaded = ShardedTriClustering(
+            seed=7, max_iterations=8, n_shards=1, max_workers=4
+        ).fit(graph)
+        assert_factors_equal(serial.factors, threaded.factors)
+
+
+class TestMultiShardDeterminism:
+    def test_same_seed_same_result(self, graph):
+        runs = [
+            ShardedTriClustering(
+                seed=7, max_iterations=MAX_ITER, n_shards=3
+            ).fit(graph)
+            for _ in range(2)
+        ]
+        assert_factors_equal(runs[0].factors, runs[1].factors)
+        assert runs[0].history.totals == runs[1].history.totals
+
+    def test_threaded_matches_serial(self, graph):
+        serial = ShardedTriClustering(
+            seed=7, max_iterations=10, n_shards=3, max_workers=1
+        ).fit(graph)
+        threaded = ShardedTriClustering(
+            seed=7, max_iterations=10, n_shards=3, max_workers=3
+        ).fit(graph)
+        assert_factors_equal(serial.factors, threaded.factors)
+        assert serial.history.totals == threaded.history.totals
+
+    def test_scatter_gather_round_trips_initial_factors(self, graph):
+        """Row factors survive scatter -> merge untouched for any
+        partition (initialization is global, then scattered)."""
+        from repro.core.initialization import lexicon_seeded_factors
+        from repro.core.sharded import ShardedSolver
+        from repro.graph.partition import extract_shard_blocks, make_partition
+        from repro.utils.executor import WorkerPool
+
+        factors = lexicon_seeded_factors(
+            graph.num_tweets, graph.num_users, graph.sf0, seed=7
+        )
+        sharded = extract_shard_blocks(graph, make_partition(graph, 3))
+        with WorkerPool(1) as pool:
+            solver = ShardedSolver(sharded, factors.copy(), pool)
+            merged = solver.merged_factors()
+        np.testing.assert_array_equal(merged.sp, factors.sp)
+        np.testing.assert_array_equal(merged.su, factors.su)
+        np.testing.assert_array_equal(merged.sf, factors.sf)
+
+    def test_objective_tolerance_vs_unsharded(self, graph):
+        """Full-model objective of merged factors stays within the
+        documented ceiling of the unsharded optimum (block-diagonal
+        approximation drops cut edges)."""
+        solver = OfflineTriClustering(seed=7, max_iterations=40)
+        plain = solver.fit(graph)
+        for n_shards in (2, 4):
+            sharded = ShardedTriClustering(
+                seed=7, max_iterations=40, n_shards=n_shards
+            ).fit(graph)
+            full = compute_objective(
+                sharded.factors,
+                graph.xp,
+                graph.xu,
+                graph.xr,
+                graph.user_graph.laplacian,
+                solver.weights,
+                sf_prior=graph.sf0,
+            ).total
+            relative = abs(full - plain.final_objective) / plain.final_objective
+            assert relative < 0.20, f"n_shards={n_shards}: {relative:.2%}"
+
+
+class TestMergeCorrectness:
+    def test_user_rows_scatter_exactly(self, graph):
+        solver = ShardedTriClustering(seed=7, max_iterations=6, n_shards=3)
+        result = solver.fit(graph)
+        plan = solver.last_plan
+        assert plan is not None and plan.n_shards == 3
+        # Every user/tweet row is owned by exactly one shard and the
+        # merged matrices carry each shard's rows untouched.
+        su, sp = result.factors.su, result.factors.sp
+        assert su.shape == (graph.num_users, 3)
+        assert sp.shape == (graph.num_tweets, 3)
+        assert np.all(su.sum(axis=1) > 0)  # no dropped rows
+        merged_labels = hard_assignments(su)
+        for block in plan.blocks:
+            block_labels = merged_labels[block.user_rows]
+            assert block_labels.shape[0] == block.num_users
+
+    def test_consensus_association_is_positive_and_stationary(self, graph):
+        result = ShardedTriClustering(
+            seed=7, max_iterations=10, n_shards=3
+        ).fit(graph)
+        for name in ("hp", "hu"):
+            matrix = getattr(result.factors, name)
+            assert matrix.shape == (3, 3)
+            assert np.all(matrix >= 0)
+            assert np.all(np.isfinite(matrix))
+            assert matrix.max() > 0
+
+
+class TestEdgeCases:
+    def test_more_shards_than_users_runs(self, graph):
+        result = ShardedTriClustering(
+            seed=7, max_iterations=4, n_shards=graph.num_users + 3
+        ).fit(graph)
+        for name in FACTOR_NAMES:
+            assert np.all(np.isfinite(getattr(result.factors, name)))
+        assert np.isfinite(result.final_objective)
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            ShardedTriClustering(n_shards=0)
+        with pytest.raises(ValueError, match="projector"):
+            ShardedTriClustering(update_style="lagrangian")
+        with pytest.raises(ValueError, match="projector"):
+            ShardedOnlineTriClustering(update_style="lagrangian")
+
+    def test_greedy_partitioner_accepted(self, graph):
+        result = ShardedTriClustering(
+            seed=7, max_iterations=4, n_shards=2, partitioner="greedy"
+        ).fit(graph)
+        assert np.isfinite(result.final_objective)
+
+
+class TestOnlineBitIdentity:
+    def _snapshots(self, corpus, shared_vectorizer, lexicon):
+        for snapshot in SnapshotStream(corpus, interval_days=30):
+            yield build_tripartite_graph(
+                snapshot.corpus,
+                vectorizer=shared_vectorizer,
+                lexicon=lexicon,
+            )
+
+    def test_one_shard_stream_bitwise(
+        self, corpus, shared_vectorizer, lexicon
+    ):
+        plain = OnlineTriClustering(seed=7, max_iterations=10)
+        sharded = ShardedOnlineTriClustering(
+            seed=7, max_iterations=10, n_shards=1
+        )
+        steps = 0
+        for graph in self._snapshots(corpus, shared_vectorizer, lexicon):
+            a = plain.partial_fit(graph)
+            b = sharded.partial_fit(graph)
+            assert_factors_equal(a.factors, b.factors)
+            assert a.history.totals == b.history.totals
+            np.testing.assert_array_equal(a.new_user_rows, b.new_user_rows)
+            np.testing.assert_array_equal(
+                a.evolving_user_rows, b.evolving_user_rows
+            )
+            steps += 1
+        assert steps >= 3
+        assert plain.user_sentiment_labels() == sharded.user_sentiment_labels()
+        rows_a = plain.user_sentiment_rows()
+        rows_b = sharded.user_sentiment_rows()
+        for uid in rows_a:
+            np.testing.assert_array_equal(rows_a[uid], rows_b[uid])
+
+    def test_multi_shard_stream_deterministic_and_merged(
+        self, corpus, shared_vectorizer, lexicon
+    ):
+        solvers = [
+            ShardedOnlineTriClustering(seed=7, max_iterations=8, n_shards=3)
+            for _ in range(2)
+        ]
+        seen = set()
+        for graph in self._snapshots(corpus, shared_vectorizer, lexicon):
+            results = [solver.partial_fit(graph) for solver in solvers]
+            assert_factors_equal(results[0].factors, results[1].factors)
+            seen |= set(graph.corpus.user_ids)
+        assert solvers[0].user_sentiment_labels() == solvers[1].user_sentiment_labels()
+        # Per-shard user sentiments merge into one global readout that
+        # covers every user ever seen.
+        assert set(solvers[0].user_sentiment_labels()) == seen

@@ -60,3 +60,56 @@ class TestFoldInCache:
     def test_negative_maxsize_rejected(self):
         with pytest.raises(ValueError, match="maxsize"):
             FoldInCache(maxsize=-1)
+
+
+class TestThreadSafety:
+    def test_concurrent_mixed_operations_stay_coherent(self):
+        """Hammer get/put/clear from many threads: no exceptions, no
+        lost-update corruption, and the hit/miss counters account for
+        every single lookup."""
+        import threading
+
+        cache = FoldInCache(maxsize=64)
+        workers = 8
+        lookups_per_worker = 500
+        barrier = threading.Barrier(workers)
+        errors: list[BaseException] = []
+
+        def hammer(worker: int) -> None:
+            try:
+                barrier.wait(timeout=10)
+                for i in range(lookups_per_worker):
+                    key = f"text-{(worker * 7 + i) % 100}"
+                    if cache.get(key) is None:
+                        cache.put(key, row(float(worker)))
+                    if i % 97 == 0:
+                        cache.clear()
+            except BaseException as error:  # noqa: BLE001 - re-raised below
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=hammer, args=(w,)) for w in range(workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors
+        assert cache.hits + cache.misses == workers * lookups_per_worker
+        assert len(cache) <= 64
+
+    def test_concurrent_puts_respect_maxsize(self):
+        import threading
+
+        cache = FoldInCache(maxsize=16)
+
+        def fill(offset: int) -> None:
+            for i in range(200):
+                cache.put(f"k{offset}-{i}", row(float(i)))
+
+        threads = [threading.Thread(target=fill, args=(w,)) for w in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert len(cache) <= 16

@@ -1,0 +1,169 @@
+"""Engine save/load: round trip, warm-restart continuation, guards."""
+
+import numpy as np
+import pytest
+
+from repro.data.stream import iter_tweet_batches
+from repro.data.tweet import Tweet
+from repro.engine import StreamingSentimentEngine
+
+INTERVAL_DAYS = 21
+
+
+@pytest.fixture(scope="module")
+def batches(corpus):
+    batches = list(iter_tweet_batches(corpus, interval_days=INTERVAL_DAYS))
+    assert len(batches) >= 4
+    return batches
+
+
+def feed(engine, corpus, batches):
+    for _, _, tweets in batches:
+        engine.ingest(tweets, users=corpus.profiles_for(tweets))
+        engine.advance_snapshot()
+    return engine
+
+
+@pytest.fixture()
+def fed_engine(corpus, lexicon, batches):
+    return feed(
+        StreamingSentimentEngine(lexicon=lexicon, seed=7, max_iterations=10),
+        corpus,
+        batches[:2],
+    )
+
+
+class TestRoundTrip:
+    def test_save_load_serves_identically(
+        self, fed_engine, corpus, tmp_path
+    ):
+        texts = [t.text for t in corpus.tweets[:48]]
+        expected = fed_engine.classify_memberships(texts)
+        fed_engine.save(tmp_path / "ckpt")
+        loaded = StreamingSentimentEngine.load(tmp_path / "ckpt")
+        np.testing.assert_array_equal(
+            loaded.classify_memberships(texts), expected
+        )
+        np.testing.assert_array_equal(
+            loaded.classify(texts), fed_engine.classify(texts)
+        )
+        assert loaded.user_sentiments() == fed_engine.user_sentiments()
+        assert loaded.snapshots_processed == fed_engine.snapshots_processed
+        assert loaded.num_features == fed_engine.num_features
+        np.testing.assert_array_equal(loaded.alignment, fed_engine.alignment)
+
+    def test_continuation_is_bit_identical(
+        self, fed_engine, corpus, batches, tmp_path
+    ):
+        """Warm restart == never having stopped: factor trajectories of
+        the original and the reloaded engine stay bitwise equal across
+        further snapshots (vocabulary, priors and RNG state all resume)."""
+        fed_engine.save(tmp_path / "ckpt")
+        loaded = StreamingSentimentEngine.load(tmp_path / "ckpt")
+        feed(fed_engine, corpus, batches[2:])
+        feed(loaded, corpus, batches[2:])
+        for name in ("sf", "sp", "su", "hp", "hu"):
+            np.testing.assert_array_equal(
+                getattr(fed_engine.factors, name),
+                getattr(loaded.factors, name),
+                err_msg=name,
+            )
+        assert fed_engine.user_sentiments() == loaded.user_sentiments()
+
+    def test_sharded_solver_round_trips(self, corpus, lexicon, batches, tmp_path):
+        engine = feed(
+            StreamingSentimentEngine(
+                lexicon=lexicon, seed=7, max_iterations=8,
+                n_shards=2, partitioner="greedy",
+            ),
+            corpus,
+            batches[:2],
+        )
+        engine.save(tmp_path / "ckpt")
+        loaded = StreamingSentimentEngine.load(tmp_path / "ckpt")
+        assert loaded.n_shards == 2
+        assert loaded.solver.n_shards == 2
+        assert loaded.solver.partitioner == "greedy"
+        texts = [t.text for t in corpus.tweets[:16]]
+        np.testing.assert_array_equal(
+            loaded.classify(texts), engine.classify(texts)
+        )
+
+    def test_no_lexicon_round_trips(self, corpus, batches, tmp_path):
+        engine = feed(
+            StreamingSentimentEngine(seed=7, max_iterations=6),
+            corpus,
+            batches[:1],
+        )
+        engine.save(tmp_path / "ckpt")
+        loaded = StreamingSentimentEngine.load(tmp_path / "ckpt")
+        assert loaded.builder.lexicon is None
+        texts = [t.text for t in corpus.tweets[:8]]
+        np.testing.assert_array_equal(
+            loaded.classify(texts), engine.classify(texts)
+        )
+
+    def test_retweets_of_pre_checkpoint_tweets_resolve(
+        self, fed_engine, corpus, tmp_path
+    ):
+        """The author map survives, so a post-restart retweet of a
+        pre-checkpoint tweet still contributes its author to the
+        snapshot's user universe."""
+        source = corpus.tweets[0]
+        fed_engine.save(tmp_path / "ckpt")
+        loaded = StreamingSentimentEngine.load(tmp_path / "ckpt")
+        retweet = Tweet(
+            tweet_id=10**9 + 1,
+            user_id=corpus.tweets[-1].user_id,
+            text=source.text,
+            day=120,
+            retweet_of=source.tweet_id,
+        )
+        loaded.ingest([retweet])
+        loaded.advance_snapshot()
+        users = loaded.last_graph.corpus.user_ids
+        assert source.user_id in users
+
+
+class TestGuards:
+    def test_save_before_first_snapshot_rejected(self, lexicon, tmp_path):
+        engine = StreamingSentimentEngine(lexicon=lexicon)
+        with pytest.raises(RuntimeError, match="no snapshot"):
+            engine.save(tmp_path / "ckpt")
+
+    def test_save_with_pending_tweets_rejected(
+        self, fed_engine, corpus, tmp_path
+    ):
+        fed_engine.ingest([corpus.tweets[0]])
+        try:
+            with pytest.raises(ValueError, match="pending"):
+                fed_engine.save(tmp_path / "ckpt")
+        finally:
+            fed_engine.advance_snapshot()  # leave the engine clean
+
+    def test_version_mismatch_rejected(self, fed_engine, tmp_path):
+        import json
+
+        path = fed_engine.save(tmp_path / "ckpt")
+        state_file = path / "state.json"
+        state = json.loads(state_file.read_text())
+        state["version"] = 999
+        state_file.write_text(json.dumps(state))
+        with pytest.raises(ValueError, match="version"):
+            StreamingSentimentEngine.load(path)
+
+    def test_custom_solver_type_rejected(self, corpus, lexicon, batches, tmp_path):
+        from repro.core.online import OnlineTriClustering
+
+        class OddSolver(OnlineTriClustering):
+            pass
+
+        engine = feed(
+            StreamingSentimentEngine(
+                lexicon=lexicon, solver=OddSolver(max_iterations=4)
+            ),
+            corpus,
+            batches[:1],
+        )
+        with pytest.raises(ValueError, match="solver"):
+            engine.save(tmp_path / "ckpt")

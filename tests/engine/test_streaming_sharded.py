@@ -1,0 +1,173 @@
+"""StreamingSentimentEngine with user-partition sharding."""
+
+import numpy as np
+import pytest
+
+from repro.core.online import OnlineTriClustering
+from repro.core.sharded import ShardedOnlineTriClustering
+from repro.data.stream import iter_tweet_batches
+from repro.engine import StreamingSentimentEngine
+from repro.eval.metrics import clustering_accuracy
+
+INTERVAL_DAYS = 21
+
+
+@pytest.fixture(scope="module")
+def batches(corpus):
+    return list(iter_tweet_batches(corpus, interval_days=INTERVAL_DAYS))
+
+
+def feed(engine, corpus, batches):
+    for _, _, tweets in batches:
+        engine.ingest(tweets, users=corpus.profiles_for(tweets))
+        engine.advance_snapshot()
+    return engine
+
+
+class TestShardedEngine:
+    def test_default_engine_uses_plain_solver(self, lexicon):
+        engine = StreamingSentimentEngine(lexicon=lexicon)
+        assert type(engine.solver) is OnlineTriClustering
+        assert engine.n_shards == 1
+
+    def test_n_shards_builds_sharded_solver(self, lexicon):
+        engine = StreamingSentimentEngine(
+            lexicon=lexicon, n_shards=3, partitioner="greedy", max_workers=2
+        )
+        assert isinstance(engine.solver, ShardedOnlineTriClustering)
+        assert engine.solver.n_shards == 3
+        assert engine.solver.partitioner == "greedy"
+        assert engine.n_shards == 3
+
+    def test_solver_instance_carries_sharding_config(self, lexicon):
+        solver = ShardedOnlineTriClustering(n_shards=2, max_iterations=5)
+        engine = StreamingSentimentEngine(lexicon=lexicon, solver=solver)
+        assert engine.n_shards == 2
+
+    def test_engine_pool_shared_with_sharded_solver(self, lexicon):
+        engine = StreamingSentimentEngine(lexicon=lexicon, n_shards=2)
+        assert engine.solver.pool is engine._pool
+        # A user solver that pinned its own worker count keeps it.
+        pinned = ShardedOnlineTriClustering(n_shards=2, max_workers=2)
+        engine = StreamingSentimentEngine(lexicon=lexicon, solver=pinned)
+        assert pinned.pool is None
+        # One that didn't joins the engine pool.
+        flexible = ShardedOnlineTriClustering(n_shards=2)
+        engine = StreamingSentimentEngine(lexicon=lexicon, solver=flexible)
+        assert flexible.pool is engine._pool
+
+    def test_close_releases_pool_and_engine_stays_usable(
+        self, corpus, lexicon, batches
+    ):
+        with StreamingSentimentEngine(
+            lexicon=lexicon, seed=7, max_iterations=6, n_shards=2,
+            max_workers=2,
+        ) as engine:
+            feed(engine, corpus, batches[:1])
+            assert engine._pool._pool is not None  # threads materialized
+        assert engine._pool._pool is None  # released on exit
+        # close() is not terminal: further work lazily re-pools.
+        feed(engine, corpus, batches[1:2])
+        assert engine.snapshots_processed == 2
+        engine.close()
+        engine.close()  # idempotent
+
+    def test_solver_and_n_shards_conflict(self, lexicon):
+        with pytest.raises(ValueError, match="n_shards"):
+            StreamingSentimentEngine(
+                lexicon=lexicon,
+                solver=OnlineTriClustering(),
+                n_shards=2,
+            )
+        with pytest.raises(ValueError, match="n_shards"):
+            StreamingSentimentEngine(n_shards=0)
+
+    def test_sharded_end_to_end(self, corpus, lexicon, batches, generator):
+        engine = feed(
+            StreamingSentimentEngine(
+                lexicon=lexicon, seed=7, max_iterations=12, n_shards=3
+            ),
+            corpus,
+            batches,
+        )
+        assert engine.snapshots_processed == len(batches)
+        # Per-shard user sentiments merge to cover every user seen.
+        labels = engine.user_sentiments()
+        assert set(labels) == engine.solver.seen_users
+        assert all(0 <= label <= 2 for label in labels.values())
+        # Serving quality holds up against held-out labeled tweets.
+        from repro.data.synthetic import BallotDatasetGenerator, prop30_config
+
+        fresh = BallotDatasetGenerator(
+            prop30_config(scale=0.02), seed=99
+        ).generate()
+        labeled = [t for t in fresh.tweets if t.sentiment is not None]
+        predictions = engine.classify([t.text for t in labeled])
+        truth = np.array([int(t.sentiment) for t in labeled])
+        scored = predictions >= 0
+        assert scored.mean() > 0.7
+        assert clustering_accuracy(predictions[scored], truth[scored]) > 0.6
+
+    def test_sharded_runs_deterministic(self, corpus, lexicon, batches):
+        texts = [t.text for t in corpus.tweets[:32]]
+        runs = [
+            feed(
+                StreamingSentimentEngine(
+                    lexicon=lexicon, seed=7, max_iterations=10, n_shards=2
+                ),
+                corpus,
+                batches[:3],
+            )
+            for _ in range(2)
+        ]
+        for name in ("sf", "sp", "su", "hp", "hu"):
+            np.testing.assert_array_equal(
+                getattr(runs[0].factors, name), getattr(runs[1].factors, name)
+            )
+        np.testing.assert_array_equal(
+            runs[0].classify(texts), runs[1].classify(texts)
+        )
+
+    def test_parallel_classify_matches_serial(self, corpus, lexicon, batches):
+        texts = [t.text for t in corpus.tweets[:64]]
+        serial = feed(
+            StreamingSentimentEngine(
+                lexicon=lexicon, seed=7, max_iterations=10,
+                classify_batch_size=8, max_workers=1,
+            ),
+            corpus,
+            batches[:2],
+        )
+        parallel = feed(
+            StreamingSentimentEngine(
+                lexicon=lexicon, seed=7, max_iterations=10,
+                classify_batch_size=8, max_workers=4,
+            ),
+            corpus,
+            batches[:2],
+        )
+        np.testing.assert_array_equal(
+            serial.classify_memberships(texts),
+            parallel.classify_memberships(texts),
+        )
+
+    def test_parallel_classify_after_vocab_growth(self, corpus, lexicon, batches):
+        """The serial idf refresh before the fan-out keeps grown-vocab
+        classify race-free and prefix-aligned."""
+        from repro.data.tweet import Tweet
+
+        engine = feed(
+            StreamingSentimentEngine(
+                lexicon=lexicon, seed=7, max_iterations=8,
+                classify_batch_size=4, max_workers=4,
+            ),
+            corpus,
+            batches[:2],
+        )
+        engine.ingest(
+            [Tweet(tweet_id=10**9, user_id=1, text="novelword appears", day=77)]
+        )
+        texts = [t.text for t in corpus.tweets[:16]] + ["novelword appears"]
+        memberships = engine.classify_memberships(texts)
+        assert memberships.shape == (17, 3)
+        assert np.all(np.isfinite(memberships))

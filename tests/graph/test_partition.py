@@ -1,0 +1,187 @@
+"""User partitioners and shard block extraction."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graph.partition import (
+    UserPartition,
+    extract_shard_blocks,
+    greedy_partition,
+    hash_partition,
+    make_partition,
+)
+from repro.graph.usergraph import assemble_adjacency
+
+
+class TestUserPartition:
+    def test_sizes_and_rows(self):
+        partition = UserPartition(
+            n_shards=3, assignments=np.array([0, 2, 0, 1, 2, 2])
+        )
+        assert partition.sizes.tolist() == [2, 1, 3]
+        assert partition.rows_of(2).tolist() == [1, 4, 5]
+        assert partition.num_users == 6
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="outside"):
+            UserPartition(n_shards=2, assignments=np.array([0, 2]))
+        with pytest.raises(ValueError, match="n_shards"):
+            UserPartition(n_shards=0, assignments=np.empty(0))
+
+
+class TestHashPartition:
+    def test_deterministic_and_sticky_per_user(self):
+        ids = list(range(100, 400, 7))
+        a = hash_partition(ids, n_shards=4)
+        b = hash_partition(ids, n_shards=4)
+        np.testing.assert_array_equal(a.assignments, b.assignments)
+        # A user's shard depends only on their id: reordering or
+        # dropping other users never moves them (streaming stickiness).
+        subset = ids[::3]
+        c = hash_partition(subset, n_shards=4)
+        by_id = dict(zip(ids, a.assignments))
+        assert [by_id[uid] for uid in subset] == c.assignments.tolist()
+
+    def test_roughly_balanced(self):
+        partition = hash_partition(list(range(2000)), n_shards=4)
+        sizes = partition.sizes
+        assert sizes.sum() == 2000
+        assert sizes.min() > 350  # splitmix64 mixes consecutive ids well
+
+    def test_single_shard_and_empty(self):
+        assert hash_partition([5, 6], n_shards=1).assignments.tolist() == [0, 0]
+        assert hash_partition([], n_shards=3).num_users == 0
+
+
+class TestGreedyPartition:
+    def test_keeps_communities_together(self):
+        # Two 4-cliques with no cross edges: a 2-shard greedy cut is 0.
+        pairs = [(i, j) for i in range(4) for j in range(i + 1, 4)]
+        pairs += [(i, j) for i in range(4, 8) for j in range(i + 1, 8)]
+        adjacency = assemble_adjacency(pairs, 8)
+        partition = greedy_partition(range(8), adjacency, n_shards=2)
+        assert partition.sizes.tolist() == [4, 4]
+        assert len(set(partition.assignments[:4])) == 1
+        assert len(set(partition.assignments[4:])) == 1
+        assert partition.assignments[0] != partition.assignments[4]
+
+    def test_respects_balance_capacity(self):
+        # One big clique: balance forces a split despite the edge cost.
+        pairs = [(i, j) for i in range(10) for j in range(i + 1, 10)]
+        adjacency = assemble_adjacency(pairs, 10)
+        partition = greedy_partition(range(10), adjacency, n_shards=2, balance=1.0)
+        assert partition.sizes.tolist() == [5, 5]
+
+    def test_isolated_users_fill_by_load(self):
+        partition = greedy_partition(range(9), None, n_shards=3)
+        assert partition.sizes.tolist() == [3, 3, 3]
+
+    def test_deterministic(self):
+        pairs = [(0, 1), (1, 2), (3, 4), (4, 5), (2, 3)]
+        adjacency = assemble_adjacency(pairs, 7)
+        a = greedy_partition(range(7), adjacency, n_shards=2)
+        b = greedy_partition(range(7), adjacency, n_shards=2)
+        np.testing.assert_array_equal(a.assignments, b.assignments)
+
+
+class TestMakePartition:
+    def test_named_strategies_and_callable(self, graph):
+        for strategy in ("hash", "greedy"):
+            partition = make_partition(graph, 3, strategy)
+            assert partition.num_users == graph.num_users
+        custom = make_partition(
+            graph,
+            2,
+            lambda ids, adj, n: UserPartition(
+                n_shards=n,
+                assignments=np.arange(len(ids)) % n,
+            ),
+        )
+        assert custom.sizes.sum() == graph.num_users
+
+    def test_unknown_strategy_rejected(self, graph):
+        with pytest.raises(ValueError, match="unknown partition strategy"):
+            make_partition(graph, 2, "metis")
+
+    def test_greedy_cuts_no_more_gu_weight_than_hash(self, graph):
+        hash_cut = extract_shard_blocks(
+            graph, make_partition(graph, 3, "hash")
+        ).gu_cut_weight
+        greedy_cut = extract_shard_blocks(
+            graph, make_partition(graph, 3, "greedy")
+        ).gu_cut_weight
+        assert greedy_cut <= hash_cut
+
+
+class TestExtractShardBlocks:
+    def test_single_shard_blocks_equal_original(self, graph):
+        sharded = extract_shard_blocks(graph, make_partition(graph, 1))
+        [block] = sharded.blocks
+        assert (block.xp != graph.xp).nnz == 0
+        assert (block.xu != graph.xu).nnz == 0
+        assert (block.xr != graph.xr).nnz == 0
+        assert (block.gu != graph.user_graph.adjacency).nnz == 0
+        assert sharded.gu_cut_weight == 0.0
+        assert sharded.xr_cut_nnz == 0
+
+    def test_blocks_cover_rows_exactly_once(self, graph):
+        sharded = extract_shard_blocks(graph, make_partition(graph, 3))
+        user_rows = np.concatenate([b.user_rows for b in sharded.blocks])
+        tweet_rows = np.concatenate([b.tweet_rows for b in sharded.blocks])
+        assert sorted(user_rows.tolist()) == list(range(graph.num_users))
+        assert sorted(tweet_rows.tolist()) == list(range(graph.num_tweets))
+        # Tweets follow their author's shard.
+        assignments = sharded.partition.assignments
+        for block in sharded.blocks:
+            for row in block.tweet_rows:
+                author = graph.corpus.user_position(
+                    graph.corpus.tweets[int(row)].user_id
+                )
+                assert assignments[author] == block.index
+
+    def test_cut_accounting_is_conserved(self, graph):
+        sharded = extract_shard_blocks(graph, make_partition(graph, 4))
+        kept_xr = sum(b.xr.nnz for b in sharded.blocks)
+        assert kept_xr + sharded.xr_cut_nnz == graph.xr.nnz
+        kept_gu = sum(float(b.gu.sum()) for b in sharded.blocks) / 2.0
+        assert kept_gu + sharded.gu_cut_weight == pytest.approx(
+            sharded.gu_total_weight
+        )
+        assert 0.0 <= sharded.gu_cut_fraction <= 1.0
+        assert 0.0 <= sharded.xr_cut_fraction <= 1.0
+
+    def test_xu_rows_sliced_whole(self, graph):
+        sharded = extract_shard_blocks(graph, make_partition(graph, 3))
+        for block in sharded.blocks:
+            if block.num_users:
+                expected = graph.xu[block.user_rows]
+                assert (block.xu != expected).nnz == 0
+
+    def test_block_laplacian_is_psd_block(self, graph):
+        sharded = extract_shard_blocks(graph, make_partition(graph, 3))
+        for block in sharded.blocks:
+            if block.num_users == 0:
+                continue
+            # Degrees recomputed from the block: rows of Lu sum to 0.
+            row_sums = np.asarray(block.laplacian.sum(axis=1)).ravel()
+            np.testing.assert_allclose(row_sums, 0.0, atol=1e-12)
+
+    def test_empty_shards_allowed(self, graph):
+        many = extract_shard_blocks(
+            graph, make_partition(graph, graph.num_users + 5)
+        )
+        empty = [b for b in many.blocks if b.is_empty]
+        assert empty, "expected at least one empty shard"
+        for block in empty:
+            assert block.xp.shape[0] == 0 and block.xu.shape[0] == 0
+
+    def test_partition_size_mismatch_rejected(self, graph):
+        with pytest.raises(ValueError, match="partition covers"):
+            extract_shard_blocks(
+                graph,
+                UserPartition(
+                    n_shards=2,
+                    assignments=np.zeros(graph.num_users + 1, dtype=np.int64),
+                ),
+            )

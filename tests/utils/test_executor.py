@@ -1,0 +1,71 @@
+"""WorkerPool: ordered results, serial fallback, error propagation."""
+
+import threading
+
+import pytest
+
+from repro.utils.executor import WorkerPool, default_worker_count
+
+
+class TestWorkerPool:
+    def test_map_preserves_input_order(self):
+        with WorkerPool(max_workers=4) as pool:
+            assert pool.map(lambda x: x * 2, list(range(20))) == [
+                2 * x for x in range(20)
+            ]
+
+    def test_serial_fallback_spawns_no_threads(self):
+        pool = WorkerPool(max_workers=1)
+        thread_ids = set()
+
+        def record(x):
+            thread_ids.add(threading.get_ident())
+            return x
+
+        assert pool.map(record, [1, 2, 3]) == [1, 2, 3]
+        assert thread_ids == {threading.get_ident()}
+        assert pool._pool is None
+        assert not pool.parallel
+
+    def test_single_item_runs_serially(self):
+        with WorkerPool(max_workers=4) as pool:
+            pool.map(lambda x: x, [1])
+            assert pool._pool is None  # never materialized
+
+    def test_worker_exception_propagates(self):
+        def explode(x):
+            raise RuntimeError(f"boom {x}")
+
+        with WorkerPool(max_workers=2) as pool:
+            with pytest.raises(RuntimeError, match="boom"):
+                pool.map(explode, [1, 2])
+
+    def test_parallel_actually_uses_pool_threads(self):
+        thread_ids = set()
+        barrier = threading.Barrier(2, timeout=5)
+
+        def record(x):
+            barrier.wait()  # forces two live workers
+            thread_ids.add(threading.get_ident())
+            return x
+
+        with WorkerPool(max_workers=2) as pool:
+            assert pool.map(record, [1, 2]) == [1, 2]
+        assert len(thread_ids) == 2
+
+    def test_shutdown_idempotent_and_reusable_config(self):
+        pool = WorkerPool(max_workers=2)
+        pool.map(lambda x: x, [1, 2])
+        pool.shutdown()
+        pool.shutdown()
+        # A fresh pool is lazily created after shutdown.
+        assert pool.map(lambda x: x + 1, [1, 2]) == [2, 3]
+        pool.shutdown()
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ValueError, match="max_workers"):
+            WorkerPool(max_workers=0)
+
+    def test_default_worker_count_positive(self):
+        assert default_worker_count() >= 1
+        assert WorkerPool().max_workers == default_worker_count()
