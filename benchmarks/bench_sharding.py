@@ -1,9 +1,11 @@
-"""Sharded solve benchmark: shard-count × wall-clock trajectory.
+"""Sharded solve benchmark: backend × shard-count wall-clock matrix.
 
 Runs the identical streaming workload (prop30, 7-day snapshots through
-the engine path) at several ``n_shards`` settings and records per-
-snapshot solve wall times.  One shard is the plain online solver —
-the baseline every other row is normalized against.
+the engine path) at several ``n_shards`` settings on each execution
+backend (``thread`` and ``process`` by default) and records per-snapshot
+solve wall times.  The thread backend at one shard is the plain online
+solver — the baseline every other cell of the matrix is normalized
+against.
 
 Two speedup readouts are reported:
 
@@ -13,12 +15,19 @@ Two speedup readouts are reported:
 - ``per_sweep_speedup`` — wall-clock *per sweep* ratio, the isolated
   parallelism win of fanning per-shard updates across the worker pool.
 
-Shard parallelism uses threads (scipy/numpy release the GIL in the
-matrix products that dominate a sweep), so multi-shard speedups only
-materialize on a multi-core machine; the recorded ``cpu_count`` pins
-what the JSON trajectory was measured on, and the speedup assertion is
-gated on having both multiple cores and at least bench scale (CI smoke
-runs record the trajectory without asserting).
+Backend trade-off being measured: threads overlap in the GIL-releasing
+scipy/numpy products but serialize the Python-level bookkeeping between
+them; processes own their shards outright (blocks pinned worker-resident,
+only ``Sf`` and the ``l×k`` contributions crossing per sweep) at the
+price of that per-sweep IPC.  Either way the arithmetic is identical —
+the benchmark asserts that every backend lands on the bit-same final
+objective per shard count — so the matrix isolates pure execution cost.
+Multi-shard speedups only materialize on a multi-core machine; the
+recorded ``cpu_count`` pins what the JSON trajectory was measured on,
+and the speedup assertion is gated on having both multiple cores and at
+least bench scale (CI smoke runs record the trajectory without
+asserting).  ``REPRO_SHARDING_BACKENDS`` (comma-separated) restricts
+the backend axis.
 
 Emits ``benchmarks/results/bench_sharding.json`` plus the usual table.
 """
@@ -41,54 +50,71 @@ INTERVAL_DAYS = 7
 #: Shard counts to sweep.  4 matches the GitHub-hosted runner vCPUs.
 SHARD_COUNTS = (1, 2, 4)
 
+#: Execution backends to sweep (overridable via REPRO_SHARDING_BACKENDS).
+BACKENDS_DEFAULT = ("thread", "process")
+
 #: Minimum scale at which the speedup assertion is meaningful — below
 #: this the per-shard matrices are too small for parallel overlap to
 #: beat pool dispatch overhead.
 ASSERT_SCALE = 0.06
 
 
-def run_shard_count(bundle, config, n_shards: int) -> dict:
-    """One full engine pass at ``n_shards``; per-snapshot timings."""
+def bench_backends() -> tuple:
+    raw = os.environ.get("REPRO_SHARDING_BACKENDS")
+    if not raw:
+        return BACKENDS_DEFAULT
+    return tuple(name.strip() for name in raw.split(",") if name.strip())
+
+
+def run_cell(bundle, config, backend: str, n_shards: int) -> dict:
+    """One full engine pass at (backend, n_shards); per-snapshot timings."""
     engine = StreamingSentimentEngine(
         lexicon=bundle.lexicon,
         seed=config.solver_seed,
         max_iterations=config.online_max_iterations,
         n_shards=n_shards,
+        backend=backend,
     )
     rows = []
-    for _, _, tweets in iter_tweet_batches(
-        bundle.corpus, interval_days=INTERVAL_DAYS
-    ):
-        engine.ingest(tweets, users=bundle.corpus.profiles_for(tweets))
-        started = time.perf_counter()
-        report = engine.advance_snapshot()
-        elapsed = time.perf_counter() - started
-        rows.append(
-            dict(
-                index=report.index,
-                tweets=report.num_tweets,
-                users=report.num_users,
-                iterations=report.iterations,
-                solve_seconds=report.solve_seconds,
-                wall_seconds=elapsed,
+    try:
+        for _, _, tweets in iter_tweet_batches(
+            bundle.corpus, interval_days=INTERVAL_DAYS
+        ):
+            engine.ingest(tweets, users=bundle.corpus.profiles_for(tweets))
+            started = time.perf_counter()
+            report = engine.advance_snapshot()
+            elapsed = time.perf_counter() - started
+            rows.append(
+                dict(
+                    index=report.index,
+                    tweets=report.num_tweets,
+                    users=report.num_users,
+                    iterations=report.iterations,
+                    solve_seconds=report.solve_seconds,
+                    wall_seconds=elapsed,
+                )
             )
-        )
-    # Final-snapshot factors evaluated on the FULL (uncut) objective, so
-    # shard counts are compared on one common yardstick — this is the
-    # documented-tolerance number for the block-diagonal approximation.
-    step, graph = engine.last_step, engine.last_graph
-    full_objective = compute_objective(
-        step.factors,
-        graph.xp,
-        graph.xu,
-        graph.xr,
-        graph.user_graph.laplacian,
-        engine.solver.weights,
-        sf_prior=graph.sf0,
-    ).total
+        # Final-snapshot factors evaluated on the FULL (uncut) objective,
+        # so cells are compared on one common yardstick — this is the
+        # documented-tolerance number for the block-diagonal
+        # approximation, and the cross-backend determinism witness (all
+        # backends must land on the bit-same value per shard count).
+        step, graph = engine.last_step, engine.last_graph
+        full_objective = compute_objective(
+            step.factors,
+            graph.xp,
+            graph.xu,
+            graph.xr,
+            graph.user_graph.laplacian,
+            engine.solver.weights,
+            sf_prior=graph.sf0,
+        ).total
+    finally:
+        engine.close()
     solve_seconds = sum(r["solve_seconds"] for r in rows)
     sweeps = sum(r["iterations"] for r in rows)
     return dict(
+        backend=backend,
         n_shards=n_shards,
         snapshots=len(rows),
         solve_seconds=solve_seconds,
@@ -100,13 +126,19 @@ def run_shard_count(bundle, config, n_shards: int) -> dict:
     )
 
 
-def run_sharding_comparison(config=None) -> dict:
+def run_sharding_comparison(config=None, backends=None) -> dict:
     if config is None:
         from repro.experiments.configs import bench_config
 
         config = bench_config()
+    if backends is None:
+        backends = bench_backends()
     bundle = load_dataset("prop30", config)
-    runs = [run_shard_count(bundle, config, n) for n in SHARD_COUNTS]
+    runs = [
+        run_cell(bundle, config, backend, n)
+        for backend in backends
+        for n in SHARD_COUNTS
+    ]
     baseline = runs[0]
     for run in runs:
         run["solve_speedup"] = baseline["solve_seconds"] / max(
@@ -123,6 +155,7 @@ def run_sharding_comparison(config=None) -> dict:
         scale=config.scale,
         cpu_count=default_worker_count(),
         shard_counts=list(SHARD_COUNTS),
+        backends=list(backends),
         runs=runs,
     )
 
@@ -138,6 +171,17 @@ def test_bench_sharding(benchmark):
         # model on the full objective (documented tolerance).
         assert abs(run["objective_rel_diff"]) < 0.25
 
+    # Backends are an execution detail, not a model change: for every
+    # shard count the final-snapshot objective must be bit-identical
+    # across every backend in the matrix.
+    by_count: dict[int, list[float]] = {}
+    for run in runs:
+        by_count.setdefault(run["n_shards"], []).append(run["full_objective"])
+    for n_shards, values in by_count.items():
+        assert all(value == values[0] for value in values), (
+            f"backend-dependent objective at n_shards={n_shards}: {values}"
+        )
+
     if (
         default_worker_count() >= 2
         and outcome["scale"] >= ASSERT_SCALE
@@ -148,7 +192,11 @@ def test_bench_sharding(benchmark):
         # REPRO_SHARDING_ASSERT=0 records the trajectory without gating
         # (shared CI runners have noisy-neighbour timing; the uploaded
         # JSON is the evidence there, not a pass/fail bit).
-        best = max(run["per_sweep_speedup"] for run in runs[1:])
+        best = max(
+            run["per_sweep_speedup"]
+            for run in runs
+            if run["n_shards"] > 1
+        )
         assert best > 1.0, f"no multi-shard speedup: {runs}"
 
     json_path = results_dir() / "bench_sharding.json"
@@ -156,6 +204,7 @@ def test_bench_sharding(benchmark):
 
     rows = [
         [
+            run["backend"],
             run["n_shards"],
             run["snapshots"],
             round(run["solve_seconds"] * 1000, 1),
@@ -168,6 +217,7 @@ def test_bench_sharding(benchmark):
     ]
     text = format_table(
         [
+            "Backend",
             "Shards",
             "Snapshots",
             "Solve ms",

@@ -38,6 +38,7 @@ from repro.core.sharded import (
     ShardedOnlineTriClustering,
     ShardedSolver,
     ShardedTriClustering,
+    resolve_shard_count,
 )
 from repro.core.state import FactorSet
 from repro.core.sweepcache import SweepCache
@@ -71,4 +72,5 @@ __all__ = [
     "infer_user_memberships",
     "infer_user_sentiments",
     "lexicon_column_alignment",
+    "resolve_shard_count",
 ]

@@ -14,7 +14,11 @@ import numpy as np
 
 from repro.core.convergence import ConvergenceHistory
 from repro.core.initialization import lexicon_seeded_factors, random_factors
-from repro.core.objective import ObjectiveWeights, compute_objective
+from repro.core.objective import (
+    ObjectiveStatics,
+    ObjectiveWeights,
+    compute_objective,
+)
 from repro.core.state import FactorSet
 from repro.core.sweepcache import SweepCache
 from repro.core.updates import (
@@ -171,6 +175,11 @@ class OfflineTriClustering:
         converged = False
         iterations_run = 0
         cache = SweepCache(xp, xu)
+        # ‖X‖² and the CSR transposes are fixed for the whole fit but the
+        # objective is evaluated every sweep; bundling them once removes
+        # the dominant constant from each evaluation without changing a
+        # single floating-point value (see ObjectiveStatics).
+        statics = ObjectiveStatics.from_matrices(xp, xu, xr)
         for iteration in range(self.max_iterations):
             # Algorithm 1 order: Sp, Hp, Su, Hu, Sf.
             factors.sp = update_sp(
@@ -213,7 +222,8 @@ class OfflineTriClustering:
 
             if self.track_history or self.tolerance > 0:
                 objective = compute_objective(
-                    factors, xp, xu, xr, laplacian, self.weights, sf_prior=sf0
+                    factors, xp, xu, xr, laplacian, self.weights,
+                    sf_prior=sf0, statics=statics,
                 )
                 history.append(objective)
                 if history.converged(self.tolerance, window=self.patience):
@@ -229,7 +239,8 @@ class OfflineTriClustering:
             # History disabled and tolerance 0: record the final state once.
             history.append(
                 compute_objective(
-                    factors, xp, xu, xr, laplacian, self.weights, sf_prior=sf0
+                    factors, xp, xu, xr, laplacian, self.weights,
+                    sf_prior=sf0, statics=statics,
                 )
             )
         return TriClusteringResult(

@@ -24,7 +24,11 @@ import numpy as np
 
 from repro.core.convergence import ConvergenceHistory
 from repro.core.initialization import warm_started_factors
-from repro.core.objective import ObjectiveWeights, compute_objective
+from repro.core.objective import (
+    ObjectiveStatics,
+    ObjectiveWeights,
+    compute_objective,
+)
 from repro.core.state import FactorSet
 from repro.core.sweepcache import SweepCache
 from repro.core.updates import (
@@ -329,6 +333,9 @@ class OnlineTriClustering:
         converged = False
         iterations_run = 0
         cache = SweepCache(xp, xu)
+        # Same per-fit constants bundle as the offline/sharded paths:
+        # evaluations through it are bit-identical, just cheaper.
+        statics = ObjectiveStatics.from_matrices(xp, xu, xr)
         for iteration in range(self.max_iterations):
             factors.sf = update_sf(
                 factors.sf,
@@ -382,6 +389,7 @@ class OnlineTriClustering:
                     sf_prior=sf_prior,
                     su_prior=su_prior,
                     su_prior_rows=evolving_rows if su_prior is not None else None,
+                    statics=statics,
                 )
                 history.append(objective)
                 if history.converged(self.tolerance, window=self.patience):
@@ -400,6 +408,7 @@ class OnlineTriClustering:
                     sf_prior=sf_prior,
                     su_prior=su_prior,
                     su_prior_rows=evolving_rows if su_prior is not None else None,
+                    statics=statics,
                 )
             )
         return self._OptimizeOutput(

@@ -31,6 +31,18 @@ Model semantics vs. the unsharded solvers:
   :class:`~repro.core.state.FactorSet` serves classify traffic exactly
   like an unsharded one.
 
+Execution backends: every shard interaction is expressed as a picklable
+module-level *command* run against shard state held by the
+:class:`~repro.utils.executor.WorkerPool` (``backend="serial"|"thread"|
+"process"``).  States are scattered **once per solve** (for the process
+backend, as compact :meth:`~repro.graph.partition.ShardBlock.to_payload`
+pieces pinned worker-resident under a shard epoch); each sweep then
+moves only the global ``Sf`` broadcast down and the ``l×k``
+contribution matrices back, so per-sweep IPC is ``O(l·k)`` per shard,
+never ``O(nnz)``.  Results are bit-identical across backends: the
+commands are the same functions, replies are collected into shard
+order, and all reductions run on the caller.
+
 Only the ``"projector"`` update style is supported: the Lagrangian
 Δ-split needs global factor grams mid-sweep, which would serialize the
 very step sharding parallelizes.
@@ -58,12 +70,13 @@ from repro.core.updates import (
     update_su_online,
 )
 from repro.graph.partition import (
+    ShardBlock,
     ShardedGraph,
     extract_shard_blocks,
     make_partition,
 )
 from repro.graph.tripartite import TripartiteGraph
-from repro.utils.executor import WorkerPool
+from repro.utils.executor import BACKENDS, WorkerPool, default_worker_count
 from repro.utils.matrices import safe_sqrt_ratio
 from repro.utils.rng import spawn_rng
 
@@ -71,6 +84,33 @@ from repro.utils.rng import spawn_rng
 #: ``Hp``/``Hu`` pair from per-shard factors at merge time.  The problem
 #: is a k×k convex quadratic, so this converges in a handful of steps.
 CONSENSUS_ITERATIONS = 25
+
+#: ``n_shards="auto"``: one shard per this many users, capped by the
+#: worker count.  Below ~64 users per shard the per-shard matrices are
+#: too small for parallel overlap to beat dispatch overhead (the same
+#: scale floor the sharding benchmark gates its speedup assertion on).
+AUTO_USERS_PER_SHARD = 64
+
+
+def resolve_shard_count(
+    n_shards: int | str, num_users: int, max_workers: int | None = None
+) -> int:
+    """Resolve ``n_shards`` (an int or ``"auto"``) for one snapshot.
+
+    The ``"auto"`` heuristic picks ``min(workers, num_users // 64)``
+    (floored at 1): enough shards to keep every worker busy, but never
+    so many that a shard drops below :data:`AUTO_USERS_PER_SHARD` users
+    — tiny shards pay more in dispatch and cut edges than they earn in
+    overlap.  ``workers`` is ``max_workers`` when set, else the
+    machine's CPU count, so the same stream adapts per host and per
+    snapshot as the user population grows.
+    """
+    if n_shards == "auto":
+        workers = (
+            max_workers if max_workers is not None else default_worker_count()
+        )
+        return int(max(1, min(workers, num_users // AUTO_USERS_PER_SHARD)))
+    return int(n_shards)
 
 
 def _dot(x, dense: np.ndarray) -> np.ndarray:
@@ -80,9 +120,14 @@ def _dot(x, dense: np.ndarray) -> np.ndarray:
 
 @dataclass
 class _ShardState:
-    """One shard's live factors plus its sweep-local context."""
+    """One shard's live factors plus its sweep-local context.
 
-    block: object  # ShardBlock
+    Lives wherever the pool's backend keeps resident state: the solver
+    process for serial/thread, the owning worker for process.  Mutated
+    in place by the sweep commands below.
+    """
+
+    block: ShardBlock
     sp: np.ndarray
     su: np.ndarray
     hp: np.ndarray
@@ -90,7 +135,154 @@ class _ShardState:
     cache: SweepCache
     su_prior: np.ndarray | None = None
     evolving_rows: np.ndarray | None = None
-    contribution: np.ndarray | None = None
+
+
+# --------------------------------------------------------------------- #
+# Shard commands (picklable module-level functions)
+#
+# Everything the solver asks of a shard crosses the WorkerPool as one of
+# these functions plus small arguments (the global ``Sf``, the weights,
+# a prior).  Returns are factor-sized (``l×k`` contributions, k×k merge
+# terms, scalar objective parts) — never shard blocks.
+# --------------------------------------------------------------------- #
+
+
+def _shard_state_payload(state: _ShardState) -> tuple:
+    """Compact once-per-scatter shipping form of a shard state."""
+    return (
+        state.block.to_payload(),
+        state.sp,
+        state.su,
+        state.hp,
+        state.hu,
+        state.su_prior,
+        state.evolving_rows,
+    )
+
+
+def _shard_state_from_payload(payload: tuple) -> _ShardState:
+    block_payload, sp, su, hp, hu, su_prior, evolving_rows = payload
+    block = ShardBlock.from_payload(block_payload)
+    return _ShardState(
+        block=block,
+        sp=sp,
+        su=su,
+        hp=hp,
+        hu=hu,
+        cache=SweepCache(block.xp, block.xu),
+        su_prior=su_prior,
+        evolving_rows=evolving_rows,
+    )
+
+
+def _shard_contribution(state: _ShardState) -> np.ndarray:
+    """The shard's additive ``l×k`` piece of the ``Sf`` numerator."""
+    return sf_sweep_contribution(
+        state.sp, state.hp, state.su, state.hu,
+        state.block.xp, state.block.xu,
+        xp_T=state.block.xp_T, xu_T=state.block.xu_T,
+    )
+
+
+def _shard_offline_pass(
+    state: _ShardState, sf: np.ndarray, weights: ObjectiveWeights
+) -> np.ndarray:
+    """Algorithm 1 order within one shard: Sp, Hp, Su, Hu."""
+    block = state.block
+    if block.num_tweets:
+        state.sp = update_sp(
+            state.sp, sf, state.hp, state.su, block.xp, block.xr,
+            style="projector", cache=state.cache,
+        )
+        state.hp = update_hp(
+            state.hp, state.sp, sf, block.xp, cache=state.cache
+        )
+    if block.num_users:
+        state.su = update_su(
+            state.su, sf, state.hu, state.sp, block.xu, block.xr,
+            block.gu, block.du, weights.beta,
+            style="projector", cache=state.cache,
+        )
+        state.hu = update_hu(
+            state.hu, state.su, sf, block.xu, cache=state.cache
+        )
+    return _shard_contribution(state)
+
+
+def _shard_online_pass(
+    state: _ShardState, sf: np.ndarray, weights: ObjectiveWeights
+) -> np.ndarray:
+    """Algorithm 2 order within one shard: Sp, Hp, Hu, Su."""
+    block = state.block
+    if block.num_tweets:
+        state.sp = update_sp(
+            state.sp, sf, state.hp, state.su, block.xp, block.xr,
+            style="projector", cache=state.cache,
+        )
+        state.hp = update_hp(
+            state.hp, state.sp, sf, block.xp, cache=state.cache
+        )
+    if block.num_users:
+        state.hu = update_hu(
+            state.hu, state.su, sf, block.xu, cache=state.cache
+        )
+        state.su = update_su_online(
+            state.su, sf, state.hu, state.sp, block.xu, block.xr,
+            block.gu, block.du, weights.beta, weights.gamma,
+            state.su_prior, state.evolving_rows,
+            style="projector", cache=state.cache,
+        )
+    return _shard_contribution(state)
+
+
+def _shard_objective(
+    state: _ShardState,
+    sf: np.ndarray,
+    weights: ObjectiveWeights,
+    sf_prior,
+    su_prior_active: bool,
+) -> ObjectiveValue:
+    block = state.block
+    factors = FactorSet(
+        sf=sf, sp=state.sp, su=state.su, hp=state.hp, hu=state.hu
+    )
+    return compute_objective(
+        factors,
+        block.xp,
+        block.xu,
+        block.xr,
+        block.laplacian,
+        weights,
+        sf_prior=sf_prior,
+        su_prior=state.su_prior if su_prior_active else None,
+        su_prior_rows=state.evolving_rows if su_prior_active else None,
+        statics=block.statics,
+    )
+
+
+def _shard_merge_upload(state: _ShardState, sf: np.ndarray) -> dict:
+    """End-of-solve upload: final row factors + reduced consensus terms.
+
+    The consensus fixed point needs only ``SᵀXSf`` and ``SᵀS`` summed
+    over shards, so those k×k terms are computed where the blocks live;
+    the row factors themselves must cross once anyway (they are the
+    merged model).
+    """
+    upload: dict = {
+        "sp": state.sp, "su": state.su, "hp": state.hp, "hu": state.hu
+    }
+    block = state.block
+    for which, rows, factor, data in (
+        ("hp", block.num_tweets, state.sp, block.xp),
+        ("hu", block.num_users, state.su, block.xu),
+    ):
+        if rows:
+            upload[f"{which}_terms"] = (
+                rows, factor.T @ _dot(data, sf), factor.T @ factor
+            )
+        else:
+            upload[f"{which}_terms"] = None
+    return upload
 
 
 class ShardedSolver:
@@ -100,10 +292,13 @@ class ShardedSolver:
     initial :class:`FactorSet` (scattered row-wise onto the shards).
     The driving solver calls :meth:`offline_sweep` / :meth:`online_sweep`
     per iteration, :meth:`objective` for convergence tracking, and
-    :meth:`merged_factors` once at the end.  All shard fan-out goes
-    through the supplied :class:`~repro.utils.executor.WorkerPool`;
-    reductions run on the calling thread in shard order, so results are
-    deterministic under any scheduling.
+    :meth:`merged_factors` once at the end.  All shard interaction goes
+    through the supplied :class:`~repro.utils.executor.WorkerPool` as
+    module-level commands against states scattered at construction —
+    the pool's backend decides whether those states live on this
+    process's heap (serial/thread) or pinned inside worker processes.
+    Reductions run on the calling thread in shard order, so results are
+    deterministic under any scheduling and identical across backends.
     """
 
     def __init__(
@@ -123,13 +318,14 @@ class ShardedSolver:
         self.pool = pool
         self.update_style = update_style
         self.sf = factors.sf
+        self.num_shards = len(sharded.blocks)
 
         assignments = sharded.partition.assignments
         local_index = np.empty(sharded.graph.num_users, dtype=np.int64)
         for block in sharded.blocks:
             local_index[block.user_rows] = np.arange(block.num_users)
 
-        self.shards: list[_ShardState] = []
+        states: list[_ShardState] = []
         for block in sharded.blocks:
             if su_prior is not None and evolving_rows is not None:
                 selected = assignments[evolving_rows] == block.index
@@ -138,7 +334,7 @@ class ShardedSolver:
             else:
                 shard_evolving = np.empty(0, dtype=np.int64)
                 shard_prior = None
-            self.shards.append(
+            states.append(
                 _ShardState(
                     block=block,
                     sp=factors.sp[block.tweet_rows],
@@ -150,7 +346,17 @@ class ShardedSolver:
                     evolving_rows=shard_evolving,
                 )
             )
+        # One shipment per solve; sweeps exchange only Sf and l×k pieces.
+        self.epoch = pool.scatter(
+            states,
+            to_payload=_shard_state_payload,
+            from_payload=_shard_state_from_payload,
+        )
+        self._contributions: list[np.ndarray] | None = None
         self._primed = False
+
+    def _broadcast(self, *args) -> list[tuple]:
+        return [args] * self.num_shards
 
     # ------------------------------------------------------------------ #
     # Sweeps
@@ -158,8 +364,8 @@ class ShardedSolver:
 
     def offline_sweep(self, weights: ObjectiveWeights, sf_prior) -> None:
         """One Algorithm 1 sweep: shard passes, then the global ``Sf``."""
-        self.pool.map(
-            lambda state: self._offline_pass(state, weights), self.shards
+        self._contributions = self.pool.run_resident(
+            _shard_offline_pass, self._broadcast(self.sf, weights)
         )
         self.sf = apply_sf_update(
             self.sf, self._reduce_contributions(), sf_prior, weights.alpha
@@ -169,78 +375,25 @@ class ShardedSolver:
     def online_sweep(self, weights: ObjectiveWeights, sf_prior) -> None:
         """One Algorithm 2 sweep: global ``Sf`` first, then shard passes.
 
-        The ``Sf`` step consumes the contributions computed at the end
-        of the previous sweep (or a priming pass on the first call), so
-        each iteration needs exactly one parallel phase.
+        The ``Sf`` step consumes the contributions returned by the
+        previous sweep's passes (or a priming pass on the first call),
+        so each iteration needs exactly one parallel phase.
         """
         if not self._primed:
-            self.pool.map(self._contribution_pass, self.shards)
+            self._contributions = self.pool.run_resident(
+                _shard_contribution, self._broadcast()
+            )
             self._primed = True
         self.sf = apply_sf_update(
             self.sf, self._reduce_contributions(), sf_prior, weights.alpha
         )
-        self.pool.map(
-            lambda state: self._online_pass(state, weights), self.shards
-        )
-
-    def _offline_pass(
-        self, state: _ShardState, weights: ObjectiveWeights
-    ) -> None:
-        """Algorithm 1 order within one shard: Sp, Hp, Su, Hu."""
-        block = state.block
-        if block.num_tweets:
-            state.sp = update_sp(
-                state.sp, self.sf, state.hp, state.su, block.xp, block.xr,
-                style=self.update_style, cache=state.cache,
-            )
-            state.hp = update_hp(
-                state.hp, state.sp, self.sf, block.xp, cache=state.cache
-            )
-        if block.num_users:
-            state.su = update_su(
-                state.su, self.sf, state.hu, state.sp, block.xu, block.xr,
-                block.gu, block.du, weights.beta,
-                style=self.update_style, cache=state.cache,
-            )
-            state.hu = update_hu(
-                state.hu, state.su, self.sf, block.xu, cache=state.cache
-            )
-        self._contribution_pass(state)
-
-    def _online_pass(
-        self, state: _ShardState, weights: ObjectiveWeights
-    ) -> None:
-        """Algorithm 2 order within one shard: Sp, Hp, Hu, Su."""
-        block = state.block
-        if block.num_tweets:
-            state.sp = update_sp(
-                state.sp, self.sf, state.hp, state.su, block.xp, block.xr,
-                style=self.update_style, cache=state.cache,
-            )
-            state.hp = update_hp(
-                state.hp, state.sp, self.sf, block.xp, cache=state.cache
-            )
-        if block.num_users:
-            state.hu = update_hu(
-                state.hu, state.su, self.sf, block.xu, cache=state.cache
-            )
-            state.su = update_su_online(
-                state.su, self.sf, state.hu, state.sp, block.xu, block.xr,
-                block.gu, block.du, weights.beta, weights.gamma,
-                state.su_prior, state.evolving_rows,
-                style=self.update_style, cache=state.cache,
-            )
-        self._contribution_pass(state)
-
-    def _contribution_pass(self, state: _ShardState) -> None:
-        state.contribution = sf_sweep_contribution(
-            state.sp, state.hp, state.su, state.hu,
-            state.block.xp, state.block.xu,
-            xp_T=state.block.xp_T, xu_T=state.block.xu_T,
+        self._contributions = self.pool.run_resident(
+            _shard_online_pass, self._broadcast(self.sf, weights)
         )
 
     def _reduce_contributions(self) -> np.ndarray:
-        parts = [state.contribution for state in self.shards]
+        parts = self._contributions
+        assert parts is not None
         total = parts[0]
         for part in parts[1:]:
             total = total + part
@@ -264,16 +417,14 @@ class ShardedSolver:
         counted exactly once, and the 1-shard evaluation is the plain
         solver's evaluation verbatim.
         """
-        def evaluate(indexed: tuple[int, _ShardState]) -> ObjectiveValue:
-            index, state = indexed
-            return self._objective_pass(
-                state,
-                weights,
-                sf_prior if index == 0 else None,
-                su_prior_active,
-            )
-
-        parts = self.pool.map(evaluate, list(enumerate(self.shards)))
+        parts = self.pool.run_resident(
+            _shard_objective,
+            [
+                (self.sf, weights, sf_prior if index == 0 else None,
+                 su_prior_active)
+                for index in range(self.num_shards)
+            ],
+        )
         if len(parts) == 1:
             return parts[0]
         return ObjectiveValue(
@@ -285,30 +436,6 @@ class ShardedSolver:
             temporal_loss=sum(p.temporal_loss for p in parts),
         )
 
-    def _objective_pass(
-        self,
-        state: _ShardState,
-        weights: ObjectiveWeights,
-        sf_prior,
-        su_prior_active: bool,
-    ) -> ObjectiveValue:
-        block = state.block
-        factors = FactorSet(
-            sf=self.sf, sp=state.sp, su=state.su, hp=state.hp, hu=state.hu
-        )
-        return compute_objective(
-            factors,
-            block.xp,
-            block.xu,
-            block.xr,
-            block.laplacian,
-            weights,
-            sf_prior=sf_prior,
-            su_prior=state.su_prior if su_prior_active else None,
-            su_prior_rows=state.evolving_rows if su_prior_active else None,
-            statics=block.statics,
-        )
-
     # ------------------------------------------------------------------ #
     # Merge
     # ------------------------------------------------------------------ #
@@ -317,30 +444,38 @@ class ShardedSolver:
         self, consensus_iterations: int = CONSENSUS_ITERATIONS
     ) -> FactorSet:
         """Scatter shard rows back and distill global ``Hp``/``Hu``."""
+        uploads = self.pool.run_resident(
+            _shard_merge_upload, self._broadcast(self.sf)
+        )
         graph = self.sharded.graph
         num_classes = self.sf.shape[1]
         sp = np.zeros((graph.num_tweets, num_classes))
         su = np.zeros((graph.num_users, num_classes))
-        for state in self.shards:
-            sp[state.block.tweet_rows] = state.sp
-            su[state.block.user_rows] = state.su
-        if len(self.shards) == 1:
-            hp, hu = self.shards[0].hp, self.shards[0].hu
+        for block, upload in zip(self.sharded.blocks, uploads):
+            sp[block.tweet_rows] = upload["sp"]
+            su[block.user_rows] = upload["su"]
+        if self.num_shards == 1:
+            hp, hu = uploads[0]["hp"], uploads[0]["hu"]
         else:
-            hp = self._consensus_association("hp", consensus_iterations)
-            hu = self._consensus_association("hu", consensus_iterations)
+            hp = self._consensus_association(
+                "hp", uploads, consensus_iterations
+            )
+            hu = self._consensus_association(
+                "hu", uploads, consensus_iterations
+            )
         return FactorSet(sf=self.sf, sp=sp, su=su, hp=hp, hu=hu)
 
     def _consensus_association(
-        self, which: str, iterations: int
+        self, which: str, uploads: list[dict], iterations: int
     ) -> np.ndarray:
         """Global Eq. (12)/(13) fixed point from reduced shard terms.
 
         With shard factors fixed, the global numerator ``SᵀXSf`` and
-        gram ``SᵀS`` decompose over shards exactly, so iterating the
-        plain multiplicative update from the size-weighted mean of the
-        shard associations converges to the one ``k×k`` matrix that best
-        explains the *whole* dataset given the merged entity factors.
+        gram ``SᵀS`` decompose over shards exactly, so each shard
+        uploads its k×k terms and iterating the plain multiplicative
+        update from the size-weighted mean of the shard associations
+        converges to the one ``k×k`` matrix that best explains the
+        *whole* dataset given the merged entity factors.
         """
         sf = self.sf
         num_classes = sf.shape[1]
@@ -349,21 +484,14 @@ class ShardedSolver:
         gram = np.zeros((num_classes, num_classes))
         weighted = np.zeros((num_classes, num_classes))
         total_rows = 0
-        for state in self.shards:
-            block = state.block
-            if which == "hp":
-                rows, factor, data, assoc = (
-                    block.num_tweets, state.sp, block.xp, state.hp
-                )
-            else:
-                rows, factor, data, assoc = (
-                    block.num_users, state.su, block.xu, state.hu
-                )
-            if rows == 0:
+        for upload in uploads:
+            terms = upload[f"{which}_terms"]
+            if terms is None:
                 continue
-            numerator += factor.T @ _dot(data, sf)
-            gram += factor.T @ factor
-            weighted += rows * assoc
+            rows, numerator_term, gram_term = terms
+            numerator += numerator_term
+            gram += gram_term
+            weighted += rows * upload[which]
             total_rows += rows
         if total_rows == 0:
             return np.eye(num_classes)
@@ -375,14 +503,41 @@ class ShardedSolver:
         return association
 
 
-def _validate_sharding(n_shards: int, update_style: str) -> None:
-    if n_shards < 1:
-        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+def _validate_sharding(
+    n_shards: int | str, update_style: str, backend: str
+) -> None:
+    if n_shards != "auto" and (
+        not isinstance(n_shards, int) or n_shards < 1
+    ):
+        raise ValueError(
+            f"n_shards must be >= 1 or 'auto', got {n_shards!r}"
+        )
     if update_style != "projector":
         raise ValueError(
             "sharded solvers support only update_style='projector' (the "
             "Lagrangian Δ-split needs global factor grams mid-sweep)"
         )
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+
+
+def open_solver_pool(
+    max_workers: int | None, backend: str, n_shards: int
+) -> WorkerPool:
+    """A pool sized for a sharded solve.
+
+    With ``max_workers=None`` the process backend is capped at the
+    shard count — idle worker processes cost real memory, idle threads
+    don't.  ``n_shards`` is a hint (use the worker default when the
+    count is still ``"auto"``-unresolved).  Shared by the per-fit pools
+    here and the serving engine's long-lived solver pool, so the cap
+    policy lives in exactly one place.
+    """
+    if max_workers is None and backend == "process":
+        max_workers = max(1, min(default_worker_count(), n_shards))
+    return WorkerPool(max_workers, backend=backend)
 
 
 class ShardedTriClustering(OfflineTriClustering):
@@ -392,11 +547,18 @@ class ShardedTriClustering(OfflineTriClustering):
     ----------
     n_shards:
         User partitions; 1 reproduces the plain solver bit for bit.
+        ``"auto"`` picks per fit from the user count and worker count
+        (see :func:`resolve_shard_count`).
     partitioner:
         ``"hash"`` (default), ``"greedy"``, or a callable — see
         :func:`repro.graph.partition.make_partition`.
     max_workers:
-        Worker threads for the shard fan-out (``None`` = CPU count).
+        Worker bound for the shard fan-out (``None`` = CPU count,
+        capped at ``n_shards`` for the process backend).
+    backend:
+        ``"serial"``, ``"thread"`` (default) or ``"process"`` — see
+        :mod:`repro.utils.executor`.  Results are bit-identical across
+        backends.
     consensus_iterations:
         Global ``Hp``/``Hu`` distillation steps at merge time.
     """
@@ -412,12 +574,13 @@ class ShardedTriClustering(OfflineTriClustering):
         seed=None,
         track_history: bool = True,
         update_style: str = "projector",
-        n_shards: int = 1,
+        n_shards: int | str = 1,
         partitioner="hash",
         max_workers: int | None = None,
+        backend: str = "thread",
         consensus_iterations: int = CONSENSUS_ITERATIONS,
     ) -> None:
-        _validate_sharding(n_shards, update_style)
+        _validate_sharding(n_shards, update_style, backend)
         super().__init__(
             num_classes=num_classes,
             alpha=alpha,
@@ -432,6 +595,7 @@ class ShardedTriClustering(OfflineTriClustering):
         self.n_shards = n_shards
         self.partitioner = partitioner
         self.max_workers = max_workers
+        self.backend = backend
         self.consensus_iterations = consensus_iterations
         self.last_plan: ShardedGraph | None = None
         #: Optional externally-owned pool (e.g. the serving engine's).
@@ -447,15 +611,22 @@ class ShardedTriClustering(OfflineTriClustering):
         rng = spawn_rng(self.seed)
         self._validate_prior(graph)
         factors = self._initial_factors(graph, rng, initial_factors)
+        n_shards = resolve_shard_count(
+            self.n_shards, graph.num_users, self.max_workers
+        )
         sharded = extract_shard_blocks(
-            graph, make_partition(graph, self.n_shards, self.partitioner)
+            graph, make_partition(graph, n_shards, self.partitioner)
         )
         sf0 = graph.sf0
 
         history = ConvergenceHistory()
         converged = False
         iterations_run = 0
-        pool = self.pool if self.pool is not None else WorkerPool(self.max_workers)
+        pool = (
+            self.pool
+            if self.pool is not None
+            else open_solver_pool(self.max_workers, self.backend, n_shards)
+        )
         try:
             solver = ShardedSolver(
                 sharded, factors, pool, update_style=self.update_style
@@ -474,6 +645,10 @@ class ShardedTriClustering(OfflineTriClustering):
         finally:
             if pool is not self.pool:
                 pool.shutdown()
+            else:
+                # Externally-owned pool: release the graph-sized shard
+                # states now rather than pinning them until the next fit.
+                pool.discard_resident()
         self.last_plan = sharded
         return TriClusteringResult(
             factors=merged,
@@ -491,6 +666,11 @@ class ShardedOnlineTriClustering(OnlineTriClustering):
     — only the inner sweep loop is sharded, so 1-shard runs replay the
     plain solver's trajectory bit for bit.  The hash partitioner keys on
     user *ids*, so a user keeps their shard across snapshots.
+    ``n_shards="auto"`` re-resolves the shard count on every snapshot
+    from the snapshot's user count.  ``backend`` selects the execution
+    backend per :mod:`repro.utils.executor`; on the process backend an
+    externally-owned pool keeps its worker processes across snapshots
+    and each snapshot re-scatters its shard blocks under a fresh epoch.
     """
 
     def __init__(
@@ -508,12 +688,13 @@ class ShardedOnlineTriClustering(OnlineTriClustering):
         track_history: bool = False,
         update_style: str = "projector",
         state_smoothing: float = 0.8,
-        n_shards: int = 1,
+        n_shards: int | str = 1,
         partitioner="hash",
         max_workers: int | None = None,
+        backend: str = "thread",
         consensus_iterations: int = CONSENSUS_ITERATIONS,
     ) -> None:
-        _validate_sharding(n_shards, update_style)
+        _validate_sharding(n_shards, update_style, backend)
         super().__init__(
             num_classes=num_classes,
             alpha=alpha,
@@ -532,12 +713,14 @@ class ShardedOnlineTriClustering(OnlineTriClustering):
         self.n_shards = n_shards
         self.partitioner = partitioner
         self.max_workers = max_workers
+        self.backend = backend
         self.consensus_iterations = consensus_iterations
         self.last_plan: ShardedGraph | None = None
         #: Optional externally-owned pool (e.g. the serving engine's).
         #: When set, partial_fits run on it and never shut it down —
-        #: this also skips the per-snapshot thread churn of opening a
-        #: fresh pool every step.  When None, each step owns its pool.
+        #: this also skips the per-snapshot churn of opening a fresh
+        #: pool (threads or worker processes) every step.  When None,
+        #: each step owns its pool.
         self.pool: WorkerPool | None = None
 
     def _optimize(
@@ -549,14 +732,21 @@ class ShardedOnlineTriClustering(OnlineTriClustering):
         evolving_rows: np.ndarray,
     ) -> "OnlineTriClustering._OptimizeOutput":
         sf_prior = sfw if sfw is not None else graph.sf0
+        n_shards = resolve_shard_count(
+            self.n_shards, graph.num_users, self.max_workers
+        )
         sharded = extract_shard_blocks(
-            graph, make_partition(graph, self.n_shards, self.partitioner)
+            graph, make_partition(graph, n_shards, self.partitioner)
         )
 
         history = ConvergenceHistory()
         converged = False
         iterations_run = 0
-        pool = self.pool if self.pool is not None else WorkerPool(self.max_workers)
+        pool = (
+            self.pool
+            if self.pool is not None
+            else open_solver_pool(self.max_workers, self.backend, n_shards)
+        )
         try:
             solver = ShardedSolver(
                 sharded,
@@ -587,6 +777,11 @@ class ShardedOnlineTriClustering(OnlineTriClustering):
         finally:
             if pool is not self.pool:
                 pool.shutdown()
+            else:
+                # Externally-owned pool: release the graph-sized shard
+                # states now rather than pinning them until the next
+                # snapshot (worker processes themselves persist).
+                pool.discard_resident()
         self.last_plan = sharded
         return self._OptimizeOutput(
             factors=merged,

@@ -89,6 +89,7 @@ def _solver_state(solver: OnlineTriClustering) -> dict:
             "n_shards": solver.n_shards,
             "partitioner": solver.partitioner,
             "max_workers": solver.max_workers,
+            "backend": solver.backend,
             "consensus_iterations": solver.consensus_iterations,
         }
     elif type(solver) is OnlineTriClustering:
@@ -229,6 +230,7 @@ def save_engine(engine: "StreamingSentimentEngine", path: str | Path) -> Path:
             "n_shards": engine.n_shards,
             "max_workers": engine.max_workers,
             "partitioner": engine.partitioner,
+            "backend": engine.backend,
         },
         "solver": _solver_state(solver),
         "vectorizer": _vectorizer_state(builder.vectorizer),

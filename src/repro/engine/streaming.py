@@ -41,7 +41,7 @@ import numpy as np
 from repro.core.inference import infer_tweet_memberships
 from repro.core.labeling import apply_alignment, lexicon_column_alignment
 from repro.core.online import OnlineStepResult, OnlineTriClustering
-from repro.core.sharded import ShardedOnlineTriClustering
+from repro.core.sharded import ShardedOnlineTriClustering, open_solver_pool
 from repro.core.state import FactorSet
 from repro.data.tweet import Tweet, UserProfile
 from repro.engine.cache import FoldInCache
@@ -49,7 +49,7 @@ from repro.graph.incremental import IncrementalTripartiteBuilder
 from repro.graph.tripartite import TripartiteGraph
 from repro.text.lexicon import SentimentLexicon
 from repro.text.vectorizer import CountVectorizer, TfidfVectorizer
-from repro.utils.executor import WorkerPool
+from repro.utils.executor import BACKENDS, WorkerPool, default_worker_count
 from repro.utils.logging import get_logger
 
 logger = get_logger("engine.streaming")
@@ -103,17 +103,33 @@ class StreamingSentimentEngine:
         User-partition sharding of the solve (see
         :class:`~repro.core.sharded.ShardedOnlineTriClustering`).
         ``n_shards=1`` (default) runs the plain online solver —
-        bit-identical to pre-sharding engines.  When a ``solver``
-        instance is passed, configure sharding on it instead (the
-        engine adopts its settings).
+        bit-identical to pre-sharding engines; ``"auto"`` re-picks the
+        shard count per snapshot from the snapshot's user count and the
+        worker count.  When a ``solver`` instance is passed, configure
+        sharding on it instead (the engine adopts its settings).
+    backend:
+        Execution backend for the sharded solve: ``"serial"``,
+        ``"thread"`` (default) or ``"process"`` (worker processes with
+        shard blocks pinned resident; see :mod:`repro.utils.executor`).
+        Classify micro-batches always stay on the engine's thread pool
+        — fold-in rows are cheap, batch-invariant and share the LRU
+        cache, so shipping them across a process boundary could only
+        lose.  Results are bit-identical across backends.  A non-thread
+        backend with ``n_shards=1`` routes through the 1-shard sharded
+        solver (itself bit-identical to the plain one).
     max_workers:
-        Size of the engine's one worker pool, shared by classify
-        micro-batching and the sharded solve (solvers the engine builds
-        always run on it; a user-supplied sharded solver joins it
-        unless it pinned its own ``max_workers``).  ``None``
-        auto-selects: serial for 1-shard engines (the historical
-        behaviour), CPU count otherwise.  ``close()`` (or using the
-        engine as a context manager) releases the threads.
+        Size of the engine's worker pool, shared by classify
+        micro-batching and the thread-backend sharded solve (solvers
+        the engine builds always run on it; a user-supplied sharded
+        solver joins it unless it pinned its own ``max_workers``).
+        Under ``backend="process"`` the solve instead gets a dedicated
+        engine-owned process pool of the same size whose workers — and
+        their resident shard blocks — persist across snapshots.
+        ``None`` auto-selects: serial for 1-shard engines (the
+        historical behaviour), CPU count otherwise.  ``close()`` (or
+        using the engine as a context manager) releases the threads and
+        worker processes; a closed engine no longer serves (closing is
+        terminal, matching ``WorkerPool``).
     """
 
     def __init__(
@@ -127,9 +143,10 @@ class StreamingSentimentEngine:
         cache_size: int = 4096,
         cross_snapshot_edges: bool = False,
         seed: int | None = 0,
-        n_shards: int = 1,
+        n_shards: int | str = 1,
         max_workers: int | None = None,
         partitioner: str = "hash",
+        backend: str = "thread",
         **solver_kwargs: object,
     ) -> None:
         if classify_batch_size < 1:
@@ -140,8 +157,16 @@ class StreamingSentimentEngine:
             raise ValueError(
                 f"classify_iterations must be >= 1, got {classify_iterations}"
             )
-        if n_shards < 1:
-            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if n_shards != "auto" and (
+            not isinstance(n_shards, int) or n_shards < 1
+        ):
+            raise ValueError(
+                f"n_shards must be >= 1 or 'auto', got {n_shards!r}"
+            )
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
         if solver is not None and solver_kwargs:
             raise ValueError(
                 "pass either a solver instance or solver kwargs, not both"
@@ -151,6 +176,11 @@ class StreamingSentimentEngine:
                 "pass either a solver instance or n_shards, not both "
                 "(configure sharding on the solver)"
             )
+        if solver is not None and backend != "thread":
+            raise ValueError(
+                "pass either a solver instance or backend, not both "
+                "(configure the backend on the solver)"
+            )
         self.builder = IncrementalTripartiteBuilder(
             vectorizer=vectorizer,
             lexicon=lexicon,
@@ -159,7 +189,7 @@ class StreamingSentimentEngine:
         )
         if solver is not None:
             self.solver = solver
-        elif n_shards == 1:
+        elif n_shards == 1 and backend == "thread":
             self.solver = OnlineTriClustering(
                 num_classes=num_classes, seed=seed, **solver_kwargs
             )
@@ -170,6 +200,7 @@ class StreamingSentimentEngine:
                 n_shards=n_shards,
                 partitioner=partitioner,
                 max_workers=max_workers,
+                backend=backend,
                 **solver_kwargs,
             )
         if self.solver.num_classes != num_classes:
@@ -180,6 +211,7 @@ class StreamingSentimentEngine:
             )
         self.n_shards = getattr(self.solver, "n_shards", 1)
         self.partitioner = getattr(self.solver, "partitioner", partitioner)
+        self.backend = getattr(self.solver, "backend", "thread")
         self.max_workers = max_workers
         classify_workers = (
             max_workers
@@ -187,14 +219,34 @@ class StreamingSentimentEngine:
             else (1 if self.n_shards == 1 else None)
         )
         self._pool = WorkerPool(classify_workers)
+        self._solver_pool: WorkerPool | None = None
         if isinstance(self.solver, ShardedOnlineTriClustering):
-            # One pool serves both solve and classify.  An engine-built
-            # solver always joins it; a user-supplied one only when it
-            # didn't pin its own worker count (respect explicit config).
+            # An engine-built solver always runs on an engine-owned pool;
+            # a user-supplied one only when it didn't pin its own worker
+            # count (respect explicit config — it then opens a pool of
+            # its configured backend per partial_fit).  Thread solves
+            # share the classify pool; a process solve gets a dedicated
+            # process pool so classify stays on threads while workers
+            # (and their resident shard blocks) persist across snapshots.
             if self.solver.pool is None and (
                 solver is None or self.solver.max_workers is None
             ):
-                self.solver.pool = self._pool
+                if self.backend == "process":
+                    shards_hint = (
+                        self.n_shards
+                        if isinstance(self.n_shards, int)
+                        else default_worker_count()
+                    )
+                    self._solver_pool = open_solver_pool(
+                        max_workers, "process", shards_hint
+                    )
+                    # Fork the workers now, while the engine process is
+                    # still single-threaded (classify threads spin up
+                    # lazily later) — never fork under live threads.
+                    self._solver_pool.prestart()
+                    self.solver.pool = self._solver_pool
+                elif self.backend == "thread":
+                    self.solver.pool = self._pool
         self.cache = FoldInCache(maxsize=cache_size)
         self.classify_iterations = classify_iterations
         self.classify_batch_size = classify_batch_size
@@ -397,13 +449,17 @@ class StreamingSentimentEngine:
     # ------------------------------------------------------------------ #
 
     def close(self) -> None:
-        """Release the worker pool's threads (idempotent).
+        """Release the worker pools (threads and processes; idempotent).
 
-        The engine stays usable — the pool re-materializes lazily on
-        the next parallel call — but long-lived processes that retire
-        an engine should close it rather than hold idle threads.
+        Closing is **terminal**: the pools refuse further work rather
+        than silently resurrecting threads or worker processes, so a
+        closed engine no longer serves parallel classify or sharded
+        solves.  Long-lived processes that retire an engine should
+        close it rather than hold idle workers.
         """
         self._pool.shutdown()
+        if self._solver_pool is not None:
+            self._solver_pool.shutdown()
 
     def __enter__(self) -> "StreamingSentimentEngine":
         return self

@@ -12,7 +12,7 @@ stream.
 Usage::
 
     python -m repro stream tweets.jsonl --snapshot-size 500 \
-        --n-shards 4 --checkpoint /var/lib/repro/engine
+        --n-shards 4 --backend process --checkpoint /var/lib/repro/engine
 """
 
 from __future__ import annotations
@@ -31,6 +31,13 @@ from repro.data.tweet import Sentiment
 from repro.engine import StreamingSentimentEngine
 from repro.engine.persistence import STATE_FILE
 from repro.text.lexicon import SentimentLexicon
+
+
+def _shard_count(value: str) -> int | str:
+    """``--n-shards`` values: a positive integer or the string 'auto'."""
+    if value == "auto":
+        return "auto"
+    return int(value)
 
 
 def build_stream_parser() -> argparse.ArgumentParser:
@@ -52,15 +59,29 @@ def build_stream_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--n-shards",
-        type=int,
+        type=_shard_count,
         default=1,
-        help="user-partition shards for the solve (default 1 = unsharded)",
+        help=(
+            "user-partition shards for the solve: a count, or 'auto' to "
+            "re-pick per snapshot from the user and worker counts "
+            "(default 1 = unsharded)"
+        ),
+    )
+    parser.add_argument(
+        "--backend",
+        choices=["serial", "thread", "process"],
+        default="thread",
+        help=(
+            "execution backend for the sharded solve (default thread; "
+            "'process' pins shard blocks in worker processes — classify "
+            "always stays on threads)"
+        ),
     )
     parser.add_argument(
         "--max-workers",
         type=int,
         default=None,
-        help="worker threads for sharded solve/classify (default: auto)",
+        help="workers for sharded solve/classify (default: auto)",
     )
     parser.add_argument(
         "--partitioner",
@@ -140,6 +161,7 @@ def run_stream(args: argparse.Namespace) -> int:
             n_shards=args.n_shards,
             max_workers=args.max_workers,
             partitioner=args.partitioner,
+            backend=args.backend,
             max_iterations=args.max_iterations,
         )
 
@@ -161,39 +183,42 @@ def run_stream(args: argparse.Namespace) -> int:
     if not tweets:
         print("nothing new to fold in; model unchanged")
 
-    for offset in range(0, len(tweets), args.snapshot_size):
-        batch = tweets[offset : offset + args.snapshot_size]
-        engine.ingest(batch, users=corpus.profiles_for(batch))
-        started = time.perf_counter()
-        report = engine.advance_snapshot()
-        elapsed = time.perf_counter() - started
-        counts = _snapshot_summary(engine)
-        summary = " ".join(
-            f"{name} {count}" for name, count in zip(names, counts)
+    try:
+        for offset in range(0, len(tweets), args.snapshot_size):
+            batch = tweets[offset : offset + args.snapshot_size]
+            engine.ingest(batch, users=corpus.profiles_for(batch))
+            started = time.perf_counter()
+            report = engine.advance_snapshot()
+            elapsed = time.perf_counter() - started
+            counts = _snapshot_summary(engine)
+            summary = " ".join(
+                f"{name} {count}" for name, count in zip(names, counts)
+            )
+            print(
+                f"snapshot {report.index}: {report.num_tweets} tweets, "
+                f"{report.num_users} users, {report.num_features} features, "
+                f"{report.iterations} iters, {elapsed:.2f}s | {summary}"
+            )
+            if checkpoint is not None:
+                engine.save(checkpoint)
+
+        user_labels = engine.user_sentiments()
+        user_counts = np.bincount(
+            np.array(list(user_labels.values()), dtype=np.int64),
+            minlength=len(names),
+        )
+        user_summary = " ".join(
+            f"{name} {count}" for name, count in zip(names, user_counts)
         )
         print(
-            f"snapshot {report.index}: {report.num_tweets} tweets, "
-            f"{report.num_users} users, {report.num_features} features, "
-            f"{report.iterations} iters, {elapsed:.2f}s | {summary}"
+            f"done: {engine.snapshots_processed} snapshots, "
+            f"{len(user_labels)} users tracked | users: {user_summary}"
         )
         if checkpoint is not None:
-            engine.save(checkpoint)
-
-    user_labels = engine.user_sentiments()
-    user_counts = np.bincount(
-        np.array(list(user_labels.values()), dtype=np.int64),
-        minlength=len(names),
-    )
-    user_summary = " ".join(
-        f"{name} {count}" for name, count in zip(names, user_counts)
-    )
-    print(
-        f"done: {engine.snapshots_processed} snapshots, "
-        f"{len(user_labels)} users tracked | users: {user_summary}"
-    )
-    if checkpoint is not None:
-        print(f"checkpoint: {checkpoint}")
-    return 0
+            print(f"checkpoint: {checkpoint}")
+        return 0
+    finally:
+        engine.close()
 
 
 def stream_main(argv: Sequence[str] | None = None) -> int:

@@ -210,6 +210,51 @@ def make_partition(
     )
 
 
+def _csr_payload(matrix: sp.csr_matrix) -> tuple:
+    """The four arrays that define a CSR matrix, nothing else."""
+    return (matrix.data, matrix.indices, matrix.indptr, matrix.shape)
+
+
+def _csr_from_payload(payload: tuple) -> sp.csr_matrix:
+    data, indices, indptr, shape = payload
+    return sp.csr_matrix((data, indices, indptr), shape=shape)
+
+
+def _block_from_parts(
+    index: int,
+    user_rows: np.ndarray,
+    tweet_rows: np.ndarray,
+    xp: sp.csr_matrix,
+    xu: sp.csr_matrix,
+    xr: sp.csr_matrix,
+    gu: sp.csr_matrix,
+) -> "ShardBlock":
+    """Assemble a :class:`ShardBlock`, deriving the redundant members.
+
+    ``du``/``laplacian``/``statics`` (and the materialized transposes)
+    are pure functions of the four matrices, computed with the same
+    code whether the block is built in-process or rebuilt from a
+    payload on the far side of a process boundary — so the two paths
+    are bit-identical.
+    """
+    block_graph = UserGraph(adjacency=gu)
+    statics = ObjectiveStatics.from_matrices(xp, xu, xr)
+    return ShardBlock(
+        index=index,
+        user_rows=user_rows,
+        tweet_rows=tweet_rows,
+        xp=xp,
+        xu=xu,
+        xr=xr,
+        gu=gu,
+        du=block_graph.degree_matrix,
+        laplacian=block_graph.laplacian,
+        xp_T=statics.xp_T,
+        xu_T=statics.xu_T,
+        statics=statics,
+    )
+
+
 @dataclass
 class ShardBlock:
     """One shard's slice of the tripartite graph.
@@ -247,6 +292,44 @@ class ShardBlock:
     @property
     def is_empty(self) -> bool:
         return self.num_users == 0 and self.num_tweets == 0
+
+    # ------------------------------------------------------------------ #
+    # Compact serialization (process-backend shipping)
+    # ------------------------------------------------------------------ #
+
+    def to_payload(self) -> dict:
+        """Minimal picklable form: row indices + the four CSR pieces.
+
+        Everything derivable (``du``, ``laplacian``, the transposes and
+        the ``statics`` norms) is dropped and recomputed on
+        :meth:`from_payload`, roughly halving what crosses a process
+        boundary.  Shard blocks cross that boundary **once per
+        scatter** — sweeps exchange only factor-sized arrays.
+        """
+        return {
+            "index": self.index,
+            "user_rows": self.user_rows,
+            "tweet_rows": self.tweet_rows,
+            "xp": _csr_payload(self.xp),
+            "xu": _csr_payload(self.xu),
+            "xr": _csr_payload(self.xr),
+            "gu": _csr_payload(self.gu),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ShardBlock":
+        """Rebuild a block shipped as :meth:`to_payload` (bit-identical:
+        the derived members come from the same code as the direct
+        construction path)."""
+        return _block_from_parts(
+            index=int(payload["index"]),
+            user_rows=payload["user_rows"],
+            tweet_rows=payload["tweet_rows"],
+            xp=_csr_from_payload(payload["xp"]),
+            xu=_csr_from_payload(payload["xu"]),
+            xr=_csr_from_payload(payload["xr"]),
+            gu=_csr_from_payload(payload["gu"]),
+        )
 
 
 @dataclass
@@ -320,10 +403,8 @@ def extract_shard_blocks(
         xu_block = graph.xu[user_rows]
         xr_block = graph.xr[user_rows][:, tweet_rows].tocsr()
         gu_block = graph.user_graph.adjacency[user_rows][:, user_rows].tocsr()
-        block_graph = UserGraph(adjacency=gu_block)
-        statics = ObjectiveStatics.from_matrices(xp_block, xu_block, xr_block)
         blocks.append(
-            ShardBlock(
+            _block_from_parts(
                 index=shard,
                 user_rows=user_rows,
                 tweet_rows=tweet_rows,
@@ -331,11 +412,6 @@ def extract_shard_blocks(
                 xu=xu_block,
                 xr=xr_block,
                 gu=gu_block,
-                du=block_graph.degree_matrix,
-                laplacian=block_graph.laplacian,
-                xp_T=statics.xp_T,
-                xu_T=statics.xu_T,
-                statics=statics,
             )
         )
         kept_xr_nnz += xr_block.nnz

@@ -8,7 +8,7 @@ matrix kernels (:mod:`repro.utils.matrices`), argument validation
 behind shard-parallel sweeps (:mod:`repro.utils.executor`).
 """
 
-from repro.utils.executor import WorkerPool, default_worker_count
+from repro.utils.executor import BACKENDS, WorkerPool, default_worker_count
 from repro.utils.logging import get_logger
 from repro.utils.matrices import (
     EPS,
@@ -32,6 +32,7 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "BACKENDS",
     "EPS",
     "RandomState",
     "WorkerPool",

@@ -1,30 +1,61 @@
-"""Worker-pool abstraction for shard-parallel work.
+"""Pluggable execution backends for shard-parallel work.
 
-The sharded solver and the serving layer both fan identical work items
+The sharded solver and the serving layer fan identical work items
 (per-shard sweep passes, classify micro-batches) across a pool and need
 the results back *in input order* so that reductions stay deterministic
 no matter how the OS schedules the workers.  :class:`WorkerPool` wraps
-:class:`concurrent.futures.ThreadPoolExecutor` behind that contract and
-degrades to a plain serial loop when parallelism cannot help (one
-worker, one item) — the serial path allocates no threads at all, so a
-1-shard solver pays nothing for the abstraction.
+that ordered-map contract around three interchangeable backends:
 
-Threads, not processes: the hot per-shard work is sparse·dense and
-dense matrix products, and both scipy's sparsetools and numpy's BLAS
-release the GIL, so shards genuinely overlap on a multi-core machine
-while sharing the factor arrays zero-copy.  The Python-level
-bookkeeping between products is tiny at any realistic shard size.
+- ``"serial"`` — a plain loop on the calling thread.  Allocates
+  nothing, so a 1-shard solver pays nothing for the abstraction.
+- ``"thread"`` (default) — :class:`concurrent.futures.
+  ThreadPoolExecutor`.  The hot per-shard work is sparse·dense and
+  dense matrix products, and both scipy's sparsetools and numpy's BLAS
+  release the GIL, so shards genuinely overlap on a multi-core machine
+  while sharing the factor arrays zero-copy.
+- ``"process"`` — a pool of long-lived worker *processes*, which dodges
+  the residual GIL cost of the Python-level bookkeeping between BLAS
+  calls entirely.  Because nothing is shared, the backend adds a
+  **worker-resident state** protocol on top of the stateless ``map``:
+  :meth:`WorkerPool.scatter` ships each work item's state to its worker
+  exactly once (keyed by a monotonically increasing *epoch*), and
+  :meth:`WorkerPool.run_resident` then runs picklable commands against
+  the pinned states, so per-call IPC is the command's arguments and
+  return value — for the sharded solver, the global ``Sf`` broadcast
+  down and an ``l×k`` contribution back — never the shard blocks.
+
+``scatter``/``run_resident`` are implemented by every backend (the
+in-process ones simply keep the states in a list), so callers write one
+code path and switch backends by constructor argument.
+
+All floating-point work is identical across backends: commands are the
+same functions either way, per-index results are collected into input
+order, and reductions run on the caller — so solver trajectories are
+bit-for-bit equal under ``"serial"``, ``"thread"`` and ``"process"``
+(regression-tested).
+
+A pool that has been :meth:`shutdown` (or ``close``-d) is terminal:
+further ``map``/``scatter``/``run_resident`` calls raise
+:class:`RuntimeError` instead of silently resurrecting threads or
+processes behind a caller that believed the resources were released.
 """
 
 from __future__ import annotations
 
+import multiprocessing as mp
 import os
+import traceback
+from collections import deque
 from collections.abc import Callable, Sequence
 from concurrent.futures import ThreadPoolExecutor
-from typing import TypeVar
+from multiprocessing.connection import wait as _connection_wait
+from typing import Any, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: Registry of named execution backends (``WorkerPool(backend=...)``).
+BACKENDS = ("serial", "thread", "process")
 
 
 def default_worker_count() -> int:
@@ -34,50 +65,585 @@ def default_worker_count() -> int:
     return max(os.cpu_count() or 1, 1)
 
 
+def _process_start_method() -> str:
+    """Start method for worker processes.
+
+    ``fork`` where the platform offers it: workers start in
+    milliseconds and inherit loaded modules.  Forking a *multithreaded*
+    parent is the classic hazard, so owners of long-lived pools should
+    :meth:`WorkerPool.prestart` workers before spinning up threads (the
+    streaming engine does, at construction time).
+    ``REPRO_PROCESS_START_METHOD`` overrides (``spawn``/``forkserver``)
+    for environments where forking is unacceptable.
+    """
+    override = os.environ.get("REPRO_PROCESS_START_METHOD")
+    if override:
+        return override
+    return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+
+# --------------------------------------------------------------------- #
+# Serial backend
+# --------------------------------------------------------------------- #
+
+
+class SerialBackend:
+    """Plain in-process loop; the degenerate (and zero-cost) backend."""
+
+    parallel = False
+
+    def __init__(self) -> None:
+        self._states: list[Any] = []
+
+    @property
+    def active(self) -> bool:
+        return False
+
+    @property
+    def resident_count(self) -> int:
+        return len(self._states)
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        return [fn(item) for item in items]
+
+    def scatter(self, items, to_payload, from_payload, epoch) -> None:
+        del to_payload, from_payload, epoch  # states stay in-process
+        self._states = list(items)
+
+    def run_resident(self, fn, per_state_args) -> list:
+        return [
+            fn(state, *args)
+            for state, args in zip(self._states, per_state_args)
+        ]
+
+    def prestart(self) -> None:
+        pass
+
+    def discard_resident(self) -> None:
+        self._states = []
+
+    def shutdown(self) -> None:
+        self._states = []
+
+
+# --------------------------------------------------------------------- #
+# Thread backend
+# --------------------------------------------------------------------- #
+
+
+class ThreadBackend:
+    """Ordered map over a lazily created :class:`ThreadPoolExecutor`.
+
+    Resident states are kept in-process (threads share memory), so
+    ``scatter`` is free and ``run_resident`` fans the command calls
+    across the pool exactly like ``map``.
+    """
+
+    parallel = True
+
+    def __init__(self, max_workers: int) -> None:
+        self.max_workers = max_workers
+        self._executor: ThreadPoolExecutor | None = None
+        self._states: list[Any] = []
+
+    @property
+    def active(self) -> bool:
+        return self._executor is not None
+
+    @property
+    def resident_count(self) -> int:
+        return len(self._states)
+
+    def _pool(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.max_workers,
+                thread_name_prefix="repro-worker",
+            )
+        return self._executor
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        if len(items) <= 1:
+            return [fn(item) for item in items]
+        return list(self._pool().map(fn, items))
+
+    def scatter(self, items, to_payload, from_payload, epoch) -> None:
+        del to_payload, from_payload, epoch  # states stay in-process
+        self._states = list(items)
+
+    def run_resident(self, fn, per_state_args) -> list:
+        pairs = list(zip(self._states, per_state_args))
+        if len(pairs) <= 1:
+            return [fn(state, *args) for state, args in pairs]
+        return list(
+            self._pool().map(lambda pair: fn(pair[0], *pair[1]), pairs)
+        )
+
+    def prestart(self) -> None:
+        pass
+
+    def discard_resident(self) -> None:
+        self._states = []
+
+    def shutdown(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        self._states = []
+
+
+# --------------------------------------------------------------------- #
+# Process backend
+# --------------------------------------------------------------------- #
+
+
+def _process_worker_main(conn) -> None:
+    """Worker loop: install resident states, run commands against them.
+
+    The connection is a strict request→response channel — every command
+    gets exactly one reply, so the parent can always re-associate
+    replies with commands by arrival order.  Resident states are keyed
+    by ``(epoch, index)``; an install under a new epoch drops every
+    older state, and a ``run`` against a stale epoch is an error (the
+    parent re-scatters instead of trusting leftovers).
+    """
+    resident: dict[int, Any] = {}
+    epoch: int | None = None
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        kind = message[0]
+        if kind == "shutdown":
+            break
+        try:
+            if kind == "install":
+                _, new_epoch, index, from_payload, payload = message
+                if new_epoch != epoch:
+                    resident.clear()
+                    epoch = new_epoch
+                resident[index] = (
+                    payload if from_payload is None else from_payload(payload)
+                )
+                reply = ("ok", None)
+            elif kind == "run":
+                _, run_epoch, index, fn, args = message
+                if run_epoch != epoch or index not in resident:
+                    raise RuntimeError(
+                        f"stale resident state: worker holds epoch {epoch}, "
+                        f"command expects epoch {run_epoch} item {index}"
+                    )
+                reply = ("ok", fn(resident[index], *args))
+            elif kind == "map":
+                _, fn, item = message
+                reply = ("ok", fn(item))
+            elif kind == "discard":
+                _, new_epoch = message
+                resident.clear()
+                epoch = new_epoch
+                reply = ("ok", None)
+            else:
+                raise RuntimeError(f"unknown worker command {kind!r}")
+        except BaseException as exc:  # noqa: BLE001 - forwarded to parent
+            detail = traceback.format_exc()
+            try:
+                reply = ("error", exc, detail)
+                conn.send(reply)
+                continue
+            except Exception:
+                reply = ("error", RuntimeError(repr(exc)), detail)
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            break
+    try:
+        conn.close()
+    except OSError:
+        pass
+
+
+class ProcessBackend:
+    """Worker processes with pinned per-item state.
+
+    Workers are started lazily (``fork`` where available) and live until
+    ``shutdown``, so consecutive scatters — e.g. one per streaming
+    snapshot — reuse the same processes.  Items are placed round-robin
+    (``index % workers``), and the exchange protocol keeps **at most one
+    in-flight message per direction per worker** (send the next command
+    only after receiving the previous reply), which makes the pipes
+    deadlock-free for arbitrarily large payloads while still overlapping
+    all workers.
+
+    Functions crossing the boundary (commands, ``from_payload``) must be
+    picklable, i.e. module-level.
+    """
+
+    def __init__(self, max_workers: int) -> None:
+        self.max_workers = max_workers
+        self._ctx = mp.get_context(_process_start_method())
+        self._workers: list[tuple[Any, Any]] = []  # (process, connection)
+        self._placement: list[int] = []
+        self._epoch: int | None = None
+        self._broken = False
+
+    @property
+    def parallel(self) -> bool:
+        return self.max_workers > 1
+
+    @property
+    def active(self) -> bool:
+        return bool(self._workers)
+
+    @property
+    def resident_count(self) -> int:
+        return len(self._placement)
+
+    # -- lifecycle ----------------------------------------------------- #
+
+    def _ensure_workers(self, needed: int) -> None:
+        target = max(1, min(self.max_workers, needed))
+        while len(self._workers) < target:
+            parent_conn, child_conn = self._ctx.Pipe()
+            process = self._ctx.Process(
+                target=_process_worker_main,
+                args=(child_conn,),
+                name=f"repro-shard-worker-{len(self._workers)}",
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._workers.append((process, parent_conn))
+
+    def shutdown(self) -> None:
+        for process, conn in self._workers:
+            try:
+                conn.send(("shutdown",))
+            except (BrokenPipeError, OSError):
+                pass
+        for process, conn in self._workers:
+            try:
+                conn.close()
+            except OSError:
+                pass
+            process.join(timeout=5)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5)
+        self._workers = []
+        self._placement = []
+        self._epoch = None
+
+    # -- exchange protocol --------------------------------------------- #
+
+    def _exchange(self, commands: Sequence[tuple[int, int, tuple]]) -> list:
+        """Run ``(result_index, worker_slot, message)`` commands.
+
+        Sends each worker its commands strictly one at a time (next
+        command only after the previous reply), waits on all workers
+        concurrently, and returns replies ordered by ``result_index``.
+        The first error (lowest result index) is raised after every
+        outstanding reply has been drained, so the channel stays in
+        protocol sync for the caller's next call.
+        """
+        if self._broken:
+            raise RuntimeError(
+                "a worker process died earlier; this pool is broken — "
+                "create a new pool"
+            )
+        queues: dict[int, deque] = {}
+        for index, slot, message in commands:
+            queues.setdefault(slot, deque()).append((index, message))
+
+        results: list[Any] = [None] * len(commands)
+        errors: list[tuple[int, BaseException, str]] = []
+        in_flight: dict[Any, tuple[int, int]] = {}  # conn -> (slot, index)
+
+        def transport_failure(slot: int, index: int, exc: Exception):
+            # A dead worker leaves replies of unknown provenance in the
+            # other pipes; draining cannot restore protocol sync, so the
+            # pool is marked permanently broken rather than risking
+            # silently mis-associated results on a later call.
+            self._broken = True
+            return RuntimeError(
+                f"worker process {slot} died around item {index}; "
+                "the pool is now broken — create a new pool"
+            )
+
+        def send_next(slot: int) -> None:
+            if errors or not queues.get(slot):
+                return
+            index, message = queues[slot].popleft()
+            _, conn = self._workers[slot]
+            try:
+                conn.send(message)
+            except (BrokenPipeError, OSError) as exc:
+                raise transport_failure(slot, index, exc) from exc
+            in_flight[conn] = (slot, index)
+
+        for slot in list(queues):
+            send_next(slot)
+        while in_flight:
+            for conn in _connection_wait(list(in_flight)):
+                slot, index = in_flight.pop(conn)
+                try:
+                    reply = conn.recv()
+                except (EOFError, OSError) as exc:
+                    raise transport_failure(slot, index, exc) from exc
+                if reply[0] == "ok":
+                    results[index] = reply[1]
+                else:
+                    errors.append((index, reply[1], reply[2]))
+                send_next(slot)
+        if errors:
+            errors.sort(key=lambda entry: entry[0])
+            _, exc, detail = errors[0]
+            raise exc from RuntimeError(f"worker traceback:\n{detail}")
+        return results
+
+    # -- backend contract ---------------------------------------------- #
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        if len(items) <= 1:
+            return [fn(item) for item in items]
+        self._ensure_workers(len(items))
+        workers = len(self._workers)
+        return self._exchange(
+            [
+                (index, index % workers, ("map", fn, item))
+                for index, item in enumerate(items)
+            ]
+        )
+
+    def scatter(self, items, to_payload, from_payload, epoch) -> None:
+        self._ensure_workers(len(items))
+        workers = len(self._workers)
+        self._placement = [index % workers for index in range(len(items))]
+        self._epoch = epoch
+        commands = [
+            (
+                index,
+                self._placement[index],
+                (
+                    "install",
+                    epoch,
+                    index,
+                    from_payload,
+                    item if to_payload is None else to_payload(item),
+                ),
+            )
+            for index, item in enumerate(items)
+        ]
+        # Workers outside the new placement (the shard count shrank)
+        # would otherwise retain the previous epoch's states forever —
+        # the epoch check already prevents *use*, this prevents the
+        # memory retention.
+        covered = set(self._placement)
+        for slot in range(workers):
+            if slot not in covered:
+                commands.append((len(commands), slot, ("discard", epoch)))
+        self._exchange(commands)
+
+    def run_resident(self, fn, per_state_args) -> list:
+        return self._exchange(
+            [
+                (index, self._placement[index], ("run", self._epoch, index, fn, tuple(args)))
+                for index, args in enumerate(per_state_args)
+            ]
+        )
+
+    def prestart(self) -> None:
+        self._ensure_workers(self.max_workers)
+
+    def discard_resident(self) -> None:
+        if self._placement and not self._broken:
+            self._exchange(
+                [
+                    (slot, slot, ("discard", self._epoch))
+                    for slot in range(len(self._workers))
+                ]
+            )
+        self._placement = []
+
+
+# --------------------------------------------------------------------- #
+# Facade
+# --------------------------------------------------------------------- #
+
+
 class WorkerPool:
-    """Ordered ``map`` over a thread pool with a serial fallback.
+    """Ordered ``map`` plus worker-resident state over a chosen backend.
 
     Parameters
     ----------
     max_workers:
-        Worker thread bound.  ``None`` uses the machine's CPU count;
-        ``1`` (or a single-item workload) runs serially on the calling
-        thread.  Values below 1 are rejected.
+        Worker bound.  ``None`` uses the machine's CPU count; ``1``
+        runs the thread backend serially on the calling thread (no
+        threads are created).  Values below 1 are rejected.
+    backend:
+        ``"serial"``, ``"thread"`` (default) or ``"process"`` — see the
+        module docstring for the trade-offs.  All backends produce
+        bit-identical results for the same commands.
     """
 
-    def __init__(self, max_workers: int | None = None) -> None:
+    def __init__(
+        self, max_workers: int | None = None, backend: str = "thread"
+    ) -> None:
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.backend = backend
         self.max_workers = (
             default_worker_count() if max_workers is None else max_workers
         )
-        self._pool: ThreadPoolExecutor | None = None
+        self._impl: SerialBackend | ThreadBackend | ProcessBackend | None = None
+        self._closed = False
+        self._epoch = 0
+
+    # -- introspection -------------------------------------------------- #
 
     @property
     def parallel(self) -> bool:
         """Whether this pool can actually overlap work."""
-        return self.max_workers > 1
+        return self.backend != "serial" and self.max_workers > 1
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def active(self) -> bool:
+        """Whether backend resources (threads/processes) are live."""
+        return self._impl is not None and self._impl.active
+
+    @property
+    def epoch(self) -> int:
+        """Epoch of the most recent :meth:`scatter` (0 = none yet)."""
+        return self._epoch
+
+    @property
+    def resident_count(self) -> int:
+        """Number of states pinned by the most recent :meth:`scatter`."""
+        return 0 if self._impl is None else self._impl.resident_count
+
+    # -- backend selection ---------------------------------------------- #
+
+    def _backend_impl(self):
+        self._require_open()
+        if self._impl is None:
+            if self.backend == "process":
+                self._impl = ProcessBackend(self.max_workers)
+            elif self.backend == "thread" and self.max_workers > 1:
+                self._impl = ThreadBackend(self.max_workers)
+            else:
+                self._impl = SerialBackend()
+        return self._impl
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(
+                "WorkerPool is closed; create a new pool instead of "
+                "reusing one that was shut down"
+            )
+
+    # -- work ------------------------------------------------------------ #
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
         """Apply ``fn`` to every item; results come back in input order.
 
         A worker exception propagates to the caller (remaining items may
-        or may not have run — the pool is not transactional).
+        or may not have run — the pool is not transactional).  Under the
+        process backend ``fn`` and the items must be picklable; a
+        single-item call runs inline on the caller either way.
         """
         if not self.parallel or len(items) <= 1:
+            self._require_open()
             return [fn(item) for item in items]
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(
-                max_workers=self.max_workers,
-                thread_name_prefix="repro-worker",
+        return self._backend_impl().map(fn, items)
+
+    def scatter(
+        self,
+        items: Sequence[Any],
+        to_payload: Callable[[Any], Any] | None = None,
+        from_payload: Callable[[Any], Any] | None = None,
+    ) -> int:
+        """Pin one state per item to the workers; returns the new epoch.
+
+        In-process backends keep ``items`` as-is.  The process backend
+        ships ``to_payload(item)`` (default: the item itself) across the
+        boundary once and rebuilds the resident state there via
+        ``from_payload`` — both must be picklable module-level functions.
+        A new scatter replaces every state of the previous epoch.
+        """
+        impl = self._backend_impl()
+        self._epoch += 1
+        impl.scatter(list(items), to_payload, from_payload, self._epoch)
+        return self._epoch
+
+    def run_resident(
+        self, fn: Callable[..., R], per_state_args: Sequence[tuple]
+    ) -> list[R]:
+        """``fn(state, *per_state_args[i])`` per resident state, in order.
+
+        The command runs where the state lives (caller's process for
+        serial/thread, the owning worker for process), so only the
+        arguments and return values cross any boundary.  States are
+        mutable: a command may update its state in place and the change
+        persists for subsequent commands in the same epoch.
+        """
+        impl = self._backend_impl()
+        if impl.resident_count == 0:
+            raise RuntimeError(
+                "no resident state; call scatter() before run_resident()"
             )
-        return list(self._pool.map(fn, items))
+        if len(per_state_args) != impl.resident_count:
+            raise ValueError(
+                f"expected {impl.resident_count} argument tuples "
+                f"(one per resident state), got {len(per_state_args)}"
+            )
+        return impl.run_resident(fn, per_state_args)
+
+    # -- lifecycle ------------------------------------------------------- #
+
+    def prestart(self) -> None:
+        """Materialize backend resources now instead of lazily.
+
+        For the process backend this forks the worker processes
+        immediately — call it before the owning application starts any
+        threads, so workers never fork from a multithreaded parent.
+        No-op for in-process backends.
+        """
+        self._backend_impl().prestart()
+
+    def discard_resident(self) -> None:
+        """Drop the resident states of the current epoch everywhere.
+
+        Lets a long-lived shared pool release graph-sized shard state
+        between solves instead of pinning the last scatter until the
+        next one (or shutdown).  Lenient by design: a no-op on a closed
+        or never-used pool.
+        """
+        if self._closed or self._impl is None:
+            return
+        self._impl.discard_resident()
 
     def shutdown(self) -> None:
-        """Release the underlying threads (idempotent)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        """Release workers and mark the pool closed (idempotent).
+
+        Closing is terminal: subsequent ``map``/``scatter``/
+        ``run_resident`` calls raise :class:`RuntimeError` rather than
+        silently resurrecting threads or processes.
+        """
+        if self._impl is not None:
+            self._impl.shutdown()
+            self._impl = None
+        self._closed = True
+
+    #: Alias for :meth:`shutdown` (context-manager vocabulary).
+    close = shutdown
 
     def __enter__(self) -> "WorkerPool":
         return self

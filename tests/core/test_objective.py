@@ -135,3 +135,42 @@ class TestComputeObjective:
         )
         assert value.lexicon_loss == 0.0
         assert value.graph_loss == 0.0
+
+
+class TestObjectiveStatics:
+    """The precomputed-constants bundle must be bit-neutral: the plain
+    offline/online solvers now evaluate every sweep through it."""
+
+    def test_statics_path_bit_identical(self, setup):
+        from repro.core.objective import ObjectiveStatics
+
+        factors, xp, xu, xr, laplacian = setup
+        weights = ObjectiveWeights(alpha=0.1, beta=0.5, gamma=0.2)
+        sf_prior = np.full_like(factors.sf, 0.3)
+        statics = ObjectiveStatics.from_matrices(xp, xu, xr)
+        lazy = compute_objective(
+            factors, xp, xu, xr, laplacian, weights, sf_prior=sf_prior
+        )
+        bundled = compute_objective(
+            factors, xp, xu, xr, laplacian, weights, sf_prior=sf_prior,
+            statics=statics,
+        )
+        assert lazy == bundled  # frozen dataclass: exact field equality
+
+    def test_solver_history_matches_lazy_recomputation(self, graph):
+        """A fitted trajectory's recorded objectives equal a from-scratch
+        lazy evaluation of the final factors (statics threading through
+        OfflineTriClustering changed no numbers)."""
+        from repro.core.offline import OfflineTriClustering
+
+        result = OfflineTriClustering(seed=3, max_iterations=5).fit(graph)
+        lazy = compute_objective(
+            result.factors,
+            graph.xp,
+            graph.xu,
+            graph.xr,
+            graph.user_graph.laplacian,
+            OfflineTriClustering(seed=3).weights,
+            sf_prior=graph.sf0,
+        )
+        assert result.history.final.objective == lazy

@@ -7,8 +7,10 @@ from repro.core.objective import compute_objective
 from repro.core.offline import OfflineTriClustering
 from repro.core.online import OnlineTriClustering
 from repro.core.sharded import (
+    AUTO_USERS_PER_SHARD,
     ShardedOnlineTriClustering,
     ShardedTriClustering,
+    resolve_shard_count,
 )
 from repro.data.stream import SnapshotStream
 from repro.graph.tripartite import build_tripartite_graph
@@ -117,6 +119,103 @@ class TestMultiShardDeterminism:
             ).total
             relative = abs(full - plain.final_objective) / plain.final_objective
             assert relative < 0.20, f"n_shards={n_shards}: {relative:.2%}"
+
+
+class TestBackendDeterminism:
+    """Same seed ⇒ bit-identical factors on every execution backend.
+
+    The process backend ships shard blocks once, runs the sweep commands
+    in worker processes and returns only ``l×k`` pieces — none of which
+    may change a single floating-point value relative to the in-process
+    backends.
+    """
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    @pytest.mark.parametrize("n_shards", [1, 2, 4])
+    def test_offline_backends_bitwise_equal(self, graph, backend, n_shards):
+        reference = ShardedTriClustering(
+            seed=7, max_iterations=8, n_shards=n_shards
+        ).fit(graph)
+        run = ShardedTriClustering(
+            seed=7, max_iterations=8, n_shards=n_shards,
+            backend=backend, max_workers=2,
+        ).fit(graph)
+        assert_factors_equal(reference.factors, run.factors)
+        assert reference.history.totals == run.history.totals
+        assert reference.iterations == run.iterations
+
+    def test_online_stream_process_backend_bitwise(
+        self, corpus, shared_vectorizer, lexicon
+    ):
+        solvers = {
+            "thread": ShardedOnlineTriClustering(
+                seed=7, max_iterations=6, n_shards=3
+            ),
+            "process": ShardedOnlineTriClustering(
+                seed=7, max_iterations=6, n_shards=3,
+                backend="process", max_workers=2,
+            ),
+        }
+        for snapshot in SnapshotStream(corpus, interval_days=30):
+            graph = build_tripartite_graph(
+                snapshot.corpus, vectorizer=shared_vectorizer, lexicon=lexicon
+            )
+            results = {
+                name: solver.partial_fit(graph)
+                for name, solver in solvers.items()
+            }
+            assert_factors_equal(
+                results["thread"].factors, results["process"].factors
+            )
+            assert (
+                results["thread"].history.totals
+                == results["process"].history.totals
+            )
+        assert (
+            solvers["thread"].user_sentiment_labels()
+            == solvers["process"].user_sentiment_labels()
+        )
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            ShardedTriClustering(backend="cluster")
+        with pytest.raises(ValueError, match="backend"):
+            ShardedOnlineTriClustering(backend="gpu")
+
+
+class TestAutoShardCount:
+    def test_resolve_heuristic(self):
+        # Too few users for a second shard -> 1, regardless of workers.
+        assert resolve_shard_count("auto", AUTO_USERS_PER_SHARD - 1, 8) == 1
+        # Capped by the worker count...
+        assert resolve_shard_count("auto", 100 * AUTO_USERS_PER_SHARD, 4) == 4
+        # ...and by the users-per-shard floor.
+        assert resolve_shard_count("auto", 3 * AUTO_USERS_PER_SHARD, 8) == 3
+        # Integers pass through untouched.
+        assert resolve_shard_count(5, 10, 2) == 5
+
+    def test_auto_accepted_and_recorded_in_plan(self, graph):
+        solver = ShardedTriClustering(
+            seed=7, max_iterations=4, n_shards="auto", max_workers=2
+        )
+        result = solver.fit(graph)
+        assert np.isfinite(result.final_objective)
+        expected = resolve_shard_count("auto", graph.num_users, 2)
+        assert solver.last_plan.n_shards == expected
+
+    def test_auto_matches_equivalent_fixed_count(self, graph):
+        fixed = resolve_shard_count("auto", graph.num_users, 2)
+        auto = ShardedTriClustering(
+            seed=7, max_iterations=6, n_shards="auto", max_workers=2
+        ).fit(graph)
+        explicit = ShardedTriClustering(
+            seed=7, max_iterations=6, n_shards=fixed, max_workers=2
+        ).fit(graph)
+        assert_factors_equal(auto.factors, explicit.factors)
+
+    def test_rejects_other_strings(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            ShardedTriClustering(n_shards="many")
 
 
 class TestMergeCorrectness:

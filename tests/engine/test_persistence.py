@@ -167,3 +167,96 @@ class TestGuards:
         )
         with pytest.raises(ValueError, match="solver"):
             engine.save(tmp_path / "ckpt")
+
+
+class TestProcessBackendCheckpoints:
+    def test_process_backend_round_trips_and_continues_bitwise(
+        self, corpus, lexicon, batches, tmp_path
+    ):
+        """Stress: checkpoint under backend="process" (worker-resident
+        shard state), reload, and continue — the restored engine must
+        rebuild its process pool from the checkpoint and replay the
+        stream bit-for-bit, including across a second save/load cycle."""
+        engine = feed(
+            StreamingSentimentEngine(
+                lexicon=lexicon, seed=7, max_iterations=8,
+                n_shards=2, backend="process",
+            ),
+            corpus,
+            batches[:2],
+        )
+        engine.save(tmp_path / "ckpt")
+        loaded = StreamingSentimentEngine.load(tmp_path / "ckpt")
+        assert loaded.backend == "process"
+        assert loaded.solver.backend == "process"
+        assert loaded._solver_pool is not None
+        assert loaded._solver_pool.backend == "process"
+
+        # Serve identically right after the reload...
+        texts = [t.text for t in corpus.tweets[:32]]
+        np.testing.assert_array_equal(
+            loaded.classify_memberships(texts),
+            engine.classify_memberships(texts),
+        )
+        # ...then continue the stream on both and stay bitwise equal.
+        feed(engine, corpus, batches[2:3])
+        feed(loaded, corpus, batches[2:3])
+        for name in ("sf", "sp", "su", "hp", "hu"):
+            np.testing.assert_array_equal(
+                getattr(engine.factors, name),
+                getattr(loaded.factors, name),
+                err_msg=name,
+            )
+        assert engine.user_sentiments() == loaded.user_sentiments()
+
+        # Second cycle: a checkpoint written by a restored engine is as
+        # good as one written by the original.
+        loaded.save(tmp_path / "ckpt2")
+        second = StreamingSentimentEngine.load(tmp_path / "ckpt2")
+        feed(second, corpus, batches[3:4])
+        feed(engine, corpus, batches[3:4])
+        for name in ("sf", "sp", "su", "hp", "hu"):
+            np.testing.assert_array_equal(
+                getattr(engine.factors, name),
+                getattr(second.factors, name),
+                err_msg=name,
+            )
+        engine.close()
+        loaded.close()
+        second.close()
+
+    def test_checkpoint_from_process_engine_loads_on_thread_solver(
+        self, corpus, lexicon, batches, tmp_path
+    ):
+        """Backends are execution detail: editing the checkpoint's solver
+        backend (ops move a stream between hosts) changes nothing in the
+        served numbers."""
+        import json as json_module
+
+        engine = feed(
+            StreamingSentimentEngine(
+                lexicon=lexicon, seed=7, max_iterations=6,
+                n_shards=2, backend="process",
+            ),
+            corpus,
+            batches[:2],
+        )
+        engine.save(tmp_path / "ckpt")
+        state_path = tmp_path / "ckpt" / "state.json"
+        state = json_module.loads(state_path.read_text())
+        assert state["solver"]["params"]["backend"] == "process"
+        state["solver"]["params"]["backend"] = "thread"
+        state["engine"]["backend"] = "thread"
+        state_path.write_text(json_module.dumps(state))
+        loaded = StreamingSentimentEngine.load(tmp_path / "ckpt")
+        assert loaded.backend == "thread"
+        feed(engine, corpus, batches[2:3])
+        feed(loaded, corpus, batches[2:3])
+        for name in ("sf", "sp", "su", "hp", "hu"):
+            np.testing.assert_array_equal(
+                getattr(engine.factors, name),
+                getattr(loaded.factors, name),
+                err_msg=name,
+            )
+        engine.close()
+        loaded.close()

@@ -56,7 +56,7 @@ class TestShardedEngine:
         engine = StreamingSentimentEngine(lexicon=lexicon, solver=flexible)
         assert flexible.pool is engine._pool
 
-    def test_close_releases_pool_and_engine_stays_usable(
+    def test_close_releases_pool_and_is_terminal(
         self, corpus, lexicon, batches
     ):
         with StreamingSentimentEngine(
@@ -64,13 +64,13 @@ class TestShardedEngine:
             max_workers=2,
         ) as engine:
             feed(engine, corpus, batches[:1])
-            assert engine._pool._pool is not None  # threads materialized
-        assert engine._pool._pool is None  # released on exit
-        # close() is not terminal: further work lazily re-pools.
-        feed(engine, corpus, batches[1:2])
-        assert engine.snapshots_processed == 2
-        engine.close()
+            assert engine._pool.active  # threads materialized
+        assert not engine._pool.active  # released on exit
         engine.close()  # idempotent
+        # Closing is terminal: the pool refuses to resurrect threads
+        # behind a caller that believed the resources were released.
+        with pytest.raises(RuntimeError, match="closed"):
+            feed(engine, corpus, batches[1:2])
 
     def test_solver_and_n_shards_conflict(self, lexicon):
         with pytest.raises(ValueError, match="n_shards"):
@@ -81,6 +81,14 @@ class TestShardedEngine:
             )
         with pytest.raises(ValueError, match="n_shards"):
             StreamingSentimentEngine(n_shards=0)
+        with pytest.raises(ValueError, match="backend"):
+            StreamingSentimentEngine(backend="cluster")
+        with pytest.raises(ValueError, match="backend"):
+            StreamingSentimentEngine(
+                lexicon=lexicon,
+                solver=OnlineTriClustering(),
+                backend="process",
+            )
 
     def test_sharded_end_to_end(self, corpus, lexicon, batches, generator):
         engine = feed(
@@ -171,3 +179,94 @@ class TestShardedEngine:
         memberships = engine.classify_memberships(texts)
         assert memberships.shape == (17, 3)
         assert np.all(np.isfinite(memberships))
+
+
+class TestProcessBackendEngine:
+    """backend="process": worker-resident shard solve behind the same API."""
+
+    def test_process_engine_builds_dedicated_solver_pool(self, lexicon):
+        with StreamingSentimentEngine(
+            lexicon=lexicon, n_shards=2, backend="process"
+        ) as engine:
+            assert isinstance(engine.solver, ShardedOnlineTriClustering)
+            assert engine.backend == "process"
+            assert engine.solver.backend == "process"
+            # Classify stays on the thread pool; the solve gets its own
+            # process pool whose workers persist across snapshots.
+            assert engine._solver_pool is not None
+            assert engine._solver_pool.backend == "process"
+            assert engine.solver.pool is engine._solver_pool
+            assert engine._pool.backend == "thread"
+            assert engine._pool is not engine._solver_pool
+
+    def test_process_backend_with_one_shard_routes_sharded(self, lexicon):
+        with StreamingSentimentEngine(
+            lexicon=lexicon, backend="process"
+        ) as engine:
+            assert isinstance(engine.solver, ShardedOnlineTriClustering)
+            assert engine.solver.n_shards == 1
+
+    def test_process_engine_matches_thread_engine_bitwise(
+        self, corpus, lexicon, batches
+    ):
+        texts = [t.text for t in corpus.tweets[:32]]
+        with StreamingSentimentEngine(
+            lexicon=lexicon, seed=7, max_iterations=8, n_shards=2,
+        ) as thread_engine, StreamingSentimentEngine(
+            lexicon=lexicon, seed=7, max_iterations=8, n_shards=2,
+            backend="process", max_workers=2,
+        ) as process_engine:
+            feed(thread_engine, corpus, batches[:3])
+            feed(process_engine, corpus, batches[:3])
+            for name in ("sf", "sp", "su", "hp", "hu"):
+                np.testing.assert_array_equal(
+                    getattr(thread_engine.factors, name),
+                    getattr(process_engine.factors, name),
+                    err_msg=name,
+                )
+            np.testing.assert_array_equal(
+                thread_engine.classify(texts), process_engine.classify(texts)
+            )
+            assert (
+                thread_engine.user_sentiments()
+                == process_engine.user_sentiments()
+            )
+            # Worker processes persisted across snapshots (one pool).
+            assert process_engine._solver_pool.epoch >= 3
+
+    def test_close_shuts_down_worker_processes(self, corpus, lexicon, batches):
+        engine = StreamingSentimentEngine(
+            lexicon=lexicon, seed=7, max_iterations=5, n_shards=2,
+            backend="process", max_workers=2,
+        )
+        feed(engine, corpus, batches[:1])
+        backend = engine._solver_pool._impl
+        processes = [process for process, _ in backend._workers]
+        assert processes and all(p.is_alive() for p in processes)
+        engine.close()
+        assert all(not p.is_alive() for p in processes)
+
+
+class TestAutoShardEngine:
+    def test_auto_builds_sharded_solver_and_resolves_per_snapshot(
+        self, corpus, lexicon, batches
+    ):
+        from repro.core.sharded import resolve_shard_count
+
+        with StreamingSentimentEngine(
+            lexicon=lexicon, seed=7, max_iterations=5, n_shards="auto",
+            max_workers=2,
+        ) as engine:
+            assert isinstance(engine.solver, ShardedOnlineTriClustering)
+            assert engine.n_shards == "auto"
+            feed(engine, corpus, batches[:2])
+            plan = engine.solver.last_plan
+            assert plan is not None
+            expected = resolve_shard_count(
+                "auto", engine.last_graph.num_users, 2
+            )
+            assert plan.n_shards == expected
+
+    def test_auto_rejected_with_bad_string(self, lexicon):
+        with pytest.raises(ValueError, match="n_shards"):
+            StreamingSentimentEngine(lexicon=lexicon, n_shards="many")

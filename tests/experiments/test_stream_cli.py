@@ -46,6 +46,22 @@ class TestParser:
         assert args.n_shards == 4
         assert args.checkpoint == "ckpt"
         assert args.partitioner == "greedy"
+        assert args.backend == "thread"  # default
+
+    def test_backend_and_auto_shard_flags(self):
+        args = build_stream_parser().parse_args(
+            ["tweets.jsonl", "--backend", "process", "--n-shards", "auto"]
+        )
+        assert args.backend == "process"
+        assert args.n_shards == "auto"
+        with pytest.raises(SystemExit):
+            build_stream_parser().parse_args(
+                ["tweets.jsonl", "--backend", "gpu"]
+            )
+        with pytest.raises(SystemExit):
+            build_stream_parser().parse_args(
+                ["tweets.jsonl", "--n-shards", "many"]
+            )
 
     def test_listed_by_main(self, capsys):
         assert main(["list"]) == 0
@@ -82,6 +98,26 @@ class TestExecution:
                     "--n-shards", "2",
                     "--lexicon", str(lexicon_file),
                     "--max-iterations", "5",
+                ]
+            )
+            == 0
+        )
+        assert "snapshot 0:" in capsys.readouterr().out
+
+    def test_process_backend_run_through_main(
+        self, corpus_file, lexicon_file, capsys
+    ):
+        assert (
+            main(
+                [
+                    "stream",
+                    str(corpus_file),
+                    "--snapshot-size", "400",
+                    "--n-shards", "2",
+                    "--backend", "process",
+                    "--max-workers", "2",
+                    "--lexicon", str(lexicon_file),
+                    "--max-iterations", "4",
                 ]
             )
             == 0

@@ -185,3 +185,44 @@ class TestExtractShardBlocks:
                     assignments=np.zeros(graph.num_users + 1, dtype=np.int64),
                 ),
             )
+
+
+class TestShardBlockPayload:
+    """Compact serialization for the process backend's one-time shipping."""
+
+    def test_round_trip_is_bit_identical(self, graph):
+        sharded = extract_shard_blocks(graph, make_partition(graph, 3))
+        for block in sharded.blocks:
+            rebuilt = type(block).from_payload(block.to_payload())
+            assert rebuilt.index == block.index
+            np.testing.assert_array_equal(rebuilt.user_rows, block.user_rows)
+            np.testing.assert_array_equal(rebuilt.tweet_rows, block.tweet_rows)
+            for name in ("xp", "xu", "xr", "gu", "du", "laplacian",
+                         "xp_T", "xu_T"):
+                original = getattr(block, name)
+                copy = getattr(rebuilt, name)
+                assert copy.shape == original.shape
+                assert (copy != original).nnz == 0
+            # The derived statics are recomputed by the same code, so
+            # the norms match bitwise, not just approximately.
+            assert rebuilt.statics.xp_sq == block.statics.xp_sq
+            assert rebuilt.statics.xu_sq == block.statics.xu_sq
+            assert rebuilt.statics.xr_sq == block.statics.xr_sq
+
+    def test_payload_drops_derived_members(self, graph):
+        sharded = extract_shard_blocks(graph, make_partition(graph, 2))
+        payload = sharded.blocks[0].to_payload()
+        assert set(payload) == {
+            "index", "user_rows", "tweet_rows", "xp", "xu", "xr", "gu"
+        }
+
+    def test_payload_survives_pickle(self, graph):
+        import pickle
+
+        sharded = extract_shard_blocks(graph, make_partition(graph, 2))
+        block = sharded.blocks[0]
+        rebuilt = type(block).from_payload(
+            pickle.loads(pickle.dumps(block.to_payload()))
+        )
+        assert (rebuilt.xp != block.xp).nnz == 0
+        assert rebuilt.statics.xp_sq == block.statics.xp_sq

@@ -1,13 +1,23 @@
-"""WorkerPool: ordered results, serial fallback, error propagation."""
+"""WorkerPool backends: ordered maps, resident state, terminal close."""
 
+import copy
 import threading
+from functools import partial
+from operator import truediv
 
 import pytest
 
-from repro.utils.executor import WorkerPool, default_worker_count
+from repro.utils.executor import (
+    BACKENDS,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    WorkerPool,
+    default_worker_count,
+)
 
 
-class TestWorkerPool:
+class TestWorkerPoolThread:
     def test_map_preserves_input_order(self):
         with WorkerPool(max_workers=4) as pool:
             assert pool.map(lambda x: x * 2, list(range(20))) == [
@@ -24,13 +34,13 @@ class TestWorkerPool:
 
         assert pool.map(record, [1, 2, 3]) == [1, 2, 3]
         assert thread_ids == {threading.get_ident()}
-        assert pool._pool is None
+        assert not pool.active
         assert not pool.parallel
 
     def test_single_item_runs_serially(self):
         with WorkerPool(max_workers=4) as pool:
             pool.map(lambda x: x, [1])
-            assert pool._pool is None  # never materialized
+            assert not pool.active  # threads never materialized
 
     def test_worker_exception_propagates(self):
         def explode(x):
@@ -53,19 +63,220 @@ class TestWorkerPool:
             assert pool.map(record, [1, 2]) == [1, 2]
         assert len(thread_ids) == 2
 
-    def test_shutdown_idempotent_and_reusable_config(self):
+    def test_map_after_shutdown_raises(self):
         pool = WorkerPool(max_workers=2)
         pool.map(lambda x: x, [1, 2])
         pool.shutdown()
-        pool.shutdown()
-        # A fresh pool is lazily created after shutdown.
-        assert pool.map(lambda x: x + 1, [1, 2]) == [2, 3]
-        pool.shutdown()
+        pool.shutdown()  # idempotent
+        assert pool.closed
+        # Closing is terminal: no silent pool resurrection.
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.map(lambda x: x + 1, [1, 2])
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.scatter([1])
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.run_resident(copy.copy, [()])
+
+    def test_map_after_close_raises_even_when_serial(self):
+        pool = WorkerPool(max_workers=1)
+        pool.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.map(lambda x: x, [1])
 
     def test_rejects_nonpositive_workers(self):
         with pytest.raises(ValueError, match="max_workers"):
             WorkerPool(max_workers=0)
 
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            WorkerPool(backend="cluster")
+
     def test_default_worker_count_positive(self):
         assert default_worker_count() >= 1
         assert WorkerPool().max_workers == default_worker_count()
+
+    def test_backend_registry(self):
+        assert BACKENDS == ("serial", "thread", "process")
+
+
+@pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+class TestResidentState:
+    """The scatter/run_resident contract must hold on every backend.
+
+    Commands use stdlib callables (``list.append``, ``copy.copy``) so
+    they pickle by reference across the process boundary.
+    """
+
+    def make_pool(self, backend):
+        return WorkerPool(max_workers=2, backend=backend)
+
+    def test_states_are_resident_and_mutable(self, backend):
+        with self.make_pool(backend) as pool:
+            epoch = pool.scatter([[1], [2], [3]])
+            assert epoch == 1
+            assert pool.resident_count == 3
+            # Mutations persist inside the epoch, wherever the state lives.
+            assert pool.run_resident(
+                list.append, [(10,), (20,), (30,)]
+            ) == [None, None, None]
+            assert pool.run_resident(copy.copy, [(), (), ()]) == [
+                [1, 10], [2, 20], [3, 30],
+            ]
+
+    def test_payload_conversion_applies_across_process_boundary(self, backend):
+        with self.make_pool(backend) as pool:
+            pool.scatter([(1,), (2,)], to_payload=tuple, from_payload=list)
+            states = pool.run_resident(copy.copy, [(), ()])
+            if backend == "process":
+                # Rebuilt worker-side via from_payload.
+                assert states == [[1], [2]]
+            else:
+                # In-process backends keep the items as-is.
+                assert states == [(1,), (2,)]
+
+    def test_rescatter_replaces_previous_epoch(self, backend):
+        with self.make_pool(backend) as pool:
+            pool.scatter([[1]])
+            epoch = pool.scatter([[7], [8]])
+            assert epoch == 2
+            assert pool.resident_count == 2
+            assert pool.run_resident(copy.copy, [(), ()]) == [[7], [8]]
+
+    def test_run_resident_without_scatter_raises(self, backend):
+        with self.make_pool(backend) as pool:
+            with pytest.raises(RuntimeError, match="scatter"):
+                pool.run_resident(copy.copy, [()])
+
+    def test_argument_count_mismatch_raises(self, backend):
+        with self.make_pool(backend) as pool:
+            pool.scatter([[1], [2]])
+            with pytest.raises(ValueError, match="argument tuples"):
+                pool.run_resident(copy.copy, [()])
+
+
+class TestProcessBackend:
+    def test_map_runs_in_worker_processes(self):
+        import os
+
+        with WorkerPool(max_workers=2, backend="process") as pool:
+            pids = pool.map(_worker_pid_probe, [0, 1, 2, 3])
+        assert len(pids) == 4
+        assert os.getpid() not in pids
+
+    def test_map_ordered_and_picklable(self):
+        with WorkerPool(max_workers=3, backend="process") as pool:
+            assert pool.map(abs, [-3, 1, -2, 0, 5]) == [3, 1, 2, 0, 5]
+
+    def test_worker_exception_propagates_with_traceback_context(self):
+        with WorkerPool(max_workers=2, backend="process") as pool:
+            with pytest.raises(ZeroDivisionError):
+                pool.map(partial(truediv, 1), [1, 0])
+
+    def test_resident_error_keeps_pool_usable(self):
+        with WorkerPool(max_workers=2, backend="process") as pool:
+            pool.scatter([[1], [2]])
+            with pytest.raises(TypeError):
+                # list.append with no argument is a TypeError in-worker.
+                pool.run_resident(list.append, [(), ()])
+            # The exchange protocol drained every reply, so the channel
+            # is still in sync for further commands.
+            assert pool.run_resident(copy.copy, [(), ()]) == [[1], [2]]
+
+    def test_shutdown_terminates_workers(self):
+        pool = WorkerPool(max_workers=2, backend="process")
+        pool.scatter([[1], [2]])
+        backend = pool._impl
+        assert isinstance(backend, ProcessBackend)
+        processes = [process for process, _ in backend._workers]
+        assert processes and all(p.is_alive() for p in processes)
+        pool.shutdown()
+        assert all(not p.is_alive() for p in processes)
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.map(abs, [1, 2])
+
+    def test_single_worker_still_process_resident(self):
+        with WorkerPool(max_workers=1, backend="process") as pool:
+            pool.scatter([[5]])
+            pool.run_resident(list.append, [(6,)])
+            assert pool.run_resident(copy.copy, [()]) == [[5, 6]]
+
+
+class TestBackendSelection:
+    def test_thread_facade_picks_impls(self):
+        serial = WorkerPool(max_workers=1, backend="thread")
+        serial.map(lambda x: x, [1, 2])
+        serial.scatter([[1]])
+        assert isinstance(serial._impl, SerialBackend)
+        explicit = WorkerPool(max_workers=4, backend="serial")
+        explicit.scatter([[1]])
+        assert isinstance(explicit._impl, SerialBackend)
+        assert not explicit.parallel
+        threaded = WorkerPool(max_workers=4, backend="thread")
+        threaded.scatter([[1]])
+        assert isinstance(threaded._impl, ThreadBackend)
+
+    def test_epoch_starts_at_zero(self):
+        pool = WorkerPool(max_workers=1)
+        assert pool.epoch == 0
+        assert pool.resident_count == 0
+
+
+def _worker_pid_probe(_item):
+    import os
+
+    return os.getpid()
+
+
+class TestLifecycleHardening:
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_discard_resident_releases_states(self, backend):
+        with WorkerPool(max_workers=2, backend=backend) as pool:
+            pool.scatter([[1], [2]])
+            pool.discard_resident()
+            assert pool.resident_count == 0
+            with pytest.raises(RuntimeError, match="scatter"):
+                pool.run_resident(copy.copy, [(), ()])
+            # A fresh scatter works as usual afterwards.
+            pool.scatter([[9]])
+            assert pool.run_resident(copy.copy, [()]) == [[9]]
+
+    def test_discard_resident_noop_when_unused_or_closed(self):
+        pool = WorkerPool(max_workers=2)
+        pool.discard_resident()  # never used: no-op
+        pool.shutdown()
+        pool.discard_resident()  # closed: no-op, no raise
+
+    def test_scatter_shrink_discards_uncovered_workers(self):
+        with WorkerPool(max_workers=2, backend="process") as pool:
+            pool.scatter([[1], [2], [3], [4]])  # both workers hold states
+            pool.scatter([[7]])  # only worker 0 covered now
+            backend = pool._impl
+            # Worker 1 must have been told to drop epoch-1 states: a
+            # direct probe command against it would now be stale.
+            assert backend._placement == [0]
+            assert pool.run_resident(copy.copy, [()]) == [[7]]
+
+    def test_prestart_forks_workers_eagerly(self):
+        with WorkerPool(max_workers=2, backend="process") as pool:
+            assert not pool.active
+            pool.prestart()
+            assert pool.active
+            assert len(pool._impl._workers) == 2
+            # And the pre-forked workers serve as usual.
+            assert pool.map(abs, [-1, -2, -3]) == [1, 2, 3]
+
+    def test_dead_worker_breaks_pool_instead_of_desyncing(self):
+        pool = WorkerPool(max_workers=2, backend="process")
+        pool.scatter([[1], [2]])
+        process, _ = pool._impl._workers[1]
+        process.terminate()
+        process.join(timeout=5)
+        with pytest.raises(RuntimeError, match="died"):
+            pool.run_resident(copy.copy, [(), ()])
+        # The channel cannot be trusted any more: further use fails
+        # loudly rather than mis-associating stale replies.
+        with pytest.raises(RuntimeError, match="broken"):
+            pool.run_resident(copy.copy, [(), ()])
+        with pytest.raises(RuntimeError, match="broken"):
+            pool.map(abs, [1, 2])
+        pool.shutdown()  # still cleans up
