@@ -8,7 +8,6 @@ component on the Prop-30 analogue:
 - the Section-7 guided (semi-supervised) regularization extension.
 """
 
-import numpy as np
 
 from repro.core.offline import OfflineTriClustering
 from repro.core.regularizers import GraphSmoothness, GuidedLabels, PriorCloseness

@@ -38,6 +38,7 @@ import time
 
 from repro.core.objective import compute_objective
 from repro.data.stream import iter_tweet_batches
+from repro.engine.config import EngineConfig
 from repro.engine.streaming import StreamingSentimentEngine
 from repro.experiments.datasets import load_dataset
 from repro.experiments.reporting import format_table, results_dir, write_result
@@ -69,11 +70,12 @@ def bench_backends() -> tuple:
 def run_cell(bundle, config, backend: str, n_shards: int) -> dict:
     """One full engine pass at (backend, n_shards); per-snapshot timings."""
     engine = StreamingSentimentEngine(
+        EngineConfig(
+            seed=config.solver_seed,
+            solver={"max_iterations": config.online_max_iterations},
+            sharding={"n_shards": n_shards, "backend": backend},
+        ),
         lexicon=bundle.lexicon,
-        seed=config.solver_seed,
-        max_iterations=config.online_max_iterations,
-        n_shards=n_shards,
-        backend=backend,
     )
     rows = []
     try:

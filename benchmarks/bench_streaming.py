@@ -18,6 +18,7 @@ import time
 
 from repro.core.online import OnlineTriClustering
 from repro.data.stream import SnapshotStream, iter_tweet_batches
+from repro.engine.config import EngineConfig
 from repro.engine.streaming import StreamingSentimentEngine
 from repro.experiments.datasets import load_dataset
 from repro.experiments.reporting import format_table, results_dir, write_result
@@ -66,11 +67,20 @@ def run_rebuild_path(bundle, config) -> list[dict]:
 
 
 def run_engine_path(bundle, config) -> list[dict]:
-    """Per-snapshot timings of the incremental engine path."""
+    """Per-snapshot timings of the incremental engine path.
+
+    Ingestion runs synchronously here: the rebuild path tokenizes on
+    the measuring thread too, so the like-for-like construction column
+    must charge tokenization to the same clock instead of hiding it on
+    the async worker.
+    """
     engine = StreamingSentimentEngine(
+        EngineConfig(
+            seed=config.solver_seed,
+            solver={"max_iterations": config.online_max_iterations},
+            ingest={"async_ingest": False},
+        ),
         lexicon=bundle.lexicon,
-        seed=config.solver_seed,
-        max_iterations=config.online_max_iterations,
     )
     rows = []
     for _, _, tweets in iter_tweet_batches(

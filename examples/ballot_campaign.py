@@ -2,10 +2,13 @@
 
 The scenario from the paper's evaluation: a political campaign tracks
 voter sentiment on a ballot initiative day by day through the election.
-The online tri-clustering solver (Algorithm 2) processes each week's
-tweets as they arrive, carrying forward what it learned about words and
-users — including users who *change their mind* mid-campaign (the "Adam"
-example of Figure 1), which this script explicitly tracks.
+The :class:`~repro.engine.SentimentService` facade processes each
+week's tweets as they arrive — ingestion is an O(1) enqueue, the online
+tri-clustering solver (Algorithm 2) folds every snapshot into the model
+it carries forward, and cluster columns arrive pre-aligned to
+pos/neg/neu through the lexicon.  That includes users who *change their
+mind* mid-campaign (the "Adam" example of Figure 1), which this script
+explicitly tracks.
 
 Run:  python examples/ballot_campaign.py
 """
@@ -16,13 +19,12 @@ import numpy as np
 
 from repro import (
     BallotDatasetGenerator,
-    OnlineTriClustering,
-    SnapshotStream,
-    TfidfVectorizer,
-    build_tripartite_graph,
+    EngineConfig,
+    SentimentService,
     clustering_accuracy,
     prop30_config,
 )
+from repro.data.stream import iter_tweet_batches
 
 
 def main() -> None:
@@ -36,16 +38,18 @@ def main() -> None:
     corpus = generator.generate()
     lexicon = generator.lexicon(seed=11)
 
-    # The streaming setting shares one vocabulary across snapshots so the
-    # feature factor Sf(t) lines up over time.
-    vectorizer = TfidfVectorizer(min_document_frequency=2)
-    vectorizer.fit(corpus.texts())
-
+    # One typed config object replaces the old pile of kwargs.
     # state_smoothing below the 0.8 default keeps the per-user readout
     # responsive enough to follow mid-campaign stance switches.
-    solver = OnlineTriClustering(
-        alpha=0.9, beta=0.8, gamma=0.2, tau=0.9, window=2, seed=7,
-        state_smoothing=0.5,
+    service = SentimentService(
+        config=EngineConfig(
+            seed=7,
+            solver={
+                "alpha": 0.9, "beta": 0.8, "gamma": 0.2, "tau": 0.9,
+                "window": 2, "state_smoothing": 0.5,
+            },
+        ),
+        lexicon=lexicon,
     )
 
     switchers = [
@@ -58,24 +62,28 @@ def main() -> None:
     )
 
     print(f"{'week':>4} {'days':>9} {'tweets':>7} {'tweet acc':>10} {'users seen':>11}")
-    for snapshot in SnapshotStream(corpus, interval_days=7):
-        graph = build_tripartite_graph(
-            snapshot.corpus, vectorizer=vectorizer, lexicon=lexicon
-        )
-        step = solver.partial_fit(graph)
+    engine = service.engine
+    for week, (start_day, end_day, tweets) in enumerate(
+        iter_tweet_batches(corpus, interval_days=7)
+    ):
+        service.ingest(tweets, users=corpus.profiles_for(tweets))
+        service.snapshot()
+        step = engine.last_step
         accuracy = clustering_accuracy(
-            step.tweet_sentiments(), snapshot.corpus.tweet_labels()
+            step.tweet_sentiments(), engine.last_graph.corpus.tweet_labels()
         )
         print(
-            f"{snapshot.index:>4} "
-            f"{snapshot.start_day:>4}-{snapshot.end_day:<4} "
-            f"{snapshot.num_tweets:>7} {accuracy:>10.4f} "
-            f"{len(solver.seen_users):>11}"
+            f"{week:>4} {start_day:>4}-{end_day:<4} "
+            f"{len(tweets):>7} {accuracy:>10.4f} "
+            f"{len(engine.solver.seen_users):>11}"
         )
 
     # Final user-level readout across everyone seen during the campaign.
+    # The service returns typed, lexicon-aligned entries, so a label of
+    # 0 *means* positive — no cluster-permutation bookkeeping here.
     final_day = corpus.day_range[1]
-    labels = solver.user_sentiment_labels()
+    sentiments = service.user_sentiments()
+    labels = {entry.user_id: entry.label for entry in sentiments}
     uids = sorted(labels)
     predictions = np.array([labels[u] for u in uids])
     truth = np.array(
@@ -117,6 +125,7 @@ def main() -> None:
             f"day {switch_day}; model's final call: "
             f"{class_names[labels[example]]}"
         )
+    service.close()
 
 
 if __name__ == "__main__":

@@ -16,7 +16,9 @@ import numpy as np
 
 from repro import (
     BallotDatasetGenerator,
+    EngineConfig,
     OfflineTriClustering,
+    SentimentService,
     build_tripartite_graph,
     clustering_accuracy,
     prop30_config,
@@ -107,6 +109,32 @@ def main() -> None:
         f"brand dashboard: {share[0]} users positive, {share[1]} negative, "
         f"{share[2]} neutral"
     )
+
+    # --- going live: the same model family behind a serving facade ---
+    # Once the team moves from one-off analysis to monitoring, the
+    # SentimentService runs the stream: submit() queues classification
+    # requests in O(1) and poll() answers them micro-batched, typed.
+    with SentimentService(
+        config=EngineConfig(seed=7, solver={"max_iterations": 30}),
+        lexicon=lexicon,
+    ) as service:
+        service.ingest(corpus.tweets, users=corpus.users.values())
+        service.snapshot()
+        tickets = [
+            service.submit([tweet.text]) for tweet in corpus.tweets[:2]
+        ]
+        for ticket in tickets:
+            response = service.poll(ticket)
+            print(
+                f"live classify({response.texts[0][:40]!r}) -> "
+                f"{response.label_names()[0]}"
+            )
+        mentions = service.user_sentiments()
+        live = np.bincount([u.label for u in mentions], minlength=3)
+        print(
+            f"live dashboard: {live[0]} users positive, {live[1]} negative, "
+            f"{live[2]} neutral ({len(mentions)} tracked)"
+        )
 
 
 if __name__ == "__main__":

@@ -17,13 +17,14 @@ import numpy as np
 from repro import (
     BallotDatasetConfig,
     BallotDatasetGenerator,
+    EngineConfig,
     OfflineTriClustering,
-    OnlineTriClustering,
-    SnapshotStream,
-    TfidfVectorizer,
+    SentimentService,
     build_tripartite_graph,
 )
 from repro.core import apply_alignment, lexicon_column_alignment
+from repro.data.stream import iter_tweet_batches
+from repro.text import TfidfVectorizer
 
 LAUNCH_DAY = 30
 
@@ -60,8 +61,6 @@ def main() -> None:
     generator = BallotDatasetGenerator(launch_config(), seed=21)
     corpus = generator.generate()
     lexicon = generator.lexicon(coverage=0.7, noise=0.05, seed=11)
-    vectorizer = TfidfVectorizer(min_document_frequency=2)
-    vectorizer.fit(corpus.texts())
 
     switchers = sum(
         1 for profile in corpus.users.values() if profile.ever_switches
@@ -72,32 +71,41 @@ def main() -> None:
     )
 
     # --- online: track the per-week positive share of user sentiment ---
+    # The streaming service wraps Algorithm 2 behind one typed config:
+    # ingestion is an O(1) enqueue, the vocabulary grows append-only,
+    # and user sentiments come back already aligned to pos/neg/neu.
     # A lower state_smoothing makes the carried user state responsive to
     # the launch-day wave (the default 0.8 favours stable stances).
-    solver = OnlineTriClustering(
-        alpha=0.9, beta=0.8, gamma=0.2, tau=0.9, seed=7, state_smoothing=0.5
+    service = SentimentService(
+        config=EngineConfig(
+            seed=7,
+            solver={
+                "alpha": 0.9, "beta": 0.8, "gamma": 0.2, "tau": 0.9,
+                "state_smoothing": 0.5,
+            },
+        ),
+        lexicon=lexicon,
     )
     print(f"\n{'week':>4} {'days':>9} {'tweets':>7} {'positive user share':>20}")
     shares = []
-    for snapshot in SnapshotStream(corpus, interval_days=7):
-        graph = build_tripartite_graph(
-            snapshot.corpus, vectorizer=vectorizer, lexicon=lexicon
+    for week, (start_day, end_day, tweets) in enumerate(
+        iter_tweet_batches(corpus, interval_days=7)
+    ):
+        service.ingest(tweets, users=corpus.profiles_for(tweets))
+        service.snapshot()
+        sentiments = service.user_sentiments()
+        share = (
+            float(np.mean([s.class_name == "pos" for s in sentiments]))
+            if sentiments
+            else 0.0
         )
-        solver.partial_fit(graph)
-        # Cluster columns are permutation-free; map them onto sentiment
-        # classes through the lexicon (no ground truth involved).
-        perm = lexicon_column_alignment(
-            solver.current_feature_factor, graph.sf0
-        )
-        labels = solver.user_sentiment_labels()
-        values = apply_alignment(np.array(list(labels.values())), perm)
-        share = float(np.mean(values == 0)) if values.size else 0.0
-        shares.append((snapshot.end_day, share))
+        shares.append((end_day, share))
         bar = "#" * int(share * 30)
         print(
-            f"{snapshot.index:>4} {snapshot.start_day:>4}-{snapshot.end_day:<4} "
-            f"{snapshot.num_tweets:>7} {share:>8.3f} {bar}"
+            f"{week:>4} {start_day:>4}-{end_day:<4} "
+            f"{len(tweets):>7} {share:>8.3f} {bar}"
         )
+    service.close()
 
     pre = [s for day, s in shares if day < LAUNCH_DAY]
     post = [s for day, s in shares if day >= LAUNCH_DAY + 7]
@@ -109,6 +117,8 @@ def main() -> None:
         )
 
     # --- offline contrast: a single static fit sees one average user ---
+    vectorizer = TfidfVectorizer(min_document_frequency=2)
+    vectorizer.fit(corpus.texts())
     graph = build_tripartite_graph(
         corpus, vectorizer=vectorizer, lexicon=lexicon
     )

@@ -3,7 +3,9 @@
 Generates a Proposition-30-like Twitter corpus, builds the tripartite
 feature-tweet-user graph, runs the offline tri-clustering solver
 (Algorithm 1) and reports tweet-level and user-level quality — the
-minimal end-to-end path through the library's public API.
+minimal end-to-end path through the library's public API — then replays
+the same corpus as a *stream* through the typed serving facade
+(:class:`~repro.engine.SentimentService` over Algorithm 2).
 
 Run:  python examples/quickstart.py
 """
@@ -12,12 +14,15 @@ from __future__ import annotations
 
 from repro import (
     BallotDatasetGenerator,
+    EngineConfig,
     OfflineTriClustering,
+    SentimentService,
     build_tripartite_graph,
     clustering_accuracy,
     normalized_mutual_information,
     prop30_config,
 )
+from repro.data.stream import iter_tweet_batches
 
 
 def main() -> None:
@@ -74,6 +79,28 @@ def main() -> None:
             names[i] for i in range(len(names)) if feature_clusters[i] == class_id
         ]
         print(f"{class_name} word cluster: {len(members)} words, e.g. {members[:6]}")
+
+    # 6. The same corpus as a live stream: the SentimentService facade
+    #    wraps the streaming engine (Algorithm 2) behind one typed
+    #    EngineConfig — weekly snapshots fold in incrementally, and
+    #    classification of unseen text returns named classes.
+    with SentimentService(
+        config=EngineConfig(seed=7, solver={"max_iterations": 30}),
+        lexicon=lexicon,
+    ) as service:
+        for _, _, tweets in iter_tweet_batches(corpus, interval_days=7):
+            service.ingest(tweets, users=corpus.profiles_for(tweets))
+            report = service.snapshot()
+        print(
+            f"\nstreamed {report.index + 1} weekly snapshots "
+            f"({report.num_features} features grown append-only)"
+        )
+        # Score a couple of (synthetic-vocabulary) tweets like live
+        # traffic; labels come back as named classes, not cluster ids.
+        samples = [t.text for t in corpus.tweets[:2]]
+        result = service.classify(samples)
+        for text, name in zip(result.texts, result.label_names()):
+            print(f"classify({text[:40]!r}) -> {name}")
 
 
 if __name__ == "__main__":

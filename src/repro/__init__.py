@@ -46,7 +46,13 @@ from repro.data import (
     prop30_config,
     prop37_config,
 )
-from repro.engine import FoldInCache, SnapshotReport, StreamingSentimentEngine
+from repro.engine import (
+    EngineConfig,
+    FoldInCache,
+    SentimentService,
+    SnapshotReport,
+    StreamingSentimentEngine,
+)
 from repro.eval import (
     align_clusters,
     clustering_accuracy,
@@ -68,6 +74,7 @@ __all__ = [
     "BallotDatasetConfig",
     "BallotDatasetGenerator",
     "CountVectorizer",
+    "EngineConfig",
     "FactorSet",
     "FoldInCache",
     "OfflineTriClustering",
@@ -75,6 +82,7 @@ __all__ = [
     "OnlineTriClustering",
     "Sentiment",
     "SentimentLexicon",
+    "SentimentService",
     "ShardedOnlineTriClustering",
     "ShardedTriClustering",
     "Snapshot",

@@ -18,7 +18,7 @@ against a **shared vocabulary** so that feature rows align across time.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -74,9 +74,14 @@ from repro.graph.partition import (
     ShardedGraph,
     extract_shard_blocks,
     make_partition,
+    validate_partitioner,
 )
 from repro.graph.tripartite import TripartiteGraph
-from repro.utils.executor import BACKENDS, WorkerPool, default_worker_count
+from repro.utils.executor import (
+    WorkerPool,
+    default_worker_count,
+    validate_backend,
+)
 from repro.utils.matrices import safe_sqrt_ratio
 from repro.utils.rng import spawn_rng
 
@@ -504,7 +509,10 @@ class ShardedSolver:
 
 
 def _validate_sharding(
-    n_shards: int | str, update_style: str, backend: str
+    n_shards: int | str,
+    update_style: str,
+    backend: str,
+    partitioner: object = "hash",
 ) -> None:
     if n_shards != "auto" and (
         not isinstance(n_shards, int) or n_shards < 1
@@ -517,10 +525,8 @@ def _validate_sharding(
             "sharded solvers support only update_style='projector' (the "
             "Lagrangian Δ-split needs global factor grams mid-sweep)"
         )
-    if backend not in BACKENDS:
-        raise ValueError(
-            f"unknown backend {backend!r}; expected one of {BACKENDS}"
-        )
+    validate_backend(backend)
+    validate_partitioner(partitioner)
 
 
 def open_solver_pool(
@@ -580,7 +586,7 @@ class ShardedTriClustering(OfflineTriClustering):
         backend: str = "thread",
         consensus_iterations: int = CONSENSUS_ITERATIONS,
     ) -> None:
-        _validate_sharding(n_shards, update_style, backend)
+        _validate_sharding(n_shards, update_style, backend, partitioner)
         super().__init__(
             num_classes=num_classes,
             alpha=alpha,
@@ -694,7 +700,7 @@ class ShardedOnlineTriClustering(OnlineTriClustering):
         backend: str = "thread",
         consensus_iterations: int = CONSENSUS_ITERATIONS,
     ) -> None:
-        _validate_sharding(n_shards, update_style, backend)
+        _validate_sharding(n_shards, update_style, backend, partitioner)
         super().__init__(
             num_classes=num_classes,
             alpha=alpha,

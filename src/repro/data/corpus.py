@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.data.tweet import Sentiment, Tweet, UserProfile
+from repro.data.tweet import Tweet, UserProfile
 
 
 @dataclass

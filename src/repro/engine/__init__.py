@@ -1,8 +1,18 @@
 """Serving-oriented streaming pipeline layer.
 
+- :mod:`repro.engine.config` — :class:`EngineConfig` and its sections
+  (:class:`SolverConfig`, :class:`ShardingConfig`,
+  :class:`ServingConfig`, :class:`IngestConfig`): typed, validated,
+  serializable configuration of the whole engine.
 - :mod:`repro.engine.streaming` — :class:`StreamingSentimentEngine`, the
   ingestion → incremental graph construction → online solver → fold-in
   serving pipeline behind one API.
+- :mod:`repro.engine.pipeline` — :class:`IngestPipeline`, the bounded
+  queue + dedicated worker that makes ``ingest`` an O(1) enqueue.
+- :mod:`repro.engine.service` — :class:`SentimentService`, the typed
+  request/response facade (:class:`ClassifyRequest`,
+  :class:`ClassifyResult`, :class:`UserSentiment`) with submit/poll
+  micro-batching.
 - :mod:`repro.engine.cache` — :class:`FoldInCache`, the thread-safe LRU
   absorbing repeated classify queries (retweets, slogans).
 - :mod:`repro.engine.persistence` — engine checkpointing (npz + JSON)
@@ -10,13 +20,38 @@
 """
 
 from repro.engine.cache import FoldInCache
+from repro.engine.config import (
+    EngineConfig,
+    IngestConfig,
+    ServingConfig,
+    ShardingConfig,
+    SolverConfig,
+)
 from repro.engine.persistence import load_engine, save_engine
+from repro.engine.pipeline import IngestPipeline, IngestQueueFull
+from repro.engine.service import (
+    ClassifyRequest,
+    ClassifyResult,
+    SentimentService,
+    UserSentiment,
+)
 from repro.engine.streaming import SnapshotReport, StreamingSentimentEngine
 
 __all__ = [
+    "ClassifyRequest",
+    "ClassifyResult",
+    "EngineConfig",
     "FoldInCache",
+    "IngestConfig",
+    "IngestPipeline",
+    "IngestQueueFull",
+    "SentimentService",
+    "ServingConfig",
+    "ShardingConfig",
     "SnapshotReport",
+    "SolverConfig",
     "StreamingSentimentEngine",
+    "UserSentiment",
     "load_engine",
     "save_engine",
 ]

@@ -11,6 +11,21 @@ in one ``state.json`` — and ``load`` reconstructs an engine that
 continues the stream *bit-for-bit* where the saved one stopped
 (round-trip and continuation are regression-tested).
 
+Format version 2 persists the engine's configuration as one
+:meth:`~repro.engine.config.EngineConfig.to_dict` blob (the solver's
+hyperparameters captured live via ``effective_config``, so engines
+built around a hand-constructed solver instance checkpoint faithfully
+too), instead of version 1's loose field-by-field dump.  Version-1
+checkpoints still load: their flat fields are mapped onto an
+``EngineConfig`` on the way in.
+
+Checkpoint compaction: with ``EngineConfig.max_profile_age`` set,
+``save`` first ages out builder bookkeeping (user profiles and
+tweet→author entries) for authors neither posting nor retweeted within
+that many most recent snapshots — bounding warm-restart state on
+unbounded streams at the cost of no longer resolving retweets of those
+aged-out tweets after a restart.
+
 Not persisted (by design): pending un-snapshotted tweets (``save``
 refuses them — advance or discard first), the bounded tokenization
 memo, telemetry reports, and the classify LRU (recomputed on demand).
@@ -30,19 +45,40 @@ from repro.core.online import OnlineTriClustering
 from repro.core.sharded import ShardedOnlineTriClustering
 from repro.core.state import FactorSet
 from repro.data.tweet import Sentiment, UserProfile
+from repro.engine.config import EngineConfig
 from repro.text.lexicon import SentimentLexicon
 from repro.text.tokenizer import TweetTokenizer
 from repro.text.vectorizer import CountVectorizer, TfidfVectorizer
 from repro.text.vocabulary import Vocabulary
+from repro.utils.logging import get_logger
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.engine.streaming import StreamingSentimentEngine
 
-FORMAT_VERSION = 1
+logger = get_logger("engine.persistence")
+
+FORMAT_VERSION = 2
+SUPPORTED_VERSIONS = (1, 2)
 ARRAYS_FILE = "arrays.npz"
 STATE_FILE = "state.json"
 
 _FACTOR_NAMES = ("sf", "sp", "su", "hp", "hu")
+
+#: SolverConfig fields, as they appear in both v1 solver params and v2
+#: config dumps (everything the online solver takes beyond num_classes).
+_SOLVER_FIELDS = (
+    "alpha",
+    "beta",
+    "gamma",
+    "tau",
+    "window",
+    "max_iterations",
+    "tolerance",
+    "patience",
+    "update_style",
+    "state_smoothing",
+    "track_history",
+)
 
 
 def _sentiment_to_json(value: Sentiment | None) -> str | None:
@@ -77,63 +113,22 @@ def _profile_from_json(record: dict) -> UserProfile:
     )
 
 
-def _solver_state(solver: OnlineTriClustering) -> dict:
-    if isinstance(solver, ShardedOnlineTriClustering):
-        kind = "sharded"
+def _validate_solver(solver: OnlineTriClustering) -> str:
+    """The checkpoint ``kind`` of ``solver``, rejecting the unknown."""
+    if type(solver) is ShardedOnlineTriClustering:
         if not isinstance(solver.partitioner, str):
             raise ValueError(
                 "cannot persist an engine whose solver uses a callable "
                 "partitioner; use a named strategy ('hash'/'greedy')"
             )
-        extras = {
-            "n_shards": solver.n_shards,
-            "partitioner": solver.partitioner,
-            "max_workers": solver.max_workers,
-            "backend": solver.backend,
-            "consensus_iterations": solver.consensus_iterations,
-        }
-    elif type(solver) is OnlineTriClustering:
-        kind = "online"
-        extras = {}
-    else:
-        raise ValueError(
-            f"cannot persist solver of type {type(solver).__name__}; "
-            "only OnlineTriClustering and ShardedOnlineTriClustering "
-            "checkpoints are supported"
-        )
-    return {
-        "kind": kind,
-        "params": {
-            "num_classes": solver.num_classes,
-            "alpha": solver.weights.alpha,
-            "beta": solver.weights.beta,
-            "gamma": solver.weights.gamma,
-            "tau": solver.tau,
-            "window": solver.window,
-            "max_iterations": solver.max_iterations,
-            "tolerance": solver.tolerance,
-            "patience": solver.patience,
-            "track_history": solver.track_history,
-            "update_style": solver.update_style,
-            "state_smoothing": solver.state_smoothing,
-            **extras,
-        },
-        "steps": solver.steps,
-        "seen_users": sorted(solver.seen_users),
-        "rng": solver._rng.bit_generator.state,
-    }
-
-
-def _rebuild_solver(state: dict) -> OnlineTriClustering:
-    params = dict(state["params"])
-    if state["kind"] == "sharded":
-        solver = ShardedOnlineTriClustering(**params)
-    else:
-        solver = OnlineTriClustering(**params)
-    solver._steps = int(state["steps"])
-    solver._seen_users = set(int(uid) for uid in state["seen_users"])
-    solver._rng.bit_generator.state = state["rng"]
-    return solver
+        return "sharded"
+    if type(solver) is OnlineTriClustering:
+        return "online"
+    raise ValueError(
+        f"cannot persist solver of type {type(solver).__name__}; "
+        "only OnlineTriClustering and ShardedOnlineTriClustering "
+        "checkpoints are supported"
+    )
 
 
 def _vectorizer_state(vectorizer: CountVectorizer) -> dict:
@@ -179,10 +174,19 @@ def save_engine(engine: "StreamingSentimentEngine", path: str | Path) -> Path:
             "advance_snapshot() before save() (pending deltas are not "
             "persisted)"
         )
+    config = engine.effective_config()
+    if engine.config.max_profile_age is not None:
+        dropped = engine.builder.compact(engine.config.max_profile_age)
+        if dropped:
+            logger.info(
+                "checkpoint compaction aged out %d inactive authors "
+                "(max_profile_age=%d)", dropped, engine.config.max_profile_age,
+            )
     path = Path(path)
     path.mkdir(parents=True, exist_ok=True)
     builder = engine.builder
     solver = engine.solver
+    kind = _validate_solver(solver)
     factors = engine.factors
     assert factors is not None and engine.alignment is not None
 
@@ -215,24 +219,28 @@ def save_engine(engine: "StreamingSentimentEngine", path: str | Path) -> Path:
     arrays["author_user_ids"] = np.array(
         [u for _, u in author_items], dtype=np.int64
     )
+    seen_items = sorted(builder._last_seen.items())
+    arrays["last_seen_uids"] = np.array(
+        [u for u, _ in seen_items], dtype=np.int64
+    )
+    arrays["last_seen_values"] = np.array(
+        [s for _, s in seen_items], dtype=np.int64
+    )
     np.savez_compressed(path / ARRAYS_FILE, **arrays)
 
     lexicon = builder.lexicon
     state = {
         "version": FORMAT_VERSION,
         "engine": {
-            "num_classes": builder.num_classes,
-            "classify_iterations": engine.classify_iterations,
-            "classify_batch_size": engine.classify_batch_size,
-            "cache_size": engine.cache.maxsize,
-            "cross_snapshot_edges": builder.cross_snapshot_edges,
+            "config": config.to_dict(),
             "classify_seed": engine._classify_seed,
-            "n_shards": engine.n_shards,
-            "max_workers": engine.max_workers,
-            "partitioner": engine.partitioner,
-            "backend": engine.backend,
         },
-        "solver": _solver_state(solver),
+        "solver": {
+            "kind": kind,
+            "steps": solver.steps,
+            "seen_users": sorted(solver.seen_users),
+            "rng": solver._rng.bit_generator.state,
+        },
         "vectorizer": _vectorizer_state(builder.vectorizer),
         "vocabulary": builder.vectorizer.vocabulary.to_state(),
         "lexicon": (
@@ -258,16 +266,56 @@ def save_engine(engine: "StreamingSentimentEngine", path: str | Path) -> Path:
     return path
 
 
+def _config_from_v1(state: dict) -> tuple[EngineConfig, int]:
+    """Map a version-1 checkpoint's loose fields onto an EngineConfig."""
+    engine_state = state["engine"]
+    params = dict(state["solver"]["params"])
+    solver_config = {
+        name: params[name] for name in _SOLVER_FIELDS if name in params
+    }
+    # A sharded solver may have pinned its own worker count; prefer it
+    # over the engine-level bound so the restored pool matches the old
+    # _rebuild_solver path.
+    max_workers = params.get("max_workers")
+    if max_workers is None:
+        max_workers = engine_state.get("max_workers")
+    sharding_config = {
+        "n_shards": params.get("n_shards", 1),
+        "partitioner": params.get(
+            "partitioner", engine_state.get("partitioner", "hash")
+        ),
+        "backend": params.get("backend", engine_state.get("backend", "thread")),
+        "max_workers": max_workers,
+        "consensus_iterations": params.get("consensus_iterations", 25),
+    }
+    serving_config = {
+        "classify_iterations": engine_state["classify_iterations"],
+        "classify_batch_size": engine_state["classify_batch_size"],
+        "cache_size": engine_state["cache_size"],
+    }
+    classify_seed = int(engine_state["classify_seed"])
+    config = EngineConfig(
+        num_classes=engine_state["num_classes"],
+        seed=classify_seed,
+        cross_snapshot_edges=engine_state["cross_snapshot_edges"],
+        solver=solver_config,
+        sharding=sharding_config,
+        serving=serving_config,
+    )
+    return config, classify_seed
+
+
 def load_engine(path: str | Path) -> "StreamingSentimentEngine":
-    """Rebuild an engine saved by :func:`save_engine`."""
+    """Rebuild an engine saved by :func:`save_engine` (format 1 or 2)."""
     from repro.engine.streaming import StreamingSentimentEngine
 
     path = Path(path)
     state = json.loads((path / STATE_FILE).read_text(encoding="utf-8"))
-    if state.get("version") != FORMAT_VERSION:
+    version = state.get("version")
+    if version not in SUPPORTED_VERSIONS:
         raise ValueError(
-            f"unsupported checkpoint version {state.get('version')!r} "
-            f"(expected {FORMAT_VERSION})"
+            f"unsupported checkpoint version {version!r} "
+            f"(expected one of {SUPPORTED_VERSIONS})"
         )
     with np.load(path / ARRAYS_FILE) as handle:
         arrays = {key: handle[key] for key in handle.files}
@@ -283,23 +331,26 @@ def load_engine(path: str | Path) -> "StreamingSentimentEngine":
             negative=lexicon_state["negative"],
         )
     )
-    solver = _rebuild_solver(state["solver"])
+    if version == 1:
+        config, classify_seed = _config_from_v1(state)
+    else:
+        config = EngineConfig.from_dict(state["engine"]["config"])
+        classify_seed = int(state["engine"]["classify_seed"])
 
-    engine_state = state["engine"]
+    # The engine rebuilds its solver from the config; the checkpoint
+    # then restores the solver's temporal position on top of it.
     engine = StreamingSentimentEngine(
-        lexicon=lexicon,
-        num_classes=engine_state["num_classes"],
-        vectorizer=vectorizer,
-        solver=solver,
-        classify_iterations=engine_state["classify_iterations"],
-        classify_batch_size=engine_state["classify_batch_size"],
-        cache_size=engine_state["cache_size"],
-        cross_snapshot_edges=engine_state["cross_snapshot_edges"],
-        max_workers=engine_state["max_workers"],
+        config, lexicon=lexicon, vectorizer=vectorizer
     )
-    engine._classify_seed = int(engine_state["classify_seed"])
+    engine._classify_seed = classify_seed
 
     # --- solver temporal state ---
+    solver = engine.solver
+    solver._steps = int(state["solver"]["steps"])
+    solver._seen_users = set(
+        int(uid) for uid in state["solver"]["seen_users"]
+    )
+    solver._rng.bit_generator.state = state["solver"]["rng"]
     for lag in range(int(state["sf_history_len"])):
         solver._sf_history.append(arrays[f"sf_history_{lag}"])
     for lag in range(int(state["su_history_len"])):
@@ -325,6 +376,19 @@ def load_engine(path: str | Path) -> "StreamingSentimentEngine":
         for p in (_profile_from_json(r) for r in state["builder"]["profiles"])
     }
     builder._snapshots_built = int(state["builder"]["snapshots_built"])
+    if "last_seen_uids" in arrays:
+        builder._last_seen = {
+            int(uid): int(seen)
+            for uid, seen in zip(
+                arrays["last_seen_uids"], arrays["last_seen_values"]
+            )
+        }
+    else:
+        # v1 checkpoints carry no activity recency; treat every known
+        # profile as fresh at restore so compaction never mistakes
+        # pre-upgrade users for long-inactive ones.
+        latest = builder._snapshots_built - 1
+        builder._last_seen = {uid: latest for uid in builder._profiles}
 
     # --- serving state ---
     factors = FactorSet(

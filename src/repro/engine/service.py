@@ -1,0 +1,352 @@
+"""Typed request/response serving facade over the streaming engine.
+
+:class:`~repro.engine.streaming.StreamingSentimentEngine` speaks
+numpy: ``classify`` returns bare label arrays, ``user_sentiments`` a
+raw ``{uid: int}`` dict, and callers are left to remember what the
+integers mean.  :class:`SentimentService` is the coherent public
+surface on top — the one the CLI, the examples and the benchmarks all
+talk to:
+
+- **Typed objects** — :class:`ClassifyRequest` in,
+  :class:`ClassifyResult` (labels *and* their class names *and* the
+  soft memberships) out, :class:`UserSentiment` per user, and the
+  engine's :class:`~repro.engine.streaming.SnapshotReport` for
+  snapshot telemetry.
+- **submit/poll micro-batching** — ``submit`` enqueues a request in
+  O(1) and returns a ticket; queued requests are folded in together
+  (one vectorize + fold-in pass over the union of their texts, deduped
+  and LRU-backed by the engine) either when the queued texts reach the
+  engine's micro-batch width or on the first ``poll``.  Many callers
+  submitting small requests get batched serving for free.
+- **Stream control** — ``ingest`` (non-blocking, backpressure-aware)
+  and ``snapshot`` wrap the engine's ingestion barrier; ``save`` /
+  ``load`` wrap checkpointing.
+
+The service is thread-safe (its queue is lock-guarded; the engine's
+serve lock covers the rest) and, like every layer here, closing it is
+terminal.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.tweet import Sentiment, Tweet, UserProfile
+from repro.engine.config import EngineConfig
+from repro.engine.streaming import SnapshotReport, StreamingSentimentEngine
+from repro.text.lexicon import SentimentLexicon
+from repro.text.vectorizer import CountVectorizer
+
+__all__ = [
+    "ClassifyRequest",
+    "ClassifyResult",
+    "SentimentService",
+    "SnapshotReport",
+    "UserSentiment",
+]
+
+#: Label returned for texts with no in-vocabulary evidence.
+NO_EVIDENCE = -1
+
+
+def class_names(
+    num_classes: int, lexicon_aligned: bool
+) -> tuple[str, ...]:
+    """Human names for the engine's class columns.
+
+    With a lexicon and ≤3 classes the columns are aligned to the
+    :class:`~repro.data.tweet.Sentiment` order; otherwise they are
+    anonymous clusters.
+    """
+    if lexicon_aligned and num_classes <= 3:
+        return tuple(Sentiment(i).short_name for i in range(num_classes))
+    return tuple(f"c{i}" for i in range(num_classes))
+
+
+@dataclass(frozen=True)
+class ClassifyRequest:
+    """A batch of texts to score against the latest model."""
+
+    texts: tuple[str, ...]
+
+    def __init__(self, texts: Sequence[str]) -> None:
+        object.__setattr__(self, "texts", tuple(texts))
+
+
+@dataclass(frozen=True)
+class ClassifyResult:
+    """The scored counterpart of one :class:`ClassifyRequest`.
+
+    ``labels[i]`` is the hard sentiment id of ``texts[i]``
+    (:data:`NO_EVIDENCE` when nothing in the text is in-vocabulary);
+    ``memberships[i]`` the soft row it was argmaxed from; ``classes``
+    names the membership columns.
+    """
+
+    ticket: int
+    texts: tuple[str, ...]
+    labels: tuple[int, ...]
+    memberships: np.ndarray = field(repr=False)
+    classes: tuple[str, ...]
+
+    def label_names(self) -> tuple[str, ...]:
+        """``classes[label]`` per text, ``"none"`` for no evidence."""
+        return tuple(
+            self.classes[label] if label != NO_EVIDENCE else "none"
+            for label in self.labels
+        )
+
+    def __len__(self) -> int:
+        return len(self.texts)
+
+
+@dataclass(frozen=True)
+class UserSentiment:
+    """One user's latest aggregated sentiment readout."""
+
+    user_id: int
+    label: int
+    class_name: str
+
+
+class SentimentService:
+    """Facade: typed, micro-batched serving over one engine.
+
+    Construct around an existing engine, or let the service build one::
+
+        service = SentimentService(config=EngineConfig(...), lexicon=lex)
+        service.ingest(tweets)
+        report = service.snapshot()
+        ticket = service.submit(["great product!", "refund please"])
+        result = service.poll(ticket)
+
+    Parameters
+    ----------
+    engine:
+        A ready :class:`StreamingSentimentEngine` to wrap.  Mutually
+        exclusive with ``config``/``lexicon``/``vectorizer``, which are
+        forwarded to a freshly built engine instead.
+    """
+
+    def __init__(
+        self,
+        engine: StreamingSentimentEngine | None = None,
+        *,
+        config: EngineConfig | dict | None = None,
+        lexicon: SentimentLexicon | None = None,
+        vectorizer: CountVectorizer | None = None,
+    ) -> None:
+        if engine is not None:
+            if config is not None or lexicon is not None or vectorizer is not None:
+                raise ValueError(
+                    "pass either an engine to wrap or the pieces to build "
+                    "one (config/lexicon/vectorizer), not both"
+                )
+            self.engine = engine
+        else:
+            self.engine = StreamingSentimentEngine(
+                config, lexicon=lexicon, vectorizer=vectorizer
+            )
+        self._lock = threading.Lock()
+        self._flushed = threading.Condition(self._lock)
+        self._next_ticket = 0
+        self._queued: dict[int, ClassifyRequest] = {}
+        self._queued_texts = 0
+        self._in_flight: set[int] = set()
+        self._results: dict[int, ClassifyResult] = {}
+
+    # ------------------------------------------------------------------ #
+    # Stream control
+    # ------------------------------------------------------------------ #
+
+    def ingest(
+        self,
+        tweets: Iterable[Tweet],
+        users: Iterable[UserProfile] | None = None,
+        block: bool = True,
+    ) -> int:
+        """Queue tweets for the next snapshot (O(1); see engine docs)."""
+        return self.engine.ingest(tweets, users=users, block=block)
+
+    def snapshot(self, name: str | None = None) -> SnapshotReport:
+        """Fold everything ingested so far into the model.
+
+        Flushes queued classify requests first so every outstanding
+        ticket is answered by the model it was submitted against, then
+        barriers on the ingest queue and runs one online solver step.
+        """
+        self.flush()
+        return self.engine.advance_snapshot(name=name)
+
+    # ------------------------------------------------------------------ #
+    # Classification
+    # ------------------------------------------------------------------ #
+
+    def submit(self, request: ClassifyRequest | Sequence[str]) -> int:
+        """Queue a classification request; returns its ticket.
+
+        O(1) unless the queued texts reach the engine's micro-batch
+        width, in which case the whole queue is folded in now (the
+        micro-batching contract: submit-heavy callers pay for
+        classification once per batch, not once per request).
+        """
+        if not isinstance(request, ClassifyRequest):
+            request = ClassifyRequest(request)
+        with self._lock:
+            ticket = self._next_ticket
+            self._next_ticket += 1
+            self._queued[ticket] = request
+            self._queued_texts += len(request.texts)
+            ready = self._queued_texts >= self.engine.classify_batch_size
+        if ready:
+            self.flush()
+        return ticket
+
+    def poll(self, ticket: int) -> ClassifyResult | None:
+        """The result for ``ticket``; flushes the queue on first demand.
+
+        Returns ``None`` only when the model is not ready yet (no
+        snapshot processed) — the request stays queued for a later
+        poll.  Raises ``KeyError`` for a ticket this service never
+        issued or already handed out.  Safe under concurrent polls: a
+        ticket being computed by another thread's flush is waited on,
+        not misreported.
+        """
+        while True:
+            with self._lock:
+                result = self._results.pop(ticket, None)
+                if result is not None:
+                    return result
+                if ticket in self._in_flight:
+                    # Another thread's flush() owns this ticket right
+                    # now; its results land under this same lock.
+                    self._flushed.wait()
+                    continue
+                if ticket not in self._queued:
+                    if ticket >= self._next_ticket:
+                        raise KeyError(f"unknown ticket {ticket}")
+                    raise KeyError(
+                        f"ticket {ticket} was already polled (results are "
+                        "handed out exactly once)"
+                    )
+            if not self.engine.is_ready:
+                return None
+            self.flush()
+
+    def flush(self) -> int:
+        """Fold every queued request in; returns the requests answered.
+
+        One ``classify_memberships`` call over the union of queued
+        texts — the engine dedups repeats and serves its LRU — then the
+        rows are split back per request.  A no-op while the model is
+        not ready (requests stay queued for after the first snapshot);
+        a classify failure re-queues the popped requests instead of
+        losing their tickets.
+        """
+        with self._lock:
+            if not self.engine.is_ready:
+                return 0
+            queued = sorted(self._queued.items())
+            self._queued = {}
+            self._queued_texts = 0
+            self._in_flight.update(ticket for ticket, _ in queued)
+        if not queued:
+            return 0
+        texts: list[str] = []
+        for _, request in queued:
+            texts.extend(request.texts)
+        try:
+            memberships = self.engine.classify_memberships(texts)
+        except BaseException:
+            with self._lock:
+                for ticket, request in queued:
+                    self._queued[ticket] = request
+                    self._queued_texts += len(request.texts)
+                self._in_flight.difference_update(t for t, _ in queued)
+                self._flushed.notify_all()
+            raise
+        labels = np.argmax(memberships, axis=1).astype(np.int64)
+        labels[~memberships.any(axis=1)] = NO_EVIDENCE
+        classes = self.classes
+        offset = 0
+        results = {}
+        for ticket, request in queued:
+            width = len(request.texts)
+            results[ticket] = ClassifyResult(
+                ticket=ticket,
+                texts=request.texts,
+                labels=tuple(int(x) for x in labels[offset : offset + width]),
+                memberships=memberships[offset : offset + width],
+                classes=classes,
+            )
+            offset += width
+        with self._lock:
+            self._results.update(results)
+            self._in_flight.difference_update(results)
+            self._flushed.notify_all()
+        return len(results)
+
+    def classify(self, texts: Sequence[str]) -> ClassifyResult:
+        """Synchronous convenience: submit + poll in one call.
+
+        Raises the engine's "no snapshot" error before the first
+        snapshot instead of queueing (a synchronous caller has no later
+        poll to come back on).
+        """
+        if not self.engine.is_ready:
+            raise RuntimeError(
+                "no snapshot has been processed yet; call ingest() then "
+                "snapshot() before classify()"
+            )
+        result = self.poll(self.submit(texts))
+        assert result is not None  # engine was ready when we checked
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Readouts
+    # ------------------------------------------------------------------ #
+
+    @property
+    def classes(self) -> tuple[str, ...]:
+        """Names of the membership columns, in column order."""
+        return class_names(
+            self.engine.config.num_classes,
+            lexicon_aligned=self.engine.builder.lexicon is not None,
+        )
+
+    def user_sentiments(self) -> list[UserSentiment]:
+        """Latest sentiment per user ever seen, sorted by user id."""
+        classes = self.classes
+        return [
+            UserSentiment(
+                user_id=uid, label=label, class_name=classes[label]
+            )
+            for uid, label in sorted(self.engine.user_sentiments().items())
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle / persistence
+    # ------------------------------------------------------------------ #
+
+    def save(self, path) -> "Path":
+        """Checkpoint the wrapped engine (see engine ``save``)."""
+        return self.engine.save(path)
+
+    @classmethod
+    def load(cls, path) -> "SentimentService":
+        """A service around an engine restored from ``path``."""
+        return cls(StreamingSentimentEngine.load(path))
+
+    def close(self) -> None:
+        self.engine.close()
+
+    def __enter__(self) -> "SentimentService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -4,13 +4,16 @@
 ingestion-to-inference API whose per-step cost scales with the delta,
 not the history:
 
-- **ingest(tweets)** buffers raw tweets into the
-  :class:`~repro.graph.incremental.IncrementalTripartiteBuilder`, which
-  tokenizes each text exactly once and grows the shared vocabulary
-  append-only;
-- **advance_snapshot()** assembles the buffered delta into a
-  :class:`~repro.graph.tripartite.TripartiteGraph` (single COO→CSR
-  conversion per matrix) and runs one
+- **ingest(tweets)** enqueues raw tweets in O(1) onto a bounded queue
+  drained by a dedicated ingest worker (:class:`~repro.engine.pipeline.
+  IngestPipeline`), which tokenizes each text exactly once into the
+  :class:`~repro.graph.incremental.IncrementalTripartiteBuilder` and
+  grows the shared vocabulary append-only — producers never block on
+  tokenization (``IngestConfig(async_ingest=False)`` restores the
+  synchronous path, bit-identical by regression test);
+- **advance_snapshot()** barriers on the ingest queue, assembles the
+  buffered delta into a :class:`~repro.graph.tripartite.
+  TripartiteGraph` (single COO→CSR conversion per matrix) and runs one
   :class:`~repro.core.online.OnlineTriClustering` step (Algorithm 2,
   warm-started from decayed history, shared-product
   :class:`~repro.core.sweepcache.SweepCache` inside) — or, with
@@ -23,17 +26,35 @@ not the history:
   (:class:`~repro.engine.cache.FoldInCache`) absorbing repeated queries
   — retweets and slogans dominate real traffic.
 
+Configuration is one typed object: :class:`~repro.engine.config.
+EngineConfig` (validated at construction, ``to_dict``/``from_dict``
+round-trip, persisted verbatim by checkpoints).  The old flat-kwargs
+constructor still works for one release behind a
+``DeprecationWarning``.  For typed request/response serving on top of
+this engine, see :class:`~repro.engine.service.SentimentService`.
+
 Cluster columns are mapped to sentiment classes with the lexicon
 alignment of :mod:`repro.core.labeling` after every snapshot, so
 ``classify`` returns actual :class:`~repro.data.tweet.Sentiment` ids,
 not anonymous cluster ids.
+
+Thread model: one re-entrant serve lock serializes the three mutators
+of shared state — the ingest worker's per-batch builder step, the
+model commit inside ``advance_snapshot``, and the vectorize/fold-in
+section of ``classify`` — so any number of producer and consumer
+threads can hit one engine concurrently (regression-tested).  Classify
+micro-batches still fan out across the worker pool *inside* the lock;
+what is serialized is ingestion against serving, never the fold-in
+arithmetic itself.
 """
 
 from __future__ import annotations
 
+import threading
 import time
+import warnings
 from collections.abc import Iterable, Sequence
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from pathlib import Path
 
 import numpy as np
@@ -45,11 +66,13 @@ from repro.core.sharded import ShardedOnlineTriClustering, open_solver_pool
 from repro.core.state import FactorSet
 from repro.data.tweet import Tweet, UserProfile
 from repro.engine.cache import FoldInCache
+from repro.engine.config import EngineConfig, ShardingConfig, SolverConfig
+from repro.engine.pipeline import IngestPipeline, SyncIngest
 from repro.graph.incremental import IncrementalTripartiteBuilder
 from repro.graph.tripartite import TripartiteGraph
 from repro.text.lexicon import SentimentLexicon
 from repro.text.vectorizer import CountVectorizer, TfidfVectorizer
-from repro.utils.executor import BACKENDS, WorkerPool, default_worker_count
+from repro.utils.executor import WorkerPool, default_worker_count
 from repro.utils.logging import get_logger
 
 logger = get_logger("engine.streaming")
@@ -78,6 +101,16 @@ class StreamingSentimentEngine:
 
     Parameters
     ----------
+    config:
+        An :class:`~repro.engine.config.EngineConfig` (or its
+        ``to_dict`` form).  ``None`` means all defaults.  Every knob
+        that used to be a flat constructor kwarg lives here — solver
+        hyperparameters under ``config.solver``, shard/backend
+        execution under ``config.sharding``, the classify path under
+        ``config.serving``, and async-ingestion behaviour under
+        ``config.ingest``.  Flat kwargs still work for one release and
+        emit a ``DeprecationWarning`` (see
+        :meth:`EngineConfig.from_legacy_kwargs` for the mapping).
     lexicon:
         Seed sentiment lexicon.  Enables the ``Sf0`` prior per snapshot
         and the cluster-column → sentiment-class alignment; without it,
@@ -87,135 +120,129 @@ class StreamingSentimentEngine:
         (default: a fresh :class:`~repro.text.vectorizer.TfidfVectorizer`
         in incremental mode).
     solver:
-        A pre-configured :class:`~repro.core.online.OnlineTriClustering`;
-        when ``None`` one is built from ``num_classes``/``seed`` and
-        ``solver_kwargs``.
-    classify_iterations / classify_batch_size:
-        Fold-in iterations per query row, and the micro-batch width used
-        to chunk large ``classify`` calls (keeps peak memory flat under
-        heavy traffic and is the unit of classify parallelism).
-    cache_size:
-        LRU entries for repeated-query fold-in results (0 disables).
-    cross_snapshot_edges:
-        Forwarded to the incremental builder: let retweets of earlier
-        snapshots' tweets contribute user-user edges.
-    n_shards / partitioner:
-        User-partition sharding of the solve (see
-        :class:`~repro.core.sharded.ShardedOnlineTriClustering`).
-        ``n_shards=1`` (default) runs the plain online solver —
-        bit-identical to pre-sharding engines; ``"auto"`` re-picks the
-        shard count per snapshot from the snapshot's user count and the
-        worker count.  When a ``solver`` instance is passed, configure
-        sharding on it instead (the engine adopts its settings).
-    backend:
-        Execution backend for the sharded solve: ``"serial"``,
-        ``"thread"`` (default) or ``"process"`` (worker processes with
-        shard blocks pinned resident; see :mod:`repro.utils.executor`).
-        Classify micro-batches always stay on the engine's thread pool
-        — fold-in rows are cheap, batch-invariant and share the LRU
-        cache, so shipping them across a process boundary could only
-        lose.  Results are bit-identical across backends.  A non-thread
-        backend with ``n_shards=1`` routes through the 1-shard sharded
-        solver (itself bit-identical to the plain one).
-    max_workers:
-        Size of the engine's worker pool, shared by classify
-        micro-batching and the thread-backend sharded solve (solvers
-        the engine builds always run on it; a user-supplied sharded
-        solver joins it unless it pinned its own ``max_workers``).
-        Under ``backend="process"`` the solve instead gets a dedicated
-        engine-owned process pool of the same size whose workers — and
-        their resident shard blocks — persist across snapshots.
-        ``None`` auto-selects: serial for 1-shard engines (the
-        historical behaviour), CPU count otherwise.  ``close()`` (or
-        using the engine as a context manager) releases the threads and
-        worker processes; a closed engine no longer serves (closing is
-        terminal, matching ``WorkerPool``).
+        A pre-configured :class:`~repro.core.online.OnlineTriClustering`
+        (or sharded subclass); when ``None`` one is built from the
+        config.  Mutually exclusive with non-default ``config.solver``
+        and with ``config.sharding``'s shard/backend/partitioner fields
+        — configure sharding on the solver instance instead (the engine
+        adopts its settings).
+
+    The engine owns a worker pool sized by ``config.sharding.
+    max_workers``, shared by classify micro-batching and the
+    thread-backend sharded solve; under ``backend="process"`` the solve
+    instead gets a dedicated engine-owned process pool whose workers —
+    and their resident shard blocks — persist across snapshots.
+    ``close()`` (or using the engine as a context manager) releases the
+    ingest worker, the threads and the worker processes; closing is
+    terminal.
     """
 
     def __init__(
         self,
+        config: EngineConfig | dict | None = None,
+        *,
         lexicon: SentimentLexicon | None = None,
-        num_classes: int = 3,
         vectorizer: CountVectorizer | None = None,
         solver: OnlineTriClustering | None = None,
-        classify_iterations: int = 25,
-        classify_batch_size: int = 256,
-        cache_size: int = 4096,
-        cross_snapshot_edges: bool = False,
-        seed: int | None = 0,
-        n_shards: int | str = 1,
-        max_workers: int | None = None,
-        partitioner: str = "hash",
-        backend: str = "thread",
-        **solver_kwargs: object,
+        **legacy_kwargs: object,
     ) -> None:
-        if classify_batch_size < 1:
-            raise ValueError(
-                f"classify_batch_size must be >= 1, got {classify_batch_size}"
+        if isinstance(config, SentimentLexicon):
+            # The pre-config signature's first positional was the
+            # lexicon; keep those call sites alive through the shim.
+            warnings.warn(
+                "passing the lexicon as the first positional argument is "
+                "deprecated; use StreamingSentimentEngine(lexicon=...)",
+                DeprecationWarning,
+                stacklevel=2,
             )
-        if classify_iterations < 1:
-            raise ValueError(
-                f"classify_iterations must be >= 1, got {classify_iterations}"
+            lexicon, config = config, None
+        if legacy_kwargs:
+            if config is not None:
+                raise ValueError(
+                    "pass either an EngineConfig or flat keyword "
+                    "arguments, not both"
+                )
+            warnings.warn(
+                "flat keyword-argument construction of "
+                "StreamingSentimentEngine is deprecated and will be removed "
+                "in the next release; pass an EngineConfig (see "
+                "EngineConfig.from_legacy_kwargs for the field mapping)",
+                DeprecationWarning,
+                stacklevel=2,
             )
-        if n_shards != "auto" and (
-            not isinstance(n_shards, int) or n_shards < 1
-        ):
-            raise ValueError(
-                f"n_shards must be >= 1 or 'auto', got {n_shards!r}"
+            config = EngineConfig.from_legacy_kwargs(**legacy_kwargs)
+        elif config is None:
+            config = EngineConfig()
+        elif isinstance(config, dict):
+            config = EngineConfig.from_dict(config)
+        elif not isinstance(config, EngineConfig):
+            raise TypeError(
+                f"config must be an EngineConfig or dict, got "
+                f"{type(config).__name__}"
             )
-        if backend not in BACKENDS:
-            raise ValueError(
-                f"unknown backend {backend!r}; expected one of {BACKENDS}"
-            )
-        if solver is not None and solver_kwargs:
-            raise ValueError(
-                "pass either a solver instance or solver kwargs, not both"
-            )
-        if solver is not None and n_shards != 1:
-            raise ValueError(
-                "pass either a solver instance or n_shards, not both "
-                "(configure sharding on the solver)"
-            )
-        if solver is not None and backend != "thread":
-            raise ValueError(
-                "pass either a solver instance or backend, not both "
-                "(configure the backend on the solver)"
-            )
+        self.config = config
+
         self.builder = IncrementalTripartiteBuilder(
             vectorizer=vectorizer,
             lexicon=lexicon,
-            num_classes=num_classes,
-            cross_snapshot_edges=cross_snapshot_edges,
+            num_classes=config.num_classes,
+            cross_snapshot_edges=config.cross_snapshot_edges,
         )
+        sharding = config.sharding
         if solver is not None:
+            if config.solver != SolverConfig():
+                raise ValueError(
+                    "pass either a solver instance or solver settings, "
+                    "not both"
+                )
+            if sharding.n_shards != 1:
+                raise ValueError(
+                    "pass either a solver instance or n_shards, not both "
+                    "(configure sharding on the solver)"
+                )
+            if sharding.backend != "thread":
+                raise ValueError(
+                    "pass either a solver instance or backend, not both "
+                    "(configure the backend on the solver)"
+                )
+            if sharding.partitioner != "hash":
+                raise ValueError(
+                    "pass either a solver instance or partitioner, not both "
+                    "(configure sharding on the solver)"
+                )
             self.solver = solver
-        elif n_shards == 1 and backend == "thread":
+        elif sharding.n_shards == 1 and sharding.backend == "thread":
             self.solver = OnlineTriClustering(
-                num_classes=num_classes, seed=seed, **solver_kwargs
+                num_classes=config.num_classes,
+                seed=config.seed,
+                **asdict(config.solver),
             )
         else:
             self.solver = ShardedOnlineTriClustering(
-                num_classes=num_classes,
-                seed=seed,
-                n_shards=n_shards,
-                partitioner=partitioner,
-                max_workers=max_workers,
-                backend=backend,
-                **solver_kwargs,
+                num_classes=config.num_classes,
+                seed=config.seed,
+                n_shards=sharding.n_shards,
+                partitioner=sharding.partitioner,
+                max_workers=sharding.max_workers,
+                backend=sharding.backend,
+                consensus_iterations=sharding.consensus_iterations,
+                **asdict(config.solver),
             )
-        if self.solver.num_classes != num_classes:
+        if self.solver.num_classes != config.num_classes:
             raise ValueError(
                 f"solver has num_classes={self.solver.num_classes} but the "
-                f"engine was configured with num_classes={num_classes}; "
+                f"engine was configured with num_classes={config.num_classes}; "
                 "pass matching values"
             )
         self.n_shards = getattr(self.solver, "n_shards", 1)
-        self.partitioner = getattr(self.solver, "partitioner", partitioner)
+        self.partitioner = getattr(
+            self.solver, "partitioner", sharding.partitioner
+        )
         self.backend = getattr(self.solver, "backend", "thread")
-        self.max_workers = max_workers
+        self.max_workers = sharding.max_workers
         classify_workers = (
-            max_workers
-            if max_workers is not None
+            sharding.max_workers
+            if sharding.max_workers is not None
             else (1 if self.n_shards == 1 else None)
         )
         self._pool = WorkerPool(classify_workers)
@@ -238,92 +265,142 @@ class StreamingSentimentEngine:
                         else default_worker_count()
                     )
                     self._solver_pool = open_solver_pool(
-                        max_workers, "process", shards_hint
+                        sharding.max_workers, "process", shards_hint
                     )
                     # Fork the workers now, while the engine process is
-                    # still single-threaded (classify threads spin up
-                    # lazily later) — never fork under live threads.
+                    # still single-threaded (classify threads and the
+                    # ingest worker spin up after this point) — never
+                    # fork under live threads.
                     self._solver_pool.prestart()
                     self.solver.pool = self._solver_pool
                 elif self.backend == "thread":
                     self.solver.pool = self._pool
-        self.cache = FoldInCache(maxsize=cache_size)
-        self.classify_iterations = classify_iterations
-        self.classify_batch_size = classify_batch_size
-        self._classify_seed = 0 if seed is None else int(seed)
+        self.cache = FoldInCache(maxsize=config.serving.cache_size)
+        self.classify_iterations = config.serving.classify_iterations
+        self.classify_batch_size = config.serving.classify_batch_size
+        self._classify_seed = 0 if config.seed is None else int(config.seed)
         self._factors: FactorSet | None = None
         self._alignment: np.ndarray | None = None
         self._tweet_gram: np.ndarray | None = None
         self._last_step: OnlineStepResult | None = None
         self._last_graph: TripartiteGraph | None = None
         self._reports: list[SnapshotReport] = []
+        # The serve lock serializes builder mutation (ingest worker),
+        # model commits (advance_snapshot) and the vectorize/fold-in
+        # section of classify — see the module docstring's thread model.
+        self._serve_lock = threading.RLock()
+        # Created last: the pipeline starts the ingest worker thread,
+        # and the process-backend prestart above must fork before any
+        # thread exists.
+        if config.ingest.async_ingest:
+            self._ingest: IngestPipeline | SyncIngest = IngestPipeline(
+                self._ingest_batch,
+                max_queued_batches=config.ingest.max_queued_batches,
+                overflow=config.ingest.overflow,
+            )
+        else:
+            self._ingest = SyncIngest(self._ingest_batch)
 
     # ------------------------------------------------------------------ #
     # Ingestion → model
     # ------------------------------------------------------------------ #
 
+    def _ingest_batch(
+        self,
+        tweets: list[Tweet],
+        users: list[UserProfile] | None,
+    ) -> None:
+        """One batch of the synchronous ingestion step (worker-side).
+
+        If ingestion grows the vocabulary, the classify cache is
+        dropped: classify-time transforms of *known* words re-weight
+        against the refreshed idf, so rows cached before the growth
+        would disagree with rows computed after it.
+        """
+        with self._serve_lock:
+            width_before = self.builder.num_features
+            self.builder.ingest(tweets, users=users)
+            if self.builder.num_features != width_before:
+                self.cache.clear()
+
     def ingest(
         self,
         tweets: Iterable[Tweet],
         users: Iterable[UserProfile] | None = None,
+        block: bool = True,
     ) -> int:
-        """Buffer tweets for the next snapshot; returns the pending count.
+        """Queue tweets for the next snapshot; returns the accepted count.
 
-        If ingestion grows the vocabulary, the classify cache is dropped:
-        classify-time transforms of *known* words re-weight against the
-        refreshed idf, so rows cached before the growth would disagree
-        with rows computed after it.
+        Non-blocking by default configuration: the call enqueues the
+        batch in O(1) and a dedicated worker tokenizes it off-thread
+        (``config.ingest.async_ingest=False`` restores inline
+        tokenization).  ``block`` controls backpressure when the queue
+        is full: ``True`` waits for space; ``False`` applies
+        ``config.ingest.overflow`` — raise
+        :class:`~repro.engine.pipeline.IngestQueueFull` or drop the
+        batch (returning 0).
         """
-        width_before = self.builder.num_features
-        pending = self.builder.ingest(tweets, users=users)
-        if self.builder.num_features != width_before:
-            self.cache.clear()
-        return pending
+        return self._ingest.submit(tweets, users=users, block=block)
+
+    def flush(self) -> int:
+        """Barrier: wait until every queued batch is tokenized.
+
+        Returns the number of tweets now buffered for the next
+        snapshot.  ``advance_snapshot`` calls this implicitly; it is
+        public for producers that need the vocabulary (``num_features``)
+        or ``pending`` to reflect everything they submitted.
+        """
+        self._ingest.flush()
+        return self.builder.pending
 
     def advance_snapshot(self, name: str | None = None) -> SnapshotReport:
         """Fold the buffered delta into the model (one Algorithm 2 step).
 
-        Raises :class:`ValueError` when nothing was ingested since the
-        previous snapshot.  Invalidates the classify cache — cached
+        Drains the ingest queue first (the barrier producers rely on),
+        then raises :class:`ValueError` when nothing was ingested since
+        the previous snapshot.  Invalidates the classify cache — cached
         fold-in rows belong to the superseded factors.
         """
         started = time.perf_counter()
-        graph = self.builder.build_snapshot(name=name)
-        built = time.perf_counter()
-        step = self.solver.partial_fit(graph)
-        solved = time.perf_counter()
+        self._ingest.flush()
+        with self._serve_lock:
+            graph = self.builder.build_snapshot(name=name)
+            built = time.perf_counter()
+            step = self.solver.partial_fit(graph)
+            solved = time.perf_counter()
 
-        self._factors = step.factors
-        self._last_step = step
-        self._last_graph = graph
-        previous_alignment = self._alignment
-        if graph.sf0 is not None:
-            self._alignment = lexicon_column_alignment(
-                step.factors.sf, graph.sf0
-            )
-        else:
-            self._alignment = np.arange(step.factors.num_classes)
-        if previous_alignment is not None and not np.array_equal(
-            previous_alignment, self._alignment
-        ):
-            # Warm starts keep cluster columns sticky across snapshots;
-            # a permutation flip means the solver's carried user state
-            # (blended in raw cluster space) straddles two semantics.
-            logger.warning(
-                "cluster-to-class alignment changed at snapshot %d "
-                "(%s -> %s); user_sentiments() for users absent from "
-                "recent snapshots may be relabeled inconsistently",
-                step.snapshot_index,
-                previous_alignment.tolist(),
-                self._alignment.tolist(),
-            )
-        # The serving gram Hp·(SfᵀSf)·Hpᵀ is fixed until the next
-        # snapshot; computing it once here keeps the O(l·k²) reduction
-        # out of every classify micro-batch.
-        self._tweet_gram = step.factors.hp @ (
-            step.factors.sf.T @ step.factors.sf
-        ) @ step.factors.hp.T
-        self.cache.clear()
+            self._factors = step.factors
+            self._last_step = step
+            self._last_graph = graph
+            previous_alignment = self._alignment
+            if graph.sf0 is not None:
+                self._alignment = lexicon_column_alignment(
+                    step.factors.sf, graph.sf0
+                )
+            else:
+                self._alignment = np.arange(step.factors.num_classes)
+            if previous_alignment is not None and not np.array_equal(
+                previous_alignment, self._alignment
+            ):
+                # Warm starts keep cluster columns sticky across
+                # snapshots; a permutation flip means the solver's
+                # carried user state (blended in raw cluster space)
+                # straddles two semantics.
+                logger.warning(
+                    "cluster-to-class alignment changed at snapshot %d "
+                    "(%s -> %s); user_sentiments() for users absent from "
+                    "recent snapshots may be relabeled inconsistently",
+                    step.snapshot_index,
+                    previous_alignment.tolist(),
+                    self._alignment.tolist(),
+                )
+            # The serving gram Hp·(SfᵀSf)·Hpᵀ is fixed until the next
+            # snapshot; computing it once here keeps the O(l·k²)
+            # reduction out of every classify micro-batch.
+            self._tweet_gram = step.factors.hp @ (
+                step.factors.sf.T @ step.factors.sf
+            ) @ step.factors.hp.T
+            self.cache.clear()
 
         report = SnapshotReport(
             index=step.snapshot_index,
@@ -358,61 +435,65 @@ class StreamingSentimentEngine:
         uncached ones are vectorized and folded in per micro-batch, with
         the micro-batches fanned across the engine's worker pool.  Rows
         are batch-invariant (fold-in is row-independent), so the result
-        is identical at any pool width.
+        is identical at any pool width.  Safe to call concurrently with
+        ``ingest`` from any thread: the serve lock pins one consistent
+        (vocabulary, factors) pair per call.
         """
-        factors = self._require_model()
-        alignment = self._alignment
-        assert alignment is not None
-        results: dict[str, np.ndarray] = {}
-        uncached: list[str] = []
-        for text in dict.fromkeys(texts):  # unique, first-seen order
-            row = self.cache.get(text)
-            if row is not None:
-                results[text] = row
-            else:
-                uncached.append(text)
+        with self._serve_lock:
+            factors = self._require_model()
+            alignment = self._alignment
+            assert alignment is not None
+            results: dict[str, np.ndarray] = {}
+            uncached: list[str] = []
+            for text in dict.fromkeys(texts):  # unique, first-seen order
+                row = self.cache.get(text)
+                if row is not None:
+                    results[text] = row
+                else:
+                    uncached.append(text)
 
-        vectorizer = self.builder.vectorizer
-        if (
-            isinstance(vectorizer, TfidfVectorizer)
-            and vectorizer.idf_size != self.num_features
-        ):
-            # Refresh once, serially: transform would otherwise refresh
-            # lazily inside every worker, racing on the shared idf.
-            vectorizer.refresh_idf()
+            vectorizer = self.builder.vectorizer
+            if (
+                isinstance(vectorizer, TfidfVectorizer)
+                and vectorizer.idf_size != self.num_features
+            ):
+                # Refresh once, serially: transform would otherwise
+                # refresh lazily inside every worker, racing on the
+                # shared idf.
+                vectorizer.refresh_idf()
 
-        def fold_in(chunk: list[str]) -> np.ndarray:
-            matrix = vectorizer.transform(chunk)
-            if matrix.shape[1] > factors.num_features:
-                # Vocabulary grew after the last snapshot (ingest without
-                # advance); append-only growth makes the learned factors a
-                # row-aligned prefix, so the extra columns carry no model
-                # weight and are dropped.
-                matrix = matrix[:, : factors.num_features].tocsr()
-            memberships = infer_tweet_memberships(
-                matrix,
-                factors,
-                iterations=self.classify_iterations,
-                seed=self._classify_seed,
-                gram=self._tweet_gram,
-            )
-            aligned = np.empty_like(memberships)
-            aligned[:, alignment] = memberships
-            return aligned
+            def fold_in(chunk: list[str]) -> np.ndarray:
+                matrix = vectorizer.transform(chunk)
+                if matrix.shape[1] > factors.num_features:
+                    # Vocabulary grew after the last snapshot (ingest
+                    # without advance); append-only growth makes the
+                    # learned factors a row-aligned prefix, so the extra
+                    # columns carry no model weight and are dropped.
+                    matrix = matrix[:, : factors.num_features].tocsr()
+                memberships = infer_tweet_memberships(
+                    matrix,
+                    factors,
+                    iterations=self.classify_iterations,
+                    seed=self._classify_seed,
+                    gram=self._tweet_gram,
+                )
+                aligned = np.empty_like(memberships)
+                aligned[:, alignment] = memberships
+                return aligned
 
-        batch = self.classify_batch_size
-        chunks = [
-            uncached[offset : offset + batch]
-            for offset in range(0, len(uncached), batch)
-        ]
-        for chunk, aligned in zip(chunks, self._pool.map(fold_in, chunks)):
-            for text, row in zip(chunk, aligned):
-                self.cache.put(text, row)
-                results[text] = row
+            batch = self.classify_batch_size
+            chunks = [
+                uncached[offset : offset + batch]
+                for offset in range(0, len(uncached), batch)
+            ]
+            for chunk, aligned in zip(chunks, self._pool.map(fold_in, chunks)):
+                for text, row in zip(chunk, aligned):
+                    self.cache.put(text, row)
+                    results[text] = row
 
-        if not texts:
-            return np.empty((0, factors.num_classes))
-        return np.vstack([results[text] for text in texts])
+            if not texts:
+                return np.empty((0, factors.num_classes))
+            return np.vstack([results[text] for text in texts])
 
     def classify(self, texts: Sequence[str]) -> np.ndarray:
         """Hard sentiment id per text (``Sentiment`` order with a lexicon).
@@ -433,30 +514,33 @@ class StreamingSentimentEngine:
         a warning at ``advance_snapshot`` time (rows carried from
         earlier snapshots would straddle the old and new semantics).
         """
-        self._require_model()
-        assert self._alignment is not None
-        raw = self.solver.user_sentiment_labels()
-        if not raw:
-            return {}
-        uids = list(raw)
-        aligned = apply_alignment(
-            np.array([raw[uid] for uid in uids]), self._alignment
-        )
-        return {uid: int(label) for uid, label in zip(uids, aligned)}
+        with self._serve_lock:
+            self._require_model()
+            assert self._alignment is not None
+            raw = self.solver.user_sentiment_labels()
+            if not raw:
+                return {}
+            uids = list(raw)
+            aligned = apply_alignment(
+                np.array([raw[uid] for uid in uids]), self._alignment
+            )
+            return {uid: int(label) for uid, label in zip(uids, aligned)}
 
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
 
     def close(self) -> None:
-        """Release the worker pools (threads and processes; idempotent).
+        """Release the ingest worker and pools (idempotent, terminal).
 
-        Closing is **terminal**: the pools refuse further work rather
-        than silently resurrecting threads or worker processes, so a
-        closed engine no longer serves parallel classify or sharded
-        solves.  Long-lived processes that retire an engine should
-        close it rather than hold idle workers.
+        Drains and stops the ingest pipeline, then shuts the worker
+        pools (threads and processes) down.  Closing is **terminal**:
+        the pipeline and pools refuse further work rather than silently
+        resurrecting threads or worker processes, so a closed engine no
+        longer ingests or serves.  Long-lived processes that retire an
+        engine should close it rather than hold idle workers.
         """
+        self._ingest.close()
         self._pool.shutdown()
         if self._solver_pool is not None:
             self._solver_pool.shutdown()
@@ -471,19 +555,70 @@ class StreamingSentimentEngine:
     # Persistence
     # ------------------------------------------------------------------ #
 
+    def effective_config(self) -> EngineConfig:
+        """The configuration with solver sections re-derived live.
+
+        For an engine built purely from an :class:`EngineConfig` this
+        equals ``self.config``; when a pre-configured ``solver``
+        instance was supplied instead, its hyperparameters and sharding
+        settings are captured here — this is what checkpoints persist,
+        so a restored engine rebuilds an equivalent solver either way.
+        """
+        solver = self.solver
+        solver_config = SolverConfig(
+            alpha=solver.weights.alpha,
+            beta=solver.weights.beta,
+            gamma=solver.weights.gamma,
+            tau=solver.tau,
+            window=solver.window,
+            max_iterations=solver.max_iterations,
+            tolerance=solver.tolerance,
+            patience=solver.patience,
+            update_style=solver.update_style,
+            state_smoothing=solver.state_smoothing,
+            track_history=solver.track_history,
+        )
+        if isinstance(solver, ShardedOnlineTriClustering):
+            sharding_config = ShardingConfig(
+                n_shards=solver.n_shards,
+                partitioner=solver.partitioner,
+                backend=solver.backend,
+                max_workers=(
+                    solver.max_workers
+                    if solver.max_workers is not None
+                    else self.max_workers
+                ),
+                consensus_iterations=solver.consensus_iterations,
+            )
+        else:
+            sharding_config = ShardingConfig(max_workers=self.max_workers)
+        return self.config.replace(
+            num_classes=solver.num_classes,
+            solver=solver_config,
+            sharding=sharding_config,
+        )
+
     def save(self, path) -> "Path":
         """Checkpoint the engine to directory ``path`` for warm restarts.
 
-        Persists factors, vocabulary (with idf statistics), alignment,
-        and the solver's temporal/user-prior state via npz + JSON so a
-        serving process can resume the stream bit-for-bit instead of
-        replaying it.  Pending (un-snapshotted) tweets are rejected —
-        call :meth:`advance_snapshot` first.  See
+        Flushes the ingest queue, then persists the effective
+        :class:`EngineConfig`, factors, vocabulary (with idf
+        statistics), alignment, and the solver's temporal/user-prior
+        state via npz + JSON so a serving process can resume the stream
+        bit-for-bit instead of replaying it.  Tweets buffered but not
+        yet snapshotted are rejected — call :meth:`advance_snapshot`
+        first.  With ``config.max_profile_age`` set, builder
+        bookkeeping for long-inactive authors is compacted first.  See
         :mod:`repro.engine.persistence` for the format.
         """
         from repro.engine.persistence import save_engine
 
-        return save_engine(self, path)
+        self._ingest.flush()
+        # The serve lock freezes builder/solver state for the snapshot
+        # on disk: concurrent producers queue (the ingest worker blocks
+        # on this same lock) instead of mutating mid-serialization.
+        with self._serve_lock:
+            return save_engine(self, path)
 
     @classmethod
     def load(cls, path) -> "StreamingSentimentEngine":
@@ -540,8 +675,19 @@ class StreamingSentimentEngine:
 
     @property
     def pending(self) -> int:
-        """Tweets buffered since the last snapshot."""
-        return self.builder.pending
+        """Tweets queued or buffered since the last snapshot.
+
+        Counts both batches still in the ingest queue and tweets
+        already tokenized into the builder; transiently approximate
+        while the worker is mid-batch — :meth:`flush` for an exact
+        number.
+        """
+        return self._ingest.queued + self.builder.pending
+
+    @property
+    def dropped(self) -> int:
+        """Tweets discarded by the ``"drop"`` overflow policy so far."""
+        return self._ingest.dropped
 
     @property
     def snapshots_processed(self) -> int:

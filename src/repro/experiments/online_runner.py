@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.core.online import OnlineTriClustering
 from repro.data.stream import SnapshotStream, iter_tweet_batches
+from repro.engine.config import EngineConfig
 from repro.engine.streaming import StreamingSentimentEngine
 from repro.eval.metrics import clustering_accuracy, normalized_mutual_information
 from repro.eval.timing import Stopwatch
@@ -149,7 +150,8 @@ def run_online_stream(
 def run_engine_stream(
     bundle: DatasetBundle,
     config: ExperimentConfig,
-    **engine_overrides: object,
+    engine_config: EngineConfig | None = None,
+    solver: OnlineTriClustering | None = None,
 ) -> OnlineRunResult:
     """Stream the bundle's corpus through the incremental engine.
 
@@ -160,18 +162,31 @@ def run_engine_stream(
     from deltas instead of full rebuilds.  Per-snapshot runtimes here
     include graph construction (the rebuild path's construction happens
     outside its solver timing), so the engine's totals are end-to-end.
-    """
-    engine_kwargs: dict[str, object] = dict(lexicon=bundle.lexicon)
-    if "solver" not in engine_overrides:
-        # Solver kwargs conflict with a pre-configured solver instance;
-        # only apply the config defaults when the engine builds its own.
-        engine_kwargs.update(
-            seed=config.solver_seed,
-            max_iterations=config.online_max_iterations,
-        )
-    engine_kwargs.update(engine_overrides)
-    engine = StreamingSentimentEngine(**engine_kwargs)
 
+    ``engine_config`` overrides the default experiment-derived
+    :class:`~repro.engine.EngineConfig`; ``solver`` supplies a
+    pre-configured solver instance instead (mutually exclusive with a
+    non-default solver section, as in the engine itself).
+    """
+    if engine_config is None and solver is None:
+        engine_config = EngineConfig(
+            seed=config.solver_seed,
+            solver={"max_iterations": config.online_max_iterations},
+        )
+    engine = StreamingSentimentEngine(
+        engine_config, lexicon=bundle.lexicon, solver=solver
+    )
+    try:
+        return _run_engine_stream(engine, bundle, config)
+    finally:
+        engine.close()
+
+
+def _run_engine_stream(
+    engine: StreamingSentimentEngine,
+    bundle: DatasetBundle,
+    config: ExperimentConfig,
+) -> OnlineRunResult:
     result = OnlineRunResult()
     tweet_preds: list[np.ndarray] = []
     tweet_truths: list[np.ndarray] = []

@@ -1,13 +1,14 @@
 """``python -m repro stream`` — run the serving engine over a JSONL file.
 
 Feeds a JSON-lines tweet corpus (the :mod:`repro.data.io` schema)
-through the :class:`~repro.engine.StreamingSentimentEngine` in
+through the :class:`~repro.engine.SentimentService` facade in
 fixed-size snapshots and prints one sentiment summary per snapshot —
 the smallest end-to-end path from "a file of tweets" to "a live sharded
 model", and the operational face of the checkpoint format: pass
 ``--checkpoint`` to save after every snapshot and to warm-restart from
 the same directory on the next invocation instead of replaying the
-stream.
+stream.  CLI flags assemble one :class:`~repro.engine.EngineConfig`,
+validated before any data is read.
 
 Usage::
 
@@ -27,8 +28,7 @@ import numpy as np
 
 from repro.core.labeling import apply_alignment
 from repro.data.io import load_corpus_jsonl
-from repro.data.tweet import Sentiment
-from repro.engine import StreamingSentimentEngine
+from repro.engine import EngineConfig, SentimentService
 from repro.engine.persistence import STATE_FILE
 from repro.text.lexicon import SentimentLexicon
 
@@ -98,6 +98,16 @@ def build_stream_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--max-profile-age",
+        type=int,
+        default=None,
+        help=(
+            "checkpoint compaction: age out authors neither posting nor "
+            "retweeted within this many recent snapshots before each "
+            "save (default: keep everything)"
+        ),
+    )
+    parser.add_argument(
         "--lexicon",
         default=None,
         help=(
@@ -127,16 +137,30 @@ def _load_lexicon(path: str | None) -> SentimentLexicon | None:
     )
 
 
-def _class_names(engine: StreamingSentimentEngine, num_classes: int) -> list[str]:
-    if engine.builder.lexicon is not None and num_classes <= 3:
-        return [Sentiment(i).short_name for i in range(num_classes)]
-    return [f"c{i}" for i in range(num_classes)]
+def config_from_args(args: argparse.Namespace) -> EngineConfig:
+    """One validated EngineConfig from the CLI surface.
+
+    Raises the config layer's eager errors (unknown backend or
+    partitioner, bad counts) before any data is read.
+    """
+    return EngineConfig(
+        num_classes=args.num_classes,
+        seed=args.seed,
+        max_profile_age=args.max_profile_age,
+        solver={"max_iterations": args.max_iterations},
+        sharding={
+            "n_shards": args.n_shards,
+            "partitioner": args.partitioner,
+            "backend": args.backend,
+            "max_workers": args.max_workers,
+        },
+    )
 
 
-def _snapshot_summary(engine: StreamingSentimentEngine) -> np.ndarray:
+def _snapshot_summary(service: SentimentService) -> np.ndarray:
     """Aligned per-class tweet counts for the latest snapshot."""
-    step = engine.last_step
-    alignment = engine.alignment
+    step = service.engine.last_step
+    alignment = service.engine.alignment
     assert step is not None and alignment is not None
     labels = apply_alignment(step.tweet_sentiments(), alignment)
     return np.bincount(labels, minlength=alignment.size)
@@ -147,25 +171,18 @@ def run_stream(args: argparse.Namespace) -> int:
     checkpoint = Path(args.checkpoint) if args.checkpoint else None
 
     if checkpoint is not None and (checkpoint / STATE_FILE).exists():
-        engine = StreamingSentimentEngine.load(checkpoint)
+        service = SentimentService.load(checkpoint)
         print(
             f"warm restart from {checkpoint} "
-            f"({engine.snapshots_processed} snapshots already folded in; "
-            "engine flags come from the checkpoint)"
+            f"({service.engine.snapshots_processed} snapshots already folded "
+            "in; engine flags come from the checkpoint)"
         )
     else:
-        engine = StreamingSentimentEngine(
-            lexicon=_load_lexicon(args.lexicon),
-            num_classes=args.num_classes,
-            seed=args.seed,
-            n_shards=args.n_shards,
-            max_workers=args.max_workers,
-            partitioner=args.partitioner,
-            backend=args.backend,
-            max_iterations=args.max_iterations,
+        service = SentimentService(
+            config=config_from_args(args), lexicon=_load_lexicon(args.lexicon)
         )
 
-    names = _class_names(engine, engine.builder.num_classes)
+    names = service.classes
     if args.snapshot_size < 1:
         raise SystemExit("--snapshot-size must be >= 1")
     tweets = corpus.tweets
@@ -176,21 +193,22 @@ def run_stream(args: argparse.Namespace) -> int:
     # A warm-restarted engine has already folded part (or all) of this
     # file in; re-ingesting those tweets would double-count them in the
     # temporal state, so they are skipped by id.
-    already = [t for t in tweets if engine.builder.has_ingested(t.tweet_id)]
+    builder = service.engine.builder
+    already = [t for t in tweets if builder.has_ingested(t.tweet_id)]
     if already:
         print(f"skipping {len(already)} already-ingested tweets")
-        tweets = [t for t in tweets if not engine.builder.has_ingested(t.tweet_id)]
+        tweets = [t for t in tweets if not builder.has_ingested(t.tweet_id)]
     if not tweets:
         print("nothing new to fold in; model unchanged")
 
     try:
         for offset in range(0, len(tweets), args.snapshot_size):
             batch = tweets[offset : offset + args.snapshot_size]
-            engine.ingest(batch, users=corpus.profiles_for(batch))
+            service.ingest(batch, users=corpus.profiles_for(batch))
             started = time.perf_counter()
-            report = engine.advance_snapshot()
+            report = service.snapshot()
             elapsed = time.perf_counter() - started
-            counts = _snapshot_summary(engine)
+            counts = _snapshot_summary(service)
             summary = " ".join(
                 f"{name} {count}" for name, count in zip(names, counts)
             )
@@ -200,25 +218,25 @@ def run_stream(args: argparse.Namespace) -> int:
                 f"{report.iterations} iters, {elapsed:.2f}s | {summary}"
             )
             if checkpoint is not None:
-                engine.save(checkpoint)
+                service.save(checkpoint)
 
-        user_labels = engine.user_sentiments()
+        user_labels = service.user_sentiments()
         user_counts = np.bincount(
-            np.array(list(user_labels.values()), dtype=np.int64),
+            np.array([entry.label for entry in user_labels], dtype=np.int64),
             minlength=len(names),
         )
         user_summary = " ".join(
             f"{name} {count}" for name, count in zip(names, user_counts)
         )
         print(
-            f"done: {engine.snapshots_processed} snapshots, "
+            f"done: {service.engine.snapshots_processed} snapshots, "
             f"{len(user_labels)} users tracked | users: {user_summary}"
         )
         if checkpoint is not None:
             print(f"checkpoint: {checkpoint}")
         return 0
     finally:
-        engine.close()
+        service.close()
 
 
 def stream_main(argv: Sequence[str] | None = None) -> int:

@@ -102,6 +102,7 @@ class IncrementalTripartiteBuilder:
         self._pending_counts: list[Counter[int]] = []
         self._profiles: dict[int, UserProfile] = {}
         self._author_of: dict[int, int] = {}  # all ingested tweets
+        self._last_seen: dict[int, int] = {}  # uid -> last active snapshot
         self._snapshots_built = 0
         self._token_memo: dict[str, list[str]] = {}
         self._sf0_rows: np.ndarray | None = None  # cached prior prefix
@@ -169,6 +170,51 @@ class IncrementalTripartiteBuilder:
     @property
     def snapshots_built(self) -> int:
         return self._snapshots_built
+
+    def last_seen(self, user_id: int) -> int | None:
+        """Snapshot index the user was last active in, or ``None``."""
+        return self._last_seen.get(user_id)
+
+    def compact(self, max_age: int) -> int:
+        """Age out bookkeeping for long-inactive authors; returns count.
+
+        Drops the profile, activity record and tweet→author entries of
+        every user neither posting nor retweeted within the most recent
+        ``max_age`` snapshots — the unbounded parts of the builder's
+        memory on infinite streams.  Consequences, by design: a later
+        retweet of an aged-out tweet no longer resolves its author
+        (same handling as a never-ingested source), an aged-out user
+        who returns gets a fresh synthesized profile, and
+        :meth:`has_ingested` forgets their tweets (a warm-restarted
+        stream may re-ingest them).  Users known only through a
+        supplied ground-truth profile (never active) are kept — there
+        is no recency evidence to age them out on.
+
+        Rejected while tweets are pending: the buffered delta may
+        reference the very bookkeeping being dropped.
+        """
+        if max_age < 1:
+            raise ValueError(f"max_age must be >= 1, got {max_age}")
+        if self._pending:
+            raise ValueError(
+                f"{len(self._pending)} tweets are pending; build the "
+                "snapshot before compacting"
+            )
+        cutoff = self._snapshots_built - max_age
+        stale = {
+            uid for uid, seen in self._last_seen.items() if seen < cutoff
+        }
+        if not stale:
+            return 0
+        for uid in stale:
+            del self._last_seen[uid]
+            self._profiles.pop(uid, None)
+        self._author_of = {
+            tweet_id: uid
+            for tweet_id, uid in self._author_of.items()
+            if uid not in stale
+        }
+        return len(stale)
 
     # ------------------------------------------------------------------ #
     # Snapshot assembly
@@ -263,6 +309,10 @@ class IncrementalTripartiteBuilder:
                 author = self._author_of.get(tweet.retweet_of)
                 if author is not None:
                     active.add(author)
+        for uid in active:
+            # Activity recency (posted or was retweeted) drives the
+            # optional checkpoint compaction in :meth:`compact`.
+            self._last_seen[uid] = self._snapshots_built
         users = {uid: self._profiles[uid] for uid in active}
         return TweetCorpus(
             tweets=list(tweets),

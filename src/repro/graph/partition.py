@@ -45,6 +45,35 @@ PartitionFn = Callable[[Sequence[int], sp.spmatrix, int], "UserPartition"]
 PARTITION_STRATEGIES = ("hash", "greedy")
 
 
+def validate_partitioner(
+    strategy: str | PartitionFn, allow_callable: bool = True
+) -> str | PartitionFn:
+    """Return ``strategy`` if it names a registered partitioner.
+
+    The single eager check for ``partitioner=`` arguments: solvers and
+    the engine config call it at construction time, so a typo fails
+    with the valid choices listed instead of deep inside the first
+    sharded solve.  Callables (custom routing hooks) pass through
+    unless ``allow_callable`` is off — serializable configurations
+    require a named strategy.
+    """
+    if callable(strategy):
+        if allow_callable:
+            return strategy
+        raise ValueError(
+            "partitioner must be a named strategy for this context; "
+            "valid choices: "
+            + ", ".join(repr(name) for name in PARTITION_STRATEGIES)
+        )
+    if strategy not in PARTITION_STRATEGIES:
+        raise ValueError(
+            f"unknown partitioner {strategy!r}; valid choices: "
+            + ", ".join(repr(name) for name in PARTITION_STRATEGIES)
+            + (" (or a callable)" if allow_callable else "")
+        )
+    return strategy
+
+
 @dataclass(frozen=True)
 class UserPartition:
     """A shard id per user row.
@@ -200,14 +229,10 @@ def make_partition(
                 f"for {len(user_ids)} users"
             )
         return partition
+    validate_partitioner(strategy)
     if strategy == "hash":
         return hash_partition(user_ids, adjacency, n_shards)
-    if strategy == "greedy":
-        return greedy_partition(user_ids, adjacency, n_shards)
-    raise ValueError(
-        f"unknown partition strategy {strategy!r}; "
-        f"expected one of {PARTITION_STRATEGIES} or a callable"
-    )
+    return greedy_partition(user_ids, adjacency, n_shards)
 
 
 def _csr_payload(matrix: sp.csr_matrix) -> tuple:

@@ -58,6 +58,22 @@ R = TypeVar("R")
 BACKENDS = ("serial", "thread", "process")
 
 
+def validate_backend(backend: str) -> str:
+    """Return ``backend`` if it names a registered execution backend.
+
+    The single eager check every layer that accepts a ``backend=``
+    string funnels through (engine config, solvers, the pool itself),
+    so a typo fails at configuration time with the valid choices listed
+    instead of deep inside a solve.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; valid choices: "
+            + ", ".join(repr(name) for name in BACKENDS)
+        )
+    return backend
+
+
 def default_worker_count() -> int:
     """CPU count visible to this process (affinity-aware when possible)."""
     if hasattr(os, "sched_getaffinity"):
@@ -489,10 +505,7 @@ class WorkerPool:
     def __init__(
         self, max_workers: int | None = None, backend: str = "thread"
     ) -> None:
-        if backend not in BACKENDS:
-            raise ValueError(
-                f"unknown backend {backend!r}; expected one of {BACKENDS}"
-            )
+        validate_backend(backend)
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         self.backend = backend

@@ -1,6 +1,5 @@
 """Tests for the mini-batch / full-batch online baselines."""
 
-import numpy as np
 import pytest
 
 from repro.baselines.batch import FullBatchTriClustering, MiniBatchTriClustering

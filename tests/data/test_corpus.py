@@ -1,6 +1,5 @@
 """Tests for the corpus container."""
 
-import numpy as np
 import pytest
 
 from repro.data.corpus import TweetCorpus, concatenate_corpora

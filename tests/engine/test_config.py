@@ -1,0 +1,210 @@
+"""EngineConfig: validation, round-trip, legacy-kwargs shim."""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    EngineConfig,
+    IngestConfig,
+    ServingConfig,
+    ShardingConfig,
+    SolverConfig,
+    StreamingSentimentEngine,
+)
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        config = EngineConfig()
+        assert config.num_classes == 3
+        assert config.solver == SolverConfig()
+        assert config.sharding == ShardingConfig()
+        assert config.serving == ServingConfig()
+        assert config.ingest == IngestConfig()
+
+    def test_nested_dicts_coerce(self):
+        config = EngineConfig(
+            solver={"max_iterations": 20},
+            sharding={"n_shards": 4, "backend": "process"},
+            serving={"cache_size": 0},
+            ingest={"async_ingest": False},
+        )
+        assert config.solver.max_iterations == 20
+        assert config.solver.alpha == 0.9  # untouched defaults survive
+        assert config.sharding.n_shards == 4
+        assert config.serving.cache_size == 0
+        assert config.ingest.async_ingest is False
+
+    def test_bad_backend_rejected_eagerly_with_choices(self):
+        with pytest.raises(ValueError, match="serial.*thread.*process"):
+            EngineConfig(sharding={"backend": "cluster"})
+
+    def test_bad_partitioner_rejected_eagerly_with_choices(self):
+        with pytest.raises(ValueError, match="hash.*greedy"):
+            EngineConfig(sharding={"partitioner": "modulo"})
+
+    def test_bad_scalars_rejected(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            EngineConfig(sharding={"n_shards": 0})
+        with pytest.raises(ValueError, match="classify_batch_size"):
+            EngineConfig(serving={"classify_batch_size": 0})
+        with pytest.raises(ValueError, match="max_queued_batches"):
+            EngineConfig(ingest={"max_queued_batches": 0})
+        with pytest.raises(ValueError, match="overflow"):
+            EngineConfig(ingest={"overflow": "explode"})
+        with pytest.raises(ValueError, match="num_classes"):
+            EngineConfig(num_classes=1)
+        with pytest.raises(ValueError, match="max_profile_age"):
+            EngineConfig(max_profile_age=0)
+        with pytest.raises(ValueError, match="tau"):
+            EngineConfig(solver={"tau": 0.0})
+        with pytest.raises(ValueError, match="update_style"):
+            EngineConfig(solver={"update_style": "magic"})
+
+    def test_unknown_section_field_rejected(self):
+        with pytest.raises(TypeError):
+            EngineConfig(solver={"iterations": 3})
+
+    def test_frozen(self):
+        config = EngineConfig()
+        with pytest.raises(AttributeError):
+            config.num_classes = 5
+
+
+class TestRoundTrip:
+    def test_to_dict_from_dict_is_identity(self):
+        config = EngineConfig(
+            num_classes=4,
+            seed=11,
+            cross_snapshot_edges=True,
+            max_profile_age=3,
+            solver={"max_iterations": 12, "tau": 0.5},
+            sharding={"n_shards": "auto", "partitioner": "greedy"},
+            serving={"classify_batch_size": 32},
+            ingest={"overflow": "drop", "max_queued_batches": 8},
+        )
+        payload = config.to_dict()
+        assert payload["solver"]["tau"] == 0.5
+        assert EngineConfig.from_dict(payload) == config
+
+    def test_dict_payload_is_json_compatible(self):
+        import json
+
+        payload = EngineConfig(max_profile_age=2).to_dict()
+        assert EngineConfig.from_dict(json.loads(json.dumps(payload))) == (
+            EngineConfig(max_profile_age=2)
+        )
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(TypeError, match="n_shards"):
+            EngineConfig.from_dict({"n_shards": 2})
+
+    def test_callable_partitioner_not_serializable(self):
+        config = EngineConfig(
+            sharding={"partitioner": lambda ids, adj, n: None}
+        )
+        with pytest.raises(ValueError, match="named strategy"):
+            config.to_dict()
+
+    def test_replace(self):
+        config = EngineConfig()
+        changed = config.replace(sharding={"n_shards": 2})
+        assert changed.sharding.n_shards == 2
+        assert config.sharding.n_shards == 1  # original untouched
+
+
+class TestLegacyKwargs:
+    def test_flat_kwargs_map_onto_sections(self):
+        config = EngineConfig.from_legacy_kwargs(
+            num_classes=3,
+            seed=7,
+            classify_batch_size=64,
+            cache_size=128,
+            n_shards=2,
+            partitioner="greedy",
+            backend="serial",
+            max_workers=2,
+            max_iterations=9,
+            alpha=0.5,
+            state_smoothing=0.3,
+        )
+        assert config.serving.classify_batch_size == 64
+        assert config.serving.cache_size == 128
+        assert config.sharding == ShardingConfig(
+            n_shards=2, partitioner="greedy", backend="serial", max_workers=2
+        )
+        assert config.solver.max_iterations == 9
+        assert config.solver.alpha == 0.5
+        assert config.solver.state_smoothing == 0.3
+
+    def test_unknown_kwarg_rejected(self):
+        with pytest.raises(TypeError, match="sharding_level"):
+            EngineConfig.from_legacy_kwargs(sharding_level=3)
+
+    def test_engine_accepts_legacy_kwargs_with_warning(self, lexicon):
+        with pytest.warns(DeprecationWarning, match="EngineConfig"):
+            engine = StreamingSentimentEngine(
+                lexicon=lexicon, seed=7, max_iterations=5, n_shards=2
+            )
+        assert engine.config.solver.max_iterations == 5
+        assert engine.config.sharding.n_shards == 2
+
+    def test_engine_accepts_legacy_positional_lexicon(self, lexicon):
+        with pytest.warns(DeprecationWarning, match="positional"):
+            engine = StreamingSentimentEngine(lexicon)
+        assert engine.builder.lexicon is lexicon
+
+    def test_config_and_legacy_kwargs_conflict(self):
+        with pytest.raises(ValueError, match="not both"):
+            StreamingSentimentEngine(EngineConfig(), max_iterations=5)
+
+    def test_legacy_engine_matches_config_engine_bitwise(
+        self, corpus, lexicon
+    ):
+        from repro.data.stream import iter_tweet_batches
+
+        batches = list(iter_tweet_batches(corpus, interval_days=45))
+        with pytest.warns(DeprecationWarning):
+            legacy = StreamingSentimentEngine(
+                lexicon=lexicon, seed=7, max_iterations=6
+            )
+        typed = StreamingSentimentEngine(
+            EngineConfig(seed=7, solver={"max_iterations": 6}),
+            lexicon=lexicon,
+        )
+        for engine in (legacy, typed):
+            for _, _, tweets in batches:
+                engine.ingest(tweets, users=corpus.profiles_for(tweets))
+                engine.advance_snapshot()
+        for name in ("sf", "sp", "su", "hp", "hu"):
+            np.testing.assert_array_equal(
+                getattr(legacy.factors, name),
+                getattr(typed.factors, name),
+                err_msg=name,
+            )
+
+
+class TestEngineConfigPlumbing:
+    def test_engine_accepts_dict_config(self, lexicon):
+        engine = StreamingSentimentEngine(
+            {"solver": {"max_iterations": 4}}, lexicon=lexicon
+        )
+        assert engine.config.solver.max_iterations == 4
+
+    def test_engine_rejects_other_types(self):
+        with pytest.raises(TypeError, match="EngineConfig"):
+            StreamingSentimentEngine(42)
+
+    def test_effective_config_captures_user_solver(self, lexicon):
+        from repro.core.sharded import ShardedOnlineTriClustering
+
+        solver = ShardedOnlineTriClustering(
+            n_shards=2, max_iterations=7, alpha=0.4
+        )
+        engine = StreamingSentimentEngine(lexicon=lexicon, solver=solver)
+        effective = engine.effective_config()
+        assert effective.solver.max_iterations == 7
+        assert effective.solver.alpha == 0.4
+        assert effective.sharding.n_shards == 2
+        # The engine's own (default) config is not mutated.
+        assert engine.config.solver == SolverConfig()

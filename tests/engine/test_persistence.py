@@ -1,13 +1,21 @@
 """Engine save/load: round trip, warm-restart continuation, guards."""
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.data.stream import iter_tweet_batches
 from repro.data.tweet import Tweet
-from repro.engine import StreamingSentimentEngine
+from repro.engine import EngineConfig, StreamingSentimentEngine
 
 INTERVAL_DAYS = 21
+
+
+def config(max_iterations=10, **overrides):
+    return EngineConfig(
+        seed=7, solver={"max_iterations": max_iterations}, **overrides
+    )
 
 
 @pytest.fixture(scope="module")
@@ -27,10 +35,56 @@ def feed(engine, corpus, batches):
 @pytest.fixture()
 def fed_engine(corpus, lexicon, batches):
     return feed(
-        StreamingSentimentEngine(lexicon=lexicon, seed=7, max_iterations=10),
+        StreamingSentimentEngine(config(), lexicon=lexicon),
         corpus,
         batches[:2],
     )
+
+
+def _downgrade_to_v1(path) -> None:
+    """Rewrite a v2 checkpoint into the version-1 loose-fields layout.
+
+    Mirrors what PR-2-era engines actually wrote, so the v1 loader is
+    exercised against the real old shape (engine fields flat, solver
+    hyperparameters duplicated under ``solver.params``).
+    """
+    state_path = path / "state.json"
+    state = json.loads(state_path.read_text())
+    assert state["version"] == 2
+    c = state["engine"]["config"]
+    sharded = not (
+        c["sharding"]["n_shards"] == 1 and c["sharding"]["backend"] == "thread"
+    )
+    params = {"num_classes": c["num_classes"], **c["solver"]}
+    if sharded:
+        params.update(
+            n_shards=c["sharding"]["n_shards"],
+            partitioner=c["sharding"]["partitioner"],
+            max_workers=c["sharding"]["max_workers"],
+            backend=c["sharding"]["backend"],
+            consensus_iterations=c["sharding"]["consensus_iterations"],
+        )
+    state["version"] = 1
+    state["engine"] = {
+        "num_classes": c["num_classes"],
+        "classify_iterations": c["serving"]["classify_iterations"],
+        "classify_batch_size": c["serving"]["classify_batch_size"],
+        "cache_size": c["serving"]["cache_size"],
+        "cross_snapshot_edges": c["cross_snapshot_edges"],
+        "classify_seed": state["engine"]["classify_seed"],
+        "n_shards": c["sharding"]["n_shards"],
+        "max_workers": c["sharding"]["max_workers"],
+        "partitioner": c["sharding"]["partitioner"],
+        "backend": c["sharding"]["backend"],
+    }
+    state["solver"] = {
+        "kind": "sharded" if sharded else "online",
+        "params": params,
+        "steps": state["solver"]["steps"],
+        "seen_users": state["solver"]["seen_users"],
+        "rng": state["solver"]["rng"],
+    }
+    state_path.write_text(json.dumps(state))
 
 
 class TestRoundTrip:
@@ -51,6 +105,14 @@ class TestRoundTrip:
         assert loaded.snapshots_processed == fed_engine.snapshots_processed
         assert loaded.num_features == fed_engine.num_features
         np.testing.assert_array_equal(loaded.alignment, fed_engine.alignment)
+
+    def test_config_round_trips_through_checkpoint(
+        self, fed_engine, tmp_path
+    ):
+        fed_engine.save(tmp_path / "ckpt")
+        loaded = StreamingSentimentEngine.load(tmp_path / "ckpt")
+        assert loaded.config == fed_engine.effective_config()
+        assert loaded.config.solver.max_iterations == 10
 
     def test_continuation_is_bit_identical(
         self, fed_engine, corpus, batches, tmp_path
@@ -73,8 +135,8 @@ class TestRoundTrip:
     def test_sharded_solver_round_trips(self, corpus, lexicon, batches, tmp_path):
         engine = feed(
             StreamingSentimentEngine(
-                lexicon=lexicon, seed=7, max_iterations=8,
-                n_shards=2, partitioner="greedy",
+                config(8, sharding={"n_shards": 2, "partitioner": "greedy"}),
+                lexicon=lexicon,
             ),
             corpus,
             batches[:2],
@@ -91,7 +153,7 @@ class TestRoundTrip:
 
     def test_no_lexicon_round_trips(self, corpus, batches, tmp_path):
         engine = feed(
-            StreamingSentimentEngine(seed=7, max_iterations=6),
+            StreamingSentimentEngine(config(6)),
             corpus,
             batches[:1],
         )
@@ -125,6 +187,127 @@ class TestRoundTrip:
         assert source.user_id in users
 
 
+class TestLegacyFormat:
+    def test_v1_checkpoint_loads_and_continues_bitwise(
+        self, fed_engine, corpus, batches, tmp_path
+    ):
+        """Old field-based checkpoints keep loading: a v1 state.json maps
+        onto an EngineConfig on the way in, and the restored engine
+        continues the stream bit-for-bit like a v2 restore."""
+        fed_engine.save(tmp_path / "ckpt")
+        _downgrade_to_v1(tmp_path / "ckpt")
+        loaded = StreamingSentimentEngine.load(tmp_path / "ckpt")
+        assert loaded.config.solver.max_iterations == 10
+        texts = [t.text for t in corpus.tweets[:24]]
+        np.testing.assert_array_equal(
+            loaded.classify(texts), fed_engine.classify(texts)
+        )
+        feed(fed_engine, corpus, batches[2:3])
+        feed(loaded, corpus, batches[2:3])
+        for name in ("sf", "sp", "su", "hp", "hu"):
+            np.testing.assert_array_equal(
+                getattr(fed_engine.factors, name),
+                getattr(loaded.factors, name),
+                err_msg=name,
+            )
+
+    def test_v1_sharded_checkpoint_restores_sharding(
+        self, corpus, lexicon, batches, tmp_path
+    ):
+        engine = feed(
+            StreamingSentimentEngine(
+                config(6, sharding={"n_shards": 2}), lexicon=lexicon
+            ),
+            corpus,
+            batches[:1],
+        )
+        engine.save(tmp_path / "ckpt")
+        _downgrade_to_v1(tmp_path / "ckpt")
+        loaded = StreamingSentimentEngine.load(tmp_path / "ckpt")
+        assert loaded.n_shards == 2
+        assert loaded.config.sharding.n_shards == 2
+
+
+class TestCompaction:
+    def test_max_profile_age_bounds_checkpoint_state(
+        self, corpus, lexicon, batches, tmp_path
+    ):
+        """Age-out: authors inactive for more than max_profile_age
+        snapshots leave the profile map and the tweet→author map at
+        save time; active authors survive."""
+        engine = feed(
+            StreamingSentimentEngine(
+                config(6, max_profile_age=1), lexicon=lexicon
+            ),
+            corpus,
+            batches,
+        )
+        profiles_before = len(engine.builder._profiles)
+        authors_before = len(engine.builder._author_of)
+        engine.save(tmp_path / "ckpt")
+        profiles_after = len(engine.builder._profiles)
+        authors_after = len(engine.builder._author_of)
+        assert profiles_after < profiles_before
+        assert authors_after < authors_before
+        # Everyone still tracked was active in the latest snapshot (or
+        # is a ground-truth profile with no activity record to age on).
+        latest = engine.snapshots_processed - 1
+        for uid in engine.builder._profiles:
+            seen = engine.builder.last_seen(uid)
+            assert seen is None or seen >= latest
+        loaded = StreamingSentimentEngine.load(tmp_path / "ckpt")
+        assert len(loaded.builder._profiles) == profiles_after
+
+    def test_compaction_forgets_aged_out_retweet_sources(
+        self, corpus, lexicon, batches, tmp_path
+    ):
+        """A retweet of an aged-out tweet is handled like one of a
+        never-ingested source: no author resolution, no crash."""
+        engine = feed(
+            StreamingSentimentEngine(
+                config(6, max_profile_age=1), lexicon=lexicon
+            ),
+            corpus,
+            batches[:3],
+        )
+        engine.save(tmp_path / "ckpt")
+        loaded = StreamingSentimentEngine.load(tmp_path / "ckpt")
+        aged = [
+            t
+            for t in batches[0][2]
+            if not loaded.builder.has_ingested(t.tweet_id)
+        ]
+        if not aged:
+            pytest.skip("every first-batch author still active at the end")
+        early = aged[0]
+        retweet = Tweet(
+            tweet_id=10**9 + 2,
+            user_id=corpus.tweets[-1].user_id,
+            text=early.text,
+            day=200,
+            retweet_of=early.tweet_id,
+        )
+        loaded.ingest([retweet])
+        loaded.advance_snapshot()
+        assert early.user_id not in loaded.last_graph.corpus.user_ids
+
+    def test_compaction_without_age_is_off(self, fed_engine, tmp_path):
+        profiles_before = len(fed_engine.builder._profiles)
+        fed_engine.save(tmp_path / "ckpt")
+        assert len(fed_engine.builder._profiles) == profiles_before
+
+    def test_compact_rejects_pending_and_bad_age(self, fed_engine, corpus):
+        with pytest.raises(ValueError, match="max_age"):
+            fed_engine.builder.compact(0)
+        fed_engine.ingest([corpus.tweets[0]])
+        fed_engine.flush()
+        try:
+            with pytest.raises(ValueError, match="pending"):
+                fed_engine.builder.compact(1)
+        finally:
+            fed_engine.advance_snapshot()
+
+
 class TestGuards:
     def test_save_before_first_snapshot_rejected(self, lexicon, tmp_path):
         engine = StreamingSentimentEngine(lexicon=lexicon)
@@ -142,8 +325,6 @@ class TestGuards:
             fed_engine.advance_snapshot()  # leave the engine clean
 
     def test_version_mismatch_rejected(self, fed_engine, tmp_path):
-        import json
-
         path = fed_engine.save(tmp_path / "ckpt")
         state_file = path / "state.json"
         state = json.loads(state_file.read_text())
@@ -179,8 +360,8 @@ class TestProcessBackendCheckpoints:
         stream bit-for-bit, including across a second save/load cycle."""
         engine = feed(
             StreamingSentimentEngine(
-                lexicon=lexicon, seed=7, max_iterations=8,
-                n_shards=2, backend="process",
+                config(8, sharding={"n_shards": 2, "backend": "process"}),
+                lexicon=lexicon,
             ),
             corpus,
             batches[:2],
@@ -231,23 +412,22 @@ class TestProcessBackendCheckpoints:
         """Backends are execution detail: editing the checkpoint's solver
         backend (ops move a stream between hosts) changes nothing in the
         served numbers."""
-        import json as json_module
-
         engine = feed(
             StreamingSentimentEngine(
-                lexicon=lexicon, seed=7, max_iterations=6,
-                n_shards=2, backend="process",
+                config(6, sharding={"n_shards": 2, "backend": "process"}),
+                lexicon=lexicon,
             ),
             corpus,
             batches[:2],
         )
         engine.save(tmp_path / "ckpt")
         state_path = tmp_path / "ckpt" / "state.json"
-        state = json_module.loads(state_path.read_text())
-        assert state["solver"]["params"]["backend"] == "process"
-        state["solver"]["params"]["backend"] = "thread"
-        state["engine"]["backend"] = "thread"
-        state_path.write_text(json_module.dumps(state))
+        state = json.loads(state_path.read_text())
+        assert (
+            state["engine"]["config"]["sharding"]["backend"] == "process"
+        )
+        state["engine"]["config"]["sharding"]["backend"] = "thread"
+        state_path.write_text(json.dumps(state))
         loaded = StreamingSentimentEngine.load(tmp_path / "ckpt")
         assert loaded.backend == "thread"
         feed(engine, corpus, batches[2:3])

@@ -6,10 +6,16 @@ import pytest
 from repro.data.stream import iter_tweet_batches
 from repro.data.synthetic import BallotDatasetGenerator, prop30_config
 from repro.data.tweet import Tweet
-from repro.engine import StreamingSentimentEngine
+from repro.engine import EngineConfig, StreamingSentimentEngine
 from repro.eval.metrics import clustering_accuracy
 
 INTERVAL_DAYS = 21
+
+
+def config(max_iterations=15, **overrides):
+    return EngineConfig(
+        seed=7, solver={"max_iterations": max_iterations}, **overrides
+    )
 
 
 def _feed(engine, corpus, batches):
@@ -28,9 +34,7 @@ def batches(corpus):
 
 @pytest.fixture(scope="module")
 def fed_engine(corpus, lexicon, batches):
-    engine = StreamingSentimentEngine(
-        lexicon=lexicon, seed=7, max_iterations=15
-    )
+    engine = StreamingSentimentEngine(config(), lexicon=lexicon)
     return _feed(engine, corpus, batches)
 
 
@@ -88,12 +92,12 @@ class TestEndToEnd:
     def test_deterministic_given_seed(self, corpus, lexicon, batches, held_out):
         texts, _ = held_out
         a = _feed(
-            StreamingSentimentEngine(lexicon=lexicon, seed=7, max_iterations=15),
+            StreamingSentimentEngine(config(), lexicon=lexicon),
             corpus,
             batches,
         )
         b = _feed(
-            StreamingSentimentEngine(lexicon=lexicon, seed=7, max_iterations=15),
+            StreamingSentimentEngine(config(), lexicon=lexicon),
             corpus,
             batches,
         )
@@ -121,9 +125,7 @@ class TestServingCache:
         np.testing.assert_array_equal(memberships[0], memberships[3])
 
     def test_advance_invalidates_cache(self, corpus, lexicon, batches):
-        engine = StreamingSentimentEngine(
-            lexicon=lexicon, seed=7, max_iterations=10
-        )
+        engine = StreamingSentimentEngine(config(10), lexicon=lexicon)
         _feed(engine, corpus, batches[:1])
         engine.classify(["some words here"])
         assert len(engine.cache) > 0
@@ -148,14 +150,13 @@ class TestEdgeCases:
     def test_classify_with_grown_vocabulary(self, corpus, lexicon, batches):
         """Ingest-without-advance grows the vocabulary; classify still
         works against the (prefix-aligned) last-snapshot factors."""
-        engine = StreamingSentimentEngine(
-            lexicon=lexicon, seed=7, max_iterations=10
-        )
+        engine = StreamingSentimentEngine(config(10), lexicon=lexicon)
         _feed(engine, corpus, batches[:1])
         trained_width = engine.factors.num_features
         engine.ingest(
             [Tweet(tweet_id=10**9, user_id=1, text="brandnewword arrives", day=80)]
         )
+        engine.flush()  # barrier: the ingest worker grows the vocabulary
         assert engine.num_features > trained_width
         labels = engine.classify(["brandnewword arrives", batches[0][2][0].text])
         assert labels.shape == (2,)
@@ -171,16 +172,16 @@ class TestEdgeCases:
         sample = texts[:6]
         wide = _feed(
             StreamingSentimentEngine(
-                lexicon=lexicon, seed=7, max_iterations=10,
-                classify_batch_size=256,
+                config(10, serving={"classify_batch_size": 256}),
+                lexicon=lexicon,
             ),
             corpus,
             batches[:2],
         )
         narrow = _feed(
             StreamingSentimentEngine(
-                lexicon=lexicon, seed=7, max_iterations=10,
-                classify_batch_size=1,
+                config(10, serving={"classify_batch_size": 1}),
+                lexicon=lexicon,
             ),
             corpus,
             batches[:2],
@@ -198,16 +199,12 @@ class TestEdgeCases:
         — caching must not depend on what was queried earlier."""
         texts, _ = held_out
         warm = _feed(
-            StreamingSentimentEngine(
-                lexicon=lexicon, seed=7, max_iterations=10
-            ),
+            StreamingSentimentEngine(config(10), lexicon=lexicon),
             corpus,
             batches[:2],
         )
         cold = _feed(
-            StreamingSentimentEngine(
-                lexicon=lexicon, seed=7, max_iterations=10
-            ),
+            StreamingSentimentEngine(config(10), lexicon=lexicon),
             corpus,
             batches[:2],
         )
@@ -221,13 +218,17 @@ class TestEdgeCases:
 
         with pytest.raises(ValueError, match="solver"):
             StreamingSentimentEngine(
+                EngineConfig(solver={"max_iterations": 5}),
                 lexicon=lexicon,
                 solver=OnlineTriClustering(),
-                max_iterations=5,
             )
 
     def test_bad_parameters_rejected(self):
         with pytest.raises(ValueError, match="classify_batch_size"):
-            StreamingSentimentEngine(classify_batch_size=0)
+            StreamingSentimentEngine(
+                EngineConfig(serving={"classify_batch_size": 0})
+            )
         with pytest.raises(ValueError, match="classify_iterations"):
-            StreamingSentimentEngine(classify_iterations=0)
+            StreamingSentimentEngine(
+                EngineConfig(serving={"classify_iterations": 0})
+            )

@@ -6,10 +6,16 @@ import pytest
 from repro.core.online import OnlineTriClustering
 from repro.core.sharded import ShardedOnlineTriClustering
 from repro.data.stream import iter_tweet_batches
-from repro.engine import StreamingSentimentEngine
+from repro.engine import EngineConfig, StreamingSentimentEngine
 from repro.eval.metrics import clustering_accuracy
 
 INTERVAL_DAYS = 21
+
+
+def config(max_iterations=10, **sharding):
+    return EngineConfig(
+        seed=7, solver={"max_iterations": max_iterations}, sharding=sharding
+    )
 
 
 @pytest.fixture(scope="module")
@@ -32,7 +38,8 @@ class TestShardedEngine:
 
     def test_n_shards_builds_sharded_solver(self, lexicon):
         engine = StreamingSentimentEngine(
-            lexicon=lexicon, n_shards=3, partitioner="greedy", max_workers=2
+            config(n_shards=3, partitioner="greedy", max_workers=2),
+            lexicon=lexicon,
         )
         assert isinstance(engine.solver, ShardedOnlineTriClustering)
         assert engine.solver.n_shards == 3
@@ -45,7 +52,7 @@ class TestShardedEngine:
         assert engine.n_shards == 2
 
     def test_engine_pool_shared_with_sharded_solver(self, lexicon):
-        engine = StreamingSentimentEngine(lexicon=lexicon, n_shards=2)
+        engine = StreamingSentimentEngine(config(n_shards=2), lexicon=lexicon)
         assert engine.solver.pool is engine._pool
         # A user solver that pinned its own worker count keeps it.
         pinned = ShardedOnlineTriClustering(n_shards=2, max_workers=2)
@@ -60,41 +67,47 @@ class TestShardedEngine:
         self, corpus, lexicon, batches
     ):
         with StreamingSentimentEngine(
-            lexicon=lexicon, seed=7, max_iterations=6, n_shards=2,
-            max_workers=2,
+            config(6, n_shards=2, max_workers=2), lexicon=lexicon
         ) as engine:
             feed(engine, corpus, batches[:1])
             assert engine._pool.active  # threads materialized
         assert not engine._pool.active  # released on exit
         engine.close()  # idempotent
-        # Closing is terminal: the pool refuses to resurrect threads
-        # behind a caller that believed the resources were released.
+        # Closing is terminal: the pipeline and pools refuse to
+        # resurrect workers behind a caller that believed the
+        # resources were released.
         with pytest.raises(RuntimeError, match="closed"):
             feed(engine, corpus, batches[1:2])
 
-    def test_solver_and_n_shards_conflict(self, lexicon):
+    def test_solver_and_sharding_config_conflict(self, lexicon):
+        # Conflict checks look at each sharding field against its
+        # default, so build configs with *only* that field set.
         with pytest.raises(ValueError, match="n_shards"):
             StreamingSentimentEngine(
+                EngineConfig(sharding={"n_shards": 2}),
                 lexicon=lexicon,
                 solver=OnlineTriClustering(),
-                n_shards=2,
             )
         with pytest.raises(ValueError, match="n_shards"):
-            StreamingSentimentEngine(n_shards=0)
+            StreamingSentimentEngine(config(n_shards=0))
         with pytest.raises(ValueError, match="backend"):
-            StreamingSentimentEngine(backend="cluster")
+            StreamingSentimentEngine(config(backend="cluster"))
         with pytest.raises(ValueError, match="backend"):
             StreamingSentimentEngine(
+                EngineConfig(sharding={"backend": "process"}),
                 lexicon=lexicon,
                 solver=OnlineTriClustering(),
-                backend="process",
+            )
+        with pytest.raises(ValueError, match="partitioner"):
+            StreamingSentimentEngine(
+                EngineConfig(sharding={"partitioner": "greedy"}),
+                lexicon=lexicon,
+                solver=OnlineTriClustering(),
             )
 
     def test_sharded_end_to_end(self, corpus, lexicon, batches, generator):
         engine = feed(
-            StreamingSentimentEngine(
-                lexicon=lexicon, seed=7, max_iterations=12, n_shards=3
-            ),
+            StreamingSentimentEngine(config(12, n_shards=3), lexicon=lexicon),
             corpus,
             batches,
         )
@@ -120,9 +133,7 @@ class TestShardedEngine:
         texts = [t.text for t in corpus.tweets[:32]]
         runs = [
             feed(
-                StreamingSentimentEngine(
-                    lexicon=lexicon, seed=7, max_iterations=10, n_shards=2
-                ),
+                StreamingSentimentEngine(config(n_shards=2), lexicon=lexicon),
                 corpus,
                 batches[:3],
             )
@@ -140,16 +151,26 @@ class TestShardedEngine:
         texts = [t.text for t in corpus.tweets[:64]]
         serial = feed(
             StreamingSentimentEngine(
-                lexicon=lexicon, seed=7, max_iterations=10,
-                classify_batch_size=8, max_workers=1,
+                EngineConfig(
+                    seed=7,
+                    solver={"max_iterations": 10},
+                    serving={"classify_batch_size": 8},
+                    sharding={"max_workers": 1},
+                ),
+                lexicon=lexicon,
             ),
             corpus,
             batches[:2],
         )
         parallel = feed(
             StreamingSentimentEngine(
-                lexicon=lexicon, seed=7, max_iterations=10,
-                classify_batch_size=8, max_workers=4,
+                EngineConfig(
+                    seed=7,
+                    solver={"max_iterations": 10},
+                    serving={"classify_batch_size": 8},
+                    sharding={"max_workers": 4},
+                ),
+                lexicon=lexicon,
             ),
             corpus,
             batches[:2],
@@ -166,8 +187,13 @@ class TestShardedEngine:
 
         engine = feed(
             StreamingSentimentEngine(
-                lexicon=lexicon, seed=7, max_iterations=8,
-                classify_batch_size=4, max_workers=4,
+                EngineConfig(
+                    seed=7,
+                    solver={"max_iterations": 8},
+                    serving={"classify_batch_size": 4},
+                    sharding={"max_workers": 4},
+                ),
+                lexicon=lexicon,
             ),
             corpus,
             batches[:2],
@@ -175,6 +201,7 @@ class TestShardedEngine:
         engine.ingest(
             [Tweet(tweet_id=10**9, user_id=1, text="novelword appears", day=77)]
         )
+        engine.flush()
         texts = [t.text for t in corpus.tweets[:16]] + ["novelword appears"]
         memberships = engine.classify_memberships(texts)
         assert memberships.shape == (17, 3)
@@ -186,7 +213,7 @@ class TestProcessBackendEngine:
 
     def test_process_engine_builds_dedicated_solver_pool(self, lexicon):
         with StreamingSentimentEngine(
-            lexicon=lexicon, n_shards=2, backend="process"
+            config(n_shards=2, backend="process"), lexicon=lexicon
         ) as engine:
             assert isinstance(engine.solver, ShardedOnlineTriClustering)
             assert engine.backend == "process"
@@ -201,7 +228,7 @@ class TestProcessBackendEngine:
 
     def test_process_backend_with_one_shard_routes_sharded(self, lexicon):
         with StreamingSentimentEngine(
-            lexicon=lexicon, backend="process"
+            config(backend="process"), lexicon=lexicon
         ) as engine:
             assert isinstance(engine.solver, ShardedOnlineTriClustering)
             assert engine.solver.n_shards == 1
@@ -211,10 +238,10 @@ class TestProcessBackendEngine:
     ):
         texts = [t.text for t in corpus.tweets[:32]]
         with StreamingSentimentEngine(
-            lexicon=lexicon, seed=7, max_iterations=8, n_shards=2,
+            config(8, n_shards=2), lexicon=lexicon
         ) as thread_engine, StreamingSentimentEngine(
-            lexicon=lexicon, seed=7, max_iterations=8, n_shards=2,
-            backend="process", max_workers=2,
+            config(8, n_shards=2, backend="process", max_workers=2),
+            lexicon=lexicon,
         ) as process_engine:
             feed(thread_engine, corpus, batches[:3])
             feed(process_engine, corpus, batches[:3])
@@ -236,8 +263,8 @@ class TestProcessBackendEngine:
 
     def test_close_shuts_down_worker_processes(self, corpus, lexicon, batches):
         engine = StreamingSentimentEngine(
-            lexicon=lexicon, seed=7, max_iterations=5, n_shards=2,
-            backend="process", max_workers=2,
+            config(5, n_shards=2, backend="process", max_workers=2),
+            lexicon=lexicon,
         )
         feed(engine, corpus, batches[:1])
         backend = engine._solver_pool._impl
@@ -254,8 +281,7 @@ class TestAutoShardEngine:
         from repro.core.sharded import resolve_shard_count
 
         with StreamingSentimentEngine(
-            lexicon=lexicon, seed=7, max_iterations=5, n_shards="auto",
-            max_workers=2,
+            config(5, n_shards="auto", max_workers=2), lexicon=lexicon
         ) as engine:
             assert isinstance(engine.solver, ShardedOnlineTriClustering)
             assert engine.n_shards == "auto"
@@ -269,4 +295,4 @@ class TestAutoShardEngine:
 
     def test_auto_rejected_with_bad_string(self, lexicon):
         with pytest.raises(ValueError, match="n_shards"):
-            StreamingSentimentEngine(lexicon=lexicon, n_shards="many")
+            StreamingSentimentEngine(config(n_shards="many"), lexicon=lexicon)

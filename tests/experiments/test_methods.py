@@ -1,6 +1,5 @@
 """Tests for the Table-4/5 method runners and sweeps at micro scale."""
 
-import numpy as np
 import pytest
 
 from repro.experiments import methods

@@ -5,7 +5,6 @@ these tests verify the runners' mechanics and output contracts at a
 minimal scale.
 """
 
-import numpy as np
 import pytest
 
 from repro.experiments.configs import ExperimentConfig

@@ -2,7 +2,6 @@
 
 import numpy as np
 import pytest
-import scipy.sparse as sp
 
 from repro.graph.partition import (
     UserPartition,
@@ -101,7 +100,7 @@ class TestMakePartition:
         assert custom.sizes.sum() == graph.num_users
 
     def test_unknown_strategy_rejected(self, graph):
-        with pytest.raises(ValueError, match="unknown partition strategy"):
+        with pytest.raises(ValueError, match="unknown partitioner.*'hash'"):
             make_partition(graph, 2, "metis")
 
     def test_greedy_cuts_no_more_gu_weight_than_hash(self, graph):

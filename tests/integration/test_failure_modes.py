@@ -1,7 +1,6 @@
 """Failure-injection and degenerate-input tests across the stack."""
 
 import numpy as np
-import pytest
 import scipy.sparse as sp
 
 from repro.core.offline import OfflineTriClustering
