@@ -2,10 +2,14 @@
 
 Runs the identical streaming workload (prop30, 7-day snapshots through
 the engine path) at several ``n_shards`` settings on each execution
-backend (``thread`` and ``process`` by default) and records per-snapshot
-solve wall times.  The thread backend at one shard is the plain online
-solver — the baseline every other cell of the matrix is normalized
-against.
+backend (``thread``, ``process`` and ``socket`` by default) and records
+per-snapshot solve wall times.  The thread backend at one shard is the
+plain online solver — the baseline every other cell of the matrix is
+normalized against.  For the socket column the "remote" workers are two
+:class:`~repro.utils.transport.WorkerServer` processes spawned on
+localhost — the real framed-TCP transport, minus the actual network, so
+the column isolates protocol cost (framing + loopback) from fabric
+latency.
 
 Two speedup readouts are reported:
 
@@ -19,7 +23,9 @@ Backend trade-off being measured: threads overlap in the GIL-releasing
 scipy/numpy products but serialize the Python-level bookkeeping between
 them; processes own their shards outright (blocks pinned worker-resident,
 only ``Sf`` and the ``l×k`` contributions crossing per sweep) at the
-price of that per-sweep IPC.  Either way the arithmetic is identical —
+price of that per-sweep IPC; socket workers pay the same per-sweep
+exchange through framed-pickle TCP instead of pipes.  Either way the
+arithmetic is identical —
 the benchmark asserts that every backend lands on the bit-same final
 objective per shard count — so the matrix isolates pure execution cost.
 Multi-shard speedups only materialize on a multi-core machine; the
@@ -52,7 +58,10 @@ INTERVAL_DAYS = 7
 SHARD_COUNTS = (1, 2, 4)
 
 #: Execution backends to sweep (overridable via REPRO_SHARDING_BACKENDS).
-BACKENDS_DEFAULT = ("thread", "process")
+BACKENDS_DEFAULT = ("thread", "process", "socket")
+
+#: Localhost WorkerServer processes backing the socket column.
+SOCKET_WORKER_COUNT = 2
 
 #: Minimum scale at which the speedup assertion is meaningful — below
 #: this the per-shard matrices are too small for parallel overlap to
@@ -67,13 +76,19 @@ def bench_backends() -> tuple:
     return tuple(name.strip() for name in raw.split(",") if name.strip())
 
 
-def run_cell(bundle, config, backend: str, n_shards: int) -> dict:
+def run_cell(
+    bundle, config, backend: str, n_shards: int, workers=None
+) -> dict:
     """One full engine pass at (backend, n_shards); per-snapshot timings."""
     engine = StreamingSentimentEngine(
         EngineConfig(
             seed=config.solver_seed,
             solver={"max_iterations": config.online_max_iterations},
-            sharding={"n_shards": n_shards, "backend": backend},
+            sharding={
+                "n_shards": n_shards,
+                "backend": backend,
+                "workers": workers if backend == "socket" else None,
+            },
         ),
         lexicon=bundle.lexicon,
     )
@@ -136,11 +151,23 @@ def run_sharding_comparison(config=None, backends=None) -> dict:
     if backends is None:
         backends = bench_backends()
     bundle = load_dataset("prop30", config)
-    runs = [
-        run_cell(bundle, config, backend, n)
-        for backend in backends
-        for n in SHARD_COUNTS
-    ]
+    fleet = None
+    try:
+        if "socket" in backends:
+            from repro.utils.transport import LocalWorkerFleet
+
+            fleet = LocalWorkerFleet(SOCKET_WORKER_COUNT)
+        runs = [
+            run_cell(
+                bundle, config, backend, n,
+                workers=fleet.addresses if fleet is not None else None,
+            )
+            for backend in backends
+            for n in SHARD_COUNTS
+        ]
+    finally:
+        if fleet is not None:
+            fleet.close()
     baseline = runs[0]
     for run in runs:
         run["solve_speedup"] = baseline["solve_seconds"] / max(

@@ -34,14 +34,16 @@ Model semantics vs. the unsharded solvers:
 Execution backends: every shard interaction is expressed as a picklable
 module-level *command* run against shard state held by the
 :class:`~repro.utils.executor.WorkerPool` (``backend="serial"|"thread"|
-"process"``).  States are scattered **once per solve** (for the process
-backend, as compact :meth:`~repro.graph.partition.ShardBlock.to_payload`
-pieces pinned worker-resident under a shard epoch); each sweep then
-moves only the global ``Sf`` broadcast down and the ``l×k``
-contribution matrices back, so per-sweep IPC is ``O(l·k)`` per shard,
-never ``O(nnz)``.  Results are bit-identical across backends: the
-commands are the same functions, replies are collected into shard
-order, and all reductions run on the caller.
+"process"|"socket"``).  States are scattered **once per solve** (for
+the out-of-process backends, as compact :meth:`~repro.graph.partition.
+ShardBlock.to_payload` CSR pieces pinned worker-resident under a shard
+epoch — the socket backend ships those same payloads over TCP to
+workers on other hosts, unchanged); each sweep then moves only the
+global ``Sf`` broadcast down and the ``l×k`` contribution matrices
+back, so per-sweep IPC is ``O(l·k)`` per shard, never ``O(nnz)``.
+Results are bit-identical across backends: the commands are the same
+functions, replies are collected into shard order, and all reductions
+run on the caller.
 
 Only the ``"projector"`` update style is supported: the Lagrangian
 Δ-split needs global factor grams mid-sweep, which would serialize the
@@ -82,6 +84,7 @@ from repro.utils.executor import (
     default_worker_count,
     validate_backend,
 )
+from repro.utils.transport import validate_workers
 from repro.utils.matrices import safe_sqrt_ratio
 from repro.utils.rng import spawn_rng
 
@@ -301,7 +304,8 @@ class ShardedSolver:
     through the supplied :class:`~repro.utils.executor.WorkerPool` as
     module-level commands against states scattered at construction —
     the pool's backend decides whether those states live on this
-    process's heap (serial/thread) or pinned inside worker processes.
+    process's heap (serial/thread), pinned inside worker processes, or
+    pinned inside remote socket workers.
     Reductions run on the calling thread in shard order, so results are
     deterministic under any scheduling and identical across backends.
     """
@@ -513,6 +517,7 @@ def _validate_sharding(
     update_style: str,
     backend: str,
     partitioner: object = "hash",
+    workers=None,
 ) -> None:
     if n_shards != "auto" and (
         not isinstance(n_shards, int) or n_shards < 1
@@ -527,20 +532,33 @@ def _validate_sharding(
         )
     validate_backend(backend)
     validate_partitioner(partitioner)
+    if backend == "socket":
+        validate_workers(workers)
+    elif workers is not None:
+        raise ValueError(
+            "workers= is only meaningful with backend='socket' "
+            f"(got backend={backend!r})"
+        )
 
 
 def open_solver_pool(
-    max_workers: int | None, backend: str, n_shards: int
+    max_workers: int | None,
+    backend: str,
+    n_shards: int,
+    workers=None,
 ) -> WorkerPool:
     """A pool sized for a sharded solve.
 
     With ``max_workers=None`` the process backend is capped at the
     shard count — idle worker processes cost real memory, idle threads
     don't.  ``n_shards`` is a hint (use the worker default when the
-    count is still ``"auto"``-unresolved).  Shared by the per-fit pools
-    here and the serving engine's long-lived solver pool, so the cap
-    policy lives in exactly one place.
+    count is still ``"auto"``-unresolved).  The socket backend's width
+    is its ``workers=["host:port", ...]`` list instead.  Shared by the
+    per-fit pools here and the serving engine's long-lived solver pool,
+    so the cap policy lives in exactly one place.
     """
+    if backend == "socket":
+        return WorkerPool(backend="socket", workers=workers)
     if max_workers is None and backend == "process":
         max_workers = max(1, min(default_worker_count(), n_shards))
     return WorkerPool(max_workers, backend=backend)
@@ -562,9 +580,12 @@ class ShardedTriClustering(OfflineTriClustering):
         Worker bound for the shard fan-out (``None`` = CPU count,
         capped at ``n_shards`` for the process backend).
     backend:
-        ``"serial"``, ``"thread"`` (default) or ``"process"`` — see
-        :mod:`repro.utils.executor`.  Results are bit-identical across
-        backends.
+        ``"serial"``, ``"thread"`` (default), ``"process"`` or
+        ``"socket"`` — see :mod:`repro.utils.executor`.  Results are
+        bit-identical across backends.
+    workers:
+        ``backend="socket"`` only: ``["host:port", ...]`` addresses of
+        running ``python -m repro worker`` servers.
     consensus_iterations:
         Global ``Hp``/``Hu`` distillation steps at merge time.
     """
@@ -584,9 +605,10 @@ class ShardedTriClustering(OfflineTriClustering):
         partitioner="hash",
         max_workers: int | None = None,
         backend: str = "thread",
+        workers=None,
         consensus_iterations: int = CONSENSUS_ITERATIONS,
     ) -> None:
-        _validate_sharding(n_shards, update_style, backend, partitioner)
+        _validate_sharding(n_shards, update_style, backend, partitioner, workers)
         super().__init__(
             num_classes=num_classes,
             alpha=alpha,
@@ -602,6 +624,7 @@ class ShardedTriClustering(OfflineTriClustering):
         self.partitioner = partitioner
         self.max_workers = max_workers
         self.backend = backend
+        self.workers = workers
         self.consensus_iterations = consensus_iterations
         self.last_plan: ShardedGraph | None = None
         #: Optional externally-owned pool (e.g. the serving engine's).
@@ -631,7 +654,9 @@ class ShardedTriClustering(OfflineTriClustering):
         pool = (
             self.pool
             if self.pool is not None
-            else open_solver_pool(self.max_workers, self.backend, n_shards)
+            else open_solver_pool(
+                self.max_workers, self.backend, n_shards, self.workers
+            )
         )
         try:
             solver = ShardedSolver(
@@ -674,9 +699,10 @@ class ShardedOnlineTriClustering(OnlineTriClustering):
     user *ids*, so a user keeps their shard across snapshots.
     ``n_shards="auto"`` re-resolves the shard count on every snapshot
     from the snapshot's user count.  ``backend`` selects the execution
-    backend per :mod:`repro.utils.executor`; on the process backend an
-    externally-owned pool keeps its worker processes across snapshots
-    and each snapshot re-scatters its shard blocks under a fresh epoch.
+    backend per :mod:`repro.utils.executor`; on the process and socket
+    backends an externally-owned pool keeps its workers (local
+    processes or remote connections) across snapshots and each snapshot
+    re-scatters its shard blocks under a fresh epoch.
     """
 
     def __init__(
@@ -698,9 +724,10 @@ class ShardedOnlineTriClustering(OnlineTriClustering):
         partitioner="hash",
         max_workers: int | None = None,
         backend: str = "thread",
+        workers=None,
         consensus_iterations: int = CONSENSUS_ITERATIONS,
     ) -> None:
-        _validate_sharding(n_shards, update_style, backend, partitioner)
+        _validate_sharding(n_shards, update_style, backend, partitioner, workers)
         super().__init__(
             num_classes=num_classes,
             alpha=alpha,
@@ -720,6 +747,7 @@ class ShardedOnlineTriClustering(OnlineTriClustering):
         self.partitioner = partitioner
         self.max_workers = max_workers
         self.backend = backend
+        self.workers = workers
         self.consensus_iterations = consensus_iterations
         self.last_plan: ShardedGraph | None = None
         #: Optional externally-owned pool (e.g. the serving engine's).
@@ -751,7 +779,9 @@ class ShardedOnlineTriClustering(OnlineTriClustering):
         pool = (
             self.pool
             if self.pool is not None
-            else open_solver_pool(self.max_workers, self.backend, n_shards)
+            else open_solver_pool(
+                self.max_workers, self.backend, n_shards, self.workers
+            )
         )
         try:
             solver = ShardedSolver(

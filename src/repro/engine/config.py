@@ -23,10 +23,10 @@ registries in :mod:`repro.utils.executor` and
 :mod:`repro.graph.partition` so a typo fails here with the valid
 choices listed, not three layers down inside the first sharded solve —
 and round-trips through ``to_dict``/``from_dict`` (the checkpoint
-format persists exactly that dict).  :meth:`EngineConfig.
-from_legacy_kwargs` maps the old flat kwargs onto the hierarchy for the
-one-release deprecation shim in
-:class:`~repro.engine.streaming.StreamingSentimentEngine`.
+format persists exactly that dict).  The old flat-kwargs constructor
+of :class:`~repro.engine.streaming.StreamingSentimentEngine` completed
+its one-release deprecation cycle and is gone; configuration enters
+through this hierarchy only.
 """
 
 from __future__ import annotations
@@ -36,6 +36,7 @@ from typing import Any
 
 from repro.graph.partition import validate_partitioner
 from repro.utils.executor import validate_backend
+from repro.utils.transport import validate_workers
 
 #: What ``ingest(..., block=False)`` does when the queue is full.
 OVERFLOW_POLICIES = ("drop", "raise")
@@ -97,6 +98,13 @@ class ShardingConfig:
     ``max_workers`` also bounds the engine's classify thread pool —
     one knob governs the engine's total worker budget, exactly as the
     old flat ``max_workers`` kwarg did.
+
+    ``backend="socket"`` requires ``workers=["host:port", ...]`` — the
+    addresses of running ``python -m repro worker`` servers — validated
+    (and normalized to a tuple) at construction, so a malformed address
+    fails here rather than at the first connect.  The list round-trips
+    through ``to_dict``/``from_dict`` like every other field, which is
+    how checkpoints remember where the solve's workers live.
     """
 
     n_shards: int | str = 1
@@ -104,6 +112,7 @@ class ShardingConfig:
     backend: str = "thread"
     max_workers: int | None = None
     consensus_iterations: int = 25
+    workers: tuple[str, ...] | None = None
 
     def __post_init__(self) -> None:
         if self.n_shards != "auto" and (
@@ -114,6 +123,13 @@ class ShardingConfig:
             )
         validate_partitioner(self.partitioner)
         validate_backend(self.backend)
+        if self.backend == "socket":
+            object.__setattr__(self, "workers", validate_workers(self.workers))
+        elif self.workers is not None:
+            raise ValueError(
+                "sharding.workers is only meaningful with "
+                f"backend='socket' (got backend={self.backend!r})"
+            )
         _require(
             self.max_workers is None or self.max_workers >= 1,
             f"max_workers must be >= 1 or None, got {self.max_workers}",
@@ -254,65 +270,3 @@ class EngineConfig:
         """A copy with top-level fields replaced (sections take dicts too)."""
         return replace(self, **changes)
 
-    # ------------------------------------------------------------------ #
-    # Legacy flat-kwargs shim
-    # ------------------------------------------------------------------ #
-
-    _LEGACY_SECTIONS = {
-        "serving": ("classify_iterations", "classify_batch_size", "cache_size"),
-        "sharding": (
-            "n_shards",
-            "partitioner",
-            "backend",
-            "max_workers",
-            "consensus_iterations",
-        ),
-        "solver": (
-            "alpha",
-            "beta",
-            "gamma",
-            "tau",
-            "window",
-            "max_iterations",
-            "tolerance",
-            "patience",
-            "update_style",
-            "state_smoothing",
-            "track_history",
-        ),
-        "ingest": ("async_ingest", "max_queued_batches", "overflow"),
-    }
-
-    @classmethod
-    def from_legacy_kwargs(cls, **kwargs: Any) -> "EngineConfig":
-        """Build a config from the flat pre-config engine kwargs.
-
-        Implements the deprecation shim: every keyword the old
-        ``StreamingSentimentEngine(**kwargs)`` signature accepted
-        (including the ``**solver_kwargs`` passthrough) maps onto one
-        field of the hierarchy.  Unknown names raise ``TypeError`` —
-        exactly what the old signature's solver constructor would
-        eventually have done, just eagerly and with the engine named.
-        """
-        top = {"num_classes", "seed", "cross_snapshot_edges", "max_profile_age"}
-        sections: dict[str, dict[str, Any]] = {
-            name: {} for name in cls._LEGACY_SECTIONS
-        }
-        root: dict[str, Any] = {}
-        for key, value in kwargs.items():
-            if key in top:
-                root[key] = value
-                continue
-            for section, names in cls._LEGACY_SECTIONS.items():
-                if key in names:
-                    sections[section][key] = value
-                    break
-            else:
-                raise TypeError(
-                    f"unknown engine keyword {key!r}; see EngineConfig for "
-                    "the supported fields"
-                )
-        return cls(
-            **root,
-            **{name: values for name, values in sections.items() if values},
-        )

@@ -28,10 +28,10 @@ not the history:
 
 Configuration is one typed object: :class:`~repro.engine.config.
 EngineConfig` (validated at construction, ``to_dict``/``from_dict``
-round-trip, persisted verbatim by checkpoints).  The old flat-kwargs
-constructor still works for one release behind a
-``DeprecationWarning``.  For typed request/response serving on top of
-this engine, see :class:`~repro.engine.service.SentimentService`.
+round-trip, persisted verbatim by checkpoints).  The pre-config
+flat-kwargs constructor completed its one-release deprecation and is
+gone.  For typed request/response serving on top of this engine, see
+:class:`~repro.engine.service.SentimentService`.
 
 Cluster columns are mapped to sentiment classes with the lexicon
 alignment of :mod:`repro.core.labeling` after every snapshot, so
@@ -52,7 +52,6 @@ from __future__ import annotations
 
 import threading
 import time
-import warnings
 from collections.abc import Iterable, Sequence
 from dataclasses import asdict, dataclass
 from pathlib import Path
@@ -108,9 +107,7 @@ class StreamingSentimentEngine:
         hyperparameters under ``config.solver``, shard/backend
         execution under ``config.sharding``, the classify path under
         ``config.serving``, and async-ingestion behaviour under
-        ``config.ingest``.  Flat kwargs still work for one release and
-        emit a ``DeprecationWarning`` (see
-        :meth:`EngineConfig.from_legacy_kwargs` for the mapping).
+        ``config.ingest``.
     lexicon:
         Seed sentiment lexicon.  Enables the ``Sf0`` prior per snapshot
         and the cluster-column → sentiment-class alignment; without it,
@@ -129,9 +126,11 @@ class StreamingSentimentEngine:
 
     The engine owns a worker pool sized by ``config.sharding.
     max_workers``, shared by classify micro-batching and the
-    thread-backend sharded solve; under ``backend="process"`` the solve
-    instead gets a dedicated engine-owned process pool whose workers —
-    and their resident shard blocks — persist across snapshots.
+    thread-backend sharded solve; under ``backend="process"`` (local
+    worker processes) or ``backend="socket"`` (remote ``python -m repro
+    worker`` servers named by ``config.sharding.workers``) the solve
+    instead gets a dedicated engine-owned pool whose workers — and
+    their resident shard blocks — persist across snapshots.
     ``close()`` (or using the engine as a context manager) releases the
     ingest worker, the threads and the worker processes; closing is
     terminal.
@@ -144,34 +143,16 @@ class StreamingSentimentEngine:
         lexicon: SentimentLexicon | None = None,
         vectorizer: CountVectorizer | None = None,
         solver: OnlineTriClustering | None = None,
-        **legacy_kwargs: object,
     ) -> None:
         if isinstance(config, SentimentLexicon):
             # The pre-config signature's first positional was the
-            # lexicon; keep those call sites alive through the shim.
-            warnings.warn(
-                "passing the lexicon as the first positional argument is "
-                "deprecated; use StreamingSentimentEngine(lexicon=...)",
-                DeprecationWarning,
-                stacklevel=2,
+            # lexicon; its one-release deprecation shim is gone — point
+            # stragglers at the keyword instead of a generic TypeError.
+            raise TypeError(
+                "the first positional argument is the EngineConfig; pass "
+                "the lexicon as StreamingSentimentEngine(lexicon=...)"
             )
-            lexicon, config = config, None
-        if legacy_kwargs:
-            if config is not None:
-                raise ValueError(
-                    "pass either an EngineConfig or flat keyword "
-                    "arguments, not both"
-                )
-            warnings.warn(
-                "flat keyword-argument construction of "
-                "StreamingSentimentEngine is deprecated and will be removed "
-                "in the next release; pass an EngineConfig (see "
-                "EngineConfig.from_legacy_kwargs for the field mapping)",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            config = EngineConfig.from_legacy_kwargs(**legacy_kwargs)
-        elif config is None:
+        if config is None:
             config = EngineConfig()
         elif isinstance(config, dict):
             config = EngineConfig.from_dict(config)
@@ -225,6 +206,7 @@ class StreamingSentimentEngine:
                 partitioner=sharding.partitioner,
                 max_workers=sharding.max_workers,
                 backend=sharding.backend,
+                workers=sharding.workers,
                 consensus_iterations=sharding.consensus_iterations,
                 **asdict(config.solver),
             )
@@ -252,25 +234,31 @@ class StreamingSentimentEngine:
             # a user-supplied one only when it didn't pin its own worker
             # count (respect explicit config — it then opens a pool of
             # its configured backend per partial_fit).  Thread solves
-            # share the classify pool; a process solve gets a dedicated
-            # process pool so classify stays on threads while workers
-            # (and their resident shard blocks) persist across snapshots.
+            # share the classify pool; a process or socket solve gets a
+            # dedicated pool so classify stays on threads while workers
+            # (local processes or remote connections, and their resident
+            # shard blocks) persist across snapshots.
             if self.solver.pool is None and (
                 solver is None or self.solver.max_workers is None
             ):
-                if self.backend == "process":
+                if self.backend in ("process", "socket"):
                     shards_hint = (
                         self.n_shards
                         if isinstance(self.n_shards, int)
                         else default_worker_count()
                     )
                     self._solver_pool = open_solver_pool(
-                        sharding.max_workers, "process", shards_hint
+                        sharding.max_workers,
+                        self.backend,
+                        shards_hint,
+                        getattr(self.solver, "workers", None),
                     )
-                    # Fork the workers now, while the engine process is
-                    # still single-threaded (classify threads and the
-                    # ingest worker spin up after this point) — never
-                    # fork under live threads.
+                    # Materialize workers now, while the engine process
+                    # is still single-threaded (classify threads and the
+                    # ingest worker spin up after this point): process
+                    # workers must never fork under live threads, and an
+                    # unreachable socket worker should fail construction,
+                    # not the first snapshot.
                     self._solver_pool.prestart()
                     self.solver.pool = self._solver_pool
                 elif self.backend == "thread":
@@ -589,6 +577,7 @@ class StreamingSentimentEngine:
                     else self.max_workers
                 ),
                 consensus_iterations=solver.consensus_iterations,
+                workers=solver.workers,
             )
         else:
             sharding_config = ShardingConfig(max_workers=self.max_workers)

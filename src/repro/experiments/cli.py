@@ -6,12 +6,15 @@ Usage::
     python -m repro table4 --scale 0.05
     python -m repro figure8 --scale 0.08 --save
     python -m repro stream tweets.jsonl --n-shards 4 --checkpoint ckpt/
+    python -m repro worker --listen 0.0.0.0:7500
 
 Each experiment prints the same table its benchmark writes; ``--save``
 additionally persists it under ``benchmarks/results/``.  The ``stream``
 subcommand (see :mod:`repro.experiments.stream_cli`) has its own flags:
 it feeds a JSONL tweet file through the serving engine instead of
-regenerating a paper artifact.
+regenerating a paper artifact.  The ``worker`` subcommand (see
+:mod:`repro.utils.transport`) serves a socket-backend shard worker for
+``WorkerPool(backend="socket")`` clients on other hosts.
 """
 
 from __future__ import annotations
@@ -152,6 +155,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.experiments.stream_cli import stream_main
 
         return stream_main(argv[1:])
+    if argv and argv[0] == "worker":
+        # Shard worker server for WorkerPool(backend="socket") clients.
+        from repro.utils.transport import worker_main
+
+        return worker_main(argv[1:])
 
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
@@ -162,6 +170,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"{'stream'.ljust(width)}  "
             "feed a JSONL tweet file through the serving engine "
             "(python -m repro stream --help)"
+        )
+        print(
+            f"{'worker'.ljust(width)}  "
+            "serve a socket-backend shard worker "
+            "(python -m repro worker --listen HOST:PORT)"
         )
         return 0
 

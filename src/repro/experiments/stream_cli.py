@@ -14,6 +14,8 @@ Usage::
 
     python -m repro stream tweets.jsonl --snapshot-size 500 \
         --n-shards 4 --backend process --checkpoint /var/lib/repro/engine
+    python -m repro stream tweets.jsonl --n-shards 4 --backend socket \
+        --workers 10.0.0.5:7500,10.0.0.6:7500
 """
 
 from __future__ import annotations
@@ -69,12 +71,22 @@ def build_stream_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--backend",
-        choices=["serial", "thread", "process"],
+        choices=["serial", "thread", "process", "socket"],
         default="thread",
         help=(
             "execution backend for the sharded solve (default thread; "
-            "'process' pins shard blocks in worker processes — classify "
-            "always stays on threads)"
+            "'process' pins shard blocks in worker processes, 'socket' "
+            "in remote `python -m repro worker` servers named by "
+            "--workers — classify always stays on threads)"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        default=None,
+        help=(
+            "comma-separated host:port worker addresses for "
+            "--backend socket (trusted networks only — the wire "
+            "protocol is unauthenticated pickle)"
         ),
     )
     parser.add_argument(
@@ -143,6 +155,15 @@ def config_from_args(args: argparse.Namespace) -> EngineConfig:
     Raises the config layer's eager errors (unknown backend or
     partitioner, bad counts) before any data is read.
     """
+    workers = (
+        tuple(
+            address.strip()
+            for address in args.workers.split(",")
+            if address.strip()
+        )
+        if args.workers
+        else None
+    )
     return EngineConfig(
         num_classes=args.num_classes,
         seed=args.seed,
@@ -153,6 +174,7 @@ def config_from_args(args: argparse.Namespace) -> EngineConfig:
             "partitioner": args.partitioner,
             "backend": args.backend,
             "max_workers": args.max_workers,
+            "workers": workers,
         },
     )
 

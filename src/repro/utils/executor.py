@@ -23,6 +23,13 @@ that ordered-map contract around three interchangeable backends:
   the pinned states, so per-call IPC is the command's arguments and
   return value — for the sharded solver, the global ``Sf`` broadcast
   down and an ``l×k`` contribution back — never the shard blocks.
+- ``"socket"`` — the process backend's protocol carried over TCP
+  (:mod:`repro.utils.transport`) to workers **on any host**:
+  ``WorkerPool(backend="socket", workers=["host:port", ...])`` talks to
+  ``python -m repro worker --listen HOST:PORT`` servers.  Same resident
+  state contract, same one-in-flight exchange, plus connect and
+  exchange timeouts so a lost peer raises
+  :class:`~repro.utils.transport.WorkerLost` instead of hanging.
 
 ``scatter``/``run_resident`` are implemented by every backend (the
 in-process ones simply keep the states in a list), so callers write one
@@ -31,8 +38,8 @@ code path and switch backends by constructor argument.
 All floating-point work is identical across backends: commands are the
 same functions either way, per-index results are collected into input
 order, and reductions run on the caller — so solver trajectories are
-bit-for-bit equal under ``"serial"``, ``"thread"`` and ``"process"``
-(regression-tested).
+bit-for-bit equal under ``"serial"``, ``"thread"``, ``"process"`` and
+``"socket"`` (regression-tested).
 
 A pool that has been :meth:`shutdown` (or ``close``-d) is terminal:
 further ``map``/``scatter``/``run_resident`` calls raise
@@ -51,11 +58,13 @@ from concurrent.futures import ThreadPoolExecutor
 from multiprocessing.connection import wait as _connection_wait
 from typing import Any, TypeVar
 
+from repro.utils.transport import FrameError, PayloadDecodeError
+
 T = TypeVar("T")
 R = TypeVar("R")
 
 #: Registry of named execution backends (``WorkerPool(backend=...)``).
-BACKENDS = ("serial", "thread", "process")
+BACKENDS = ("serial", "thread", "process", "socket")
 
 
 def validate_backend(backend: str) -> str:
@@ -230,6 +239,29 @@ def _process_worker_main(conn) -> None:
             message = conn.recv()
         except (EOFError, OSError):
             break
+        except Exception as exc:
+            # The message arrived whole but does not decode on this end
+            # (socket transport: PayloadDecodeError; pipes: whatever
+            # unpickling raised) — classic version skew, the client
+            # sent a command this build does not define.  The channel
+            # itself is still in sync, so name the cause in an error
+            # reply instead of dying silently.
+            detail = traceback.format_exc()
+            try:
+                conn.send(
+                    (
+                        "error",
+                        RuntimeError(
+                            f"command does not deserialize on the worker "
+                            f"({exc!r}); are client and worker running "
+                            "the same build?"
+                        ),
+                        detail,
+                    )
+                )
+                continue
+            except Exception:
+                break
         kind = message[0]
         if kind == "shutdown":
             break
@@ -279,94 +311,76 @@ def _process_worker_main(conn) -> None:
         pass
 
 
-class ProcessBackend:
-    """Worker processes with pinned per-item state.
+class _ExchangeBackend:
+    """Shared half of the out-of-process backends (process, socket).
 
-    Workers are started lazily (``fork`` where available) and live until
-    ``shutdown``, so consecutive scatters — e.g. one per streaming
-    snapshot — reuse the same processes.  Items are placed round-robin
-    (``index % workers``), and the exchange protocol keeps **at most one
-    in-flight message per direction per worker** (send the next command
-    only after receiving the previous reply), which makes the pipes
-    deadlock-free for arbitrarily large payloads while still overlapping
-    all workers.
+    Owns the resident-state bookkeeping (round-robin placement keyed by
+    the scatter epoch) and the **one-in-flight exchange**: each worker
+    is sent its commands strictly one at a time — the next command only
+    after the previous reply — while all workers are waited on
+    concurrently.  One message per direction per worker means the
+    channel can never fill both directions at once, so the exchange is
+    deadlock-free for arbitrarily large payloads on any transport that
+    delivers whole messages in order (OS pipes, framed TCP).
 
-    Functions crossing the boundary (commands, ``from_payload``) must be
-    picklable, i.e. module-level.
+    Subclasses provide the transport: :meth:`_ensure_workers`,
+    :meth:`_worker_count`/:meth:`_connection`, :meth:`_wait` (readiness,
+    possibly with a deadline), :meth:`_lost` (the exception for a dead
+    or desynchronized peer) and :meth:`_broken_error`.
+
+    Functions crossing the boundary (commands, ``from_payload``) must
+    be picklable, i.e. module-level.
     """
 
-    def __init__(self, max_workers: int) -> None:
-        self.max_workers = max_workers
-        self._ctx = mp.get_context(_process_start_method())
-        self._workers: list[tuple[Any, Any]] = []  # (process, connection)
+    def __init__(self) -> None:
         self._placement: list[int] = []
         self._epoch: int | None = None
         self._broken = False
 
     @property
-    def parallel(self) -> bool:
-        return self.max_workers > 1
-
-    @property
-    def active(self) -> bool:
-        return bool(self._workers)
-
-    @property
     def resident_count(self) -> int:
         return len(self._placement)
 
-    # -- lifecycle ----------------------------------------------------- #
+    # -- transport hooks (subclass responsibility) ---------------------- #
 
     def _ensure_workers(self, needed: int) -> None:
-        target = max(1, min(self.max_workers, needed))
-        while len(self._workers) < target:
-            parent_conn, child_conn = self._ctx.Pipe()
-            process = self._ctx.Process(
-                target=_process_worker_main,
-                args=(child_conn,),
-                name=f"repro-shard-worker-{len(self._workers)}",
-                daemon=True,
-            )
-            process.start()
-            child_conn.close()
-            self._workers.append((process, parent_conn))
+        raise NotImplementedError
 
-    def shutdown(self) -> None:
-        for process, conn in self._workers:
-            try:
-                conn.send(("shutdown",))
-            except (BrokenPipeError, OSError):
-                pass
-        for process, conn in self._workers:
-            try:
-                conn.close()
-            except OSError:
-                pass
-            process.join(timeout=5)
-            if process.is_alive():
-                process.terminate()
-                process.join(timeout=5)
-        self._workers = []
-        self._placement = []
-        self._epoch = None
+    def _worker_count(self) -> int:
+        raise NotImplementedError
+
+    def _connection(self, slot: int):
+        raise NotImplementedError
+
+    def _wait(self, connections: list) -> list:
+        """Connections with a readable reply (blocks; may raise)."""
+        raise NotImplementedError
+
+    def _lost(self, slot: int, index: int, exc: Exception) -> Exception:
+        """Exception for a worker lost around ``index`` (pool now broken)."""
+        raise NotImplementedError
+
+    def _broken_error(self) -> Exception:
+        raise NotImplementedError
 
     # -- exchange protocol --------------------------------------------- #
 
     def _exchange(self, commands: Sequence[tuple[int, int, tuple]]) -> list:
         """Run ``(result_index, worker_slot, message)`` commands.
 
-        Sends each worker its commands strictly one at a time (next
-        command only after the previous reply), waits on all workers
-        concurrently, and returns replies ordered by ``result_index``.
-        The first error (lowest result index) is raised after every
-        outstanding reply has been drained, so the channel stays in
-        protocol sync for the caller's next call.
+        Sends each worker its commands one at a time, waits on all
+        workers concurrently, and returns replies ordered by
+        ``result_index``.  The first *worker-side* error (lowest result
+        index) is raised after every outstanding reply has been drained,
+        so the channel stays in protocol sync for the caller's next
+        call.  A *transport* failure (dead peer, timeout, malformed
+        frame) leaves replies of unknown provenance in the other
+        channels; draining cannot restore protocol sync, so the pool is
+        marked permanently broken rather than risking silently
+        mis-associated results on a later call.
         """
         if self._broken:
-            raise RuntimeError(
-                "a worker process died earlier; this pool is broken — "
-                "create a new pool"
-            )
+            raise self._broken_error()
         queues: dict[int, deque] = {}
         for index, slot, message in commands:
             queues.setdefault(slot, deque()).append((index, message))
@@ -376,35 +390,45 @@ class ProcessBackend:
         in_flight: dict[Any, tuple[int, int]] = {}  # conn -> (slot, index)
 
         def transport_failure(slot: int, index: int, exc: Exception):
-            # A dead worker leaves replies of unknown provenance in the
-            # other pipes; draining cannot restore protocol sync, so the
-            # pool is marked permanently broken rather than risking
-            # silently mis-associated results on a later call.
             self._broken = True
-            return RuntimeError(
-                f"worker process {slot} died around item {index}; "
-                "the pool is now broken — create a new pool"
-            )
+            return self._lost(slot, index, exc)
 
         def send_next(slot: int) -> None:
             if errors or not queues.get(slot):
                 return
             index, message = queues[slot].popleft()
-            _, conn = self._workers[slot]
+            conn = self._connection(slot)
             try:
                 conn.send(message)
+            except FrameError as exc:
+                # Client-side frame-ceiling rejection: raised before a
+                # single byte was written, so the channel is intact —
+                # defer-and-drain below, do not break the pool.  (Must
+                # precede the OSError clause: FrameError ⊂ OSError.)
+                errors.append((index, exc, traceback.format_exc()))
+                return
             except (BrokenPipeError, OSError) as exc:
                 raise transport_failure(slot, index, exc) from exc
+            except Exception as exc:
+                # A serialization failure (unpicklable command argument)
+                # writes nothing, so the channel itself stays in sync —
+                # but other workers may hold in-flight commands.  Defer
+                # exactly like a worker-side error: stop sending, drain
+                # every outstanding reply, then raise.  Raising here
+                # instead would leave those replies queued for the
+                # *next* exchange to mis-associate.
+                errors.append((index, exc, traceback.format_exc()))
+                return
             in_flight[conn] = (slot, index)
 
         for slot in list(queues):
             send_next(slot)
         while in_flight:
-            for conn in _connection_wait(list(in_flight)):
+            for conn in self._wait(list(in_flight)):
                 slot, index = in_flight.pop(conn)
                 try:
                     reply = conn.recv()
-                except (EOFError, OSError) as exc:
+                except (EOFError, OSError, PayloadDecodeError) as exc:
                     raise transport_failure(slot, index, exc) from exc
                 if reply[0] == "ok":
                     results[index] = reply[1]
@@ -423,7 +447,7 @@ class ProcessBackend:
         if len(items) <= 1:
             return [fn(item) for item in items]
         self._ensure_workers(len(items))
-        workers = len(self._workers)
+        workers = self._worker_count()
         return self._exchange(
             [
                 (index, index % workers, ("map", fn, item))
@@ -433,7 +457,7 @@ class ProcessBackend:
 
     def scatter(self, items, to_payload, from_payload, epoch) -> None:
         self._ensure_workers(len(items))
-        workers = len(self._workers)
+        workers = self._worker_count()
         self._placement = [index % workers for index in range(len(items))]
         self._epoch = epoch
         commands = [
@@ -468,18 +492,263 @@ class ProcessBackend:
             ]
         )
 
-    def prestart(self) -> None:
-        self._ensure_workers(self.max_workers)
-
     def discard_resident(self) -> None:
         if self._placement and not self._broken:
             self._exchange(
                 [
                     (slot, slot, ("discard", self._epoch))
-                    for slot in range(len(self._workers))
+                    for slot in range(self._worker_count())
                 ]
             )
         self._placement = []
+
+
+class ProcessBackend(_ExchangeBackend):
+    """Worker processes with pinned per-item state.
+
+    Workers are started lazily (``fork`` where available) and live until
+    ``shutdown``, so consecutive scatters — e.g. one per streaming
+    snapshot — reuse the same processes.  Items are placed round-robin
+    (``index % workers``) and exchanged under the one-in-flight
+    discipline of :class:`_ExchangeBackend`.
+    """
+
+    def __init__(self, max_workers: int) -> None:
+        super().__init__()
+        self.max_workers = max_workers
+        self._ctx = mp.get_context(_process_start_method())
+        self._workers: list[tuple[Any, Any]] = []  # (process, connection)
+
+    @property
+    def parallel(self) -> bool:
+        return self.max_workers > 1
+
+    @property
+    def active(self) -> bool:
+        return bool(self._workers)
+
+    # -- lifecycle ----------------------------------------------------- #
+
+    def _ensure_workers(self, needed: int) -> None:
+        target = max(1, min(self.max_workers, needed))
+        while len(self._workers) < target:
+            parent_conn, child_conn = self._ctx.Pipe()
+            process = self._ctx.Process(
+                target=_process_worker_main,
+                args=(child_conn,),
+                name=f"repro-shard-worker-{len(self._workers)}",
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._workers.append((process, parent_conn))
+
+    def prestart(self) -> None:
+        self._ensure_workers(self.max_workers)
+
+    def shutdown(self) -> None:
+        for process, conn in self._workers:
+            try:
+                conn.send(("shutdown",))
+            except (BrokenPipeError, OSError):
+                pass
+        for process, conn in self._workers:
+            try:
+                conn.close()
+            except OSError:
+                pass
+            process.join(timeout=5)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5)
+        self._workers = []
+        self._placement = []
+        self._epoch = None
+
+    # -- transport hooks ------------------------------------------------ #
+
+    def _worker_count(self) -> int:
+        return len(self._workers)
+
+    def _connection(self, slot: int):
+        return self._workers[slot][1]
+
+    def _wait(self, connections: list) -> list:
+        return _connection_wait(connections)
+
+    def _lost(self, slot: int, index: int, exc: Exception) -> Exception:
+        return RuntimeError(
+            f"worker process {slot} died around item {index}; "
+            "the pool is now broken — create a new pool"
+        )
+
+    def _broken_error(self) -> Exception:
+        return RuntimeError(
+            "a worker process died earlier; this pool is broken — "
+            "create a new pool"
+        )
+
+
+class SocketBackend(_ExchangeBackend):
+    """Remote workers over TCP with pinned per-item state.
+
+    The process backend's contract carried by the framed-pickle
+    transport of :mod:`repro.utils.transport`: one
+    :class:`~repro.utils.transport.SocketConnection` per configured
+    ``host:port`` (a ``python -m repro worker`` server), shard payloads
+    installed once per epoch, commands exchanged one-in-flight.  Two
+    failure modes the in-machine backends don't have are surfaced
+    eagerly instead of hanging:
+
+    - a worker that cannot be connected (or sends no valid hello)
+      raises :class:`~repro.utils.transport.WorkerConnectError` within
+      ``connect_timeout``;
+    - a worker that dies or stops replying mid-exchange raises
+      :class:`~repro.utils.transport.WorkerLost` within
+      ``exchange_timeout`` (EOF from a killed peer is detected
+      immediately; the timeout is the backstop for silent hangs), and
+      the pool is permanently broken — its resident state is gone.
+
+    ``REPRO_SOCKET_CONNECT_TIMEOUT`` / ``REPRO_SOCKET_EXCHANGE_TIMEOUT``
+    override the defaults for deployments with slower fabrics.
+    """
+
+    def __init__(
+        self,
+        workers: Sequence[str],
+        connect_timeout: float | None = None,
+        exchange_timeout: float | None = None,
+    ) -> None:
+        from repro.utils.transport import (
+            DEFAULT_CONNECT_TIMEOUT,
+            DEFAULT_EXCHANGE_TIMEOUT,
+            validate_workers,
+        )
+
+        super().__init__()
+        self.addresses = validate_workers(workers)
+        if connect_timeout is None:
+            connect_timeout = float(
+                os.environ.get(
+                    "REPRO_SOCKET_CONNECT_TIMEOUT", DEFAULT_CONNECT_TIMEOUT
+                )
+            )
+        if exchange_timeout is None:
+            exchange_timeout = float(
+                os.environ.get(
+                    "REPRO_SOCKET_EXCHANGE_TIMEOUT", DEFAULT_EXCHANGE_TIMEOUT
+                )
+            )
+        self.connect_timeout = connect_timeout
+        self.exchange_timeout = exchange_timeout
+        self._conns: list[Any] = []
+        self._selector: Any = None
+        self._registered: set[Any] = set()
+
+    @property
+    def parallel(self) -> bool:
+        return len(self.addresses) > 1
+
+    @property
+    def active(self) -> bool:
+        return bool(self._conns)
+
+    # -- lifecycle ----------------------------------------------------- #
+
+    def _ensure_workers(self, needed: int) -> None:
+        del needed  # every configured worker joins the placement ring
+        if self._conns:
+            return
+        from repro.utils.transport import connect_worker
+
+        conns = []
+        try:
+            for address in self.addresses:
+                conn = connect_worker(address, timeout=self.connect_timeout)
+                # Per-chunk receive deadline: _wait() covers the idle
+                # wait for a reply, this covers a peer that goes silent
+                # halfway through a frame.
+                conn.settimeout(self.exchange_timeout)
+                conns.append(conn)
+        except BaseException:
+            for conn in conns:
+                conn.close()
+            raise
+        self._conns = conns
+
+    def prestart(self) -> None:
+        self._ensure_workers(len(self.addresses))
+
+    def shutdown(self) -> None:
+        if self._selector is not None:
+            self._selector.close()
+            self._selector = None
+            self._registered = set()
+        for conn in self._conns:
+            try:
+                conn.send(("shutdown",))
+            except (BrokenPipeError, OSError):
+                pass
+            conn.close()
+        self._conns = []
+        self._placement = []
+        self._epoch = None
+
+    # -- transport hooks ------------------------------------------------ #
+
+    def _worker_count(self) -> int:
+        return len(self._conns)
+
+    def _connection(self, slot: int):
+        return self._conns[slot]
+
+    def _wait(self, connections: list) -> list:
+        import selectors
+
+        from repro.utils.transport import WorkerLost
+
+        # One long-lived selector, synced by delta: the exchange calls
+        # _wait once per reply wakeup, and the in-flight set changes by
+        # one or two connections each time — re-registering everything
+        # (or rebuilding the selector) per wakeup would put avoidable
+        # syscalls on the per-sweep hot path.
+        if self._selector is None:
+            self._selector = selectors.DefaultSelector()
+        current = set(connections)
+        for conn in self._registered - current:
+            self._selector.unregister(conn)
+        for conn in current - self._registered:
+            self._selector.register(conn, selectors.EVENT_READ)
+        self._registered = current
+        ready = self._selector.select(self.exchange_timeout)
+        if not ready:
+            self._broken = True
+            pending = ", ".join(
+                self.addresses[self._conns.index(conn)]
+                for conn in connections
+            )
+            raise WorkerLost(
+                f"no reply from worker(s) {pending} within "
+                f"{self.exchange_timeout}s; the pool is now broken — "
+                "create a new pool"
+            )
+        return [key.fileobj for key, _ in ready]
+
+    def _lost(self, slot: int, index: int, exc: Exception) -> Exception:
+        from repro.utils.transport import WorkerLost
+
+        return WorkerLost(
+            f"worker {self.addresses[slot]} lost around item {index} "
+            f"({exc!r}); the pool is now broken — create a new pool"
+        )
+
+    def _broken_error(self) -> Exception:
+        from repro.utils.transport import WorkerLost
+
+        return WorkerLost(
+            "a socket worker was lost earlier; this pool is broken — "
+            "create a new pool"
+        )
 
 
 # --------------------------------------------------------------------- #
@@ -495,24 +764,56 @@ class WorkerPool:
     max_workers:
         Worker bound.  ``None`` uses the machine's CPU count; ``1``
         runs the thread backend serially on the calling thread (no
-        threads are created).  Values below 1 are rejected.
+        threads are created).  Values below 1 are rejected.  Ignored by
+        the socket backend, whose width is ``len(workers)``.
     backend:
-        ``"serial"``, ``"thread"`` (default) or ``"process"`` — see the
-        module docstring for the trade-offs.  All backends produce
-        bit-identical results for the same commands.
+        ``"serial"``, ``"thread"`` (default), ``"process"`` or
+        ``"socket"`` — see the module docstring for the trade-offs.
+        All backends produce bit-identical results for the same
+        commands.
+    workers:
+        ``backend="socket"`` only: the ``["host:port", ...]`` addresses
+        of running ``python -m repro worker`` servers (validated
+        eagerly; at least one required).
+    connect_timeout / exchange_timeout:
+        ``backend="socket"`` only: seconds before a connect attempt /
+        a reply wait gives up (defaults from
+        :mod:`repro.utils.transport`, env-overridable).
     """
 
     def __init__(
-        self, max_workers: int | None = None, backend: str = "thread"
+        self,
+        max_workers: int | None = None,
+        backend: str = "thread",
+        workers: Sequence[str] | None = None,
+        connect_timeout: float | None = None,
+        exchange_timeout: float | None = None,
     ) -> None:
         validate_backend(backend)
+        if backend == "socket":
+            from repro.utils.transport import validate_workers
+
+            workers = validate_workers(workers)
+        elif workers is not None:
+            raise ValueError(
+                "workers= is only meaningful with backend='socket' "
+                f"(got backend={backend!r})"
+            )
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         self.backend = backend
-        self.max_workers = (
-            default_worker_count() if max_workers is None else max_workers
-        )
-        self._impl: SerialBackend | ThreadBackend | ProcessBackend | None = None
+        self.workers = workers
+        self.connect_timeout = connect_timeout
+        self.exchange_timeout = exchange_timeout
+        if backend == "socket":
+            self.max_workers = len(workers)
+        else:
+            self.max_workers = (
+                default_worker_count() if max_workers is None else max_workers
+            )
+        self._impl: (
+            SerialBackend | ThreadBackend | ProcessBackend | SocketBackend | None
+        ) = None
         self._closed = False
         self._epoch = 0
 
@@ -549,6 +850,10 @@ class WorkerPool:
         if self._impl is None:
             if self.backend == "process":
                 self._impl = ProcessBackend(self.max_workers)
+            elif self.backend == "socket":
+                self._impl = SocketBackend(
+                    self.workers, self.connect_timeout, self.exchange_timeout
+                )
             elif self.backend == "thread" and self.max_workers > 1:
                 self._impl = ThreadBackend(self.max_workers)
             else:
@@ -585,11 +890,12 @@ class WorkerPool:
     ) -> int:
         """Pin one state per item to the workers; returns the new epoch.
 
-        In-process backends keep ``items`` as-is.  The process backend
-        ships ``to_payload(item)`` (default: the item itself) across the
-        boundary once and rebuilds the resident state there via
-        ``from_payload`` — both must be picklable module-level functions.
-        A new scatter replaces every state of the previous epoch.
+        In-process backends keep ``items`` as-is.  The process and
+        socket backends ship ``to_payload(item)`` (default: the item
+        itself) across the boundary once and rebuild the resident state
+        there via ``from_payload`` — both must be picklable
+        module-level functions.  A new scatter replaces every state of
+        the previous epoch.
         """
         impl = self._backend_impl()
         self._epoch += 1
@@ -602,7 +908,8 @@ class WorkerPool:
         """``fn(state, *per_state_args[i])`` per resident state, in order.
 
         The command runs where the state lives (caller's process for
-        serial/thread, the owning worker for process), so only the
+        serial/thread, the owning worker process or remote host
+        otherwise), so only the
         arguments and return values cross any boundary.  States are
         mutable: a command may update its state in place and the change
         persists for subsequent commands in the same epoch.
@@ -627,7 +934,9 @@ class WorkerPool:
         For the process backend this forks the worker processes
         immediately — call it before the owning application starts any
         threads, so workers never fork from a multithreaded parent.
-        No-op for in-process backends.
+        For the socket backend it connects (and handshakes with) every
+        configured worker, so an unreachable host fails here instead of
+        inside the first solve.  No-op for in-process backends.
         """
         self._backend_impl().prestart()
 

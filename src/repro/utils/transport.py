@@ -1,0 +1,563 @@
+"""Socket transport for multi-host shard workers.
+
+The process backend's command protocol is already the shape an RPC
+needs: picklable commands down, factor-sized replies up, resident shard
+state keyed by an epoch, and **at most one in-flight message per
+direction per worker**.  This module carries that exact protocol over
+TCP so the same solve can fan out past one machine:
+
+- a tiny **framing layer** — each message is ``MAGIC ++ u64 length ++
+  pickle`` (:func:`send_frame` / :func:`recv_frame`), with a hard frame
+  size ceiling and a :class:`FrameError` for anything that does not
+  parse, so a corrupted or hostile stream fails loudly instead of
+  desynchronizing the exchange;
+- :class:`SocketConnection` — duck-types the two-method surface of a
+  :class:`multiprocessing.connection.Connection` (``send``/``recv``
+  plus ``fileno``/``close``), which lets the **same worker loop** that
+  serves the process backend (:func:`repro.utils.executor.
+  _process_worker_main`) serve remote clients unchanged;
+- :class:`WorkerServer` — ``python -m repro worker --listen HOST:PORT``:
+  accepts any number of pool clients (one thread per connection, each
+  with its own resident states) and runs the worker loop against each;
+- :class:`LocalWorkerFleet` — N localhost worker *processes* for
+  benchmarks, CI smoke jobs and fault-injection tests (it can ``kill``
+  a worker mid-solve).
+
+The client half lives in :class:`repro.utils.executor.SocketBackend`
+(``WorkerPool(backend="socket", workers=["host:port", ...])``), which
+reuses the process backend's one-in-flight exchange discipline — the
+deadlock-freedom argument carries over verbatim, with an exchange
+timeout layered on top so a lost peer surfaces as :class:`WorkerLost`
+instead of a hang.
+
+**Security**: frames are pickles, and unpickling executes code.  The
+protocol authenticates nothing and encrypts nothing — run workers only
+on trusted networks (localhost, a private cluster fabric, an SSH
+tunnel), exactly like ``multiprocessing``'s own connection machinery.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pickle
+import socket
+import struct
+import threading
+from collections.abc import Sequence
+
+#: Every frame starts with this magic so a stray client (or line noise)
+#: is rejected on the first bytes instead of being read as a length.
+MAGIC = b"RPR1"
+
+#: Frame header: magic + big-endian u64 payload length.
+_HEADER = struct.Struct(f"!{len(MAGIC)}sQ")
+
+#: Hard ceiling on a single frame (1 TiB would be absurd; 4 GiB covers
+#: any realistic shard block while bounding a hostile length field).
+MAX_FRAME_BYTES = 4 << 30
+
+#: Greeting sent by the server on accept; carried protocol version lets
+#: a future frame change fail with a clear message instead of garbage.
+PROTOCOL_VERSION = 1
+
+#: Default seconds to wait for connect + server hello.
+DEFAULT_CONNECT_TIMEOUT = 10.0
+
+#: Default seconds without any worker reply before an exchange gives
+#: up.  Generous: a sweep command legitimately computes for a while
+#: before replying.  ``WorkerPool(exchange_timeout=...)`` overrides.
+DEFAULT_EXCHANGE_TIMEOUT = 120.0
+
+#: Assumed worst-case sustained bandwidth used to *extend* a socket's
+#: configured timeout for large sends: ``sendall`` treats its timeout
+#: as a deadline for the whole transfer, so a multi-GB scatter payload
+#: on a slow link must not be cut off by a reply-wait-sized timeout
+#: while it is making honest progress.
+SEND_FLOOR_BYTES_PER_SECOND = 10 * (1 << 20)
+
+
+class FrameError(ConnectionError):
+    """The byte stream does not parse as protocol frames.
+
+    A :class:`ConnectionError` because a malformed stream cannot be
+    re-synchronized — the only safe reaction is dropping the
+    connection (the worker loop and the client pool both do).
+    """
+
+
+class PayloadDecodeError(RuntimeError):
+    """A whole, well-framed payload arrived but does not unpickle.
+
+    Deliberately *not* a :class:`FrameError`: the stream is still in
+    protocol sync (the frame was consumed completely), so the worker
+    loop replies with the error — naming the real cause, e.g. a
+    version-skewed command the receiving build does not define —
+    instead of silently dropping the session.
+    """
+
+
+class WorkerLost(RuntimeError):
+    """A remote worker died, hung past the exchange timeout, or broke
+    protocol mid-solve; the pool that raised this is permanently broken
+    (create a new pool — resident shard state on the lost worker is
+    gone)."""
+
+
+class WorkerConnectError(WorkerLost):
+    """A worker address could not be connected (refused, unreachable,
+    or no valid server hello within the connect timeout)."""
+
+
+# --------------------------------------------------------------------- #
+# Addresses
+# --------------------------------------------------------------------- #
+
+
+def parse_address(address: str) -> tuple[str, int]:
+    """``"host:port"`` → ``(host, port)``; IPv6 hosts must be bracketed.
+
+    Requiring ``[v6addr]:port`` keeps the parse unambiguous: a bare
+    ``::1`` (a port forgotten) is rejected here instead of silently
+    splitting into host ``::`` port ``1`` and failing much later at
+    connect time.
+    """
+    if not isinstance(address, str) or ":" not in address:
+        raise ValueError(
+            f"worker address must be 'host:port', got {address!r}"
+        )
+    host, _, port_text = address.rpartition(":")
+    if host.startswith("[") and host.endswith("]"):
+        host = host[1:-1]
+    elif ":" in host:
+        raise ValueError(
+            "IPv6 worker addresses must be bracketed, '[host]:port'; "
+            f"got {address!r}"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(
+            f"worker address must be 'host:port', got {address!r}"
+        ) from None
+    if not host or not 0 < port < 65536:
+        raise ValueError(
+            f"worker address must be 'host:port' with port in 1..65535, "
+            f"got {address!r}"
+        )
+    return host, port
+
+
+def validate_workers(workers) -> tuple[str, ...]:
+    """Eagerly validate a ``workers=["host:port", ...]`` list.
+
+    The socket-backend counterpart of ``validate_backend``: every layer
+    that accepts a worker list (``ShardingConfig``, the solvers, the
+    pool) funnels through here, so a typo fails at configuration time.
+    Returns the addresses as a normalized tuple.
+    """
+    if workers is None or isinstance(workers, str) or not isinstance(
+        workers, Sequence
+    ):
+        raise ValueError(
+            "backend='socket' needs workers=['host:port', ...] "
+            f"(a sequence of addresses), got {workers!r}"
+        )
+    addresses = tuple(workers)
+    if not addresses:
+        raise ValueError(
+            "backend='socket' needs at least one 'host:port' worker address"
+        )
+    for address in addresses:
+        parse_address(address)
+    return addresses
+
+
+# --------------------------------------------------------------------- #
+# Framing
+# --------------------------------------------------------------------- #
+
+
+def _recv_exact(sock: socket.socket, count: int, *, start: bool) -> bytes:
+    """Read exactly ``count`` bytes.
+
+    A clean EOF *between* frames (``start=True``, nothing read yet)
+    raises :class:`EOFError` — the orderly end of a session.  EOF in
+    the middle of a frame is a :class:`FrameError`: the peer vanished
+    mid-message.
+    """
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            if start and remaining == count:
+                raise EOFError("connection closed")
+            raise FrameError(
+                f"connection closed mid-frame ({count - remaining} of "
+                f"{count} bytes received)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_frame(sock: socket.socket, obj: object) -> None:
+    """Pickle ``obj`` and write it as one length-prefixed frame.
+
+    Enforces :data:`MAX_FRAME_BYTES` on the way *out* too — failing
+    here names the ceiling immediately, instead of shipping gigabytes
+    only for the receiver's check to drop the session with a generic
+    lost-worker error.
+    """
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte ceiling"
+        )
+    header = _HEADER.pack(MAGIC, len(payload))
+    timeout = sock.gettimeout()
+    if timeout is not None:
+        # Budget the deadline to the payload size (see
+        # SEND_FLOOR_BYTES_PER_SECOND) so a large-but-progressing
+        # transfer is not misdiagnosed as a lost worker.
+        sock.settimeout(
+            timeout + len(payload) / SEND_FLOOR_BYTES_PER_SECOND
+        )
+    try:
+        if len(payload) < (1 << 16):
+            sock.sendall(header + payload)
+        else:
+            # Shard-block payloads run to hundreds of MB; writing header
+            # and payload separately avoids materializing a second copy.
+            sock.sendall(header)
+            sock.sendall(payload)
+    finally:
+        if timeout is not None:
+            sock.settimeout(timeout)
+
+
+def recv_frame(sock: socket.socket):
+    """Read one frame and unpickle it.
+
+    Raises :class:`EOFError` on a clean close at a frame boundary,
+    :class:`FrameError` on bad magic, an absurd length or a mid-frame
+    close, :class:`PayloadDecodeError` when a whole frame's payload
+    does not unpickle, and :class:`TimeoutError` when the socket's
+    timeout elapses.
+    """
+    header = _recv_exact(sock, _HEADER.size, start=True)
+    magic, length = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise FrameError(
+            f"bad frame magic {magic!r} (expected {MAGIC!r}); the peer "
+            "is not speaking the repro worker protocol"
+        )
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES}-byte "
+            "ceiling"
+        )
+    payload = _recv_exact(sock, length, start=False)
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:
+        raise PayloadDecodeError(
+            f"frame payload does not unpickle: {exc!r}"
+        ) from exc
+
+
+class SocketConnection:
+    """A framed socket with the ``Connection`` send/recv surface.
+
+    Duck-types what :func:`repro.utils.executor._process_worker_main`
+    and the one-in-flight exchange need from a
+    :class:`multiprocessing.connection.Connection`: blocking
+    ``send(obj)`` / ``recv()`` of whole pickled messages, ``fileno()``
+    for readiness waits, and ``close()``.  A receive timeout (set via
+    ``settimeout``) surfaces as :class:`TimeoutError` from ``recv``.
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+
+    def settimeout(self, seconds: float | None) -> None:
+        self._sock.settimeout(seconds)
+
+    def fileno(self) -> int:
+        return self._sock.fileno()
+
+    def send(self, obj: object) -> None:
+        send_frame(self._sock, obj)
+
+    def recv(self):
+        return recv_frame(self._sock)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+def connect_worker(
+    address: str, timeout: float = DEFAULT_CONNECT_TIMEOUT
+) -> SocketConnection:
+    """Connect to a :class:`WorkerServer` and verify its hello.
+
+    Raises :class:`WorkerConnectError` on refusal, unreachability, a
+    missing/garbled hello within ``timeout``, or a protocol-version
+    mismatch.  On success the returned connection has **no** timeout
+    set (the exchange layer manages its own deadline).
+    """
+    host, port = parse_address(address)
+    try:
+        sock = socket.create_connection((host, port), timeout=timeout)
+    except OSError as exc:
+        raise WorkerConnectError(
+            f"cannot connect to worker {address}: {exc}"
+        ) from exc
+    conn = SocketConnection(sock)
+    try:
+        hello = conn.recv()
+    except (TimeoutError, EOFError, OSError, PayloadDecodeError) as exc:
+        conn.close()
+        raise WorkerConnectError(
+            f"no server hello from worker {address} within {timeout}s "
+            f"({exc!r}); is a repro WorkerServer listening there?"
+        ) from exc
+    if (
+        not isinstance(hello, tuple)
+        or len(hello) != 2
+        or hello[0] != "hello"
+    ):
+        conn.close()
+        raise WorkerConnectError(
+            f"worker {address} sent an invalid hello: {hello!r}"
+        )
+    if hello[1] != PROTOCOL_VERSION:
+        conn.close()
+        raise WorkerConnectError(
+            f"worker {address} speaks protocol version {hello[1]}, this "
+            f"client speaks {PROTOCOL_VERSION}"
+        )
+    conn.settimeout(None)
+    return conn
+
+
+# --------------------------------------------------------------------- #
+# Server
+# --------------------------------------------------------------------- #
+
+
+class WorkerServer:
+    """A host-resident shard worker speaking the pool protocol over TCP.
+
+    Binds at construction (``port=0`` picks a free port — read
+    ``address`` for the bound one) and serves on :meth:`serve_forever`:
+    each accepted client gets a dedicated daemon thread running the
+    *same* command loop as a process-backend worker, with its own
+    resident states — concurrent pools sharing one worker host cannot
+    see each other's shard blocks.  A client's ``shutdown`` command (or
+    disconnect) ends that session only; :meth:`close` stops the server.
+
+    Trusted networks only: the protocol is pickle (see module docstring).
+    """
+
+    #: Seconds between accept() wakeups to check for close().
+    _POLL_SECONDS = 0.2
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        family = socket.AF_INET6 if ":" in host else socket.AF_INET
+        self._listener = socket.socket(family, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen()
+        self._listener.settimeout(self._POLL_SECONDS)
+        self.host = host
+        self.port = self._listener.getsockname()[1]
+        self.address = (
+            f"[{self.host}]:{self.port}"
+            if family == socket.AF_INET6
+            else f"{self.host}:{self.port}"
+        )
+        self._closed = threading.Event()
+
+    #: Keepalive knobs for accepted sessions: probe after 60 s idle,
+    #: every 15 s, give up after 4 misses (~2 min to detect a client
+    #: host that died without sending FIN).  Without this, a session
+    #: thread would block in recv forever, pinning its resident shard
+    #: state — GB-scale leakage per unclean client death on a
+    #: long-running worker.
+    _KEEPALIVE = (
+        ("TCP_KEEPIDLE", 60),
+        ("TCP_KEEPINTVL", 15),
+        ("TCP_KEEPCNT", 4),
+    )
+
+    def _serve_client(self, sock: socket.socket) -> None:
+        from repro.utils.executor import _process_worker_main
+
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_KEEPALIVE, 1)
+        for name, value in self._KEEPALIVE:
+            if hasattr(socket, name):  # Linux names; best-effort elsewhere
+                sock.setsockopt(
+                    socket.IPPROTO_TCP, getattr(socket, name), value
+                )
+        conn = SocketConnection(sock)
+        try:
+            conn.send(("hello", PROTOCOL_VERSION))
+        except OSError:
+            conn.close()
+            return
+        # The process-backend worker loop, verbatim: install/run/map/
+        # discard against per-session resident state, errors forwarded,
+        # EOF/OSError (FrameError included) ends the session.
+        _process_worker_main(conn)
+
+    def serve_forever(self) -> None:
+        """Accept and serve clients until :meth:`close` (thread-safe)."""
+        try:
+            while not self._closed.is_set():
+                try:
+                    sock, _ = self._listener.accept()
+                except TimeoutError:
+                    continue
+                except OSError:
+                    break  # listener closed under us
+                threading.Thread(
+                    target=self._serve_client,
+                    args=(sock,),
+                    name=f"repro-worker-client-{self.port}",
+                    daemon=True,
+                ).start()
+        finally:
+            self._listener.close()
+
+    def close(self) -> None:
+        """Stop accepting; in-flight client sessions finish on their own."""
+        self._closed.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+
+def _fleet_worker_main(conn, host: str) -> None:
+    """Child entry point of :class:`LocalWorkerFleet`: bind, report, serve."""
+    server = WorkerServer(host=host, port=0)
+    conn.send(server.address)
+    conn.close()
+    server.serve_forever()
+
+
+class LocalWorkerFleet:
+    """N localhost :class:`WorkerServer` *processes*, for tests/benches.
+
+    Each worker is a separate OS process (so the socket backend's
+    parallelism and fault modes are the real thing), bound to an
+    OS-assigned port reported back through a pipe — start-method
+    agnostic, no inherited sockets.  Use as a context manager;
+    :meth:`kill` hard-terminates one worker for fault-injection tests.
+    """
+
+    def __init__(self, count: int, host: str = "127.0.0.1") -> None:
+        import multiprocessing as mp
+
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        ctx = mp.get_context()
+        self.processes = []
+        self.addresses: tuple[str, ...] = ()
+        addresses = []
+        try:
+            for _ in range(count):
+                parent_conn, child_conn = ctx.Pipe()
+                process = ctx.Process(
+                    target=_fleet_worker_main,
+                    args=(child_conn, host),
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                if not parent_conn.poll(30):
+                    raise RuntimeError(
+                        "local worker did not report its address within 30s"
+                    )
+                addresses.append(parent_conn.recv())
+                parent_conn.close()
+                self.processes.append(process)
+        except BaseException:
+            self.close()
+            raise
+        self.addresses = tuple(addresses)
+
+    def kill(self, index: int) -> None:
+        """Hard-kill worker ``index`` (SIGTERM), as a host failure would."""
+        process = self.processes[index]
+        process.terminate()
+        process.join(timeout=10)
+
+    def close(self) -> None:
+        for process in self.processes:
+            if process.is_alive():
+                process.terminate()
+        for process in self.processes:
+            process.join(timeout=10)
+
+    def __enter__(self) -> "LocalWorkerFleet":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+# --------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------- #
+
+
+def build_worker_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro worker",
+        description=(
+            "Run a shard worker that serves WorkerPool(backend='socket') "
+            "clients.  The protocol is unauthenticated pickle — bind to "
+            "localhost or a trusted network only."
+        ),
+    )
+    parser.add_argument(
+        "--listen",
+        default="127.0.0.1:0",
+        help=(
+            "HOST:PORT to bind (default 127.0.0.1:0 = loopback, "
+            "OS-assigned port, printed at startup)"
+        ),
+    )
+    return parser
+
+
+def worker_main(argv: Sequence[str] | None = None) -> int:
+    """``python -m repro worker --listen HOST:PORT``."""
+    args = build_worker_parser().parse_args(argv)
+    # Unlike client addresses, a listen address may use port 0 (bind an
+    # OS-assigned port); parse it leniently here.
+    host, _, port_text = args.listen.rpartition(":")
+    try:
+        port = int(port_text)
+        if not host or not 0 <= port < 65536:
+            raise ValueError
+    except ValueError:
+        raise SystemExit(
+            f"--listen must be HOST:PORT, got {args.listen!r}"
+        ) from None
+    server = WorkerServer(host=host.strip("[]"), port=port)
+    print(f"repro worker listening on {server.address}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0

@@ -49,3 +49,28 @@ def graph(corpus, shared_vectorizer, lexicon):
 @pytest.fixture()
 def rng() -> np.random.Generator:
     return np.random.default_rng(123)
+
+
+@pytest.fixture(scope="session")
+def socket_workers():
+    """Addresses of live socket-backend shard workers.
+
+    ``REPRO_SOCKET_WORKERS`` (comma-separated ``host:port``) points the
+    suite at externally launched ``python -m repro worker`` servers —
+    that is how the CI socket smoke job exercises the real two-process
+    topology.  Without it, a session-scoped
+    :class:`~repro.utils.transport.LocalWorkerFleet` is spawned on
+    localhost.
+    """
+    import os
+
+    env = os.environ.get("REPRO_SOCKET_WORKERS")
+    if env:
+        yield tuple(
+            address.strip() for address in env.split(",") if address.strip()
+        )
+        return
+    from repro.utils.transport import LocalWorkerFleet
+
+    with LocalWorkerFleet(2) as fleet:
+        yield fleet.addresses

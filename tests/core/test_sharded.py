@@ -121,66 +121,129 @@ class TestMultiShardDeterminism:
             assert relative < 0.20, f"n_shards={n_shards}: {relative:.2%}"
 
 
+def _backend_kwargs(request, backend: str) -> dict:
+    """Solver kwargs for one backend cell of the determinism matrix.
+
+    The socket cell talks to the session worker fleet (or the servers
+    named by ``REPRO_SOCKET_WORKERS`` in the CI smoke job); the fixture
+    is resolved lazily so the other cells never spawn workers.
+    """
+    if backend == "socket":
+        return {
+            "backend": "socket",
+            "workers": request.getfixturevalue("socket_workers"),
+        }
+    return {"backend": backend, "max_workers": 2}
+
+
 class TestBackendDeterminism:
     """Same seed ⇒ bit-identical factors on every execution backend.
 
-    The process backend ships shard blocks once, runs the sweep commands
-    in worker processes and returns only ``l×k`` pieces — none of which
-    may change a single floating-point value relative to the in-process
-    backends.
+    The process backend ships shard blocks once, runs the sweep
+    commands in worker processes and returns only ``l×k`` pieces; the
+    socket backend carries the same protocol over TCP to workers that
+    may live on other hosts — none of which may change a single
+    floating-point value (factors *or* objective traces) relative to
+    the in-process backends.
     """
 
-    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    BACKENDS = ["serial", "thread", "process", "socket"]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
     @pytest.mark.parametrize("n_shards", [1, 2, 4])
-    def test_offline_backends_bitwise_equal(self, graph, backend, n_shards):
+    def test_offline_backends_bitwise_equal(
+        self, graph, backend, n_shards, request
+    ):
         reference = ShardedTriClustering(
             seed=7, max_iterations=8, n_shards=n_shards
         ).fit(graph)
         run = ShardedTriClustering(
             seed=7, max_iterations=8, n_shards=n_shards,
-            backend=backend, max_workers=2,
+            **_backend_kwargs(request, backend),
         ).fit(graph)
         assert_factors_equal(reference.factors, run.factors)
         assert reference.history.totals == run.history.totals
         assert reference.iterations == run.iterations
 
-    def test_online_stream_process_backend_bitwise(
-        self, corpus, shared_vectorizer, lexicon
+    #: Reference online trajectories per shard count, computed once on
+    #: the default backend and compared against every other cell.
+    _ONLINE_REFERENCE: dict = {}
+
+    def _online_reference(
+        self, n_shards, corpus, shared_vectorizer, lexicon
+    ) -> dict:
+        if n_shards not in self._ONLINE_REFERENCE:
+            solver = ShardedOnlineTriClustering(
+                seed=7, max_iterations=6, n_shards=n_shards,
+                track_history=True,
+            )
+            steps = []
+            for snapshot in SnapshotStream(corpus, interval_days=30):
+                graph = build_tripartite_graph(
+                    snapshot.corpus,
+                    vectorizer=shared_vectorizer,
+                    lexicon=lexicon,
+                )
+                result = solver.partial_fit(graph)
+                steps.append(
+                    {
+                        "factors": {
+                            name: getattr(result.factors, name).copy()
+                            for name in FACTOR_NAMES
+                        },
+                        "totals": list(result.history.totals),
+                        "iterations": result.iterations,
+                    }
+                )
+            self._ONLINE_REFERENCE[n_shards] = {
+                "steps": steps,
+                "labels": solver.user_sentiment_labels(),
+            }
+        return self._ONLINE_REFERENCE[n_shards]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("n_shards", [1, 2, 4])
+    def test_online_backends_bitwise_equal(
+        self, corpus, shared_vectorizer, lexicon, backend, n_shards, request
     ):
-        solvers = {
-            "thread": ShardedOnlineTriClustering(
-                seed=7, max_iterations=6, n_shards=3
-            ),
-            "process": ShardedOnlineTriClustering(
-                seed=7, max_iterations=6, n_shards=3,
-                backend="process", max_workers=2,
-            ),
-        }
-        for snapshot in SnapshotStream(corpus, interval_days=30):
+        """The cross-backend property, online: every backend × shard
+        count replays the reference Sp/Su/Sf/Hp/Hu trajectory and the
+        objective trace bit for bit across a whole snapshot stream."""
+        reference = self._online_reference(
+            n_shards, corpus, shared_vectorizer, lexicon
+        )
+        run = ShardedOnlineTriClustering(
+            seed=7, max_iterations=6, n_shards=n_shards, track_history=True,
+            **_backend_kwargs(request, backend),
+        )
+        for expected, snapshot in zip(
+            reference["steps"], SnapshotStream(corpus, interval_days=30)
+        ):
             graph = build_tripartite_graph(
                 snapshot.corpus, vectorizer=shared_vectorizer, lexicon=lexicon
             )
-            results = {
-                name: solver.partial_fit(graph)
-                for name, solver in solvers.items()
-            }
-            assert_factors_equal(
-                results["thread"].factors, results["process"].factors
-            )
-            assert (
-                results["thread"].history.totals
-                == results["process"].history.totals
-            )
-        assert (
-            solvers["thread"].user_sentiment_labels()
-            == solvers["process"].user_sentiment_labels()
-        )
+            result = run.partial_fit(graph)
+            for name in FACTOR_NAMES:
+                np.testing.assert_array_equal(
+                    getattr(result.factors, name),
+                    expected["factors"][name],
+                    err_msg=name,
+                )
+            assert list(result.history.totals) == expected["totals"]
+            assert result.iterations == expected["iterations"]
+        assert run.user_sentiment_labels() == reference["labels"]
 
     def test_rejects_unknown_backend(self):
         with pytest.raises(ValueError, match="backend"):
             ShardedTriClustering(backend="cluster")
         with pytest.raises(ValueError, match="backend"):
             ShardedOnlineTriClustering(backend="gpu")
+
+    def test_socket_backend_requires_workers(self):
+        with pytest.raises(ValueError, match="worker"):
+            ShardedTriClustering(backend="socket")
+        with pytest.raises(ValueError, match="socket"):
+            ShardedOnlineTriClustering(workers=["127.0.0.1:7500"])
 
 
 class TestAutoShardCount:

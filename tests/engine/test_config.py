@@ -1,6 +1,5 @@
-"""EngineConfig: validation, round-trip, legacy-kwargs shim."""
+"""EngineConfig: validation, round-trip, socket workers, shim removal."""
 
-import numpy as np
 import pytest
 
 from repro.engine import (
@@ -113,75 +112,59 @@ class TestRoundTrip:
         assert config.sharding.n_shards == 1  # original untouched
 
 
-class TestLegacyKwargs:
-    def test_flat_kwargs_map_onto_sections(self):
-        config = EngineConfig.from_legacy_kwargs(
-            num_classes=3,
-            seed=7,
-            classify_batch_size=64,
-            cache_size=128,
-            n_shards=2,
-            partitioner="greedy",
-            backend="serial",
-            max_workers=2,
-            max_iterations=9,
-            alpha=0.5,
-            state_smoothing=0.3,
-        )
-        assert config.serving.classify_batch_size == 64
-        assert config.serving.cache_size == 128
-        assert config.sharding == ShardingConfig(
-            n_shards=2, partitioner="greedy", backend="serial", max_workers=2
-        )
-        assert config.solver.max_iterations == 9
-        assert config.solver.alpha == 0.5
-        assert config.solver.state_smoothing == 0.3
+class TestSocketWorkers:
+    def test_socket_backend_requires_workers(self):
+        with pytest.raises(ValueError, match="workers"):
+            EngineConfig(sharding={"backend": "socket"})
+        with pytest.raises(ValueError, match="worker"):
+            EngineConfig(sharding={"backend": "socket", "workers": ()})
 
-    def test_unknown_kwarg_rejected(self):
-        with pytest.raises(TypeError, match="sharding_level"):
-            EngineConfig.from_legacy_kwargs(sharding_level=3)
+    def test_bad_address_rejected_eagerly(self):
+        for bad in (["nohost"], ["host:notaport"], ["host:0"], "host:1"):
+            with pytest.raises(ValueError):
+                EngineConfig(
+                    sharding={"backend": "socket", "workers": bad}
+                )
 
-    def test_engine_accepts_legacy_kwargs_with_warning(self, lexicon):
-        with pytest.warns(DeprecationWarning, match="EngineConfig"):
-            engine = StreamingSentimentEngine(
+    def test_workers_without_socket_backend_rejected(self):
+        with pytest.raises(ValueError, match="socket"):
+            EngineConfig(sharding={"workers": ["127.0.0.1:7500"]})
+
+    def test_workers_normalized_and_round_trip_json(self):
+        import json
+
+        config = EngineConfig(
+            sharding={
+                "backend": "socket",
+                "n_shards": 2,
+                "workers": ["10.0.0.5:7500", "10.0.0.6:7500"],
+            }
+        )
+        assert config.sharding.workers == ("10.0.0.5:7500", "10.0.0.6:7500")
+        # JSON turns the tuple into a list; from_dict re-normalizes so
+        # a checkpoint reload compares equal to the live config.
+        payload = json.loads(json.dumps(config.to_dict()))
+        assert payload["sharding"]["workers"] == [
+            "10.0.0.5:7500", "10.0.0.6:7500",
+        ]
+        assert EngineConfig.from_dict(payload) == config
+
+
+class TestLegacyShimRemoved:
+    """The flat-kwargs constructor completed its deprecation cycle."""
+
+    def test_flat_kwargs_raise_type_error(self, lexicon):
+        with pytest.raises(TypeError):
+            StreamingSentimentEngine(
                 lexicon=lexicon, seed=7, max_iterations=5, n_shards=2
             )
-        assert engine.config.solver.max_iterations == 5
-        assert engine.config.sharding.n_shards == 2
 
-    def test_engine_accepts_legacy_positional_lexicon(self, lexicon):
-        with pytest.warns(DeprecationWarning, match="positional"):
-            engine = StreamingSentimentEngine(lexicon)
-        assert engine.builder.lexicon is lexicon
+    def test_positional_lexicon_raises_with_pointer(self, lexicon):
+        with pytest.raises(TypeError, match="lexicon="):
+            StreamingSentimentEngine(lexicon)
 
-    def test_config_and_legacy_kwargs_conflict(self):
-        with pytest.raises(ValueError, match="not both"):
-            StreamingSentimentEngine(EngineConfig(), max_iterations=5)
-
-    def test_legacy_engine_matches_config_engine_bitwise(
-        self, corpus, lexicon
-    ):
-        from repro.data.stream import iter_tweet_batches
-
-        batches = list(iter_tweet_batches(corpus, interval_days=45))
-        with pytest.warns(DeprecationWarning):
-            legacy = StreamingSentimentEngine(
-                lexicon=lexicon, seed=7, max_iterations=6
-            )
-        typed = StreamingSentimentEngine(
-            EngineConfig(seed=7, solver={"max_iterations": 6}),
-            lexicon=lexicon,
-        )
-        for engine in (legacy, typed):
-            for _, _, tweets in batches:
-                engine.ingest(tweets, users=corpus.profiles_for(tweets))
-                engine.advance_snapshot()
-        for name in ("sf", "sp", "su", "hp", "hu"):
-            np.testing.assert_array_equal(
-                getattr(legacy.factors, name),
-                getattr(typed.factors, name),
-                err_msg=name,
-            )
+    def test_from_legacy_kwargs_gone(self):
+        assert not hasattr(EngineConfig, "from_legacy_kwargs")
 
 
 class TestEngineConfigPlumbing:

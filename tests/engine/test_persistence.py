@@ -350,6 +350,97 @@ class TestGuards:
             engine.save(tmp_path / "ckpt")
 
 
+class TestSocketBackendCheckpoints:
+    def test_socket_backend_round_trips_and_continues_bitwise(
+        self, corpus, lexicon, batches, tmp_path, socket_workers
+    ):
+        """Save mid-stream under backend="socket", reload (the restored
+        engine reconnects to the workers named in the checkpointed
+        config), continue — factors bit-identical to an uninterrupted
+        socket run."""
+        sharding = {
+            "n_shards": 2,
+            "backend": "socket",
+            "workers": socket_workers,
+        }
+        uninterrupted = feed(
+            StreamingSentimentEngine(
+                config(8, sharding=dict(sharding)), lexicon=lexicon
+            ),
+            corpus,
+            batches[:3],
+        )
+        engine = feed(
+            StreamingSentimentEngine(
+                config(8, sharding=dict(sharding)), lexicon=lexicon
+            ),
+            corpus,
+            batches[:2],
+        )
+        engine.save(tmp_path / "ckpt")
+        state = json.loads((tmp_path / "ckpt" / "state.json").read_text())
+        saved_sharding = state["engine"]["config"]["sharding"]
+        assert saved_sharding["backend"] == "socket"
+        assert saved_sharding["workers"] == list(socket_workers)
+
+        loaded = StreamingSentimentEngine.load(tmp_path / "ckpt")
+        assert loaded.backend == "socket"
+        assert loaded.config.sharding.workers == tuple(socket_workers)
+        assert loaded._solver_pool is not None
+        assert loaded._solver_pool.backend == "socket"
+        feed(loaded, corpus, batches[2:3])
+        for name in ("sf", "sp", "su", "hp", "hu"):
+            np.testing.assert_array_equal(
+                getattr(uninterrupted.factors, name),
+                getattr(loaded.factors, name),
+                err_msg=name,
+            )
+        assert uninterrupted.user_sentiments() == loaded.user_sentiments()
+        uninterrupted.close()
+        engine.close()
+        loaded.close()
+
+    def test_socket_checkpoint_loads_on_any_backend(
+        self, corpus, lexicon, batches, tmp_path, socket_workers
+    ):
+        """Backends are execution detail: rewriting the checkpointed
+        backend to "thread" (ops move a stream off the worker fleet)
+        drops the workers list and changes nothing in the numbers."""
+        engine = feed(
+            StreamingSentimentEngine(
+                config(
+                    6,
+                    sharding={
+                        "n_shards": 2,
+                        "backend": "socket",
+                        "workers": socket_workers,
+                    },
+                ),
+                lexicon=lexicon,
+            ),
+            corpus,
+            batches[:2],
+        )
+        engine.save(tmp_path / "ckpt")
+        state_path = tmp_path / "ckpt" / "state.json"
+        state = json.loads(state_path.read_text())
+        state["engine"]["config"]["sharding"]["backend"] = "thread"
+        state["engine"]["config"]["sharding"]["workers"] = None
+        state_path.write_text(json.dumps(state))
+        loaded = StreamingSentimentEngine.load(tmp_path / "ckpt")
+        assert loaded.backend == "thread"
+        feed(engine, corpus, batches[2:3])
+        feed(loaded, corpus, batches[2:3])
+        for name in ("sf", "sp", "su", "hp", "hu"):
+            np.testing.assert_array_equal(
+                getattr(engine.factors, name),
+                getattr(loaded.factors, name),
+                err_msg=name,
+            )
+        engine.close()
+        loaded.close()
+
+
 class TestProcessBackendCheckpoints:
     def test_process_backend_round_trips_and_continues_bitwise(
         self, corpus, lexicon, batches, tmp_path

@@ -274,6 +274,72 @@ class TestProcessBackendEngine:
         assert all(not p.is_alive() for p in processes)
 
 
+class TestSocketBackendEngine:
+    """backend="socket": remote-worker shard solve behind the same API."""
+
+    def test_socket_engine_builds_dedicated_solver_pool(
+        self, lexicon, socket_workers
+    ):
+        with StreamingSentimentEngine(
+            config(n_shards=2, backend="socket", workers=socket_workers),
+            lexicon=lexicon,
+        ) as engine:
+            assert isinstance(engine.solver, ShardedOnlineTriClustering)
+            assert engine.backend == "socket"
+            assert engine.solver.workers == tuple(socket_workers)
+            # Classify stays on the thread pool; the solve gets its own
+            # socket pool whose connections persist across snapshots.
+            assert engine._solver_pool is not None
+            assert engine._solver_pool.backend == "socket"
+            assert engine._solver_pool.active  # connected eagerly
+            assert engine.solver.pool is engine._solver_pool
+            assert engine._pool.backend == "thread"
+
+    def test_unreachable_worker_fails_at_construction(self, lexicon):
+        import socket as socket_module
+
+        probe = socket_module.socket()
+        probe.bind(("127.0.0.1", 0))
+        dead = "127.0.0.1:%d" % probe.getsockname()[1]
+        probe.close()
+        from repro.utils.transport import WorkerConnectError
+
+        with pytest.raises(WorkerConnectError):
+            StreamingSentimentEngine(
+                config(n_shards=2, backend="socket", workers=[dead]),
+                lexicon=lexicon,
+            )
+
+    def test_socket_engine_matches_thread_engine_bitwise(
+        self, corpus, lexicon, batches, socket_workers
+    ):
+        texts = [t.text for t in corpus.tweets[:32]]
+        with StreamingSentimentEngine(
+            config(8, n_shards=2), lexicon=lexicon
+        ) as thread_engine, StreamingSentimentEngine(
+            config(8, n_shards=2, backend="socket", workers=socket_workers),
+            lexicon=lexicon,
+        ) as socket_engine:
+            feed(thread_engine, corpus, batches[:3])
+            feed(socket_engine, corpus, batches[:3])
+            for name in ("sf", "sp", "su", "hp", "hu"):
+                np.testing.assert_array_equal(
+                    getattr(thread_engine.factors, name),
+                    getattr(socket_engine.factors, name),
+                    err_msg=name,
+                )
+            np.testing.assert_array_equal(
+                thread_engine.classify(texts), socket_engine.classify(texts)
+            )
+            assert (
+                thread_engine.user_sentiments()
+                == socket_engine.user_sentiments()
+            )
+            # Worker connections persisted across snapshots (one pool,
+            # re-scattered under a fresh epoch per snapshot).
+            assert socket_engine._solver_pool.epoch >= 3
+
+
 class TestAutoShardEngine:
     def test_auto_builds_sharded_solver_and_resolves_per_snapshot(
         self, corpus, lexicon, batches

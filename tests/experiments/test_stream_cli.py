@@ -63,9 +63,32 @@ class TestParser:
                 ["tweets.jsonl", "--n-shards", "many"]
             )
 
+    def test_socket_backend_flags(self):
+        args = build_stream_parser().parse_args(
+            [
+                "tweets.jsonl",
+                "--backend", "socket",
+                "--workers", "10.0.0.5:7500, 10.0.0.6:7500",
+            ]
+        )
+        assert args.backend == "socket"
+        from repro.experiments.stream_cli import config_from_args
+
+        config = config_from_args(args)
+        assert config.sharding.backend == "socket"
+        assert config.sharding.workers == ("10.0.0.5:7500", "10.0.0.6:7500")
+        # Missing/malformed workers fail before any data is read.
+        args = build_stream_parser().parse_args(
+            ["tweets.jsonl", "--backend", "socket"]
+        )
+        with pytest.raises(ValueError, match="worker"):
+            config_from_args(args)
+
     def test_listed_by_main(self, capsys):
         assert main(["list"]) == 0
-        assert "stream" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "stream" in out
+        assert "worker" in out
 
 
 class TestExecution:
@@ -116,6 +139,26 @@ class TestExecution:
                     "--n-shards", "2",
                     "--backend", "process",
                     "--max-workers", "2",
+                    "--lexicon", str(lexicon_file),
+                    "--max-iterations", "4",
+                ]
+            )
+            == 0
+        )
+        assert "snapshot 0:" in capsys.readouterr().out
+
+    def test_socket_backend_run_through_main(
+        self, corpus_file, lexicon_file, capsys, socket_workers
+    ):
+        assert (
+            main(
+                [
+                    "stream",
+                    str(corpus_file),
+                    "--snapshot-size", "400",
+                    "--n-shards", "2",
+                    "--backend", "socket",
+                    "--workers", ",".join(socket_workers),
                     "--lexicon", str(lexicon_file),
                     "--max-iterations", "4",
                 ]

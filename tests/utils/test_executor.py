@@ -91,15 +91,44 @@ class TestWorkerPoolThread:
         with pytest.raises(ValueError, match="backend"):
             WorkerPool(backend="cluster")
 
+    def test_socket_backend_requires_workers(self):
+        with pytest.raises(ValueError, match="workers"):
+            WorkerPool(backend="socket")
+        with pytest.raises(ValueError, match="worker"):
+            WorkerPool(backend="socket", workers=[])
+
+    def test_workers_rejected_without_socket_backend(self):
+        with pytest.raises(ValueError, match="socket"):
+            WorkerPool(backend="thread", workers=["127.0.0.1:7500"])
+
     def test_default_worker_count_positive(self):
         assert default_worker_count() >= 1
         assert WorkerPool().max_workers == default_worker_count()
 
     def test_backend_registry(self):
-        assert BACKENDS == ("serial", "thread", "process")
+        assert BACKENDS == ("serial", "thread", "process", "socket")
 
 
-@pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+@pytest.fixture(scope="module")
+def worker_addresses():
+    """Two in-process WorkerServers (threads) for socket-backend runs."""
+    from repro.utils.transport import WorkerServer
+
+    servers = [WorkerServer() for _ in range(2)]
+    threads = [
+        threading.Thread(target=server.serve_forever, daemon=True)
+        for server in servers
+    ]
+    for thread in threads:
+        thread.start()
+    yield tuple(server.address for server in servers)
+    for server in servers:
+        server.close()
+    for thread in threads:
+        thread.join(timeout=5)
+
+
+@pytest.mark.parametrize("backend", ["serial", "thread", "process", "socket"])
 class TestResidentState:
     """The scatter/run_resident contract must hold on every backend.
 
@@ -107,8 +136,16 @@ class TestResidentState:
     they pickle by reference across the process boundary.
     """
 
+    @pytest.fixture(autouse=True)
+    def _socket_workers(self, request, backend):
+        self.workers = (
+            request.getfixturevalue("worker_addresses")
+            if backend == "socket"
+            else None
+        )
+
     def make_pool(self, backend):
-        return WorkerPool(max_workers=2, backend=backend)
+        return WorkerPool(max_workers=2, backend=backend, workers=self.workers)
 
     def test_states_are_resident_and_mutable(self, backend):
         with self.make_pool(backend) as pool:
@@ -127,7 +164,7 @@ class TestResidentState:
         with self.make_pool(backend) as pool:
             pool.scatter([(1,), (2,)], to_payload=tuple, from_payload=list)
             states = pool.run_resident(copy.copy, [(), ()])
-            if backend == "process":
+            if backend in ("process", "socket"):
                 # Rebuilt worker-side via from_payload.
                 assert states == [[1], [2]]
             else:
@@ -141,6 +178,28 @@ class TestResidentState:
             assert epoch == 2
             assert pool.resident_count == 2
             assert pool.run_resident(copy.copy, [(), ()]) == [[7], [8]]
+
+    def test_unpicklable_argument_raises_without_desync(self, backend):
+        """A send-side serialization failure must drain in-flight
+        replies and leave the pool usable — never leave stale replies
+        for the next exchange to mis-associate."""
+        with self.make_pool(backend) as pool:
+            pool.scatter([[1], [2]])
+            if backend in ("process", "socket"):
+                with pytest.raises(Exception) as excinfo:
+                    # Second state's argument cannot cross the boundary.
+                    pool.run_resident(
+                        list.append, [(10,), (lambda: None,)]
+                    )
+                assert not isinstance(excinfo.value, SystemExit)
+                # The channel stayed in protocol sync: the next call
+                # returns the right states for the right indices.
+                states = pool.run_resident(copy.copy, [(), ()])
+                assert states[0][0] == 1
+                assert states[1] == [2]
+            else:
+                # In-process backends have no boundary; the call works.
+                pool.run_resident(list.append, [(10,), (lambda: None,)])
 
     def test_run_resident_without_scatter_raises(self, backend):
         with self.make_pool(backend) as pool:
@@ -228,9 +287,16 @@ def _worker_pid_probe(_item):
 
 
 class TestLifecycleHardening:
-    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
-    def test_discard_resident_releases_states(self, backend):
-        with WorkerPool(max_workers=2, backend=backend) as pool:
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process", "socket"])
+    def test_discard_resident_releases_states(
+        self, backend, request
+    ):
+        workers = (
+            request.getfixturevalue("worker_addresses")
+            if backend == "socket"
+            else None
+        )
+        with WorkerPool(max_workers=2, backend=backend, workers=workers) as pool:
             pool.scatter([[1], [2]])
             pool.discard_resident()
             assert pool.resident_count == 0
