@@ -47,8 +47,14 @@ from repro.data.stream import iter_tweet_batches
 from repro.engine.config import EngineConfig
 from repro.engine.streaming import StreamingSentimentEngine
 from repro.experiments.datasets import load_dataset
-from repro.experiments.reporting import format_table, results_dir, write_result
+from repro.experiments.reporting import (
+    describe_host,
+    format_table,
+    results_dir,
+    write_result,
+)
 from repro.utils.executor import default_worker_count
+from repro.utils.threads import host_info
 
 #: Same snapshotting as bench_streaming: 7-day windows over the 122-day
 #: synthetic campaign → ~17 non-empty snapshots.
@@ -182,7 +188,12 @@ def run_sharding_comparison(config=None, backends=None) -> dict:
     return dict(
         interval_days=INTERVAL_DAYS,
         scale=config.scale,
+        # Kept for readers of older result files; ``host`` is the real
+        # provenance record (``default_worker_count`` is the *affinity*
+        # count, which on containerized runners is neither the physical
+        # nor the logical core count).
         cpu_count=default_worker_count(),
+        host=host_info(),
         shard_counts=list(SHARD_COUNTS),
         backends=list(backends),
         runs=runs,
@@ -257,7 +268,7 @@ def test_bench_sharding(benchmark):
         ],
         rows,
         title=(
-            f"Sharded streaming solve, {outcome['cpu_count']} cores "
+            f"Sharded streaming solve, {describe_host(outcome['host'])} "
             f"(scale {outcome['scale']})"
         ),
     )

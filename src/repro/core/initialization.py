@@ -26,20 +26,29 @@ def random_factors(
     num_features: int,
     num_classes: int,
     seed: RandomState = None,
+    dtype: np.dtype | None = None,
 ) -> FactorSet:
-    """Uniform-random strictly positive factors (Algorithm 1, line 1)."""
+    """Uniform-random strictly positive factors (Algorithm 1, line 1).
+
+    Draws always happen in float64 so the RNG stream — and therefore the
+    sampled values — do not depend on the solver dtype; ``dtype`` (the
+    opt-in float32 mode) only casts the result.  A float32 run thus
+    starts from the rounded float64 initialization, which is what the
+    float32-tracks-float64 tolerance tests rely on.
+    """
     rng = spawn_rng(seed)
 
     def uniform(rows: int, cols: int) -> np.ndarray:
         return rng.uniform(0.01, 1.0, size=(rows, cols))
 
-    return FactorSet(
+    factors = FactorSet(
         sf=uniform(num_features, num_classes),
         sp=uniform(num_tweets, num_classes),
         su=uniform(num_users, num_classes),
         hp=uniform(num_classes, num_classes),
         hu=uniform(num_classes, num_classes),
     )
+    return factors if dtype is None else factors.astype(dtype)
 
 
 def _near_identity(num_classes: int, rng: np.random.Generator) -> np.ndarray:
@@ -64,6 +73,7 @@ def lexicon_seeded_factors(
     sf0: np.ndarray,
     seed: RandomState = None,
     jitter: float = 0.01,
+    dtype: np.dtype | None = None,
 ) -> FactorSet:
     """Random factors with ``Sf`` seeded from the lexicon prior ``Sf0``.
 
@@ -83,7 +93,7 @@ def lexicon_seeded_factors(
     )
     factors.hp = _near_identity(num_classes, rng)
     factors.hu = _near_identity(num_classes, rng)
-    return factors
+    return factors if dtype is None else factors.astype(dtype)
 
 
 def warm_started_factors(
@@ -92,6 +102,7 @@ def warm_started_factors(
     sf_init: np.ndarray,
     su_init: np.ndarray | None = None,
     seed: RandomState = None,
+    dtype: np.dtype | None = None,
 ) -> FactorSet:
     """Online warm start (Algorithm 2, lines 1-2).
 
@@ -113,4 +124,4 @@ def warm_started_factors(
                 f"su_init shape {su_init.shape} != ({num_users}, {num_classes})"
             )
         factors.su = np.maximum(su_init, _WARM_FLOOR)
-    return factors
+    return factors if dtype is None else factors.astype(dtype)

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.core.convergence import ConvergenceHistory
 from repro.core.initialization import lexicon_seeded_factors, random_factors
+from repro.core.kernels import resolve_dtype, resolve_kernel, validate_kernel
 from repro.core.objective import (
     ObjectiveStatics,
     ObjectiveWeights,
@@ -86,6 +87,14 @@ class OfflineTriClustering:
         ``"projector"`` (stable Ding-style closed form, default) or
         ``"lagrangian"`` (the paper's literal Δ-split derivation form);
         see :mod:`repro.core.updates`.
+    kernel:
+        ``"auto"`` (numba when importable, NumPy otherwise), ``"numpy"``,
+        ``"numba"``, or a :class:`~repro.core.kernels.Kernel` instance.
+        Kernels are bit-compatible in float64, so this affects speed only.
+    dtype:
+        ``"float64"`` (default, bit-identity guarantees) or ``"float32"``
+        (opt-in bandwidth-saving mode; results track float64 within a
+        documented tolerance — see ``tests/core/test_kernels.py``).
     """
 
     def __init__(
@@ -99,6 +108,8 @@ class OfflineTriClustering:
         seed: RandomState = None,
         track_history: bool = True,
         update_style: str = "projector",
+        kernel: object = "auto",
+        dtype: str = "float64",
     ) -> None:
         if num_classes < 2:
             raise ValueError(f"num_classes must be >= 2, got {num_classes}")
@@ -116,6 +127,10 @@ class OfflineTriClustering:
         if update_style not in ("projector", "lagrangian"):
             raise ValueError(f"unknown update_style: {update_style!r}")
         self.update_style = update_style
+        validate_kernel(kernel)
+        self.kernel = kernel
+        self.dtype = dtype
+        self._np_dtype = resolve_dtype(dtype)
 
     # ------------------------------------------------------------------ #
 
@@ -162,6 +177,8 @@ class OfflineTriClustering:
     ) -> TriClusteringResult:
         """Run Algorithm 1 on a :class:`TripartiteGraph`."""
         rng = spawn_rng(self.seed)
+        kernel = resolve_kernel(self.kernel)
+        graph = graph.astype(self._np_dtype)  # no-op in the float64 default
         xp, xu, xr = graph.xp, graph.xu, graph.xr
         gu = graph.user_graph.adjacency
         du = graph.user_graph.degree_matrix
@@ -169,25 +186,30 @@ class OfflineTriClustering:
         sf0 = graph.sf0
 
         self._validate_prior(graph)
-        factors = self._initial_factors(graph, rng, initial_factors)
+        factors = self._initial_factors(graph, rng, initial_factors).astype(
+            self._np_dtype
+        )
 
         history = ConvergenceHistory()
         converged = False
         iterations_run = 0
-        cache = SweepCache(xp, xu)
         # ‖X‖² and the CSR transposes are fixed for the whole fit but the
         # objective is evaluated every sweep; bundling them once removes
         # the dominant constant from each evaluation without changing a
         # single floating-point value (see ObjectiveStatics).
         statics = ObjectiveStatics.from_matrices(xp, xu, xr)
+        # The sweep cache shares the statics' CSR transposes so the
+        # Sf-update products stream row-wise without re-materializing.
+        cache = SweepCache(xp, xu, xr, xp_T=statics.xp_T, xu_T=statics.xu_T)
         for iteration in range(self.max_iterations):
             # Algorithm 1 order: Sp, Hp, Su, Hu, Sf.
             factors.sp = update_sp(
                 factors.sp, factors.sf, factors.hp, factors.su, xp, xr,
-                style=self.update_style, cache=cache,
+                style=self.update_style, cache=cache, kernel=kernel,
             )
             factors.hp = update_hp(
-                factors.hp, factors.sp, factors.sf, xp, cache=cache
+                factors.hp, factors.sp, factors.sf, xp, cache=cache,
+                kernel=kernel,
             )
             factors.su = update_su(
                 factors.su,
@@ -201,9 +223,11 @@ class OfflineTriClustering:
                 self.weights.beta,
                 style=self.update_style,
                 cache=cache,
+                kernel=kernel,
             )
             factors.hu = update_hu(
-                factors.hu, factors.su, factors.sf, xu, cache=cache
+                factors.hu, factors.su, factors.sf, xu, cache=cache,
+                kernel=kernel,
             )
             factors.sf = update_sf(
                 factors.sf,
@@ -217,6 +241,7 @@ class OfflineTriClustering:
                 self.weights.alpha,
                 style=self.update_style,
                 cache=cache,
+                kernel=kernel,
             )
             iterations_run = iteration + 1
 

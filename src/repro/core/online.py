@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.core.convergence import ConvergenceHistory
 from repro.core.initialization import warm_started_factors
+from repro.core.kernels import resolve_dtype, resolve_kernel, validate_kernel
 from repro.core.objective import (
     ObjectiveStatics,
     ObjectiveWeights,
@@ -86,6 +87,10 @@ class OnlineTriClustering:
         Weight of the *previous* carried estimate when blending a user's
         new snapshot estimate into the global per-user state (evaluation
         readout and fallback prior).  0 reproduces plain overwriting.
+    kernel / dtype:
+        Sweep-kernel implementation and factor dtype; see
+        :class:`~repro.core.offline.OfflineTriClustering` and
+        :mod:`repro.core.kernels`.
     """
 
     def __init__(
@@ -103,6 +108,8 @@ class OnlineTriClustering:
         track_history: bool = False,
         update_style: str = "projector",
         state_smoothing: float = 0.8,
+        kernel: object = "auto",
+        dtype: str = "float64",
     ) -> None:
         if num_classes < 2:
             raise ValueError(f"num_classes must be >= 2, got {num_classes}")
@@ -126,6 +133,10 @@ class OnlineTriClustering:
         if update_style not in ("projector", "lagrangian"):
             raise ValueError(f"unknown update_style: {update_style!r}")
         self.update_style = update_style
+        validate_kernel(kernel)
+        self.kernel = kernel
+        self.dtype = dtype
+        self._np_dtype = resolve_dtype(dtype)
         self._rng = spawn_rng(seed)
 
         self._sf_history: deque[np.ndarray] = deque(maxlen=window - 1)
@@ -263,6 +274,7 @@ class OnlineTriClustering:
             sf_init,
             su_init=su_init,
             seed=self._rng,
+            dtype=self._np_dtype,
         )
 
         result = self._optimize(
@@ -323,6 +335,13 @@ class OnlineTriClustering:
         evolving_rows: np.ndarray,
     ) -> "_OptimizeOutput":
         """Algorithm 2 inner loop (lines 3-8)."""
+        kernel = resolve_kernel(self.kernel)
+        graph = graph.astype(self._np_dtype)  # no-op in the float64 default
+        factors = factors.astype(self._np_dtype)
+        if sfw is not None:
+            sfw = sfw.astype(self._np_dtype, copy=False)
+        if su_prior is not None:
+            su_prior = su_prior.astype(self._np_dtype, copy=False)
         xp, xu, xr = graph.xp, graph.xu, graph.xr
         gu = graph.user_graph.adjacency
         du = graph.user_graph.degree_matrix
@@ -332,10 +351,11 @@ class OnlineTriClustering:
         history = ConvergenceHistory()
         converged = False
         iterations_run = 0
-        cache = SweepCache(xp, xu)
         # Same per-fit constants bundle as the offline/sharded paths:
-        # evaluations through it are bit-identical, just cheaper.
+        # evaluations through it are bit-identical, just cheaper.  The
+        # sweep cache shares its CSR transposes (and adds ``Xrᵀ``).
         statics = ObjectiveStatics.from_matrices(xp, xu, xr)
+        cache = SweepCache(xp, xu, xr, xp_T=statics.xp_T, xu_T=statics.xu_T)
         for iteration in range(self.max_iterations):
             factors.sf = update_sf(
                 factors.sf,
@@ -349,16 +369,19 @@ class OnlineTriClustering:
                 self.weights.alpha,
                 style=self.update_style,
                 cache=cache,
+                kernel=kernel,
             )
             factors.sp = update_sp(
                 factors.sp, factors.sf, factors.hp, factors.su, xp, xr,
-                style=self.update_style, cache=cache,
+                style=self.update_style, cache=cache, kernel=kernel,
             )
             factors.hp = update_hp(
-                factors.hp, factors.sp, factors.sf, xp, cache=cache
+                factors.hp, factors.sp, factors.sf, xp, cache=cache,
+                kernel=kernel,
             )
             factors.hu = update_hu(
-                factors.hu, factors.su, factors.sf, xu, cache=cache
+                factors.hu, factors.su, factors.sf, xu, cache=cache,
+                kernel=kernel,
             )
             factors.su = update_su_online(
                 factors.su,
@@ -375,6 +398,7 @@ class OnlineTriClustering:
                 evolving_rows,
                 style=self.update_style,
                 cache=cache,
+                kernel=kernel,
             )
             iterations_run = iteration + 1
 

@@ -57,6 +57,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.convergence import ConvergenceHistory
+from repro.core.kernels import get_kernel, resolve_kernel_name
 from repro.core.objective import ObjectiveValue, ObjectiveWeights, compute_objective
 from repro.core.offline import OfflineTriClustering, TriClusteringResult
 from repro.core.online import OnlineTriClustering
@@ -143,6 +144,10 @@ class _ShardState:
     cache: SweepCache
     su_prior: np.ndarray | None = None
     evolving_rows: np.ndarray | None = None
+    #: Concrete sweep-kernel name ("numpy"/"numba"), resolved once by the
+    #: coordinator so every shard — local or remote — runs the same
+    #: implementation ("auto" must not re-resolve per worker host).
+    kernel: str = "numpy"
 
 
 # --------------------------------------------------------------------- #
@@ -165,11 +170,12 @@ def _shard_state_payload(state: _ShardState) -> tuple:
         state.hu,
         state.su_prior,
         state.evolving_rows,
+        state.kernel,
     )
 
 
 def _shard_state_from_payload(payload: tuple) -> _ShardState:
-    block_payload, sp, su, hp, hu, su_prior, evolving_rows = payload
+    block_payload, sp, su, hp, hu, su_prior, evolving_rows, kernel = payload
     block = ShardBlock.from_payload(block_payload)
     return _ShardState(
         block=block,
@@ -177,18 +183,32 @@ def _shard_state_from_payload(payload: tuple) -> _ShardState:
         su=su,
         hp=hp,
         hu=hu,
-        cache=SweepCache(block.xp, block.xu),
+        cache=_shard_cache(block),
         su_prior=su_prior,
         evolving_rows=evolving_rows,
+        kernel=kernel,
+    )
+
+
+def _shard_cache(block: ShardBlock) -> SweepCache:
+    """A shard's sweep cache, sharing the block's CSR transposes."""
+    return SweepCache(
+        block.xp, block.xu, block.xr, xp_T=block.xp_T, xu_T=block.xu_T
     )
 
 
 def _shard_contribution(state: _ShardState) -> np.ndarray:
-    """The shard's additive ``l×k`` piece of the ``Sf`` numerator."""
+    """The shard's additive ``l×k`` piece of the ``Sf`` numerator.
+
+    The transposes go through the cache accessors rather than straight
+    off the block, so the working-set layout policy applies to shards
+    exactly as it does to the unsharded solver (large shards stream the
+    lazy CSC view; either path is bitwise identical).
+    """
     return sf_sweep_contribution(
         state.sp, state.hp, state.su, state.hu,
         state.block.xp, state.block.xu,
-        xp_T=state.block.xp_T, xu_T=state.block.xu_T,
+        xp_T=state.cache.xp_T(), xu_T=state.cache.xu_T(),
     )
 
 
@@ -197,22 +217,25 @@ def _shard_offline_pass(
 ) -> np.ndarray:
     """Algorithm 1 order within one shard: Sp, Hp, Su, Hu."""
     block = state.block
+    kernel = get_kernel(state.kernel)
     if block.num_tweets:
         state.sp = update_sp(
             state.sp, sf, state.hp, state.su, block.xp, block.xr,
-            style="projector", cache=state.cache,
+            style="projector", cache=state.cache, kernel=kernel,
         )
         state.hp = update_hp(
-            state.hp, state.sp, sf, block.xp, cache=state.cache
+            state.hp, state.sp, sf, block.xp, cache=state.cache,
+            kernel=kernel,
         )
     if block.num_users:
         state.su = update_su(
             state.su, sf, state.hu, state.sp, block.xu, block.xr,
             block.gu, block.du, weights.beta,
-            style="projector", cache=state.cache,
+            style="projector", cache=state.cache, kernel=kernel,
         )
         state.hu = update_hu(
-            state.hu, state.su, sf, block.xu, cache=state.cache
+            state.hu, state.su, sf, block.xu, cache=state.cache,
+            kernel=kernel,
         )
     return _shard_contribution(state)
 
@@ -222,23 +245,26 @@ def _shard_online_pass(
 ) -> np.ndarray:
     """Algorithm 2 order within one shard: Sp, Hp, Hu, Su."""
     block = state.block
+    kernel = get_kernel(state.kernel)
     if block.num_tweets:
         state.sp = update_sp(
             state.sp, sf, state.hp, state.su, block.xp, block.xr,
-            style="projector", cache=state.cache,
+            style="projector", cache=state.cache, kernel=kernel,
         )
         state.hp = update_hp(
-            state.hp, state.sp, sf, block.xp, cache=state.cache
+            state.hp, state.sp, sf, block.xp, cache=state.cache,
+            kernel=kernel,
         )
     if block.num_users:
         state.hu = update_hu(
-            state.hu, state.su, sf, block.xu, cache=state.cache
+            state.hu, state.su, sf, block.xu, cache=state.cache,
+            kernel=kernel,
         )
         state.su = update_su_online(
             state.su, sf, state.hu, state.sp, block.xu, block.xr,
             block.gu, block.du, weights.beta, weights.gamma,
             state.su_prior, state.evolving_rows,
-            style="projector", cache=state.cache,
+            style="projector", cache=state.cache, kernel=kernel,
         )
     return _shard_contribution(state)
 
@@ -318,11 +344,18 @@ class ShardedSolver:
         update_style: str = "projector",
         su_prior: np.ndarray | None = None,
         evolving_rows: np.ndarray | None = None,
+        kernel: str = "numpy",
     ) -> None:
         if update_style != "projector":
             raise ValueError(
                 "sharded sweeps support only the 'projector' update style"
             )
+        # Pin "auto" (or an instance) to a concrete kernel name here, so
+        # every shard — including ones resident on remote worker hosts —
+        # runs the same implementation regardless of what is importable
+        # over there.
+        kernel = resolve_kernel_name(kernel)
+        self._kernel = get_kernel(kernel)
         self.sharded = sharded
         self.pool = pool
         self.update_style = update_style
@@ -350,9 +383,10 @@ class ShardedSolver:
                     su=factors.su[block.user_rows],
                     hp=factors.hp.copy(),
                     hu=factors.hu.copy(),
-                    cache=SweepCache(block.xp, block.xu),
+                    cache=_shard_cache(block),
                     su_prior=shard_prior,
                     evolving_rows=shard_evolving,
+                    kernel=kernel,
                 )
             )
         # One shipment per solve; sweeps exchange only Sf and l×k pieces.
@@ -377,7 +411,8 @@ class ShardedSolver:
             _shard_offline_pass, self._broadcast(self.sf, weights)
         )
         self.sf = apply_sf_update(
-            self.sf, self._reduce_contributions(), sf_prior, weights.alpha
+            self.sf, self._reduce_contributions(), sf_prior, weights.alpha,
+            kernel=self._kernel,
         )
         self._primed = True
 
@@ -394,7 +429,8 @@ class ShardedSolver:
             )
             self._primed = True
         self.sf = apply_sf_update(
-            self.sf, self._reduce_contributions(), sf_prior, weights.alpha
+            self.sf, self._reduce_contributions(), sf_prior, weights.alpha,
+            kernel=self._kernel,
         )
         self._contributions = self.pool.run_resident(
             _shard_online_pass, self._broadcast(self.sf, weights)
@@ -458,8 +494,8 @@ class ShardedSolver:
         )
         graph = self.sharded.graph
         num_classes = self.sf.shape[1]
-        sp = np.zeros((graph.num_tweets, num_classes))
-        su = np.zeros((graph.num_users, num_classes))
+        sp = np.zeros((graph.num_tweets, num_classes), dtype=self.sf.dtype)
+        su = np.zeros((graph.num_users, num_classes), dtype=self.sf.dtype)
         for block, upload in zip(self.sharded.blocks, uploads):
             sp[block.tweet_rows] = upload["sp"]
             su[block.user_rows] = upload["su"]
@@ -489,9 +525,9 @@ class ShardedSolver:
         sf = self.sf
         num_classes = sf.shape[1]
         sfT_sf = sf.T @ sf
-        numerator = np.zeros((num_classes, num_classes))
-        gram = np.zeros((num_classes, num_classes))
-        weighted = np.zeros((num_classes, num_classes))
+        numerator = np.zeros((num_classes, num_classes), dtype=sf.dtype)
+        gram = np.zeros((num_classes, num_classes), dtype=sf.dtype)
+        weighted = np.zeros((num_classes, num_classes), dtype=sf.dtype)
         total_rows = 0
         for upload in uploads:
             terms = upload[f"{which}_terms"]
@@ -503,7 +539,7 @@ class ShardedSolver:
             weighted += rows * upload[which]
             total_rows += rows
         if total_rows == 0:
-            return np.eye(num_classes)
+            return np.eye(num_classes, dtype=sf.dtype)
         association = weighted / total_rows
         for _ in range(iterations):
             association = association * safe_sqrt_ratio(
@@ -601,6 +637,8 @@ class ShardedTriClustering(OfflineTriClustering):
         seed=None,
         track_history: bool = True,
         update_style: str = "projector",
+        kernel: object = "auto",
+        dtype: str = "float64",
         n_shards: int | str = 1,
         partitioner="hash",
         max_workers: int | None = None,
@@ -619,6 +657,8 @@ class ShardedTriClustering(OfflineTriClustering):
             seed=seed,
             track_history=track_history,
             update_style=update_style,
+            kernel=kernel,
+            dtype=dtype,
         )
         self.n_shards = n_shards
         self.partitioner = partitioner
@@ -638,8 +678,15 @@ class ShardedTriClustering(OfflineTriClustering):
         initial_factors: FactorSet | None = None,
     ) -> TriClusteringResult:
         rng = spawn_rng(self.seed)
+        # Same cast sequence as the plain solver's fit (both are no-ops
+        # in the float64 default), so 1-shard trajectories stay
+        # bit-identical to it in either dtype.
+        kernel = resolve_kernel_name(self.kernel)
+        graph = graph.astype(self._np_dtype)
         self._validate_prior(graph)
-        factors = self._initial_factors(graph, rng, initial_factors)
+        factors = self._initial_factors(graph, rng, initial_factors).astype(
+            self._np_dtype
+        )
         n_shards = resolve_shard_count(
             self.n_shards, graph.num_users, self.max_workers
         )
@@ -660,7 +707,8 @@ class ShardedTriClustering(OfflineTriClustering):
         )
         try:
             solver = ShardedSolver(
-                sharded, factors, pool, update_style=self.update_style
+                sharded, factors, pool, update_style=self.update_style,
+                kernel=kernel,
             )
             for iteration in range(self.max_iterations):
                 solver.offline_sweep(self.weights, sf0)
@@ -720,6 +768,8 @@ class ShardedOnlineTriClustering(OnlineTriClustering):
         track_history: bool = False,
         update_style: str = "projector",
         state_smoothing: float = 0.8,
+        kernel: object = "auto",
+        dtype: str = "float64",
         n_shards: int | str = 1,
         partitioner="hash",
         max_workers: int | None = None,
@@ -742,6 +792,8 @@ class ShardedOnlineTriClustering(OnlineTriClustering):
             track_history=track_history,
             update_style=update_style,
             state_smoothing=state_smoothing,
+            kernel=kernel,
+            dtype=dtype,
         )
         self.n_shards = n_shards
         self.partitioner = partitioner
@@ -765,6 +817,15 @@ class ShardedOnlineTriClustering(OnlineTriClustering):
         su_prior: np.ndarray | None,
         evolving_rows: np.ndarray,
     ) -> "OnlineTriClustering._OptimizeOutput":
+        # Same cast sequence as the plain solver's _optimize (no-ops in
+        # the float64 default) for 1-shard bit-identity in either dtype.
+        kernel = resolve_kernel_name(self.kernel)
+        graph = graph.astype(self._np_dtype)
+        factors = factors.astype(self._np_dtype)
+        if sfw is not None:
+            sfw = sfw.astype(self._np_dtype, copy=False)
+        if su_prior is not None:
+            su_prior = su_prior.astype(self._np_dtype, copy=False)
         sf_prior = sfw if sfw is not None else graph.sf0
         n_shards = resolve_shard_count(
             self.n_shards, graph.num_users, self.max_workers
@@ -791,6 +852,7 @@ class ShardedOnlineTriClustering(OnlineTriClustering):
                 update_style=self.update_style,
                 su_prior=su_prior,
                 evolving_rows=evolving_rows,
+                kernel=kernel,
             )
             su_prior_active = su_prior is not None
             for iteration in range(self.max_iterations):

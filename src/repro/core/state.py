@@ -8,7 +8,9 @@ One :class:`FactorSet` bundles the five factor matrices of Eq. (1):
 - ``hp (k×k)`` feature-to-tweet-class association,
 - ``hu (k×k)`` feature-to-user-class association.
 
-All matrices are dense ``float64`` and element-wise non-negative.
+All matrices are dense floating-point (``float64`` by default; the
+opt-in ``dtype="float32"`` solver mode carries ``float32`` factors end
+to end, including through checkpoints) and element-wise non-negative.
 """
 
 from __future__ import annotations
@@ -68,6 +70,11 @@ class FactorSet:
     def num_classes(self) -> int:
         return self.sf.shape[1]
 
+    @property
+    def dtype(self) -> np.dtype:
+        """The floating-point dtype the factors are carried in."""
+        return self.sf.dtype
+
     # ------------------------------------------------------------------ #
     # Readouts
     # ------------------------------------------------------------------ #
@@ -103,4 +110,16 @@ class FactorSet:
             su=self.su.copy(),
             hp=self.hp.copy(),
             hu=self.hu.copy(),
+        )
+
+    def astype(self, dtype: np.dtype) -> "FactorSet":
+        """Factors cast to ``dtype`` (a no-op returning ``self`` if equal)."""
+        if self.sf.dtype == dtype:
+            return self
+        return FactorSet(
+            sf=self.sf.astype(dtype),
+            sp=self.sp.astype(dtype),
+            su=self.su.astype(dtype),
+            hp=self.hp.astype(dtype),
+            hu=self.hu.astype(dtype),
         )

@@ -18,6 +18,28 @@ hot-path win without changing a single floating-point operation: the
 cache returns the *same* array the uncached code path would have
 computed, so solver trajectories are bit-identical.
 
+Beyond the per-sweep memo, the cache also holds *per-solve* CSR
+materializations of the data-matrix transposes (``Xrᵀ``, ``Xpᵀ``,
+``Xuᵀ``).  The lazy ``.T`` view of a CSR matrix is CSC, and a
+CSC @ dense product scatters into its (potentially huge) output instead
+of streaming through it row by row; materializing the transpose as CSR
+once per solve makes every subsequent ``Xrᵀ·Su`` / ``Xpᵀ·Sp`` /
+``Xuᵀ·Su`` product a sequential-write CSR product.  CSR-materializing a
+transpose changes neither the values nor the per-row accumulation order
+of those products, so results stay bitwise identical (the same fact the
+sharded path and :class:`repro.core.objective.ObjectiveStatics` already
+rely on, and test).
+
+Which layout is *faster* depends on scale, so the transpose accessors
+apply a working-set policy (see :data:`TRANSPOSE_OPERAND_BUDGET`): the
+CSR form gathers random rows of its dense operand and wins only while
+that operand is cache-resident; once factors outgrow the cache, the CSC
+view wins — it streams the dense operand sequentially and scatters into
+an output that is itself small (``l×k`` or ``n×k`` against a much
+larger operand).  Above the budget the accessors return ``None`` and
+callers fall back to the lazy view.  Both paths being bitwise equal,
+the policy is purely a speed decision — it can never change a result.
+
 A :class:`SweepCache` is keyed by *object identity* of the dependency
 factors.  Every update rule returns a freshly allocated array, so a
 factor that changed between two lookups never aliases its predecessor;
@@ -36,6 +58,17 @@ import scipy.sparse as sp
 
 MatrixLike = np.ndarray | sp.spmatrix
 
+#: Per-column byte budget for the dense operand of a materialized-CSR
+#: transpose product (``Xpᵀ·Sp`` gathers rows of ``Sp``, ``Xrᵀ·Su`` and
+#: ``Xuᵀ·Su`` rows of ``Su``).  Measured on CPU: the CSR gather wins
+#: while ``operand_rows × itemsize`` stays within roughly one L2 of
+#: per-column footprint, and loses — by up to 2x at hundreds of
+#: thousands of rows — once the gathers turn into cache misses, where
+#: the lazy CSC scatter-into-small-output path streams instead.  The
+#: threshold is shape-and-itemsize deterministic, so every shard and
+#: backend of one problem makes the same (bitwise-neutral) choice.
+TRANSPOSE_OPERAND_BUDGET = 256 * 1024
+
 
 def _dot(x: MatrixLike, dense: np.ndarray) -> np.ndarray:
     """``x @ dense`` returning a plain ndarray for sparse or dense ``x``."""
@@ -48,14 +81,34 @@ class SweepCache:
     Parameters
     ----------
     xp, xu:
-        The (fixed) data matrices whose products are memoized.  ``Xr``
-        is not held here: its products (``Xrᵀ·Su``, ``Xr·Sp``) each
-        occur once per sweep, so there is nothing to reuse.
+        The (fixed) data matrices whose products are memoized.
+    xr:
+        Optional user-tweet incidence matrix.  When provided, ``Xrᵀ`` is
+        materialized as CSR once per solve (see :meth:`xr_T`) so the
+        per-sweep ``Xrᵀ·Su`` products stream instead of scatter.  The
+        ``Xr·Sp`` product needs no help — ``Xr`` is already CSR.
+    xp_T, xu_T:
+        Optional pre-materialized CSR transposes of ``xp``/``xu``.
+        Solvers that already built an
+        :class:`~repro.core.objective.ObjectiveStatics` pass its
+        transposes in, so the arrays are shared rather than
+        re-materialized.
     """
 
-    def __init__(self, xp: MatrixLike, xu: MatrixLike) -> None:
+    def __init__(
+        self,
+        xp: MatrixLike,
+        xu: MatrixLike,
+        xr: MatrixLike | None = None,
+        xp_T: MatrixLike | None = None,
+        xu_T: MatrixLike | None = None,
+    ) -> None:
         self.xp = xp
         self.xu = xu
+        self.xr = xr
+        self._xp_T = xp_T
+        self._xu_T = xu_T
+        self._xr_T: MatrixLike | None = None
         self._memo: dict[str, tuple[tuple[np.ndarray, ...], np.ndarray]] = {}
         self._hits = 0
         self._misses = 0
@@ -104,6 +157,66 @@ class SweepCache:
         return self._get("xu_sf", (sf,), lambda: _dot(self.xu, sf))
 
     # ------------------------------------------------------------------ #
+    # Per-solve CSR transposes (bitwise-equal to the lazy ``.T`` views)
+    # ------------------------------------------------------------------ #
+
+    def _materialize_wins(self, operand_rows: int, itemsize: int) -> bool:
+        """Working-set policy behind the transpose accessors."""
+        return operand_rows * itemsize <= TRANSPOSE_OPERAND_BUDGET
+
+    def xr_T(self) -> MatrixLike | None:
+        """CSR-materialized ``Xrᵀ``, or ``None`` to use the lazy view.
+
+        ``None`` means either no ``xr`` was given or the dense operand
+        of the ``Xrᵀ·Su`` product (``Su``, one row per ``xr`` row) is
+        past :data:`TRANSPOSE_OPERAND_BUDGET`; callers fall back to the
+        lazy ``xr.T`` view.  The two are bitwise interchangeable, so the
+        choice is speed-only.
+        """
+        if self.xr is None:
+            return None
+        if not self._materialize_wins(
+            self.xr.shape[0], self.xr.dtype.itemsize
+        ):
+            return None
+        if self._xr_T is None:
+            self._xr_T = (
+                self.xr.T.tocsr() if sp.issparse(self.xr) else self.xr.T
+            )
+        return self._xr_T
+
+    def xp_T(self) -> MatrixLike | None:
+        """CSR-materialized ``Xpᵀ``, or ``None`` to use the lazy view.
+
+        The ``Xpᵀ·Sp`` operand is ``Sp`` (one row per ``xp`` row); past
+        the budget the lazy CSC view streams it faster than the CSR
+        gather, so ``None`` is returned even when a pre-materialized
+        transpose was injected (the injected array still serves the
+        objective statics it came from).
+        """
+        if not self._materialize_wins(
+            self.xp.shape[0], self.xp.dtype.itemsize
+        ):
+            return None
+        if self._xp_T is None:
+            self._xp_T = (
+                self.xp.T.tocsr() if sp.issparse(self.xp) else self.xp.T
+            )
+        return self._xp_T
+
+    def xu_T(self) -> MatrixLike | None:
+        """CSR-materialized ``Xuᵀ``, or ``None`` to use the lazy view."""
+        if not self._materialize_wins(
+            self.xu.shape[0], self.xu.dtype.itemsize
+        ):
+            return None
+        if self._xu_T is None:
+            self._xu_T = (
+                self.xu.T.tocsr() if sp.issparse(self.xu) else self.xu.T
+            )
+        return self._xu_T
+
+    # ------------------------------------------------------------------ #
     # Dense grams
     # ------------------------------------------------------------------ #
 
@@ -126,3 +239,23 @@ class SweepCache:
         return self._get(
             "hu_gram", (hu, sf), lambda: hu @ self.gram("sf", sf) @ hu.T
         )
+
+    def assoc_denominator(
+        self, name: str, factor: np.ndarray, h: np.ndarray, sf: np.ndarray
+    ) -> np.ndarray:
+        """``(SᵀS)·H·(SfᵀSf)`` — the ``Hp``/``Hu`` denominator chain.
+
+        Batches the small-gram evaluation of one association update into
+        a single memo transaction: the factor gram, the ``Sf`` gram, and
+        the two ``k×k`` chain products are produced (and keyed) together
+        instead of as three independent lookups.  At small shard sizes —
+        where Python/BLAS dispatch *is* the workload — this halves the
+        per-update memo traffic; the expression and its left-to-right
+        association order are exactly what the uncached code computed,
+        so results are bit-identical.
+        """
+
+        def compute() -> np.ndarray:
+            return self.gram(name, factor) @ h @ self.gram("sf", sf)
+
+        return self._get(f"assoc_den:{name}", (factor, h, sf), compute)

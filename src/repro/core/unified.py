@@ -17,13 +17,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.initialization import lexicon_seeded_factors, random_factors
+from repro.core.kernels import resolve_kernel, validate_kernel
 from repro.core.objective import bifactor_loss, trifactor_loss
 from repro.core.regularizers import Regularizer
 from repro.core.state import FactorSet
 from repro.core.sweepcache import SweepCache
 from repro.core.updates import _dot, _project, update_hp, update_hu
 from repro.graph.tripartite import TripartiteGraph
-from repro.utils.matrices import safe_sqrt_ratio
 from repro.utils.rng import RandomState, spawn_rng
 
 
@@ -58,6 +58,7 @@ class UnifiedTriClustering:
         tolerance: float = 1e-6,
         patience: int = 3,
         seed: RandomState = None,
+        kernel: object = "auto",
     ) -> None:
         if num_classes < 2:
             raise ValueError(f"num_classes must be >= 2, got {num_classes}")
@@ -69,6 +70,8 @@ class UnifiedTriClustering:
         self.tolerance = tolerance
         self.patience = patience
         self.seed = seed
+        validate_kernel(kernel)
+        self.kernel = kernel
 
     # ------------------------------------------------------------------ #
 
@@ -100,9 +103,10 @@ class UnifiedTriClustering:
         regularizer_values: list[dict[str, float]] = []
         converged = False
         iterations_run = 0
-        cache = SweepCache(xp, xu)
+        kernel = resolve_kernel(self.kernel)
+        cache = SweepCache(xp, xu, xr)
         for iteration in range(self.max_iterations):
-            self._sweep(factors, xp, xu, xr, cache)
+            self._sweep(factors, xp, xu, xr, cache, kernel)
             iterations_run = iteration + 1
 
             total, values = self._objective(factors, xp, xu, xr)
@@ -123,20 +127,21 @@ class UnifiedTriClustering:
     # ------------------------------------------------------------------ #
 
     def _sweep(
-        self, factors: FactorSet, xp, xu, xr, cache: SweepCache
+        self, factors: FactorSet, xp, xu, xr, cache: SweepCache, kernel
     ) -> None:
         """One full update sweep in Algorithm 1's order."""
         # Sp: attraction from words and retweeters.
+        xr_T = cache.xr_T()
         attraction = cache.xp_sf(factors.sf) @ factors.hp.T + _dot(
-            xr.T, factors.su
+            xr.T if xr_T is None else xr_T, factors.su
         )
         numerator, denominator = self._regularized(
             "sp", factors, attraction, _project(factors.sp, attraction)
         )
-        factors.sp = factors.sp * safe_sqrt_ratio(numerator, denominator)
+        factors.sp = kernel.multiply_tail(factors.sp, numerator, denominator)
 
         factors.hp = update_hp(
-            factors.hp, factors.sp, factors.sf, xp, cache=cache
+            factors.hp, factors.sp, factors.sf, xp, cache=cache, kernel=kernel
         )
 
         # Su: attraction from words and posted/retweeted tweets.
@@ -146,20 +151,23 @@ class UnifiedTriClustering:
         numerator, denominator = self._regularized(
             "su", factors, attraction, _project(factors.su, attraction)
         )
-        factors.su = factors.su * safe_sqrt_ratio(numerator, denominator)
+        factors.su = kernel.multiply_tail(factors.su, numerator, denominator)
 
         factors.hu = update_hu(
-            factors.hu, factors.su, factors.sf, xu, cache=cache
+            factors.hu, factors.su, factors.sf, xu, cache=cache, kernel=kernel
         )
 
         # Sf: attraction from tweet and user usage.
-        attraction = _dot(xp.T, factors.sp) @ factors.hp + _dot(
-            xu.T, factors.su
+        xp_T, xu_T = cache.xp_T(), cache.xu_T()
+        attraction = _dot(
+            xp.T if xp_T is None else xp_T, factors.sp
+        ) @ factors.hp + _dot(
+            xu.T if xu_T is None else xu_T, factors.su
         ) @ factors.hu
         numerator, denominator = self._regularized(
             "sf", factors, attraction, _project(factors.sf, attraction)
         )
-        factors.sf = factors.sf * safe_sqrt_ratio(numerator, denominator)
+        factors.sf = kernel.multiply_tail(factors.sf, numerator, denominator)
 
     def _regularized(
         self,

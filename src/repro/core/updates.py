@@ -30,8 +30,19 @@ as ``S·(Sᵀ·N)`` so every update is ``O(nnz·k + rows·k²)``.
 Every rule accepts an optional :class:`~repro.core.sweepcache.SweepCache`;
 when provided, products whose inputs are unchanged since an earlier update
 in the same sweep (``Xp·Sf``, ``Xu·Sf``, the factor grams) are reused
-instead of recomputed.  The cached path evaluates the exact same
-expressions, so results are bit-identical to the uncached path.
+instead of recomputed, and CSR-materialized data-matrix transposes
+replace the lazy ``.T`` views in the ``Xrᵀ·Su`` / ``Xpᵀ·Sp`` / ``Xuᵀ·Su``
+products whenever the cache's working-set policy says the CSR layout
+wins (see :data:`repro.core.sweepcache.TRANSPOSE_OPERAND_BUDGET`).  The
+cached path evaluates the exact same expressions (CSR materialization
+preserves per-row accumulation order), so results are bit-identical to
+the uncached path either way.
+
+Every projector-style rule also accepts an optional
+:class:`~repro.core.kernels.Kernel` that evaluates the fused element-wise
+tail ``S ∘ sqrt(max(num, 0)/max(den, EPS))``; when omitted, the NumPy
+kernel is used.  Kernels are bit-compatible with each other in float64
+(see :mod:`repro.core.kernels`), so this choice affects speed only.
 """
 
 from __future__ import annotations
@@ -41,6 +52,7 @@ from typing import Literal
 import numpy as np
 import scipy.sparse as sp
 
+from repro.core.kernels import Kernel, default_kernel
 from repro.core.sweepcache import SweepCache
 from repro.utils.matrices import nonneg_split, safe_sqrt_ratio
 
@@ -73,18 +85,17 @@ def update_hp(
     sf: np.ndarray,
     xp: MatrixLike,
     cache: SweepCache | None = None,
+    kernel: Kernel | None = None,
 ) -> np.ndarray:
     """Eq. (12): ``Hp ← Hp ∘ sqrt(SpᵀXpSf / SpᵀSpHpSfᵀSf)``."""
+    kernel = kernel if kernel is not None else default_kernel()
     xp_sf = cache.xp_sf(sf) if cache is not None else _dot(xp, sf)
-    sfT_sf = cache.gram("sf", sf) if cache is not None else sf.T @ sf
-    spT_sp = (
-        cache.gram("sp", sp_factor)
-        if cache is not None
-        else sp_factor.T @ sp_factor
-    )
+    if cache is not None:
+        denominator = cache.assoc_denominator("sp", sp_factor, hp, sf)
+    else:
+        denominator = (sp_factor.T @ sp_factor) @ hp @ (sf.T @ sf)
     numerator = sp_factor.T @ xp_sf
-    denominator = spT_sp @ hp @ sfT_sf
-    return hp * safe_sqrt_ratio(numerator, denominator)
+    return kernel.multiply_tail(hp, numerator, denominator)
 
 
 def update_hu(
@@ -93,14 +104,17 @@ def update_hu(
     sf: np.ndarray,
     xu: MatrixLike,
     cache: SweepCache | None = None,
+    kernel: Kernel | None = None,
 ) -> np.ndarray:
     """Eq. (13): ``Hu ← Hu ∘ sqrt(SuᵀXuSf / SuᵀSuHuSfᵀSf)``."""
+    kernel = kernel if kernel is not None else default_kernel()
     xu_sf = cache.xu_sf(sf) if cache is not None else _dot(xu, sf)
-    sfT_sf = cache.gram("sf", sf) if cache is not None else sf.T @ sf
-    suT_su = cache.gram("su", su) if cache is not None else su.T @ su
+    if cache is not None:
+        denominator = cache.assoc_denominator("su", su, hu, sf)
+    else:
+        denominator = (su.T @ su) @ hu @ (sf.T @ sf)
     numerator = su.T @ xu_sf
-    denominator = suT_su @ hu @ sfT_sf
-    return hu * safe_sqrt_ratio(numerator, denominator)
+    return kernel.multiply_tail(hu, numerator, denominator)
 
 
 # --------------------------------------------------------------------- #
@@ -117,6 +131,7 @@ def update_sp(
     xr: MatrixLike,
     style: UpdateStyle = "projector",
     cache: SweepCache | None = None,
+    kernel: Kernel | None = None,
 ) -> np.ndarray:
     """Eq. (9) — tweet factor update.
 
@@ -124,14 +139,16 @@ def update_sp(
     class *j* through its words and its retweeters); the orthogonality
     projector ``Sp·Spᵀ·N`` is the repulsion.
     """
+    kernel = kernel if kernel is not None else default_kernel()
     xp_sf = cache.xp_sf(sf) if cache is not None else _dot(xp, sf)
-    xp_sf_hpT = xp_sf @ hp.T                           # n×k
-    xrT_su = _dot(xr.T, su)                            # n×k
-    attraction = xp_sf_hpT + xrT_su
+    xr_T = cache.xr_T() if cache is not None else None
+    attraction = kernel.accumulate(                    # XpSfHpᵀ + XrᵀSu, n×k
+        xp_sf @ hp.T, _dot(xr.T if xr_T is None else xr_T, su)
+    )
 
     if style == "projector":
         denominator = _project(sp_factor, attraction)
-        return sp_factor * safe_sqrt_ratio(attraction, denominator)
+        return kernel.projector_tail(sp_factor, attraction, denominator)
 
     suT_su = cache.gram("su", su) if cache is not None else su.T @ su
     hp_gram = (
@@ -165,6 +182,7 @@ def update_su(
     beta: float,
     style: UpdateStyle = "projector",
     cache: SweepCache | None = None,
+    kernel: Kernel | None = None,
 ) -> np.ndarray:
     """Eq. (11) — user factor update with graph regularization.
 
@@ -173,17 +191,19 @@ def update_su(
     repulsion is the projector on the factorization part plus the degree
     term ``β·DuSu`` of the Laplacian split.
     """
+    kernel = kernel if kernel is not None else default_kernel()
     xu_sf = cache.xu_sf(sf) if cache is not None else _dot(xu, sf)
-    xu_sf_huT = xu_sf @ hu.T                           # m×k
-    xr_sp = _dot(xr, sp_factor)                        # m×k
+    factor_attraction = kernel.accumulate(             # XuSfHuᵀ + XrSp, m×k
+        xu_sf @ hu.T, _dot(xr, sp_factor)
+    )
     gu_su = _dot(gu, su)
     du_su = _dot(du, su)
-    factor_attraction = xu_sf_huT + xr_sp
 
     if style == "projector":
-        numerator = factor_attraction + beta * gu_su
-        denominator = _project(su, factor_attraction) + beta * du_su
-        return su * safe_sqrt_ratio(numerator, denominator)
+        projection = _project(su, factor_attraction)
+        return kernel.graph_tail(
+            su, factor_attraction, projection, gu_su, du_su, beta
+        )
 
     spT_sp = (
         cache.gram("sp", sp_factor)
@@ -237,9 +257,9 @@ def sf_sweep_contribution(
     through them accumulate in the same order as through the lazy
     ``.T`` views, so the result is unchanged bitwise.
     """
-    xuT_su_hu = _dot(xu.T if xu_T is None else xu_T, su) @ hu      # l×k
-    xpT_sp_hp = _dot(xp.T if xp_T is None else xp_T, sp_factor) @ hp
-    return xuT_su_hu + xpT_sp_hp
+    attraction = _dot(xu.T if xu_T is None else xu_T, su) @ hu     # l×k
+    attraction += _dot(xp.T if xp_T is None else xp_T, sp_factor) @ hp
+    return attraction
 
 
 def apply_sf_update(
@@ -247,6 +267,7 @@ def apply_sf_update(
     factor_attraction: np.ndarray,
     sf_prior: np.ndarray | None,
     alpha: float,
+    kernel: Kernel | None = None,
 ) -> np.ndarray:
     """Projector-style ``Sf`` step from a reduced attraction.
 
@@ -254,15 +275,11 @@ def apply_sf_update(
     projector ``Sf·Sfᵀ·N`` and the α prior act on the *global* ``Sf``
     once per sweep, after the per-shard attractions have been summed.
     """
+    kernel = kernel if kernel is not None else default_kernel()
+    projection = _project(sf, factor_attraction)
     if sf_prior is None or alpha == 0.0:
-        prior_numerator: np.ndarray | float = 0.0
-        prior_denominator: np.ndarray | float = 0.0
-    else:
-        prior_numerator = alpha * sf_prior
-        prior_denominator = alpha * sf
-    numerator = factor_attraction + prior_numerator
-    denominator = _project(sf, factor_attraction) + prior_denominator
-    return sf * safe_sqrt_ratio(numerator, denominator)
+        return kernel.projector_tail(sf, factor_attraction, projection)
+    return kernel.prior_tail(sf, factor_attraction, projection, sf_prior, alpha)
 
 
 def update_sf(
@@ -277,6 +294,7 @@ def update_sf(
     alpha: float,
     style: UpdateStyle = "projector",
     cache: SweepCache | None = None,
+    kernel: Kernel | None = None,
 ) -> np.ndarray:
     """Eq. (7) offline / Eq. (23) online — feature factor update.
 
@@ -285,10 +303,19 @@ def update_sf(
     the numerator as ``α·Sf0`` (pull toward the lexicon) and the
     denominator as ``α·Sf``.
     """
-    factor_attraction = sf_sweep_contribution(sp_factor, hp, su, hu, xp, xu)
+    factor_attraction = sf_sweep_contribution(
+        sp_factor,
+        hp,
+        su,
+        hu,
+        xp,
+        xu,
+        xp_T=cache.xp_T() if cache is not None else None,
+        xu_T=cache.xu_T() if cache is not None else None,
+    )
 
     if style == "projector":
-        return apply_sf_update(sf, factor_attraction, sf_prior, alpha)
+        return apply_sf_update(sf, factor_attraction, sf_prior, alpha, kernel)
 
     if sf_prior is None or alpha == 0.0:
         prior_numerator = 0.0
@@ -306,7 +333,7 @@ def update_sf(
     hu_gram = hu.T @ suT_su @ hu
     hp_gram = hp.T @ spT_sp @ hp
     prior_delta = (
-        np.zeros((sf.shape[1], sf.shape[1]))
+        np.zeros((sf.shape[1], sf.shape[1]), dtype=sf.dtype)
         if sf_prior is None or alpha == 0.0
         else alpha * (sf.T @ (sf - sf_prior))
     )
@@ -341,6 +368,7 @@ def update_su_online(
     evolving_rows: np.ndarray | None,
     style: UpdateStyle = "projector",
     cache: SweepCache | None = None,
+    kernel: Kernel | None = None,
 ) -> np.ndarray:
     """Eqs. (24)+(26) — online user update with row-wise temporal terms.
 
@@ -356,12 +384,13 @@ def update_su_online(
     evolving_rows:
         Row indices of evolving users within ``su``.
     """
+    kernel = kernel if kernel is not None else default_kernel()
     xu_sf = cache.xu_sf(sf) if cache is not None else _dot(xu, sf)
-    xu_sf_huT = xu_sf @ hu.T
-    xr_sp = _dot(xr, sp_factor)
+    factor_attraction = kernel.accumulate(             # XuSfHuᵀ + XrSp, m×k
+        xu_sf @ hu.T, _dot(xr, sp_factor)
+    )
     gu_su = _dot(gu, su)
     du_su = _dot(du, su)
-    factor_attraction = xu_sf_huT + xr_sp
 
     has_temporal = (
         su_prior is not None
@@ -371,12 +400,17 @@ def update_su_online(
     )
 
     if style == "projector":
-        numerator = factor_attraction + beta * gu_su
-        denominator = _project(su, factor_attraction) + beta * du_su
-        if has_temporal:
-            numerator[evolving_rows] += gamma * su_prior
-            denominator[evolving_rows] += gamma * su[evolving_rows]
-        return su * safe_sqrt_ratio(numerator, denominator)
+        projection = _project(su, factor_attraction)
+        if not has_temporal:
+            return kernel.graph_tail(
+                su, factor_attraction, projection, gu_su, du_su, beta
+            )
+        numerator, denominator = kernel.graph_terms(
+            factor_attraction, projection, gu_su, du_su, beta
+        )
+        numerator[evolving_rows] += gamma * su_prior
+        denominator[evolving_rows] += gamma * su[evolving_rows]
+        return kernel.multiply_tail(su, numerator, denominator)
 
     spT_sp = (
         cache.gram("sp", sp_factor)
@@ -388,7 +422,7 @@ def update_su_online(
         if cache is not None
         else hu @ (sf.T @ sf) @ hu.T
     )
-    temporal_delta = np.zeros((su.shape[1], su.shape[1]))
+    temporal_delta = np.zeros((su.shape[1], su.shape[1]), dtype=su.dtype)
     if has_temporal:
         su_evolving = su[evolving_rows]
         temporal_delta = gamma * (su_evolving.T @ (su_evolving - su_prior))

@@ -39,6 +39,7 @@ class TweetCorpus:
             raise ValueError("duplicate tweet ids in corpus")
         self._user_ids = sorted(self.users)
         self._user_index = {uid: i for i, uid in enumerate(self._user_ids)}
+        self._author_rows: np.ndarray | None = None
 
     # ------------------------------------------------------------------ #
     # Sizes and index mappings
@@ -64,6 +65,25 @@ class TweetCorpus:
     def user_position(self, user_id: int) -> int:
         """Matrix-row index of ``user_id``."""
         return self._user_index[user_id]
+
+    @property
+    def author_rows(self) -> np.ndarray:
+        """Each tweet's author row index, one int64 entry per tweet.
+
+        The vectorized form of ``user_position(t.user_id) for t in
+        tweets`` that graph assembly and shard extraction need; cached
+        (and marked read-only) because at realistic scale the per-tweet
+        dict-lookup loop is measurable where the array is not.
+        """
+        if self._author_rows is None:
+            rows = np.fromiter(
+                (self._user_index[t.user_id] for t in self.tweets),
+                dtype=np.int64,
+                count=len(self.tweets),
+            )
+            rows.flags.writeable = False
+            self._author_rows = rows
+        return self._author_rows
 
     def __len__(self) -> int:
         return len(self.tweets)

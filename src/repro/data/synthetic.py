@@ -617,3 +617,253 @@ def expected_table3_counts(config: BallotDatasetConfig) -> dict[str, int]:
         "user_neu": config.scaled(config.neu_users, 1),
         "user_unlabeled": config.scaled(config.unlabeled_users, 2),
     }
+
+
+# --------------------------------------------------------------------- #
+# Matrix-level generator for realistic-scale benchmarks
+# --------------------------------------------------------------------- #
+#
+# BallotDatasetGenerator composes per-tweet *text* through Python loops —
+# faithful to the paper's dataset but unusable at hundreds of thousands
+# of users (the generator would dwarf the solve being measured).  The
+# kernel benchmark needs tripartite graphs at that scale with the same
+# structural properties the solver exploits (class-separated word usage,
+# retweet homophily, Zipf activity), so this generator skips text
+# entirely and samples the sparse matrices directly: every draw is one
+# vectorized numpy call over all tweets/edges of a class, never a
+# per-tweet loop.  The corpus and vectorizer are array-backed stand-ins
+# carrying exactly the surface the solvers and shard extraction touch
+# (``user_ids``/``user_position``/``author_rows``, ``vocabulary``).
+
+
+@dataclass
+class SyntheticGraphConfig:
+    """Parameters of one matrix-level synthetic tripartite graph.
+
+    Counts scale off ``num_users``; the defaults keep the paper
+    dataset's rough shape (≈4 tweets per user, retweet-heavy election
+    traffic, a vocabulary split into per-class blocks plus a shared
+    neutral tail).
+    """
+
+    num_users: int = 10_000
+    num_classes: int = 3
+    tweets_per_user: float = 4.0
+    words_per_tweet: int = 9
+    vocab_size: int = 5_000
+    retweets_per_user: float = 6.0
+    edges_per_user: float = 3.0
+    #: Probability that a word/retweet crosses class lines.
+    noise: float = 0.1
+    #: Fraction of each class's word block covered by the ``Sf0`` prior.
+    prior_coverage: float = 0.3
+    zipf_exponent: float = 1.1
+
+    def __post_init__(self) -> None:
+        if self.num_users < 1:
+            raise ValueError(f"num_users must be >= 1, got {self.num_users}")
+        if self.num_classes < 2:
+            raise ValueError(
+                f"num_classes must be >= 2, got {self.num_classes}"
+            )
+        if self.vocab_size < 2 * (self.num_classes + 1):
+            raise ValueError(
+                f"vocab_size {self.vocab_size} too small for "
+                f"{self.num_classes} class blocks plus a shared tail"
+            )
+        if not (0.0 <= self.noise <= 1.0):
+            raise ValueError(f"noise must be in [0, 1], got {self.noise}")
+
+
+class _SyntheticVocabulary:
+    """Token list with the append-only identity contract vectorizers keep."""
+
+    def __init__(self, size: int) -> None:
+        self.tokens = [f"w{i}" for i in range(size)]
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+
+class _SyntheticVectorizer:
+    """Vectorizer stand-in: just the fitted vocabulary handle."""
+
+    def __init__(self, size: int) -> None:
+        self.vocabulary = _SyntheticVocabulary(size)
+
+
+class SyntheticCorpus:
+    """Array-backed corpus stand-in for matrix-level synthetic graphs.
+
+    Duck-types the :class:`~repro.data.corpus.TweetCorpus` surface the
+    solvers and shard extraction actually consume — row-index
+    bookkeeping — without materializing tweet/user objects, which at
+    benchmark scale would cost more than the solve.  User ``i``'s id is
+    simply ``i``.
+    """
+
+    def __init__(self, author_rows: np.ndarray, num_users: int,
+                 name: str = "synthetic") -> None:
+        rows = np.ascontiguousarray(author_rows, dtype=np.int64)
+        rows.flags.writeable = False
+        self.author_rows = rows
+        self._num_users = int(num_users)
+        self.name = name
+
+    @property
+    def num_tweets(self) -> int:
+        return int(self.author_rows.shape[0])
+
+    @property
+    def num_users(self) -> int:
+        return self._num_users
+
+    @property
+    def user_ids(self) -> list[int]:
+        return list(range(self._num_users))
+
+    def user_position(self, user_id: int) -> int:
+        if not 0 <= user_id < self._num_users:
+            raise KeyError(user_id)
+        return int(user_id)
+
+    def tweet_position(self, tweet_id: int) -> int:
+        if not 0 <= tweet_id < self.num_tweets:
+            raise KeyError(tweet_id)
+        return int(tweet_id)
+
+    def __len__(self) -> int:
+        return self.num_tweets
+
+
+def _zipf_distribution(count: int, exponent: float) -> np.ndarray:
+    weights = np.arange(1, count + 1, dtype=np.float64) ** -exponent
+    return weights / weights.sum()
+
+
+def synthesize_graph(
+    config: SyntheticGraphConfig | None = None,
+    seed: RandomState = 0,
+    **overrides,
+):
+    """One synthetic :class:`~repro.graph.tripartite.TripartiteGraph`.
+
+    ``synthesize_graph(num_users=200_000)`` builds a realistic-scale
+    instance in seconds: users get Zipf-distributed activity and a
+    latent stance; tweets inherit their author's stance and draw words
+    from that stance's vocabulary block (crossing blocks with
+    probability ``noise``); retweets and ``Gu`` edges connect same-class
+    users/tweets with the same noise level; ``Sf0`` one-hot-labels the
+    covered head of each class block.  All sampling is vectorized per
+    class, so generation cost is O(nnz) numpy work.
+    """
+    import scipy.sparse as sp
+
+    from repro.graph.tripartite import TripartiteGraph
+    from repro.graph.usergraph import UserGraph
+
+    if config is None:
+        config = SyntheticGraphConfig(**overrides)
+    elif overrides:
+        raise TypeError("pass either a config or keyword overrides, not both")
+    rng = spawn_rng(seed)
+    m = config.num_users
+    k = config.num_classes
+
+    # Latent stances and Zipf activity (shuffled so user row order is
+    # uncorrelated with activity — keeps hash partitions balanced).
+    stance = rng.integers(0, k, size=m)
+    activity = _zipf_distribution(m, config.zipf_exponent)
+    rng.shuffle(activity)
+
+    n = max(1, int(round(m * config.tweets_per_user)))
+    author_rows = rng.choice(m, size=n, p=activity)
+    tweet_class = stance[author_rows]
+
+    # Vocabulary: k class blocks plus a shared neutral tail.
+    block = config.vocab_size // (k + 1)
+    vocab_size = config.vocab_size
+    shared_lo, shared_hi = k * block, vocab_size
+    block_weights = _zipf_distribution(block, config.zipf_exponent)
+    shared_weights = _zipf_distribution(shared_hi - shared_lo,
+                                        config.zipf_exponent)
+
+    # --- Xp: every word of every tweet in one pass per class ---
+    words_per_tweet = max(1, int(config.words_per_tweet))
+    total = n * words_per_tweet
+    draw_rows = np.repeat(np.arange(n, dtype=np.int64), words_per_tweet)
+    draw_class = np.repeat(tweet_class, words_per_tweet)
+    # A noise draw comes from the shared tail; in expectation this also
+    # covers cross-camp usage once classes share the tail's mass.
+    from_shared = rng.random(total) < config.noise
+    cols = np.empty(total, dtype=np.int64)
+    shared_count = int(from_shared.sum())
+    cols[from_shared] = shared_lo + rng.choice(
+        shared_hi - shared_lo, size=shared_count, p=shared_weights
+    )
+    for cls in range(k):
+        mask = ~from_shared & (draw_class == cls)
+        cols[mask] = cls * block + rng.choice(
+            block, size=int(mask.sum()), p=block_weights
+        )
+    xp = sp.coo_matrix(
+        (np.ones(total), (draw_rows, cols)), shape=(n, vocab_size)
+    ).tocsr()
+    xp.sum_duplicates()
+
+    # --- Xu: per-user word usage = author-incidence @ Xp ---
+    incidence = sp.coo_matrix(
+        (np.ones(n), (author_rows, np.arange(n))), shape=(m, n)
+    ).tocsr()
+    xu = (incidence @ xp).tocsr()
+
+    # --- Xr: homophilous retweets, activity-weighted retweeters ---
+    num_retweets = int(round(m * config.retweets_per_user))
+    retweeters = rng.choice(m, size=num_retweets, p=activity)
+    targets = np.empty(num_retweets, dtype=np.int64)
+    cross = rng.random(num_retweets) < config.noise
+    targets[cross] = rng.integers(0, n, size=int(cross.sum()))
+    for cls in range(k):
+        mask = ~cross & (stance[retweeters] == cls)
+        pool = np.flatnonzero(tweet_class == cls)
+        if pool.size == 0:
+            pool = np.arange(n)
+        targets[mask] = pool[rng.integers(0, pool.size, size=int(mask.sum()))]
+    xr = sp.coo_matrix(
+        (np.ones(num_retweets), (retweeters, targets)), shape=(m, n)
+    ).tocsr()
+    xr.sum_duplicates()
+
+    # --- Gu: symmetric same-class co-retweet edges ---
+    num_edges = int(round(m * config.edges_per_user))
+    sources = rng.choice(m, size=num_edges, p=activity)
+    partners = np.empty(num_edges, dtype=np.int64)
+    cross = rng.random(num_edges) < config.noise
+    partners[cross] = rng.integers(0, m, size=int(cross.sum()))
+    for cls in range(k):
+        mask = ~cross & (stance[sources] == cls)
+        pool = np.flatnonzero(stance == cls)
+        partners[mask] = pool[rng.integers(0, pool.size, size=int(mask.sum()))]
+    keep = sources != partners
+    half = sp.coo_matrix(
+        (np.ones(int(keep.sum())), (sources[keep], partners[keep])),
+        shape=(m, m),
+    ).tocsr()
+    gu = (half + half.T).tocsr()
+    gu.sum_duplicates()
+
+    # --- Sf0: one-hot prior over the covered head of each class block ---
+    covered = max(1, int(round(block * config.prior_coverage)))
+    sf0 = np.zeros((vocab_size, k))
+    for cls in range(k):
+        sf0[cls * block : cls * block + covered, cls] = 1.0
+
+    return TripartiteGraph(
+        corpus=SyntheticCorpus(author_rows, m),
+        vectorizer=_SyntheticVectorizer(vocab_size),
+        xp=xp,
+        xu=xu,
+        xr=xr,
+        user_graph=UserGraph(adjacency=gu),
+        sf0=sf0,
+    )

@@ -34,6 +34,7 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Any
 
+from repro.core.kernels import validate_dtype, validate_kernel
 from repro.graph.partition import validate_partitioner
 from repro.utils.executor import validate_backend
 from repro.utils.transport import validate_workers
@@ -58,6 +59,12 @@ class SolverConfig:
     Field defaults are the paper's online settings (Section 5.1), the
     same defaults :class:`~repro.core.online.OnlineTriClustering` ships
     with — an all-default ``SolverConfig`` changes nothing.
+
+    ``kernel`` selects the fused sweep-kernel implementation
+    (``"auto"``/``"numpy"``/``"numba"``; configs accept names only, not
+    :class:`~repro.core.kernels.Kernel` instances, so they stay
+    serializable) and ``dtype`` the factor precision (``"float64"``
+    default, ``"float32"`` opt-in) — see :mod:`repro.core.kernels`.
     """
 
     alpha: float = 0.9
@@ -71,6 +78,8 @@ class SolverConfig:
     update_style: str = "projector"
     state_smoothing: float = 0.8
     track_history: bool = False
+    kernel: str = "auto"
+    dtype: str = "float64"
 
     def __post_init__(self) -> None:
         _require(0.0 < self.tau <= 1.0, f"tau must be in (0, 1], got {self.tau}")
@@ -89,6 +98,13 @@ class SolverConfig:
                 f"unknown update_style {self.update_style!r}; valid "
                 "choices: " + ", ".join(repr(s) for s in UPDATE_STYLES)
             )
+        # Names only (no Kernel instances): configs must serialize.
+        _require(
+            isinstance(self.kernel, str),
+            f"solver.kernel must be a string, got {type(self.kernel).__name__}",
+        )
+        validate_kernel(self.kernel)
+        validate_dtype(self.dtype)
 
 
 @dataclass(frozen=True)

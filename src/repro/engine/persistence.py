@@ -78,6 +78,8 @@ _SOLVER_FIELDS = (
     "update_style",
     "state_smoothing",
     "track_history",
+    "kernel",
+    "dtype",
 )
 
 

@@ -59,6 +59,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.inference import infer_tweet_memberships
+from repro.core.kernels import resolve_kernel_name
 from repro.core.labeling import apply_alignment, lexicon_column_alignment
 from repro.core.online import OnlineStepResult, OnlineTriClustering
 from repro.core.sharded import ShardedOnlineTriClustering, open_solver_pool
@@ -565,6 +566,14 @@ class StreamingSentimentEngine:
             update_style=solver.update_style,
             state_smoothing=solver.state_smoothing,
             track_history=solver.track_history,
+            # A pre-configured solver may carry a Kernel *instance*;
+            # configs hold names only, so pin it to its concrete name.
+            kernel=(
+                solver.kernel
+                if isinstance(solver.kernel, str)
+                else resolve_kernel_name(solver.kernel)
+            ),
+            dtype=solver.dtype,
         )
         if isinstance(solver, ShardedOnlineTriClustering):
             sharding_config = ShardingConfig(

@@ -59,3 +59,23 @@ def write_result(name: str, text: str) -> Path:
     path = results_dir() / f"{name}.txt"
     path.write_text(text + "\n", encoding="utf-8")
     return path
+
+
+def describe_host(host: dict) -> str:
+    """One-line host summary for benchmark table titles.
+
+    ``host`` is a :func:`repro.utils.threads.host_info` dict; the BLAS
+    clause reports the live OpenBLAS pool size (the thing that actually
+    bounds GEMM parallelism) when it was detected.
+    """
+    physical = host.get("physical_cores")
+    cores = (
+        f"{physical} physical / {host['logical_cores']} logical cores"
+        if physical
+        else f"{host['logical_cores']} logical cores"
+    )
+    blas = host.get("blas_threads") or {}
+    if blas:
+        threads = sorted(set(blas.values()))
+        cores += ", BLAS " + "/".join(str(t) for t in threads) + " thr"
+    return cores

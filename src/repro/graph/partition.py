@@ -407,11 +407,16 @@ def extract_shard_blocks(
             f"has {graph.num_users}"
         )
     corpus = graph.corpus
-    author_rows = np.fromiter(
-        (corpus.user_position(t.user_id) for t in corpus.tweets),
-        dtype=np.int64,
-        count=corpus.num_tweets,
-    )
+    # Corpora expose the author-row array precomputed (duck-typed:
+    # synthetic benchmark corpora provide it without tweet objects);
+    # fall back to the per-tweet lookup loop for minimal stand-ins.
+    author_rows = getattr(corpus, "author_rows", None)
+    if author_rows is None:
+        author_rows = np.fromiter(
+            (corpus.user_position(t.user_id) for t in corpus.tweets),
+            dtype=np.int64,
+            count=corpus.num_tweets,
+        )
     tweet_assignments = (
         partition.assignments[author_rows]
         if author_rows.size

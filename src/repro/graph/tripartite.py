@@ -75,6 +75,36 @@ class TripartiteGraph:
         assert self.vectorizer.vocabulary is not None
         return self.vectorizer.vocabulary.tokens
 
+    def astype(self, dtype: np.dtype) -> "TripartiteGraph":
+        """Graph with all matrices cast to ``dtype``.
+
+        Returns ``self`` unchanged when the dtype already matches (the
+        float64 default), so the common path allocates nothing.  Solvers
+        running in the opt-in float32 mode call this once per
+        fit/partial_fit; casting the adjacency rebuilds
+        ``Du``/``Lu`` in the same dtype via :class:`UserGraph`'s derived
+        accessors.
+        """
+        if (
+            self.xp.dtype == dtype
+            and self.xu.dtype == dtype
+            and self.xr.dtype == dtype
+            and self.user_graph.adjacency.dtype == dtype
+            and (self.sf0 is None or self.sf0.dtype == dtype)
+        ):
+            return self
+        return TripartiteGraph(
+            corpus=self.corpus,
+            vectorizer=self.vectorizer,
+            xp=self.xp.astype(dtype),
+            xu=self.xu.astype(dtype),
+            xr=self.xr.astype(dtype),
+            user_graph=UserGraph(
+                adjacency=self.user_graph.adjacency.astype(dtype)
+            ),
+            sf0=None if self.sf0 is None else self.sf0.astype(dtype),
+        )
+
     def to_networkx(self) -> nx.Graph:
         """Export the full tripartite graph (Figure 2) for inspection.
 

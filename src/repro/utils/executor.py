@@ -222,7 +222,7 @@ class ThreadBackend:
 # --------------------------------------------------------------------- #
 
 
-def _process_worker_main(conn) -> None:
+def _process_worker_main(conn, blas_threads: int | None = None) -> None:
     """Worker loop: install resident states, run commands against them.
 
     The connection is a strict request→response channel — every command
@@ -231,7 +231,16 @@ def _process_worker_main(conn) -> None:
     by ``(epoch, index)``; an install under a new epoch drops every
     older state, and a ``run`` against a stale epoch is an error (the
     parent re-scatters instead of trusting leftovers).
+
+    ``blas_threads`` caps this worker's BLAS pool before any command
+    runs: forked workers inherit the parent's fully-sized OpenBLAS, and
+    W workers × per-core BLAS pools oversubscribe the machine into a
+    slowdown (see :mod:`repro.utils.threads`).
     """
+    if blas_threads is not None:
+        from repro.utils.threads import cap_blas_threads
+
+        cap_blas_threads(blas_threads)
     resident: dict[int, Any] = {}
     epoch: int | None = None
     while True:
@@ -530,12 +539,18 @@ class ProcessBackend(_ExchangeBackend):
     # -- lifecycle ----------------------------------------------------- #
 
     def _ensure_workers(self, needed: int) -> None:
+        from repro.utils.threads import worker_blas_limit
+
         target = max(1, min(self.max_workers, needed))
+        # Each worker gets its fair share of the machine's BLAS threads
+        # (pool width = the bound, not `needed`: a later call may grow
+        # the pool to it, and already-started workers keep their cap).
+        blas_threads = worker_blas_limit(self.max_workers)
         while len(self._workers) < target:
             parent_conn, child_conn = self._ctx.Pipe()
             process = self._ctx.Process(
                 target=_process_worker_main,
-                args=(child_conn,),
+                args=(child_conn, blas_threads),
                 name=f"repro-shard-worker-{len(self._workers)}",
                 daemon=True,
             )

@@ -39,6 +39,7 @@ tunnel), exactly like ``multiprocessing``'s own connection machinery.
 from __future__ import annotations
 
 import argparse
+import os
 import pickle
 import socket
 import struct
@@ -446,6 +447,10 @@ class WorkerServer:
 
 def _fleet_worker_main(conn, host: str) -> None:
     """Child entry point of :class:`LocalWorkerFleet`: bind, report, serve."""
+    # Fleet workers are always co-located, so apply the same
+    # oversubscription guard as ``python -m repro worker`` (default 1,
+    # REPRO_WORKER_BLAS_THREADS overrides; 0 leaves the pool alone).
+    _cap_worker_blas(_default_worker_blas_threads())
     server = WorkerServer(host=host, port=0)
     conn.send(server.address)
     conn.close()
@@ -518,6 +523,27 @@ class LocalWorkerFleet:
 # --------------------------------------------------------------------- #
 
 
+def _default_worker_blas_threads() -> int:
+    """Default BLAS cap for a socket worker.
+
+    A shard's per-sweep GEMMs are too small to profit from nested BLAS
+    parallelism, and several workers usually share one box, so the
+    default is 1 thread; ``REPRO_WORKER_BLAS_THREADS`` overrides it
+    (``0`` = leave the BLAS pool at its library default).
+    """
+    try:
+        return int(os.environ.get("REPRO_WORKER_BLAS_THREADS", "1"))
+    except ValueError:
+        return 1
+
+
+def _cap_worker_blas(limit: int) -> None:
+    if limit > 0:
+        from repro.utils.threads import cap_blas_threads
+
+        cap_blas_threads(limit)
+
+
 def build_worker_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro worker",
@@ -535,12 +561,23 @@ def build_worker_parser() -> argparse.ArgumentParser:
             "OS-assigned port, printed at startup)"
         ),
     )
+    parser.add_argument(
+        "--blas-threads",
+        type=int,
+        default=_default_worker_blas_threads(),
+        help=(
+            "cap this worker's BLAS threadpool (default 1, or "
+            "REPRO_WORKER_BLAS_THREADS; 0 leaves the library default, "
+            "which oversubscribes when several workers share a host)"
+        ),
+    )
     return parser
 
 
 def worker_main(argv: Sequence[str] | None = None) -> int:
     """``python -m repro worker --listen HOST:PORT``."""
     args = build_worker_parser().parse_args(argv)
+    _cap_worker_blas(args.blas_threads)
     # Unlike client addresses, a listen address may use port 0 (bind an
     # OS-assigned port); parse it leniently here.
     host, _, port_text = args.listen.rpartition(":")

@@ -151,6 +151,38 @@ class TestRoundTrip:
             loaded.classify(texts), engine.classify(texts)
         )
 
+    def test_float32_checkpoint_round_trips(
+        self, corpus, lexicon, batches, tmp_path
+    ):
+        """A float32 engine saves and warm-restarts as float32.
+
+        The dtype travels in ``SolverConfig``, the npz factor arrays
+        keep their precision, and continuation stays bitwise equal to
+        never having stopped — same contract as float64, one dtype down.
+        """
+        engine = feed(
+            StreamingSentimentEngine(
+                EngineConfig(
+                    seed=7,
+                    solver={"max_iterations": 8, "dtype": "float32"},
+                ),
+                lexicon=lexicon,
+            ),
+            corpus,
+            batches[:2],
+        )
+        assert engine.factors.su.dtype == np.float32
+        engine.save(tmp_path / "ckpt")
+        loaded = StreamingSentimentEngine.load(tmp_path / "ckpt")
+        assert loaded.config.solver.dtype == "float32"
+        feed(engine, corpus, batches[2:3])
+        feed(loaded, corpus, batches[2:3])
+        for name in ("sf", "sp", "su", "hp", "hu"):
+            original = getattr(engine.factors, name)
+            restored = getattr(loaded.factors, name)
+            assert restored.dtype == np.float32
+            np.testing.assert_array_equal(restored, original, err_msg=name)
+
     def test_no_lexicon_round_trips(self, corpus, batches, tmp_path):
         engine = feed(
             StreamingSentimentEngine(config(6)),
