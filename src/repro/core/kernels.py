@@ -90,7 +90,7 @@ def resolve_dtype(dtype: str) -> np.dtype:
     return np.dtype(dtype)
 
 
-def resolve_kernel(kernel: object = "auto") -> "Kernel":
+def resolve_kernel(kernel: object = "auto", threads: int | None = None) -> "Kernel":
     """Resolve a kernel name (or pass through an instance) to a kernel.
 
     ``"auto"`` picks numba when importable, numpy otherwise — so the same
@@ -98,6 +98,12 @@ def resolve_kernel(kernel: object = "auto") -> "Kernel":
     explicit ``"numba"`` request on a host without numba raises, because
     silently falling back would invalidate a benchmark that believes it is
     measuring compiled kernels.
+
+    ``threads`` is the tail thread budget for the numba kernel (the
+    solvers pass their ``spmm_threads`` so tails and products share one
+    budget); ``None`` uses the process default from
+    :func:`repro.utils.threads.spmm_thread_default`.  Every tail is
+    element-wise, so threading cannot change a bit of the result.
     """
     if isinstance(kernel, Kernel):
         return kernel
@@ -105,14 +111,18 @@ def resolve_kernel(kernel: object = "auto") -> "Kernel":
     if kernel == "numpy":
         return _NUMPY_KERNEL
     if kernel == "auto":
-        return _ensure_numba_kernel() if numba_available() else _NUMPY_KERNEL
+        return (
+            _ensure_numba_kernel(threads)
+            if numba_available()
+            else _NUMPY_KERNEL
+        )
     if not numba_available():
         raise RuntimeError(
             "kernel='numba' was requested but numba is not importable; "
             "install numba or use kernel='auto' (which falls back to the "
             "bit-compatible NumPy kernels)"
         )
-    return _ensure_numba_kernel()
+    return _ensure_numba_kernel(threads)
 
 
 def cast_matrix(matrix, dtype: np.dtype):
@@ -223,44 +233,86 @@ class NumpyKernel(Kernel):
     """Alias of the base implementation, for explicit construction."""
 
 
+#: Below this many rows the numba kernel always uses its serial tails:
+#: a prange region costs a fork/join barrier, and the tails are pure
+#: memory traffic that small arrays finish before threads even start.
+#: Purely a speed guard — the tails are element-wise, so serial and
+#: parallel variants are bit-identical.
+PARALLEL_TAIL_MIN_ROWS = 8192
+
+
 class NumbaKernel(Kernel):
     """Single-pass ``@njit`` tails, bit-identical to :class:`NumpyKernel`.
 
     Compilation is lazy (first call per dtype signature); the compiled
-    dispatchers are module-level so every solver instance shares them.
+    dispatchers are module-level so every solver instance shares them,
+    and ``cache=True`` persists them to disk so forked/spawned worker
+    processes load the compilation instead of re-JITting per worker.
     ``fastmath`` stays off: it would license LLVM to contract
     ``a + beta*b`` into an FMA or reassociate the maxima, either of which
     breaks the float64 bit-identity contract with the NumPy kernel.
+
+    ``threads`` (default: the shared budget from
+    :func:`repro.utils.threads.spmm_thread_default`) enables ``prange``
+    row-parallel tail variants for arrays past
+    :data:`PARALLEL_TAIL_MIN_ROWS`; every tail is element-wise, so the
+    parallel variants are bit-identical at any thread count.
     """
 
     name = "numba"
 
-    def __init__(self) -> None:
+    def __init__(self, threads: int | None = None) -> None:
         if not numba_available():  # pragma: no cover - exercised via tests
             raise RuntimeError(
                 "NumbaKernel requires numba, which is not importable"
             )
+        if threads is None:
+            from repro.utils.threads import spmm_thread_default
+
+            threads = spmm_thread_default()
+        self.threads = max(1, int(threads))
         self._impl = _numba_impl()
 
+    def _run(self, base: str, rows: int, *args):  # pragma: no cover - needs numba
+        """Dispatch to the serial or prange variant under the budget."""
+        if self.threads <= 1 or rows < PARALLEL_TAIL_MIN_ROWS:
+            return self._impl[base](*args)
+        import numba
+
+        limit = max(1, min(self.threads, int(numba.config.NUMBA_NUM_THREADS)))
+        previous = numba.get_num_threads()
+        numba.set_num_threads(limit)
+        try:
+            return self._impl[base + "_par"](*args)
+        finally:
+            numba.set_num_threads(previous)
+
     def multiply_tail(self, s, numerator, denominator):
-        return self._impl["multiply_tail"](s, numerator, denominator, EPS)
+        return self._run(
+            "multiply_tail", s.shape[0], s, numerator, denominator, EPS
+        )
 
     def projector_tail(self, s, attraction, projection):
-        return self._impl["multiply_tail"](s, attraction, projection, EPS)
+        return self._run(
+            "multiply_tail", s.shape[0], s, attraction, projection, EPS
+        )
 
     def graph_terms(self, attraction, projection, gu_su, du_su, beta):
-        return self._impl["graph_terms"](
-            attraction, projection, gu_su, du_su, beta
+        return self._run(
+            "graph_terms", attraction.shape[0],
+            attraction, projection, gu_su, du_su, beta,
         )
 
     def graph_tail(self, su, attraction, projection, gu_su, du_su, beta):
-        return self._impl["graph_tail"](
-            su, attraction, projection, gu_su, du_su, beta, EPS
+        return self._run(
+            "graph_tail", su.shape[0],
+            su, attraction, projection, gu_su, du_su, beta, EPS,
         )
 
     def prior_tail(self, sf, attraction, projection, prior, alpha):
-        return self._impl["prior_tail"](
-            sf, attraction, projection, prior, alpha, EPS
+        return self._run(
+            "prior_tail", sf.shape[0],
+            sf, attraction, projection, prior, alpha, EPS,
         )
 
 
@@ -274,14 +326,18 @@ def _numba_impl() -> dict:
     kernel — ``max`` via explicit comparisons (NumPy's ``maximum``
     semantics for the values that occur here: the inputs are products of
     non-negative factors, so NaN never arises), then divide, sqrt,
-    multiply, in that order.
+    multiply, in that order.  Each tail is built twice: a serial variant
+    and a ``prange`` row-parallel one (suffix ``_par``) — identical
+    bodies, so identical bits, and :class:`NumbaKernel` picks by row
+    count and thread budget.  ``cache=True`` persists the compilations
+    to disk so worker processes don't pay the JIT per fork.
     """
     global _NUMBA_CACHE
     if _NUMBA_CACHE is not None:
         return _NUMBA_CACHE
-    from numba import njit
+    from numba import njit, prange
 
-    @njit(cache=False)
+    @njit(cache=True)
     def multiply_tail(s, numerator, denominator, eps):
         out = np.empty_like(s)
         rows, cols = s.shape
@@ -296,7 +352,22 @@ def _numba_impl() -> dict:
                 out[i, j] = s[i, j] * np.sqrt(num / den)
         return out
 
-    @njit(cache=False)
+    @njit(cache=True, parallel=True)
+    def multiply_tail_par(s, numerator, denominator, eps):
+        out = np.empty_like(s)
+        rows, cols = s.shape
+        for i in prange(rows):
+            for j in range(cols):
+                num = numerator[i, j]
+                if num < 0.0:
+                    num = 0.0
+                den = denominator[i, j]
+                if den < eps:
+                    den = eps
+                out[i, j] = s[i, j] * np.sqrt(num / den)
+        return out
+
+    @njit(cache=True)
     def graph_terms(attraction, projection, gu_su, du_su, beta):
         numerator = np.empty_like(attraction)
         denominator = np.empty_like(projection)
@@ -307,7 +378,18 @@ def _numba_impl() -> dict:
                 denominator[i, j] = projection[i, j] + du_su[i, j] * beta
         return numerator, denominator
 
-    @njit(cache=False)
+    @njit(cache=True, parallel=True)
+    def graph_terms_par(attraction, projection, gu_su, du_su, beta):
+        numerator = np.empty_like(attraction)
+        denominator = np.empty_like(projection)
+        rows, cols = attraction.shape
+        for i in prange(rows):
+            for j in range(cols):
+                numerator[i, j] = attraction[i, j] + gu_su[i, j] * beta
+                denominator[i, j] = projection[i, j] + du_su[i, j] * beta
+        return numerator, denominator
+
+    @njit(cache=True)
     def graph_tail(su, attraction, projection, gu_su, du_su, beta, eps):
         out = np.empty_like(su)
         rows, cols = su.shape
@@ -322,7 +404,22 @@ def _numba_impl() -> dict:
                 out[i, j] = su[i, j] * np.sqrt(num / den)
         return out
 
-    @njit(cache=False)
+    @njit(cache=True, parallel=True)
+    def graph_tail_par(su, attraction, projection, gu_su, du_su, beta, eps):
+        out = np.empty_like(su)
+        rows, cols = su.shape
+        for i in prange(rows):
+            for j in range(cols):
+                num = attraction[i, j] + gu_su[i, j] * beta
+                if num < 0.0:
+                    num = 0.0
+                den = projection[i, j] + du_su[i, j] * beta
+                if den < eps:
+                    den = eps
+                out[i, j] = su[i, j] * np.sqrt(num / den)
+        return out
+
+    @njit(cache=True)
     def prior_tail(sf, attraction, projection, prior, alpha, eps):
         out = np.empty_like(sf)
         rows, cols = sf.shape
@@ -337,37 +434,57 @@ def _numba_impl() -> dict:
                 out[i, j] = sf[i, j] * np.sqrt(num / den)
         return out
 
+    @njit(cache=True, parallel=True)
+    def prior_tail_par(sf, attraction, projection, prior, alpha, eps):
+        out = np.empty_like(sf)
+        rows, cols = sf.shape
+        for i in prange(rows):
+            for j in range(cols):
+                num = attraction[i, j] + prior[i, j] * alpha
+                if num < 0.0:
+                    num = 0.0
+                den = projection[i, j] + sf[i, j] * alpha
+                if den < eps:
+                    den = eps
+                out[i, j] = sf[i, j] * np.sqrt(num / den)
+        return out
+
     _NUMBA_CACHE = {
         "multiply_tail": multiply_tail,
+        "multiply_tail_par": multiply_tail_par,
         "graph_terms": graph_terms,
+        "graph_terms_par": graph_terms_par,
         "graph_tail": graph_tail,
+        "graph_tail_par": graph_tail_par,
         "prior_tail": prior_tail,
+        "prior_tail_par": prior_tail_par,
     }
     return _NUMBA_CACHE
 
 
 _NUMPY_KERNEL = NumpyKernel()
 
-#: Lazily constructed numba singleton; building it triggers (deferred)
-#: jit compilation machinery, so module import must not touch it.
-_NUMBA_KERNEL: Kernel | None = None
+#: Lazily constructed numba kernels keyed by resolved thread budget;
+#: building one triggers (deferred) jit compilation machinery, so module
+#: import must not touch this.
+_NUMBA_KERNELS: dict[int, Kernel] = {}
 
 
-def _ensure_numba_kernel() -> Kernel:
-    global _NUMBA_KERNEL
-    if _NUMBA_KERNEL is None:
-        _NUMBA_KERNEL = NumbaKernel()
-    return _NUMBA_KERNEL
+def _ensure_numba_kernel(threads: int | None = None) -> Kernel:
+    kernel = NumbaKernel(threads=threads)
+    return _NUMBA_KERNELS.setdefault(kernel.threads, kernel)
 
 
-def get_kernel(name: str) -> Kernel:
+def get_kernel(name: str, threads: int | None = None) -> Kernel:
     """Resolve a *concrete* kernel name (``"numpy"``/``"numba"``).
 
     Used by the sharded worker commands, which receive the already
     auto-resolved name in their shard payload so every shard — local or
     remote — runs the same implementation the coordinator chose.
+    ``threads`` is the tail thread budget (speed-only; tails are
+    element-wise), resolved locally per worker.
     """
-    return resolve_kernel(name)
+    return resolve_kernel(name, threads)
 
 
 def resolve_kernel_name(kernel: object = "auto") -> str:

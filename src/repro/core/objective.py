@@ -93,6 +93,13 @@ class ObjectiveStatics:
         )
 
 
+def _dot(x: MatrixLike, dense: np.ndarray, spmm: object | None) -> np.ndarray:
+    """``x @ dense`` through an optional spmm engine (bit-identical)."""
+    if spmm is not None:
+        return spmm.matmul(x, dense)
+    return np.asarray(x @ dense)
+
+
 def trifactor_loss(
     x: MatrixLike,
     a: np.ndarray,
@@ -100,16 +107,18 @@ def trifactor_loss(
     b: np.ndarray,
     x_sq: float | None = None,
     x_T: MatrixLike | None = None,
+    spmm: object | None = None,
 ) -> float:
     """``||X − A·H·Bᵀ||²`` without densifying ``X``.
 
     ``x_sq``/``x_T`` optionally supply the precomputed ``||X||²`` and
-    transpose (see :class:`ObjectiveStatics`).
+    transpose (see :class:`ObjectiveStatics`); ``spmm`` an optional
+    :class:`~repro.core.spmm.SpmmEngine` for the sparse cross term.
     """
     ah = a @ h
     if x_T is None:
         x_T = x.T if sp.issparse(x) else np.asarray(x).T
-    cross = float(np.sum((x_T @ ah) * b))
+    cross = float(np.sum(_dot(x_T, ah, spmm) * b))
     gram = (b.T @ b) @ (h.T @ (a.T @ a) @ h)
     if x_sq is None:
         x_sq = frobenius_sq(x)
@@ -121,20 +130,23 @@ def bifactor_loss(
     a: np.ndarray,
     b: np.ndarray,
     x_sq: float | None = None,
+    spmm: object | None = None,
 ) -> float:
     """``||X − A·Bᵀ||²`` without densifying ``X``."""
-    cross = float(np.sum((x @ b) * a)) if sp.issparse(x) else float(
-        np.sum((np.asarray(x) @ b) * a)
-    )
+    cross = float(np.sum(_dot(x, b, spmm) * a))
     gram = (a.T @ a) @ (b.T @ b)
     if x_sq is None:
         x_sq = frobenius_sq(x)
     return max(x_sq - 2.0 * cross + float(np.trace(gram)), 0.0)
 
 
-def graph_penalty(su: np.ndarray, laplacian: MatrixLike) -> float:
+def graph_penalty(
+    su: np.ndarray,
+    laplacian: MatrixLike,
+    spmm: object | None = None,
+) -> float:
     """``tr(Suᵀ·Lu·Su)`` (non-negative for a PSD Laplacian)."""
-    return max(float(np.sum(su * (laplacian @ su))), 0.0)
+    return max(float(np.sum(su * _dot(laplacian, su, spmm))), 0.0)
 
 
 def compute_objective(
@@ -148,6 +160,7 @@ def compute_objective(
     su_prior: np.ndarray | None = None,
     su_prior_rows: np.ndarray | None = None,
     statics: ObjectiveStatics | None = None,
+    spmm: object | None = None,
 ) -> ObjectiveValue:
     """Evaluate every component of the (offline or online) objective.
 
@@ -162,22 +175,29 @@ def compute_objective(
         Optional precomputed data-matrix constants; evaluations with and
         without them are bit-identical (the sharded solver evaluates the
         objective once per shard per sweep and amortizes these).
+    spmm:
+        Optional :class:`~repro.core.spmm.SpmmEngine` for the sparse
+        products (float64 bit-identical, speed-only).
     """
     if statics is None:
-        tweet_loss = trifactor_loss(xp, factors.sp, factors.hp, factors.sf)
-        user_loss = trifactor_loss(xu, factors.su, factors.hu, factors.sf)
-        retweet_loss = bifactor_loss(xr, factors.su, factors.sp)
+        tweet_loss = trifactor_loss(
+            xp, factors.sp, factors.hp, factors.sf, spmm=spmm
+        )
+        user_loss = trifactor_loss(
+            xu, factors.su, factors.hu, factors.sf, spmm=spmm
+        )
+        retweet_loss = bifactor_loss(xr, factors.su, factors.sp, spmm=spmm)
     else:
         tweet_loss = trifactor_loss(
             xp, factors.sp, factors.hp, factors.sf,
-            x_sq=statics.xp_sq, x_T=statics.xp_T,
+            x_sq=statics.xp_sq, x_T=statics.xp_T, spmm=spmm,
         )
         user_loss = trifactor_loss(
             xu, factors.su, factors.hu, factors.sf,
-            x_sq=statics.xu_sq, x_T=statics.xu_T,
+            x_sq=statics.xu_sq, x_T=statics.xu_T, spmm=spmm,
         )
         retweet_loss = bifactor_loss(
-            xr, factors.su, factors.sp, x_sq=statics.xr_sq
+            xr, factors.su, factors.sp, x_sq=statics.xr_sq, spmm=spmm
         )
 
     lexicon_loss = 0.0
@@ -187,7 +207,9 @@ def compute_objective(
 
     graph_loss = 0.0
     if weights.beta > 0:
-        graph_loss = weights.beta * graph_penalty(factors.su, laplacian)
+        graph_loss = weights.beta * graph_penalty(
+            factors.su, laplacian, spmm=spmm
+        )
 
     temporal_loss = 0.0
     if su_prior is not None and weights.gamma > 0:

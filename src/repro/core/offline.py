@@ -20,6 +20,11 @@ from repro.core.objective import (
     ObjectiveWeights,
     compute_objective,
 )
+from repro.core.spmm import (
+    resolve_spmm,
+    validate_spmm,
+    validate_spmm_threads,
+)
 from repro.core.state import FactorSet
 from repro.core.sweepcache import SweepCache
 from repro.core.updates import (
@@ -95,6 +100,17 @@ class OfflineTriClustering:
         ``"float64"`` (default, bit-identity guarantees) or ``"float32"``
         (opt-in bandwidth-saving mode; results track float64 within a
         documented tolerance — see ``tests/core/test_kernels.py``).
+    spmm:
+        Sparse·dense product engine: ``"auto"`` (numba when importable,
+        scipy otherwise), ``"scipy"``, ``"threads"``, ``"numba"``, or an
+        :class:`~repro.core.spmm.SpmmEngine` instance.  Engines are
+        float64 bit-identical (see :mod:`repro.core.spmm`), so this
+        affects speed only.
+    spmm_threads:
+        Thread budget for the parallel spmm engines and the numba kernel
+        tails; ``None`` uses the process default (worker fair share or
+        the affinity core count — see
+        :func:`repro.utils.threads.spmm_thread_default`).
     """
 
     def __init__(
@@ -110,6 +126,8 @@ class OfflineTriClustering:
         update_style: str = "projector",
         kernel: object = "auto",
         dtype: str = "float64",
+        spmm: object = "auto",
+        spmm_threads: int | None = None,
     ) -> None:
         if num_classes < 2:
             raise ValueError(f"num_classes must be >= 2, got {num_classes}")
@@ -131,6 +149,10 @@ class OfflineTriClustering:
         self.kernel = kernel
         self.dtype = dtype
         self._np_dtype = resolve_dtype(dtype)
+        validate_spmm(spmm)
+        validate_spmm_threads(spmm_threads)
+        self.spmm = spmm
+        self.spmm_threads = spmm_threads
 
     # ------------------------------------------------------------------ #
 
@@ -177,7 +199,8 @@ class OfflineTriClustering:
     ) -> TriClusteringResult:
         """Run Algorithm 1 on a :class:`TripartiteGraph`."""
         rng = spawn_rng(self.seed)
-        kernel = resolve_kernel(self.kernel)
+        kernel = resolve_kernel(self.kernel, threads=self.spmm_threads)
+        spmm_engine = resolve_spmm(self.spmm, self.spmm_threads)
         graph = graph.astype(self._np_dtype)  # no-op in the float64 default
         xp, xu, xr = graph.xp, graph.xu, graph.xr
         gu = graph.user_graph.adjacency
@@ -200,7 +223,10 @@ class OfflineTriClustering:
         statics = ObjectiveStatics.from_matrices(xp, xu, xr)
         # The sweep cache shares the statics' CSR transposes so the
         # Sf-update products stream row-wise without re-materializing.
-        cache = SweepCache(xp, xu, xr, xp_T=statics.xp_T, xu_T=statics.xu_T)
+        cache = SweepCache(
+            xp, xu, xr, xp_T=statics.xp_T, xu_T=statics.xu_T,
+            spmm=spmm_engine,
+        )
         for iteration in range(self.max_iterations):
             # Algorithm 1 order: Sp, Hp, Su, Hu, Sf.
             factors.sp = update_sp(
@@ -248,7 +274,7 @@ class OfflineTriClustering:
             if self.track_history or self.tolerance > 0:
                 objective = compute_objective(
                     factors, xp, xu, xr, laplacian, self.weights,
-                    sf_prior=sf0, statics=statics,
+                    sf_prior=sf0, statics=statics, spmm=spmm_engine,
                 )
                 history.append(objective)
                 if history.converged(self.tolerance, window=self.patience):
@@ -265,7 +291,7 @@ class OfflineTriClustering:
             history.append(
                 compute_objective(
                     factors, xp, xu, xr, laplacian, self.weights,
-                    sf_prior=sf0, statics=statics,
+                    sf_prior=sf0, statics=statics, spmm=spmm_engine,
                 )
             )
         return TriClusteringResult(

@@ -30,6 +30,11 @@ from repro.core.objective import (
     ObjectiveWeights,
     compute_objective,
 )
+from repro.core.spmm import (
+    resolve_spmm,
+    validate_spmm,
+    validate_spmm_threads,
+)
 from repro.core.state import FactorSet
 from repro.core.sweepcache import SweepCache
 from repro.core.updates import (
@@ -91,6 +96,10 @@ class OnlineTriClustering:
         Sweep-kernel implementation and factor dtype; see
         :class:`~repro.core.offline.OfflineTriClustering` and
         :mod:`repro.core.kernels`.
+    spmm / spmm_threads:
+        Sparse·dense product engine and its thread budget; see
+        :class:`~repro.core.offline.OfflineTriClustering` and
+        :mod:`repro.core.spmm` (float64 bit-identical, speed-only).
     """
 
     def __init__(
@@ -110,6 +119,8 @@ class OnlineTriClustering:
         state_smoothing: float = 0.8,
         kernel: object = "auto",
         dtype: str = "float64",
+        spmm: object = "auto",
+        spmm_threads: int | None = None,
     ) -> None:
         if num_classes < 2:
             raise ValueError(f"num_classes must be >= 2, got {num_classes}")
@@ -137,6 +148,10 @@ class OnlineTriClustering:
         self.kernel = kernel
         self.dtype = dtype
         self._np_dtype = resolve_dtype(dtype)
+        validate_spmm(spmm)
+        validate_spmm_threads(spmm_threads)
+        self.spmm = spmm
+        self.spmm_threads = spmm_threads
         self._rng = spawn_rng(seed)
 
         self._sf_history: deque[np.ndarray] = deque(maxlen=window - 1)
@@ -335,7 +350,8 @@ class OnlineTriClustering:
         evolving_rows: np.ndarray,
     ) -> "_OptimizeOutput":
         """Algorithm 2 inner loop (lines 3-8)."""
-        kernel = resolve_kernel(self.kernel)
+        kernel = resolve_kernel(self.kernel, threads=self.spmm_threads)
+        spmm_engine = resolve_spmm(self.spmm, self.spmm_threads)
         graph = graph.astype(self._np_dtype)  # no-op in the float64 default
         factors = factors.astype(self._np_dtype)
         if sfw is not None:
@@ -355,7 +371,10 @@ class OnlineTriClustering:
         # evaluations through it are bit-identical, just cheaper.  The
         # sweep cache shares its CSR transposes (and adds ``Xrᵀ``).
         statics = ObjectiveStatics.from_matrices(xp, xu, xr)
-        cache = SweepCache(xp, xu, xr, xp_T=statics.xp_T, xu_T=statics.xu_T)
+        cache = SweepCache(
+            xp, xu, xr, xp_T=statics.xp_T, xu_T=statics.xu_T,
+            spmm=spmm_engine,
+        )
         for iteration in range(self.max_iterations):
             factors.sf = update_sf(
                 factors.sf,
@@ -414,6 +433,7 @@ class OnlineTriClustering:
                     su_prior=su_prior,
                     su_prior_rows=evolving_rows if su_prior is not None else None,
                     statics=statics,
+                    spmm=spmm_engine,
                 )
                 history.append(objective)
                 if history.converged(self.tolerance, window=self.patience):
@@ -433,6 +453,7 @@ class OnlineTriClustering:
                     su_prior=su_prior,
                     su_prior_rows=evolving_rows if su_prior is not None else None,
                     statics=statics,
+                    spmm=spmm_engine,
                 )
             )
         return self._OptimizeOutput(

@@ -61,6 +61,7 @@ from repro.core.kernels import get_kernel, resolve_kernel_name
 from repro.core.objective import ObjectiveValue, ObjectiveWeights, compute_objective
 from repro.core.offline import OfflineTriClustering, TriClusteringResult
 from repro.core.online import OnlineTriClustering
+from repro.core.spmm import get_spmm, resolve_spmm_name
 from repro.core.state import FactorSet
 from repro.core.sweepcache import SweepCache
 from repro.core.updates import (
@@ -85,6 +86,7 @@ from repro.utils.executor import (
     default_worker_count,
     validate_backend,
 )
+from repro.utils.threads import affinity_core_count
 from repro.utils.transport import validate_workers
 from repro.utils.matrices import safe_sqrt_ratio
 from repro.utils.rng import spawn_rng
@@ -122,11 +124,6 @@ def resolve_shard_count(
     return int(n_shards)
 
 
-def _dot(x, dense: np.ndarray) -> np.ndarray:
-    """``x @ dense`` returning a plain ndarray for sparse or dense ``x``."""
-    return np.asarray(x @ dense)
-
-
 @dataclass
 class _ShardState:
     """One shard's live factors plus its sweep-local context.
@@ -148,6 +145,14 @@ class _ShardState:
     #: coordinator so every shard — local or remote — runs the same
     #: implementation ("auto" must not re-resolve per worker host).
     kernel: str = "numpy"
+    #: Concrete spmm engine name ("scipy"/"threads"/"numba"), pinned by
+    #: the coordinator for the same cross-host reason.  Engines are
+    #: float64 bit-identical, so this (and the thread budget below) is
+    #: speed-only.
+    spmm: str = "scipy"
+    #: Per-shard spmm thread budget; ``None`` defers to the worker
+    #: process's installed default (fair share) or the core count.
+    spmm_threads: int | None = None
 
 
 # --------------------------------------------------------------------- #
@@ -171,11 +176,16 @@ def _shard_state_payload(state: _ShardState) -> tuple:
         state.su_prior,
         state.evolving_rows,
         state.kernel,
+        state.spmm,
+        state.spmm_threads,
     )
 
 
 def _shard_state_from_payload(payload: tuple) -> _ShardState:
-    block_payload, sp, su, hp, hu, su_prior, evolving_rows, kernel = payload
+    (
+        block_payload, sp, su, hp, hu, su_prior, evolving_rows, kernel,
+        spmm, spmm_threads,
+    ) = payload
     block = ShardBlock.from_payload(block_payload)
     return _ShardState(
         block=block,
@@ -183,17 +193,28 @@ def _shard_state_from_payload(payload: tuple) -> _ShardState:
         su=su,
         hp=hp,
         hu=hu,
-        cache=_shard_cache(block),
+        cache=_shard_cache(block, spmm, spmm_threads),
         su_prior=su_prior,
         evolving_rows=evolving_rows,
         kernel=kernel,
+        spmm=spmm,
+        spmm_threads=spmm_threads,
     )
 
 
-def _shard_cache(block: ShardBlock) -> SweepCache:
-    """A shard's sweep cache, sharing the block's CSR transposes."""
+def _shard_cache(
+    block: ShardBlock, spmm: str = "scipy", spmm_threads: int | None = None
+) -> SweepCache:
+    """A shard's sweep cache, sharing the block's CSR transposes.
+
+    The engine is rebuilt from its pinned name wherever the state lands
+    (engines hold thread pools / compiled functions and never cross the
+    pickle boundary); ``spmm_threads=None`` picks up the worker's
+    installed fair-share default locally.
+    """
     return SweepCache(
-        block.xp, block.xu, block.xr, xp_T=block.xp_T, xu_T=block.xu_T
+        block.xp, block.xu, block.xr, xp_T=block.xp_T, xu_T=block.xu_T,
+        spmm=get_spmm(spmm, spmm_threads),
     )
 
 
@@ -209,6 +230,7 @@ def _shard_contribution(state: _ShardState) -> np.ndarray:
         state.sp, state.hp, state.su, state.hu,
         state.block.xp, state.block.xu,
         xp_T=state.cache.xp_T(), xu_T=state.cache.xu_T(),
+        spmm=state.cache.spmm,
     )
 
 
@@ -217,7 +239,7 @@ def _shard_offline_pass(
 ) -> np.ndarray:
     """Algorithm 1 order within one shard: Sp, Hp, Su, Hu."""
     block = state.block
-    kernel = get_kernel(state.kernel)
+    kernel = get_kernel(state.kernel, threads=state.spmm_threads)
     if block.num_tweets:
         state.sp = update_sp(
             state.sp, sf, state.hp, state.su, block.xp, block.xr,
@@ -245,7 +267,7 @@ def _shard_online_pass(
 ) -> np.ndarray:
     """Algorithm 2 order within one shard: Sp, Hp, Hu, Su."""
     block = state.block
-    kernel = get_kernel(state.kernel)
+    kernel = get_kernel(state.kernel, threads=state.spmm_threads)
     if block.num_tweets:
         state.sp = update_sp(
             state.sp, sf, state.hp, state.su, block.xp, block.xr,
@@ -291,6 +313,7 @@ def _shard_objective(
         su_prior=state.su_prior if su_prior_active else None,
         su_prior_rows=state.evolving_rows if su_prior_active else None,
         statics=block.statics,
+        spmm=state.cache.spmm,
     )
 
 
@@ -312,7 +335,7 @@ def _shard_merge_upload(state: _ShardState, sf: np.ndarray) -> dict:
     ):
         if rows:
             upload[f"{which}_terms"] = (
-                rows, factor.T @ _dot(data, sf), factor.T @ factor
+                rows, factor.T @ state.cache.dot(data, sf), factor.T @ factor
             )
         else:
             upload[f"{which}_terms"] = None
@@ -345,6 +368,8 @@ class ShardedSolver:
         su_prior: np.ndarray | None = None,
         evolving_rows: np.ndarray | None = None,
         kernel: str = "numpy",
+        spmm: str = "scipy",
+        spmm_threads: int | None = None,
     ) -> None:
         if update_style != "projector":
             raise ValueError(
@@ -353,9 +378,24 @@ class ShardedSolver:
         # Pin "auto" (or an instance) to a concrete kernel name here, so
         # every shard — including ones resident on remote worker hosts —
         # runs the same implementation regardless of what is importable
-        # over there.
+        # over there.  Same for the spmm engine: the *name* crosses the
+        # pool, never the engine object.
         kernel = resolve_kernel_name(kernel)
-        self._kernel = get_kernel(kernel)
+        spmm = resolve_spmm_name(spmm)
+        if (
+            spmm_threads is None
+            and pool.backend == "thread"
+            and pool.max_workers is not None
+            and pool.max_workers > 1
+        ):
+            # Thread-backend shards share this process: give each
+            # concurrently running shard its fair share of the cores so
+            # W shards × T spmm threads never oversubscribes.  (The
+            # serial backend keeps the full budget; process/socket
+            # workers install their own fair-share default at startup.)
+            concurrent = max(1, min(len(sharded.blocks), pool.max_workers))
+            spmm_threads = max(1, affinity_core_count() // concurrent)
+        self._kernel = get_kernel(kernel, threads=spmm_threads)
         self.sharded = sharded
         self.pool = pool
         self.update_style = update_style
@@ -383,10 +423,12 @@ class ShardedSolver:
                     su=factors.su[block.user_rows],
                     hp=factors.hp.copy(),
                     hu=factors.hu.copy(),
-                    cache=_shard_cache(block),
+                    cache=_shard_cache(block, spmm, spmm_threads),
                     su_prior=shard_prior,
                     evolving_rows=shard_evolving,
                     kernel=kernel,
+                    spmm=spmm,
+                    spmm_threads=spmm_threads,
                 )
             )
         # One shipment per solve; sweeps exchange only Sf and l×k pieces.
@@ -639,6 +681,8 @@ class ShardedTriClustering(OfflineTriClustering):
         update_style: str = "projector",
         kernel: object = "auto",
         dtype: str = "float64",
+        spmm: object = "auto",
+        spmm_threads: int | None = None,
         n_shards: int | str = 1,
         partitioner="hash",
         max_workers: int | None = None,
@@ -659,6 +703,8 @@ class ShardedTriClustering(OfflineTriClustering):
             update_style=update_style,
             kernel=kernel,
             dtype=dtype,
+            spmm=spmm,
+            spmm_threads=spmm_threads,
         )
         self.n_shards = n_shards
         self.partitioner = partitioner
@@ -682,6 +728,7 @@ class ShardedTriClustering(OfflineTriClustering):
         # in the float64 default), so 1-shard trajectories stay
         # bit-identical to it in either dtype.
         kernel = resolve_kernel_name(self.kernel)
+        spmm = resolve_spmm_name(self.spmm)
         graph = graph.astype(self._np_dtype)
         self._validate_prior(graph)
         factors = self._initial_factors(graph, rng, initial_factors).astype(
@@ -708,7 +755,7 @@ class ShardedTriClustering(OfflineTriClustering):
         try:
             solver = ShardedSolver(
                 sharded, factors, pool, update_style=self.update_style,
-                kernel=kernel,
+                kernel=kernel, spmm=spmm, spmm_threads=self.spmm_threads,
             )
             for iteration in range(self.max_iterations):
                 solver.offline_sweep(self.weights, sf0)
@@ -770,6 +817,8 @@ class ShardedOnlineTriClustering(OnlineTriClustering):
         state_smoothing: float = 0.8,
         kernel: object = "auto",
         dtype: str = "float64",
+        spmm: object = "auto",
+        spmm_threads: int | None = None,
         n_shards: int | str = 1,
         partitioner="hash",
         max_workers: int | None = None,
@@ -794,6 +843,8 @@ class ShardedOnlineTriClustering(OnlineTriClustering):
             state_smoothing=state_smoothing,
             kernel=kernel,
             dtype=dtype,
+            spmm=spmm,
+            spmm_threads=spmm_threads,
         )
         self.n_shards = n_shards
         self.partitioner = partitioner
@@ -820,6 +871,7 @@ class ShardedOnlineTriClustering(OnlineTriClustering):
         # Same cast sequence as the plain solver's _optimize (no-ops in
         # the float64 default) for 1-shard bit-identity in either dtype.
         kernel = resolve_kernel_name(self.kernel)
+        spmm = resolve_spmm_name(self.spmm)
         graph = graph.astype(self._np_dtype)
         factors = factors.astype(self._np_dtype)
         if sfw is not None:
@@ -853,6 +905,8 @@ class ShardedOnlineTriClustering(OnlineTriClustering):
                 su_prior=su_prior,
                 evolving_rows=evolving_rows,
                 kernel=kernel,
+                spmm=spmm,
+                spmm_threads=self.spmm_threads,
             )
             su_prior_active = su_prior is not None
             for iteration in range(self.max_iterations):

@@ -56,6 +56,8 @@ from collections.abc import Callable
 import numpy as np
 import scipy.sparse as sp
 
+from repro.core.spmm import SpmmEngine, default_spmm
+
 MatrixLike = np.ndarray | sp.spmatrix
 
 #: Per-column byte budget for the dense operand of a materialized-CSR
@@ -68,11 +70,6 @@ MatrixLike = np.ndarray | sp.spmatrix
 #: threshold is shape-and-itemsize deterministic, so every shard and
 #: backend of one problem makes the same (bitwise-neutral) choice.
 TRANSPOSE_OPERAND_BUDGET = 256 * 1024
-
-
-def _dot(x: MatrixLike, dense: np.ndarray) -> np.ndarray:
-    """``x @ dense`` returning a plain ndarray for sparse or dense ``x``."""
-    return np.asarray(x @ dense)
 
 
 class SweepCache:
@@ -93,6 +90,14 @@ class SweepCache:
         :class:`~repro.core.objective.ObjectiveStatics` pass its
         transposes in, so the arrays are shared rather than
         re-materialized.
+    spmm:
+        Optional :class:`~repro.core.spmm.SpmmEngine` that evaluates the
+        sparse·dense products routed through :meth:`dot` (``None`` uses
+        the scipy reference engine).  Engines are bit-identical in
+        float64, so the choice is speed-only; an engine with
+        ``prefers_csr`` additionally overrides the transpose layout
+        policy (see :meth:`_materialize_wins`) because its row-parallel
+        fast path needs the materialized CSR form.
     """
 
     def __init__(
@@ -102,16 +107,28 @@ class SweepCache:
         xr: MatrixLike | None = None,
         xp_T: MatrixLike | None = None,
         xu_T: MatrixLike | None = None,
+        spmm: SpmmEngine | None = None,
     ) -> None:
         self.xp = xp
         self.xu = xu
         self.xr = xr
+        self.spmm = spmm if spmm is not None else default_spmm()
         self._xp_T = xp_T
         self._xu_T = xu_T
         self._xr_T: MatrixLike | None = None
         self._memo: dict[str, tuple[tuple[np.ndarray, ...], np.ndarray]] = {}
         self._hits = 0
         self._misses = 0
+
+    def dot(self, x: MatrixLike, dense: np.ndarray) -> np.ndarray:
+        """``x @ dense`` through this cache's spmm engine.
+
+        The uncached-update call sites route their products here so one
+        solver-level knob selects the engine for every product of a
+        solve; engines are float64 bit-identical, so this never changes
+        a result.
+        """
+        return self.spmm.matmul(x, dense)
 
     # ------------------------------------------------------------------ #
     # Memoization machinery
@@ -150,18 +167,27 @@ class SweepCache:
 
     def xp_sf(self, sf: np.ndarray) -> np.ndarray:
         """``Xp·Sf`` — shared by the ``Sp`` and ``Hp`` updates."""
-        return self._get("xp_sf", (sf,), lambda: _dot(self.xp, sf))
+        return self._get("xp_sf", (sf,), lambda: self.dot(self.xp, sf))
 
     def xu_sf(self, sf: np.ndarray) -> np.ndarray:
         """``Xu·Sf`` — shared by the ``Su`` and ``Hu`` updates."""
-        return self._get("xu_sf", (sf,), lambda: _dot(self.xu, sf))
+        return self._get("xu_sf", (sf,), lambda: self.dot(self.xu, sf))
 
     # ------------------------------------------------------------------ #
     # Per-solve CSR transposes (bitwise-equal to the lazy ``.T`` views)
     # ------------------------------------------------------------------ #
 
     def _materialize_wins(self, operand_rows: int, itemsize: int) -> bool:
-        """Working-set policy behind the transpose accessors."""
+        """Working-set policy behind the transpose accessors.
+
+        An spmm engine that ``prefers_csr`` overrides the budget: its
+        row-parallel fast path only engages on materialized CSR (a lazy
+        CSC view falls back to scipy's serial product), and the parallel
+        win dominates the gather-vs-stream trade the budget models.
+        Either layout is bitwise equal, so this stays speed-only.
+        """
+        if self.spmm.prefers_csr:
+            return True
         return operand_rows * itemsize <= TRANSPOSE_OPERAND_BUDGET
 
     def xr_T(self) -> MatrixLike | None:

@@ -20,9 +20,14 @@ from repro.core.initialization import lexicon_seeded_factors, random_factors
 from repro.core.kernels import resolve_kernel, validate_kernel
 from repro.core.objective import bifactor_loss, trifactor_loss
 from repro.core.regularizers import Regularizer
+from repro.core.spmm import (
+    resolve_spmm,
+    validate_spmm,
+    validate_spmm_threads,
+)
 from repro.core.state import FactorSet
 from repro.core.sweepcache import SweepCache
-from repro.core.updates import _dot, _project, update_hp, update_hu
+from repro.core.updates import _project, update_hp, update_hu
 from repro.graph.tripartite import TripartiteGraph
 from repro.utils.rng import RandomState, spawn_rng
 
@@ -59,6 +64,8 @@ class UnifiedTriClustering:
         patience: int = 3,
         seed: RandomState = None,
         kernel: object = "auto",
+        spmm: object = "auto",
+        spmm_threads: int | None = None,
     ) -> None:
         if num_classes < 2:
             raise ValueError(f"num_classes must be >= 2, got {num_classes}")
@@ -72,6 +79,10 @@ class UnifiedTriClustering:
         self.seed = seed
         validate_kernel(kernel)
         self.kernel = kernel
+        validate_spmm(spmm)
+        validate_spmm_threads(spmm_threads)
+        self.spmm = spmm
+        self.spmm_threads = spmm_threads
 
     # ------------------------------------------------------------------ #
 
@@ -103,13 +114,16 @@ class UnifiedTriClustering:
         regularizer_values: list[dict[str, float]] = []
         converged = False
         iterations_run = 0
-        kernel = resolve_kernel(self.kernel)
-        cache = SweepCache(xp, xu, xr)
+        kernel = resolve_kernel(self.kernel, threads=self.spmm_threads)
+        spmm_engine = resolve_spmm(self.spmm, self.spmm_threads)
+        cache = SweepCache(xp, xu, xr, spmm=spmm_engine)
         for iteration in range(self.max_iterations):
             self._sweep(factors, xp, xu, xr, cache, kernel)
             iterations_run = iteration + 1
 
-            total, values = self._objective(factors, xp, xu, xr)
+            total, values = self._objective(
+                factors, xp, xu, xr, spmm_engine
+            )
             totals.append(total)
             regularizer_values.append(values)
             if self._converged(totals):
@@ -132,7 +146,7 @@ class UnifiedTriClustering:
         """One full update sweep in Algorithm 1's order."""
         # Sp: attraction from words and retweeters.
         xr_T = cache.xr_T()
-        attraction = cache.xp_sf(factors.sf) @ factors.hp.T + _dot(
+        attraction = cache.xp_sf(factors.sf) @ factors.hp.T + cache.dot(
             xr.T if xr_T is None else xr_T, factors.su
         )
         numerator, denominator = self._regularized(
@@ -145,7 +159,7 @@ class UnifiedTriClustering:
         )
 
         # Su: attraction from words and posted/retweeted tweets.
-        attraction = cache.xu_sf(factors.sf) @ factors.hu.T + _dot(
+        attraction = cache.xu_sf(factors.sf) @ factors.hu.T + cache.dot(
             xr, factors.sp
         )
         numerator, denominator = self._regularized(
@@ -159,9 +173,9 @@ class UnifiedTriClustering:
 
         # Sf: attraction from tweet and user usage.
         xp_T, xu_T = cache.xp_T(), cache.xu_T()
-        attraction = _dot(
+        attraction = cache.dot(
             xp.T if xp_T is None else xp_T, factors.sp
-        ) @ factors.hp + _dot(
+        ) @ factors.hp + cache.dot(
             xu.T if xu_T is None else xu_T, factors.su
         ) @ factors.hu
         numerator, denominator = self._regularized(
@@ -188,12 +202,12 @@ class UnifiedTriClustering:
         return numerator, denominator
 
     def _objective(
-        self, factors: FactorSet, xp, xu, xr
+        self, factors: FactorSet, xp, xu, xr, spmm=None
     ) -> tuple[float, dict[str, float]]:
         total = (
-            trifactor_loss(xp, factors.sp, factors.hp, factors.sf)
-            + trifactor_loss(xu, factors.su, factors.hu, factors.sf)
-            + bifactor_loss(xr, factors.su, factors.sp)
+            trifactor_loss(xp, factors.sp, factors.hp, factors.sf, spmm=spmm)
+            + trifactor_loss(xu, factors.su, factors.hu, factors.sf, spmm=spmm)
+            + bifactor_loss(xr, factors.su, factors.sp, spmm=spmm)
         )
         values: dict[str, float] = {}
         for index, regularizer in enumerate(self.regularizers):

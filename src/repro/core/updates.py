@@ -69,6 +69,20 @@ def _dot(x: MatrixLike, dense: np.ndarray) -> np.ndarray:
     return np.asarray(x @ dense)
 
 
+def _cache_dot(
+    cache: SweepCache | None, x: MatrixLike, dense: np.ndarray
+) -> np.ndarray:
+    """``x @ dense`` through the cache's spmm engine when one is present.
+
+    Engines are float64 bit-identical (see :mod:`repro.core.spmm`), so
+    routing through the cache never changes a result — it only lets one
+    solver-level knob accelerate every product of a sweep.
+    """
+    if cache is not None:
+        return cache.dot(x, dense)
+    return _dot(x, dense)
+
+
 def _project(s: np.ndarray, n: np.ndarray) -> np.ndarray:
     """``S·Sᵀ·N`` computed as ``S·(Sᵀ·N)`` — O(rows·k²)."""
     return s @ (s.T @ n)
@@ -143,7 +157,7 @@ def update_sp(
     xp_sf = cache.xp_sf(sf) if cache is not None else _dot(xp, sf)
     xr_T = cache.xr_T() if cache is not None else None
     attraction = kernel.accumulate(                    # XpSfHpᵀ + XrᵀSu, n×k
-        xp_sf @ hp.T, _dot(xr.T if xr_T is None else xr_T, su)
+        xp_sf @ hp.T, _cache_dot(cache, xr.T if xr_T is None else xr_T, su)
     )
 
     if style == "projector":
@@ -194,10 +208,10 @@ def update_su(
     kernel = kernel if kernel is not None else default_kernel()
     xu_sf = cache.xu_sf(sf) if cache is not None else _dot(xu, sf)
     factor_attraction = kernel.accumulate(             # XuSfHuᵀ + XrSp, m×k
-        xu_sf @ hu.T, _dot(xr, sp_factor)
+        xu_sf @ hu.T, _cache_dot(cache, xr, sp_factor)
     )
-    gu_su = _dot(gu, su)
-    du_su = _dot(du, su)
+    gu_su = _cache_dot(cache, gu, su)
+    du_su = _cache_dot(cache, du, su)
 
     if style == "projector":
         projection = _project(su, factor_attraction)
@@ -243,6 +257,7 @@ def sf_sweep_contribution(
     xu: MatrixLike,
     xp_T: MatrixLike | None = None,
     xu_T: MatrixLike | None = None,
+    spmm: object | None = None,
 ) -> np.ndarray:
     """One block's additive attraction to the ``Sf`` update (Eq. 7).
 
@@ -255,10 +270,13 @@ def sf_sweep_contribution(
     ``xp_T``/``xu_T`` optionally supply CSR-materialized transposes
     (the sharded solver precomputes them per snapshot); sparse products
     through them accumulate in the same order as through the lazy
-    ``.T`` views, so the result is unchanged bitwise.
+    ``.T`` views, so the result is unchanged bitwise.  ``spmm``
+    optionally supplies an :class:`~repro.core.spmm.SpmmEngine` for the
+    two transpose products (float64 bit-identical, speed-only).
     """
-    attraction = _dot(xu.T if xu_T is None else xu_T, su) @ hu     # l×k
-    attraction += _dot(xp.T if xp_T is None else xp_T, sp_factor) @ hp
+    dot = _dot if spmm is None else spmm.matmul
+    attraction = dot(xu.T if xu_T is None else xu_T, su) @ hu      # l×k
+    attraction += dot(xp.T if xp_T is None else xp_T, sp_factor) @ hp
     return attraction
 
 
@@ -312,6 +330,7 @@ def update_sf(
         xu,
         xp_T=cache.xp_T() if cache is not None else None,
         xu_T=cache.xu_T() if cache is not None else None,
+        spmm=cache.spmm if cache is not None else None,
     )
 
     if style == "projector":
@@ -387,10 +406,10 @@ def update_su_online(
     kernel = kernel if kernel is not None else default_kernel()
     xu_sf = cache.xu_sf(sf) if cache is not None else _dot(xu, sf)
     factor_attraction = kernel.accumulate(             # XuSfHuᵀ + XrSp, m×k
-        xu_sf @ hu.T, _dot(xr, sp_factor)
+        xu_sf @ hu.T, _cache_dot(cache, xr, sp_factor)
     )
-    gu_su = _dot(gu, su)
-    du_su = _dot(du, su)
+    gu_su = _cache_dot(cache, gu, su)
+    du_su = _cache_dot(cache, du, su)
 
     has_temporal = (
         su_prior is not None

@@ -35,6 +35,7 @@ from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Any
 
 from repro.core.kernels import validate_dtype, validate_kernel
+from repro.core.spmm import validate_spmm, validate_spmm_threads
 from repro.graph.partition import validate_partitioner
 from repro.utils.executor import validate_backend
 from repro.utils.transport import validate_workers
@@ -65,6 +66,11 @@ class SolverConfig:
     :class:`~repro.core.kernels.Kernel` instances, so they stay
     serializable) and ``dtype`` the factor precision (``"float64"``
     default, ``"float32"`` opt-in) — see :mod:`repro.core.kernels`.
+    ``spmm`` selects the sparse·dense product engine
+    (``"auto"``/``"scipy"``/``"threads"``/``"numba"``, names only) and
+    ``spmm_threads`` its thread budget (``None`` = process default) —
+    see :mod:`repro.core.spmm`; engines are float64 bit-identical, so
+    both knobs are speed-only.
     """
 
     alpha: float = 0.9
@@ -80,6 +86,8 @@ class SolverConfig:
     track_history: bool = False
     kernel: str = "auto"
     dtype: str = "float64"
+    spmm: str = "auto"
+    spmm_threads: int | None = None
 
     def __post_init__(self) -> None:
         _require(0.0 < self.tau <= 1.0, f"tau must be in (0, 1], got {self.tau}")
@@ -105,6 +113,12 @@ class SolverConfig:
         )
         validate_kernel(self.kernel)
         validate_dtype(self.dtype)
+        _require(
+            isinstance(self.spmm, str),
+            f"solver.spmm must be a string, got {type(self.spmm).__name__}",
+        )
+        validate_spmm(self.spmm)
+        validate_spmm_threads(self.spmm_threads)
 
 
 @dataclass(frozen=True)

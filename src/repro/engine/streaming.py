@@ -63,6 +63,7 @@ from repro.core.kernels import resolve_kernel_name
 from repro.core.labeling import apply_alignment, lexicon_column_alignment
 from repro.core.online import OnlineStepResult, OnlineTriClustering
 from repro.core.sharded import ShardedOnlineTriClustering, open_solver_pool
+from repro.core.spmm import resolve_spmm_name
 from repro.core.state import FactorSet
 from repro.data.tweet import Tweet, UserProfile
 from repro.engine.cache import FoldInCache
@@ -574,6 +575,13 @@ class StreamingSentimentEngine:
                 else resolve_kernel_name(solver.kernel)
             ),
             dtype=solver.dtype,
+            # Same instance→name pinning for the spmm engine.
+            spmm=(
+                solver.spmm
+                if isinstance(solver.spmm, str)
+                else resolve_spmm_name(solver.spmm)
+            ),
+            spmm_threads=solver.spmm_threads,
         )
         if isinstance(solver, ShardedOnlineTriClustering):
             sharding_config = ShardingConfig(

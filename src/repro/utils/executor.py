@@ -222,7 +222,11 @@ class ThreadBackend:
 # --------------------------------------------------------------------- #
 
 
-def _process_worker_main(conn, blas_threads: int | None = None) -> None:
+def _process_worker_main(
+    conn,
+    blas_threads: int | None = None,
+    spmm_threads: int | None = None,
+) -> None:
     """Worker loop: install resident states, run commands against them.
 
     The connection is a strict request→response channel — every command
@@ -235,12 +239,19 @@ def _process_worker_main(conn, blas_threads: int | None = None) -> None:
     ``blas_threads`` caps this worker's BLAS pool before any command
     runs: forked workers inherit the parent's fully-sized OpenBLAS, and
     W workers × per-core BLAS pools oversubscribe the machine into a
-    slowdown (see :mod:`repro.utils.threads`).
+    slowdown (see :mod:`repro.utils.threads`).  ``spmm_threads``
+    installs the same fair share as this worker's default spmm thread
+    budget, so parallel spmm engines resolved inside commands size
+    their pools to it instead of the full core count.
     """
     if blas_threads is not None:
         from repro.utils.threads import cap_blas_threads
 
         cap_blas_threads(blas_threads)
+    if spmm_threads is not None:
+        from repro.utils.threads import set_spmm_thread_default
+
+        set_spmm_thread_default(spmm_threads)
     resident: dict[int, Any] = {}
     epoch: int | None = None
     while True:
@@ -527,6 +538,7 @@ class ProcessBackend(_ExchangeBackend):
         self.max_workers = max_workers
         self._ctx = mp.get_context(_process_start_method())
         self._workers: list[tuple[Any, Any]] = []  # (process, connection)
+        self._driver_blas_snapshot: dict | None = None
 
     @property
     def parallel(self) -> bool:
@@ -539,18 +551,37 @@ class ProcessBackend(_ExchangeBackend):
     # -- lifecycle ----------------------------------------------------- #
 
     def _ensure_workers(self, needed: int) -> None:
-        from repro.utils.threads import worker_blas_limit
+        from repro.utils.threads import (
+            cap_blas_threads,
+            snapshot_blas_state,
+            worker_blas_limit,
+            worker_spmm_limit,
+        )
 
         target = max(1, min(self.max_workers, needed))
         # Each worker gets its fair share of the machine's BLAS threads
         # (pool width = the bound, not `needed`: a later call may grow
         # the pool to it, and already-started workers keep their cap).
         blas_threads = worker_blas_limit(self.max_workers)
+        spmm_threads = worker_spmm_limit(self.max_workers)
+        # The driver is one more process competing with the workers: its
+        # reductions and Sf steps run interleaved with the shard passes,
+        # so an uncapped driver-side BLAS pool reintroduces exactly the
+        # oversubscription the worker caps prevent.  Cap it to the same
+        # fair share while a multi-worker pool is active; shutdown()
+        # restores the prior state from the snapshot.
+        if (
+            target > 1
+            and blas_threads is not None
+            and self._driver_blas_snapshot is None
+        ):
+            self._driver_blas_snapshot = snapshot_blas_state()
+            cap_blas_threads(blas_threads)
         while len(self._workers) < target:
             parent_conn, child_conn = self._ctx.Pipe()
             process = self._ctx.Process(
                 target=_process_worker_main,
-                args=(child_conn, blas_threads),
+                args=(child_conn, blas_threads, spmm_threads),
                 name=f"repro-shard-worker-{len(self._workers)}",
                 daemon=True,
             )
@@ -579,6 +610,11 @@ class ProcessBackend(_ExchangeBackend):
         self._workers = []
         self._placement = []
         self._epoch = None
+        if self._driver_blas_snapshot is not None:
+            from repro.utils.threads import restore_blas_state
+
+            restore_blas_state(self._driver_blas_snapshot)
+            self._driver_blas_snapshot = None
 
     # -- transport hooks ------------------------------------------------ #
 

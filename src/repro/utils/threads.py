@@ -60,6 +60,15 @@ _GET_SYMBOLS = (
 #: "leave the BLAS pool alone".
 WORKER_BLAS_ENV = "REPRO_WORKER_BLAS_THREADS"
 
+#: Overrides the process-wide default spmm thread budget (see
+#: :func:`spmm_thread_default`); unset means "use the affinity core
+#: count (or whatever a worker main installed)".
+SPMM_THREADS_ENV = "REPRO_SPMM_THREADS"
+
+#: Workers read this to override their computed spmm fair share; ``0``
+#: means "leave the process default alone".
+WORKER_SPMM_ENV = "REPRO_WORKER_SPMM_THREADS"
+
 
 # --------------------------------------------------------------------- #
 # Host topology
@@ -217,6 +226,45 @@ def cap_blas_threads(limit: int) -> list[str]:
     return capped
 
 
+def snapshot_blas_state() -> dict:
+    """Capture the BLAS sizing env vars and live pool sizes.
+
+    Taken by the driver before it caps its own BLAS pool alongside a
+    multi-worker process pool, so :func:`restore_blas_state` can put
+    things back when the pool shuts down.  Never raises.
+    """
+    return {
+        "env": {name: os.environ.get(name) for name in BLAS_ENV_VARS},
+        "threads": blas_thread_info(),
+    }
+
+
+def restore_blas_state(snapshot: dict) -> None:
+    """Undo a :func:`cap_blas_threads` using a prior snapshot.
+
+    Env vars are restored exactly (including unsetting ones that were
+    absent); live pools are resized back per library.  Never raises.
+    """
+    for name, value in snapshot.get("env", {}).items():
+        if value is None:
+            os.environ.pop(name, None)
+        else:
+            os.environ[name] = value
+    saved = snapshot.get("threads", {})
+    for name, dll in _openblas_handles():
+        if name not in saved:
+            continue
+        setter = _find_symbol(dll, _SET_SYMBOLS)
+        if setter is None:
+            continue
+        try:
+            setter.restype = None
+            setter.argtypes = [ctypes.c_int]
+            setter(int(saved[name]))
+        except (ctypes.ArgumentError, OSError, ValueError):
+            continue
+
+
 def worker_blas_limit(pool_width: int) -> int | None:
     """The BLAS cap one worker in a ``pool_width``-wide pool should use.
 
@@ -226,6 +274,69 @@ def worker_blas_limit(pool_width: int) -> int | None:
     the allocation under which W workers never oversubscribe.
     """
     override = os.environ.get(WORKER_BLAS_ENV)
+    if override is not None:
+        try:
+            value = int(override)
+        except ValueError:
+            value = 1
+        return None if value <= 0 else value
+    return max(1, affinity_core_count() // max(1, int(pool_width)))
+
+
+# --------------------------------------------------------------------- #
+# spmm thread budget
+#
+# The compiled/threaded sparse·dense engines in :mod:`repro.core.spmm`
+# (and the prange kernel tails in :mod:`repro.core.kernels`) size their
+# thread pools from this budget rather than from the raw core count, so
+# worker mains can install a fair share once and every engine resolved
+# afterwards inherits it — the same oversubscription guard the BLAS cap
+# provides, for the non-BLAS compute layer.
+# --------------------------------------------------------------------- #
+
+
+_spmm_default: int | None = None
+
+
+def set_spmm_thread_default(limit: int | None) -> None:
+    """Install the process-wide default spmm thread budget.
+
+    Called by worker mains with their fair share (see
+    :func:`worker_spmm_limit`); ``None`` reverts to the affinity core
+    count.  Explicit ``spmm_threads=`` arguments always win over this.
+    """
+    global _spmm_default
+    _spmm_default = None if limit is None else max(1, int(limit))
+
+
+def spmm_thread_default() -> int:
+    """The thread budget an spmm engine uses when none was configured.
+
+    Resolution order: ``REPRO_SPMM_THREADS`` env override, then the
+    process default installed by :func:`set_spmm_thread_default`
+    (worker mains), then the affinity core count.
+    """
+    override = os.environ.get(SPMM_THREADS_ENV)
+    if override is not None:
+        try:
+            return max(1, int(override))
+        except ValueError:
+            return 1
+    if _spmm_default is not None:
+        return _spmm_default
+    return affinity_core_count()
+
+
+def worker_spmm_limit(pool_width: int) -> int | None:
+    """The spmm fair share one worker in a ``pool_width``-wide pool gets.
+
+    Mirrors :func:`worker_blas_limit`: ``REPRO_WORKER_SPMM_THREADS``
+    overrides (``0`` → ``None``, leave the process default alone),
+    otherwise ``affinity_cores // pool_width`` floored at 1 — so
+    W workers × T spmm threads never oversubscribes the machine even
+    before the BLAS cap is counted.
+    """
+    override = os.environ.get(WORKER_SPMM_ENV)
     if override is not None:
         try:
             value = int(override)

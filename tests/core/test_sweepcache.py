@@ -213,3 +213,87 @@ class TestSolverEquivalence:
             np.testing.assert_allclose(
                 step_a.factors.sf, step_b.factors.sf, rtol=0.0, atol=1e-10
             )
+
+
+class TestTransposeBudgetBoundary:
+    """Both layout choices at the exact working-set threshold.
+
+    The policy is ``operand_rows * itemsize <= TRANSPOSE_OPERAND_BUDGET``
+    (inclusive): a budget equal to the working set materializes the CSR
+    transpose, one byte less falls back to the lazy CSC view.  Either
+    side must produce bitwise-equal update results — the budget is a
+    speed knob, never a semantics knob.
+    """
+
+    @staticmethod
+    def _working_set(x):
+        return x.shape[0] * x.dtype.itemsize
+
+    def test_accessors_flip_at_exact_threshold(self, monkeypatch):
+        from repro.core import sweepcache as sweepcache_module
+
+        f, xp, xu, xr, gu, du, sf0 = make_problem(3)
+        threshold = self._working_set(xp)
+        monkeypatch.setattr(
+            sweepcache_module, "TRANSPOSE_OPERAND_BUDGET", threshold
+        )
+        at_budget = SweepCache(xp, xu, xr)
+        materialized = at_budget.xp_T()
+        assert materialized is not None
+        assert materialized.format == "csr"
+        assert at_budget.xp_T() is materialized  # per-solve, built once
+
+        monkeypatch.setattr(
+            sweepcache_module, "TRANSPOSE_OPERAND_BUDGET", threshold - 1
+        )
+        past_budget = SweepCache(xp, xu, xr)
+        assert past_budget.xp_T() is None
+
+    def test_sweep_bitwise_equal_either_side(self, monkeypatch):
+        from repro.core import sweepcache as sweepcache_module
+
+        f, xp, xu, xr, gu, du, sf0 = make_problem(4)
+        threshold = max(
+            self._working_set(xp),
+            self._working_set(xu),
+            self._working_set(xr),
+        )
+
+        def sweep(budget):
+            monkeypatch.setattr(
+                sweepcache_module, "TRANSPOSE_OPERAND_BUDGET", budget
+            )
+            cache = SweepCache(xp, xu, xr)
+            sp_new = update_sp(
+                f["sp"], f["sf"], f["hp"], f["su"], xp, xr, cache=cache
+            )
+            su_new = update_su(
+                f["su"], f["sf"], f["hu"], sp_new, xu, xr, gu, du,
+                beta=0.8, cache=cache,
+            )
+            sf_new = update_sf(
+                f["sf"], sp_new, f["hp"], su_new, f["hu"], xp, xu,
+                sf_prior=sf0, alpha=0.9, cache=cache,
+            )
+            return sp_new, su_new, sf_new
+
+        materialized = sweep(threshold)
+        lazy = sweep(threshold - 1)
+        for csr_result, csc_result in zip(materialized, lazy):
+            np.testing.assert_array_equal(csr_result, csc_result)
+
+    def test_prefers_csr_engine_overrides_budget(self, monkeypatch):
+        """A row-parallel spmm engine pins the CSR layout at any budget."""
+        from repro.core import sweepcache as sweepcache_module
+        from repro.core.spmm import ThreadedSpmmEngine
+
+        monkeypatch.setattr(
+            sweepcache_module, "TRANSPOSE_OPERAND_BUDGET", 0
+        )
+        f, xp, xu, xr, gu, du, sf0 = make_problem(5)
+        assert SweepCache(xp, xu, xr).xp_T() is None  # budget alone: lazy
+        cache = SweepCache(xp, xu, xr, spmm=ThreadedSpmmEngine(threads=2))
+        for accessor in (cache.xp_T, cache.xu_T, cache.xr_T):
+            transpose = accessor()
+            assert transpose is not None
+            assert transpose.format == "csr"

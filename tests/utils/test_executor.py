@@ -346,3 +346,45 @@ class TestLifecycleHardening:
         with pytest.raises(RuntimeError, match="broken"):
             pool.map(abs, [1, 2])
         pool.shutdown()  # still cleans up
+
+
+class TestDriverBlasCap:
+    """A multi-worker process pool caps the *driver's* BLAS pool too.
+
+    The driver is one more process competing with its workers for the
+    same cores; while the pool is active it runs under the same
+    fair-share cap the workers get, and shutdown restores the prior
+    state exactly (env vars and live pool sizes).
+    """
+
+    def test_cap_applied_and_restored(self):
+        import os
+
+        from repro.utils.threads import BLAS_ENV_VARS, worker_blas_limit
+
+        probe = BLAS_ENV_VARS[0]
+        before = os.environ.get(probe)
+        pool = WorkerPool(max_workers=2, backend="process")
+        try:
+            pool.map(abs, [-1, 2, -3])
+            backend = pool._impl
+            assert isinstance(backend, ProcessBackend)
+            expected = worker_blas_limit(2)
+            if expected is not None:
+                assert backend._driver_blas_snapshot is not None
+                assert os.environ[probe] == str(expected)
+        finally:
+            pool.shutdown()
+        assert os.environ.get(probe) == before
+        assert backend._driver_blas_snapshot is None
+
+    def test_single_worker_pool_leaves_driver_alone(self):
+        pool = WorkerPool(max_workers=1, backend="process")
+        try:
+            pool.scatter([[5]])
+            backend = pool._impl
+            assert isinstance(backend, ProcessBackend)
+            assert backend.active
+            assert backend._driver_blas_snapshot is None
+        finally:
+            pool.shutdown()

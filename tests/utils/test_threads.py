@@ -92,3 +92,80 @@ class TestWorkerBlasLimit:
     def test_garbage_override_degrades_to_one(self, monkeypatch):
         monkeypatch.setenv(WORKER_BLAS_ENV, "lots")
         assert worker_blas_limit(4) == 1
+
+
+class TestBlasStateSnapshot:
+    def test_round_trip_restores_env_exactly(self, preserved_blas_env):
+        from repro.utils.threads import restore_blas_state, snapshot_blas_state
+
+        probe = BLAS_ENV_VARS[0]
+        os.environ.pop(probe, None)
+        before = snapshot_blas_state()
+        assert set(before) == {"env", "threads"}
+
+        cap_blas_threads(1)
+        assert os.environ[probe] == "1"
+        restore_blas_state(before)
+        # The variable that was unset is unset again, not left at "1".
+        assert probe not in os.environ
+        assert blas_thread_info() == before["threads"]
+
+    def test_restore_tolerates_empty_snapshot(self):
+        from repro.utils.threads import restore_blas_state
+
+        restore_blas_state({})  # never raises
+
+
+class TestSpmmThreadBudget:
+    @pytest.fixture(autouse=True)
+    def clean_budget(self, monkeypatch):
+        from repro.utils import threads
+
+        monkeypatch.delenv(threads.SPMM_THREADS_ENV, raising=False)
+        monkeypatch.delenv(threads.WORKER_SPMM_ENV, raising=False)
+        monkeypatch.setattr(threads, "_spmm_default", None)
+
+    def test_default_is_affinity_core_count(self):
+        from repro.utils.threads import spmm_thread_default
+
+        assert spmm_thread_default() == affinity_core_count()
+
+    def test_process_default_wins_over_affinity(self):
+        from repro.utils.threads import (
+            set_spmm_thread_default,
+            spmm_thread_default,
+        )
+
+        set_spmm_thread_default(3)
+        assert spmm_thread_default() == 3
+        set_spmm_thread_default(0)  # floored at 1, never 0
+        assert spmm_thread_default() == 1
+        set_spmm_thread_default(None)
+        assert spmm_thread_default() == affinity_core_count()
+
+    def test_env_wins_over_process_default(self, monkeypatch):
+        from repro.utils import threads
+
+        threads.set_spmm_thread_default(3)
+        monkeypatch.setenv(threads.SPMM_THREADS_ENV, "5")
+        assert threads.spmm_thread_default() == 5
+        monkeypatch.setenv(threads.SPMM_THREADS_ENV, "junk")
+        assert threads.spmm_thread_default() == 1
+
+    def test_worker_fair_share(self):
+        from repro.utils.threads import worker_spmm_limit
+
+        cores = affinity_core_count()
+        assert worker_spmm_limit(1) == cores
+        assert worker_spmm_limit(cores) == 1
+        assert worker_spmm_limit(cores * 10) == 1  # floored, never 0
+
+    def test_worker_overrides(self, monkeypatch):
+        from repro.utils import threads
+
+        monkeypatch.setenv(threads.WORKER_SPMM_ENV, "0")
+        assert threads.worker_spmm_limit(4) is None
+        monkeypatch.setenv(threads.WORKER_SPMM_ENV, "3")
+        assert threads.worker_spmm_limit(8) == 3
+        monkeypatch.setenv(threads.WORKER_SPMM_ENV, "lots")
+        assert threads.worker_spmm_limit(4) == 1
