@@ -22,9 +22,13 @@ Two speedup readouts are reported:
 Backend trade-off being measured: threads overlap in the GIL-releasing
 scipy/numpy products but serialize the Python-level bookkeeping between
 them; processes own their shards outright (blocks pinned worker-resident,
-only ``Sf`` and the ``l×k`` contributions crossing per sweep) at the
-price of that per-sweep IPC; socket workers pay the same per-sweep
-exchange through framed-pickle TCP instead of pipes.  Either way the
+``Sf`` broadcast once as a versioned shared resident, then one fused
+exchange per sweep moving only ``l×k`` pieces) at the price of that
+per-sweep IPC; socket workers pay the same per-sweep exchange through
+framed-pickle TCP instead of pipes.  The ``rounds/sweep`` and
+``KiB/sweep`` columns surface the pool telemetry so the coordination
+cost is measured, not asserted (the thread 1-shard baseline is the
+plain solver and has no pool — those cells read ``-``).  Either way the
 arithmetic is identical —
 the benchmark asserts that every backend lands on the bit-same final
 objective per shard count — so the matrix isolates pure execution cost.
@@ -99,6 +103,7 @@ def run_cell(
         lexicon=bundle.lexicon,
     )
     rows = []
+    telemetry_total: dict = {}
     try:
         for _, _, tweets in iter_tweet_batches(
             bundle.corpus, interval_days=INTERVAL_DAYS
@@ -107,6 +112,9 @@ def run_cell(
             started = time.perf_counter()
             report = engine.advance_snapshot()
             elapsed = time.perf_counter() - started
+            if report.pool_telemetry:
+                for key, value in report.pool_telemetry.items():
+                    telemetry_total[key] = telemetry_total.get(key, 0) + value
             rows.append(
                 dict(
                     index=report.index,
@@ -145,6 +153,22 @@ def run_cell(
         sweeps=sweeps,
         seconds_per_sweep=solve_seconds / max(sweeps, 1),
         full_objective=full_objective,
+        # Pool coordination cost (None for the plain thread-1 baseline,
+        # which runs without a pool): exchange rounds and bytes moved
+        # per sweep, straight from PoolTelemetry.
+        telemetry=telemetry_total or None,
+        rounds_per_sweep=(
+            telemetry_total["rounds"] / max(sweeps, 1)
+            if telemetry_total
+            else None
+        ),
+        kib_per_sweep=(
+            (telemetry_total["bytes_sent"] + telemetry_total["bytes_received"])
+            / 1024.0
+            / max(sweeps, 1)
+            if telemetry_total
+            else None
+        ),
         per_snapshot=rows,
     )
 
@@ -251,6 +275,16 @@ def test_bench_sharding(benchmark):
             round(run["seconds_per_sweep"] * 1000, 2),
             f"{run['solve_speedup']:.2f}x",
             f"{run['per_sweep_speedup']:.2f}x",
+            (
+                f"{run['rounds_per_sweep']:.2f}"
+                if run["rounds_per_sweep"] is not None
+                else "-"
+            ),
+            (
+                f"{run['kib_per_sweep']:.1f}"
+                if run["kib_per_sweep"] is not None
+                else "-"
+            ),
             f"{run['objective_rel_diff']:+.2%}",
         ]
         for run in runs
@@ -264,6 +298,8 @@ def test_bench_sharding(benchmark):
             "ms/sweep",
             "Solve speedup",
             "Sweep speedup",
+            "Rounds/sweep",
+            "KiB/sweep",
             "Objective drift",
         ],
         rows,

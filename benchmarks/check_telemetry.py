@@ -1,0 +1,77 @@
+"""Assert the coordination-cost invariants recorded in bench_sharding.json.
+
+The sharding bench records :class:`~repro.utils.executor.PoolTelemetry`
+per matrix cell (summed across snapshots).  This checker turns those
+numbers into hard pass/fail counters — unlike wall-clock, they are
+deterministic, so CI can gate on them even on noisy shared runners:
+
+- **rounds**: one fused sweep+objective exchange per sweep, plus
+  exactly three fixed rounds per snapshot solve (the shard scatter, the
+  contribution prime, and the factor merge).  A regression that splits
+  the fused command back into separate pass and objective exchanges, or
+  starts re-broadcasting ``Sf``, breaks this equality immediately.
+- **shared_sets**: ``Sf`` is broadcast as a versioned shared resident
+  exactly once per solve (plus the ``sf_prior`` resident — two sets per
+  snapshot); every subsequent advance is a version-bumping ``l×k``
+  update, never a re-send.
+- **shared_updates**: exactly one ``Sf`` version bump per sweep.
+
+Usage::
+
+    python benchmarks/check_telemetry.py benchmarks/results/bench_sharding.json
+"""
+
+import json
+import sys
+from pathlib import Path
+
+
+def check(payload: dict) -> int:
+    """Validate every pooled cell; returns the number of cells checked."""
+    checked = 0
+    for run in payload["runs"]:
+        telemetry = run.get("telemetry")
+        cell = f"{run['backend']} x {run['n_shards']} shard(s)"
+        if not telemetry:
+            # The only cell allowed to run without a pool is the plain
+            # thread 1-shard baseline.
+            assert run["backend"] == "thread" and run["n_shards"] == 1, (
+                f"{cell}: pooled cell recorded no telemetry"
+            )
+            continue
+        sweeps, snapshots = run["sweeps"], run["snapshots"]
+        assert telemetry["rounds"] == sweeps + 3 * snapshots, (
+            f"{cell}: expected one exchange round per sweep plus "
+            f"scatter/prime/merge per solve "
+            f"({sweeps} + 3*{snapshots}), got {telemetry['rounds']}"
+        )
+        assert telemetry["shared_sets"] == 2 * snapshots, (
+            f"{cell}: Sf (and sf_prior) must be broadcast once per "
+            f"solve (2*{snapshots}), got {telemetry['shared_sets']}"
+        )
+        assert telemetry["shared_updates"] == sweeps, (
+            f"{cell}: expected one Sf version bump per sweep "
+            f"({sweeps}), got {telemetry['shared_updates']}"
+        )
+        if run["backend"] != "thread":
+            assert telemetry["bytes_sent"] > 0, f"{cell}: no bytes sent?"
+            assert telemetry["bytes_received"] > 0, (
+                f"{cell}: no bytes received?"
+            )
+        checked += 1
+    assert checked > 0, "no pooled cells in the results file"
+    return checked
+
+
+def main(argv: list[str]) -> int:
+    path = Path(
+        argv[1] if len(argv) > 1 else "benchmarks/results/bench_sharding.json"
+    )
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    checked = check(payload)
+    print(f"telemetry invariants hold for {checked} pooled cells in {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

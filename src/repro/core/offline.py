@@ -111,6 +111,12 @@ class OfflineTriClustering:
         tails; ``None`` uses the process default (worker fair share or
         the affinity core count — see
         :func:`repro.utils.threads.spmm_thread_default`).
+    objective_every:
+        Evaluate the objective every this many sweeps (default 1 =
+        every sweep, the paper's loop).  Larger values trade convergence
+        granularity for per-sweep cost — convergence can only be
+        detected at evaluated sweeps — and the final sweep is always
+        evaluated so the recorded history ends at the returned factors.
     """
 
     def __init__(
@@ -128,6 +134,7 @@ class OfflineTriClustering:
         dtype: str = "float64",
         spmm: object = "auto",
         spmm_threads: int | None = None,
+        objective_every: int = 1,
     ) -> None:
         if num_classes < 2:
             raise ValueError(f"num_classes must be >= 2, got {num_classes}")
@@ -135,6 +142,10 @@ class OfflineTriClustering:
             raise ValueError("alpha and beta must be non-negative")
         if max_iterations < 1:
             raise ValueError("max_iterations must be >= 1")
+        if not isinstance(objective_every, int) or objective_every < 1:
+            raise ValueError(
+                f"objective_every must be an int >= 1, got {objective_every!r}"
+            )
         self.num_classes = num_classes
         self.weights = ObjectiveWeights(alpha=alpha, beta=beta)
         self.max_iterations = max_iterations
@@ -153,6 +164,7 @@ class OfflineTriClustering:
         validate_spmm_threads(spmm_threads)
         self.spmm = spmm
         self.spmm_threads = spmm_threads
+        self.objective_every = objective_every
 
     # ------------------------------------------------------------------ #
 
@@ -271,7 +283,10 @@ class OfflineTriClustering:
             )
             iterations_run = iteration + 1
 
-            if self.track_history or self.tolerance > 0:
+            if (
+                (self.track_history or self.tolerance > 0)
+                and iterations_run % self.objective_every == 0
+            ):
                 objective = compute_objective(
                     factors, xp, xu, xr, laplacian, self.weights,
                     sf_prior=sf0, statics=statics, spmm=spmm_engine,
@@ -286,6 +301,20 @@ class OfflineTriClustering:
                     )
                     break
 
+        if (
+            (self.track_history or self.tolerance > 0)
+            and iterations_run % self.objective_every != 0
+        ):
+            # objective_every > 1 skipped the final sweep: record it so
+            # the history always ends at the returned factors.
+            history.append(
+                compute_objective(
+                    factors, xp, xu, xr, laplacian, self.weights,
+                    sf_prior=sf0, statics=statics, spmm=spmm_engine,
+                )
+            )
+            if history.converged(self.tolerance, window=self.patience):
+                converged = True
         if not history.records:
             # History disabled and tolerance 0: record the final state once.
             history.append(

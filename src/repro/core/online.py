@@ -100,6 +100,10 @@ class OnlineTriClustering:
         Sparse·dense product engine and its thread budget; see
         :class:`~repro.core.offline.OfflineTriClustering` and
         :mod:`repro.core.spmm` (float64 bit-identical, speed-only).
+    objective_every:
+        Evaluate the objective every this many sweeps (default 1 =
+        every sweep); the final sweep is always evaluated.  See
+        :class:`~repro.core.offline.OfflineTriClustering`.
     """
 
     def __init__(
@@ -121,9 +125,14 @@ class OnlineTriClustering:
         dtype: str = "float64",
         spmm: object = "auto",
         spmm_threads: int | None = None,
+        objective_every: int = 1,
     ) -> None:
         if num_classes < 2:
             raise ValueError(f"num_classes must be >= 2, got {num_classes}")
+        if not isinstance(objective_every, int) or objective_every < 1:
+            raise ValueError(
+                f"objective_every must be an int >= 1, got {objective_every!r}"
+            )
         if not (0.0 < tau <= 1.0):
             raise ValueError(f"tau must be in (0, 1], got {tau}")
         if window < 2:
@@ -152,6 +161,7 @@ class OnlineTriClustering:
         validate_spmm_threads(spmm_threads)
         self.spmm = spmm
         self.spmm_threads = spmm_threads
+        self.objective_every = objective_every
         self._rng = spawn_rng(seed)
 
         self._sf_history: deque[np.ndarray] = deque(maxlen=window - 1)
@@ -421,7 +431,10 @@ class OnlineTriClustering:
             )
             iterations_run = iteration + 1
 
-            if self.track_history or self.tolerance > 0:
+            if (
+                (self.track_history or self.tolerance > 0)
+                and iterations_run % self.objective_every == 0
+            ):
                 objective = compute_objective(
                     factors,
                     xp,
@@ -440,6 +453,29 @@ class OnlineTriClustering:
                     converged = True
                     break
 
+        if (
+            (self.track_history or self.tolerance > 0)
+            and iterations_run % self.objective_every != 0
+        ):
+            # objective_every > 1 skipped the final sweep: record it so
+            # the history always ends at the returned factors.
+            history.append(
+                compute_objective(
+                    factors,
+                    xp,
+                    xu,
+                    xr,
+                    laplacian,
+                    self.weights,
+                    sf_prior=sf_prior,
+                    su_prior=su_prior,
+                    su_prior_rows=evolving_rows if su_prior is not None else None,
+                    statics=statics,
+                    spmm=spmm_engine,
+                )
+            )
+            if history.converged(self.tolerance, window=self.patience):
+                converged = True
         if not history.records:
             history.append(
                 compute_objective(

@@ -38,12 +38,18 @@ module-level *command* run against shard state held by the
 the out-of-process backends, as compact :meth:`~repro.graph.partition.
 ShardBlock.to_payload` CSR pieces pinned worker-resident under a shard
 epoch — the socket backend ships those same payloads over TCP to
-workers on other hosts, unchanged); each sweep then moves only the
-global ``Sf`` broadcast down and the ``l×k`` contribution matrices
-back, so per-sweep IPC is ``O(l·k)`` per shard, never ``O(nnz)``.
-Results are bit-identical across backends: the commands are the same
-functions, replies are collected into shard order, and all reductions
-run on the caller.
+workers on other hosts, unchanged).  ``Sf`` itself is a version-keyed
+*shared resident* (:meth:`~repro.utils.executor.WorkerPool.share`):
+the full matrix is broadcast exactly once per solve, and each sweep
+then runs a **single fused exchange** — the coordinator stages the
+reduced ``l×k`` contribution as a versioned update (every holder,
+mirror and worker alike, advances its resident copy through the
+identical :func:`~repro.core.updates.apply_sf_update`), and the shard
+pass plus the one-sweep-lagged objective evaluation ride one command.
+Per-sweep IPC is therefore one exchange round and ``O(l·k)`` per
+shard, never ``O(nnz)``.  Results are bit-identical across backends:
+the commands are the same functions, replies are collected into shard
+order, and all reductions run on the caller.
 
 Only the ``"projector"`` update style is supported: the Lagrangian
 Δ-split needs global factor grams mid-sweep, which would serialize the
@@ -153,6 +159,10 @@ class _ShardState:
     #: Per-shard spmm thread budget; ``None`` defers to the worker
     #: process's installed default (fair share) or the core count.
     spmm_threads: int | None = None
+    #: Pre-pass factor snapshot ``(sp, su, hp, hu)`` taken by the fused
+    #: offline command whenever its objective may trigger convergence,
+    #: so the merge can roll back the one speculative extra pass.
+    saved: tuple | None = None
 
 
 # --------------------------------------------------------------------- #
@@ -317,14 +327,94 @@ def _shard_objective(
     )
 
 
-def _shard_merge_upload(state: _ShardState, sf: np.ndarray) -> dict:
+def _shared_sf_step(
+    sf: np.ndarray,
+    total: np.ndarray,
+    sf_prior,
+    alpha: float,
+    kernel_name: str,
+    kernel_threads: int | None,
+) -> np.ndarray:
+    """Versioned-resident ``Sf`` step: advance a holder's copy in place.
+
+    Run identically on the coordinator's mirror and on every worker
+    holding the ``"sf"`` shared resident, so only the reduced ``l×k``
+    contribution crosses the wire per sweep — never ``Sf`` itself.  The
+    kernel tails are bit-identical across implementations and thread
+    budgets, so every holder lands on the same bits.
+    """
+    return apply_sf_update(
+        sf, total, sf_prior, alpha,
+        kernel=get_kernel(kernel_name, threads=kernel_threads),
+    )
+
+
+def _shard_offline_pass_with_objective(
+    state: _ShardState,
+    sf: np.ndarray,
+    weights: ObjectiveWeights,
+    sf_prior,
+    evaluate: bool,
+) -> tuple:
+    """Fused Algorithm 1 exchange: lagged objective, then the pass.
+
+    The plain offline loop evaluates the objective *after* each sweep's
+    ``Sf`` step — i.e. on the same iterate this command sees *before*
+    running its pass.  Evaluating first therefore reports the previous
+    sweep's objective (a one-sweep lag the coordinator accounts for),
+    letting a converging solve pay one exchange per sweep instead of
+    two.  When ``evaluate`` is set the pre-pass factors are snapshotted
+    so convergence can roll back the speculative extra pass bit-exactly.
+    """
+    objective = None
+    if evaluate:
+        objective = _shard_objective(state, sf, weights, sf_prior, False)
+        state.saved = (
+            state.sp.copy(), state.su.copy(),
+            state.hp.copy(), state.hu.copy(),
+        )
+    return objective, _shard_offline_pass(state, sf, weights)
+
+
+def _shard_online_pass_with_objective(
+    state: _ShardState,
+    sf: np.ndarray,
+    weights: ObjectiveWeights,
+    sf_prior,
+    su_prior_active: bool,
+    evaluate: bool,
+) -> tuple:
+    """Fused Algorithm 2 exchange: the pass, then the current objective.
+
+    Algorithm 2 updates ``Sf`` *before* the row factors, so the staged
+    shared-resident step has already advanced this worker's ``Sf`` by
+    the time the command runs — pass and objective both see the current
+    iterate and no lag or rollback is needed.
+    """
+    contribution = _shard_online_pass(state, sf, weights)
+    objective = (
+        _shard_objective(state, sf, weights, sf_prior, su_prior_active)
+        if evaluate
+        else None
+    )
+    return objective, contribution
+
+
+def _shard_merge_upload(
+    state: _ShardState, sf: np.ndarray, rollback: bool = False
+) -> dict:
     """End-of-solve upload: final row factors + reduced consensus terms.
 
     The consensus fixed point needs only ``SᵀXSf`` and ``SᵀS`` summed
     over shards, so those k×k terms are computed where the blocks live;
     the row factors themselves must cross once anyway (they are the
-    merged model).
+    merged model).  ``rollback`` restores the pre-pass snapshot taken
+    by the fused offline command when convergence fired one exchange
+    after the converged iterate.
     """
+    if rollback:
+        state.sp, state.su, state.hp, state.hu = state.saved
+    state.saved = None
     upload: dict = {
         "sp": state.sp, "su": state.su, "hp": state.hp, "hu": state.hu
     }
@@ -347,8 +437,9 @@ class ShardedSolver:
 
     Bound to one :class:`~repro.graph.partition.ShardedGraph` and one
     initial :class:`FactorSet` (scattered row-wise onto the shards).
-    The driving solver calls :meth:`offline_sweep` / :meth:`online_sweep`
-    per iteration, :meth:`objective` for convergence tracking, and
+    The driving solver calls :meth:`solve_offline` / :meth:`solve_online`
+    once (they own the convergence loop, fusing each sweep's pass,
+    ``Sf`` step, and objective into a single exchange) and
     :meth:`merged_factors` once at the end.  All shard interaction goes
     through the supplied :class:`~repro.utils.executor.WorkerPool` as
     module-level commands against states scattered at construction —
@@ -395,11 +486,11 @@ class ShardedSolver:
             # workers install their own fair-share default at startup.)
             concurrent = max(1, min(len(sharded.blocks), pool.max_workers))
             spmm_threads = max(1, affinity_core_count() // concurrent)
-        self._kernel = get_kernel(kernel, threads=spmm_threads)
+        self._kernel_name = kernel
+        self._kernel_threads = spmm_threads
         self.sharded = sharded
         self.pool = pool
         self.update_style = update_style
-        self.sf = factors.sf
         self.num_shards = len(sharded.blocks)
 
         assignments = sharded.partition.assignments
@@ -431,59 +522,197 @@ class ShardedSolver:
                     spmm_threads=spmm_threads,
                 )
             )
-        # One shipment per solve; sweeps exchange only Sf and l×k pieces.
+        # One shipment per solve; sweeps exchange only l×k pieces.
         self.epoch = pool.scatter(
             states,
             to_payload=_shard_state_payload,
             from_payload=_shard_state_from_payload,
         )
+        # Sf is a versioned shared resident: broadcast in full exactly
+        # once here, advanced by staged l×k updates afterwards.
+        pool.share("sf", factors.sf)
         self._contributions: list[np.ndarray] | None = None
-        self._primed = False
+        self._reduce_buffer: np.ndarray | None = None
+        self._rollback = False
+
+    @property
+    def sf(self) -> np.ndarray:
+        """The coordinator's mirror of the shared-resident ``Sf``."""
+        return self.pool.shared_value("sf")
 
     def _broadcast(self, *args) -> list[tuple]:
         return [args] * self.num_shards
 
-    # ------------------------------------------------------------------ #
-    # Sweeps
-    # ------------------------------------------------------------------ #
+    def _prior_ref(self, index: int):
+        """``sf_prior`` handle for shard ``index`` (shard 0 carries it).
 
-    def offline_sweep(self, weights: ObjectiveWeights, sf_prior) -> None:
-        """One Algorithm 1 sweep: shard passes, then the global ``Sf``."""
-        self._contributions = self.pool.run_resident(
-            _shard_offline_pass, self._broadcast(self.sf, weights)
-        )
-        self.sf = apply_sf_update(
-            self.sf, self._reduce_contributions(), sf_prior, weights.alpha,
-            kernel=self._kernel,
-        )
-        self._primed = True
-
-    def online_sweep(self, weights: ObjectiveWeights, sf_prior) -> None:
-        """One Algorithm 2 sweep: global ``Sf`` first, then shard passes.
-
-        The ``Sf`` step consumes the contributions returned by the
-        previous sweep's passes (or a priming pass on the first call),
-        so each iteration needs exactly one parallel phase.
+        Every term of Eq. (1)/(19) except the α prior is row-separable;
+        the prior depends only on the global ``Sf``, so shard 0 counts
+        it exactly once and the others evaluate with ``sf_prior=None``.
         """
-        if not self._primed:
-            self._contributions = self.pool.run_resident(
-                _shard_contribution, self._broadcast()
+        return self.pool.shared_ref("sf_prior") if index == 0 else None
+
+    # ------------------------------------------------------------------ #
+    # Solve loops (fused sweep + objective exchanges)
+    # ------------------------------------------------------------------ #
+
+    def solve_offline(
+        self,
+        weights: ObjectiveWeights,
+        sf_prior,
+        *,
+        max_iterations: int,
+        tolerance: float,
+        patience: int,
+        track_history: bool,
+        objective_every: int = 1,
+    ) -> tuple[ConvergenceHistory, bool, int]:
+        """Run Algorithm 1 to convergence, one exchange per sweep.
+
+        Exchange ``i`` (0-based) stages the ``Sf`` step for sweep ``i``
+        (nothing on the first), evaluates the *previous* sweep's
+        objective against the pre-pass factors (snapshotting them), and
+        runs sweep ``i+1``'s pass.  The one-sweep lag means convergence
+        detected at exchange ``i`` converged at sweep ``i`` — the
+        speculative pass ``i+1`` is rolled back at merge time and
+        ``Sf`` is simply not advanced, reproducing the plain loop's
+        record sequence, factors, and iteration count bit for bit.
+        """
+        self.pool.share("sf_prior", sf_prior)
+        evaluate = track_history or tolerance > 0
+        history = ConvergenceHistory()
+        converged = False
+        iterations_run = 0
+        self._rollback = False
+        for iteration in range(max_iterations):
+            if iteration > 0:
+                self._advance_sf(weights)
+            fuse = (
+                evaluate
+                and iteration >= 1
+                and iteration % objective_every == 0
             )
-            self._primed = True
-        self.sf = apply_sf_update(
-            self.sf, self._reduce_contributions(), sf_prior, weights.alpha,
-            kernel=self._kernel,
-        )
+            replies = self.pool.run_resident(
+                _shard_offline_pass_with_objective,
+                [
+                    (self.pool.shared_ref("sf"), weights,
+                     self._prior_ref(index), fuse)
+                    for index in range(self.num_shards)
+                ],
+            )
+            self._contributions = [reply[1] for reply in replies]
+            if fuse:
+                history.append(
+                    self._reduce_objective([reply[0] for reply in replies])
+                )
+                if history.converged(tolerance, window=patience):
+                    converged = True
+                    iterations_run = iteration
+                    self._rollback = True
+                    break
+            iterations_run = iteration + 1
+        if not converged:
+            # The last sweep's Sf step and objective are still pending
+            # (the lag never catches up inside the loop).
+            self._advance_sf(weights)
+            history.append(self.objective(weights))
+            if evaluate and history.converged(tolerance, window=patience):
+                converged = True
+        return history, converged, iterations_run
+
+    def solve_online(
+        self,
+        weights: ObjectiveWeights,
+        sf_prior,
+        *,
+        max_iterations: int,
+        tolerance: float,
+        patience: int,
+        track_history: bool,
+        objective_every: int = 1,
+        su_prior_active: bool = False,
+    ) -> tuple[ConvergenceHistory, bool, int]:
+        """Run Algorithm 2 to convergence, one exchange per sweep.
+
+        Algorithm 2 advances ``Sf`` *before* the row factors, so after
+        a priming exchange for the initial contributions each fused
+        exchange stages the ``Sf`` step, runs the pass, and evaluates
+        the objective on the very same iterate — no lag, no rollback.
+        """
+        self.pool.share("sf_prior", sf_prior)
+        evaluate = track_history or tolerance > 0
+        history = ConvergenceHistory()
+        converged = False
+        iterations_run = 0
         self._contributions = self.pool.run_resident(
-            _shard_online_pass, self._broadcast(self.sf, weights)
+            _shard_contribution, self._broadcast()
+        )
+        for iteration in range(max_iterations):
+            self._advance_sf(weights)
+            fuse = evaluate and (iteration + 1) % objective_every == 0
+            replies = self.pool.run_resident(
+                _shard_online_pass_with_objective,
+                [
+                    (self.pool.shared_ref("sf"), weights,
+                     self._prior_ref(index), su_prior_active, fuse)
+                    for index in range(self.num_shards)
+                ],
+            )
+            self._contributions = [reply[1] for reply in replies]
+            iterations_run = iteration + 1
+            if fuse:
+                history.append(
+                    self._reduce_objective([reply[0] for reply in replies])
+                )
+                if history.converged(tolerance, window=patience):
+                    converged = True
+                    break
+        if not evaluate:
+            history.append(self.objective(weights, su_prior_active))
+        elif iterations_run % objective_every != 0:
+            # objective_every skipped the final sweep; record it.
+            history.append(self.objective(weights, su_prior_active))
+            if history.converged(tolerance, window=patience):
+                converged = True
+        return history, converged, iterations_run
+
+    def _advance_sf(self, weights: ObjectiveWeights) -> None:
+        """Stage the versioned ``Sf`` step from the reduced contributions.
+
+        Only the ``l×k`` total crosses the wire; every holder (the
+        coordinator's mirror eagerly, each worker on its next exchange)
+        applies the identical :func:`_shared_sf_step`.
+        """
+        self.pool.share_update(
+            "sf",
+            _shared_sf_step,
+            self._reduce_contributions(),
+            self.pool.shared_ref("sf_prior"),
+            weights.alpha,
+            self._kernel_name,
+            self._kernel_threads,
         )
 
     def _reduce_contributions(self) -> np.ndarray:
         parts = self._contributions
         assert parts is not None
-        total = parts[0]
+        if len(parts) == 1:
+            return parts[0]
+        # Accumulate into one preallocated buffer, same pairwise order
+        # as the naive left fold (bit-identical).  The buffer is safe to
+        # reuse: the mirror consumes it eagerly and the staged update op
+        # is serialized during the next exchange's send, before the next
+        # reduction overwrites it.
+        total = self._reduce_buffer
+        if (
+            total is None
+            or total.shape != parts[0].shape
+            or total.dtype != parts[0].dtype
+        ):
+            total = self._reduce_buffer = np.empty_like(parts[0])
+        np.copyto(total, parts[0])
         for part in parts[1:]:
-            total = total + part
+            np.add(total, part, out=total)
         return total
 
     # ------------------------------------------------------------------ #
@@ -493,25 +722,25 @@ class ShardedSolver:
     def objective(
         self,
         weights: ObjectiveWeights,
-        sf_prior,
         su_prior_active: bool = False,
     ) -> ObjectiveValue:
-        """Current objective, reduced over shards.
+        """Current objective, reduced over shards (objective-only round).
 
-        Every term of Eq. (1)/(19) except the α prior is row-separable;
-        the prior depends only on the global ``Sf``, so shard 0 carries
-        it and the others evaluate with ``sf_prior=None`` — it is
-        counted exactly once, and the 1-shard evaluation is the plain
-        solver's evaluation verbatim.
+        Requires a prior :meth:`solve_offline`/:meth:`solve_online`
+        call on this solver (they install the ``"sf_prior"`` shared
+        resident the evaluation references).
         """
         parts = self.pool.run_resident(
             _shard_objective,
             [
-                (self.sf, weights, sf_prior if index == 0 else None,
-                 su_prior_active)
+                (self.pool.shared_ref("sf"), weights,
+                 self._prior_ref(index), su_prior_active)
                 for index in range(self.num_shards)
             ],
         )
+        return self._reduce_objective(parts)
+
+    def _reduce_objective(self, parts: list[ObjectiveValue]) -> ObjectiveValue:
         if len(parts) == 1:
             return parts[0]
         return ObjectiveValue(
@@ -530,10 +759,17 @@ class ShardedSolver:
     def merged_factors(
         self, consensus_iterations: int = CONSENSUS_ITERATIONS
     ) -> FactorSet:
-        """Scatter shard rows back and distill global ``Hp``/``Hu``."""
+        """Scatter shard rows back and distill global ``Hp``/``Hu``.
+
+        Consumes any pending convergence rollback left by
+        :meth:`solve_offline` (the speculative extra pass is undone on
+        the shards before their factors are uploaded).
+        """
         uploads = self.pool.run_resident(
-            _shard_merge_upload, self._broadcast(self.sf)
+            _shard_merge_upload,
+            self._broadcast(self.pool.shared_ref("sf"), self._rollback),
         )
+        self._rollback = False
         graph = self.sharded.graph
         num_classes = self.sf.shape[1]
         sp = np.zeros((graph.num_tweets, num_classes), dtype=self.sf.dtype)
@@ -683,6 +919,7 @@ class ShardedTriClustering(OfflineTriClustering):
         dtype: str = "float64",
         spmm: object = "auto",
         spmm_threads: int | None = None,
+        objective_every: int = 1,
         n_shards: int | str = 1,
         partitioner="hash",
         max_workers: int | None = None,
@@ -705,6 +942,7 @@ class ShardedTriClustering(OfflineTriClustering):
             dtype=dtype,
             spmm=spmm,
             spmm_threads=spmm_threads,
+            objective_every=objective_every,
         )
         self.n_shards = n_shards
         self.partitioner = partitioner
@@ -713,6 +951,10 @@ class ShardedTriClustering(OfflineTriClustering):
         self.workers = workers
         self.consensus_iterations = consensus_iterations
         self.last_plan: ShardedGraph | None = None
+        #: Pool traffic/timing delta for the most recent fit (a
+        #: :meth:`~repro.utils.executor.PoolTelemetry.delta` dict), or
+        #: ``None`` before the first fit.
+        self.last_telemetry: dict | None = None
         #: Optional externally-owned pool (e.g. the serving engine's).
         #: When set, fits run on it and never shut it down; when None,
         #: each fit opens and closes its own pool.
@@ -742,9 +984,6 @@ class ShardedTriClustering(OfflineTriClustering):
         )
         sf0 = graph.sf0
 
-        history = ConvergenceHistory()
-        converged = False
-        iterations_run = 0
         pool = (
             self.pool
             if self.pool is not None
@@ -753,21 +992,22 @@ class ShardedTriClustering(OfflineTriClustering):
             )
         )
         try:
+            telemetry_before = pool.telemetry.snapshot()
             solver = ShardedSolver(
                 sharded, factors, pool, update_style=self.update_style,
                 kernel=kernel, spmm=spmm, spmm_threads=self.spmm_threads,
             )
-            for iteration in range(self.max_iterations):
-                solver.offline_sweep(self.weights, sf0)
-                iterations_run = iteration + 1
-                if self.track_history or self.tolerance > 0:
-                    history.append(solver.objective(self.weights, sf0))
-                    if history.converged(self.tolerance, window=self.patience):
-                        converged = True
-                        break
-            if not history.records:
-                history.append(solver.objective(self.weights, sf0))
+            history, converged, iterations_run = solver.solve_offline(
+                self.weights,
+                sf0,
+                max_iterations=self.max_iterations,
+                tolerance=self.tolerance,
+                patience=self.patience,
+                track_history=self.track_history,
+                objective_every=self.objective_every,
+            )
             merged = solver.merged_factors(self.consensus_iterations)
+            self.last_telemetry = pool.telemetry.delta(telemetry_before)
         finally:
             if pool is not self.pool:
                 pool.shutdown()
@@ -819,6 +1059,7 @@ class ShardedOnlineTriClustering(OnlineTriClustering):
         dtype: str = "float64",
         spmm: object = "auto",
         spmm_threads: int | None = None,
+        objective_every: int = 1,
         n_shards: int | str = 1,
         partitioner="hash",
         max_workers: int | None = None,
@@ -845,6 +1086,7 @@ class ShardedOnlineTriClustering(OnlineTriClustering):
             dtype=dtype,
             spmm=spmm,
             spmm_threads=spmm_threads,
+            objective_every=objective_every,
         )
         self.n_shards = n_shards
         self.partitioner = partitioner
@@ -853,6 +1095,10 @@ class ShardedOnlineTriClustering(OnlineTriClustering):
         self.workers = workers
         self.consensus_iterations = consensus_iterations
         self.last_plan: ShardedGraph | None = None
+        #: Pool traffic/timing delta for the most recent snapshot solve
+        #: (a :meth:`~repro.utils.executor.PoolTelemetry.delta` dict),
+        #: or ``None`` before the first one.
+        self.last_telemetry: dict | None = None
         #: Optional externally-owned pool (e.g. the serving engine's).
         #: When set, partial_fits run on it and never shut it down —
         #: this also skips the per-snapshot churn of opening a fresh
@@ -886,9 +1132,6 @@ class ShardedOnlineTriClustering(OnlineTriClustering):
             graph, make_partition(graph, n_shards, self.partitioner)
         )
 
-        history = ConvergenceHistory()
-        converged = False
-        iterations_run = 0
         pool = (
             self.pool
             if self.pool is not None
@@ -897,6 +1140,7 @@ class ShardedOnlineTriClustering(OnlineTriClustering):
             )
         )
         try:
+            telemetry_before = pool.telemetry.snapshot()
             solver = ShardedSolver(
                 sharded,
                 factors,
@@ -908,24 +1152,18 @@ class ShardedOnlineTriClustering(OnlineTriClustering):
                 spmm=spmm,
                 spmm_threads=self.spmm_threads,
             )
-            su_prior_active = su_prior is not None
-            for iteration in range(self.max_iterations):
-                solver.online_sweep(self.weights, sf_prior)
-                iterations_run = iteration + 1
-                if self.track_history or self.tolerance > 0:
-                    history.append(
-                        solver.objective(
-                            self.weights, sf_prior, su_prior_active
-                        )
-                    )
-                    if history.converged(self.tolerance, window=self.patience):
-                        converged = True
-                        break
-            if not history.records:
-                history.append(
-                    solver.objective(self.weights, sf_prior, su_prior_active)
-                )
+            history, converged, iterations_run = solver.solve_online(
+                self.weights,
+                sf_prior,
+                max_iterations=self.max_iterations,
+                tolerance=self.tolerance,
+                patience=self.patience,
+                track_history=self.track_history,
+                objective_every=self.objective_every,
+                su_prior_active=su_prior is not None,
+            )
             merged = solver.merged_factors(self.consensus_iterations)
+            self.last_telemetry = pool.telemetry.delta(telemetry_before)
         finally:
             if pool is not self.pool:
                 pool.shutdown()

@@ -70,7 +70,9 @@ class SolverConfig:
     (``"auto"``/``"scipy"``/``"threads"``/``"numba"``, names only) and
     ``spmm_threads`` its thread budget (``None`` = process default) —
     see :mod:`repro.core.spmm`; engines are float64 bit-identical, so
-    both knobs are speed-only.
+    both knobs are speed-only.  ``objective_every`` evaluates the
+    objective every N sweeps (default 1 = every sweep; larger values
+    coarsen convergence detection but cut per-sweep cost).
     """
 
     alpha: float = 0.9
@@ -88,8 +90,13 @@ class SolverConfig:
     dtype: str = "float64"
     spmm: str = "auto"
     spmm_threads: int | None = None
+    objective_every: int = 1
 
     def __post_init__(self) -> None:
+        _require(
+            isinstance(self.objective_every, int) and self.objective_every >= 1,
+            f"objective_every must be an int >= 1, got {self.objective_every!r}",
+        )
         _require(0.0 < self.tau <= 1.0, f"tau must be in (0, 1], got {self.tau}")
         _require(self.window >= 2, f"window must be >= 2, got {self.window}")
         _require(

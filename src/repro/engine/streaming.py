@@ -91,6 +91,11 @@ class SnapshotReport:
     converged: bool
     build_seconds: float
     solve_seconds: float
+    #: Worker-pool traffic/timing for the solve (a
+    #: :meth:`~repro.utils.executor.PoolTelemetry.delta` dict: exchange
+    #: rounds, commands, bytes up/down, send/wait seconds, ...).
+    #: ``None`` for unsharded solvers, which use no pool.
+    pool_telemetry: dict | None = None
 
     @property
     def total_seconds(self) -> float:
@@ -401,6 +406,7 @@ class StreamingSentimentEngine:
             converged=step.converged,
             build_seconds=built - started,
             solve_seconds=solved - built,
+            pool_telemetry=getattr(self.solver, "last_telemetry", None),
         )
         self._reports.append(report)
         logger.debug(
@@ -582,6 +588,7 @@ class StreamingSentimentEngine:
                 else resolve_spmm_name(solver.spmm)
             ),
             spmm_threads=solver.spmm_threads,
+            objective_every=solver.objective_every,
         )
         if isinstance(solver, ShardedOnlineTriClustering):
             sharding_config = ShardingConfig(

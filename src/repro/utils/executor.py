@@ -35,6 +35,17 @@ that ordered-map contract around three interchangeable backends:
 in-process ones simply keep the states in a list), so callers write one
 code path and switch backends by constructor argument.
 
+Beside the per-item resident states, the pool carries **version-keyed
+shared residents** (:meth:`WorkerPool.share` /
+:meth:`WorkerPool.share_update` / :class:`SharedRef`): a value every
+worker needs — the sharded solver's global ``Sf`` — is broadcast once,
+then *stepped* by shipping only the update function and its (small)
+arguments; each side recomputes the identical new value locally, so
+per-sweep traffic drops from the full ``n×k`` factor to the ``l×k``
+contribution that feeds the step.  A :class:`PoolTelemetry` counter set
+on every pool (``pool.telemetry``) measures exactly this: exchange
+rounds, commands, bytes up/down, serialize/wait time.
+
 All floating-point work is identical across backends: commands are the
 same functions either way, per-index results are collected into input
 order, and reductions run on the caller — so solver trajectories are
@@ -51,14 +62,16 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import time
 import traceback
 from collections import deque
 from collections.abc import Callable, Sequence
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import asdict, dataclass
 from multiprocessing.connection import wait as _connection_wait
 from typing import Any, TypeVar
 
-from repro.utils.transport import FrameError, PayloadDecodeError
+from repro.utils.transport import FrameError, PayloadDecodeError, PipeChannel
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -90,6 +103,110 @@ def default_worker_count() -> int:
     return max(os.cpu_count() or 1, 1)
 
 
+@dataclass
+class PoolTelemetry:
+    """Coordination-cost counters for one :class:`WorkerPool`.
+
+    Monotonic over the pool's lifetime; callers that want per-solve
+    numbers take a :meth:`snapshot` before and a :meth:`delta` after.
+    ``rounds``/``commands`` count exchanges uniformly across *all*
+    backends (the in-process ones included), so expected-round
+    assertions written against the thread backend hold verbatim for
+    process and socket pools; ``bytes_*``/``send_seconds`` are filled
+    in by the boundary-crossing channels and stay zero in-process.
+    """
+
+    #: Exchange rounds (one scatter / run_resident / map / discard each).
+    rounds: int = 0
+    #: Individual commands across all rounds (one per shard per round).
+    commands: int = 0
+    #: ``share()`` broadcasts staged (full-value sends).
+    shared_sets: int = 0
+    #: ``share_update()`` steps staged (value recomputed worker-side).
+    shared_updates: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    #: Seconds spent serializing + writing outbound frames.
+    send_seconds: float = 0.0
+    #: Seconds the exchange spent blocked waiting for worker replies.
+    wait_seconds: float = 0.0
+    #: Wall seconds inside exchange rounds end to end (in-process
+    #: backends: the commands' own compute time).
+    exchange_seconds: float = 0.0
+
+    def snapshot(self) -> dict:
+        return asdict(self)
+
+    def delta(self, before: dict) -> dict:
+        """Counter movement since a prior :meth:`snapshot`."""
+        now = self.snapshot()
+        return {
+            key: round(value - before.get(key, 0), 6)
+            if isinstance(value, float)
+            else value - before.get(key, 0)
+            for key, value in now.items()
+        }
+
+
+@dataclass(frozen=True)
+class SharedRef:
+    """Placeholder for a shared resident's value in command arguments.
+
+    Crossing the boundary as a tiny token, it is resolved against the
+    receiving side's shared store (worker store for process/socket,
+    the pool's own mirror for serial/thread) just before the command
+    or update function runs — the mechanism that lets a converging
+    sweep send a version-checked ``l×k`` contribution instead of
+    re-broadcasting the full ``Sf`` every round.
+    """
+
+    name: str
+
+
+def _resolve_shared_args(shared: dict, args: tuple) -> tuple:
+    """Swap :class:`SharedRef` tokens for their current shared values."""
+    if not any(isinstance(arg, SharedRef) for arg in args):
+        return args
+    resolved = []
+    for arg in args:
+        if isinstance(arg, SharedRef):
+            entry = shared.get(arg.name)
+            if entry is None:
+                raise RuntimeError(
+                    f"unknown shared resident {arg.name!r}; call "
+                    "share() before referencing it"
+                )
+            resolved.append(entry[1])
+        else:
+            resolved.append(arg)
+    return tuple(resolved)
+
+
+def _apply_shared_op(shared: dict, op: tuple) -> None:
+    """Apply one staged shared-resident op to a ``name → (version,
+    value)`` store.
+
+    ``("set", name, version, value)`` installs a broadcast value;
+    ``("update", name, version, fn, args)`` recomputes the value
+    locally — strictly ordered by version, so a skipped or replayed
+    op fails loudly instead of silently diverging from the
+    coordinator's mirror.
+    """
+    kind, name, version = op[0], op[1], op[2]
+    if kind == "set":
+        shared[name] = (version, op[3])
+        return
+    current = shared.get(name)
+    held = None if current is None else current[0]
+    if held != version - 1:
+        raise RuntimeError(
+            f"stale shared resident {name!r}: holder has version "
+            f"{held}, update expects {version - 1}"
+        )
+    fn, args = op[3], op[4]
+    shared[name] = (version, fn(current[1], *_resolve_shared_args(shared, args)))
+
+
 def _process_start_method() -> str:
     """Start method for worker processes.
 
@@ -116,6 +233,7 @@ class SerialBackend:
     """Plain in-process loop; the degenerate (and zero-cost) backend."""
 
     parallel = False
+    remote = False
 
     def __init__(self) -> None:
         self._states: list[Any] = []
@@ -165,6 +283,7 @@ class ThreadBackend:
     """
 
     parallel = True
+    remote = False
 
     def __init__(self, max_workers: int) -> None:
         self.max_workers = max_workers
@@ -253,6 +372,7 @@ def _process_worker_main(
 
         set_spmm_thread_default(spmm_threads)
     resident: dict[int, Any] = {}
+    shared: dict[str, tuple[int, Any]] = {}
     epoch: int | None = None
     while True:
         try:
@@ -290,25 +410,35 @@ def _process_worker_main(
                 _, new_epoch, index, from_payload, payload = message
                 if new_epoch != epoch:
                     resident.clear()
+                    shared.clear()
                     epoch = new_epoch
                 resident[index] = (
                     payload if from_payload is None else from_payload(payload)
                 )
                 reply = ("ok", None)
             elif kind == "run":
-                _, run_epoch, index, fn, args = message
+                _, run_epoch, index, fn, args, shared_ops = message
                 if run_epoch != epoch or index not in resident:
                     raise RuntimeError(
                         f"stale resident state: worker holds epoch {epoch}, "
                         f"command expects epoch {run_epoch} item {index}"
                     )
-                reply = ("ok", fn(resident[index], *args))
+                # Piggybacked shared-resident ops apply before the
+                # command, in staging order, so SharedRef arguments
+                # resolve against the coordinator's current versions.
+                for op in shared_ops:
+                    _apply_shared_op(shared, op)
+                reply = (
+                    "ok",
+                    fn(resident[index], *_resolve_shared_args(shared, args)),
+                )
             elif kind == "map":
                 _, fn, item = message
                 reply = ("ok", fn(item))
             elif kind == "discard":
                 _, new_epoch = message
                 resident.clear()
+                shared.clear()
                 epoch = new_epoch
                 reply = ("ok", None)
             else:
@@ -331,6 +461,17 @@ def _process_worker_main(
         pass
 
 
+def _pipe_worker_entry(
+    raw_conn,
+    blas_threads: int | None = None,
+    spmm_threads: int | None = None,
+) -> None:
+    """Process-backend child entry: frame the pipe, run the worker loop."""
+    _process_worker_main(
+        PipeChannel(raw_conn), blas_threads, spmm_threads
+    )
+
+
 class _ExchangeBackend:
     """Shared half of the out-of-process backends (process, socket).
 
@@ -350,16 +491,66 @@ class _ExchangeBackend:
 
     Functions crossing the boundary (commands, ``from_payload``) must
     be picklable, i.e. module-level.
+
+    Shared-resident ops staged via :meth:`stage_shared_op` piggyback on
+    the next ``run`` command each worker receives: a per-slot cursor
+    tracks how far into the op log each worker has been brought, the
+    cursor advances only after a successful send (a pre-write
+    serialization failure rolls nothing forward), and the log prefix
+    every covered slot has received is compacted away after each
+    resident round.
     """
 
-    def __init__(self) -> None:
+    #: Whether commands cross a process/host boundary (SharedRef
+    #: arguments then resolve on the worker; in-process pools resolve
+    #: them from the coordinator mirror instead).
+    remote = True
+
+    def __init__(self, telemetry: PoolTelemetry | None = None) -> None:
         self._placement: list[int] = []
         self._epoch: int | None = None
         self._broken = False
+        self._telemetry = telemetry if telemetry is not None else PoolTelemetry()
+        self._shared_ops: list[tuple] = []
+        self._op_cursor: dict[int, int] = {}
+        self._op_base = 0
 
     @property
     def resident_count(self) -> int:
         return len(self._placement)
+
+    # -- shared-resident op log ----------------------------------------- #
+
+    def stage_shared_op(self, op: tuple) -> None:
+        self._shared_ops.append(op)
+
+    def _pending_ops(self, slot: int) -> tuple:
+        cursor = max(self._op_cursor.get(slot, 0), self._op_base)
+        return tuple(self._shared_ops[cursor - self._op_base :])
+
+    def _reset_shared_ops(self) -> None:
+        self._shared_ops = []
+        self._op_cursor = {}
+        self._op_base = 0
+
+    def _compact_shared_ops(self) -> None:
+        """Drop the log prefix every covered worker has received.
+
+        Slots outside the current placement never receive ``run``
+        commands this epoch (and their shared stores are cleared on
+        the next epoch change), so only covered slots gate compaction
+        — otherwise an idle worker would pin one ``l×k`` op per sweep
+        for the whole solve.
+        """
+        if not self._shared_ops or not self._placement:
+            return
+        low = min(
+            max(self._op_cursor.get(slot, 0), self._op_base)
+            for slot in set(self._placement)
+        )
+        if low > self._op_base:
+            del self._shared_ops[: low - self._op_base]
+            self._op_base = low
 
     # -- transport hooks (subclass responsibility) ---------------------- #
 
@@ -418,6 +609,12 @@ class _ExchangeBackend:
                 return
             index, message = queues[slot].popleft()
             conn = self._connection(slot)
+            next_cursor = None
+            if message[0] == "run":
+                # Piggyback the shared-resident ops this worker has not
+                # yet seen; its cursor advances only if the send lands.
+                message = message + (self._pending_ops(slot),)
+                next_cursor = self._op_base + len(self._shared_ops)
             try:
                 conn.send(message)
             except FrameError as exc:
@@ -439,12 +636,17 @@ class _ExchangeBackend:
                 # *next* exchange to mis-associate.
                 errors.append((index, exc, traceback.format_exc()))
                 return
+            if next_cursor is not None:
+                self._op_cursor[slot] = next_cursor
             in_flight[conn] = (slot, index)
 
         for slot in list(queues):
             send_next(slot)
         while in_flight:
-            for conn in self._wait(list(in_flight)):
+            wait_started = time.perf_counter()
+            ready = self._wait(list(in_flight))
+            self._telemetry.wait_seconds += time.perf_counter() - wait_started
+            for conn in ready:
                 slot, index = in_flight.pop(conn)
                 try:
                     reply = conn.recv()
@@ -480,6 +682,9 @@ class _ExchangeBackend:
         workers = self._worker_count()
         self._placement = [index % workers for index in range(len(items))]
         self._epoch = epoch
+        # Workers clear their shared stores on the epoch change, so the
+        # op log restarts empty alongside them.
+        self._reset_shared_ops()
         commands = [
             (
                 index,
@@ -505,12 +710,14 @@ class _ExchangeBackend:
         self._exchange(commands)
 
     def run_resident(self, fn, per_state_args) -> list:
-        return self._exchange(
+        results = self._exchange(
             [
                 (index, self._placement[index], ("run", self._epoch, index, fn, tuple(args)))
                 for index, args in enumerate(per_state_args)
             ]
         )
+        self._compact_shared_ops()
+        return results
 
     def discard_resident(self) -> None:
         if self._placement and not self._broken:
@@ -521,6 +728,7 @@ class _ExchangeBackend:
                 ]
             )
         self._placement = []
+        self._reset_shared_ops()
 
 
 class ProcessBackend(_ExchangeBackend):
@@ -533,11 +741,13 @@ class ProcessBackend(_ExchangeBackend):
     discipline of :class:`_ExchangeBackend`.
     """
 
-    def __init__(self, max_workers: int) -> None:
-        super().__init__()
+    def __init__(
+        self, max_workers: int, telemetry: PoolTelemetry | None = None
+    ) -> None:
+        super().__init__(telemetry)
         self.max_workers = max_workers
         self._ctx = mp.get_context(_process_start_method())
-        self._workers: list[tuple[Any, Any]] = []  # (process, connection)
+        self._workers: list[tuple[Any, Any]] = []  # (process, channel)
         self._driver_blas_snapshot: dict | None = None
 
     @property
@@ -580,14 +790,16 @@ class ProcessBackend(_ExchangeBackend):
         while len(self._workers) < target:
             parent_conn, child_conn = self._ctx.Pipe()
             process = self._ctx.Process(
-                target=_process_worker_main,
+                target=_pipe_worker_entry,
                 args=(child_conn, blas_threads, spmm_threads),
                 name=f"repro-shard-worker-{len(self._workers)}",
                 daemon=True,
             )
             process.start()
             child_conn.close()
-            self._workers.append((process, parent_conn))
+            self._workers.append(
+                (process, PipeChannel(parent_conn, self._telemetry))
+            )
 
     def prestart(self) -> None:
         self._ensure_workers(self.max_workers)
@@ -669,6 +881,7 @@ class SocketBackend(_ExchangeBackend):
         workers: Sequence[str],
         connect_timeout: float | None = None,
         exchange_timeout: float | None = None,
+        telemetry: PoolTelemetry | None = None,
     ) -> None:
         from repro.utils.transport import (
             DEFAULT_CONNECT_TIMEOUT,
@@ -676,7 +889,7 @@ class SocketBackend(_ExchangeBackend):
             validate_workers,
         )
 
-        super().__init__()
+        super().__init__(telemetry)
         self.addresses = validate_workers(workers)
         if connect_timeout is None:
             connect_timeout = float(
@@ -720,6 +933,7 @@ class SocketBackend(_ExchangeBackend):
                 # wait for a reply, this covers a peer that goes silent
                 # halfway through a frame.
                 conn.settimeout(self.exchange_timeout)
+                conn.telemetry = self._telemetry
                 conns.append(conn)
         except BaseException:
             for conn in conns:
@@ -867,6 +1081,13 @@ class WorkerPool:
         ) = None
         self._closed = False
         self._epoch = 0
+        #: Lifetime coordination counters (see :class:`PoolTelemetry`).
+        self.telemetry = PoolTelemetry()
+        #: Coordinator mirror of the shared residents: name →
+        #: (version, value).  Updates are computed here with the same
+        #: function and arguments the workers run, so mirror and
+        #: workers stay bitwise identical.
+        self._shared: dict[str, tuple[int, Any]] = {}
 
     # -- introspection -------------------------------------------------- #
 
@@ -900,10 +1121,13 @@ class WorkerPool:
         self._require_open()
         if self._impl is None:
             if self.backend == "process":
-                self._impl = ProcessBackend(self.max_workers)
+                self._impl = ProcessBackend(self.max_workers, self.telemetry)
             elif self.backend == "socket":
                 self._impl = SocketBackend(
-                    self.workers, self.connect_timeout, self.exchange_timeout
+                    self.workers,
+                    self.connect_timeout,
+                    self.exchange_timeout,
+                    self.telemetry,
                 )
             elif self.backend == "thread" and self.max_workers > 1:
                 self._impl = ThreadBackend(self.max_workers)
@@ -928,10 +1152,16 @@ class WorkerPool:
         process backend ``fn`` and the items must be picklable; a
         single-item call runs inline on the caller either way.
         """
+        self.telemetry.rounds += 1
+        self.telemetry.commands += len(items)
         if not self.parallel or len(items) <= 1:
             self._require_open()
             return [fn(item) for item in items]
-        return self._backend_impl().map(fn, items)
+        started = time.perf_counter()
+        try:
+            return self._backend_impl().map(fn, items)
+        finally:
+            self.telemetry.exchange_seconds += time.perf_counter() - started
 
     def scatter(
         self,
@@ -950,7 +1180,14 @@ class WorkerPool:
         """
         impl = self._backend_impl()
         self._epoch += 1
-        impl.scatter(list(items), to_payload, from_payload, self._epoch)
+        self._shared.clear()
+        self.telemetry.rounds += 1
+        self.telemetry.commands += len(items)
+        started = time.perf_counter()
+        try:
+            impl.scatter(list(items), to_payload, from_payload, self._epoch)
+        finally:
+            self.telemetry.exchange_seconds += time.perf_counter() - started
         return self._epoch
 
     def run_resident(
@@ -975,7 +1212,89 @@ class WorkerPool:
                 f"expected {impl.resident_count} argument tuples "
                 f"(one per resident state), got {len(per_state_args)}"
             )
-        return impl.run_resident(fn, per_state_args)
+        if not impl.remote and self._shared:
+            # In-process, the pool mirror *is* the shared store:
+            # resolve SharedRef arguments here, against the exact
+            # values the exchange backends recompute worker-side.
+            per_state_args = [
+                _resolve_shared_args(self._shared, tuple(args))
+                for args in per_state_args
+            ]
+        self.telemetry.rounds += 1
+        self.telemetry.commands += len(per_state_args)
+        started = time.perf_counter()
+        try:
+            return impl.run_resident(fn, per_state_args)
+        finally:
+            self.telemetry.exchange_seconds += time.perf_counter() - started
+
+    # -- shared residents ------------------------------------------------ #
+
+    def share(self, name: str, value: Any) -> int:
+        """Broadcast a version-keyed shared resident; returns the version.
+
+        The value is held in the coordinator's mirror immediately and
+        shipped to each remote worker piggybacked on its next resident
+        command — one full-value send per :meth:`share` call, after
+        which :meth:`share_update` keeps every copy current without
+        ever re-broadcasting the value.  Shared residents live within
+        the current scatter epoch: the next :meth:`scatter` (or
+        :meth:`discard_resident`) clears them everywhere.
+        """
+        self._require_open()
+        version = self._shared.get(name, (0, None))[0] + 1
+        self._shared[name] = (version, value)
+        self.telemetry.shared_sets += 1
+        impl = self._backend_impl()
+        if impl.remote:
+            impl.stage_shared_op(("set", name, version, value))
+        return version
+
+    def share_update(self, name: str, fn: Callable, *args: Any) -> int:
+        """Step a shared resident to ``fn(current, *args)``; returns the
+        new version.
+
+        ``fn`` must be a picklable module-level function, and
+        deterministic: the coordinator applies it to its mirror right
+        away, and each remote worker applies the *same* call to its
+        own copy (strictly version-ordered) when the op reaches it —
+        identical code path on identical inputs, so every copy stays
+        bitwise equal without the value crossing the wire.  ``args``
+        may contain :class:`SharedRef` tokens (see :meth:`shared_ref`),
+        resolved against the local store on whichever side applies
+        the op.
+        """
+        self._require_open()
+        if name not in self._shared:
+            raise KeyError(
+                f"unknown shared resident {name!r}; call share() first"
+            )
+        version, current = self._shared[name]
+        resolved = _resolve_shared_args(self._shared, tuple(args))
+        self._shared[name] = (version + 1, fn(current, *resolved))
+        self.telemetry.shared_updates += 1
+        impl = self._backend_impl()
+        if impl.remote:
+            impl.stage_shared_op(("update", name, version + 1, fn, tuple(args)))
+        return version + 1
+
+    def shared_ref(self, name: str) -> SharedRef:
+        """Token standing for a shared resident's current value.
+
+        Pass it in :meth:`run_resident` / :meth:`share_update`
+        arguments; each receiving side substitutes its own copy, so
+        the value itself never rides along.
+        """
+        return SharedRef(name)
+
+    def shared_value(self, name: str) -> Any:
+        """The coordinator mirror's current value for a shared resident."""
+        entry = self._shared.get(name)
+        if entry is None:
+            raise KeyError(
+                f"unknown shared resident {name!r}; call share() first"
+            )
+        return entry[1]
 
     # -- lifecycle ------------------------------------------------------- #
 
@@ -1001,6 +1320,8 @@ class WorkerPool:
         """
         if self._closed or self._impl is None:
             return
+        self._shared.clear()
+        self.telemetry.rounds += 1
         self._impl.discard_resident()
 
     def shutdown(self) -> None:
@@ -1013,6 +1334,7 @@ class WorkerPool:
         if self._impl is not None:
             self._impl.shutdown()
             self._impl = None
+        self._shared.clear()
         self._closed = True
 
     #: Alias for :meth:`shutdown` (context-manager vocabulary).

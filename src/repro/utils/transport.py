@@ -6,11 +6,15 @@ state keyed by an epoch, and **at most one in-flight message per
 direction per worker**.  This module carries that exact protocol over
 TCP so the same solve can fan out past one machine:
 
-- a tiny **framing layer** — each message is ``MAGIC ++ u64 length ++
-  pickle`` (:func:`send_frame` / :func:`recv_frame`), with a hard frame
-  size ceiling and a :class:`FrameError` for anything that does not
-  parse, so a corrupted or hostile stream fails loudly instead of
-  desynchronizing the exchange;
+- a tiny **framing layer** — each message is ``MAGIC ++ u32 segment
+  count ++ u64 lengths ++ segments`` (:func:`send_frame` /
+  :func:`recv_frame`), where segment 0 is a pickle protocol-5 stream
+  and the remaining segments are its out-of-band buffers (numpy array
+  memory, shipped by vectored ``sendmsg`` without a monolithic
+  ``pickle.dumps`` copy and received into preallocated buffers), with
+  a hard frame size ceiling and a :class:`FrameError` for anything
+  that does not parse, so a corrupted or hostile stream fails loudly
+  instead of desynchronizing the exchange;
 - :class:`SocketConnection` — duck-types the two-method surface of a
   :class:`multiprocessing.connection.Connection` (``send``/``recv``
   plus ``fileno``/``close``), which lets the **same worker loop** that
@@ -44,22 +48,40 @@ import pickle
 import socket
 import struct
 import threading
+import time
+from collections import deque
 from collections.abc import Sequence
 
 #: Every frame starts with this magic so a stray client (or line noise)
 #: is rejected on the first bytes instead of being read as a length.
-MAGIC = b"RPR1"
+#: ``RPR2`` is the segmented protocol-5 frame; an ``RPR1`` peer (the
+#: pre-out-of-band build) is rejected here with a clear magic error
+#: instead of misreading segment counts as payload lengths.
+MAGIC = b"RPR2"
 
-#: Frame header: magic + big-endian u64 payload length.
-_HEADER = struct.Struct(f"!{len(MAGIC)}sQ")
+#: Frame header: magic + big-endian u32 segment count; followed by one
+#: big-endian u64 length per segment, then the segments themselves.
+_HEADER = struct.Struct(f"!{len(MAGIC)}sI")
+
+#: Per-segment length field.
+_LENGTH = struct.Struct("!Q")
 
 #: Hard ceiling on a single frame (1 TiB would be absurd; 4 GiB covers
 #: any realistic shard block while bounding a hostile length field).
 MAX_FRAME_BYTES = 4 << 30
 
+#: Ceiling on out-of-band segments per frame — a scatter payload holds
+#: one buffer per factor array, so even thousands is generous; bounds a
+#: hostile segment-count field the same way MAX_FRAME_BYTES bounds a
+#: hostile length.
+MAX_FRAME_SEGMENTS = 1 << 16
+
+#: Buffers per ``sendmsg`` call, safely under any platform's IOV_MAX.
+_IOV_CHUNK = 32
+
 #: Greeting sent by the server on accept; carried protocol version lets
 #: a future frame change fail with a clear message instead of garbage.
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
 
 #: Default seconds to wait for connect + server hello.
 DEFAULT_CONNECT_TIMEOUT = 10.0
@@ -202,40 +224,178 @@ def _recv_exact(sock: socket.socket, count: int, *, start: bool) -> bytes:
     return b"".join(chunks)
 
 
-def send_frame(sock: socket.socket, obj: object) -> None:
-    """Pickle ``obj`` and write it as one length-prefixed frame.
+def serialize_segments(obj: object) -> list:
+    """Pickle ``obj`` into ``[protocol-5 stream, *out-of-band buffers]``.
 
-    Enforces :data:`MAX_FRAME_BYTES` on the way *out* too — failing
-    here names the ceiling immediately, instead of shipping gigabytes
-    only for the receiver's check to drop the session with a generic
-    lost-worker error.
+    Segment 0 is the (small) pickle stream; the out-of-band segments
+    are the raw memory of every contiguous buffer-providing object in
+    ``obj`` — for the pool's traffic, the numpy factor arrays — exposed
+    as zero-copy memoryviews instead of being copied into the stream.
+    Non-contiguous buffers (which cannot expose flat raw memory) fall
+    back to an in-segment copy.
     """
-    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
-    if len(payload) > MAX_FRAME_BYTES:
+    pickle_buffers: list[pickle.PickleBuffer] = []
+    stream = pickle.dumps(
+        obj, protocol=5, buffer_callback=pickle_buffers.append
+    )
+    segments: list = [stream]
+    for buffer in pickle_buffers:
+        try:
+            segments.append(buffer.raw())
+        except BufferError:
+            segments.append(bytes(buffer))
+    return segments
+
+
+def _segment_nbytes(segment) -> int:
+    return (
+        segment.nbytes if isinstance(segment, memoryview) else len(segment)
+    )
+
+
+def _sendall_vectored(sock: socket.socket, views: list) -> None:
+    """Write every memoryview, batching via ``sendmsg`` when available.
+
+    A vectored write hands the kernel many buffers per syscall without
+    concatenating them first — the header, the pickle stream and each
+    numpy buffer go out as-is, no monolithic copy.  Batches are capped
+    at :data:`_IOV_CHUNK` buffers (far below any IOV_MAX); a partial
+    send advances into the pending views and retries.
+    """
+    if not hasattr(sock, "sendmsg"):  # pragma: no cover - non-POSIX
+        for view in views:
+            sock.sendall(view)
+        return
+    pending = deque(view for view in views if view.nbytes)
+    while pending:
+        batch = [
+            pending[position]
+            for position in range(min(len(pending), _IOV_CHUNK))
+        ]
+        sent = sock.sendmsg(batch)
+        while sent > 0:
+            head = pending[0]
+            if sent >= head.nbytes:
+                sent -= head.nbytes
+                pending.popleft()
+            else:
+                pending[0] = head[sent:]
+                sent = 0
+
+
+def send_frame(sock: socket.socket, obj: object) -> int:
+    """Pickle ``obj`` and write it as one segmented frame.
+
+    Returns the total bytes written (header included) so channel
+    telemetry can count traffic.  Enforces :data:`MAX_FRAME_BYTES` on
+    the way *out* too — failing here names the ceiling immediately,
+    instead of shipping gigabytes only for the receiver's check to
+    drop the session with a generic lost-worker error.
+    """
+    segments = serialize_segments(obj)
+    lengths = [_segment_nbytes(segment) for segment in segments]
+    total = sum(lengths)
+    if total > MAX_FRAME_BYTES:
         raise FrameError(
-            f"frame of {len(payload)} bytes exceeds the "
+            f"frame of {total} bytes exceeds the "
             f"{MAX_FRAME_BYTES}-byte ceiling"
         )
-    header = _HEADER.pack(MAGIC, len(payload))
+    header = _HEADER.pack(MAGIC, len(segments)) + struct.pack(
+        f"!{len(segments)}Q", *lengths
+    )
+    views = [memoryview(header)]
+    for segment in segments:
+        view = segment if isinstance(segment, memoryview) else memoryview(
+            segment
+        )
+        views.append(view.cast("B"))
     timeout = sock.gettimeout()
     if timeout is not None:
         # Budget the deadline to the payload size (see
         # SEND_FLOOR_BYTES_PER_SECOND) so a large-but-progressing
         # transfer is not misdiagnosed as a lost worker.
-        sock.settimeout(
-            timeout + len(payload) / SEND_FLOOR_BYTES_PER_SECOND
-        )
+        sock.settimeout(timeout + total / SEND_FLOOR_BYTES_PER_SECOND)
     try:
-        if len(payload) < (1 << 16):
-            sock.sendall(header + payload)
-        else:
-            # Shard-block payloads run to hundreds of MB; writing header
-            # and payload separately avoids materializing a second copy.
-            sock.sendall(header)
-            sock.sendall(payload)
+        _sendall_vectored(sock, views)
     finally:
         if timeout is not None:
             sock.settimeout(timeout)
+    return len(header) + total
+
+
+def _recv_into_exact(sock: socket.socket, buffer: bytearray) -> None:
+    """Fill a preallocated buffer from the socket (no interim copies)."""
+    view = memoryview(buffer)
+    received = 0
+    while received < len(buffer):
+        count = sock.recv_into(
+            view[received:], min(len(buffer) - received, 1 << 20)
+        )
+        if count == 0:
+            raise FrameError(
+                f"connection closed mid-frame ({received} of "
+                f"{len(buffer)} segment bytes received)"
+            )
+        received += count
+
+
+def _parse_frame_header(header: bytes) -> int:
+    """Validate magic and return the segment count."""
+    magic, nsegments = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise FrameError(
+            f"bad frame magic {magic!r} (expected {MAGIC!r}); the peer "
+            "is not speaking the repro worker protocol (or speaks an "
+            "older frame format)"
+        )
+    if not 0 < nsegments <= MAX_FRAME_SEGMENTS:
+        raise FrameError(
+            f"frame with {nsegments} segments exceeds the "
+            f"{MAX_FRAME_SEGMENTS}-segment ceiling"
+        )
+    return nsegments
+
+
+def _check_frame_lengths(lengths: tuple) -> int:
+    total = sum(lengths)
+    if total > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame of {total} bytes exceeds the {MAX_FRAME_BYTES}-byte "
+            "ceiling"
+        )
+    return total
+
+
+def _decode_segments(stream, buffers: list):
+    """Unpickle the stream segment against its out-of-band buffers.
+
+    The buffers are the preallocated receive-side bytearrays; numpy
+    reconstructs its arrays directly over that memory, so a factor
+    array crosses the wire with exactly one resident copy.
+    """
+    try:
+        return pickle.loads(stream, buffers=buffers)
+    except Exception as exc:
+        raise PayloadDecodeError(
+            f"frame payload does not unpickle: {exc!r}"
+        ) from exc
+
+
+def _recv_frame_raw(sock: socket.socket) -> tuple:
+    """Read one frame; returns ``(obj, total_bytes_received)``."""
+    header = _recv_exact(sock, _HEADER.size, start=True)
+    nsegments = _parse_frame_header(header)
+    length_block = _recv_exact(sock, nsegments * _LENGTH.size, start=False)
+    lengths = struct.unpack(f"!{nsegments}Q", length_block)
+    total = _check_frame_lengths(lengths)
+    stream = _recv_exact(sock, lengths[0], start=False)
+    buffers: list[bytearray] = []
+    for length in lengths[1:]:
+        buffer = bytearray(length)
+        _recv_into_exact(sock, buffer)
+        buffers.append(buffer)
+    obj = _decode_segments(stream, buffers)
+    return obj, _HEADER.size + len(length_block) + total
 
 
 def recv_frame(sock: socket.socket):
@@ -247,25 +407,8 @@ def recv_frame(sock: socket.socket):
     does not unpickle, and :class:`TimeoutError` when the socket's
     timeout elapses.
     """
-    header = _recv_exact(sock, _HEADER.size, start=True)
-    magic, length = _HEADER.unpack(header)
-    if magic != MAGIC:
-        raise FrameError(
-            f"bad frame magic {magic!r} (expected {MAGIC!r}); the peer "
-            "is not speaking the repro worker protocol"
-        )
-    if length > MAX_FRAME_BYTES:
-        raise FrameError(
-            f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES}-byte "
-            "ceiling"
-        )
-    payload = _recv_exact(sock, length, start=False)
-    try:
-        return pickle.loads(payload)
-    except Exception as exc:
-        raise PayloadDecodeError(
-            f"frame payload does not unpickle: {exc!r}"
-        ) from exc
+    obj, _ = _recv_frame_raw(sock)
+    return obj
 
 
 class SocketConnection:
@@ -277,11 +420,17 @@ class SocketConnection:
     ``send(obj)`` / ``recv()`` of whole pickled messages, ``fileno()``
     for readiness waits, and ``close()``.  A receive timeout (set via
     ``settimeout``) surfaces as :class:`TimeoutError` from ``recv``.
+
+    When ``telemetry`` is set (any object with ``bytes_sent``/
+    ``bytes_received``/``send_seconds`` counters — in practice
+    :class:`repro.utils.executor.PoolTelemetry`), every frame's size
+    and serialize+write time are accumulated onto it.
     """
 
-    def __init__(self, sock: socket.socket) -> None:
+    def __init__(self, sock: socket.socket, telemetry=None) -> None:
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._sock = sock
+        self.telemetry = telemetry
 
     def settimeout(self, seconds: float | None) -> None:
         self._sock.settimeout(seconds)
@@ -290,14 +439,112 @@ class SocketConnection:
         return self._sock.fileno()
 
     def send(self, obj: object) -> None:
-        send_frame(self._sock, obj)
+        started = time.perf_counter()
+        nbytes = send_frame(self._sock, obj)
+        if self.telemetry is not None:
+            self.telemetry.bytes_sent += nbytes
+            self.telemetry.send_seconds += time.perf_counter() - started
 
     def recv(self):
-        return recv_frame(self._sock)
+        obj, nbytes = _recv_frame_raw(self._sock)
+        if self.telemetry is not None:
+            self.telemetry.bytes_received += nbytes
+        return obj
 
     def close(self) -> None:
         try:
             self._sock.close()
+        except OSError:
+            pass
+
+
+class PipeChannel:
+    """Segmented protocol-5 frames over a multiprocessing ``Connection``.
+
+    The process backend's pipe counterpart of :class:`SocketConnection`:
+    the same ``send``/``recv``/``fileno``/``close`` surface, but each
+    frame travels as one ``send_bytes`` message carrying the header and
+    the pickle stream, followed by one ``send_bytes`` per out-of-band
+    buffer — so a numpy factor array is written from (and received
+    into) its own memory instead of being copied through a monolithic
+    ``pickle.dumps`` bytestring.  Receive preallocates a bytearray per
+    buffer and fills it with ``recv_bytes_into``; numpy reconstructs
+    its arrays directly over that memory.
+
+    A peer that dies mid-message surfaces as the ``Connection``'s own
+    :class:`EOFError`/:class:`OSError`, which both the worker loop and
+    the exchange treat as a lost peer.
+    """
+
+    def __init__(self, conn, telemetry=None) -> None:
+        self._conn = conn
+        self.telemetry = telemetry
+
+    def fileno(self) -> int:
+        return self._conn.fileno()
+
+    def send(self, obj: object) -> None:
+        started = time.perf_counter()
+        segments = serialize_segments(obj)
+        lengths = [_segment_nbytes(segment) for segment in segments]
+        total = sum(lengths)
+        if total > MAX_FRAME_BYTES:
+            raise FrameError(
+                f"frame of {total} bytes exceeds the "
+                f"{MAX_FRAME_BYTES}-byte ceiling"
+            )
+        header = _HEADER.pack(MAGIC, len(segments)) + struct.pack(
+            f"!{len(segments)}Q", *lengths
+        )
+        # Header + stream share one small message (one concat of the
+        # already-small protocol-5 stream); each out-of-band buffer is
+        # written as its own message, straight from the array memory.
+        self._conn.send_bytes(header + segments[0])
+        for segment in segments[1:]:
+            self._conn.send_bytes(segment)
+        if self.telemetry is not None:
+            self.telemetry.bytes_sent += len(header) + total
+            self.telemetry.send_seconds += time.perf_counter() - started
+
+    def recv(self):
+        first = self._conn.recv_bytes()
+        if len(first) < _HEADER.size:
+            raise FrameError(
+                f"pipe message of {len(first)} bytes is shorter than a "
+                "frame header"
+            )
+        nsegments = _parse_frame_header(first[: _HEADER.size])
+        lengths_end = _HEADER.size + nsegments * _LENGTH.size
+        if len(first) < lengths_end:
+            raise FrameError("pipe message truncates the frame lengths")
+        lengths = struct.unpack(
+            f"!{nsegments}Q", first[_HEADER.size : lengths_end]
+        )
+        total = _check_frame_lengths(lengths)
+        stream = first[lengths_end:]
+        if len(stream) != lengths[0]:
+            raise FrameError(
+                f"pipe message carries {len(stream)} stream bytes, frame "
+                f"header promised {lengths[0]}"
+            )
+        buffers: list[bytearray] = []
+        for length in lengths[1:]:
+            buffer = bytearray(length)
+            received = self._conn.recv_bytes_into(buffer)
+            if received != length:
+                raise FrameError(
+                    f"pipe buffer message of {received} bytes, frame "
+                    f"header promised {length}"
+                )
+            buffers.append(buffer)
+        obj = _decode_segments(stream, buffers)
+        if self.telemetry is not None:
+            self.telemetry.bytes_received += lengths_end + total
+        return obj
+
+    def close(self) -> None:
+        try:
+            self._conn.close()
         except OSError:
             pass
 

@@ -42,6 +42,11 @@ def _nap_echo(state, seconds):
     return state
 
 
+def _state_and_shared(state, tag):
+    """Resident command pairing the state with a shared-resident value."""
+    return (copy.copy(state), tag)
+
+
 class StubServer:
     """One-connection stub: accept, run ``behavior(sock)``, hang up.
 
@@ -130,9 +135,46 @@ class TestFraming:
 
         a, b = socket.socketpair()
         try:
-            a.sendall(MAGIC + struct.pack("!Q", 1 << 60))
+            # Valid header (one segment), absurd segment length.
+            a.sendall(
+                MAGIC + struct.pack("!I", 1) + struct.pack("!Q", 1 << 60)
+            )
             with pytest.raises(FrameError, match="ceiling"):
                 recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_absurd_segment_count_is_frame_error(self):
+        import struct
+
+        a, b = socket.socketpair()
+        try:
+            a.sendall(MAGIC + struct.pack("!I", 1 << 31))
+            with pytest.raises(FrameError, match="segment"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_out_of_band_numpy_round_trip(self):
+        """Arrays travel as out-of-band protocol-5 buffers and come back
+        equal (and writable — received buffers are fresh bytearrays)."""
+        np = pytest.importorskip("numpy")
+        a, b = socket.socketpair()
+        try:
+            payload = {
+                "sf": np.arange(12.0).reshape(3, 4),
+                "mask": np.array([True, False, True]),
+                "meta": ("epoch", 7),
+            }
+            sent = send_frame(a, payload)
+            got = recv_frame(b)
+            assert sent > 0
+            assert got["meta"] == ("epoch", 7)
+            assert np.array_equal(got["sf"], payload["sf"])
+            assert np.array_equal(got["mask"], payload["mask"])
+            got["sf"][0, 0] = -1.0  # writable, not a read-only view
         finally:
             a.close()
             b.close()
@@ -173,7 +215,7 @@ class TestWorkerServer:
 
     def test_concurrent_sessions_have_isolated_state(self):
         """Two pools on one worker host must not see each other's
-        resident shards (per-connection state)."""
+        resident shards or shared residents (per-connection state)."""
         server = WorkerServer()
         thread = threading.Thread(target=server.serve_forever, daemon=True)
         thread.start()
@@ -185,8 +227,22 @@ class TestWorkerServer:
             ) as two:
                 one.scatter([["one"]])
                 two.scatter([["two"]])
-                assert one.run_resident(copy.copy, [()]) == [["one"]]
-                assert two.run_resident(copy.copy, [()]) == [["two"]]
+                one.share("tag", "ONE")
+                two.share("tag", "TWO")
+                assert one.run_resident(
+                    _state_and_shared, [(one.shared_ref("tag"),)]
+                ) == [(["one"], "ONE")]
+                assert two.run_resident(
+                    _state_and_shared, [(two.shared_ref("tag"),)]
+                ) == [(["two"], "TWO")]
+                # Interleaved updates stay per-session too.
+                one.share("tag", "ONE-2")
+                assert one.run_resident(
+                    _state_and_shared, [(one.shared_ref("tag"),)]
+                ) == [(["one"], "ONE-2")]
+                assert two.run_resident(
+                    _state_and_shared, [(two.shared_ref("tag"),)]
+                ) == [(["two"], "TWO")]
         finally:
             server.close()
             thread.join(timeout=5)
@@ -222,7 +278,8 @@ class TestWorkerServer:
             conn = connect_worker(server.address, timeout=5.0)
             raw = b"\x93not-a-pickle"
             conn._sock.sendall(
-                MAGIC + struct.pack("!Q", len(raw)) + raw
+                MAGIC + struct.pack("!I", 1)
+                + struct.pack("!Q", len(raw)) + raw
             )
             reply = conn.recv()
             assert reply[0] == "error"
@@ -339,6 +396,36 @@ class TestExchangeFailures:
             pool = WorkerPool(backend="socket", workers=[stub.address])
             with pytest.raises(WorkerLost, match="FrameError"):
                 pool.scatter([[1]])
+            pool.shutdown()
+        finally:
+            stub.close()
+
+    def test_worker_dying_mid_reply_is_worker_lost_not_hang(self):
+        """A worker that dies midway through *writing* a reply — valid
+        frame header, partial payload — must surface as ``WorkerLost``
+        (with the ``FrameError`` cause), leave the pool terminally
+        broken, and never hang the exchange."""
+        import struct
+
+        def die_mid_payload(sock):
+            recv_frame(sock)  # the install command
+            # A valid header announcing one 1 MiB segment ... of which
+            # only a fragment ever arrives before the crash.
+            sock.sendall(
+                MAGIC + struct.pack("!I", 1) + struct.pack("!Q", 1 << 20)
+                + b"\x80\x05partial-sf-rows"
+            )
+            sock.close()
+
+        stub = self._hello_then(die_mid_payload)
+        try:
+            pool = WorkerPool(backend="socket", workers=[stub.address])
+            started = time.perf_counter()
+            with pytest.raises(WorkerLost, match="FrameError"):
+                pool.scatter([[1]])
+            assert time.perf_counter() - started < PROMPT_SECONDS
+            with pytest.raises(WorkerLost, match="broken"):
+                pool.run_resident(copy.copy, [()])
             pool.shutdown()
         finally:
             stub.close()
