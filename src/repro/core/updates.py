@@ -66,6 +66,9 @@ UpdateStyle = Literal["projector", "lagrangian"]
 
 def _dot(x: MatrixLike, dense: np.ndarray) -> np.ndarray:
     """``x @ dense`` returning a plain ndarray for sparse or dense ``x``."""
+    # repro-lint: disable=REP001 -- the sanctioned scipy-reference fallback
+    # used when no spmm engine is configured; engines are defined to match
+    # this expression bit for bit.
     return np.asarray(x @ dense)
 
 

@@ -63,7 +63,7 @@ from repro.core.kernels import resolve_kernel_name
 from repro.core.labeling import apply_alignment, lexicon_column_alignment
 from repro.core.online import OnlineStepResult, OnlineTriClustering
 from repro.core.sharded import ShardedOnlineTriClustering, open_solver_pool
-from repro.core.spmm import resolve_spmm_name
+from repro.core.spmm import resolve_spmm, resolve_spmm_name
 from repro.core.state import FactorSet
 from repro.data.tweet import Tweet, UserProfile
 from repro.engine.cache import FoldInCache
@@ -188,17 +188,23 @@ class StreamingSentimentEngine:
                     "pass either a solver instance or n_shards, not both "
                     "(configure sharding on the solver)"
                 )
+            # repro-lint: disable=REP006 -- consistency guard against the
+            # ShardingConfig default, not name dispatch (config validated it).
             if sharding.backend != "thread":
                 raise ValueError(
                     "pass either a solver instance or backend, not both "
                     "(configure the backend on the solver)"
                 )
+            # repro-lint: disable=REP006 -- consistency guard against the
+            # ShardingConfig default, not name dispatch (config validated it).
             if sharding.partitioner != "hash":
                 raise ValueError(
                     "pass either a solver instance or partitioner, not both "
                     "(configure sharding on the solver)"
                 )
             self.solver = solver
+        # repro-lint: disable=REP006 -- solver-shape choice on an
+        # eagerly-validated EngineConfig knob, not name resolution.
         elif sharding.n_shards == 1 and sharding.backend == "thread":
             self.solver = OnlineTriClustering(
                 num_classes=config.num_classes,
@@ -248,6 +254,9 @@ class StreamingSentimentEngine:
             if self.solver.pool is None and (
                 solver is None or self.solver.max_workers is None
             ):
+                # repro-lint: disable=REP006 -- pool-ownership dispatch on
+                # the validated backend (dedicated pool for out-of-process
+                # workers), not name resolution.
                 if self.backend in ("process", "socket"):
                     shards_hint = (
                         self.n_shards
@@ -268,11 +277,20 @@ class StreamingSentimentEngine:
                     # not the first snapshot.
                     self._solver_pool.prestart()
                     self.solver.pool = self._solver_pool
+                # repro-lint: disable=REP006 -- see the branch above.
                 elif self.backend == "thread":
                     self.solver.pool = self._pool
         self.cache = FoldInCache(maxsize=config.serving.cache_size)
         self.classify_iterations = config.serving.classify_iterations
         self.classify_batch_size = config.serving.classify_batch_size
+        # Serving fold-in runs the same spmm engine as the solver, so
+        # the spmm=/spmm_threads= knobs accelerate classify traffic too.
+        # Engines are float64 bit-identical, so memberships never depend
+        # on the choice.
+        self._serve_spmm = resolve_spmm(
+            getattr(self.solver, "spmm", "scipy"),
+            getattr(self.solver, "spmm_threads", None),
+        )
         self._classify_seed = 0 if config.seed is None else int(config.seed)
         self._factors: FactorSet | None = None
         self._alignment: np.ndarray | None = None
@@ -472,6 +490,7 @@ class StreamingSentimentEngine:
                     iterations=self.classify_iterations,
                     seed=self._classify_seed,
                     gram=self._tweet_gram,
+                    spmm=self._serve_spmm,
                 )
                 aligned = np.empty_like(memberships)
                 aligned[:, alignment] = memberships

@@ -805,7 +805,7 @@ class ProcessBackend(_ExchangeBackend):
         self._ensure_workers(self.max_workers)
 
     def shutdown(self) -> None:
-        for process, conn in self._workers:
+        for _process, conn in self._workers:
             try:
                 conn.send(("shutdown",))
             except (BrokenPipeError, OSError):

@@ -300,7 +300,7 @@ class TestSocketBackendEngine:
 
         probe = socket_module.socket()
         probe.bind(("127.0.0.1", 0))
-        dead = "127.0.0.1:%d" % probe.getsockname()[1]
+        dead = f"127.0.0.1:{probe.getsockname()[1]}"
         probe.close()
         from repro.utils.transport import WorkerConnectError
 

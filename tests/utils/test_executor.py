@@ -186,7 +186,9 @@ class TestResidentState:
         with self.make_pool(backend) as pool:
             pool.scatter([[1], [2]])
             if backend in ("process", "socket"):
-                with pytest.raises(Exception) as excinfo:
+                # noqa'd: the failure type legitimately differs per
+                # backend (pickling error vs transport error).
+                with pytest.raises(Exception) as excinfo:  # noqa: B017
                     # Second state's argument cannot cross the boundary.
                     pool.run_resident(
                         list.append, [(10,), (lambda: None,)]

@@ -45,3 +45,55 @@ class TestChildSeeds:
         seeds = child_seeds(generator, 3)
         assert len(seeds) == 3
         assert all(isinstance(s, int) for s in seeds)
+
+    def test_prefix_stability(self):
+        """Asking for more children must not reshuffle the earlier ones.
+
+        Subsystems rely on this: adding a ninth worker to a fleet keeps
+        the first eight workers' seeds (and therefore their factors)
+        unchanged.
+        """
+        assert child_seeds(7, 8)[:4] == child_seeds(7, 4)
+
+    def test_seeds_are_valid_generator_seeds(self):
+        for seed in child_seeds(11, 16):
+            assert 0 <= seed < 2**63
+            spawn_rng(seed)  # must not raise
+
+    def test_children_independent_of_parent_stream(self):
+        """Child streams differ from the parent's own stream."""
+        parent = spawn_rng(7).random(5)
+        child = spawn_rng(child_seeds(7, 1)[0]).random(5)
+        assert not np.array_equal(parent, child)
+
+    def test_generator_derivation_is_consumptive(self):
+        """Drawing seeds from a generator advances it — two draws differ."""
+        generator = np.random.default_rng(3)
+        first = child_seeds(generator, 3)
+        second = child_seeds(generator, 3)
+        assert first != second
+
+    def test_generator_derivation_is_replayable(self):
+        """Same generator seed, same derived child seeds."""
+        a = child_seeds(np.random.default_rng(3), 3)
+        b = child_seeds(np.random.default_rng(3), 3)
+        assert a == b
+
+    def test_none_seed_children_are_usable(self):
+        seeds = child_seeds(None, 2)
+        assert len(seeds) == 2
+        assert all(isinstance(s, int) for s in seeds)
+
+
+class TestSeedThreading:
+    def test_numpy_integer_seed_accepted(self):
+        a = spawn_rng(np.int64(5)).random(3)
+        b = spawn_rng(5).random(3)
+        assert np.array_equal(a, b)
+
+    def test_passthrough_preserves_stream_position(self):
+        generator = np.random.default_rng(9)
+        generator.random(10)
+        resumed = spawn_rng(generator).random(3)
+        expected = np.random.default_rng(9).random(13)[10:]
+        assert np.array_equal(resumed, expected)

@@ -59,7 +59,7 @@ class StubServer:
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.bind(("127.0.0.1", 0))
         self._listener.listen()
-        self.address = "127.0.0.1:%d" % self._listener.getsockname()[1]
+        self.address = f"127.0.0.1:{self._listener.getsockname()[1]}"
         self._thread = threading.Thread(
             target=self._serve, args=(behavior,), daemon=True
         )

@@ -26,6 +26,26 @@ class TestRequirePositive:
         with pytest.raises(ValueError):
             require_positive("one", "x")
 
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="x"):
+            require_positive(float("nan"), "x")
+
+    def test_rejects_none(self):
+        with pytest.raises(ValueError, match="x"):
+            require_positive(None, "x")
+
+    def test_coerces_int_to_float(self):
+        result = require_positive(3, "x")
+        assert result == 3.0
+        assert isinstance(result, float)
+
+    def test_accepts_numpy_scalar(self):
+        assert require_positive(np.float64(0.25), "x") == 0.25
+
+    def test_error_message_names_the_parameter(self):
+        with pytest.raises(ValueError, match="learning_rate"):
+            require_positive(-2, "learning_rate")
+
 
 class TestRequireInRange:
     def test_bounds_inclusive(self):
@@ -36,6 +56,23 @@ class TestRequireInRange:
     def test_rejects_outside(self, value):
         with pytest.raises(ValueError):
             require_in_range(value, "x", 0.0, 1.0)
+
+    def test_rejects_non_number(self):
+        with pytest.raises(ValueError, match="must be a number"):
+            require_in_range("half", "x", 0.0, 1.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="x"):
+            require_in_range(float("nan"), "x", 0.0, 1.0)
+
+    def test_returns_plain_float(self):
+        result = require_in_range(1, "x", 0, 2)
+        assert result == 1.0
+        assert isinstance(result, float)
+
+    def test_error_message_shows_bounds(self):
+        with pytest.raises(ValueError, match=r"\[0\.0, 1\.0\]"):
+            require_in_range(5, "x", 0.0, 1.0)
 
 
 class TestCheckProbability:
@@ -62,6 +99,18 @@ class TestCheckShape:
         with pytest.raises(ValueError, match="axis 1"):
             check_shape(np.zeros((2, 4)), (2, 3), "m")
 
+    def test_all_wildcards_accepts_any_2d(self):
+        check_shape(np.zeros((5, 9)), (None, None), "m")
+
+    def test_sparse_matrix_shape_checked(self):
+        check_shape(sp.eye(3).tocsr(), (3, 3), "m")
+        with pytest.raises(ValueError, match="axis 0"):
+            check_shape(sp.eye(3).tocsr(), (4, None), "m")
+
+    def test_error_message_includes_actual_shape(self):
+        with pytest.raises(ValueError, match=r"\(2, 4\)"):
+            check_shape(np.zeros((2, 4)), (2, 3), "m")
+
 
 class TestRequireNonnegativeMatrix:
     def test_accepts_nonnegative(self):
@@ -73,3 +122,14 @@ class TestRequireNonnegativeMatrix:
 
     def test_sparse(self):
         require_nonnegative_matrix(sp.eye(3).tocsr(), "m")
+
+    def test_rejects_negative_sparse(self):
+        matrix = sp.csr_matrix(np.array([[0.0, -0.5], [1.0, 0.0]]))
+        with pytest.raises(ValueError, match="m"):
+            require_nonnegative_matrix(matrix, "m")
+
+    def test_tolerance_admits_small_negatives(self):
+        matrix = np.array([[0.0, -1e-12]])
+        with pytest.raises(ValueError):
+            require_nonnegative_matrix(matrix, "m")
+        require_nonnegative_matrix(matrix, "m", tolerance=1e-9)

@@ -1,0 +1,5 @@
+"""``python -m tools.repro_lint`` entry point."""
+
+from tools.repro_lint.cli import main
+
+raise SystemExit(main())

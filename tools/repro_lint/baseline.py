@@ -1,0 +1,91 @@
+"""Baseline support: grandfather pre-existing findings, fail only on new.
+
+The baseline is a checked-in JSON multiset of findings keyed by
+``(rule, path, snippet)`` — the *stripped source line*, not the line
+number, so unrelated edits above a grandfathered violation do not
+invalidate the baseline.  Duplicate keys are counted: two identical
+raw products in one file occupy two baseline slots, and adding a third
+is a new finding.
+
+Entries that no longer match anything are *stale*; they are reported
+as a nudge to regenerate (``--write-baseline``) but never fail the
+run — a fixed violation should not punish the fixer.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from tools.repro_lint.core import Finding, LintError
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: Path) -> Counter[tuple[str, str, str]]:
+    """The baseline file as a multiset of ``(rule, path, snippet)`` keys."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise LintError(f"cannot read baseline {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise LintError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or "findings" not in payload:
+        raise LintError(f"baseline {path} must be an object with 'findings'")
+    version = payload.get("version")
+    if version != BASELINE_VERSION:
+        raise LintError(
+            f"baseline {path} has version {version!r}; this checker reads "
+            f"version {BASELINE_VERSION} — regenerate with --write-baseline"
+        )
+    keys: Counter[tuple[str, str, str]] = Counter()
+    for entry in payload["findings"]:
+        try:
+            keys[(entry["rule"], entry["path"], entry["snippet"])] += 1
+        except (TypeError, KeyError) as exc:
+            raise LintError(
+                f"baseline {path} entry {entry!r} lacks rule/path/snippet"
+            ) from exc
+    return keys
+
+
+def write_baseline(path: Path, findings: list[Finding]) -> None:
+    """Serialize ``findings`` as the new baseline (sorted, line kept as FYI)."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "note": (
+            "Grandfathered repro-lint findings. Matching is by "
+            "(rule, path, snippet) so line numbers are informational. "
+            "Regenerate with: python -m tools.repro_lint src tools "
+            "benchmarks --write-baseline"
+        ),
+        "findings": [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "line": f.line,
+                "snippet": f.snippet,
+            }
+            for f in sorted(findings, key=Finding.sort_key)
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def split_new_findings(
+    findings: list[Finding], baseline: Counter[tuple[str, str, str]]
+) -> tuple[list[Finding], list[Finding], int]:
+    """Partition into (new, grandfathered) and count stale baseline slots."""
+    remaining = Counter(baseline)
+    new: list[Finding] = []
+    grandfathered: list[Finding] = []
+    for finding in findings:
+        key = finding.baseline_key()
+        if remaining[key] > 0:
+            remaining[key] -= 1
+            grandfathered.append(finding)
+        else:
+            new.append(finding)
+    stale = sum(remaining.values())
+    return new, grandfathered, stale

@@ -1,0 +1,178 @@
+"""Command line front end: ``python -m tools.repro_lint [paths] ...``.
+
+Exit codes: 0 clean (all findings grandfathered), 1 new findings,
+2 usage / IO / parse errors.  REP000 (malformed suppression) findings
+are never baselined — a suppression without a reason fails the run no
+matter what.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+from pathlib import Path
+
+from tools.repro_lint.baseline import (
+    load_baseline,
+    split_new_findings,
+    write_baseline,
+)
+from tools.repro_lint.core import Finding, LintError, lint_paths
+from tools.repro_lint.rules import ALL_RULES
+
+#: Scanned when no paths are given — the trees whose invariants the
+#: rules encode.  tests/ is deliberately absent: tests construct RNGs,
+#: compare knob strings and poke raw scipy products on purpose.
+DEFAULT_PATHS = ("src", "tools", "benchmarks")
+
+DEFAULT_BASELINE = Path("tools/repro_lint/baseline.json")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.repro_lint",
+        description=(
+            "AST-based invariant checker for this repo: determinism, "
+            "concurrency and transport rules as enforced static analysis. "
+            "See CONTRIBUTING.md 'Invariants & static analysis'."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help=f"files or directories to lint (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=f"baseline JSON of grandfathered findings (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; report every finding as new",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    return parser
+
+
+def _print_rules() -> None:
+    for rule in ALL_RULES:
+        print(f"{rule.code}  {rule.name:<24} {rule.summary}")
+
+
+def _emit_text(
+    new: list[Finding], grandfathered: list[Finding], stale: int
+) -> None:
+    for finding in new:
+        print(finding.render())
+    parts = [f"{len(new)} new finding{'s' if len(new) != 1 else ''}"]
+    if grandfathered:
+        parts.append(f"{len(grandfathered)} grandfathered by baseline")
+    if stale:
+        parts.append(
+            f"{stale} stale baseline entr{'ies' if stale != 1 else 'y'} "
+            "(regenerate with --write-baseline)"
+        )
+    print("repro-lint: " + ", ".join(parts))
+
+
+def _emit_json(
+    new: list[Finding], grandfathered: list[Finding], stale: int
+) -> None:
+    print(
+        json.dumps(
+            {
+                "new": [f.to_dict() for f in new],
+                "grandfathered": [f.to_dict() for f in grandfathered],
+                "stale_baseline_entries": stale,
+            },
+            indent=2,
+        )
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        _print_rules()
+        return 0
+
+    paths = args.paths or [Path(p) for p in DEFAULT_PATHS]
+    root = Path.cwd()
+
+    try:
+        findings = lint_paths(paths, ALL_RULES, root=root)
+    except LintError as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_path = args.baseline or DEFAULT_BASELINE
+    if not baseline_path.is_absolute():
+        baseline_path = root / baseline_path
+
+    if args.write_baseline:
+        # REP000 never enters a baseline: fix the suppression instead.
+        meta = [f for f in findings if f.rule == "REP000"]
+        if meta:
+            for finding in meta:
+                print(finding.render(), file=sys.stderr)
+            print(
+                "repro-lint: refusing to write a baseline over malformed "
+                "suppressions",
+                file=sys.stderr,
+            )
+            return 2
+        write_baseline(baseline_path, findings)
+        print(
+            f"repro-lint: wrote {len(findings)} finding"
+            f"{'s' if len(findings) != 1 else ''} to {baseline_path}"
+        )
+        return 0
+
+    baseline: Counter[tuple[str, str, str]] = Counter()
+    if not args.no_baseline and baseline_path.exists():
+        try:
+            baseline = load_baseline(baseline_path)
+        except LintError as exc:
+            print(f"repro-lint: error: {exc}", file=sys.stderr)
+            return 2
+
+    new, grandfathered, stale = split_new_findings(findings, baseline)
+    # Malformed suppressions can never be grandfathered.
+    regressed = [f for f in grandfathered if f.rule == "REP000"]
+    if regressed:
+        new.extend(regressed)
+        grandfathered = [f for f in grandfathered if f.rule != "REP000"]
+        new.sort(key=Finding.sort_key)
+
+    if args.format == "json":
+        _emit_json(new, grandfathered, stale)
+    else:
+        _emit_text(new, grandfathered, stale)
+    return 1 if new else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,312 @@
+"""Visitor framework: findings, suppressions, module contexts, the runner.
+
+The shape mirrors a scaled-down flake8: each :class:`Rule` owns one
+invariant, receives a parsed :class:`ModuleContext`, and yields
+:class:`Finding` objects.  The runner applies inline suppressions and
+hands the survivors to the baseline layer (:mod:`tools.repro_lint.baseline`).
+
+Suppression grammar::
+
+    # repro-lint: disable=REP001 -- reason the violation is deliberate
+    # repro-lint: disable=REP001,REP006 -- one reason may cover several codes
+
+An *inline* suppression (trailing comment) covers findings on its own
+line.  A *standalone* comment-line suppression covers the next
+statement: its scope runs from the directive down to the first
+following line that carries code, so the reason may continue over
+several comment lines.
+
+The trailing ``-- reason`` is *mandatory*: a suppression without one
+does not suppress anything and is itself reported as ``REP000`` — the
+whole point of the checker is that every deviation from an invariant
+carries its justification next to the code.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Matches the suppression comment; group 1 = comma-separated codes,
+#: group 2 = the reason (absent when the author forgot it).
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Z0-9,\s]+?)\s*(?:--\s*(\S.*?))?\s*$"
+)
+
+#: Rule codes look like REP001; REP000 is reserved for meta-findings
+#: (malformed suppressions) and cannot be suppressed.
+_CODE_RE = re.compile(r"^REP\d{3}$")
+
+
+class LintError(Exception):
+    """A file could not be read or parsed (reported, exit code 2)."""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str  # repo-relative posix path, the baseline key
+    line: int
+    col: int
+    message: str
+    snippet: str  # stripped source line; makes baselines robust to line drift
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def baseline_key(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.snippet)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass
+class Suppression:
+    """A parsed ``# repro-lint: disable=...`` comment.
+
+    ``first_line``/``last_line`` delimit the lines whose findings the
+    suppression covers: just the comment's own line for an inline
+    (trailing) suppression, or the span down to the next code line for
+    a standalone comment-line suppression.
+    """
+
+    line: int
+    codes: tuple[str, ...]
+    reason: str | None
+    first_line: int = 0
+    last_line: int = 0
+    used: bool = False
+
+
+class ModuleContext:
+    """A parsed module: source, AST, and its inline suppressions."""
+
+    def __init__(self, display_path: str, source: str) -> None:
+        self.path = display_path
+        self.source = source
+        self.lines = source.splitlines()
+        try:
+            self.tree = ast.parse(source, filename=display_path)
+        except SyntaxError as exc:  # pragma: no cover - repo parses clean
+            raise LintError(f"{display_path}: syntax error: {exc}") from exc
+        self.suppressions = _parse_suppressions(display_path, source)
+
+    def snippet(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule=rule,
+            path=self.path,
+            line=line,
+            col=col + 1,
+            message=message,
+            snippet=self.snippet(line),
+        )
+
+
+class Rule:
+    """Base class: one invariant, one code, one ``check`` generator."""
+
+    code: str = "REP000"
+    name: str = "abstract"
+    summary: str = ""
+
+    def applies(self, path: str) -> bool:
+        """Whether the rule scans ``path`` (repo-relative posix)."""
+        return True
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+def _parse_suppressions(path: str, source: str) -> dict[int, Suppression]:
+    """Map line number -> suppression, via real comment tokens.
+
+    Tokenizing (rather than regexing raw lines) means a
+    ``repro-lint:`` sequence inside a string literal can never be
+    mistaken for a directive.
+    """
+    suppressions: dict[int, Suppression] = {}
+    lines = iter(source.splitlines(keepends=True))
+    try:
+        tokens = list(tokenize.generate_tokens(lambda: next(lines, "")))
+    except tokenize.TokenizeError as exc:  # pragma: no cover - parse guard
+        raise LintError(f"{path}: tokenize error: {exc}") from exc
+    source_lines = source.splitlines()
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESS_RE.search(token.string)
+        if match is None:
+            continue
+        codes = tuple(
+            code.strip() for code in match.group(1).split(",") if code.strip()
+        )
+        reason = match.group(2)
+        line, col = token.start
+        inline = bool(source_lines[line - 1][:col].strip())
+        last_line = line
+        if not inline:
+            # Standalone comment: scope extends to the next code line,
+            # skipping the rest of the comment block and blank lines.
+            for offset in range(line, len(source_lines)):
+                text = source_lines[offset].strip()
+                if text and not text.startswith("#"):
+                    last_line = offset + 1
+                    break
+        suppressions[line] = Suppression(
+            line=line,
+            codes=codes,
+            reason=reason,
+            first_line=line,
+            last_line=last_line,
+        )
+    return suppressions
+
+
+def _suppression_for(
+    ctx: ModuleContext, finding: Finding
+) -> Suppression | None:
+    """The suppression whose scope covers ``finding``, if any."""
+    for suppression in ctx.suppressions.values():
+        if (
+            suppression.first_line <= finding.line <= suppression.last_line
+            and finding.rule in suppression.codes
+        ):
+            return suppression
+    return None
+
+
+def _meta_findings(ctx: ModuleContext) -> list[Finding]:
+    """REP000 findings for malformed suppression comments."""
+    findings: list[Finding] = []
+    for suppression in ctx.suppressions.values():
+        bad_codes = [c for c in suppression.codes if not _CODE_RE.match(c)]
+        if not suppression.codes or bad_codes:
+            findings.append(
+                Finding(
+                    rule="REP000",
+                    path=ctx.path,
+                    line=suppression.line,
+                    col=1,
+                    message=(
+                        "malformed repro-lint suppression: expected "
+                        "'# repro-lint: disable=REPnnn -- reason'"
+                        + (f" (unknown codes: {', '.join(bad_codes)})" if bad_codes else "")
+                    ),
+                    snippet=ctx.snippet(suppression.line),
+                )
+            )
+        elif not suppression.reason:
+            findings.append(
+                Finding(
+                    rule="REP000",
+                    path=ctx.path,
+                    line=suppression.line,
+                    col=1,
+                    message=(
+                        "suppression is missing its required reason: write "
+                        "'# repro-lint: disable="
+                        + ",".join(suppression.codes)
+                        + " -- why this violation is deliberate'"
+                    ),
+                    snippet=ctx.snippet(suppression.line),
+                )
+            )
+    return findings
+
+
+def check_module(ctx: ModuleContext, rules: Sequence[Rule]) -> list[Finding]:
+    """All findings for one module, suppressions applied."""
+    findings = _meta_findings(ctx)
+    for rule in rules:
+        if not rule.applies(ctx.path):
+            continue
+        for finding in rule.check(ctx):
+            suppression = _suppression_for(ctx, finding)
+            if suppression is not None and suppression.reason:
+                suppression.used = True
+                continue
+            findings.append(finding)
+    return findings
+
+
+def iter_python_files(paths: Iterable[Path], root: Path) -> Iterator[Path]:
+    """Yield .py files under ``paths``, sorted, skipping caches and VCS dirs."""
+    skip_parts = {"__pycache__", ".git", ".mypy_cache", ".ruff_cache"}
+    seen: set[Path] = set()
+    for path in paths:
+        path = path if path.is_absolute() else root / path
+        if path.is_file() and path.suffix == ".py":
+            candidates: Iterable[Path] = [path]
+        elif path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            raise LintError(f"no such file or directory: {path}")
+        for candidate in candidates:
+            if skip_parts & set(candidate.parts):
+                continue
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def display_path(path: Path, root: Path) -> str:
+    """Repo-relative posix path when possible — the stable baseline key."""
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_paths(
+    paths: Iterable[Path], rules: Sequence[Rule], root: Path | None = None
+) -> list[Finding]:
+    """Lint every python file under ``paths`` with ``rules``."""
+    root = root or Path.cwd()
+    findings: list[Finding] = []
+    for file_path in iter_python_files(paths, root):
+        rel = display_path(file_path, root)
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise LintError(f"{rel}: {exc}") from exc
+        ctx = ModuleContext(rel, source)
+        findings.extend(check_module(ctx, rules))
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
