@@ -163,6 +163,8 @@ def compute_objective(
     su_prior_rows: np.ndarray | None = None,
     statics: ObjectiveStatics | None = None,
     spmm: object | None = None,
+    gu_halo: MatrixLike | None = None,
+    su_halo: np.ndarray | None = None,
 ) -> ObjectiveValue:
     """Evaluate every component of the (offline or online) objective.
 
@@ -180,6 +182,15 @@ def compute_objective(
     spmm:
         Optional :class:`~repro.core.spmm.SpmmEngine` for the sparse
         products (float64 bit-identical, speed-only).
+    gu_halo, su_halo:
+        Sharded cut-edge remainder: the halo CSR block and the
+        exchanged neighbour ``Su`` rows.  The graph term becomes
+        ``tr(Suᵀ(Dfull − Gblock)Su) − Σ Su∘(Gu_halo·Su_halo)`` — each
+        cut edge contributes half its full-graph penalty from each
+        endpoint shard, so shard-summed graph losses reproduce the
+        unsharded ``tr(SuᵀLuSu)`` exactly.  A single shard's cross term
+        is *not* clamped (it can exceed the local part transiently);
+        only the shard sum is guaranteed non-negative.
     """
     if statics is None:
         tweet_loss = trifactor_loss(
@@ -209,9 +220,12 @@ def compute_objective(
 
     graph_loss = 0.0
     if weights.beta > 0:
-        graph_loss = weights.beta * graph_penalty(
-            factors.su, laplacian, spmm=spmm
-        )
+        penalty = graph_penalty(factors.su, laplacian, spmm=spmm)
+        if gu_halo is not None and su_halo is not None and gu_halo.nnz:
+            penalty -= float(
+                np.sum(factors.su * _dot(gu_halo, su_halo, spmm))
+            )
+        graph_loss = weights.beta * penalty
 
     temporal_loss = 0.0
     if su_prior is not None and weights.gamma > 0:

@@ -16,15 +16,22 @@ Model semantics vs. the unsharded solvers:
   same update expressions, same convergence checks — trajectories are
   bit-for-bit equal to :class:`~repro.core.offline.OfflineTriClustering`
   / :class:`~repro.core.online.OnlineTriClustering` (regression-tested).
-- ``n_shards>1`` optimizes a *block-diagonal approximation*: each shard
-  has its own association factors ``Hp``/``Hu`` and orthogonality
-  projectors, and ``Gu``/``Xr`` entries crossing shards are dropped
-  (tallied in :class:`~repro.graph.partition.ShardedGraph`).  Runs are
-  seed-deterministic for a fixed ``(seed, n_shards, partitioner)`` —
-  initialization is global-then-scattered and reductions are ordered —
-  and full-model objectives of the merged factors match the unsharded
-  solver within a few percent at bench scale (tests pin a 20% ceiling;
-  the hash partitioner on synthetic ballot data lands well under it).
+- ``n_shards>1`` with ``halo="on"`` (the default) evaluates the graph
+  regularizer on the **full** ``Gu``: cross-shard edges are retained as
+  per-shard halo blocks and each sweep's fused exchange carries the
+  boundary ``Su`` rows both ways (workers publish their post-pass
+  boundary rows with the reply, the coordinator gathers the global
+  boundary stack in fixed shard-rank order and hands each shard its
+  ghost-row slice with the next command) — O(cut-edges × k) payload,
+  zero extra rounds.  What remains approximate is block-diagonal
+  ``Hp``/``Hu``/projectors and dropped ``Xr`` cut entries; full-model
+  objectives of the merged factors land within a fraction of a percent
+  of the unsharded solver at bench scale.  ``halo="off"`` restores the
+  legacy block-diagonal approximation (cut ``Gu`` edges dropped too,
+  tallied in :class:`~repro.graph.partition.ShardedGraph`; tests pin a
+  20% ceiling).  Either way runs are seed-deterministic for a fixed
+  ``(seed, n_shards, partitioner)`` — initialization is
+  global-then-scattered and reductions are ordered.
 - After the last sweep, per-shard ``Hp``/``Hu`` are distilled into one
   global pair by iterating the *global* Eq. (12)/(13) updates on the
   reduced numerators (``Σ_s Sp_sᵀXp_sSf`` etc.), so the merged
@@ -84,6 +91,7 @@ from repro.graph.partition import (
     ShardedGraph,
     extract_shard_blocks,
     make_partition,
+    validate_halo,
     validate_partitioner,
 )
 from repro.graph.tripartite import TripartiteGraph
@@ -159,9 +167,15 @@ class _ShardState:
     #: Per-shard spmm thread budget; ``None`` defers to the worker
     #: process's installed default (fair share) or the core count.
     spmm_threads: int | None = None
-    #: Pre-pass factor snapshot ``(sp, su, hp, hu)`` taken by the fused
-    #: offline command whenever its objective may trigger convergence,
-    #: so the merge can roll back the one speculative extra pass.
+    #: Exchanged neighbour ``Su`` rows aligned with the block's halo
+    #: (ghost) columns, refreshed from the coordinator's boundary stack
+    #: at every exchange; ``None`` when the solve runs without a halo.
+    su_halo: np.ndarray | None = None
+    #: Pre-pass snapshot ``(sp, su, hp, hu, su_halo)`` taken by the
+    #: fused offline command whenever its objective may trigger
+    #: convergence, so the merge can roll back the one speculative
+    #: extra pass (halo rows included — a rolled-back objective must
+    #: not mix pre-sweep factors with post-sweep neighbour rows).
     saved: tuple | None = None
 
 
@@ -188,13 +202,14 @@ def _shard_state_payload(state: _ShardState) -> tuple:
         state.kernel,
         state.spmm,
         state.spmm_threads,
+        state.su_halo,
     )
 
 
 def _shard_state_from_payload(payload: tuple) -> _ShardState:
     (
         block_payload, sp, su, hp, hu, su_prior, evolving_rows, kernel,
-        spmm, spmm_threads,
+        spmm, spmm_threads, su_halo,
     ) = payload
     block = ShardBlock.from_payload(block_payload)
     return _ShardState(
@@ -209,6 +224,7 @@ def _shard_state_from_payload(payload: tuple) -> _ShardState:
         kernel=kernel,
         spmm=spmm,
         spmm_threads=spmm_threads,
+        su_halo=su_halo,
     )
 
 
@@ -264,6 +280,7 @@ def _shard_offline_pass(
             state.su, sf, state.hu, state.sp, block.xu, block.xr,
             block.gu, block.du, weights.beta,
             style="projector", cache=state.cache, kernel=kernel,
+            gu_halo=block.gu_halo, su_halo=state.su_halo,
         )
         state.hu = update_hu(
             state.hu, state.su, sf, block.xu, cache=state.cache,
@@ -297,6 +314,7 @@ def _shard_online_pass(
             block.gu, block.du, weights.beta, weights.gamma,
             state.su_prior, state.evolving_rows,
             style="projector", cache=state.cache, kernel=kernel,
+            gu_halo=block.gu_halo, su_halo=state.su_halo,
         )
     return _shard_contribution(state)
 
@@ -307,7 +325,17 @@ def _shard_objective(
     weights: ObjectiveWeights,
     sf_prior,
     su_prior_active: bool,
+    halo: np.ndarray | None = None,
 ) -> ObjectiveValue:
+    """One shard's objective terms on its current factors.
+
+    ``halo`` refreshes the exchanged neighbour rows first when given —
+    an objective-only round after the final pass must see the *final*
+    boundary rows, not the ones delivered before that pass, or the
+    graph cross term would mix pre- and post-sweep factors.
+    """
+    if halo is not None:
+        state.su_halo = halo
     block = state.block
     factors = FactorSet(
         sf=sf, sp=state.sp, su=state.su, hp=state.hp, hu=state.hu
@@ -324,6 +352,8 @@ def _shard_objective(
         su_prior_rows=state.evolving_rows if su_prior_active else None,
         statics=block.statics,
         spmm=state.cache.spmm,
+        gu_halo=block.gu_halo,
+        su_halo=state.su_halo,
     )
 
 
@@ -349,12 +379,25 @@ def _shared_sf_step(
     )
 
 
+def _shard_boundary(state: _ShardState) -> np.ndarray | None:
+    """The shard's published boundary ``Su`` rows (``None`` halo-off).
+
+    A fancy-indexed copy, so the reply never aliases the live factor
+    the next pass mutates.
+    """
+    boundary_local = state.block.boundary_local
+    if boundary_local is None:
+        return None
+    return state.su[boundary_local]
+
+
 def _shard_offline_pass_with_objective(
     state: _ShardState,
     sf: np.ndarray,
     weights: ObjectiveWeights,
     sf_prior,
     evaluate: bool,
+    halo: np.ndarray | None = None,
 ) -> tuple:
     """Fused Algorithm 1 exchange: lagged objective, then the pass.
 
@@ -365,15 +408,26 @@ def _shard_offline_pass_with_objective(
     letting a converging solve pay one exchange per sweep instead of
     two.  When ``evaluate`` is set the pre-pass factors are snapshotted
     so convergence can roll back the speculative extra pass bit-exactly.
+
+    ``halo`` piggybacks the cut-edge exchange on this same round: it
+    carries every neighbour's *previous-pass* boundary rows — exactly
+    the iterate the lagged objective needs, and exactly the remote
+    values the unsharded Jacobi-style ``Su`` update would read during
+    this pass.  The reply returns this shard's post-pass boundary rows
+    for the coordinator to redistribute next exchange.
     """
+    if halo is not None:
+        state.su_halo = halo
     objective = None
     if evaluate:
         objective = _shard_objective(state, sf, weights, sf_prior, False)
         state.saved = (
             state.sp.copy(), state.su.copy(),
             state.hp.copy(), state.hu.copy(),
+            state.su_halo,
         )
-    return objective, _shard_offline_pass(state, sf, weights)
+    contribution = _shard_offline_pass(state, sf, weights)
+    return objective, contribution, _shard_boundary(state)
 
 
 def _shard_online_pass_with_objective(
@@ -383,6 +437,7 @@ def _shard_online_pass_with_objective(
     sf_prior,
     su_prior_active: bool,
     evaluate: bool,
+    halo: np.ndarray | None = None,
 ) -> tuple:
     """Fused Algorithm 2 exchange: the pass, then the current objective.
 
@@ -390,14 +445,23 @@ def _shard_online_pass_with_objective(
     shared-resident step has already advanced this worker's ``Sf`` by
     the time the command runs — pass and objective both see the current
     iterate and no lag or rollback is needed.
+
+    ``halo`` delivers the neighbours' pre-pass boundary rows (the
+    values the pass's graph term reads); the fused objective therefore
+    sees cross-shard terms one sweep stale — the per-sweep convergence
+    trace's documented skew, identical on every backend.  A trailing
+    objective-only round (see :meth:`ShardedSolver.objective`) always
+    re-delivers fresh rows, so recorded *final* objectives are exact.
     """
+    if halo is not None:
+        state.su_halo = halo
     contribution = _shard_online_pass(state, sf, weights)
     objective = (
         _shard_objective(state, sf, weights, sf_prior, su_prior_active)
         if evaluate
         else None
     )
-    return objective, contribution
+    return objective, contribution, _shard_boundary(state)
 
 
 def _shard_merge_upload(
@@ -410,10 +474,14 @@ def _shard_merge_upload(
     the row factors themselves must cross once anyway (they are the
     merged model).  ``rollback`` restores the pre-pass snapshot taken
     by the fused offline command when convergence fired one exchange
-    after the converged iterate.
+    after the converged iterate — halo rows included, so any later
+    objective evaluation sees neighbour rows consistent with the
+    rolled-back factors.
     """
     if rollback:
-        state.sp, state.su, state.hp, state.hu = state.saved
+        (
+            state.sp, state.su, state.hp, state.hu, state.su_halo,
+        ) = state.saved
     state.saved = None
     upload: dict = {
         "sp": state.sp, "su": state.su, "hp": state.hp, "hu": state.hu
@@ -501,6 +569,36 @@ class ShardedSolver:
         for block in sharded.blocks:
             local_index[block.user_rows] = np.arange(block.num_users)
 
+        # Halo bookkeeping: the global boundary stack concatenates every
+        # shard's published rows in shard-rank order, and each shard's
+        # gather index maps its ghost columns into that stack — fixed at
+        # construction, so redistribution is deterministic fancy
+        # indexing at any backend or thread count.  A partition with no
+        # cut edges (or extracted halo-off) degenerates to the legacy
+        # no-halo exchange.
+        self._halo = any(
+            block.gu_halo is not None and block.gu_halo.nnz
+            for block in sharded.blocks
+        )
+        self._halo_stack: np.ndarray | None = None
+        self._halo_saved: np.ndarray | None = None
+        if self._halo:
+            offsets = np.zeros(self.num_shards + 1, dtype=np.int64)
+            for position, block in enumerate(sharded.blocks):
+                offsets[position + 1] = (
+                    offsets[position] + block.boundary_local.shape[0]
+                )
+            self._halo_gather = [
+                offsets[block.halo_owner] + block.halo_source
+                for block in sharded.blocks
+            ]
+            self._halo_stack = np.concatenate(
+                [
+                    factors.su[block.user_rows[block.boundary_local]]
+                    for block in sharded.blocks
+                ]
+            )
+
         states: list[_ShardState] = []
         for block in sharded.blocks:
             if su_prior is not None and evolving_rows is not None:
@@ -523,6 +621,11 @@ class ShardedSolver:
                     kernel=kernel,
                     spmm=spmm,
                     spmm_threads=spmm_threads,
+                    su_halo=(
+                        self._halo_stack[self._halo_gather[block.index]]
+                        if self._halo
+                        else None
+                    ),
                 )
             )
         # One shipment per solve; sweeps exchange only l×k pieces.
@@ -554,6 +657,32 @@ class ShardedSolver:
         it exactly once and the others evaluate with ``sf_prior=None``.
         """
         return self.pool.shared_ref("sf_prior") if index == 0 else None
+
+    def _halo_args(self) -> list:
+        """Per-shard ghost-row slices for one exchange (halo-off: Nones).
+
+        Slices are gathered from the current boundary stack in fixed
+        shard-rank order and ride the exchange as command arguments —
+        the halo costs bytes on the fused round, never an extra round.
+        """
+        if not self._halo:
+            return [None] * self.num_shards
+        slices = [self._halo_stack[gather] for gather in self._halo_gather]
+        self.pool.telemetry.halo_bytes += sum(s.nbytes for s in slices)
+        return slices
+
+    def _consume_halo(self, boundaries: list) -> None:
+        """Rebuild the boundary stack from one exchange's replies."""
+        if not self._halo:
+            return
+        # Keep the previously delivered stack: offline convergence may
+        # roll this exchange's speculative pass back, and the stack must
+        # roll back with the factors it was exchanged against.
+        self._halo_saved = self._halo_stack
+        self._halo_stack = np.concatenate(boundaries)
+        telemetry = self.pool.telemetry
+        telemetry.halo_updates += 1
+        telemetry.halo_bytes += self._halo_stack.nbytes
 
     # ------------------------------------------------------------------ #
     # Solve loops (fused sweep + objective exchanges)
@@ -595,15 +724,17 @@ class ShardedSolver:
                 and iteration >= 1
                 and iteration % objective_every == 0
             )
+            halo_slices = self._halo_args()
             replies = self.pool.run_resident(
                 _shard_offline_pass_with_objective,
                 [
                     (self.pool.shared_ref("sf"), weights,
-                     self._prior_ref(index), fuse)
+                     self._prior_ref(index), fuse, halo_slices[index])
                     for index in range(self.num_shards)
                 ],
             )
             self._contributions = [reply[1] for reply in replies]
+            self._consume_halo([reply[2] for reply in replies])
             if fuse:
                 history.append(
                     self._reduce_objective([reply[0] for reply in replies])
@@ -653,15 +784,18 @@ class ShardedSolver:
         for iteration in range(max_iterations):
             self._advance_sf(weights)
             fuse = evaluate and (iteration + 1) % objective_every == 0
+            halo_slices = self._halo_args()
             replies = self.pool.run_resident(
                 _shard_online_pass_with_objective,
                 [
                     (self.pool.shared_ref("sf"), weights,
-                     self._prior_ref(index), su_prior_active, fuse)
+                     self._prior_ref(index), su_prior_active, fuse,
+                     halo_slices[index])
                     for index in range(self.num_shards)
                 ],
             )
             self._contributions = [reply[1] for reply in replies]
+            self._consume_halo([reply[2] for reply in replies])
             iterations_run = iteration + 1
             if fuse:
                 history.append(
@@ -731,13 +865,17 @@ class ShardedSolver:
 
         Requires a prior :meth:`solve_offline`/:meth:`solve_online`
         call on this solver (they install the ``"sf_prior"`` shared
-        resident the evaluation references).
+        resident the evaluation references).  Halo solves re-deliver
+        the current boundary stack so the cross-shard graph term is
+        evaluated against the same iterate as the local terms.
         """
+        halo_slices = self._halo_args()
         parts = self.pool.run_resident(
             _shard_objective,
             [
                 (self.pool.shared_ref("sf"), weights,
-                 self._prior_ref(index), su_prior_active)
+                 self._prior_ref(index), su_prior_active,
+                 halo_slices[index])
                 for index in range(self.num_shards)
             ],
         )
@@ -772,6 +910,11 @@ class ShardedSolver:
             _shard_merge_upload,
             self._broadcast(self.pool.shared_ref("sf"), self._rollback),
         )
+        if self._rollback and self._halo:
+            # The shards just restored their pre-pass snapshot; the
+            # coordinator's boundary stack rolls back alongside so a
+            # later objective round redistributes matching rows.
+            self._halo_stack = self._halo_saved
         self._rollback = False
         graph = self.sharded.graph
         num_classes = self.sf.shape[1]
@@ -835,6 +978,7 @@ def _validate_sharding(
     backend: str,
     partitioner: object = "hash",
     workers=None,
+    halo: str = "on",
 ) -> None:
     if n_shards != "auto" and (
         not isinstance(n_shards, int) or n_shards < 1
@@ -842,6 +986,7 @@ def _validate_sharding(
         raise ValueError(
             f"n_shards must be >= 1 or 'auto', got {n_shards!r}"
         )
+    validate_halo(halo)
     if update_style != "projector":
         raise ValueError(
             "sharded solvers support only update_style='projector' (the "
@@ -910,6 +1055,10 @@ class ShardedTriClustering(OfflineTriClustering):
         running ``python -m repro worker`` servers.
     consensus_iterations:
         Global ``Hp``/``Hu`` distillation steps at merge time.
+    halo:
+        ``"on"`` (default) exchanges boundary ``Su`` rows per sweep so
+        the graph regularizer sees the full ``Gu``; ``"off"`` drops
+        cut edges (the legacy block-diagonal approximation).
     """
 
     def __init__(
@@ -934,8 +1083,11 @@ class ShardedTriClustering(OfflineTriClustering):
         backend: str = "thread",
         workers=None,
         consensus_iterations: int = CONSENSUS_ITERATIONS,
+        halo: str = "on",
     ) -> None:
-        _validate_sharding(n_shards, update_style, backend, partitioner, workers)
+        _validate_sharding(
+            n_shards, update_style, backend, partitioner, workers, halo
+        )
         super().__init__(
             num_classes=num_classes,
             alpha=alpha,
@@ -958,6 +1110,7 @@ class ShardedTriClustering(OfflineTriClustering):
         self.backend = backend
         self.workers = workers
         self.consensus_iterations = consensus_iterations
+        self.halo = halo
         self.last_plan: ShardedGraph | None = None
         #: Pool traffic/timing delta for the most recent fit (a
         #: :meth:`~repro.utils.executor.PoolTelemetry.delta` dict), or
@@ -988,7 +1141,9 @@ class ShardedTriClustering(OfflineTriClustering):
             self.n_shards, graph.num_users, self.max_workers
         )
         sharded = extract_shard_blocks(
-            graph, make_partition(graph, n_shards, self.partitioner)
+            graph,
+            make_partition(graph, n_shards, self.partitioner),
+            halo=self.halo == "on",
         )
         sf0 = graph.sf0
 
@@ -1074,8 +1229,11 @@ class ShardedOnlineTriClustering(OnlineTriClustering):
         backend: str = "thread",
         workers=None,
         consensus_iterations: int = CONSENSUS_ITERATIONS,
+        halo: str = "on",
     ) -> None:
-        _validate_sharding(n_shards, update_style, backend, partitioner, workers)
+        _validate_sharding(
+            n_shards, update_style, backend, partitioner, workers, halo
+        )
         super().__init__(
             num_classes=num_classes,
             alpha=alpha,
@@ -1102,6 +1260,7 @@ class ShardedOnlineTriClustering(OnlineTriClustering):
         self.backend = backend
         self.workers = workers
         self.consensus_iterations = consensus_iterations
+        self.halo = halo
         self.last_plan: ShardedGraph | None = None
         #: Pool traffic/timing delta for the most recent snapshot solve
         #: (a :meth:`~repro.utils.executor.PoolTelemetry.delta` dict),
@@ -1137,7 +1296,9 @@ class ShardedOnlineTriClustering(OnlineTriClustering):
             self.n_shards, graph.num_users, self.max_workers
         )
         sharded = extract_shard_blocks(
-            graph, make_partition(graph, n_shards, self.partitioner)
+            graph,
+            make_partition(graph, n_shards, self.partitioner),
+            halo=self.halo == "on",
         )
 
         pool = (

@@ -200,6 +200,8 @@ def update_su(
     style: UpdateStyle = "projector",
     cache: SweepCache | None = None,
     kernel: Kernel | None = None,
+    gu_halo: MatrixLike | None = None,
+    su_halo: np.ndarray | None = None,
 ) -> np.ndarray:
     """Eq. (11) — user factor update with graph regularization.
 
@@ -207,6 +209,13 @@ def update_su(
     tweets, and neighbours' sentiments pull a user toward a class);
     repulsion is the projector on the factorization part plus the degree
     term ``β·DuSu`` of the Laplacian split.
+
+    ``gu_halo``/``su_halo`` carry a sharded solve's cut-edge remainder:
+    the halo CSR block over ghost columns and the neighbours' exchanged
+    ``Su`` rows aligned with those columns.  Their product folds into
+    ``GuSu`` before the kernel tail, so with the halo present the graph
+    attraction matches the unsharded update exactly (``Du`` must then
+    hold full-graph degrees; see ``graph/partition``).
     """
     kernel = kernel if kernel is not None else default_kernel()
     xu_sf = cache.xu_sf(sf) if cache is not None else _dot(xu, sf)
@@ -214,6 +223,8 @@ def update_su(
         xu_sf @ hu.T, _cache_dot(cache, xr, sp_factor)
     )
     gu_su = _cache_dot(cache, gu, su)
+    if gu_halo is not None and su_halo is not None and gu_halo.nnz:
+        gu_su = gu_su + _cache_dot(cache, gu_halo, su_halo)
     du_su = _cache_dot(cache, du, su)
 
     if style == "projector":
@@ -391,6 +402,8 @@ def update_su_online(
     style: UpdateStyle = "projector",
     cache: SweepCache | None = None,
     kernel: Kernel | None = None,
+    gu_halo: MatrixLike | None = None,
+    su_halo: np.ndarray | None = None,
 ) -> np.ndarray:
     """Eqs. (24)+(26) — online user update with row-wise temporal terms.
 
@@ -405,6 +418,9 @@ def update_su_online(
         ``Suw(t)`` rows for evolving users, aligned with ``evolving_rows``.
     evolving_rows:
         Row indices of evolving users within ``su``.
+    gu_halo, su_halo:
+        Sharded cut-edge remainder, folded into ``GuSu`` exactly as in
+        :func:`update_su`.
     """
     kernel = kernel if kernel is not None else default_kernel()
     xu_sf = cache.xu_sf(sf) if cache is not None else _dot(xu, sf)
@@ -412,6 +428,8 @@ def update_su_online(
         xu_sf @ hu.T, _cache_dot(cache, xr, sp_factor)
     )
     gu_su = _cache_dot(cache, gu, su)
+    if gu_halo is not None and su_halo is not None and gu_halo.nnz:
+        gu_su = gu_su + _cache_dot(cache, gu_halo, su_halo)
     du_su = _cache_dot(cache, du, su)
 
     has_temporal = (

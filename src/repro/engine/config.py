@@ -36,7 +36,7 @@ from typing import Any
 
 from repro.core.kernels import validate_dtype, validate_kernel
 from repro.core.spmm import validate_spmm, validate_spmm_threads
-from repro.graph.partition import validate_partitioner
+from repro.graph.partition import validate_halo, validate_partitioner
 from repro.utils.executor import validate_backend
 from repro.utils.transport import validate_workers
 
@@ -150,6 +150,12 @@ class ShardingConfig:
     max_workers: int | None = None
     consensus_iterations: int = 25
     workers: tuple[str, ...] | None = None
+    #: Cut-edge halo exchange: ``"on"`` evaluates the graph regularizer
+    #: on the full ``Gu`` via per-sweep boundary-row exchanges;
+    #: ``"off"`` drops cross-shard edges (legacy block-diagonal model).
+    #: Checkpoints saved before this knob existed restore as ``"off"``
+    #: (they were solved block-diagonal; restoring preserves that).
+    halo: str = "on"
 
     def __post_init__(self) -> None:
         if self.n_shards != "auto" and (
@@ -160,6 +166,7 @@ class ShardingConfig:
             )
         validate_partitioner(self.partitioner)
         validate_backend(self.backend)
+        validate_halo(self.halo)
         if self.backend == "socket":
             object.__setattr__(self, "workers", validate_workers(self.workers))
         elif self.workers is not None:

@@ -289,6 +289,10 @@ def _config_from_v1(state: dict) -> tuple[EngineConfig, int]:
         "backend": params.get("backend", engine_state.get("backend", "thread")),
         "max_workers": max_workers,
         "consensus_iterations": params.get("consensus_iterations", 25),
+        # Version-1 checkpoints predate the cut-edge halo exchange:
+        # restore the block-diagonal solver they were saved with.
+        # (Version-2 dumps carry sharding.halo in the config blob.)
+        "halo": params.get("halo", "off"),
     }
     serving_config = {
         "classify_iterations": engine_state["classify_iterations"],

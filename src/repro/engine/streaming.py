@@ -202,6 +202,13 @@ class StreamingSentimentEngine:
                     "pass either a solver instance or partitioner, not both "
                     "(configure sharding on the solver)"
                 )
+            # repro-lint: disable=REP006 -- consistency guard against the
+            # ShardingConfig default, not name dispatch (config validated it).
+            if sharding.halo != "on":
+                raise ValueError(
+                    "pass either a solver instance or halo, not both "
+                    "(configure sharding on the solver)"
+                )
             self.solver = solver
         # repro-lint: disable=REP006 -- solver-shape choice on an
         # eagerly-validated EngineConfig knob, not name resolution.
@@ -221,6 +228,7 @@ class StreamingSentimentEngine:
                 backend=sharding.backend,
                 workers=sharding.workers,
                 consensus_iterations=sharding.consensus_iterations,
+                halo=sharding.halo,
                 **asdict(config.solver),
             )
         if self.solver.num_classes != config.num_classes:
@@ -621,6 +629,7 @@ class StreamingSentimentEngine:
                 ),
                 consensus_iterations=solver.consensus_iterations,
                 workers=solver.workers,
+                halo=solver.halo,
             )
         else:
             sharding_config = ShardingConfig(max_workers=self.max_workers)

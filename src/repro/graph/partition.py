@@ -18,13 +18,20 @@ Two partitioners are provided:
 
 ``extract_shard_blocks`` slices a :class:`~repro.graph.tripartite.
 TripartiteGraph` into :class:`ShardBlock` views.  Cut-edge handling:
-``Gu`` and ``Xr`` entries joining two shards cannot appear in any
-block-diagonal slice, so they are *dropped from the shard-local model*
-and accounted in :class:`ShardedGraph`'s cut statistics (the solver's
-documented approximation; a 1-shard partition cuts nothing and is
-exactly the original model).  ``Xu`` rows are taken whole — a user's
-word aggregate keeps evidence from retweets of other shards' tweets,
-which costs nothing and loses nothing.
+``Xr`` entries joining two shards cannot appear in any block-diagonal
+slice, so they are dropped from the shard-local model and accounted in
+:class:`ShardedGraph`'s cut statistics.  Cross-shard ``Gu`` entries
+are, with ``halo=True``, *retained* as per-shard halo structures — a
+``gu_halo`` CSR block over compacted ghost columns plus
+``halo_owner``/``halo_source`` maps identifying each ghost column's
+(owner shard, published boundary row) — so the sharded solver can
+exchange read-only boundary ``Su`` rows per sweep and evaluate the
+graph-smoothness term on the *full* ``Gu``.  With ``halo=False`` they
+are dropped (the legacy block-diagonal approximation).  Either way a
+1-shard partition cuts nothing and is exactly the original model.
+``Xu`` rows are taken whole — a user's word aggregate keeps evidence
+from retweets of other shards' tweets, which costs nothing and loses
+nothing.
 """
 
 from __future__ import annotations
@@ -43,6 +50,20 @@ PartitionFn = Callable[[Sequence[int], sp.spmatrix, int], "UserPartition"]
 
 #: Registry of named partition strategies (see :func:`make_partition`).
 PARTITION_STRATEGIES = ("hash", "greedy")
+
+#: Valid settings for the cut-edge halo exchange knob.
+HALO_MODES = ("on", "off")
+
+
+def validate_halo(halo: str) -> str:
+    """Return ``halo`` if it names a valid halo mode.
+
+    The single eager check for ``halo=`` arguments, shared by the
+    sharded solvers and the engine config.
+    """
+    if halo not in HALO_MODES:
+        raise ValueError(f"halo must be one of {HALO_MODES}, got {halo!r}")
+    return halo
 
 
 def validate_partitioner(
@@ -253,16 +274,35 @@ def _block_from_parts(
     xu: sp.csr_matrix,
     xr: sp.csr_matrix,
     gu: sp.csr_matrix,
+    boundary_local: np.ndarray | None = None,
+    gu_halo: sp.csr_matrix | None = None,
+    halo_owner: np.ndarray | None = None,
+    halo_source: np.ndarray | None = None,
 ) -> "ShardBlock":
     """Assemble a :class:`ShardBlock`, deriving the redundant members.
 
     ``du``/``laplacian``/``statics`` (and the materialized transposes)
-    are pure functions of the four matrices, computed with the same
+    are pure functions of the shipped matrices, computed with the same
     code whether the block is built in-process or rebuilt from a
     payload on the far side of a process boundary — so the two paths
     are bit-identical.
+
+    With a halo block present, degrees are the *full-graph* degrees:
+    the block-diagonal degree plus each boundary user's cut-edge
+    remainder from ``gu_halo``.  Recomputing degrees from the mutilated
+    block alone would silently re-weight the regularizer for boundary
+    users even on the edges that were kept; the additive form keeps the
+    local graph term diagonally dominant (PSD) and is bit-identical to
+    the legacy path wherever the halo contribution is zero.
     """
     block_graph = UserGraph(adjacency=gu)
+    du = block_graph.degree_matrix
+    laplacian = block_graph.laplacian
+    if gu_halo is not None and gu_halo.shape[0]:
+        halo_degrees = np.asarray(gu_halo.sum(axis=1)).ravel()
+        du = (du + sp.diags(halo_degrees, 0, shape=du.shape, format="csr"))
+        du = du.tocsr()
+        laplacian = (du - gu).tocsr()
     statics = ObjectiveStatics.from_matrices(xp, xu, xr)
     return ShardBlock(
         index=index,
@@ -272,11 +312,15 @@ def _block_from_parts(
         xu=xu,
         xr=xr,
         gu=gu,
-        du=block_graph.degree_matrix,
-        laplacian=block_graph.laplacian,
+        du=du,
+        laplacian=laplacian,
         xp_T=statics.xp_T,
         xu_T=statics.xu_T,
         statics=statics,
+        boundary_local=boundary_local,
+        gu_halo=gu_halo,
+        halo_owner=halo_owner,
+        halo_source=halo_source,
     )
 
 
@@ -286,11 +330,23 @@ class ShardBlock:
 
     ``user_rows``/``tweet_rows`` are sorted global row indices, so
     per-shard factors keep the global relative order and scatter back
-    with plain fancy indexing.  ``gu``/``du``/``laplacian`` are the
-    *block-diagonal* user graph (cut edges dropped; degrees recomputed
-    from the block so the Laplacian stays PSD).  ``xp_T``/``xu_T`` and
-    ``statics`` precompute the transposes and norms every sweep needs,
-    once per snapshot instead of once per iteration.
+    with plain fancy indexing.  ``gu`` is the *block-diagonal* user
+    graph slice; without a halo, ``du``/``laplacian`` drop cut edges
+    and recompute degrees from the block so the Laplacian stays PSD.
+
+    Halo members (``None`` when extracted with ``halo=False`` or when
+    the shard has no cut edges): ``boundary_local`` lists the sorted
+    local rows with at least one cross-shard ``Gu`` edge — the rows
+    this shard *publishes* after each sweep; ``gu_halo`` is the
+    ``num_users × num_halo`` CSR block of cut-edge weights over
+    compacted ghost columns; ``halo_owner[j]``/``halo_source[j]`` map
+    ghost column ``j`` to (owner shard, index into that owner's
+    published boundary block).  With a halo, ``du``/``laplacian`` carry
+    *full-graph* degrees (see :func:`_block_from_parts`).
+
+    ``xp_T``/``xu_T`` and ``statics`` precompute the transposes and
+    norms every sweep needs, once per snapshot instead of once per
+    iteration.
     """
 
     index: int
@@ -305,6 +361,10 @@ class ShardBlock:
     xp_T: sp.csr_matrix
     xu_T: sp.csr_matrix
     statics: ObjectiveStatics
+    boundary_local: np.ndarray | None = None
+    gu_halo: sp.csr_matrix | None = None
+    halo_owner: np.ndarray | None = None
+    halo_source: np.ndarray | None = None
 
     @property
     def num_users(self) -> int:
@@ -329,9 +389,12 @@ class ShardBlock:
         the ``statics`` norms) is dropped and recomputed on
         :meth:`from_payload`, roughly halving what crosses a process
         boundary.  Shard blocks cross that boundary **once per
-        scatter** — sweeps exchange only factor-sized arrays.
+        scatter** — sweeps exchange only factor-sized arrays.  Halo
+        members ship only when present (CSR payload form for
+        ``gu_halo``), so halo-off payloads are byte-identical to the
+        legacy format.
         """
-        return {
+        payload = {
             "index": self.index,
             "user_rows": self.user_rows,
             "tweet_rows": self.tweet_rows,
@@ -340,12 +403,19 @@ class ShardBlock:
             "xr": _csr_payload(self.xr),
             "gu": _csr_payload(self.gu),
         }
+        if self.gu_halo is not None:
+            payload["boundary_local"] = self.boundary_local
+            payload["gu_halo"] = _csr_payload(self.gu_halo)
+            payload["halo_owner"] = self.halo_owner
+            payload["halo_source"] = self.halo_source
+        return payload
 
     @classmethod
     def from_payload(cls, payload: dict) -> "ShardBlock":
         """Rebuild a block shipped as :meth:`to_payload` (bit-identical:
         the derived members come from the same code as the direct
         construction path)."""
+        gu_halo_payload = payload.get("gu_halo")
         return _block_from_parts(
             index=int(payload["index"]),
             user_rows=payload["user_rows"],
@@ -354,6 +424,14 @@ class ShardBlock:
             xu=_csr_from_payload(payload["xu"]),
             xr=_csr_from_payload(payload["xr"]),
             gu=_csr_from_payload(payload["gu"]),
+            boundary_local=payload.get("boundary_local"),
+            gu_halo=(
+                _csr_from_payload(gu_halo_payload)
+                if gu_halo_payload is not None
+                else None
+            ),
+            halo_owner=payload.get("halo_owner"),
+            halo_source=payload.get("halo_source"),
         )
 
 
@@ -361,8 +439,13 @@ class ShardBlock:
 class ShardedGraph:
     """A partitioned graph: blocks plus what the partition cut.
 
-    ``gu_cut_weight`` / ``xr_cut_nnz`` quantify the approximation the
-    block-diagonal model makes; both are exactly zero for one shard.
+    ``gu_cut_weight`` / ``xr_cut_nnz`` quantify what the partition
+    severs; both are exactly zero for one shard.  Of the cut ``Gu``
+    weight, ``gu_recovered_weight`` is retained in halo blocks (the
+    per-sweep boundary-row exchange evaluates it exactly) and
+    ``gu_dropped_weight`` is what the model actually loses — all of
+    the cut weight when extracted with ``halo=False``, none of it with
+    ``halo=True``.  ``Xr`` cut entries are always dropped.
     """
 
     graph: TripartiteGraph
@@ -372,6 +455,7 @@ class ShardedGraph:
     gu_total_weight: float
     xr_cut_nnz: int
     xr_total_nnz: int
+    gu_recovered_weight: float = 0.0
 
     @property
     def n_shards(self) -> int:
@@ -385,6 +469,18 @@ class ShardedGraph:
         return self.gu_cut_weight / self.gu_total_weight
 
     @property
+    def gu_dropped_weight(self) -> float:
+        """Cut ``Gu`` weight the model loses (cut minus halo-recovered)."""
+        return self.gu_cut_weight - self.gu_recovered_weight
+
+    @property
+    def gu_recovered_fraction(self) -> float:
+        """Fraction of the *cut* ``Gu`` weight retained in halo blocks."""
+        if self.gu_cut_weight <= 0:
+            return 0.0
+        return self.gu_recovered_weight / self.gu_cut_weight
+
+    @property
     def xr_cut_fraction(self) -> float:
         """Fraction of retweet incidences crossing shards."""
         if self.xr_total_nnz <= 0:
@@ -392,14 +488,50 @@ class ShardedGraph:
         return self.xr_cut_nnz / self.xr_total_nnz
 
 
+def _halo_parts(
+    row_slice: sp.csr_matrix,
+    assignments: np.ndarray,
+    shard: int,
+) -> tuple[np.ndarray, sp.csr_matrix, np.ndarray]:
+    """One shard's cut-edge structures from its global adjacency rows.
+
+    Returns ``(boundary_local, gu_halo, needed_global)``: the sorted
+    local rows with at least one cross-shard edge, the cut-entry CSR
+    block over compacted ghost columns (column ``j`` holds the weights
+    to global user row ``needed_global[j]``), and those ghost rows'
+    sorted global indices.  ``Gu`` is symmetric, so the rows a shard
+    publishes are exactly the rows its neighbours consume.
+    """
+    num_local = row_slice.shape[0]
+    counts = np.diff(row_slice.indptr)
+    local_rows = np.repeat(np.arange(num_local, dtype=np.int64), counts)
+    cross = assignments[row_slice.indices] != shard
+    cross_rows = local_rows[cross]
+    cross_cols = row_slice.indices[cross]
+    cross_data = row_slice.data[cross]
+    boundary_local = np.unique(cross_rows)
+    needed_global = np.unique(cross_cols)
+    gu_halo = sp.csr_matrix(
+        (cross_data, (cross_rows, np.searchsorted(needed_global, cross_cols))),
+        shape=(num_local, needed_global.shape[0]),
+        dtype=row_slice.dtype,
+    )
+    return boundary_local, gu_halo, needed_global
+
+
 def extract_shard_blocks(
-    graph: TripartiteGraph, partition: UserPartition
+    graph: TripartiteGraph,
+    partition: UserPartition,
+    halo: bool = False,
 ) -> ShardedGraph:
     """Slice ``graph`` into per-shard blocks along ``partition``.
 
-    Tweets follow their author's shard.  Cross-shard ``Xr``/``Gu``
-    entries are dropped from the blocks and tallied; ``Xu`` rows are
-    sliced whole (see module docstring).
+    Tweets follow their author's shard.  Cross-shard ``Xr`` entries are
+    dropped from the blocks and tallied; ``Xu`` rows are sliced whole
+    (see module docstring).  Cross-shard ``Gu`` entries are dropped
+    with ``halo=False`` and retained as per-shard halo structures with
+    ``halo=True`` — the cut statistics record both what was cut and
+    what the halo recovered.
     """
     if partition.num_users != graph.num_users:
         raise ValueError(
@@ -423,29 +555,65 @@ def extract_shard_blocks(
         else np.empty(0, np.int64)
     )
 
-    blocks: list[ShardBlock] = []
+    # Pass 1: slice the block-diagonal parts (and, with halo on, each
+    # shard's cut entries).  Block assembly waits for pass 2 because a
+    # ghost column's (owner, source-row) map needs every shard's
+    # published boundary list first.
+    parts: list[dict] = []
     kept_xr_nnz = 0
     kept_gu_weight = 0.0
+    recovered_gu_weight = 0.0
     for shard in range(partition.n_shards):
         user_rows = partition.rows_of(shard)
         tweet_rows = np.flatnonzero(tweet_assignments == shard)
-        xp_block = graph.xp[tweet_rows]
-        xu_block = graph.xu[user_rows]
-        xr_block = graph.xr[user_rows][:, tweet_rows].tocsr()
-        gu_block = graph.user_graph.adjacency[user_rows][:, user_rows].tocsr()
-        blocks.append(
-            _block_from_parts(
-                index=shard,
-                user_rows=user_rows,
-                tweet_rows=tweet_rows,
-                xp=xp_block,
-                xu=xu_block,
-                xr=xr_block,
-                gu=gu_block,
-            )
+        adjacency_rows = graph.user_graph.adjacency[user_rows].tocsr()
+        gu_block = adjacency_rows[:, user_rows].tocsr()
+        part = dict(
+            index=shard,
+            user_rows=user_rows,
+            tweet_rows=tweet_rows,
+            xp=graph.xp[tweet_rows],
+            xu=graph.xu[user_rows],
+            xr=graph.xr[user_rows][:, tweet_rows].tocsr(),
+            gu=gu_block,
         )
-        kept_xr_nnz += xr_block.nnz
+        if halo:
+            boundary_local, gu_halo, needed_global = _halo_parts(
+                adjacency_rows, partition.assignments, shard
+            )
+            part.update(
+                boundary_local=boundary_local,
+                gu_halo=gu_halo,
+                needed_global=needed_global,
+            )
+            recovered_gu_weight += float(gu_halo.sum())
+        parts.append(part)
+        kept_xr_nnz += part["xr"].nnz
         kept_gu_weight += float(gu_block.sum())
+
+    blocks: list[ShardBlock] = []
+    if halo:
+        # Pass 2: resolve each ghost column against its owner's
+        # published boundary block.  ``Gu`` symmetry guarantees every
+        # needed ghost row appears in its owner's boundary list, so the
+        # searchsorted positions are exact matches.
+        boundary_global = [
+            part["user_rows"][part["boundary_local"]] for part in parts
+        ]
+        for part in parts:
+            needed = part.pop("needed_global")
+            halo_owner = partition.assignments[needed]
+            halo_source = np.empty(needed.shape[0], dtype=np.int64)
+            for owner in range(partition.n_shards):
+                owned = halo_owner == owner
+                if owned.any():
+                    halo_source[owned] = np.searchsorted(
+                        boundary_global[owner], needed[owned]
+                    )
+            part["halo_owner"] = halo_owner
+            part["halo_source"] = halo_source
+    for part in parts:
+        blocks.append(_block_from_parts(**part))
 
     gu_total = float(graph.user_graph.adjacency.sum())
     return ShardedGraph(
@@ -457,4 +625,5 @@ def extract_shard_blocks(
         gu_total_weight=gu_total / 2.0,
         xr_cut_nnz=int(graph.xr.nnz - kept_xr_nnz),
         xr_total_nnz=int(graph.xr.nnz),
+        gu_recovered_weight=recovered_gu_weight / 2.0,
     )

@@ -126,6 +126,15 @@ class PoolTelemetry:
     shared_updates: int = 0
     bytes_sent: int = 0
     bytes_received: int = 0
+    #: Cut-edge halo redistributions (one per sweep exchange whose
+    #: replies published boundary ``Su`` rows).  The halo rides fused
+    #: exchanges as command arguments, so it never adds ``rounds``.
+    halo_updates: int = 0
+    #: Halo payload bytes moved: ghost-row slices delivered with
+    #: commands plus boundary rows returned in replies — O(cut-edges×k)
+    #: per sweep, counted on every backend (it is a subset of
+    #: ``bytes_*`` only on the boundary-crossing ones).
+    halo_bytes: int = 0
     #: Seconds spent serializing + writing outbound frames.
     send_seconds: float = 0.0
     #: Seconds the exchange spent blocked waiting for worker replies.

@@ -59,6 +59,13 @@ class TestValidation:
             EngineConfig(solver={"tau": 0.0})
         with pytest.raises(ValueError, match="update_style"):
             EngineConfig(solver={"update_style": "magic"})
+        with pytest.raises(ValueError, match="halo"):
+            EngineConfig(sharding={"halo": "maybe"})
+
+    def test_halo_defaults_on_and_round_trips(self):
+        assert EngineConfig().sharding.halo == "on"
+        config = EngineConfig(sharding={"halo": "off"})
+        assert EngineConfig.from_dict(config.to_dict()).sharding.halo == "off"
 
     def test_unknown_section_field_rejected(self):
         with pytest.raises(TypeError):

@@ -258,6 +258,9 @@ class TestLegacyFormat:
         loaded = StreamingSentimentEngine.load(tmp_path / "ckpt")
         assert loaded.n_shards == 2
         assert loaded.config.sharding.n_shards == 2
+        # v1 checkpoints predate the cut-edge halo: they were solved
+        # block-diagonal, and restoring must preserve that.
+        assert loaded.config.sharding.halo == "off"
 
 
 class TestCompaction:

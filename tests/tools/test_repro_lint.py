@@ -94,6 +94,35 @@ class TestRawSparseProduct:
         """
         assert codes(CORE_PATH, src) == ["REP001", "REP001"]
 
+    def test_flags_halo_payload_attribute_product(self):
+        src = """
+            def sweep(block, su_halo):
+                return block.gu_halo @ su_halo
+        """
+        assert codes(CORE_PATH, src) == ["REP001"]
+
+    def test_flags_csr_payload_helper_product(self):
+        src = """
+            def rehydrate(payload, su):
+                halo = _csr_from_payload(payload["gu_halo"])
+                return halo @ su
+        """
+        assert codes(CORE_PATH, src) == ["REP001"]
+
+    def test_halo_through_cache_dot_is_clean(self):
+        src = """
+            def sweep(cache, block, su_halo):
+                return cache.dot(block.gu_halo, su_halo)
+        """
+        assert codes(CORE_PATH, src) == []
+
+    def test_dense_su_halo_attribute_is_not_sparse(self):
+        src = """
+            def sweep(state, other):
+                return state.su_halo @ other
+        """
+        assert codes(CORE_PATH, src) == []
+
     def test_ignores_dense_products(self):
         src = """
             def tail(s, n):

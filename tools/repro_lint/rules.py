@@ -66,6 +66,21 @@ SPARSE_PRESERVING_METHODS = frozenset(
      "transpose", "astype", "copy", "multiply", "maximum", "minimum"}
 )
 
+#: Repo helpers whose *return value* is a scipy CSR matrix.  These are
+#: plain-name calls (no ``sp.`` owner), so alias tracking can't see
+#: them; naming them keeps halo/shard payload rehydration inside the
+#: spmm discipline — ``_csr_from_payload(payload["gu_halo"]) @ su``
+#: is exactly the product REP001 exists to catch.
+SPARSE_RETURNING_HELPERS = frozenset({"_csr_payload_matrix", "_csr_from_payload"})
+
+#: Attribute names that always hold a scipy CSR matrix (or ``None``)
+#: wherever they appear — the halo payload fields of
+#: ``repro.graph.partition.ShardBlock``.  ``block.gu_halo`` reads in
+#: the sweep hot path must route through ``SweepCache.dot`` / the spmm
+#: engines like every other sparse operand (``su_halo`` is dense and
+#: deliberately absent).
+SPARSE_ATTRIBUTE_HINTS = frozenset({"gu_halo"})
+
 
 def _scipy_sparse_aliases(tree: ast.Module) -> set[str]:
     """Local names bound to the ``scipy.sparse`` module."""
@@ -108,7 +123,8 @@ class _SparseEnv:
             # ``x.T`` of a sparse name stays sparse.
             if node.attr == "T":
                 return self.is_sparse(node.value)
-            return False
+            # block.gu_halo and friends: CSR payload fields by contract.
+            return node.attr in SPARSE_ATTRIBUTE_HINTS
         if isinstance(node, ast.Call):
             func = node.func
             if isinstance(func, ast.Attribute):
@@ -119,6 +135,9 @@ class _SparseEnv:
                 # x.tocsr(), x.transpose(), ... of a sparse expression
                 if func.attr in SPARSE_PRESERVING_METHODS:
                     return self.is_sparse(func.value)
+            elif isinstance(func, ast.Name):
+                # _csr_from_payload(...): repo helpers returning CSR.
+                return func.id in SPARSE_RETURNING_HELPERS
             return False
         return False
 
@@ -167,6 +186,12 @@ class RawSparseProductRule(Rule):
     knobs *and* the float32 mode — it still computes the right numbers
     today, which is exactly why nobody notices until a benchmark shows
     the parallel engine not engaging.
+
+    Sparse operands are inferred from scipy aliases, ``MatrixLike``
+    annotations, the CSR-returning payload helpers
+    (:data:`SPARSE_RETURNING_HELPERS`) and the halo payload attributes
+    (:data:`SPARSE_ATTRIBUTE_HINTS`), so cut-edge halo blocks obey the
+    same discipline as the primary matrices.
 
     Scope: ``repro.core``, ``repro.engine.streaming``,
     ``repro.engine.persistence`` (the hot path), plus
